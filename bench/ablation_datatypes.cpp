@@ -1,0 +1,125 @@
+// Ablation C (google-benchmark): HDTLib data-type microbenchmarks behind
+// Table 4 — 4-state two-plane vectors vs 2-state vectors vs a naive
+// per-bit reference, across widths.
+#include <benchmark/benchmark.h>
+
+#include "hdt/bit_vector.h"
+#include "hdt/logic_vector.h"
+#include "util/prng.h"
+
+namespace {
+
+using namespace xlv::hdt;
+
+LogicVector randomLv(xlv::util::Prng& rng, int width) {
+  LogicVector v(width);
+  for (int w = 0; w < v.numWords(); ++w) v.setWord(w, {rng.next(), 0});
+  v.maskTop();
+  return v;
+}
+
+BitVector randomBv(xlv::util::Prng& rng, int width) {
+  BitVector v(width);
+  for (int w = 0; w < v.numWords(); ++w) v.setWordVal(w, rng.next());
+  v.maskTop();
+  return v;
+}
+
+/// Reference implementation: per-bit operations through the scalar tables
+/// (what a lookup-table-per-bit library would do — the baseline HDTLib's
+/// word-parallel Karnaugh forms replace).
+LogicVector naiveAnd(const LogicVector& a, const LogicVector& b) {
+  LogicVector r(a.width());
+  for (int i = 0; i < a.width(); ++i) r.setBit(i, a.bit(i) & b.bit(i));
+  return r;
+}
+
+void BM_FourState_And(benchmark::State& state) {
+  xlv::util::Prng rng(1);
+  const int width = static_cast<int>(state.range(0));
+  const LogicVector a = randomLv(rng, width);
+  const LogicVector b = randomLv(rng, width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec_and(a, b));
+  }
+}
+BENCHMARK(BM_FourState_And)->Arg(8)->Arg(32)->Arg(64)->Arg(256);
+
+void BM_TwoState_And(benchmark::State& state) {
+  xlv::util::Prng rng(2);
+  const int width = static_cast<int>(state.range(0));
+  const BitVector a = randomBv(rng, width);
+  const BitVector b = randomBv(rng, width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec_and(a, b));
+  }
+}
+BENCHMARK(BM_TwoState_And)->Arg(8)->Arg(32)->Arg(64)->Arg(256);
+
+void BM_NaivePerBit_And(benchmark::State& state) {
+  xlv::util::Prng rng(3);
+  const int width = static_cast<int>(state.range(0));
+  const LogicVector a = randomLv(rng, width);
+  const LogicVector b = randomLv(rng, width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naiveAnd(a, b));
+  }
+}
+BENCHMARK(BM_NaivePerBit_And)->Arg(8)->Arg(32)->Arg(64)->Arg(256);
+
+void BM_FourState_Add(benchmark::State& state) {
+  xlv::util::Prng rng(4);
+  const int width = static_cast<int>(state.range(0));
+  const LogicVector a = randomLv(rng, width);
+  const LogicVector b = randomLv(rng, width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec_add(a, b));
+  }
+}
+BENCHMARK(BM_FourState_Add)->Arg(8)->Arg(32)->Arg(64)->Arg(256);
+
+void BM_TwoState_Add(benchmark::State& state) {
+  xlv::util::Prng rng(5);
+  const int width = static_cast<int>(state.range(0));
+  const BitVector a = randomBv(rng, width);
+  const BitVector b = randomBv(rng, width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec_add(a, b));
+  }
+}
+BENCHMARK(BM_TwoState_Add)->Arg(8)->Arg(32)->Arg(64)->Arg(256);
+
+void BM_FourState_Compare(benchmark::State& state) {
+  xlv::util::Prng rng(6);
+  const int width = static_cast<int>(state.range(0));
+  const LogicVector a = randomLv(rng, width);
+  const LogicVector b = randomLv(rng, width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec_ltu(a, b));
+  }
+}
+BENCHMARK(BM_FourState_Compare)->Arg(32)->Arg(256);
+
+void BM_TwoState_Compare(benchmark::State& state) {
+  xlv::util::Prng rng(7);
+  const int width = static_cast<int>(state.range(0));
+  const BitVector a = randomBv(rng, width);
+  const BitVector b = randomBv(rng, width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec_ltu(a, b));
+  }
+}
+BENCHMARK(BM_TwoState_Compare)->Arg(32)->Arg(256);
+
+void BM_To2StateScrub(benchmark::State& state) {
+  xlv::util::Prng rng(8);
+  const LogicVector a = randomLv(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec_to2state(a));
+  }
+}
+BENCHMARK(BM_To2StateScrub)->Arg(32)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

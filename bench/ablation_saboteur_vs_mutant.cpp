@@ -1,0 +1,84 @@
+// Ablation E: RTL saboteur campaign vs TLM mutant campaign.
+//
+// The paper's core argument (Sections 1-3): verifying embedded sensors with
+// state-of-the-art RTL fault injection (saboteurs [41] / RTL mutants [4])
+// "makes the already slow RTL simulation even more time consuming", whereas
+// moving the campaign to the abstracted TLM model runs each injection at TLM
+// speed. This bench times both campaigns end to end on the same augmented
+// IP with the same per-injection cycle budget.
+#include "bench/common.h"
+#include "core/flow.h"
+#include "mutation/saboteur.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace xlv;
+  bench::banner("Ablation E — RTL saboteur campaign vs TLM mutant campaign",
+                "paper Sections 1-3 motivation");
+
+  util::Table t({"Digital IP", "Injections", "RTL campaign (s)", "TLM campaign (s)",
+                 "Campaign speedup"});
+  for (const auto& cs : bench::allCases()) {
+    core::FlowOptions opts;
+    opts.sensorKind = insertion::SensorKind::Razor;
+    opts.testbenchCycles = bench::scaled(cs.testbench.cycles);
+    opts.measureRtl = false;
+    opts.measureOptimized = false;
+    opts.runMutationAnalysis = false;
+    const core::FlowReport flow = core::runFlow(cs, opts);
+    const std::uint64_t cycles = opts.testbenchCycles;
+
+    // Campaign size: one injection per sensor (saboteur and mutant alike).
+    const std::size_t n = flow.sensors.size();
+
+    // --- RTL saboteur campaign: re-simulate the event-driven kernel once
+    // --- per injection, with the corresponding transport delay active.
+    util::Timer rtlTimer;
+    for (const auto& sensor : flow.sensors) {
+      rtl::RtlSimulator<hdt::FourState> sim(
+          flow.augmentedDesign, rtl::KernelConfig{cs.periodPs, 0, 100000});
+      sim.setStimulus([&](std::uint64_t c, rtl::RtlSimulator<hdt::FourState>& s) {
+        cs.testbench.drive(
+            c, [&](const std::string& nme, std::uint64_t v) { s.setInputByName(nme, v); });
+        s.setInputByName("recovery_en", 1);
+      });
+      sim.injectDelay(flow.augmentedDesign.findSymbol(sensor.endpointName),
+                      cs.periodPs / 4);
+      sim.runCycles(cycles);
+    }
+    const double rtlSeconds = rtlTimer.seconds();
+
+    // --- TLM mutant campaign: one abstracted-model run per injection.
+    auto specs = std::vector<mutation::MutantSpec>{};
+    for (const auto& sensor : flow.sensors) {
+      specs.push_back({sensor.endpointName, mutation::MutantKind::MinDelay, 0});
+    }
+    auto injected = mutation::injectMutants(flow.augmentedDesign, specs);
+    util::Timer tlmTimer;
+    for (std::size_t k = 0; k < specs.size(); ++k) {
+      abstraction::TlmIpModel<hdt::FourState> model(injected,
+                                                    abstraction::TlmModelConfig{0, false});
+      model.activateMutant(static_cast<int>(k));
+      for (std::uint64_t c = 0; c < cycles; ++c) {
+        cs.testbench.drive(c, [&](const std::string& nme, std::uint64_t v) {
+          model.setInputByName(nme, v);
+        });
+        model.setInputByName("recovery_en", 1);
+        model.scheduler();
+      }
+    }
+    const double tlmSeconds = tlmTimer.seconds();
+
+    t.addRow({cs.name, std::to_string(n), util::Table::fixed(rtlSeconds, 3),
+              util::Table::fixed(tlmSeconds, 3),
+              util::Table::fixed(rtlSeconds / std::max(1e-9, tlmSeconds), 2) + "x"});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf(
+      "\nShape: the whole-campaign gap is the per-simulation speedup times the\n"
+      "campaign size amortization — 'applying mutation analysis required to\n"
+      "simulate the TLM versions once per inserted sensor: this further increases\n"
+      "the effectiveness of the fast TLM simulation' (paper Section 8.5).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared helpers for the benchmark binaries. Every bench regenerates one
+// table or figure of the paper (see DESIGN.md's experiment index) and prints
+// it in the paper's row/column structure.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ips/case_study.h"
+
+namespace xlv::bench {
+
+/// Cycle budget multiplier: XLV_BENCH_SCALE=2 doubles every simulation
+/// length (slower, steadier timings); 0.5 halves them (quick smoke run).
+inline double scale() {
+  const char* s = std::getenv("XLV_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0.0 ? v : 1.0;
+}
+
+inline std::uint64_t scaled(std::uint64_t cycles) {
+  const double v = static_cast<double>(cycles) * scale();
+  return v < 1.0 ? 1 : static_cast<std::uint64_t>(v);
+}
+
+inline std::vector<ips::CaseStudy> allCases() {
+  std::vector<ips::CaseStudy> cases;
+  cases.push_back(ips::buildPlasmaCase());
+  cases.push_back(ips::buildDspCase());
+  cases.push_back(ips::buildFilterCase());
+  return cases;
+}
+
+inline void banner(const char* what, const char* paperRef) {
+  std::printf("\n=== %s ===\n(reproduces %s; absolute times are host-dependent, the paper's\n shape — orderings, factors, crossovers — is the comparison target)\n\n",
+              what, paperRef);
+}
+
+}  // namespace xlv::bench

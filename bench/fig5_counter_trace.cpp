@@ -1,0 +1,66 @@
+// Figure 5b: timing diagram of the Counter-based sensor working mechanism —
+// the observability window opens at the clock edge, the HF counter
+// enumerates periods, the capture register records the last CPS transition,
+// and OUT_OK reports the threshold comparison at the window close.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "insertion/insertion.h"
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+#include "rtl/kernel.h"
+#include "sta/sta.h"
+
+int main() {
+  using namespace xlv;
+  using namespace xlv::ir;
+  bench::banner("Figure 5b — Counter-based sensor timing diagram", "paper Fig. 5b");
+
+  constexpr std::uint64_t kPeriod = 1200;
+  constexpr int kRatio = 10;
+  constexpr std::uint64_t kTick = (kPeriod / 2) / (kRatio + 1);
+
+  ModuleBuilder mb("dut");
+  auto clk = mb.clock("clk");
+  auto din = mb.in("din", 8);
+  auto dout = mb.out("dout", 8);
+  auto r = mb.signal("r", 8);
+  mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assign(r, Ex(din) ^ Ex(r)); });
+  mb.comb("drive", [&](ProcBuilder& p) { p.assign(dout, r); });
+  auto ip = mb.finish();
+
+  sta::StaConfig staCfg;
+  staCfg.clockPeriodPs = kPeriod;
+  staCfg.thresholdFraction = 1.0;
+  auto report = sta::analyze(elaborate(*ip), staCfg);
+  insertion::InsertionConfig icfg;
+  icfg.kind = insertion::SensorKind::Counter;
+  auto ins = insertion::insertSensors(*ip, report, icfg);
+  Design d = elaborate(*ins.augmented);
+
+  std::printf("MAIN_CLK period %llu ps, HF resolution %llu ps (ratio %d), LUT threshold 8\n\n",
+              static_cast<unsigned long long>(kPeriod),
+              static_cast<unsigned long long>(kTick), kRatio);
+  std::printf("delay | MEAS_VAL | OUT_OK | interpretation\n");
+  std::printf("------+----------+--------+--------------------------------\n");
+  for (int j = 0; j <= kRatio; ++j) {
+    rtl::RtlSimulator<hdt::FourState> sim(d, rtl::KernelConfig{kPeriod, kRatio, 1000});
+    sim.setStimulus([&](std::uint64_t, rtl::RtlSimulator<hdt::FourState>& s) {
+      s.setInputByName("din", 1);
+    });
+    if (j > 0) sim.injectDelay(d.findSymbol("r"), static_cast<std::uint64_t>(j) * kTick);
+    sim.runCycles(6);
+    const auto mv = sim.valueUintByName("meas_val");
+    const auto ok = sim.valueUintByName("metric_ok");
+    std::printf("%2d HF | %8llu |      %llu | %s\n", j, static_cast<unsigned long long>(mv),
+                static_cast<unsigned long long>(ok),
+                j == 0        ? "on-time commit, nothing captured"
+                : mv <= 8     ? "measured, tolerable (<= LUT_OUT)"
+                              : "measured, constraint VIOLATED");
+  }
+  std::printf(
+      "\nAs in Fig. 5b: MEAS_VAL enumerates the HF periods elapsed until the last\n"
+      "transition of the monitored path signal within the observability window;\n"
+      "OUT_OK compares it against the design-time LUT threshold.\n");
+  return 0;
+}

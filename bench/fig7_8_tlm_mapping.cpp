@@ -1,0 +1,79 @@
+// Figures 6-8: the RTL scheduling (Fig. 6a), the TLM scheduler code
+// (Fig. 6b), the cycle->transaction mapping for the Razor sensor (Fig. 7)
+// and the dual-clock scheduler for the Counter-based sensor (Fig. 8).
+// Reproduced by instrumenting both engines on the same design and showing
+// that one TLM transaction covers exactly one RTL clock cycle, with the HF
+// periods wrapped inside the transaction.
+#include <cstdio>
+
+#include "abstraction/abstractor.h"
+#include "bench/common.h"
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+#include "rtl/kernel.h"
+
+int main() {
+  using namespace xlv;
+  using namespace xlv::ir;
+  bench::banner("Figures 6/7/8 — RTL scheduling vs TLM transactions", "paper Figs. 6-8");
+
+  ModuleBuilder mb("dual");
+  auto clk = mb.clock("clk");
+  auto hclk = mb.clock("hclk", ClockRole::HighFreq);
+  auto dIn = mb.in("d", 8);
+  auto r = mb.signal("r", 8);
+  auto ticks = mb.signal("ticks", 16);
+  auto y = mb.out("y", 16);
+  mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assign(r, dIn); });
+  mb.onRising("cnt", hclk, [&](ProcBuilder& p) { p.assign(ticks, Ex(ticks) + 1u); });
+  mb.comb("c", [&](ProcBuilder& p) { p.assign(y, Ex(ticks) + zext(Ex(r), 16)); });
+  Design d = elaborate(*mb.finish());
+
+  constexpr int kRatio = 10;
+  rtl::RtlSimulator<hdt::FourState> rtlSim(d, rtl::KernelConfig{1000, kRatio, 1000});
+  abstraction::TlmIpModel<hdt::FourState> tlmSim(d, abstraction::TlmModelConfig{kRatio, false});
+
+  std::printf("transaction | RTL cycle | RTL time (ps) | hf ticks inside | y (RTL) | y (TLM)\n");
+  std::printf("------------+-----------+---------------+-----------------+---------+--------\n");
+  std::uint64_t prevTicks = 0;
+  for (int c = 0; c < 6; ++c) {
+    rtlSim.setInputByName("d", static_cast<std::uint64_t>(c));
+    rtlSim.runCycles(1);
+    tlmSim.setInputByName("d", static_cast<std::uint64_t>(c));
+    tlmSim.scheduler();
+    const std::uint64_t ticksNow = rtlSim.valueUintByName("ticks");
+    std::printf("    #%d      |   %5d   | %13llu | %15llu | %7llu | %6llu\n", c + 1, c,
+                static_cast<unsigned long long>(rtlSim.timePs()),
+                static_cast<unsigned long long>(ticksNow - prevTicks),
+                static_cast<unsigned long long>(rtlSim.valueUintByName("y")),
+                static_cast<unsigned long long>(tlmSim.valueUintByName("y")));
+    prevTicks = ticksNow;
+  }
+
+  std::printf("\nEach TLM primitive call = one scheduler() invocation = one RTL clock cycle\n");
+  std::printf("(Fig. 7); the %d high-frequency periods are wrapped inside the transaction\n",
+              kRatio);
+  std::printf("by the inner loop of the dual-clock scheduler (Fig. 8b).\n");
+
+  // Show the generated scheduler code skeleton (the Fig. 6b / 8b artifact).
+  abstraction::EmitCppOptions eo;
+  eo.hfRatio = kRatio;
+  const std::string src = abstraction::emitCpp(d, eo);
+  const auto pos = src.find("void scheduler()");
+  const auto end = src.find("// TLM-2.0", pos);
+  std::printf("\nGenerated scheduler (Fig. 6b / Fig. 8b structure):\n\n%s\n",
+              src.substr(pos, end - pos).c_str());
+
+  // Kernel-vs-model cost accounting — why the abstraction is faster.
+  const auto& ks = rtlSim.stats();
+  const auto& ts = tlmSim.stats();
+  std::printf("RTL kernel:  %llu process runs, %llu delta cycles, %llu commits\n",
+              static_cast<unsigned long long>(ks.processRuns),
+              static_cast<unsigned long long>(ks.deltaCycles),
+              static_cast<unsigned long long>(ks.commits));
+  std::printf("TLM model:   %llu process runs, %llu levelized sweeps, %llu commits\n",
+              static_cast<unsigned long long>(ts.processRuns),
+              static_cast<unsigned long long>(ts.sweepPasses),
+              static_cast<unsigned long long>(ts.commits));
+  return 0;
+}

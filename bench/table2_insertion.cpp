@@ -1,0 +1,48 @@
+// Table 2: characteristics of the insertion of delay monitors.
+// Columns: STA time (s), Critical paths (#), Sensors type/inserted (#),
+// RTL (loc) after augmentation.
+#include "abstraction/emit_cpp.h"
+#include "abstraction/emit_vhdl.h"
+#include "bench/common.h"
+#include "insertion/insertion.h"
+#include "ir/elaborate.h"
+#include "sta/sta.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xlv;
+  bench::banner("Table 2 — insertion of delay monitors", "paper Table 2");
+
+  util::Table t({"Digital IP", "STA time (s)", "Critical paths (#)", "Sensor type",
+                 "Inserted (#)", "RTL (loc)", "Sensor area (gates)"});
+  for (const auto& cs : bench::allCases()) {
+    ir::Design d = ir::elaborate(*cs.module);
+    sta::StaConfig staCfg;
+    staCfg.clockPeriodPs = static_cast<double>(cs.periodPs);
+    staCfg.spreadFraction = cs.staSpreadFraction;
+    const sta::StaReport report = sta::analyze(d, staCfg);
+
+    bool first = true;
+    for (auto kind : {insertion::SensorKind::Razor, insertion::SensorKind::Counter}) {
+      insertion::InsertionConfig icfg;
+      icfg.kind = kind;
+      auto ins = insertion::insertSensors(*cs.module, report, icfg);
+      const int loc = abstraction::countLines(abstraction::emitVhdl(*ins.augmented));
+      t.addRow({first ? cs.name : "", first ? util::Table::fixed(report.analysisSeconds, 4) : "",
+                first ? std::to_string(report.criticalCount) : "",
+                kind == insertion::SensorKind::Razor ? "Razor" : "Counter",
+                std::to_string(ins.sensors.size()), std::to_string(loc),
+                std::to_string(static_cast<long>(ins.sensorAreaGates))});
+      first = false;
+    }
+    t.addSeparator();
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf(
+      "\nPaper's values: Plasma 9.45s STA/29 paths/29+29 sensors (2308/2844 loc);"
+      "\n                DSP 8.51s/34/34+34 (3025/14959 loc); Filter 8.22s/24/24+24 (1008/6178 loc)."
+      "\nOur STA is an estimation engine, so its runtime is micro-seconds, not seconds;"
+      "\ncritical-path counts differ with the slack distributions of our re-implemented IPs."
+      "\nArray/memory endpoints are served by macros and excluded from sensor insertion.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 4: characteristics and simulation performance of the generated
+// optimized TLM code (HDTLib 2-state data types).
+// Columns: Optimized TLM time (s), speedup w.r.t. TLM, speedup w.r.t. RTL.
+#include "bench/common.h"
+#include "core/flow.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xlv;
+  bench::banner("Table 4 — data-type-optimized TLM performance", "paper Table 4");
+
+  util::Table t({"Digital IP", "Delay sensors", "Optimized TLM time (s)", "Speedup w.r.t. TLM",
+                 "Speedup w.r.t. RTL"});
+  double vsTlmSum = 0.0, vsRtlSum = 0.0;
+  int rows = 0;
+  for (const auto& cs : bench::allCases()) {
+    bool first = true;
+    for (auto kind : {insertion::SensorKind::Razor, insertion::SensorKind::Counter}) {
+      core::FlowOptions opts;
+      opts.sensorKind = kind;
+      opts.testbenchCycles = bench::scaled(cs.testbench.cycles * 12);
+      opts.timingRepetitions = 5;
+      opts.measureRtl = true;
+      opts.runMutationAnalysis = false;
+      const core::FlowReport r = core::runFlow(cs, opts);
+      const double vsTlm =
+          r.timings.tlmOptSeconds > 0.0 ? r.timings.tlmSeconds / r.timings.tlmOptSeconds : 0.0;
+      const double vsRtl =
+          r.timings.tlmOptSeconds > 0.0 ? r.timings.rtlSeconds / r.timings.tlmOptSeconds : 0.0;
+      vsTlmSum += vsTlm;
+      vsRtlSum += vsRtl;
+      ++rows;
+      t.addRow({first ? cs.name : "",
+                kind == insertion::SensorKind::Razor ? "Razor" : "Counter",
+                util::Table::fixed(r.timings.tlmOptSeconds, 3),
+                util::Table::fixed(vsTlm, 2) + "x", util::Table::fixed(vsRtl, 2) + "x"});
+      first = false;
+    }
+    t.addSeparator();
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\nAverages: %.2fx vs plain TLM, %.2fx vs RTL"
+              "\n(paper: 1.34x vs TLM and 4.03x vs RTL on average — the shape to match is"
+              "\n 2-state consistently faster than 4-state, compounding the TLM speedup).\n",
+              vsTlmSum / rows, vsRtlSum / rows);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table 5: characteristics and results of the application of mutation
+// analysis. Columns: Injected TLM (loc), time (s), speedup w.r.t. RTL,
+// Mutants (#), killed (%), corrected (%), errors risen (%).
+#include "bench/common.h"
+#include "core/flow.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xlv;
+  bench::banner("Table 5 — mutation analysis of the augmented IPs", "paper Table 5");
+
+  util::Table t({"Digital IP", "Delay sensors", "Injected TLM (loc)", "Time (s)",
+                 "Speedup w.r.t. RTL", "Mutants (#)", "killed (%)", "corrected (%)",
+                 "risen (%)"});
+  for (const auto& cs : bench::allCases()) {
+    bool first = true;
+    for (auto kind : {insertion::SensorKind::Razor, insertion::SensorKind::Counter}) {
+      core::FlowOptions opts;
+      opts.sensorKind = kind;
+      opts.testbenchCycles = bench::scaled(cs.testbench.cycles);
+      opts.timingRepetitions = 1;
+      opts.runMutationAnalysis = true;
+      const core::FlowReport r = core::runFlow(cs, opts);
+      const double speedup = r.timings.injectedSeconds > 0.0
+                                 ? r.timings.rtlSeconds / r.timings.injectedSeconds
+                                 : 0.0;
+      const double corrected = r.analysis.correctedPct();
+      t.addRow({first ? cs.name : "",
+                kind == insertion::SensorKind::Razor ? "Razor" : "Counter",
+                std::to_string(r.loc.tlmInjected),
+                util::Table::fixed(r.timings.injectedSeconds, 3),
+                util::Table::fixed(speedup, 2) + "x",
+                std::to_string(r.analysis.total()),
+                util::Table::fixed(r.analysis.killedPct(), 1),
+                corrected < 0.0 ? "n.a." : util::Table::fixed(corrected, 1),
+                util::Table::fixed(r.analysis.risenPct(), 1)});
+      first = false;
+    }
+    t.addSeparator();
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf(
+      "\nPaper's shape: Razor versions — 2 mutants/sensor, 100%% killed, 100%% corrected,"
+      "\n100%% risen. Counter versions — 3 mutants/sensor, 100%% killed, corrected n.a.,"
+      "\nrisen strictly between 0 and 100%% (66.7/88.4/50.1%% in the paper: the LUT"
+      "\nthreshold classifies sub-threshold delays as tolerable). Injected TLM remains"
+      "\nfaster than RTL (paper: 2.83x average).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Code-generation tour: what the flow's tools emit at each level.
+//
+// Shows (1) the VHDL view of an IP before and after sensor insertion,
+// (2) the SystemC-TLM-style C++ the abstraction produces, and (3) the
+// ADAM-injected variant with its apply_mutant functions — the textual
+// artifacts behind the LoC columns of Tables 1, 2, 3 and 5.
+#include <cstdio>
+
+#include "abstraction/abstractor.h"
+#include "abstraction/emit_vhdl.h"
+#include "insertion/insertion.h"
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+#include "mutation/adam.h"
+#include "sta/sta.h"
+
+using namespace xlv;
+using namespace xlv::ir;
+
+int main() {
+  // A small gray-code counter IP.
+  ModuleBuilder mb("gray");
+  auto clk = mb.clock("clk");
+  auto rst = mb.in("rst", 1);
+  auto out = mb.out("code", 8);
+  auto cnt = mb.signal("cnt", 8);
+  mb.onRising("count", clk, [&](ProcBuilder& p) {
+    p.if_(Ex(rst) == 1u, [&] { p.assign(cnt, lit(8, 0)); },
+          [&] { p.assign(cnt, Ex(cnt) + 1u); });
+  });
+  mb.comb("encode", [&](ProcBuilder& p) { p.assign(out, Ex(cnt) ^ shr(Ex(cnt), 1)); });
+  auto ip = mb.finish();
+
+  std::printf("=============== 1. RTL view (emitted VHDL) ===============\n\n%s\n",
+              abstraction::emitVhdl(*ip).c_str());
+
+  sta::StaConfig staCfg;
+  staCfg.clockPeriodPs = 1000;
+  staCfg.thresholdFraction = 1.0;
+  auto report = sta::analyze(elaborate(*ip), staCfg);
+  auto ins = insertion::insertSensors(*ip, report, insertion::InsertionConfig{});
+  std::printf("========= 2. augmented RTL (Razor inserted at '%s') =========\n\n",
+              ins.sensors.front().endpointName.c_str());
+  const std::string augV = abstraction::emitVhdl(*ins.augmented);
+  // Print only the top entity (the Razor entity precedes it).
+  const auto pos = augV.find("entity gray_razor");
+  std::printf("%s\n", augV.substr(pos == std::string::npos ? 0 : augV.rfind("library", pos))
+                          .c_str());
+
+  Design aug = elaborate(*ins.augmented);
+  auto injected =
+      mutation::injectMutants(aug, {{"cnt", mutation::MutantKind::MinDelay, 0},
+                                    {"cnt", mutation::MutantKind::MaxDelay, 0}});
+  abstraction::EmitCppOptions eo;
+  std::printf("====== 3. abstracted + injected TLM (generated C++) ======\n\n%s\n",
+              abstraction::emitCppInjected(injected, eo).c_str());
+
+  std::printf("LoC summary: clean RTL %d, augmented RTL %d, injected TLM %d\n",
+              abstraction::countLines(abstraction::emitVhdl(*ip)),
+              abstraction::countLines(augV),
+              abstraction::countLines(abstraction::emitCppInjected(injected, eo)));
+  return 0;
+}

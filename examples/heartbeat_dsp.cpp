@@ -1,0 +1,82 @@
+// Domain example: the heart-rate DSP with Counter-based monitors.
+//
+// Runs the detector over the synthetic blood-flow waveform at RTL (with a
+// VCD waveform dump), then demonstrates quantitative delay measurement:
+// a transport delay injected on the integrator register is measured in
+// HF-clock periods by the embedded monitor, and classified against the LUT
+// threshold — all while the DSP keeps detecting beats.
+#include <cstdio>
+
+#include "core/flow.h"
+#include "rtl/vcd.h"
+
+using namespace xlv;
+
+int main() {
+  ips::CaseStudy cs = ips::buildDspCase();
+  core::FlowOptions opts;
+  opts.sensorKind = insertion::SensorKind::Counter;
+  opts.runMutationAnalysis = false;
+  opts.measureRtl = false;
+  opts.measureOptimized = false;
+  opts.testbenchCycles = 1;
+  core::FlowReport flow = core::runFlow(cs, opts);
+  std::printf("DSP augmented with %zu Counter monitors (HF ratio %d, threshold 8)\n",
+              flow.sensors.size(), cs.hfRatio);
+
+  // Locate the integrator's sensor.
+  const insertion::InsertedSensor* integSensor = nullptr;
+  for (const auto& s : flow.sensors) {
+    if (s.endpointName == "integ") integSensor = &s;
+  }
+  if (integSensor == nullptr) {
+    std::printf("integ not monitored at this threshold\n");
+    return 1;
+  }
+
+  rtl::RtlSimulator<hdt::FourState> sim(flow.augmentedDesign,
+                                        rtl::KernelConfig{cs.periodPs, cs.hfRatio, 100000});
+  rtl::VcdWriter vcd("heartbeat_dsp.vcd", flow.augmentedDesign);
+  sim.attachVcd(&vcd);
+  sim.setStimulus([&](std::uint64_t c, rtl::RtlSimulator<hdt::FourState>& s) {
+    cs.testbench.drive(c, [&](const std::string& n, std::uint64_t v) { s.setInputByName(n, v); });
+  });
+
+  const std::uint64_t tick = (cs.periodPs / 2) / static_cast<std::uint64_t>(cs.hfRatio + 1);
+  std::printf("\nphase 1: healthy silicon (cycles 0-399)\n");
+  int beats = 0;
+  for (int c = 0; c < 400; ++c) {
+    sim.runCycles(1);
+    beats += static_cast<int>(sim.valueUintByName("beat"));
+  }
+  std::printf("  beats detected: %d, MEAS_VAL=%llu, METRIC_OK=%llu\n", beats,
+              static_cast<unsigned long long>(sim.valueUintByName(integSensor->measValSignal)),
+              static_cast<unsigned long long>(sim.valueUintByName("metric_ok")));
+
+  std::printf("\nphase 2: aging silicon — integrator path slowed by 5 HF periods\n");
+  sim.injectDelay(flow.augmentedDesign.findSymbol("integ"), 5 * tick);
+  beats = 0;
+  for (int c = 0; c < 400; ++c) {
+    sim.runCycles(1);
+    beats += static_cast<int>(sim.valueUintByName("beat"));
+  }
+  std::printf("  beats detected: %d, MEAS_VAL=%llu (tolerable: <= 8), METRIC_OK=%llu\n", beats,
+              static_cast<unsigned long long>(sim.valueUintByName(integSensor->measValSignal)),
+              static_cast<unsigned long long>(sim.valueUintByName("metric_ok")));
+
+  std::printf("\nphase 3: worn-out silicon — integrator path slowed by 9 HF periods\n");
+  sim.injectDelay(flow.augmentedDesign.findSymbol("integ"), 9 * tick);
+  beats = 0;
+  for (int c = 0; c < 400; ++c) {
+    sim.runCycles(1);
+    beats += static_cast<int>(sim.valueUintByName("beat"));
+  }
+  std::printf("  beats detected: %d, MEAS_VAL=%llu (VIOLATION: > 8), METRIC_OK=%llu\n", beats,
+              static_cast<unsigned long long>(sim.valueUintByName(integSensor->measValSignal)),
+              static_cast<unsigned long long>(sim.valueUintByName("metric_ok")));
+
+  std::printf("\nWaveforms dumped to heartbeat_dsp.vcd (open with GTKWave).\n");
+  std::printf("The monitor turned an invisible analog drift into a quantified digital\n"
+              "measurement — the detection-and-correction paradigm of Section 2.1.\n");
+  return 0;
+}

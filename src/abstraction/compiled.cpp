@@ -1,0 +1,279 @@
+#include "abstraction/compiled.h"
+
+#include <unordered_map>
+
+namespace xlv::abstraction {
+
+using namespace xlv::ir;
+
+namespace {
+
+class Compiler {
+ public:
+  Compiler(const Design& d, std::vector<ConstEntry>& pool) : d_(d), pool_(pool) {}
+
+  CompiledProc compile(const Stmt& body) {
+    ops_.clear();
+    depth_ = 0;
+    maxDepth_ = 0;
+    stmt(body);
+    emit(OpCode::End);
+    CompiledProc out;
+    out.ops = ops_;
+    out.maxStack = maxDepth_;
+    return out;
+  }
+
+ private:
+  int emit(OpCode code, std::int32_t a = 0, std::int32_t b = 0, SymbolId sym = kNoSymbol) {
+    ops_.push_back(Op{code, a, b, sym});
+    return static_cast<int>(ops_.size() - 1);
+  }
+
+  void push(int n = 1) {
+    depth_ += n;
+    maxDepth_ = std::max(maxDepth_, depth_);
+  }
+  void pop(int n = 1) { depth_ -= n; }
+
+  int constIndex(int width, std::uint64_t value) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(width) << 56) ^ value;
+    auto it = constMap_.find(key);
+    if (it != constMap_.end()) return it->second;
+    pool_.push_back(ConstEntry{width, value});
+    const int idx = static_cast<int>(pool_.size() - 1);
+    constMap_.emplace(key, idx);
+    return idx;
+  }
+
+  void expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::Const:
+        emit(OpCode::PushConst, constIndex(e.type.width, e.cval));
+        push();
+        break;
+      case ExprKind::Ref:
+        emit(OpCode::PushSig, 0, 0, e.sym);
+        push();
+        break;
+      case ExprKind::ArrayRef:
+        expr(*e.a);
+        emit(OpCode::PushArrayElem, e.type.width, 0, e.sym);
+        break;
+      case ExprKind::Unary: {
+        expr(*e.a);
+        OpCode c = OpCode::UnNot;
+        switch (e.uop) {
+          case UnOp::Not: c = OpCode::UnNot; break;
+          case UnOp::Neg: c = OpCode::UnNeg; break;
+          case UnOp::RedAnd: c = OpCode::UnRedAnd; break;
+          case UnOp::RedOr: c = OpCode::UnRedOr; break;
+          case UnOp::RedXor: c = OpCode::UnRedXor; break;
+          case UnOp::BoolNot: c = OpCode::UnBoolNot; break;
+        }
+        emit(c, e.a->type.width);
+        break;
+      }
+      case ExprKind::Binary:
+        binary(e);
+        break;
+      case ExprKind::Slice:
+        expr(*e.a);
+        emit(OpCode::Slice, e.hi, e.lo);
+        break;
+      case ExprKind::Select: {
+        // cond ? t : f, with only the chosen arm evaluated.
+        expr(*e.a);
+        const int jf = emit(OpCode::JumpIfFalse);
+        pop();
+        expr(*e.b);
+        const int jend = emit(OpCode::Jump);
+        pop();  // the then-value is popped conceptually for the else path
+        ops_[static_cast<std::size_t>(jf)].a = static_cast<std::int32_t>(ops_.size());
+        expr(*e.c);
+        ops_[static_cast<std::size_t>(jend)].a = static_cast<std::int32_t>(ops_.size());
+        break;
+      }
+      case ExprKind::Resize:
+        expr(*e.a);
+        emit(OpCode::Resize, e.type.width);
+        break;
+      case ExprKind::Sext:
+        expr(*e.a);
+        emit(OpCode::Sext, e.type.width, e.a->type.width);
+        break;
+    }
+  }
+
+  void binary(const Expr& e) {
+    // Gt/Ge compile as Lt/Le with operands pushed in swapped order
+    // (expressions are pure, so evaluation order is free).
+    const bool swapped = e.bop == BinOp::Gt || e.bop == BinOp::Ge;
+    if (swapped) {
+      expr(*e.b);
+      expr(*e.a);
+    } else {
+      expr(*e.a);
+      expr(*e.b);
+    }
+    const bool sgn = e.a->type.isSigned && e.b->type.isSigned;
+    OpCode c = OpCode::BiAnd;
+    switch (e.bop) {
+      case BinOp::And: c = OpCode::BiAnd; break;
+      case BinOp::Or: c = OpCode::BiOr; break;
+      case BinOp::Xor: c = OpCode::BiXor; break;
+      case BinOp::Add: c = OpCode::BiAdd; break;
+      case BinOp::Sub: c = OpCode::BiSub; break;
+      case BinOp::Mul: c = OpCode::BiMul; break;
+      case BinOp::Div: c = OpCode::BiDiv; break;
+      case BinOp::Mod: c = OpCode::BiMod; break;
+      case BinOp::Shl: c = OpCode::BiShl; break;
+      case BinOp::Shr: c = OpCode::BiShr; break;
+      case BinOp::AShr: c = OpCode::BiAShr; break;
+      case BinOp::Eq: c = OpCode::BiEq; break;
+      case BinOp::Ne: c = OpCode::BiNe; break;
+      case BinOp::Lt:
+      case BinOp::Gt:
+        c = sgn ? OpCode::BiLts : OpCode::BiLtu;
+        break;
+      case BinOp::Le:
+      case BinOp::Ge:
+        c = sgn ? OpCode::BiLes : OpCode::BiLeu;
+        break;
+      case BinOp::Concat: c = OpCode::BiConcat; break;
+    }
+    switch (e.bop) {
+      case BinOp::Shl:
+      case BinOp::Shr:
+      case BinOp::AShr:
+      case BinOp::Add:
+      case BinOp::Sub:
+      case BinOp::Mul:
+      case BinOp::Div:
+      case BinOp::Mod:
+        emit(c, e.type.width);  // result width (mask / all-X width)
+        break;
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge:
+        emit(c, e.a->type.width);  // operand width (signed compare position)
+        break;
+      case BinOp::Concat:
+        emit(c, e.type.width, e.b->type.width);  // low-part shift amount
+        break;
+      default:
+        emit(c);
+        break;
+    }
+    pop();  // two operands -> one result
+  }
+
+  void stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        expr(*s.value);
+        const Symbol& t = d_.symbol(s.target);
+        if (t.kind == SymKind::Variable) {
+          if (s.hi >= 0) {
+            emit(OpCode::StoreVarRange, s.hi, s.lo, s.target);
+          } else {
+            emit(OpCode::StoreVar, 0, 0, s.target);
+          }
+        } else if (s.hi >= 0) {
+          emit(OpCode::StoreSigRange, s.hi, s.lo, s.target);
+        } else {
+          emit(OpCode::StoreSig, 0, 0, s.target);
+        }
+        pop();
+        break;
+      }
+      case StmtKind::ArrayWrite:
+        expr(*s.index);
+        expr(*s.value);
+        emit(OpCode::StoreArray, 0, 0, s.target);
+        pop(2);
+        break;
+      case StmtKind::If: {
+        expr(*s.value);
+        const int jf = emit(OpCode::JumpIfFalse);
+        pop();
+        if (s.thenS) stmt(*s.thenS);
+        if (s.elseS) {
+          const int jend = emit(OpCode::Jump);
+          ops_[static_cast<std::size_t>(jf)].a = static_cast<std::int32_t>(ops_.size());
+          stmt(*s.elseS);
+          ops_[static_cast<std::size_t>(jend)].a = static_cast<std::int32_t>(ops_.size());
+        } else {
+          ops_[static_cast<std::size_t>(jf)].a = static_cast<std::int32_t>(ops_.size());
+        }
+        break;
+      }
+      case StmtKind::Case: {
+        expr(*s.value);
+        // Dispatch chain: compare the (dup'ed) selector against each label.
+        std::vector<int> armJumps;  // JumpIfTrue sites, one per label
+        std::vector<std::size_t> armFirstLabel;
+        for (const auto& arm : s.arms) {
+          armFirstLabel.push_back(armJumps.size());
+          for (std::uint64_t label : arm.labels) {
+            emit(OpCode::Dup);
+            push();
+            emit(OpCode::PushConst, constIndex(s.value->type.width, label));
+            push();
+            emit(OpCode::BiEq);
+            pop();
+            armJumps.push_back(emit(OpCode::JumpIfTrue));
+            pop();
+          }
+        }
+        // No label hit: drop the selector, run the default, jump to end.
+        emit(OpCode::Pop);
+        std::vector<int> endJumps;
+        if (s.defaultArm) stmt(*s.defaultArm);
+        endJumps.push_back(emit(OpCode::Jump));
+
+        for (std::size_t ai = 0; ai < s.arms.size(); ++ai) {
+          const std::size_t first = armFirstLabel[ai];
+          const std::size_t last = ai + 1 < s.arms.size() ? armFirstLabel[ai + 1]
+                                                          : armJumps.size();
+          const auto target = static_cast<std::int32_t>(ops_.size());
+          for (std::size_t k = first; k < last; ++k) {
+            ops_[static_cast<std::size_t>(armJumps[k])].a = target;
+          }
+          emit(OpCode::Pop);  // drop the selector copy
+          if (s.arms[ai].body) stmt(*s.arms[ai].body);
+          endJumps.push_back(emit(OpCode::Jump));
+        }
+        pop();  // selector accounted
+        const auto end = static_cast<std::int32_t>(ops_.size());
+        for (int j : endJumps) ops_[static_cast<std::size_t>(j)].a = end;
+        break;
+      }
+      case StmtKind::Block:
+        for (const auto& st : s.stmts) stmt(*st);
+        break;
+    }
+  }
+
+  const Design& d_;
+  std::vector<ConstEntry>& pool_;
+  std::unordered_map<std::uint64_t, int> constMap_;
+  std::vector<Op> ops_;
+  int depth_ = 0;
+  int maxDepth_ = 0;
+};
+
+}  // namespace
+
+CompiledDesign compileDesign(const Design& d) {
+  CompiledDesign out;
+  Compiler compiler(d, out.constants);
+  out.procs.reserve(d.processes.size());
+  for (const auto& p : d.processes) {
+    out.procs.push_back(compiler.compile(*p.body));
+  }
+  return out;
+}
+
+}  // namespace xlv::abstraction

@@ -1,0 +1,288 @@
+#include "abstraction/emit_cpp.h"
+
+#include <sstream>
+
+namespace xlv::abstraction {
+
+using namespace xlv::ir;
+
+namespace {
+
+std::string cname(const std::vector<Symbol>& syms, SymbolId id) {
+  std::string n = syms[static_cast<std::size_t>(id)].name;
+  for (auto& c : n) {
+    if (c == '.') c = '_';
+  }
+  return n;
+}
+
+std::string vecType(const EmitCppOptions& opts) {
+  return opts.twoStateTypes ? "hdt::BitVector" : "hdt::LogicVector";
+}
+
+class CppPrinter {
+ public:
+  CppPrinter(const Design& d, const EmitCppOptions& opts) : d_(d), opts_(opts) {}
+
+  std::string expr(const Expr& e) {
+    std::ostringstream os;
+    switch (e.kind) {
+      case ExprKind::Const:
+        os << "V::fromUint(" << e.type.width << ", 0x" << std::hex << e.cval << std::dec << ")";
+        break;
+      case ExprKind::Ref:
+        os << cname(d_.symbols, e.sym);
+        break;
+      case ExprKind::ArrayRef:
+        os << cname(d_.symbols, e.sym) << "[" << expr(*e.a) << ".toUint()]";
+        break;
+      case ExprKind::Unary: {
+        const char* fn = "vec_not";
+        switch (e.uop) {
+          case UnOp::Not: fn = "vec_not"; break;
+          case UnOp::Neg: fn = "vec_neg"; break;
+          case UnOp::RedAnd: fn = "vec_redand"; break;
+          case UnOp::RedOr: fn = "vec_redor"; break;
+          case UnOp::RedXor: fn = "vec_redxor"; break;
+          case UnOp::BoolNot: fn = "vec_boolnot"; break;
+        }
+        os << fn << "(" << expr(*e.a) << ")";
+        break;
+      }
+      case ExprKind::Binary: {
+        const char* fn = "?";
+        switch (e.bop) {
+          case BinOp::And: fn = "vec_and"; break;
+          case BinOp::Or: fn = "vec_or"; break;
+          case BinOp::Xor: fn = "vec_xor"; break;
+          case BinOp::Add: fn = "vec_add"; break;
+          case BinOp::Sub: fn = "vec_sub"; break;
+          case BinOp::Mul: fn = "vec_mul"; break;
+          case BinOp::Div: fn = "vec_div"; break;
+          case BinOp::Mod: fn = "vec_mod"; break;
+          case BinOp::Shl: fn = "vec_shl"; break;
+          case BinOp::Shr: fn = "vec_shr"; break;
+          case BinOp::AShr: fn = "vec_ashr"; break;
+          case BinOp::Eq: fn = "vec_eq"; break;
+          case BinOp::Ne: fn = "vec_ne"; break;
+          case BinOp::Lt: fn = "vec_lt"; break;
+          case BinOp::Le: fn = "vec_le"; break;
+          case BinOp::Gt: fn = "vec_gt"; break;
+          case BinOp::Ge: fn = "vec_ge"; break;
+          case BinOp::Concat: fn = "vec_concat"; break;
+        }
+        os << fn << "(" << expr(*e.a) << ", " << expr(*e.b) << ")";
+        break;
+      }
+      case ExprKind::Slice:
+        os << "vec_slice(" << expr(*e.a) << ", " << e.hi << ", " << e.lo << ")";
+        break;
+      case ExprKind::Select:
+        os << "(vec_isTrue(" << expr(*e.a) << ") ? " << expr(*e.b) << " : " << expr(*e.c)
+           << ")";
+        break;
+      case ExprKind::Resize:
+        os << "vec_resize(" << expr(*e.a) << ", " << e.type.width << ")";
+        break;
+      case ExprKind::Sext:
+        os << "vec_sext(" << expr(*e.a) << ", " << e.type.width << ")";
+        break;
+    }
+    return os.str();
+  }
+
+  void stmt(std::ostringstream& os, const Stmt& s, int indent) {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        const Symbol& t = d_.symbols[static_cast<std::size_t>(s.target)];
+        if (t.kind == SymKind::Variable) {
+          os << pad << cname(d_.symbols, s.target) << " = " << expr(*s.value) << ";\n";
+        } else if (s.hi >= 0) {
+          os << pad << "nba_range(" << cname(d_.symbols, s.target) << ", " << s.hi << ", "
+             << s.lo << ", " << expr(*s.value) << ");\n";
+        } else {
+          os << pad << "nba(" << cname(d_.symbols, s.target) << ", " << expr(*s.value)
+             << ");\n";
+        }
+        break;
+      }
+      case StmtKind::ArrayWrite:
+        os << pad << "nba_elem(" << cname(d_.symbols, s.target) << ", " << expr(*s.index)
+           << ".toUint(), " << expr(*s.value) << ");\n";
+        break;
+      case StmtKind::If:
+        os << pad << "if (vec_isTrue(" << expr(*s.value) << ")) {\n";
+        if (s.thenS) stmt(os, *s.thenS, indent + 1);
+        if (s.elseS) {
+          os << pad << "} else {\n";
+          stmt(os, *s.elseS, indent + 1);
+        }
+        os << pad << "}\n";
+        break;
+      case StmtKind::Case:
+        os << pad << "switch (" << expr(*s.value) << ".toUint()) {\n";
+        for (const auto& arm : s.arms) {
+          for (std::uint64_t label : arm.labels) {
+            os << pad << "  case " << label << ":\n";
+          }
+          if (arm.body) stmt(os, *arm.body, indent + 2);
+          os << pad << "    break;\n";
+        }
+        os << pad << "  default:\n";
+        if (s.defaultArm) stmt(os, *s.defaultArm, indent + 2);
+        os << pad << "    break;\n";
+        os << pad << "}\n";
+        break;
+      case StmtKind::Block:
+        for (const auto& st : s.stmts) stmt(os, *st, indent);
+        break;
+    }
+  }
+
+ private:
+  const Design& d_;
+  const EmitCppOptions& opts_;
+};
+
+std::string procFnName(const Process& p) {
+  std::string n = p.name;
+  for (auto& c : n) {
+    if (c == '.') c = '_';
+  }
+  return "proc_" + n;
+}
+
+void emitBody(std::ostringstream& os, const Design& d, const EmitCppOptions& opts,
+              const std::vector<mutation::InjectedMutant>& mutants) {
+  CppPrinter pr(d, opts);
+  const std::string V = vecType(opts);
+
+  os << "// Generated by xlv::abstraction — RTL-to-TLM abstracted model.\n";
+  os << "// One scheduler() invocation == one TLM transaction == one clock cycle.\n";
+  os << "#include \"hdt/" << (opts.twoStateTypes ? "bit_vector" : "logic_vector") << ".h\"\n";
+  os << "#include \"tlm/socket.h\"\n\n";
+  os << "namespace generated {\n\n";
+  os << "using V = " << V << ";\n\n";
+  os << "class " << d.name << "_tlm final : public xlv::tlm::BTransportIf {\n";
+  os << " public:\n";
+
+  // Signal/variable members.
+  os << "  // --- signals and variables (flattened design) ---\n";
+  for (std::size_t i = 0; i < d.symbols.size(); ++i) {
+    const Symbol& s = d.symbols[i];
+    if (s.kind == SymKind::Array) {
+      os << "  std::vector<V> " << cname(d.symbols, static_cast<SymbolId>(i)) << " = "
+         << "std::vector<V>(" << s.arraySize << ", V(" << s.type.width << "));\n";
+    } else {
+      os << "  V " << cname(d.symbols, static_cast<SymbolId>(i)) << " = V("
+         << s.type.width << ");\n";
+    }
+  }
+  os << "\n";
+
+  // Process functions.
+  for (const auto& p : d.processes) {
+    os << "  // " << (p.isSync ? (p.postEdge ? "post-edge sampler" : "synchronous") : "asynchronous")
+       << " process\n";
+    os << "  void " << procFnName(p) << "() {\n";
+    pr.stmt(os, *p.body, 2);
+    os << "  }\n\n";
+  }
+
+  // Mutant application functions (Fig. 9h).
+  for (const auto& m : mutants) {
+    os << "  void apply_mutant_" << cname(d.symbols, m.target) << "_" << m.id << "() {\n";
+    os << "    // " << mutation::mutantKindName(m.spec.kind);
+    if (m.spec.kind == mutation::MutantKind::DeltaDelay) {
+      os << " (" << m.spec.deltaTicks << " HF periods)";
+    }
+    os << "\n";
+    os << "    nba(" << cname(d.symbols, m.target) << ", " << cname(d.symbols, m.tmpVar)
+       << ");\n";
+    os << "  }\n\n";
+  }
+
+  // The scheduler (Fig. 6b / Fig. 8b).
+  os << "  // Reproduction of the HDL simulation cycle (one clock cycle).\n";
+  os << "  void scheduler() {\n";
+  os << "    exec_async_settle();\n";
+  os << "    // 1. rising edge of clock: execute synchronous processes\n";
+  for (const auto& p : d.processes) {
+    if (p.isSync && !p.postEdge && p.edge == EdgeKind::Rising && p.clock == d.mainClock) {
+      os << "    " << procFnName(p) << "();\n";
+    }
+  }
+  os << "    commit_nonblocking();\n";
+  os << "    while (any_event()) { exec_async_sensitive(); }\n";
+  for (const auto& p : d.processes) {
+    if (p.isSync && p.postEdge) {
+      os << "    " << procFnName(p) << "();  // post-edge sampler\n";
+    }
+  }
+  if (!mutants.empty()) {
+    os << "    if (first_delta_cycle()) { apply_active_mutants(MIN_DELAY); }\n";
+  }
+  if (opts.hfRatio > 0) {
+    os << "    // higher frequency clock wrapped inside this transaction\n";
+    os << "    for (int hfclk = 1; hfclk <= " << opts.hfRatio << "; ++hfclk) {\n";
+    if (!mutants.empty()) {
+      os << "      apply_active_mutants(DELTA_DELAY, hfclk);\n";
+    }
+    for (const auto& p : d.processes) {
+      if (p.isSync && p.clock == d.hfClock && p.edge == EdgeKind::Rising) {
+        os << "      " << procFnName(p) << "();\n";
+      }
+    }
+    os << "      commit_nonblocking();\n";
+    os << "      while (any_event()) { exec_async_sensitive(); }\n";
+    os << "    }\n";
+  }
+  if (!mutants.empty()) {
+    os << "    apply_active_mutants(MAX_DELAY);  // just before the falling edge\n";
+  }
+  os << "    // 3. falling edge of clock: execute synchronous processes\n";
+  for (const auto& p : d.processes) {
+    if (p.isSync && !p.postEdge && p.edge == EdgeKind::Falling && p.clock == d.mainClock) {
+      os << "    " << procFnName(p) << "();\n";
+    }
+  }
+  os << "    commit_nonblocking();\n";
+  os << "    while (any_event()) { exec_async_sensitive(); }\n";
+  os << "  }\n\n";
+
+  // TLM wrapping.
+  os << "  // TLM-2.0 blocking transport: each payload batch advances cycles.\n";
+  os << "  void b_transport(xlv::tlm::GenericPayload& trans, xlv::tlm::Time& delay) override {\n";
+  os << "    decode_and_access(trans);\n";
+  os << "    for (unsigned i = 0; i < pending_cycles(); ++i) { scheduler(); }\n";
+  os << "    delay += cycle_latency();\n";
+  os << "  }\n";
+  os << "};\n\n";
+  os << "}  // namespace generated\n";
+}
+
+}  // namespace
+
+std::string emitCpp(const Design& design, const EmitCppOptions& opts) {
+  std::ostringstream os;
+  emitBody(os, design, opts, {});
+  return os.str();
+}
+
+std::string emitCppInjected(const mutation::InjectedDesign& injected,
+                            const EmitCppOptions& opts) {
+  std::ostringstream os;
+  emitBody(os, injected.design, opts, injected.mutants);
+  return os.str();
+}
+
+int countLines(const std::string& text) {
+  int n = 0;
+  for (char c : text) {
+    if (c == '\n') ++n;
+  }
+  return n;
+}
+
+}  // namespace xlv::abstraction

@@ -1,0 +1,259 @@
+#include "abstraction/emit_vhdl.h"
+
+#include <set>
+#include <sstream>
+
+namespace xlv::abstraction {
+
+using namespace xlv::ir;
+
+namespace {
+
+std::string typeStr(const Type& t) {
+  if (t.width == 1) return "std_logic";
+  std::ostringstream os;
+  os << (t.isSigned ? "signed" : "std_logic_vector") << "(" << t.width - 1 << " downto 0)";
+  return os.str();
+}
+
+std::string nameOf(const std::vector<Symbol>& syms, SymbolId id) {
+  std::string n = syms[static_cast<std::size_t>(id)].name;
+  for (auto& c : n) {
+    if (c == '.') c = '_';
+  }
+  return n;
+}
+
+class VhdlPrinter {
+ public:
+  explicit VhdlPrinter(const Module& m) : m_(m) {}
+
+  std::string expr(const Expr& e) {
+    std::ostringstream os;
+    switch (e.kind) {
+      case ExprKind::Const:
+        if (e.type.width == 1) {
+          os << "'" << (e.cval & 1) << "'";
+        } else {
+          os << "std_logic_vector(to_unsigned(" << e.cval << ", " << e.type.width << "))";
+        }
+        break;
+      case ExprKind::Ref:
+        os << nameOf(m_.symbols(), e.sym);
+        break;
+      case ExprKind::ArrayRef:
+        os << nameOf(m_.symbols(), e.sym) << "(to_integer(unsigned(" << expr(*e.a) << ")))";
+        break;
+      case ExprKind::Unary: {
+        const char* op = "not";
+        switch (e.uop) {
+          case UnOp::Not: op = "not"; break;
+          case UnOp::Neg: op = "-"; break;
+          case UnOp::RedAnd: op = "and_reduce"; break;
+          case UnOp::RedOr: op = "or_reduce"; break;
+          case UnOp::RedXor: op = "xor_reduce"; break;
+          case UnOp::BoolNot: op = "nor_reduce"; break;
+        }
+        os << op << "(" << expr(*e.a) << ")";
+        break;
+      }
+      case ExprKind::Binary: {
+        if (e.bop == BinOp::Concat) {
+          os << "(" << expr(*e.a) << " & " << expr(*e.b) << ")";
+          break;
+        }
+        const char* op = "?";
+        switch (e.bop) {
+          case BinOp::And: op = "and"; break;
+          case BinOp::Or: op = "or"; break;
+          case BinOp::Xor: op = "xor"; break;
+          case BinOp::Add: op = "+"; break;
+          case BinOp::Sub: op = "-"; break;
+          case BinOp::Mul: op = "*"; break;
+          case BinOp::Div: op = "/"; break;
+          case BinOp::Mod: op = "mod"; break;
+          case BinOp::Shl: op = "sll"; break;
+          case BinOp::Shr: op = "srl"; break;
+          case BinOp::AShr: op = "sra"; break;
+          case BinOp::Eq: op = "="; break;
+          case BinOp::Ne: op = "/="; break;
+          case BinOp::Lt: op = "<"; break;
+          case BinOp::Le: op = "<="; break;
+          case BinOp::Gt: op = ">"; break;
+          case BinOp::Ge: op = ">="; break;
+          case BinOp::Concat: op = "&"; break;
+        }
+        os << "(" << expr(*e.a) << " " << op << " " << expr(*e.b) << ")";
+        break;
+      }
+      case ExprKind::Slice:
+        if (e.hi == e.lo) {
+          os << expr(*e.a) << "(" << e.hi << ")";
+        } else {
+          os << expr(*e.a) << "(" << e.hi << " downto " << e.lo << ")";
+        }
+        break;
+      case ExprKind::Select:
+        os << "mux(" << expr(*e.a) << ", " << expr(*e.b) << ", " << expr(*e.c) << ")";
+        break;
+      case ExprKind::Resize:
+        os << "std_logic_vector(resize(unsigned(" << expr(*e.a) << "), " << e.type.width
+           << "))";
+        break;
+      case ExprKind::Sext:
+        os << "std_logic_vector(resize(signed(" << expr(*e.a) << "), " << e.type.width << "))";
+        break;
+    }
+    return os.str();
+  }
+
+  void stmt(std::ostringstream& os, const Stmt& s, int indent) {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        const Symbol& t = m_.symbols()[static_cast<std::size_t>(s.target)];
+        const char* op = t.kind == SymKind::Variable ? " := " : " <= ";
+        os << pad << nameOf(m_.symbols(), s.target);
+        if (s.hi >= 0) {
+          if (s.hi == s.lo) {
+            os << "(" << s.hi << ")";
+          } else {
+            os << "(" << s.hi << " downto " << s.lo << ")";
+          }
+        }
+        os << op << expr(*s.value) << ";\n";
+        break;
+      }
+      case StmtKind::ArrayWrite:
+        os << pad << nameOf(m_.symbols(), s.target) << "(to_integer(unsigned("
+           << expr(*s.index) << "))) <= " << expr(*s.value) << ";\n";
+        break;
+      case StmtKind::If:
+        os << pad << "if " << expr(*s.value) << " = '1' then\n";
+        if (s.thenS) stmt(os, *s.thenS, indent + 1);
+        if (s.elseS) {
+          os << pad << "else\n";
+          stmt(os, *s.elseS, indent + 1);
+        }
+        os << pad << "end if;\n";
+        break;
+      case StmtKind::Case:
+        os << pad << "case " << expr(*s.value) << " is\n";
+        for (const auto& arm : s.arms) {
+          os << pad << "  when ";
+          for (std::size_t i = 0; i < arm.labels.size(); ++i) {
+            if (i > 0) os << " | ";
+            os << arm.labels[i];
+          }
+          os << " =>\n";
+          if (arm.body) stmt(os, *arm.body, indent + 2);
+        }
+        os << pad << "  when others =>\n";
+        if (s.defaultArm) {
+          stmt(os, *s.defaultArm, indent + 2);
+        } else {
+          os << pad << "    null;\n";
+        }
+        os << pad << "end case;\n";
+        break;
+      case StmtKind::Block:
+        for (const auto& st : s.stmts) stmt(os, *st, indent);
+        break;
+    }
+  }
+
+ private:
+  const Module& m_;
+};
+
+void emitModule(const Module& m, std::ostringstream& os, std::set<std::string>& done) {
+  if (!done.insert(m.name()).second) return;
+  // Children first (VHDL requires declaration before instantiation).
+  for (const auto& inst : m.instances()) emitModule(*inst.module, os, done);
+
+  VhdlPrinter pr(m);
+  os << "library ieee;\n";
+  os << "use ieee.std_logic_1164.all;\n";
+  os << "use ieee.numeric_std.all;\n\n";
+  os << "entity " << m.name() << " is\n  port (\n";
+  bool first = true;
+  for (std::size_t i = 0; i < m.symbols().size(); ++i) {
+    const Symbol& s = m.symbols()[i];
+    if (!s.isPort()) continue;
+    if (!first) os << ";\n";
+    first = false;
+    os << "    " << s.name << " : " << (s.dir == PortDir::In ? "in " : "out ")
+       << typeStr(s.type);
+  }
+  os << "\n  );\nend entity " << m.name() << ";\n\n";
+  os << "architecture rtl of " << m.name() << " is\n";
+  for (std::size_t i = 0; i < m.symbols().size(); ++i) {
+    const Symbol& s = m.symbols()[i];
+    if (s.isPort()) continue;
+    if (s.kind == SymKind::Array) {
+      os << "  type " << s.name << "_t is array (0 to " << s.arraySize - 1 << ") of "
+         << typeStr(s.type) << ";\n";
+      os << "  signal " << s.name << " : " << s.name << "_t;\n";
+    } else if (s.kind == SymKind::Variable) {
+      os << "  shared variable " << s.name << " : " << typeStr(s.type) << ";\n";
+    } else {
+      os << "  signal " << s.name << " : " << typeStr(s.type);
+      if (s.hasInit) os << " := std_logic_vector(to_unsigned(" << s.initValue << ", "
+                        << s.type.width << "))";
+      os << ";\n";
+    }
+  }
+  os << "begin\n\n";
+
+  for (const auto& p : m.processes()) {
+    os << "  " << p.name << " : process (";
+    if (p.isSync) {
+      os << m.symbols()[static_cast<std::size_t>(p.clock)].name;
+    } else {
+      for (std::size_t i = 0; i < p.sensitivity.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << nameOf(m.symbols(), p.sensitivity[i]);
+      }
+    }
+    os << ")\n  begin\n";
+    if (p.isSync) {
+      const std::string clk = m.symbols()[static_cast<std::size_t>(p.clock)].name;
+      if (p.edge == EdgeKind::Rising) {
+        if (p.postEdge) {
+          os << "    -- post-edge sampler (delayed-clock sampling element)\n";
+        }
+        os << "    if rising_edge(" << clk << ") then\n";
+      } else {
+        os << "    if falling_edge(" << clk << ") then\n";
+      }
+      pr.stmt(os, *p.body, 3);
+      os << "    end if;\n";
+    } else {
+      pr.stmt(os, *p.body, 2);
+    }
+    os << "  end process;\n\n";
+  }
+
+  for (const auto& inst : m.instances()) {
+    os << "  " << inst.name << " : entity work." << inst.module->name() << "\n    port map (\n";
+    for (std::size_t i = 0; i < inst.bindings.size(); ++i) {
+      if (i > 0) os << ",\n";
+      os << "      " << inst.module->symbols()[static_cast<std::size_t>(inst.bindings[i].childPort)].name
+         << " => " << nameOf(m.symbols(), inst.bindings[i].parentSym);
+    }
+    os << "\n    );\n\n";
+  }
+
+  os << "end architecture rtl;\n\n";
+}
+
+}  // namespace
+
+std::string emitVhdl(const Module& m) {
+  std::ostringstream os;
+  std::set<std::string> done;
+  emitModule(m, os, done);
+  return os.str();
+}
+
+}  // namespace xlv::abstraction

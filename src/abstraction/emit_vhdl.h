@@ -1,0 +1,19 @@
+// VHDL code generator for RTL IR modules.
+//
+// Renders a module (hierarchy included) as VHDL-93-style source: entity with
+// ports, architecture with signal declarations, one process statement per IR
+// process, and component instantiations for child modules. Used to report
+// the "RTL (loc)" metrics of Tables 1 and 2 and to let users inspect the
+// augmented IPs in a familiar syntax.
+#pragma once
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace xlv::abstraction {
+
+/// Emit `m` and (recursively, once per distinct module) its children.
+std::string emitVhdl(const ir::Module& m);
+
+}  // namespace xlv::abstraction

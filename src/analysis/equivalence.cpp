@@ -1,0 +1,148 @@
+#include "analysis/equivalence.h"
+
+#include <algorithm>
+
+#include "abstraction/tlm_model.h"
+#include "rtl/kernel.h"
+
+namespace xlv::analysis {
+
+using abstraction::TlmIpModel;
+using abstraction::TlmModelConfig;
+
+namespace {
+
+template <class L, class R>
+EquivalenceReport compareModels(L& l, R& r, const ir::Design& lhs, const ir::Design& rhs,
+                                const Testbench& tb, const EquivalenceConfig& cfg,
+                                const std::vector<std::string>& ignore);
+
+void record(EquivalenceReport& rep, const EquivalenceConfig& cfg, std::uint64_t cycle,
+            const std::string& name, std::string lhs, std::string rhs) {
+  rep.equivalent = false;
+  Divergence d{cycle, name, std::move(lhs), std::move(rhs)};
+  if (!rep.firstDivergence) rep.firstDivergence = d;
+  if (static_cast<int>(rep.divergences.size()) < cfg.maxDivergences) {
+    rep.divergences.push_back(std::move(d));
+  }
+}
+
+bool comparable(const ir::Design& d, ir::SymbolId id, CompareScope scope) {
+  const auto& s = d.symbol(id);
+  if (s.isClock() || s.kind == ir::SymKind::Array) return false;
+  if (scope == CompareScope::Outputs) return s.dir == ir::PortDir::Out;
+  return true;
+}
+
+}  // namespace
+
+EquivalenceReport checkRtlVsTlm(const ir::Design& design, const Testbench& tb,
+                                const EquivalenceConfig& cfg) {
+  EquivalenceReport rep;
+  rtl::RtlSimulator<hdt::FourState> rtlSim(
+      design, rtl::KernelConfig{cfg.mainPeriodPs, cfg.hfRatio, 100000});
+  TlmIpModel<hdt::FourState> tlmSim(design, TlmModelConfig{cfg.hfRatio, false});
+
+  rtlSim.setStimulus([&](std::uint64_t c, rtl::RtlSimulator<hdt::FourState>& s) {
+    tb.drive(c, [&](const std::string& n, std::uint64_t v) { s.setInputByName(n, v); });
+  });
+
+  for (std::uint64_t c = 0; c < tb.cycles; ++c) {
+    rtlSim.runCycles(1);
+    tb.drive(c, [&](const std::string& n, std::uint64_t v) { tlmSim.setInputByName(n, v); });
+    tlmSim.scheduler();
+    for (std::size_t i = 0; i < design.symbols.size(); ++i) {
+      const auto id = static_cast<ir::SymbolId>(i);
+      if (!comparable(design, id, cfg.scope)) continue;
+      if (!rtlSim.value(id).identical(tlmSim.value(id))) {
+        record(rep, cfg, c, design.symbols[i].name, rtlSim.value(id).toString(),
+               tlmSim.value(id).toString());
+        if (static_cast<int>(rep.divergences.size()) >= cfg.maxDivergences) {
+          rep.cyclesCompared = c + 1;
+          return rep;
+        }
+      }
+    }
+    ++rep.cyclesCompared;
+  }
+  return rep;
+}
+
+EquivalenceReport checkTlmVsTlm(const ir::Design& lhs, const ir::Design& rhs,
+                                const Testbench& tb, const EquivalenceConfig& cfg,
+                                const std::vector<std::string>& ignore) {
+  TlmIpModel<hdt::FourState> l(lhs, TlmModelConfig{cfg.hfRatio, false});
+  // The rhs may lack an HF clock even when lhs has one (clean vs counter-
+  // augmented): fall back to a single-clock schedule for it.
+  const int rhsRatio = rhs.hfClock != ir::kNoSymbol ? cfg.hfRatio : 0;
+  TlmIpModel<hdt::FourState> r(rhs, TlmModelConfig{rhsRatio, false});
+  return compareModels(l, r, lhs, rhs, tb, cfg, ignore);
+}
+
+EquivalenceReport checkCleanVsInjected(const ir::Design& clean,
+                                       const mutation::InjectedDesign& injected,
+                                       const Testbench& tb, const EquivalenceConfig& cfg) {
+  TlmIpModel<hdt::FourState> l(clean, TlmModelConfig{cfg.hfRatio, false});
+  const int rhsRatio = injected.design.hfClock != ir::kNoSymbol ? cfg.hfRatio : 0;
+  TlmIpModel<hdt::FourState> r(injected, TlmModelConfig{rhsRatio, false});
+  // ADAM tmp variables exist only on the injected side; exclude by name.
+  std::vector<std::string> ignore;
+  for (const auto& m : injected.mutants) {
+    ignore.push_back(injected.design.symbol(m.tmpVar).name);
+  }
+  return compareModels(l, r, clean, injected.design, tb, cfg, ignore);
+}
+
+namespace {
+
+template <class L, class R>
+EquivalenceReport compareModels(L& l, R& r, const ir::Design& lhs, const ir::Design& rhs,
+                                const Testbench& tb, const EquivalenceConfig& cfg,
+                                const std::vector<std::string>& ignore) {
+  EquivalenceReport rep;
+  auto ignored = [&](const std::string& n) {
+    return std::find(ignore.begin(), ignore.end(), n) != ignore.end();
+  };
+
+  // Names compared: intersection of both designs' comparable symbols.
+  std::vector<std::pair<ir::SymbolId, ir::SymbolId>> pairs;
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < lhs.symbols.size(); ++i) {
+    const auto id = static_cast<ir::SymbolId>(i);
+    if (!comparable(lhs, id, cfg.scope)) continue;
+    if (ignored(lhs.symbols[i].name)) continue;
+    const ir::SymbolId other = rhs.findSymbol(lhs.symbols[i].name);
+    if (other == ir::kNoSymbol || !comparable(rhs, other, cfg.scope)) continue;
+    pairs.emplace_back(id, other);
+    names.push_back(lhs.symbols[i].name);
+  }
+
+  auto driveInto = [&](std::uint64_t c, auto& model) {
+    tb.drive(c, [&](const std::string& n, std::uint64_t v) {
+      if (model.design().findSymbol(n) != ir::kNoSymbol) model.setInputByName(n, v);
+    });
+  };
+
+  for (std::uint64_t c = 0; c < tb.cycles; ++c) {
+    driveInto(c, l);
+    driveInto(c, r);
+    l.scheduler();
+    r.scheduler();
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      const auto [li, ri] = pairs[k];
+      if (!l.value(li).identical(r.value(ri))) {
+        record(rep, cfg, c, names[k], l.value(li).toString(), r.value(ri).toString());
+        if (static_cast<int>(rep.divergences.size()) >= cfg.maxDivergences) {
+          rep.cyclesCompared = c + 1;
+          return rep;
+        }
+      }
+    }
+    ++rep.cyclesCompared;
+  }
+  return rep;
+}
+
+}  // namespace
+
+}  // namespace xlv::analysis

@@ -1,0 +1,70 @@
+// Cross-level / cross-design equivalence checking.
+//
+// The flow's correctness rests on cycle equivalence between levels (RTL
+// kernel vs abstracted TLM model) and between design variants (clean vs
+// augmented, clean vs inactive-injected). This utility runs any two of those
+// side by side under a shared stimulus and reports the first divergence —
+// the library-grade version of the checks the test suite performs, usable by
+// downstream adopters on their own IPs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/testbench.h"
+#include "ir/design.h"
+#include "mutation/adam.h"
+
+namespace xlv::analysis {
+
+struct Divergence {
+  std::uint64_t cycle = 0;
+  std::string symbol;
+  std::string lhsValue;
+  std::string rhsValue;
+};
+
+struct EquivalenceReport {
+  bool equivalent = true;
+  std::uint64_t cyclesCompared = 0;
+  std::optional<Divergence> firstDivergence;
+  /// Divergences found (capped; comparison stops at the cap).
+  std::vector<Divergence> divergences;
+};
+
+enum class CompareScope {
+  Outputs,     ///< top-level output ports only
+  AllSignals,  ///< every non-clock scalar signal (names must match)
+};
+
+struct EquivalenceConfig {
+  CompareScope scope = CompareScope::Outputs;
+  int hfRatio = 0;
+  std::uint64_t mainPeriodPs = 1000;
+  int maxDivergences = 8;
+};
+
+/// RTL kernel vs abstracted TLM model of the SAME design (the flow's
+/// invariant 1).
+EquivalenceReport checkRtlVsTlm(const ir::Design& design, const Testbench& tb,
+                                const EquivalenceConfig& cfg);
+
+/// Two TLM models, possibly of different designs (clean vs augmented /
+/// injected). Symbols are matched by name; symbols present on one side only
+/// are ignored under AllSignals and an error under Outputs unless they are
+/// sensor-added ports listed in `ignore`.
+EquivalenceReport checkTlmVsTlm(const ir::Design& lhs, const ir::Design& rhs,
+                                const Testbench& tb, const EquivalenceConfig& cfg,
+                                const std::vector<std::string>& ignore = {});
+
+/// Clean design vs an ADAM-injected design with all mutants INACTIVE — the
+/// "injection is behaviour-preserving" invariant. (An injected design must
+/// carry its mutant list: without the scheduler-phase apply mechanism the
+/// rewritten targets would never commit.)
+EquivalenceReport checkCleanVsInjected(const ir::Design& clean,
+                                       const mutation::InjectedDesign& injected,
+                                       const Testbench& tb, const EquivalenceConfig& cfg);
+
+}  // namespace xlv::analysis

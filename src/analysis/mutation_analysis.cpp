@@ -1,0 +1,247 @@
+#include "analysis/mutation_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace xlv::analysis {
+
+using abstraction::TlmIpModel;
+using abstraction::TlmModelConfig;
+using insertion::InsertedSensor;
+using insertion::SensorKind;
+using mutation::InjectedDesign;
+using mutation::MutantKind;
+
+int AnalysisReport::countKilled() const noexcept {
+  int n = 0;
+  for (const auto& r : results) n += r.killed ? 1 : 0;
+  return n;
+}
+
+int AnalysisReport::countRisen() const noexcept {
+  int n = 0;
+  for (const auto& r : results) n += r.errorRisen ? 1 : 0;
+  return n;
+}
+
+int AnalysisReport::countDetected() const noexcept {
+  int n = 0;
+  for (const auto& r : results) n += r.detected ? 1 : 0;
+  return n;
+}
+
+double AnalysisReport::killedPct() const noexcept {
+  return results.empty() ? 0.0 : 100.0 * countKilled() / static_cast<double>(results.size());
+}
+
+double AnalysisReport::risenPct() const noexcept {
+  return results.empty() ? 0.0 : 100.0 * countRisen() / static_cast<double>(results.size());
+}
+
+double AnalysisReport::correctedPct() const noexcept {
+  int checked = 0, ok = 0;
+  for (const auto& r : results) {
+    if (r.correctionChecked) {
+      ++checked;
+      ok += r.corrected ? 1 : 0;
+    }
+  }
+  if (checked == 0) return -1.0;
+  return 100.0 * ok / static_cast<double>(checked);
+}
+
+namespace {
+
+/// Golden trajectory: per cycle, the output-port values and the monitored
+/// endpoint register values (for the correction check).
+template <class P>
+struct GoldenTrace {
+  std::vector<std::vector<std::uint64_t>> outputs;    // [cycle][outIdx]
+  std::vector<std::vector<std::uint64_t>> endpoints;  // [cycle][sensorIdx]
+};
+
+template <class P>
+GoldenTrace<P> recordGolden(const ir::Design& golden,
+                            const std::vector<InsertedSensor>& sensors, const Testbench& tb,
+                            const AnalysisConfig& cfg) {
+  TlmIpModel<P> model(golden, TlmModelConfig{cfg.hfRatio, false});
+  std::vector<ir::SymbolId> endpointSyms;
+  endpointSyms.reserve(sensors.size());
+  for (const auto& s : sensors) endpointSyms.push_back(golden.findSymbol(s.endpointName));
+
+  GoldenTrace<P> trace;
+  trace.outputs.reserve(tb.cycles);
+  trace.endpoints.reserve(tb.cycles);
+  const bool hasRecovery = golden.findSymbol(cfg.recoveryPort) != ir::kNoSymbol;
+  for (std::uint64_t c = 0; c < tb.cycles; ++c) {
+    tb.drive(c, [&](const std::string& name, std::uint64_t v) { model.setInputByName(name, v); });
+    if (hasRecovery) model.setInputByName(cfg.recoveryPort, 1);
+    model.scheduler();
+    std::vector<std::uint64_t> outs;
+    outs.reserve(golden.outputs.size());
+    for (ir::SymbolId o : golden.outputs) outs.push_back(model.valueUint(o));
+    trace.outputs.push_back(std::move(outs));
+    std::vector<std::uint64_t> eps;
+    eps.reserve(endpointSyms.size());
+    for (ir::SymbolId e : endpointSyms) eps.push_back(model.valueUint(e));
+    trace.endpoints.push_back(std::move(eps));
+  }
+  return trace;
+}
+
+}  // namespace
+
+template <class P>
+AnalysisReport analyzeMutations(const ir::Design& golden, const InjectedDesign& injected,
+                                const std::vector<InsertedSensor>& sensors, const Testbench& tb,
+                                const AnalysisConfig& cfg) {
+  util::Timer timer;
+  AnalysisReport report;
+  report.cyclesPerRun = tb.cycles;
+
+  const GoldenTrace<P> gold = recordGolden<P>(golden, sensors, tb, cfg);
+
+  // Map endpoints to their sensor record.
+  auto sensorOf = [&](const std::string& endpoint) -> const InsertedSensor* {
+    for (const auto& s : sensors) {
+      if (s.endpointName == endpoint) return &s;
+    }
+    return nullptr;
+  };
+  auto sensorIndexOf = [&](const std::string& endpoint) -> int {
+    for (std::size_t i = 0; i < sensors.size(); ++i) {
+      if (sensors[i].endpointName == endpoint) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  const bool hasRecovery = injected.design.findSymbol(cfg.recoveryPort) != ir::kNoSymbol;
+
+  for (const auto& mutant : injected.mutants) {
+    TlmIpModel<P> model(injected, TlmModelConfig{cfg.hfRatio, false});
+    model.activateMutant(mutant.id);
+
+    MutantResult res;
+    res.id = mutant.id;
+    res.endpoint = mutant.spec.targetSignal;
+    res.kind = mutant.spec.kind;
+    res.deltaTicks = mutant.spec.deltaTicks;
+
+    const InsertedSensor* sensor = sensorOf(res.endpoint);
+    const int sensorIdx = sensorIndexOf(res.endpoint);
+    ir::SymbolId eSym = ir::kNoSymbol, qSym = ir::kNoSymbol, mvSym = ir::kNoSymbol,
+                 okSym = ir::kNoSymbol;
+    if (sensor != nullptr) {
+      if (!sensor->errorSignal.empty()) eSym = injected.design.findSymbol(sensor->errorSignal);
+      if (!sensor->qSignal.empty()) qSym = injected.design.findSymbol(sensor->qSignal);
+      if (!sensor->measValSignal.empty())
+        mvSym = injected.design.findSymbol(sensor->measValSignal);
+      if (!sensor->outOkSignal.empty()) okSym = injected.design.findSymbol(sensor->outOkSignal);
+    }
+
+    bool correctionViolated = false;
+    bool correctionObserved = false;
+
+    for (std::uint64_t c = 0; c < tb.cycles; ++c) {
+      tb.drive(c, [&](const std::string& name, std::uint64_t v) {
+        model.setInputByName(name, v);
+      });
+      if (hasRecovery) model.setInputByName(cfg.recoveryPort, 1);
+      model.scheduler();
+
+      // Kill check: any output differs from the golden run.
+      for (std::size_t o = 0; o < injected.design.outputs.size(); ++o) {
+        if (model.valueUint(injected.design.outputs[o]) != gold.outputs[c][o]) {
+          res.killed = true;
+          break;
+        }
+      }
+      // Sensor observation at the mutated endpoint.
+      if (eSym != ir::kNoSymbol && model.valueUint(eSym) == 1) {
+        res.detected = true;
+        res.errorRisen = true;
+        // Correction check: q presents the golden endpoint value of the
+        // previous cycle.
+        if (qSym != ir::kNoSymbol && c >= 1 && sensorIdx >= 0) {
+          correctionObserved = true;
+          if (model.valueUint(qSym) != gold.endpoints[c - 1][static_cast<std::size_t>(sensorIdx)]) {
+            correctionViolated = true;
+          }
+        }
+      }
+      if (mvSym != ir::kNoSymbol) {
+        const std::uint64_t mv = model.valueUint(mvSym);
+        if (mv != 0) {
+          res.detected = true;
+          res.measuredDelay = std::max(res.measuredDelay, mv);
+        }
+      }
+      if (okSym != ir::kNoSymbol && model.valueUint(okSym) == 0) res.errorRisen = true;
+    }
+
+    if (qSym != ir::kNoSymbol) {
+      res.correctionChecked = correctionObserved;
+      res.corrected = correctionObserved && !correctionViolated;
+    }
+    report.results.push_back(std::move(res));
+  }
+
+  report.simSeconds = timer.seconds();
+  return report;
+}
+
+template AnalysisReport analyzeMutations<hdt::FourState>(
+    const ir::Design&, const InjectedDesign&, const std::vector<InsertedSensor>&,
+    const Testbench&, const AnalysisConfig&);
+template AnalysisReport analyzeMutations<hdt::TwoState>(
+    const ir::Design&, const InjectedDesign&, const std::vector<InsertedSensor>&,
+    const Testbench&, const AnalysisConfig&);
+
+std::vector<mutation::MutantSpec> razorMutantSet(const std::vector<InsertedSensor>& sensors) {
+  std::vector<mutation::MutantSpec> specs;
+  specs.reserve(sensors.size() * 2);
+  for (const auto& s : sensors) {
+    specs.push_back({s.endpointName, MutantKind::MinDelay, 0});
+    specs.push_back({s.endpointName, MutantKind::MaxDelay, 0});
+  }
+  return specs;
+}
+
+std::vector<mutation::MutantSpec> counterMutantSet(const std::vector<InsertedSensor>& sensors,
+                                                   double clockPeriodPs, int hfRatio) {
+  (void)clockPeriodPs;
+  std::vector<mutation::MutantSpec> specs;
+  specs.reserve(sensors.size() * 3);
+  if (sensors.empty()) return specs;
+
+  // Severity model: each path's modeled lateness is proportional to its
+  // arrival relative to the 75th percentile of the monitored arrivals
+  // (capped at 1.25 so one deep outlier does not compress everyone else),
+  // scaled by three variability factors — nominal, derated and worst-case.
+  // The resulting delta ticks straddle the sensor's LUT threshold, so the
+  // fraction of "errors risen" reflects the IP's own slack distribution,
+  // as in Table 5.
+  std::vector<double> arrivals;
+  arrivals.reserve(sensors.size());
+  for (const auto& s : sensors) arrivals.push_back(s.endpointArrivalPs);
+  std::sort(arrivals.begin(), arrivals.end());
+  const double p75 =
+      std::max(1.0, arrivals[(arrivals.size() * 3) / 4 >= arrivals.size()
+                                 ? arrivals.size() - 1
+                                 : (arrivals.size() * 3) / 4]);
+
+  const double factors[3] = {0.8, 1.2, 1.6};
+  for (const auto& s : sensors) {
+    const double severity = std::min(1.25, s.endpointArrivalPs / p75);
+    for (double f : factors) {
+      int tick = static_cast<int>(std::lround(hfRatio * severity * f));
+      tick = std::clamp(tick, 1, hfRatio);
+      specs.push_back({s.endpointName, MutantKind::DeltaDelay, tick});
+    }
+  }
+  return specs;
+}
+
+}  // namespace xlv::analysis

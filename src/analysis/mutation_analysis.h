@@ -1,0 +1,100 @@
+// Mutation analysis of sensor-augmented TLM models (paper Section 7).
+//
+// For each injected mutant, the injected TLM model (with exactly that mutant
+// active) is simulated against the golden (non-injected) TLM model under the
+// same testbench. Per mutant we classify:
+//
+//   * killed      — any top-level output differed in any cycle (the sensor
+//                   outputs are part of the augmented IP's interface, so a
+//                   raised error flag kills the mutant, as in the paper);
+//   * detected    — the sensor at the mutant's endpoint observed the delay
+//                   (Razor: E raised; Counter: MEAS_VAL != 0);
+//   * errorRisen  — the sensor *notified* an error (Razor: E raised;
+//                   Counter: OUT_OK deasserted, i.e. measured delay above
+//                   the LUT threshold — delays below it are tolerable);
+//   * corrected   — Razor only: during every error cycle, the recovery
+//                   output q presented the golden endpoint value of the
+//                   previous cycle (the paper's "correction of output values
+//                   with some clock cycles of delay").
+//
+// The mutation score is killed / total (all delay mutants are
+// non-equivalent by construction when the testbench toggles the monitored
+// registers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "abstraction/tlm_model.h"
+#include "analysis/testbench.h"
+#include "insertion/insertion.h"
+#include "mutation/adam.h"
+
+namespace xlv::analysis {
+
+struct MutantResult {
+  int id = -1;
+  std::string endpoint;
+  mutation::MutantKind kind = mutation::MutantKind::MinDelay;
+  int deltaTicks = 0;
+  bool killed = false;
+  bool detected = false;
+  bool errorRisen = false;
+  bool corrected = false;       ///< meaningful only when correctionChecked
+  bool correctionChecked = false;
+  std::uint64_t measuredDelay = 0;  ///< Counter: max MEAS_VAL over the run
+};
+
+struct AnalysisReport {
+  std::vector<MutantResult> results;
+  std::uint64_t cyclesPerRun = 0;
+  double simSeconds = 0.0;  ///< wall time of all runs (golden + injected)
+
+  int total() const noexcept { return static_cast<int>(results.size()); }
+  int countKilled() const noexcept;
+  int countRisen() const noexcept;
+  int countDetected() const noexcept;
+  /// Percentages as reported in Table 5.
+  double killedPct() const noexcept;
+  double risenPct() const noexcept;
+  /// Corrected percentage over correction-checked mutants; -1 when the
+  /// sensor has no correction capability ("n.a." in Table 5).
+  double correctedPct() const noexcept;
+  double mutationScorePct() const noexcept { return killedPct(); }
+};
+
+struct AnalysisConfig {
+  int hfRatio = 0;  ///< dual-clock scheduler ratio for Counter designs
+  insertion::SensorKind sensorKind = insertion::SensorKind::Razor;
+  /// Drive the Razor recovery input high (named port, ignored if absent).
+  std::string recoveryPort = "recovery_en";
+};
+
+/// Run the full analysis: one golden run plus one injected run per mutant.
+template <class P>
+AnalysisReport analyzeMutations(const ir::Design& golden,
+                                const mutation::InjectedDesign& injected,
+                                const std::vector<insertion::InsertedSensor>& sensors,
+                                const Testbench& tb, const AnalysisConfig& cfg);
+
+// Explicit instantiations are provided for both value policies.
+extern template AnalysisReport analyzeMutations<hdt::FourState>(
+    const ir::Design&, const mutation::InjectedDesign&,
+    const std::vector<insertion::InsertedSensor>&, const Testbench&, const AnalysisConfig&);
+extern template AnalysisReport analyzeMutations<hdt::TwoState>(
+    const ir::Design&, const mutation::InjectedDesign&,
+    const std::vector<insertion::InsertedSensor>&, const Testbench&, const AnalysisConfig&);
+
+/// Generate the Table 5 mutant sets.
+/// Razor versions: one MinDelay plus one MaxDelay mutant per sensor.
+std::vector<mutation::MutantSpec> razorMutantSet(
+    const std::vector<insertion::InsertedSensor>& sensors);
+/// Counter versions: three DeltaDelay mutants per sensor, sized from the
+/// endpoint's STA arrival: tick = clamp(round(R * arrival/period * f), 1, R)
+/// for f in {0.5, 1.0, 1.5} — modeling nominal, derated and worst-case
+/// lateness of that path.
+std::vector<mutation::MutantSpec> counterMutantSet(
+    const std::vector<insertion::InsertedSensor>& sensors, double clockPeriodPs, int hfRatio);
+
+}  // namespace xlv::analysis

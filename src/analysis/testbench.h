@@ -1,0 +1,26 @@
+// Testbench: the per-cycle stimulus shared by every engine of the flow.
+//
+// The paper drives mutation analysis with "the testbench shipped with the
+// IP" (Section 7). A Testbench here is an engine-agnostic input driver: the
+// same object stimulates the event-driven RTL kernel, the abstracted TLM
+// model and the injected TLM model, guaranteeing identical inputs across
+// levels.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace xlv::analysis {
+
+/// Receives (portName, value) for each input to drive this cycle.
+using PortSetter = std::function<void(const std::string&, std::uint64_t)>;
+
+struct Testbench {
+  std::string name;
+  std::uint64_t cycles = 100;
+  /// Drive the DUT inputs for the given cycle.
+  std::function<void(std::uint64_t cycle, const PortSetter&)> drive;
+};
+
+}  // namespace xlv::analysis

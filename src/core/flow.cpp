@@ -1,0 +1,151 @@
+#include "core/flow.h"
+
+#include "abstraction/emit_vhdl.h"
+#include "ir/elaborate.h"
+#include "util/timer.h"
+
+namespace xlv::core {
+
+using abstraction::TlmIpModel;
+using abstraction::TlmModelConfig;
+using insertion::SensorKind;
+
+namespace {
+
+/// Adapter: drive a simulator's inputs from the case study's testbench.
+template <class Sim>
+void driveInputs(const ips::CaseStudy& cs, std::uint64_t cycle, Sim& sim) {
+  cs.testbench.drive(cycle, [&](const std::string& name, std::uint64_t v) {
+    sim.setInputByName(name, v);
+  });
+  // The Razor recovery enable is an insertion-added port the stock
+  // testbench does not know about.
+  if (sim.design().findSymbol("recovery_en") != ir::kNoSymbol) {
+    sim.setInputByName("recovery_en", 1);
+  }
+}
+
+}  // namespace
+
+double timeRtlSimulation(const ir::Design& d, const ips::CaseStudy& cs, int hfRatio,
+                         std::uint64_t cycles) {
+  rtl::RtlSimulator<hdt::FourState> sim(
+      d, rtl::KernelConfig{cs.periodPs, hfRatio, 100000});
+  sim.setStimulus([&](std::uint64_t c, rtl::RtlSimulator<hdt::FourState>& s) {
+    driveInputs(cs, c, s);
+  });
+  util::Timer t;
+  sim.runCycles(cycles);
+  return t.seconds();
+}
+
+template <class P>
+double timeTlmSimulation(const ir::Design& d, const ips::CaseStudy& cs, int hfRatio,
+                         std::uint64_t cycles) {
+  TlmIpModel<P> model(d, TlmModelConfig{hfRatio, false});
+  util::Timer t;
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    driveInputs(cs, c, model);
+    model.scheduler();
+  }
+  return t.seconds();
+}
+
+template double timeTlmSimulation<hdt::FourState>(const ir::Design&, const ips::CaseStudy&,
+                                                  int, std::uint64_t);
+template double timeTlmSimulation<hdt::TwoState>(const ir::Design&, const ips::CaseStudy&, int,
+                                                 std::uint64_t);
+
+FlowReport runFlow(const ips::CaseStudy& cs, const FlowOptions& opts) {
+  FlowReport report;
+  report.ipName = cs.name;
+  report.sensorKind = opts.sensorKind;
+  report.hfRatio = opts.sensorKind == SensorKind::Counter ? cs.hfRatio : 0;
+  const std::uint64_t cycles =
+      opts.testbenchCycles != 0 ? opts.testbenchCycles : cs.testbench.cycles;
+
+  // --- Step 0: elaborate the clean IP -----------------------------------------
+  report.cleanDesign = ir::elaborate(*cs.module);
+  report.loc.rtlClean = abstraction::countLines(abstraction::emitVhdl(*cs.module));
+
+  // --- Step 1: STA + sensor insertion (Section 4) --------------------------------
+  sta::StaConfig staCfg;
+  staCfg.clockPeriodPs = static_cast<double>(cs.periodPs);
+  staCfg.thresholdFraction = cs.staThresholdFraction;
+  staCfg.spreadFraction = cs.staSpreadFraction;
+  report.sta = sta::analyze(report.cleanDesign, staCfg);
+  report.timings.staSeconds = report.sta.analysisSeconds;
+
+  insertion::InsertionConfig icfg;
+  icfg.kind = opts.sensorKind;
+  auto ins = insertion::insertSensors(*cs.module, report.sta, icfg);
+  report.sensors = ins.sensors;
+  report.skippedEndpoints = ins.skippedEndpoints;
+  report.sensorAreaGates = ins.sensorAreaGates;
+  report.loc.rtlAugmented = abstraction::countLines(abstraction::emitVhdl(*ins.augmented));
+  report.augmentedDesign = ir::elaborate(*ins.augmented);
+
+  // --- Step 2: RTL-to-TLM abstraction (Section 5) ---------------------------------
+  abstraction::AbstractionOptions aopts;
+  aopts.hfRatio = report.hfRatio;
+  report.loc.tlm = abstraction::abstractDesign(report.augmentedDesign, aopts).sourceLines;
+
+  // --- Step 3: mutant injection (Section 6) ----------------------------------------
+  if (opts.sensorKind == SensorKind::Razor) {
+    report.mutantSpecs = analysis::razorMutantSet(report.sensors);
+  } else {
+    report.mutantSpecs = analysis::counterMutantSet(
+        report.sensors, static_cast<double>(cs.periodPs), cs.hfRatio);
+  }
+  report.injected = mutation::injectMutants(report.augmentedDesign, report.mutantSpecs);
+  report.loc.tlmInjected =
+      abstraction::abstractInjected(report.injected, aopts).sourceLines;
+
+  // --- Timing measurements -----------------------------------------------------------
+  auto repeat = [&](auto&& fn) {
+    double total = 0.0;
+    const int n = std::max(1, opts.timingRepetitions);
+    for (int i = 0; i < n; ++i) total += fn();
+    return total / n;
+  };
+  if (opts.measureRtl) {
+    report.timings.rtlSeconds = repeat([&] {
+      return timeRtlSimulation(report.augmentedDesign, cs, report.hfRatio, cycles);
+    });
+  }
+  report.timings.tlmSeconds = repeat([&] {
+    return timeTlmSimulation<hdt::FourState>(report.augmentedDesign, cs, report.hfRatio,
+                                             cycles);
+  });
+  if (opts.measureOptimized) {
+    report.timings.tlmOptSeconds = repeat([&] {
+      return timeTlmSimulation<hdt::TwoState>(report.augmentedDesign, cs, report.hfRatio,
+                                              cycles);
+    });
+  }
+  {
+    // Injected model with all mutants inactive (Table 5's simulation cost).
+    TlmIpModel<hdt::FourState> model(report.injected,
+                                     TlmModelConfig{report.hfRatio, false});
+    util::Timer t;
+    for (std::uint64_t c = 0; c < cycles; ++c) {
+      driveInputs(cs, c, model);
+      model.scheduler();
+    }
+    report.timings.injectedSeconds = t.seconds();
+  }
+
+  // --- Step 4: mutation analysis (Section 7) -------------------------------------------
+  if (opts.runMutationAnalysis) {
+    analysis::AnalysisConfig acfg;
+    acfg.hfRatio = report.hfRatio;
+    acfg.sensorKind = opts.sensorKind;
+    analysis::Testbench tb = cs.testbench;
+    tb.cycles = cycles;
+    report.analysis = analysis::analyzeMutations<hdt::FourState>(
+        report.augmentedDesign, report.injected, report.sensors, tb, acfg);
+  }
+  return report;
+}
+
+}  // namespace xlv::core

@@ -1,0 +1,82 @@
+// VerificationFlow: the paper's four-step methodology as one facade
+// (Fig. 3): (1) STA-driven sensor insertion, (2) RTL-to-TLM abstraction,
+// (3) delay-mutant injection, (4) mutation analysis — plus the cross-level
+// timing measurements behind Tables 3, 4 and 5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "abstraction/abstractor.h"
+#include "analysis/mutation_analysis.h"
+#include "insertion/insertion.h"
+#include "ips/case_study.h"
+#include "mutation/adam.h"
+#include "rtl/kernel.h"
+#include "sta/sta.h"
+
+namespace xlv::core {
+
+struct FlowOptions {
+  insertion::SensorKind sensorKind = insertion::SensorKind::Razor;
+  /// Override the case study's testbench length (0 = keep).
+  std::uint64_t testbenchCycles = 0;
+  /// Simulation-time measurements repeat this many times; the mean is kept
+  /// (the paper averages over a number of executions).
+  int timingRepetitions = 1;
+  bool measureRtl = true;          ///< event-driven kernel baseline (Table 3)
+  bool measureOptimized = true;    ///< HDTLib 2-state policy (Table 4)
+  bool runMutationAnalysis = true; ///< Table 5
+};
+
+struct FlowTimings {
+  double rtlSeconds = 0.0;        ///< event-driven RTL kernel, 4-state
+  double tlmSeconds = 0.0;        ///< abstracted TLM model, 4-state
+  double tlmOptSeconds = 0.0;     ///< abstracted TLM model, HDTLib 2-state
+  double injectedSeconds = 0.0;   ///< injected TLM model (mutants inactive)
+  double staSeconds = 0.0;
+};
+
+struct FlowLoc {
+  int rtlClean = 0;      ///< emitted VHDL of the original IP
+  int rtlAugmented = 0;  ///< emitted VHDL after sensor insertion
+  int tlm = 0;           ///< emitted SystemC-TLM C++ of the abstracted IP
+  int tlmInjected = 0;   ///< with ADAM mutants
+};
+
+struct FlowReport {
+  std::string ipName;
+  insertion::SensorKind sensorKind = insertion::SensorKind::Razor;
+  sta::StaReport sta;
+  ir::Design cleanDesign;
+  ir::Design augmentedDesign;
+  std::vector<insertion::InsertedSensor> sensors;
+  int skippedEndpoints = 0;
+  double sensorAreaGates = 0.0;
+  mutation::InjectedDesign injected;
+  std::vector<mutation::MutantSpec> mutantSpecs;
+  analysis::AnalysisReport analysis;
+  FlowTimings timings;
+  FlowLoc loc;
+  int hfRatio = 0;  ///< 0 for Razor versions, case-study ratio for Counter
+};
+
+/// Execute the full flow on one case study.
+FlowReport runFlow(const ips::CaseStudy& cs, const FlowOptions& opts);
+
+/// Individual timing probes (used by the benches for finer control).
+double timeRtlSimulation(const ir::Design& d, const ips::CaseStudy& cs, int hfRatio,
+                         std::uint64_t cycles);
+template <class P>
+double timeTlmSimulation(const ir::Design& d, const ips::CaseStudy& cs, int hfRatio,
+                         std::uint64_t cycles);
+
+extern template double timeTlmSimulation<hdt::FourState>(const ir::Design&,
+                                                         const ips::CaseStudy&, int,
+                                                         std::uint64_t);
+extern template double timeTlmSimulation<hdt::TwoState>(const ir::Design&,
+                                                        const ips::CaseStudy&, int,
+                                                        std::uint64_t);
+
+}  // namespace xlv::core

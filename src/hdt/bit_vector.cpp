@@ -1,0 +1,315 @@
+#include "hdt/bit_vector.h"
+
+#include <stdexcept>
+
+namespace xlv::hdt {
+
+BitVector BitVector::ones(int width) {
+  BitVector v(width);
+  for (int w = 0; w < v.numWords(); ++w) v.setWordVal(w, ~0ULL);
+  v.maskTop();
+  return v;
+}
+
+BitVector BitVector::fromUint(int width, std::uint64_t x) {
+  BitVector v(width);
+  v.setWordVal(0, x);
+  v.maskTop();
+  return v;
+}
+
+BitVector BitVector::fromString(std::string_view s) {
+  if (s.empty()) throw std::invalid_argument("BitVector::fromString: empty literal");
+  BitVector v(static_cast<int>(s.size()));
+  for (int i = 0; i < v.width(); ++i) {
+    v.setBit(v.width() - 1 - i, logicFromChar(s[static_cast<std::size_t>(i)]));
+  }
+  return v;
+}
+
+BitVector BitVector::fromLogic(Logic b) {
+  BitVector v(1);
+  v.setBit(0, b);
+  return v;
+}
+
+bool BitVector::isZero() const noexcept {
+  for (int w = 0; w < numWords(); ++w) {
+    if (words_[w] != 0) return false;
+  }
+  return true;
+}
+
+std::int64_t BitVector::toInt() const noexcept {
+  std::uint64_t u = toUint();
+  if (width_ < 64) {
+    const std::uint64_t sign = 1ULL << (width_ - 1);
+    if (u & sign) u |= ~((sign << 1) - 1);
+  }
+  return static_cast<std::int64_t>(u);
+}
+
+bool BitVector::identical(const BitVector& o) const noexcept {
+  if (width_ != o.width_) return false;
+  for (int w = 0; w < numWords(); ++w) {
+    if (words_[w] != o.words_[w]) return false;
+  }
+  return true;
+}
+
+std::string BitVector::toString() const {
+  std::string s(static_cast<std::size_t>(width_), '0');
+  for (int i = 0; i < width_; ++i) {
+    s[static_cast<std::size_t>(width_ - 1 - i)] = toChar(bit(i));
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+template <typename F>
+BitVector zipWords(const BitVector& a, const BitVector& b, F f) {
+  assert(a.width() == b.width());
+  BitVector r(a.width());
+  for (int w = 0; w < r.numWords(); ++w) r.setWordVal(w, f(a.word(w), b.word(w)));
+  r.maskTop();
+  return r;
+}
+
+BitVector cmpResult(bool v) { return BitVector::fromUint(1, v ? 1 : 0); }
+
+int cmpU(const BitVector& a, const BitVector& b) {
+  for (int w = a.numWords() - 1; w >= 0; --w) {
+    if (a.word(w) != b.word(w)) return a.word(w) < b.word(w) ? -1 : 1;
+  }
+  return 0;
+}
+
+int cmpS(const BitVector& a, const BitVector& b) {
+  const bool sa = toBool(a.bit(a.width() - 1));
+  const bool sb = toBool(b.bit(b.width() - 1));
+  if (sa != sb) return sa ? -1 : 1;
+  return cmpU(a, b);
+}
+}  // namespace
+
+BitVector vec_and(const BitVector& a, const BitVector& b) {
+  return zipWords(a, b, [](std::uint64_t x, std::uint64_t y) { return x & y; });
+}
+BitVector vec_or(const BitVector& a, const BitVector& b) {
+  return zipWords(a, b, [](std::uint64_t x, std::uint64_t y) { return x | y; });
+}
+BitVector vec_xor(const BitVector& a, const BitVector& b) {
+  return zipWords(a, b, [](std::uint64_t x, std::uint64_t y) { return x ^ y; });
+}
+BitVector vec_not(const BitVector& a) {
+  BitVector r(a.width());
+  for (int w = 0; w < r.numWords(); ++w) r.setWordVal(w, ~a.word(w));
+  r.maskTop();
+  return r;
+}
+
+BitVector vec_add(const BitVector& a, const BitVector& b) {
+  assert(a.width() == b.width());
+  BitVector r(a.width());
+  std::uint64_t carry = 0;
+  for (int w = 0; w < r.numWords(); ++w) {
+    const std::uint64_t x = a.word(w);
+    const std::uint64_t y = b.word(w);
+    const std::uint64_t s1 = x + y;
+    const std::uint64_t s2 = s1 + carry;
+    carry = (s1 < x ? 1u : 0u) | (s2 < s1 ? 1u : 0u);
+    r.setWordVal(w, s2);
+  }
+  r.maskTop();
+  return r;
+}
+
+BitVector vec_sub(const BitVector& a, const BitVector& b) {
+  assert(a.width() == b.width());
+  BitVector r(a.width());
+  std::uint64_t borrow = 0;
+  for (int w = 0; w < r.numWords(); ++w) {
+    const std::uint64_t x = a.word(w);
+    const std::uint64_t y = b.word(w);
+    const std::uint64_t d1 = x - y;
+    const std::uint64_t d2 = d1 - borrow;
+    borrow = (x < y ? 1u : 0u) | (d1 < borrow ? 1u : 0u);
+    r.setWordVal(w, d2);
+  }
+  r.maskTop();
+  return r;
+}
+
+BitVector vec_neg(const BitVector& a) { return vec_sub(BitVector::zeros(a.width()), a); }
+
+BitVector vec_mul(const BitVector& a, const BitVector& b) {
+  assert(a.width() == b.width());
+  const int n = a.numWords();
+  BitVector r(a.width());
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; i + j < n; ++j) {
+      const unsigned __int128 p =
+          static_cast<unsigned __int128>(a.word(i)) * b.word(j) + r.word(i + j) + carry;
+      r.setWordVal(i + j, static_cast<std::uint64_t>(p));
+      carry = static_cast<std::uint64_t>(p >> 64);
+    }
+  }
+  r.maskTop();
+  return r;
+}
+
+BitVector vec_div(const BitVector& a, const BitVector& b) {
+  assert(a.width() == b.width());
+  if (a.width() > 64) throw std::invalid_argument("vec_div: width > 64 unsupported");
+  // Division by zero yields all-zero in the 2-value library (the scrubbed
+  // image of the 4-value all-X result).
+  if (b.toUint() == 0) return BitVector::zeros(a.width());
+  return BitVector::fromUint(a.width(), a.toUint() / b.toUint());
+}
+
+BitVector vec_mod(const BitVector& a, const BitVector& b) {
+  assert(a.width() == b.width());
+  if (a.width() > 64) throw std::invalid_argument("vec_mod: width > 64 unsupported");
+  if (b.toUint() == 0) return BitVector::zeros(a.width());
+  return BitVector::fromUint(a.width(), a.toUint() % b.toUint());
+}
+
+BitVector vec_shl(const BitVector& a, int amount) {
+  if (amount <= 0) return amount == 0 ? a : BitVector::zeros(a.width());
+  if (amount >= a.width()) return BitVector::zeros(a.width());
+  BitVector r(a.width());
+  const int ws = amount / 64;
+  const int bs = amount % 64;
+  const int n = a.numWords();
+  for (int w = n - 1; w >= 0; --w) {
+    std::uint64_t x = 0;
+    if (w - ws >= 0) {
+      x = a.word(w - ws) << bs;
+      if (bs != 0 && w - ws - 1 >= 0) x |= a.word(w - ws - 1) >> (64 - bs);
+    }
+    r.setWordVal(w, x);
+  }
+  r.maskTop();
+  return r;
+}
+
+BitVector vec_shr(const BitVector& a, int amount) {
+  if (amount <= 0) return amount == 0 ? a : BitVector::zeros(a.width());
+  if (amount >= a.width()) return BitVector::zeros(a.width());
+  BitVector r(a.width());
+  const int ws = amount / 64;
+  const int bs = amount % 64;
+  const int n = a.numWords();
+  for (int w = 0; w < n; ++w) {
+    std::uint64_t x = 0;
+    if (w + ws < n) {
+      x = a.word(w + ws) >> bs;
+      if (bs != 0 && w + ws + 1 < n) x |= a.word(w + ws + 1) << (64 - bs);
+    }
+    r.setWordVal(w, x);
+  }
+  r.maskTop();
+  return r;
+}
+
+BitVector vec_ashr(const BitVector& a, int amount) {
+  if (amount <= 0) return amount == 0 ? a : BitVector::zeros(a.width());
+  const Logic sign = a.bit(a.width() - 1);
+  if (amount >= a.width()) {
+    return toBool(sign) ? BitVector::ones(a.width()) : BitVector::zeros(a.width());
+  }
+  BitVector r = vec_shr(a, amount);
+  if (toBool(sign)) {
+    for (int i = a.width() - amount; i < a.width(); ++i) r.setBit(i, Logic::L1);
+  }
+  return r;
+}
+
+BitVector vec_eq(const BitVector& a, const BitVector& b) {
+  assert(a.width() == b.width());
+  return cmpResult(cmpU(a, b) == 0);
+}
+BitVector vec_ne(const BitVector& a, const BitVector& b) {
+  assert(a.width() == b.width());
+  return cmpResult(cmpU(a, b) != 0);
+}
+BitVector vec_ltu(const BitVector& a, const BitVector& b) {
+  assert(a.width() == b.width());
+  return cmpResult(cmpU(a, b) < 0);
+}
+BitVector vec_leu(const BitVector& a, const BitVector& b) {
+  assert(a.width() == b.width());
+  return cmpResult(cmpU(a, b) <= 0);
+}
+BitVector vec_lts(const BitVector& a, const BitVector& b) {
+  assert(a.width() == b.width());
+  return cmpResult(cmpS(a, b) < 0);
+}
+BitVector vec_les(const BitVector& a, const BitVector& b) {
+  assert(a.width() == b.width());
+  return cmpResult(cmpS(a, b) <= 0);
+}
+
+BitVector vec_redand(const BitVector& a) {
+  for (int w = 0; w < a.numWords(); ++w) {
+    const std::uint64_t expect =
+        (w == a.numWords() - 1) ? BitVector::topMask(a.width()) : ~0ULL;
+    if ((a.word(w) & expect) != expect) return cmpResult(false);
+  }
+  return cmpResult(true);
+}
+
+BitVector vec_redor(const BitVector& a) { return cmpResult(!a.isZero()); }
+
+BitVector vec_redxor(const BitVector& a) {
+  int parity = 0;
+  for (int w = 0; w < a.numWords(); ++w) parity ^= __builtin_parityll(a.word(w));
+  return cmpResult(parity != 0);
+}
+
+BitVector vec_concat(const BitVector& a, const BitVector& b) {
+  BitVector r(a.width() + b.width());
+  for (int i = 0; i < b.width(); ++i) r.setBit(i, b.bit(i));
+  for (int i = 0; i < a.width(); ++i) r.setBit(b.width() + i, a.bit(i));
+  return r;
+}
+
+BitVector vec_slice(const BitVector& a, int hi, int lo) {
+  assert(hi >= lo && lo >= 0 && hi < a.width());
+  BitVector shifted = vec_shr(a, lo);
+  return vec_resize(shifted, hi - lo + 1);
+}
+
+BitVector vec_resize(const BitVector& a, int width) {
+  if (width == a.width()) return a;
+  BitVector r(width);
+  const int n = std::min(r.numWords(), a.numWords());
+  for (int w = 0; w < n; ++w) r.setWordVal(w, a.word(w));
+  r.maskTop();
+  return r;
+}
+
+BitVector vec_sext(const BitVector& a, int width) {
+  if (width <= a.width()) return vec_resize(a, width);
+  BitVector r = vec_resize(a, width);
+  if (toBool(a.bit(a.width() - 1))) {
+    for (int i = a.width(); i < width; ++i) r.setBit(i, Logic::L1);
+  }
+  return r;
+}
+
+void vec_setSlice(BitVector& dst, int hi, int lo, const BitVector& src) {
+  assert(hi >= lo && lo >= 0 && hi < dst.width());
+  assert(src.width() == hi - lo + 1);
+  (void)hi;
+  for (int i = 0; i < src.width(); ++i) dst.setBit(lo + i, src.bit(i));
+}
+
+bool vec_isTrue(const BitVector& a) noexcept { return !a.isZero(); }
+
+BitVector vec_to2state(const BitVector& a) { return a; }
+
+}  // namespace xlv::hdt

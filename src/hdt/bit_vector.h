@@ -1,0 +1,126 @@
+// BitVector: the 2-value packed vector type of the HDTLib-style data type
+// library (paper Section 5.3).
+//
+// This is the "optimized TLM" representation: a single value plane, half the
+// memory traffic and none of the unknown-propagation logic of LogicVector.
+// It exposes the exact same operation surface (same free-function names) so
+// the IR evaluator can be instantiated on either type — that switch is what
+// Table 4 of the paper measures.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hdt/logic.h"
+#include "hdt/small_words.h"
+
+namespace xlv::hdt {
+
+class BitVector {
+ public:
+  BitVector() : BitVector(1) {}
+
+  explicit BitVector(int width) : width_(width), words_(nwords(width), 0) {
+    assert(width >= 1);
+  }
+
+  static BitVector zeros(int width) { return BitVector(width); }
+  static BitVector ones(int width);
+  /// 2-value library has no X: provided for API parity, X/Z collapse to 0.
+  static BitVector allX(int width) { return BitVector(width); }
+  static BitVector allZ(int width) { return BitVector(width); }
+  static BitVector fromUint(int width, std::uint64_t v);
+  static BitVector fromString(std::string_view s);
+  static BitVector fromLogic(Logic v);
+
+  int width() const noexcept { return width_; }
+
+  Logic bit(int i) const noexcept {
+    assert(i >= 0 && i < width_);
+    return fromBool((word(i / 64) >> (i % 64)) & 1);
+  }
+
+  void setBit(int i, Logic b) noexcept {
+    assert(i >= 0 && i < width_);
+    const std::uint64_t m = 1ULL << (i % 64);
+    if (toBool(b)) {
+      words_[i / 64] |= m;
+    } else {
+      words_[i / 64] &= ~m;
+    }
+  }
+
+  bool anyUnknown() const noexcept { return false; }
+  bool isZero() const noexcept;
+
+  std::uint64_t toUint() const noexcept { return words_[0]; }
+  std::int64_t toInt() const noexcept;
+
+  bool identical(const BitVector& o) const noexcept;
+  bool operator==(const BitVector& o) const noexcept { return identical(o); }
+  bool operator!=(const BitVector& o) const noexcept { return !identical(o); }
+
+  std::string toString() const;
+
+  int numWords() const noexcept { return words_.size(); }
+  std::uint64_t word(int w) const noexcept { return words_[w]; }
+  std::uint64_t valWord(int w) const noexcept { return words_[w]; }
+  std::uint64_t unkWord(int) const noexcept { return 0; }
+  void setWordVal(int w, std::uint64_t v) noexcept { words_[w] = v; }
+
+  void maskTop() noexcept {
+    words_[numWords() - 1] &= topMask(width_);
+  }
+
+  static int nwords(int width) noexcept { return (width + 63) / 64; }
+  static std::uint64_t topMask(int width) noexcept {
+    const int rem = width % 64;
+    return rem == 0 ? ~0ULL : ((1ULL << rem) - 1);
+  }
+
+ private:
+  int width_;
+  SmallWords words_;
+};
+
+// --- operations, mirroring logic_vector.h -----------------------------------
+
+BitVector vec_and(const BitVector& a, const BitVector& b);
+BitVector vec_or(const BitVector& a, const BitVector& b);
+BitVector vec_xor(const BitVector& a, const BitVector& b);
+BitVector vec_not(const BitVector& a);
+
+BitVector vec_add(const BitVector& a, const BitVector& b);
+BitVector vec_sub(const BitVector& a, const BitVector& b);
+BitVector vec_mul(const BitVector& a, const BitVector& b);
+BitVector vec_div(const BitVector& a, const BitVector& b);
+BitVector vec_mod(const BitVector& a, const BitVector& b);
+BitVector vec_neg(const BitVector& a);
+
+BitVector vec_shl(const BitVector& a, int amount);
+BitVector vec_shr(const BitVector& a, int amount);
+BitVector vec_ashr(const BitVector& a, int amount);
+
+BitVector vec_eq(const BitVector& a, const BitVector& b);
+BitVector vec_ne(const BitVector& a, const BitVector& b);
+BitVector vec_ltu(const BitVector& a, const BitVector& b);
+BitVector vec_leu(const BitVector& a, const BitVector& b);
+BitVector vec_lts(const BitVector& a, const BitVector& b);
+BitVector vec_les(const BitVector& a, const BitVector& b);
+
+BitVector vec_redand(const BitVector& a);
+BitVector vec_redor(const BitVector& a);
+BitVector vec_redxor(const BitVector& a);
+
+BitVector vec_concat(const BitVector& a, const BitVector& b);
+BitVector vec_slice(const BitVector& a, int hi, int lo);
+BitVector vec_resize(const BitVector& a, int width);
+BitVector vec_sext(const BitVector& a, int width);
+void vec_setSlice(BitVector& dst, int hi, int lo, const BitVector& src);
+
+bool vec_isTrue(const BitVector& a) noexcept;
+BitVector vec_to2state(const BitVector& a);
+
+}  // namespace xlv::hdt

@@ -1,0 +1,100 @@
+// Signed / Unsigned: HDL-flavored fixed-width integers, the remaining two
+// types of the five-type HDTLib family (paper Section 5.3: "a 4-value logic
+// vector class, a 2-value bit vector class, a single logic value class, a
+// signed and an unsigned integer class").
+//
+// These carry an explicit bit width and wrap modulo 2^width, matching
+// VHDL numeric_std semantics. They are the convenient types for testbenches
+// and reference models; the simulators themselves use the vector types.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "hdt/bit_vector.h"
+#include "hdt/logic_vector.h"
+
+namespace xlv::hdt {
+
+class Unsigned {
+ public:
+  Unsigned(int width, std::uint64_t v = 0) noexcept : width_(width), v_(mask(width, v)) {
+    assert(width >= 1 && width <= 64);
+  }
+
+  int width() const noexcept { return width_; }
+  std::uint64_t value() const noexcept { return v_; }
+
+  Unsigned operator+(const Unsigned& o) const noexcept { return {width_, v_ + o.v_}; }
+  Unsigned operator-(const Unsigned& o) const noexcept { return {width_, v_ - o.v_}; }
+  Unsigned operator*(const Unsigned& o) const noexcept { return {width_, v_ * o.v_}; }
+  Unsigned operator&(const Unsigned& o) const noexcept { return {width_, v_ & o.v_}; }
+  Unsigned operator|(const Unsigned& o) const noexcept { return {width_, v_ | o.v_}; }
+  Unsigned operator^(const Unsigned& o) const noexcept { return {width_, v_ ^ o.v_}; }
+  Unsigned operator~() const noexcept { return {width_, ~v_}; }
+  Unsigned operator<<(int s) const noexcept { return {width_, s >= 64 ? 0 : v_ << s}; }
+  Unsigned operator>>(int s) const noexcept { return {width_, s >= 64 ? 0 : v_ >> s}; }
+
+  bool operator==(const Unsigned& o) const noexcept { return v_ == o.v_; }
+  bool operator!=(const Unsigned& o) const noexcept { return v_ != o.v_; }
+  bool operator<(const Unsigned& o) const noexcept { return v_ < o.v_; }
+  bool operator<=(const Unsigned& o) const noexcept { return v_ <= o.v_; }
+
+  LogicVector toLogicVector() const { return LogicVector::fromUint(width_, v_); }
+  BitVector toBitVector() const { return BitVector::fromUint(width_, v_); }
+
+  static std::uint64_t mask(int width, std::uint64_t v) noexcept {
+    return width >= 64 ? v : (v & ((1ULL << width) - 1));
+  }
+
+ private:
+  int width_;
+  std::uint64_t v_;
+};
+
+class Signed {
+ public:
+  Signed(int width, std::int64_t v = 0) noexcept : width_(width), v_(wrap(width, v)) {
+    assert(width >= 1 && width <= 64);
+  }
+
+  int width() const noexcept { return width_; }
+  std::int64_t value() const noexcept { return v_; }
+
+  Signed operator+(const Signed& o) const noexcept { return {width_, v_ + o.v_}; }
+  Signed operator-(const Signed& o) const noexcept { return {width_, v_ - o.v_}; }
+  Signed operator*(const Signed& o) const noexcept { return {width_, v_ * o.v_}; }
+  Signed operator-() const noexcept { return {width_, -v_}; }
+  Signed operator>>(int s) const noexcept { return {width_, v_ >> s}; }  // arithmetic
+  Signed operator<<(int s) const noexcept {
+    return {width_, static_cast<std::int64_t>(static_cast<std::uint64_t>(v_) << s)};
+  }
+
+  bool operator==(const Signed& o) const noexcept { return v_ == o.v_; }
+  bool operator!=(const Signed& o) const noexcept { return v_ != o.v_; }
+  bool operator<(const Signed& o) const noexcept { return v_ < o.v_; }
+  bool operator<=(const Signed& o) const noexcept { return v_ <= o.v_; }
+
+  LogicVector toLogicVector() const {
+    return LogicVector::fromUint(width_, Unsigned::mask(width_, static_cast<std::uint64_t>(v_)));
+  }
+  BitVector toBitVector() const {
+    return BitVector::fromUint(width_, Unsigned::mask(width_, static_cast<std::uint64_t>(v_)));
+  }
+
+  /// Wrap a 64-bit value into the signed range of `width` bits.
+  static std::int64_t wrap(int width, std::int64_t v) noexcept {
+    if (width >= 64) return v;
+    const std::uint64_t m = (1ULL << width) - 1;
+    std::uint64_t u = static_cast<std::uint64_t>(v) & m;
+    const std::uint64_t sign = 1ULL << (width - 1);
+    if (u & sign) u |= ~m;
+    return static_cast<std::int64_t>(u);
+  }
+
+ private:
+  int width_;
+  std::int64_t v_;
+};
+
+}  // namespace xlv::hdt

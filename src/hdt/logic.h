@@ -1,0 +1,80 @@
+// Scalar 4-value logic (0, 1, X, Z), the single-value type of the HDTLib-style
+// data type library (paper Section 5.3).
+//
+// The resolution tables below are the IEEE 1164 / Verilog 4-state semantics
+// restricted to {0,1,X,Z}: X means "unknown", Z means "high impedance". Any
+// operator consuming a Z treats it as unknown (X) — the standard behaviour of
+// logic gates reading a floating net.
+#pragma once
+
+#include <cstdint>
+
+namespace xlv::hdt {
+
+enum class Logic : std::uint8_t { L0 = 0, L1 = 1, X = 2, Z = 3 };
+
+constexpr bool isKnown(Logic v) noexcept { return v == Logic::L0 || v == Logic::L1; }
+
+/// Known value as bool; X/Z map to false (the documented abstraction of the
+/// 2-value conversion, paper Section 5.3).
+constexpr bool toBool(Logic v) noexcept { return v == Logic::L1; }
+
+constexpr Logic fromBool(bool b) noexcept { return b ? Logic::L1 : Logic::L0; }
+
+constexpr char toChar(Logic v) noexcept {
+  switch (v) {
+    case Logic::L0: return '0';
+    case Logic::L1: return '1';
+    case Logic::X: return 'X';
+    case Logic::Z: return 'Z';
+  }
+  return '?';
+}
+
+constexpr Logic logicFromChar(char c) noexcept {
+  switch (c) {
+    case '0': return Logic::L0;
+    case '1': return Logic::L1;
+    case 'z':
+    case 'Z': return Logic::Z;
+    default: return Logic::X;
+  }
+}
+
+namespace detail {
+// Truth tables indexed [a][b]. Kept tiny and constexpr so the scalar type has
+// zero runtime setup; the vector types use the word-parallel forms in
+// word_ops.h instead.
+inline constexpr Logic kAnd[4][4] = {
+    /*0*/ {Logic::L0, Logic::L0, Logic::L0, Logic::L0},
+    /*1*/ {Logic::L0, Logic::L1, Logic::X, Logic::X},
+    /*X*/ {Logic::L0, Logic::X, Logic::X, Logic::X},
+    /*Z*/ {Logic::L0, Logic::X, Logic::X, Logic::X},
+};
+inline constexpr Logic kOr[4][4] = {
+    /*0*/ {Logic::L0, Logic::L1, Logic::X, Logic::X},
+    /*1*/ {Logic::L1, Logic::L1, Logic::L1, Logic::L1},
+    /*X*/ {Logic::X, Logic::L1, Logic::X, Logic::X},
+    /*Z*/ {Logic::X, Logic::L1, Logic::X, Logic::X},
+};
+inline constexpr Logic kXor[4][4] = {
+    /*0*/ {Logic::L0, Logic::L1, Logic::X, Logic::X},
+    /*1*/ {Logic::L1, Logic::L0, Logic::X, Logic::X},
+    /*X*/ {Logic::X, Logic::X, Logic::X, Logic::X},
+    /*Z*/ {Logic::X, Logic::X, Logic::X, Logic::X},
+};
+inline constexpr Logic kNot[4] = {Logic::L1, Logic::L0, Logic::X, Logic::X};
+}  // namespace detail
+
+constexpr Logic operator&(Logic a, Logic b) noexcept {
+  return detail::kAnd[static_cast<int>(a)][static_cast<int>(b)];
+}
+constexpr Logic operator|(Logic a, Logic b) noexcept {
+  return detail::kOr[static_cast<int>(a)][static_cast<int>(b)];
+}
+constexpr Logic operator^(Logic a, Logic b) noexcept {
+  return detail::kXor[static_cast<int>(a)][static_cast<int>(b)];
+}
+constexpr Logic operator~(Logic a) noexcept { return detail::kNot[static_cast<int>(a)]; }
+
+}  // namespace xlv::hdt

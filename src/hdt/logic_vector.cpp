@@ -1,0 +1,437 @@
+#include "hdt/logic_vector.h"
+
+#include <stdexcept>
+
+namespace xlv::hdt {
+
+namespace {
+W4 wordOf(const LogicVector& v, int w) { return {v.valWord(w), v.unkWord(w)}; }
+}  // namespace
+
+LogicVector LogicVector::ones(int width) {
+  LogicVector v(width);
+  for (int w = 0; w < v.numWords(); ++w) v.setWord(w, {~0ULL, 0});
+  v.maskTop();
+  return v;
+}
+
+LogicVector LogicVector::allX(int width) {
+  LogicVector v(width);
+  for (int w = 0; w < v.numWords(); ++w) v.setWord(w, {0, ~0ULL});
+  v.maskTop();
+  return v;
+}
+
+LogicVector LogicVector::allZ(int width) {
+  LogicVector v(width);
+  for (int w = 0; w < v.numWords(); ++w) v.setWord(w, {~0ULL, ~0ULL});
+  v.maskTop();
+  return v;
+}
+
+LogicVector LogicVector::fromUint(int width, std::uint64_t x) {
+  LogicVector v(width);
+  v.setWord(0, {x, 0});
+  v.maskTop();
+  return v;
+}
+
+LogicVector LogicVector::fromString(std::string_view s) {
+  if (s.empty()) throw std::invalid_argument("LogicVector::fromString: empty literal");
+  LogicVector v(static_cast<int>(s.size()));
+  for (int i = 0; i < v.width(); ++i) {
+    // MSB first: s[0] is bit width-1.
+    v.setBit(v.width() - 1 - i, logicFromChar(s[static_cast<std::size_t>(i)]));
+  }
+  return v;
+}
+
+LogicVector LogicVector::fromLogic(Logic b) {
+  LogicVector v(1);
+  v.setBit(0, b);
+  return v;
+}
+
+void LogicVector::setBit(int i, Logic b) noexcept {
+  assert(i >= 0 && i < width_);
+  const int w = i / 64;
+  const std::uint64_t m = 1ULL << (i % 64);
+  std::uint64_t val = valWord(w) & ~m;
+  std::uint64_t unk = unkWord(w) & ~m;
+  switch (b) {
+    case Logic::L0: break;
+    case Logic::L1: val |= m; break;
+    case Logic::X: unk |= m; break;
+    case Logic::Z: val |= m; unk |= m; break;
+  }
+  setWord(w, {val, unk});
+}
+
+bool LogicVector::anyUnknown() const noexcept {
+  for (int w = 0; w < numWords(); ++w) {
+    if (unkWord(w) != 0) return true;
+  }
+  return false;
+}
+
+bool LogicVector::isZero() const noexcept {
+  for (int w = 0; w < numWords(); ++w) {
+    if (valWord(w) != 0 || unkWord(w) != 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t LogicVector::toUint() const noexcept { return to2(wordOf(*this, 0)); }
+
+std::int64_t LogicVector::toInt() const noexcept {
+  std::uint64_t u = toUint();
+  if (width_ < 64) {
+    const std::uint64_t sign = 1ULL << (width_ - 1);
+    if (u & sign) u |= ~((sign << 1) - 1);
+  }
+  return static_cast<std::int64_t>(u);
+}
+
+bool LogicVector::identical(const LogicVector& o) const noexcept {
+  if (width_ != o.width_) return false;
+  for (int w = 0; w < 2 * numWords(); ++w) {
+    // Access the raw interleaved storage through the plane accessors.
+    if (w < numWords() ? (valWord(w) != o.valWord(w)) : (unkWord(w - numWords()) != o.unkWord(w - numWords())))
+      return false;
+  }
+  return true;
+}
+
+std::string LogicVector::toString() const {
+  std::string s(static_cast<std::size_t>(width_), '0');
+  for (int i = 0; i < width_; ++i) {
+    s[static_cast<std::size_t>(width_ - 1 - i)] = toChar(bit(i));
+  }
+  return s;
+}
+
+void LogicVector::maskTop() noexcept {
+  const int last = numWords() - 1;
+  const std::uint64_t m = topMask(width_);
+  setWord(last, {valWord(last) & m, unkWord(last) & m});
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise word-parallel operations.
+// ---------------------------------------------------------------------------
+
+namespace {
+template <typename F>
+LogicVector zipWords(const LogicVector& a, const LogicVector& b, F f) {
+  assert(a.width() == b.width());
+  LogicVector r(a.width());
+  for (int w = 0; w < r.numWords(); ++w) f(r, w, wordOf(a, w), wordOf(b, w));
+  r.maskTop();
+  return r;
+}
+}  // namespace
+
+LogicVector vec_and(const LogicVector& a, const LogicVector& b) {
+  return zipWords(a, b, [](LogicVector& r, int w, W4 x, W4 y) { r.setWord(w, and4(x, y)); });
+}
+
+LogicVector vec_or(const LogicVector& a, const LogicVector& b) {
+  return zipWords(a, b, [](LogicVector& r, int w, W4 x, W4 y) { r.setWord(w, or4(x, y)); });
+}
+
+LogicVector vec_xor(const LogicVector& a, const LogicVector& b) {
+  return zipWords(a, b, [](LogicVector& r, int w, W4 x, W4 y) { r.setWord(w, xor4(x, y)); });
+}
+
+LogicVector vec_not(const LogicVector& a) {
+  LogicVector r(a.width());
+  for (int w = 0; w < r.numWords(); ++w) r.setWord(w, not4(wordOf(a, w)));
+  r.maskTop();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic: pessimistic on unknowns (any X/Z input bit -> all-X result),
+// otherwise computed on the value plane with carry propagation across words.
+// ---------------------------------------------------------------------------
+
+LogicVector vec_add(const LogicVector& a, const LogicVector& b) {
+  assert(a.width() == b.width());
+  if (a.anyUnknown() || b.anyUnknown()) return LogicVector::allX(a.width());
+  LogicVector r(a.width());
+  std::uint64_t carry = 0;
+  for (int w = 0; w < r.numWords(); ++w) {
+    const std::uint64_t x = a.valWord(w);
+    const std::uint64_t y = b.valWord(w);
+    const std::uint64_t s1 = x + y;
+    const std::uint64_t s2 = s1 + carry;
+    carry = (s1 < x ? 1u : 0u) | (s2 < s1 ? 1u : 0u);
+    r.setWord(w, {s2, 0});
+  }
+  r.maskTop();
+  return r;
+}
+
+LogicVector vec_sub(const LogicVector& a, const LogicVector& b) {
+  assert(a.width() == b.width());
+  if (a.anyUnknown() || b.anyUnknown()) return LogicVector::allX(a.width());
+  LogicVector r(a.width());
+  std::uint64_t borrow = 0;
+  for (int w = 0; w < r.numWords(); ++w) {
+    const std::uint64_t x = a.valWord(w);
+    const std::uint64_t y = b.valWord(w);
+    const std::uint64_t d1 = x - y;
+    const std::uint64_t d2 = d1 - borrow;
+    borrow = (x < y ? 1u : 0u) | (d1 < borrow ? 1u : 0u);
+    r.setWord(w, {d2, 0});
+  }
+  r.maskTop();
+  return r;
+}
+
+LogicVector vec_neg(const LogicVector& a) {
+  return vec_sub(LogicVector::zeros(a.width()), a);
+}
+
+LogicVector vec_mul(const LogicVector& a, const LogicVector& b) {
+  assert(a.width() == b.width());
+  if (a.anyUnknown() || b.anyUnknown()) return LogicVector::allX(a.width());
+  const int n = a.numWords();
+  LogicVector r(a.width());
+  // Schoolbook multiply on 64-bit limbs via 128-bit partials, truncated to
+  // the operand width (HDL modular semantics).
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; i + j < n; ++j) {
+      const unsigned __int128 p =
+          static_cast<unsigned __int128>(a.valWord(i)) * b.valWord(j) +
+          r.valWord(i + j) + carry;
+      r.setWord(i + j, {static_cast<std::uint64_t>(p), 0});
+      carry = static_cast<std::uint64_t>(p >> 64);
+    }
+  }
+  r.maskTop();
+  return r;
+}
+
+LogicVector vec_div(const LogicVector& a, const LogicVector& b) {
+  assert(a.width() == b.width());
+  if (a.width() > 64) throw std::invalid_argument("vec_div: width > 64 unsupported");
+  if (a.anyUnknown() || b.anyUnknown() || b.toUint() == 0)
+    return LogicVector::allX(a.width());
+  return LogicVector::fromUint(a.width(), a.toUint() / b.toUint());
+}
+
+LogicVector vec_mod(const LogicVector& a, const LogicVector& b) {
+  assert(a.width() == b.width());
+  if (a.width() > 64) throw std::invalid_argument("vec_mod: width > 64 unsupported");
+  if (a.anyUnknown() || b.anyUnknown() || b.toUint() == 0)
+    return LogicVector::allX(a.width());
+  return LogicVector::fromUint(a.width(), a.toUint() % b.toUint());
+}
+
+// ---------------------------------------------------------------------------
+// Shifts.
+// ---------------------------------------------------------------------------
+
+LogicVector vec_shl(const LogicVector& a, int amount) {
+  if (amount <= 0) return amount == 0 ? a : LogicVector::zeros(a.width());
+  if (amount >= a.width()) return LogicVector::zeros(a.width());
+  LogicVector r(a.width());
+  const int ws = amount / 64;
+  const int bs = amount % 64;
+  const int n = a.numWords();
+  for (int w = n - 1; w >= 0; --w) {
+    W4 x{0, 0};
+    if (w - ws >= 0) {
+      x.val = a.valWord(w - ws) << bs;
+      x.unk = a.unkWord(w - ws) << bs;
+      if (bs != 0 && w - ws - 1 >= 0) {
+        x.val |= a.valWord(w - ws - 1) >> (64 - bs);
+        x.unk |= a.unkWord(w - ws - 1) >> (64 - bs);
+      }
+    }
+    r.setWord(w, x);
+  }
+  r.maskTop();
+  return r;
+}
+
+LogicVector vec_shr(const LogicVector& a, int amount) {
+  if (amount <= 0) return amount == 0 ? a : LogicVector::zeros(a.width());
+  if (amount >= a.width()) return LogicVector::zeros(a.width());
+  LogicVector r(a.width());
+  const int ws = amount / 64;
+  const int bs = amount % 64;
+  const int n = a.numWords();
+  for (int w = 0; w < n; ++w) {
+    W4 x{0, 0};
+    if (w + ws < n) {
+      x.val = a.valWord(w + ws) >> bs;
+      x.unk = a.unkWord(w + ws) >> bs;
+      if (bs != 0 && w + ws + 1 < n) {
+        x.val |= a.valWord(w + ws + 1) << (64 - bs);
+        x.unk |= a.unkWord(w + ws + 1) << (64 - bs);
+      }
+    }
+    r.setWord(w, x);
+  }
+  r.maskTop();
+  return r;
+}
+
+LogicVector vec_ashr(const LogicVector& a, int amount) {
+  if (amount <= 0) return amount == 0 ? a : LogicVector::zeros(a.width());
+  const Logic sign = a.bit(a.width() - 1);
+  if (amount >= a.width()) {
+    LogicVector r(a.width());
+    for (int i = 0; i < a.width(); ++i) r.setBit(i, sign);
+    return r;
+  }
+  LogicVector r = vec_shr(a, amount);
+  for (int i = a.width() - amount; i < a.width(); ++i) r.setBit(i, sign);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Comparisons.
+// ---------------------------------------------------------------------------
+
+namespace {
+LogicVector cmpResult(bool v) { return LogicVector::fromUint(1, v ? 1 : 0); }
+LogicVector cmpX() { return LogicVector::allX(1); }
+
+/// -1 / 0 / +1 unsigned multiword compare of value planes.
+int cmpU(const LogicVector& a, const LogicVector& b) {
+  for (int w = a.numWords() - 1; w >= 0; --w) {
+    if (a.valWord(w) != b.valWord(w)) return a.valWord(w) < b.valWord(w) ? -1 : 1;
+  }
+  return 0;
+}
+
+int cmpS(const LogicVector& a, const LogicVector& b) {
+  const bool sa = toBool(a.bit(a.width() - 1));
+  const bool sb = toBool(b.bit(b.width() - 1));
+  if (sa != sb) return sa ? -1 : 1;  // negative < positive
+  return cmpU(a, b);
+}
+}  // namespace
+
+LogicVector vec_eq(const LogicVector& a, const LogicVector& b) {
+  assert(a.width() == b.width());
+  if (a.anyUnknown() || b.anyUnknown()) return cmpX();
+  return cmpResult(cmpU(a, b) == 0);
+}
+LogicVector vec_ne(const LogicVector& a, const LogicVector& b) {
+  assert(a.width() == b.width());
+  if (a.anyUnknown() || b.anyUnknown()) return cmpX();
+  return cmpResult(cmpU(a, b) != 0);
+}
+LogicVector vec_ltu(const LogicVector& a, const LogicVector& b) {
+  assert(a.width() == b.width());
+  if (a.anyUnknown() || b.anyUnknown()) return cmpX();
+  return cmpResult(cmpU(a, b) < 0);
+}
+LogicVector vec_leu(const LogicVector& a, const LogicVector& b) {
+  assert(a.width() == b.width());
+  if (a.anyUnknown() || b.anyUnknown()) return cmpX();
+  return cmpResult(cmpU(a, b) <= 0);
+}
+LogicVector vec_lts(const LogicVector& a, const LogicVector& b) {
+  assert(a.width() == b.width());
+  if (a.anyUnknown() || b.anyUnknown()) return cmpX();
+  return cmpResult(cmpS(a, b) < 0);
+}
+LogicVector vec_les(const LogicVector& a, const LogicVector& b) {
+  assert(a.width() == b.width());
+  if (a.anyUnknown() || b.anyUnknown()) return cmpX();
+  return cmpResult(cmpS(a, b) <= 0);
+}
+
+// ---------------------------------------------------------------------------
+// Reductions.
+// ---------------------------------------------------------------------------
+
+LogicVector vec_redand(const LogicVector& a) {
+  if (a.anyUnknown()) return cmpX();
+  for (int w = 0; w < a.numWords(); ++w) {
+    const std::uint64_t expect =
+        (w == a.numWords() - 1) ? LogicVector::topMask(a.width()) : ~0ULL;
+    if ((a.valWord(w) & expect) != expect) return cmpResult(false);
+  }
+  return cmpResult(true);
+}
+
+LogicVector vec_redor(const LogicVector& a) {
+  bool any1 = false;
+  for (int w = 0; w < a.numWords(); ++w) {
+    if (a.valWord(w) & ~a.unkWord(w)) any1 = true;
+  }
+  if (any1) return cmpResult(true);  // a known 1 dominates
+  return a.anyUnknown() ? cmpX() : cmpResult(false);
+}
+
+LogicVector vec_redxor(const LogicVector& a) {
+  if (a.anyUnknown()) return cmpX();
+  int parity = 0;
+  for (int w = 0; w < a.numWords(); ++w) parity ^= __builtin_parityll(a.valWord(w));
+  return cmpResult(parity != 0);
+}
+
+// ---------------------------------------------------------------------------
+// Structural operations.
+// ---------------------------------------------------------------------------
+
+LogicVector vec_concat(const LogicVector& a, const LogicVector& b) {
+  LogicVector r(a.width() + b.width());
+  for (int i = 0; i < b.width(); ++i) r.setBit(i, b.bit(i));
+  for (int i = 0; i < a.width(); ++i) r.setBit(b.width() + i, a.bit(i));
+  return r;
+}
+
+LogicVector vec_slice(const LogicVector& a, int hi, int lo) {
+  assert(hi >= lo && lo >= 0 && hi < a.width());
+  LogicVector shifted = vec_shr(a, lo);
+  return vec_resize(shifted, hi - lo + 1);
+}
+
+LogicVector vec_resize(const LogicVector& a, int width) {
+  if (width == a.width()) return a;
+  LogicVector r(width);
+  const int n = std::min(r.numWords(), a.numWords());
+  for (int w = 0; w < n; ++w) r.setWord(w, {a.valWord(w), a.unkWord(w)});
+  r.maskTop();
+  if (width < a.width()) return r;
+  return r;  // zero-extended by construction
+}
+
+LogicVector vec_sext(const LogicVector& a, int width) {
+  if (width <= a.width()) return vec_resize(a, width);
+  LogicVector r = vec_resize(a, width);
+  const Logic sign = a.bit(a.width() - 1);
+  if (sign != Logic::L0) {
+    for (int i = a.width(); i < width; ++i) r.setBit(i, sign);
+  }
+  return r;
+}
+
+void vec_setSlice(LogicVector& dst, int hi, int lo, const LogicVector& src) {
+  assert(hi >= lo && lo >= 0 && hi < dst.width());
+  assert(src.width() == hi - lo + 1);
+  (void)hi;
+  for (int i = 0; i < src.width(); ++i) dst.setBit(lo + i, src.bit(i));
+}
+
+bool vec_isTrue(const LogicVector& a) noexcept {
+  if (a.anyUnknown()) return false;  // pessimistic: unknown condition is false
+  return !a.isZero();
+}
+
+LogicVector vec_to2state(const LogicVector& a) {
+  LogicVector r(a.width());
+  for (int w = 0; w < r.numWords(); ++w) r.setWord(w, {to2(wordOf(a, w)), 0});
+  r.maskTop();
+  return r;
+}
+
+}  // namespace xlv::hdt

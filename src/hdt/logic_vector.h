@@ -1,0 +1,149 @@
+// LogicVector: the 4-value (0/1/X/Z) packed vector type of the HDTLib-style
+// data type library (paper Section 5.3).
+//
+// Representation: two bit-planes (value + unknown) packed into 64-bit words,
+// operated on word-at-a-time with the minimized boolean forms in word_ops.h.
+// Invariant: bits above `width` are zero in both planes, so whole-vector
+// comparison is a plain word compare.
+//
+// Semantics follow Verilog 4-state rules: bitwise operators propagate
+// unknowns per truth table; arithmetic and relational operators are
+// pessimistic — any unknown input bit makes the whole result X.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hdt/logic.h"
+#include "hdt/small_words.h"
+#include "hdt/word_ops.h"
+
+namespace xlv::hdt {
+
+class LogicVector {
+ public:
+  /// Default: 1-bit zero. HDL simulators start signals at X; we deliberately
+  /// default to 0 instead so that the 4-value and 2-value instantiations of a
+  /// design produce identical traces (see DESIGN.md, invariant 2). All-X
+  /// vectors are available explicitly via allX().
+  LogicVector() : LogicVector(1) {}
+
+  explicit LogicVector(int width) : width_(width), words_(2 * nwords(width), 0) {
+    assert(width >= 1);
+  }
+
+  static LogicVector zeros(int width) { return LogicVector(width); }
+  static LogicVector ones(int width);
+  static LogicVector allX(int width);
+  static LogicVector allZ(int width);
+  static LogicVector fromUint(int width, std::uint64_t v);
+  /// MSB-first string over {0,1,x,X,z,Z}; width = string length.
+  static LogicVector fromString(std::string_view s);
+  static LogicVector fromLogic(Logic v);
+
+  int width() const noexcept { return width_; }
+
+  Logic bit(int i) const noexcept {
+    assert(i >= 0 && i < width_);
+    const bool v = (valWord(i / 64) >> (i % 64)) & 1;
+    const bool u = (unkWord(i / 64) >> (i % 64)) & 1;
+    if (!u) return v ? Logic::L1 : Logic::L0;
+    return v ? Logic::Z : Logic::X;
+  }
+
+  void setBit(int i, Logic b) noexcept;
+
+  bool anyUnknown() const noexcept;
+  bool isZero() const noexcept;  // all bits known 0
+
+  /// Lower 64 bits of the value plane with X/Z read as 0 (the documented
+  /// 2-value abstraction). Bits above 64 are ignored.
+  std::uint64_t toUint() const noexcept;
+
+  std::int64_t toInt() const noexcept;  // sign-extended from width
+
+  /// Exact 4-value equality (same width, same value incl. X/Z positions).
+  bool identical(const LogicVector& o) const noexcept;
+  bool operator==(const LogicVector& o) const noexcept { return identical(o); }
+  bool operator!=(const LogicVector& o) const noexcept { return !identical(o); }
+
+  std::string toString() const;
+
+  // --- plane access for word-parallel operations ------------------------
+  int numWords() const noexcept { return words_.size() / 2; }
+  std::uint64_t valWord(int w) const noexcept { return words_[w]; }
+  std::uint64_t unkWord(int w) const noexcept { return words_[numWords() + w]; }
+  void setWord(int w, W4 x) noexcept {
+    words_[w] = x.val;
+    words_[numWords() + w] = x.unk;
+  }
+
+  /// Re-establish the canonical form (clear bits above width in both planes).
+  void maskTop() noexcept;
+
+  static int nwords(int width) noexcept { return (width + 63) / 64; }
+  static std::uint64_t topMask(int width) noexcept {
+    const int rem = width % 64;
+    return rem == 0 ? ~0ULL : ((1ULL << rem) - 1);
+  }
+
+ private:
+  int width_;
+  SmallWords words_;  // [0,n): value plane, [n,2n): unknown plane
+};
+
+// --- operations (free functions; the IR evaluator resolves via overload) ---
+
+/// Bitwise ops require equal widths (the evaluator resizes operands first).
+LogicVector vec_and(const LogicVector& a, const LogicVector& b);
+LogicVector vec_or(const LogicVector& a, const LogicVector& b);
+LogicVector vec_xor(const LogicVector& a, const LogicVector& b);
+LogicVector vec_not(const LogicVector& a);
+
+/// Modular arithmetic at the common width; any unknown input -> all-X result.
+LogicVector vec_add(const LogicVector& a, const LogicVector& b);
+LogicVector vec_sub(const LogicVector& a, const LogicVector& b);
+LogicVector vec_mul(const LogicVector& a, const LogicVector& b);
+/// Division/modulo support widths up to 64 bits; division by zero -> all-X.
+LogicVector vec_div(const LogicVector& a, const LogicVector& b);
+LogicVector vec_mod(const LogicVector& a, const LogicVector& b);
+LogicVector vec_neg(const LogicVector& a);
+
+/// Shift amount given as plain integer (evaluator extracts it; unknown shift
+/// amounts yield all-X there).
+LogicVector vec_shl(const LogicVector& a, int amount);
+LogicVector vec_shr(const LogicVector& a, int amount);
+LogicVector vec_ashr(const LogicVector& a, int amount);
+
+/// Comparisons produce a 1-bit vector; X if any input bit is unknown.
+LogicVector vec_eq(const LogicVector& a, const LogicVector& b);
+LogicVector vec_ne(const LogicVector& a, const LogicVector& b);
+LogicVector vec_ltu(const LogicVector& a, const LogicVector& b);
+LogicVector vec_leu(const LogicVector& a, const LogicVector& b);
+LogicVector vec_lts(const LogicVector& a, const LogicVector& b);
+LogicVector vec_les(const LogicVector& a, const LogicVector& b);
+
+LogicVector vec_redand(const LogicVector& a);
+LogicVector vec_redor(const LogicVector& a);
+LogicVector vec_redxor(const LogicVector& a);
+
+/// {a, b}: a becomes the high part.
+LogicVector vec_concat(const LogicVector& a, const LogicVector& b);
+LogicVector vec_slice(const LogicVector& a, int hi, int lo);
+/// Zero-extend or truncate to `width`.
+LogicVector vec_resize(const LogicVector& a, int width);
+/// Sign-extend (from a's MSB) or truncate to `width`.
+LogicVector vec_sext(const LogicVector& a, int width);
+/// In-place range write: dst[hi:lo] = src (src width must be hi-lo+1).
+void vec_setSlice(LogicVector& dst, int hi, int lo, const LogicVector& src);
+
+/// Condition truthiness: true iff fully known and != 0. Unknown conditions
+/// are pessimistically false (documented deviation used by the interpreter).
+bool vec_isTrue(const LogicVector& a) noexcept;
+
+/// 4-value -> 2-value scrub: X/Z become 0 (HDTLib optimization, Section 5.3).
+LogicVector vec_to2state(const LogicVector& a);
+
+}  // namespace xlv::hdt

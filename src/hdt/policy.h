@@ -1,0 +1,40 @@
+// Value-type policies for the IR evaluator and the simulation engines.
+//
+// The whole execution stack (evaluator, RTL kernel, TLM scheduler) is
+// templated on one of these policies. FourState is the faithful HDL
+// representation produced by a standard RTL-to-TLM abstraction; TwoState is
+// the HDTLib-optimized representation (paper Section 5.3) measured by
+// Table 4.
+#pragma once
+
+#include "hdt/bit_vector.h"
+#include "hdt/logic_vector.h"
+
+namespace xlv::hdt {
+
+struct FourState {
+  using Vec = LogicVector;
+  static constexpr const char* name() noexcept { return "4-state"; }
+};
+
+struct TwoState {
+  using Vec = BitVector;
+  static constexpr const char* name() noexcept { return "2-state"; }
+};
+
+/// Cross-policy conversions, used when comparing traces between policies.
+inline BitVector toTwoState(const LogicVector& v) {
+  BitVector r(v.width());
+  for (int w = 0; w < v.numWords(); ++w) r.setWordVal(w, v.valWord(w) & ~v.unkWord(w));
+  r.maskTop();
+  return r;
+}
+
+inline LogicVector toFourState(const BitVector& v) {
+  LogicVector r(v.width());
+  for (int w = 0; w < v.numWords(); ++w) r.setWord(w, {v.word(w), 0});
+  r.maskTop();
+  return r;
+}
+
+}  // namespace xlv::hdt

@@ -1,0 +1,95 @@
+// Small-buffer storage for packed logic vectors.
+//
+// HDTLib maps HDL vectors onto statically allocated arrays of unsigned
+// integers (paper Section 5.3). We reproduce that with a small-buffer
+// optimized word array: vectors up to 128 bits (4-value) or 256 bits
+// (2-value) live inline with no heap traffic — which covers every signal of
+// the three case studies — and wider vectors fall back to the heap.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+namespace xlv::hdt {
+
+class SmallWords {
+ public:
+  static constexpr int kInlineWords = 4;
+
+  SmallWords() noexcept : n_(0) {}
+
+  explicit SmallWords(int nwords, std::uint64_t fill = 0) : n_(nwords) {
+    std::uint64_t* p = allocate();
+    std::fill(p, p + n_, fill);
+  }
+
+  SmallWords(const SmallWords& o) : n_(o.n_) {
+    std::uint64_t* p = allocate();
+    std::memcpy(p, o.data(), sizeof(std::uint64_t) * static_cast<std::size_t>(n_));
+  }
+
+  SmallWords(SmallWords&& o) noexcept : n_(o.n_) {
+    if (isInline()) {
+      std::memcpy(inl_, o.inl_, sizeof(inl_));
+    } else {
+      heap_ = o.heap_;
+      o.heap_ = nullptr;
+      o.n_ = 0;
+    }
+  }
+
+  SmallWords& operator=(const SmallWords& o) {
+    if (this == &o) return *this;
+    if (n_ != o.n_) {
+      release();
+      n_ = o.n_;
+      allocate();
+    }
+    std::memcpy(data(), o.data(), sizeof(std::uint64_t) * static_cast<std::size_t>(n_));
+    return *this;
+  }
+
+  SmallWords& operator=(SmallWords&& o) noexcept {
+    if (this == &o) return *this;
+    release();
+    n_ = o.n_;
+    if (isInline()) {
+      std::memcpy(inl_, o.inl_, sizeof(inl_));
+    } else {
+      heap_ = o.heap_;
+      o.heap_ = nullptr;
+      o.n_ = 0;
+    }
+    return *this;
+  }
+
+  ~SmallWords() { release(); }
+
+  int size() const noexcept { return n_; }
+  std::uint64_t* data() noexcept { return isInline() ? inl_ : heap_; }
+  const std::uint64_t* data() const noexcept { return isInline() ? inl_ : heap_; }
+  std::uint64_t& operator[](int i) noexcept { return data()[i]; }
+  std::uint64_t operator[](int i) const noexcept { return data()[i]; }
+
+ private:
+  bool isInline() const noexcept { return n_ <= kInlineWords; }
+
+  std::uint64_t* allocate() {
+    if (isInline()) return inl_;
+    heap_ = new std::uint64_t[static_cast<std::size_t>(n_)];
+    return heap_;
+  }
+
+  void release() noexcept {
+    if (!isInline()) delete[] heap_;
+  }
+
+  union {
+    std::uint64_t inl_[kInlineWords];
+    std::uint64_t* heap_;
+  };
+  int n_;
+};
+
+}  // namespace xlv::hdt

@@ -1,0 +1,57 @@
+// Word-parallel 4-value logic operations.
+//
+// A 4-value vector is stored as two bit-planes per 64-bit word:
+//   val plane: the binary value of a known bit;
+//   unk plane: 1 marks an unknown bit (X when val=0, Z when val=1).
+//
+// The formulas below are the closed forms of the 4-value truth tables,
+// operating on 64 bits at a time. HDTLib (paper Section 5.3, refs [10][11])
+// derives these from Karnaugh maps of the encoded truth tables instead of
+// indexing lookup tables per bit — that is exactly what these expressions are:
+// minimized boolean functions of the four input planes.
+#pragma once
+
+#include <cstdint>
+
+namespace xlv::hdt {
+
+/// One 64-bit chunk of a 4-value vector.
+struct W4 {
+  std::uint64_t val;
+  std::uint64_t unk;
+};
+
+/// 4-value AND. A known 0 on either side forces 0 regardless of the other
+/// side; otherwise any unknown poisons the bit.
+constexpr W4 and4(W4 a, W4 b) noexcept {
+  const std::uint64_t known0 = (~a.val & ~a.unk) | (~b.val & ~b.unk);
+  const std::uint64_t unk = (a.unk | b.unk) & ~known0;
+  const std::uint64_t val = a.val & b.val & ~a.unk & ~b.unk;
+  return {val, unk};
+}
+
+/// 4-value OR. A known 1 on either side forces 1.
+constexpr W4 or4(W4 a, W4 b) noexcept {
+  const std::uint64_t known1 = (a.val & ~a.unk) | (b.val & ~b.unk);
+  const std::uint64_t unk = (a.unk | b.unk) & ~known1;
+  const std::uint64_t val = ((a.val | b.val) & ~a.unk & ~b.unk) | known1;
+  return {val, unk};
+}
+
+/// 4-value XOR. Known only when both inputs are known.
+constexpr W4 xor4(W4 a, W4 b) noexcept {
+  const std::uint64_t unk = a.unk | b.unk;
+  const std::uint64_t val = (a.val ^ b.val) & ~unk;
+  return {val, unk};
+}
+
+/// 4-value NOT. X and Z both invert to X.
+constexpr W4 not4(W4 a) noexcept {
+  const std::uint64_t val = ~a.val & ~a.unk;
+  return {val, a.unk};
+}
+
+/// 4-value to 2-value abstraction: X and Z collapse to 0 (paper Section 5.3).
+constexpr std::uint64_t to2(W4 a) noexcept { return a.val & ~a.unk; }
+
+}  // namespace xlv::hdt

@@ -1,0 +1,42 @@
+// Case-study descriptor: everything the flow and the benches need to run one
+// of the paper's three IPs (Section 8.1 / Table 1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "analysis/testbench.h"
+#include "ir/module.h"
+
+namespace xlv::ips {
+
+struct CaseStudy {
+  std::string name;
+  std::shared_ptr<const ir::Module> module;
+  double clockGHz = 1.0;
+  std::uint64_t periodPs = 1000;
+  double vdd = 1.05;                  ///< Table 1's V-f operating point
+  int hfRatio = 10;                   ///< Counter-version HF clock ratio
+  double staThresholdFraction = 0.18; ///< slack threshold as fraction of period
+  /// Spread-relative critical binning (see sta::StaConfig::spreadFraction);
+  /// tuned per IP to reproduce a critical set comparable to Table 2.
+  double staSpreadFraction = 0.6;
+  analysis::Testbench testbench;
+};
+
+/// MIPS R3000A-subset CPU ("Plasma" case study): 3-stage pipeline with
+/// forwarding and branch flush, 32x32 register file, Harvard memories,
+/// memory-mapped I/O; runs an endless Fibonacci/MULT/JAL workload.
+CaseStudy buildPlasmaCase();
+
+/// Heart-rate-detection DSP: Pan-Tompkins-style chain (band-pass, derivative,
+/// squaring, integration, adaptive-threshold peak detection) over a
+/// synthetic blood-flow waveform.
+CaseStudy buildDspCase();
+
+/// MEMS-microphone decimation filter: CIC3 decimator plus compensation FIR,
+/// 1-bit PDM in, 16-bit PCM out.
+CaseStudy buildFilterCase();
+
+}  // namespace xlv::ips

@@ -1,0 +1,187 @@
+// Filter case study: digital decimation filter of a MEMS smart-microphone
+// system (paper Section 8.1; originally produced with Matlab HDL Coder).
+//
+// Chain: 1-bit PDM input -> 3rd-order CIC decimator (R = 16) -> symmetric
+// 5-tap compensation FIR at the decimated rate -> 16-bit PCM output with a
+// valid strobe. CIC arithmetic is modular (two's complement wrap), the
+// standard Hogenauer construction.
+#include "ips/case_study.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "ir/builder.h"
+
+namespace xlv::ips {
+
+using namespace xlv::ir;
+
+namespace {
+
+constexpr int kW = 24;      // CIC datapath width: 1 + 3*log2(16) + margin
+constexpr int kRate = 16;   // decimation ratio
+
+std::shared_ptr<Module> buildFilterModule() {
+  ModuleBuilder mb("decimator");
+  auto clk = mb.clock("clk");
+  auto rst = mb.in("rst", 1);
+  auto pdm = mb.in("pdm", 1);
+  auto pcm = mb.out("pcm", 16, /*isSigned=*/true);
+  auto valid = mb.out("pcm_valid", 1);
+
+  // --- CIC integrator section (full rate) ---------------------------------------
+  auto i1 = mb.signal("i1", kW, true);
+  auto i2 = mb.signal("i2", kW, true);
+  auto i3 = mb.signal("i3", kW, true);
+  auto dec = mb.signal("dec_cnt", 4);
+  auto tick = mb.signal("dec_tick", 1);
+
+  // PDM mapped to +1/-1.
+  auto xin = mb.signal("x_in", kW, true);
+  mb.comb("p_map", [&](ProcBuilder& p) {
+    p.assign(xin, sel(Ex(pdm) == 1u, litS(kW, 1), litS(kW, -1)));
+  });
+
+  mb.onRising("integrators_p", clk, [&](ProcBuilder& p) {
+    p.if_(Ex(rst) == 1u,
+          [&] {
+            p.assign(i1, lit(kW, 0));
+            p.assign(i2, lit(kW, 0));
+            p.assign(i3, lit(kW, 0));
+          },
+          [&] {
+            p.assign(i1, Ex(i1) + Ex(xin));
+            p.assign(i2, Ex(i2) + Ex(i1));
+            p.assign(i3, Ex(i3) + Ex(i2));
+          });
+  });
+
+  mb.onRising("decimate_p", clk, [&](ProcBuilder& p) {
+    p.if_(Ex(rst) == 1u, [&] { p.assign(dec, lit(4, 0)); },
+          [&] { p.assign(dec, Ex(dec) + 1u); });
+  });
+  mb.comb("p_tick", [&](ProcBuilder& p) {
+    p.assign(tick, sel((Ex(dec) == lit(4, kRate - 1)) & (Ex(rst) == 0u), lit(1, 1), lit(1, 0)));
+  });
+
+  // --- CIC comb section (decimated rate, on tick) ---------------------------------
+  auto z1 = mb.signal("z1", kW, true);
+  auto z2 = mb.signal("z2", kW, true);
+  auto z3 = mb.signal("z3", kW, true);
+  auto c1 = mb.signal("c1", kW, true);
+  auto c2 = mb.signal("c2", kW, true);
+  auto c3 = mb.signal("c3", kW, true);
+
+  mb.comb("p_comb1", [&](ProcBuilder& p) { p.assign(c1, Ex(i3) - Ex(z1)); });
+  mb.comb("p_comb2", [&](ProcBuilder& p) { p.assign(c2, Ex(c1) - Ex(z2)); });
+  mb.comb("p_comb3", [&](ProcBuilder& p) { p.assign(c3, Ex(c2) - Ex(z3)); });
+
+  mb.onRising("comb_p", clk, [&](ProcBuilder& p) {
+    p.if_(Ex(rst) == 1u,
+          [&] {
+            p.assign(z1, lit(kW, 0));
+            p.assign(z2, lit(kW, 0));
+            p.assign(z3, lit(kW, 0));
+          },
+          [&] {
+            p.if_(Ex(tick) == 1u, [&] {
+              p.assign(z1, i3);
+              p.assign(z2, c1);
+              p.assign(z3, c2);
+            });
+          });
+  });
+
+  // --- compensation FIR (decimated rate): [-1 4 10 4 -1] / 16 ----------------------
+  Sig t[5];
+  for (int i = 0; i < 5; ++i) t[i] = mb.signal("t" + std::to_string(i), kW, true);
+  auto firAcc = mb.signal("fir_acc", kW + 5, true);
+  mb.comb("p_fir", [&](ProcBuilder& p) {
+    const int aw = kW + 5;
+    Ex acc = neg(sext(Ex(t[0]), aw)) + shl(sext(Ex(t[1]), aw), 2) +
+             shl(sext(Ex(t[2]), aw), 3) + shl(sext(Ex(t[2]), aw), 1) +
+             shl(sext(Ex(t[3]), aw), 2) - sext(Ex(t[4]), aw);
+    p.assign(firAcc, ashr(acc, 4));
+  });
+
+  mb.onRising("fir_p", clk, [&](ProcBuilder& p) {
+    p.if_(Ex(rst) == 1u,
+          [&] {
+            for (int i = 0; i < 5; ++i) p.assign(t[i], lit(kW, 0));
+          },
+          [&] {
+            p.if_(Ex(tick) == 1u, [&] {
+              p.assign(t[0], c3);
+              for (int i = 1; i < 5; ++i) p.assign(t[i], t[i - 1]);
+            });
+          });
+  });
+
+  // --- output scaling: CIC gain R^3 = 4096 => shift by 12, then clamp ----------
+  auto pcmR = mb.signal("pcm_r", 16, true);
+  auto validR = mb.signal("valid_r", 1);
+  auto outCnt = mb.signal("out_cnt", 16);
+  mb.onRising("output_p", clk, [&](ProcBuilder& p) {
+    p.if_(Ex(rst) == 1u,
+          [&] {
+            p.assign(pcmR, lit(16, 0));
+            p.assign(validR, lit(1, 0));
+            p.assign(outCnt, lit(16, 0));
+          },
+          [&] {
+            p.if_(Ex(tick) == 1u,
+                  [&] {
+                    p.assign(pcmR, slice(ashr(Ex(firAcc), 4), 15, 0));
+                    p.assign(validR, lit(1, 1));
+                    p.assign(outCnt, Ex(outCnt) + 1u);
+                  },
+                  [&] { p.assign(validR, lit(1, 0)); });
+          });
+  });
+
+  mb.comb("p_pcm_out", [&](ProcBuilder& p) { p.assign(pcm, pcmR); });
+  mb.comb("p_valid_out", [&](ProcBuilder& p) { p.assign(valid, validR); });
+
+  return mb.finish();
+}
+
+/// Precomputed PDM stream: first-order sigma-delta modulation of a slow sine
+/// plus a DC offset. Precomputing keeps the testbench a pure function of the
+/// cycle index (identical stimuli for every engine and every mutant run).
+std::shared_ptr<std::vector<std::uint8_t>> makePdmStream(std::size_t n) {
+  auto stream = std::make_shared<std::vector<std::uint8_t>>(n);
+  double integrator = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    const double u = 0.45 * std::sin(2.0 * 3.14159265358979 * static_cast<double>(c) / 512.0) +
+                     0.2;
+    const double y = integrator >= 0.0 ? 1.0 : -1.0;
+    integrator += u - y;
+    (*stream)[c] = y > 0.0 ? 1 : 0;
+  }
+  return stream;
+}
+
+}  // namespace
+
+CaseStudy buildFilterCase() {
+  CaseStudy cs;
+  cs.name = "Filter";
+  cs.module = buildFilterModule();
+  cs.clockGHz = 1.0;  // Table 1 operating point
+  cs.periodPs = 1000;
+  cs.vdd = 1.05;
+  cs.hfRatio = 10;
+  cs.staThresholdFraction = 0.30;
+  cs.staSpreadFraction = 0.93;  // all sequential stages critical, outputs excluded
+  cs.testbench.name = "pdm_sine";
+  cs.testbench.cycles = 800;
+  auto stream = makePdmStream(4096);
+  cs.testbench.drive = [stream](std::uint64_t c, const analysis::PortSetter& set) {
+    set("rst", c < 2 ? 1 : 0);
+    set("pdm", (*stream)[c % stream->size()]);
+  };
+  return cs;
+}
+
+}  // namespace xlv::ips

@@ -1,0 +1,69 @@
+// Minimal MIPS I assembler: instruction encoders for the subset implemented
+// by the Plasma-substitute core (ips/plasma.h). Encodings follow the MIPS I
+// reference; offsets for branches are in instructions (relative to the
+// instruction after the branch), targets for jumps are word addresses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xlv::ips::mips {
+
+using u32 = std::uint32_t;
+
+constexpr u32 rtype(u32 rs, u32 rt, u32 rd, u32 shamt, u32 funct) {
+  return (0u << 26) | (rs << 21) | (rt << 16) | (rd << 11) | (shamt << 6) | funct;
+}
+constexpr u32 itype(u32 op, u32 rs, u32 rt, u32 imm16) {
+  return (op << 26) | (rs << 21) | (rt << 16) | (imm16 & 0xFFFFu);
+}
+
+// R-type ALU
+constexpr u32 ADD(u32 rd, u32 rs, u32 rt) { return rtype(rs, rt, rd, 0, 0x20); }
+constexpr u32 ADDU(u32 rd, u32 rs, u32 rt) { return rtype(rs, rt, rd, 0, 0x21); }
+constexpr u32 SUB(u32 rd, u32 rs, u32 rt) { return rtype(rs, rt, rd, 0, 0x22); }
+constexpr u32 SUBU(u32 rd, u32 rs, u32 rt) { return rtype(rs, rt, rd, 0, 0x23); }
+constexpr u32 AND(u32 rd, u32 rs, u32 rt) { return rtype(rs, rt, rd, 0, 0x24); }
+constexpr u32 OR(u32 rd, u32 rs, u32 rt) { return rtype(rs, rt, rd, 0, 0x25); }
+constexpr u32 XOR(u32 rd, u32 rs, u32 rt) { return rtype(rs, rt, rd, 0, 0x26); }
+constexpr u32 NOR(u32 rd, u32 rs, u32 rt) { return rtype(rs, rt, rd, 0, 0x27); }
+constexpr u32 SLT(u32 rd, u32 rs, u32 rt) { return rtype(rs, rt, rd, 0, 0x2A); }
+constexpr u32 SLTU(u32 rd, u32 rs, u32 rt) { return rtype(rs, rt, rd, 0, 0x2B); }
+constexpr u32 SLL(u32 rd, u32 rt, u32 sh) { return rtype(0, rt, rd, sh, 0x00); }
+constexpr u32 SRL(u32 rd, u32 rt, u32 sh) { return rtype(0, rt, rd, sh, 0x02); }
+constexpr u32 SRA(u32 rd, u32 rt, u32 sh) { return rtype(0, rt, rd, sh, 0x03); }
+constexpr u32 SLLV(u32 rd, u32 rt, u32 rs) { return rtype(rs, rt, rd, 0, 0x04); }
+constexpr u32 SRLV(u32 rd, u32 rt, u32 rs) { return rtype(rs, rt, rd, 0, 0x06); }
+constexpr u32 SRAV(u32 rd, u32 rt, u32 rs) { return rtype(rs, rt, rd, 0, 0x07); }
+constexpr u32 JR(u32 rs) { return rtype(rs, 0, 0, 0, 0x08); }
+constexpr u32 MULT(u32 rs, u32 rt) { return rtype(rs, rt, 0, 0, 0x18); }
+constexpr u32 MFHI(u32 rd) { return rtype(0, 0, rd, 0, 0x10); }
+constexpr u32 MFLO(u32 rd) { return rtype(0, 0, rd, 0, 0x12); }
+
+// I-type
+constexpr u32 ADDI(u32 rt, u32 rs, u32 imm) { return itype(0x08, rs, rt, imm); }
+constexpr u32 ADDIU(u32 rt, u32 rs, u32 imm) { return itype(0x09, rs, rt, imm); }
+constexpr u32 SLTI(u32 rt, u32 rs, u32 imm) { return itype(0x0A, rs, rt, imm); }
+constexpr u32 SLTIU(u32 rt, u32 rs, u32 imm) { return itype(0x0B, rs, rt, imm); }
+constexpr u32 ANDI(u32 rt, u32 rs, u32 imm) { return itype(0x0C, rs, rt, imm); }
+constexpr u32 ORI(u32 rt, u32 rs, u32 imm) { return itype(0x0D, rs, rt, imm); }
+constexpr u32 XORI(u32 rt, u32 rs, u32 imm) { return itype(0x0E, rs, rt, imm); }
+constexpr u32 LUI(u32 rt, u32 imm) { return itype(0x0F, 0, rt, imm); }
+constexpr u32 LW(u32 rt, u32 off, u32 rs) { return itype(0x23, rs, rt, off); }
+constexpr u32 SW(u32 rt, u32 off, u32 rs) { return itype(0x2B, rs, rt, off); }
+constexpr u32 BEQ(u32 rs, u32 rt, u32 off) { return itype(0x04, rs, rt, off); }
+constexpr u32 BNE(u32 rs, u32 rt, u32 off) { return itype(0x05, rs, rt, off); }
+
+// J-type (target = word address)
+constexpr u32 J(u32 target) { return (0x02u << 26) | (target & 0x03FFFFFFu); }
+constexpr u32 JAL(u32 target) { return (0x03u << 26) | (target & 0x03FFFFFFu); }
+
+constexpr u32 NOP() { return 0; }
+
+/// Branch offset helper: from the instruction at `fromWord` (the branch) to
+/// `toWord`, as the 16-bit offset field (relative to branch + 1).
+constexpr u32 broff(int fromWord, int toWord) {
+  return static_cast<u32>(toWord - (fromWord + 1)) & 0xFFFFu;
+}
+
+}  // namespace xlv::ips::mips

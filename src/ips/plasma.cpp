@@ -1,0 +1,569 @@
+// Plasma case study: a MIPS-I-subset CPU modeled after the opencores Plasma
+// core referenced by the paper (Section 8.1, [40]).
+//
+// Microarchitecture: 3-stage pipeline (Fetch | Decode/register-read |
+// Execute/memory/write-back) with:
+//   * full forwarding from the Execute stage into the Decode register reads
+//     (loads included — memories read combinationally);
+//   * branches resolved in Execute with a 2-cycle flush, jumps resolved in
+//     Decode with a 1-cycle flush (no delay slots);
+//   * 32x32 flip-flop register file, Harvard instruction/data memories as
+//     macros, memory-mapped I/O (IO_OUT at 0x1000, IO_IN at 0x1004);
+//   * HI/LO and MULT/MFHI/MFLO (unsigned product).
+//
+// ISA subset: ADD(U) SUB(U) AND OR XOR NOR SLT(U) SLL SRL SRA SLLV SRLV
+// SRAV JR MULT MFHI MFLO / ADDI(U) SLTI(U) ANDI ORI XORI LUI LW SW BEQ BNE /
+// J JAL.
+#include "ips/case_study.h"
+
+#include "ips/mips_asm.h"
+#include "ir/builder.h"
+
+namespace xlv::ips {
+
+using namespace xlv::ir;
+
+namespace {
+
+// ALU operation encoding carried in the D/E pipeline register.
+enum Alu : std::uint64_t {
+  kAluAdd = 0, kAluSub, kAluAnd, kAluOr, kAluXor, kAluNor, kAluSlt, kAluSltu,
+  kAluSll, kAluSrl, kAluSra, kAluLui, kAluLink, kAluMfhi, kAluMflo,
+  kAluSllv, kAluSrlv, kAluSrav,  // variable shifts: amount = rs[4:0]
+};
+
+constexpr std::uint64_t kIoOutAddr = 0x1000;
+constexpr std::uint64_t kIoInAddr = 0x1004;
+
+/// The endless firmware: Fibonacci loop with memory traffic and I/O writes,
+/// a MULT/MFLO/MFHI block, a JAL/JR subroutine, then re-seed and repeat.
+/// Keeps every architectural register and the I/O port toggling forever —
+/// the property mutation analysis needs from a testbench (Section 7).
+std::vector<std::uint64_t> firmware() {
+  using namespace mips;
+  std::vector<u32> p;
+  // Every iteration of the inner loop exercises ALU, shift, memory, I/O,
+  // MULT (with a 2^30 multiplier so HI toggles), a sometimes-taken BEQ, a
+  // JAL/JR pair and the BNE back-edge — so every pipeline register changes
+  // value every ~20 cycles, which mutation analysis requires of a testbench.
+  // 0..6: init
+  p.push_back(ADDI(1, 0, 0));       // 0:  $1 = 0 (fib a)
+  p.push_back(ADDI(2, 0, 1));       // 1:  $2 = 1 (fib b)
+  p.push_back(ADDI(3, 0, 6));       // 2:  $3 = 6 (iterations)
+  p.push_back(ADDI(4, 0, 0));       // 3:  $4 = 0 (index)
+  p.push_back(ADDI(7, 0, 0x1000));  // 4:  $7 = IO_OUT address
+  p.push_back(ADDI(9, 0, 0));       // 5:  $9 = 0 (round seed)
+  p.push_back(LUI(8, 0x4000));      // 6:  $8 = 2^30 (wide-product multiplier)
+  // 7..23: main loop
+  p.push_back(ADD(5, 1, 2));        // 7:  $5 = a + b
+  p.push_back(ADD(1, 0, 2));        // 8:  a = b
+  p.push_back(ADD(2, 0, 5));        // 9:  b = $5
+  p.push_back(SLL(6, 4, 2));        // 10: $6 = idx * 4
+  p.push_back(SW(5, 0, 6));         // 11: dmem[idx] = fib
+  p.push_back(LW(10, 0, 6));        // 12: $10 = dmem[idx]
+  p.push_back(XOR(11, 10, 9));      // 13: $11 = fib ^ seed
+  p.push_back(SW(11, 0, 7));        // 14: io_out = fib ^ seed
+  p.push_back(MULT(5, 8));          // 15: hi = fib >> 2, lo = fib << 30
+  p.push_back(MFLO(12));            // 16
+  p.push_back(MFHI(13));            // 17
+  p.push_back(ANDI(15, 5, 1));      // 18: parity of fib
+  p.push_back(BEQ(15, 0, broff(19, 22)));  // 19: skip call when fib even
+  p.push_back(SRA(16, 12, 5));      // 20
+  p.push_back(JAL(27));             // 21: call sub (odd fib only)
+  p.push_back(ADDI(4, 4, 1));       // 22: ++idx
+  p.push_back(BNE(4, 3, broff(23, 7)));  // 23: loop while idx != 6
+  p.push_back(SW(13, 0, 7));        // 24: io_out = hi
+  p.push_back(ADDI(9, 9, 7));       // 25: seed += 7
+  p.push_back(J(37));               // 26: goto reinit
+  // 27..31: subroutine
+  p.push_back(NOR(17, 5, 9));       // 27
+  p.push_back(SLTU(18, 17, 12));    // 28
+  p.push_back(SLTI(19, 9, 100));    // 29
+  p.push_back(ORI(20, 9, 0x0F0));   // 30
+  p.push_back(ANDI(21, 5, 0x7));    // 31: shift amount from fib
+  p.push_back(SLLV(22, 12, 21));    // 32: variable shifts
+  p.push_back(SRLV(23, 5, 21));     // 33
+  p.push_back(SRAV(24, 13, 21));    // 34
+  p.push_back(SLTIU(25, 5, 50));    // 35
+  p.push_back(JR(31));              // 36: return
+  // 37..40: reinit (keep seed) and loop forever
+  p.push_back(ADDI(1, 0, 0));       // 37
+  p.push_back(ADDI(2, 0, 1));       // 38
+  p.push_back(ADDI(4, 0, 0));       // 39
+  p.push_back(J(7));                // 40
+  return {p.begin(), p.end()};
+}
+
+std::shared_ptr<Module> buildPlasmaModule() {
+  ModuleBuilder mb("plasma");
+  // --- interface ------------------------------------------------------------
+  auto clk = mb.clock("clk");
+  auto rst = mb.in("rst", 1);
+  auto ioIn = mb.in("io_in", 32);
+  auto ioOut = mb.out("io_out", 32);
+  auto pcOut = mb.out("pc_out", 32);
+  auto instretOut = mb.out("instret_out", 32);
+
+  // --- state ------------------------------------------------------------------
+  auto pc = mb.signal("pc", 32);
+  auto fdInstr = mb.signal("fd_instr", 32);
+  auto fdPc4 = mb.signal("fd_pc4", 32);
+  auto fdValid = mb.signal("fd_valid", 1);
+
+  auto deRsVal = mb.signal("de_rs_val", 32);
+  auto deRtVal = mb.signal("de_rt_val", 32);
+  auto deImm = mb.signal("de_imm", 32);
+  auto deShamt = mb.signal("de_shamt", 5);
+  auto deAluop = mb.signal("de_aluop", 5);
+  auto deAlusrc = mb.signal("de_alusrc", 1);
+  auto deDest = mb.signal("de_dest", 5);
+  auto deRegwrite = mb.signal("de_regwrite", 1);
+  auto deMemread = mb.signal("de_memread", 1);
+  auto deMemwrite = mb.signal("de_memwrite", 1);
+  auto deBeq = mb.signal("de_beq", 1);
+  auto deBne = mb.signal("de_bne", 1);
+  auto deJr = mb.signal("de_jr", 1);
+  auto deMult = mb.signal("de_mult", 1);
+  auto deValid = mb.signal("de_valid", 1);
+  auto dePc4 = mb.signal("de_pc4", 32);
+
+  auto hi = mb.signal("hi", 32);
+  auto lo = mb.signal("lo", 32);
+  auto cycleCnt = mb.signal("cycle_cnt", 32);
+  auto instret = mb.signal("instret", 32);
+
+  auto rf = mb.array("rf", 32, 32);            // flip-flop register file
+  auto imem = mb.memory("imem", 32, 256);      // ROM macro
+  auto dmem = mb.memory("dmem", 32, 256);      // SRAM macro
+  mb.initArray(imem, firmware());
+
+  // --- fetch -------------------------------------------------------------------
+  auto ifInstr = mb.signal("if_instr", 32);
+  mb.comb("p_fetch", [&](ProcBuilder& p) {
+    p.assign(ifInstr, at(imem, slice(Ex(pc), 9, 2)));
+  });
+
+  // --- decode: instruction fields (one small process per field, mirroring
+  // --- fine-grained RTL decode blocks) -------------------------------------
+  auto fOp = mb.signal("f_op", 6);
+  auto fRs = mb.signal("f_rs", 5);
+  auto fRt = mb.signal("f_rt", 5);
+  auto fRd = mb.signal("f_rd", 5);
+  auto fShamt = mb.signal("f_shamt", 5);
+  auto fFunct = mb.signal("f_funct", 6);
+  auto fImm16 = mb.signal("f_imm16", 16);
+  mb.comb("p_f_op", [&](ProcBuilder& p) { p.assign(fOp, slice(Ex(fdInstr), 31, 26)); });
+  mb.comb("p_f_rs", [&](ProcBuilder& p) { p.assign(fRs, slice(Ex(fdInstr), 25, 21)); });
+  mb.comb("p_f_rt", [&](ProcBuilder& p) { p.assign(fRt, slice(Ex(fdInstr), 20, 16)); });
+  mb.comb("p_f_rd", [&](ProcBuilder& p) { p.assign(fRd, slice(Ex(fdInstr), 15, 11)); });
+  mb.comb("p_f_shamt", [&](ProcBuilder& p) { p.assign(fShamt, slice(Ex(fdInstr), 10, 6)); });
+  mb.comb("p_f_funct", [&](ProcBuilder& p) { p.assign(fFunct, slice(Ex(fdInstr), 5, 0)); });
+  mb.comb("p_f_imm", [&](ProcBuilder& p) { p.assign(fImm16, slice(Ex(fdInstr), 15, 0)); });
+
+  // --- decode: control --------------------------------------------------------
+  auto ctlAluop = mb.signal("ctl_aluop", 5);
+  auto ctlRegwrite = mb.signal("ctl_regwrite", 1);
+  auto ctlDest = mb.signal("ctl_dest", 5);
+  auto ctlAlusrc = mb.signal("ctl_alusrc", 1);
+  auto ctlMemread = mb.signal("ctl_memread", 1);
+  auto ctlMemwrite = mb.signal("ctl_memwrite", 1);
+  auto ctlBeq = mb.signal("ctl_beq", 1);
+  auto ctlBne = mb.signal("ctl_bne", 1);
+  auto ctlJump = mb.signal("ctl_jump", 1);
+  auto ctlJal = mb.signal("ctl_jal", 1);
+  auto ctlJr = mb.signal("ctl_jr", 1);
+  auto ctlMult = mb.signal("ctl_mult", 1);
+  auto ctlZeroExt = mb.signal("ctl_zero_ext", 1);
+
+  mb.comb("p_control", [&](ProcBuilder& p) {
+    // Defaults.
+    p.assign(ctlAluop, lit(5, kAluAdd));
+    p.assign(ctlRegwrite, lit(1, 0));
+    p.assign(ctlDest, fRt);
+    p.assign(ctlAlusrc, lit(1, 1));
+    p.assign(ctlMemread, lit(1, 0));
+    p.assign(ctlMemwrite, lit(1, 0));
+    p.assign(ctlBeq, lit(1, 0));
+    p.assign(ctlBne, lit(1, 0));
+    p.assign(ctlJump, lit(1, 0));
+    p.assign(ctlJal, lit(1, 0));
+    p.assign(ctlJr, lit(1, 0));
+    p.assign(ctlMult, lit(1, 0));
+    p.assign(ctlZeroExt, lit(1, 0));
+    p.switch_(
+        Ex(fOp),
+        {
+            {{0x00},  // R-type: sub-decode on funct
+             [&] {
+               p.assign(ctlAlusrc, lit(1, 0));
+               p.assign(ctlDest, fRd);
+               p.switch_(
+                   Ex(fFunct),
+                   {
+                       {{0x20, 0x21},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluAdd));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                       {{0x22, 0x23},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluSub));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                       {{0x24},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluAnd));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                       {{0x25},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluOr));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                       {{0x26},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluXor));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                       {{0x27},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluNor));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                       {{0x2A},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluSlt));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                       {{0x2B},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluSltu));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                       {{0x00},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluSll));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                       {{0x02},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluSrl));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                       {{0x03},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluSra));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                       {{0x04},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluSllv));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                       {{0x06},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluSrlv));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                       {{0x07},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluSrav));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                       {{0x08}, [&] { p.assign(ctlJr, lit(1, 1)); }},
+                       {{0x18}, [&] { p.assign(ctlMult, lit(1, 1)); }},
+                       {{0x10},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluMfhi));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                       {{0x12},
+                        [&] {
+                          p.assign(ctlAluop, lit(5, kAluMflo));
+                          p.assign(ctlRegwrite, lit(1, 1));
+                        }},
+                   },
+                   [] {});
+             }},
+            {{0x08, 0x09},  // ADDI / ADDIU
+             [&] { p.assign(ctlRegwrite, lit(1, 1)); }},
+            {{0x0A},  // SLTI
+             [&] {
+               p.assign(ctlAluop, lit(5, kAluSlt));
+               p.assign(ctlRegwrite, lit(1, 1));
+             }},
+            {{0x0B},  // SLTIU
+             [&] {
+               p.assign(ctlAluop, lit(5, kAluSltu));
+               p.assign(ctlRegwrite, lit(1, 1));
+             }},
+            {{0x0C},  // ANDI
+             [&] {
+               p.assign(ctlAluop, lit(5, kAluAnd));
+               p.assign(ctlRegwrite, lit(1, 1));
+               p.assign(ctlZeroExt, lit(1, 1));
+             }},
+            {{0x0D},  // ORI
+             [&] {
+               p.assign(ctlAluop, lit(5, kAluOr));
+               p.assign(ctlRegwrite, lit(1, 1));
+               p.assign(ctlZeroExt, lit(1, 1));
+             }},
+            {{0x0E},  // XORI
+             [&] {
+               p.assign(ctlAluop, lit(5, kAluXor));
+               p.assign(ctlRegwrite, lit(1, 1));
+               p.assign(ctlZeroExt, lit(1, 1));
+             }},
+            {{0x0F},  // LUI
+             [&] {
+               p.assign(ctlAluop, lit(5, kAluLui));
+               p.assign(ctlRegwrite, lit(1, 1));
+               p.assign(ctlZeroExt, lit(1, 1));
+             }},
+            {{0x23},  // LW
+             [&] {
+               p.assign(ctlMemread, lit(1, 1));
+               p.assign(ctlRegwrite, lit(1, 1));
+             }},
+            {{0x2B},  // SW
+             [&] { p.assign(ctlMemwrite, lit(1, 1)); }},
+            {{0x04}, [&] { p.assign(ctlBeq, lit(1, 1)); }},   // BEQ
+            {{0x05}, [&] { p.assign(ctlBne, lit(1, 1)); }},   // BNE
+            {{0x02}, [&] { p.assign(ctlJump, lit(1, 1)); }},  // J
+            {{0x03},  // JAL
+             [&] {
+               p.assign(ctlJump, lit(1, 1));
+               p.assign(ctlJal, lit(1, 1));
+               p.assign(ctlRegwrite, lit(1, 1));
+               p.assign(ctlDest, lit(5, 31));
+               p.assign(ctlAluop, lit(5, kAluLink));
+             }},
+        },
+        [] {});
+  });
+
+  // --- decode: immediate extension ---------------------------------------------
+  auto immExt = mb.signal("imm_ext", 32);
+  mb.comb("p_imm_ext", [&](ProcBuilder& p) {
+    p.assign(immExt, sel(Ex(ctlZeroExt) == 1u, zext(Ex(fImm16), 32), sext(Ex(fImm16), 32)));
+  });
+
+  // --- execute-stage combinational (declared before use in decode forwarding) --
+  auto aluOut = mb.signal("alu_out", 32);
+  auto eResult = mb.signal("e_result", 32);
+
+  // --- decode: register read with forwarding from Execute ----------------------
+  auto rsVal = mb.signal("rs_val", 32);
+  auto rtVal = mb.signal("rt_val", 32);
+  mb.comb("p_fwd_rs", [&](ProcBuilder& p) {
+    const Ex fwd = (Ex(deValid) == 1u) & (Ex(deRegwrite) == 1u) & (Ex(deDest) == Ex(fRs)) &
+                   (Ex(fRs) != 0u);
+    p.assign(rsVal, sel(fwd == 1u, eResult, at(rf, Ex(fRs))));
+  });
+  mb.comb("p_fwd_rt", [&](ProcBuilder& p) {
+    const Ex fwd = (Ex(deValid) == 1u) & (Ex(deRegwrite) == 1u) & (Ex(deDest) == Ex(fRt)) &
+                   (Ex(fRt) != 0u);
+    p.assign(rtVal, sel(fwd == 1u, eResult, at(rf, Ex(fRt))));
+  });
+
+  // --- decode: jump resolution ---------------------------------------------------
+  auto jumpTgt = mb.signal("jump_tgt", 32);
+  auto doJump = mb.signal("do_jump", 1);
+  mb.comb("p_jump_tgt", [&](ProcBuilder& p) {
+    p.assign(jumpTgt, (Ex(fdPc4) & lit(32, 0xF0000000ull)) |
+                          shl(zext(slice(Ex(fdInstr), 25, 0), 32), 2));
+  });
+
+  // --- execute: ALU ---------------------------------------------------------------
+  auto aluB = mb.signal("alu_b", 32);
+  mb.comb("p_alu_src", [&](ProcBuilder& p) {
+    p.assign(aluB, sel(Ex(deAlusrc) == 1u, Ex(deImm), Ex(deRtVal)));
+  });
+  mb.comb("p_alu", [&](ProcBuilder& p) {
+    p.switch_(
+        Ex(deAluop),
+        {
+            {{kAluAdd}, [&] { p.assign(aluOut, Ex(deRsVal) + Ex(aluB)); }},
+            {{kAluSub}, [&] { p.assign(aluOut, Ex(deRsVal) - Ex(aluB)); }},
+            {{kAluAnd}, [&] { p.assign(aluOut, Ex(deRsVal) & Ex(aluB)); }},
+            {{kAluOr}, [&] { p.assign(aluOut, Ex(deRsVal) | Ex(aluB)); }},
+            {{kAluXor}, [&] { p.assign(aluOut, Ex(deRsVal) ^ Ex(aluB)); }},
+            {{kAluNor}, [&] { p.assign(aluOut, ~(Ex(deRsVal) | Ex(aluB))); }},
+            {{kAluSlt},
+             [&] {
+               // Signed comparison via sign-flipped unsigned compare.
+               const Ex bias = lit(32, 0x80000000ull);
+               p.assign(aluOut,
+                        zext((Ex(deRsVal) ^ bias) < (Ex(aluB) ^ bias), 32));
+             }},
+            {{kAluSltu}, [&] { p.assign(aluOut, zext(Ex(deRsVal) < Ex(aluB), 32)); }},
+            {{kAluSll}, [&] { p.assign(aluOut, shl(Ex(deRtVal), Ex(deShamt))); }},
+            {{kAluSrl}, [&] { p.assign(aluOut, shr(Ex(deRtVal), Ex(deShamt))); }},
+            {{kAluSra}, [&] { p.assign(aluOut, ashr(Ex(deRtVal), Ex(deShamt))); }},
+            {{kAluLui}, [&] { p.assign(aluOut, shl(Ex(deImm), 16)); }},
+            {{kAluLink}, [&] { p.assign(aluOut, dePc4); }},
+            {{kAluMfhi}, [&] { p.assign(aluOut, hi); }},
+            {{kAluMflo}, [&] { p.assign(aluOut, lo); }},
+            {{kAluSllv}, [&] { p.assign(aluOut, shl(Ex(deRtVal), slice(Ex(deRsVal), 4, 0))); }},
+            {{kAluSrlv}, [&] { p.assign(aluOut, shr(Ex(deRtVal), slice(Ex(deRsVal), 4, 0))); }},
+            {{kAluSrav},
+             [&] { p.assign(aluOut, ashr(Ex(deRtVal), slice(Ex(deRsVal), 4, 0))); }},
+        },
+        [&] { p.assign(aluOut, lit(32, 0)); });
+  });
+
+  // --- execute: memory ---------------------------------------------------------
+  auto memRdata = mb.signal("mem_rdata", 32);
+  mb.comb("p_mem_read", [&](ProcBuilder& p) {
+    p.assign(memRdata, sel(Ex(aluOut) == lit(32, kIoInAddr), Ex(ioIn),
+                           at(dmem, slice(Ex(aluOut), 9, 2))));
+  });
+  mb.comb("p_result", [&](ProcBuilder& p) {
+    p.assign(eResult, sel(Ex(deMemread) == 1u, Ex(memRdata), Ex(aluOut)));
+  });
+
+  // --- execute: branch resolution -----------------------------------------------
+  auto redirect = mb.signal("redirect", 1);
+  auto redirectTgt = mb.signal("redirect_tgt", 32);
+  mb.comb("p_branch", [&](ProcBuilder& p) {
+    const Ex eq = Ex(deRsVal) == Ex(deRtVal);
+    const Ex taken = (Ex(deBeq) & eq) | (Ex(deBne) & bnot(eq)) | Ex(deJr);
+    p.assign(redirect, Ex(deValid) & taken);
+  });
+  mb.comb("p_branch_tgt", [&](ProcBuilder& p) {
+    p.assign(redirectTgt, sel(Ex(deJr) == 1u, Ex(deRsVal), Ex(dePc4) + shl(Ex(deImm), 2)));
+  });
+  mb.comb("p_do_jump", [&](ProcBuilder& p) {
+    p.assign(doJump, Ex(fdValid) & Ex(ctlJump) & bnot(Ex(redirect)));
+  });
+
+  // --- debug/port mirrors ----------------------------------------------------------
+  mb.comb("p_pc_out", [&](ProcBuilder& p) { p.assign(pcOut, pc); });
+  mb.comb("p_instret_out", [&](ProcBuilder& p) { p.assign(instretOut, instret); });
+
+  // --- synchronous processes ----------------------------------------------------
+  mb.onRising("pc_p", clk, [&](ProcBuilder& p) {
+    p.if_(Ex(rst) == 1u, [&] { p.assign(pc, lit(32, 0)); },
+          [&] {
+            p.if_(Ex(redirect) == 1u, [&] { p.assign(pc, redirectTgt); },
+                  [&] {
+                    p.if_(Ex(doJump) == 1u, [&] { p.assign(pc, jumpTgt); },
+                          [&] { p.assign(pc, Ex(pc) + 4u); });
+                  });
+          });
+  });
+
+  mb.onRising("fd_p", clk, [&](ProcBuilder& p) {
+    p.if_((Ex(rst) | Ex(redirect) | Ex(doJump)) == 1u,
+          [&] {
+            p.assign(fdInstr, lit(32, 0));
+            p.assign(fdValid, lit(1, 0));
+            p.assign(fdPc4, lit(32, 4));
+          },
+          [&] {
+            p.assign(fdInstr, ifInstr);
+            p.assign(fdPc4, Ex(pc) + 4u);
+            p.assign(fdValid, lit(1, 1));
+          });
+  });
+
+  mb.onRising("de_p", clk, [&](ProcBuilder& p) {
+    p.if_((Ex(rst) | Ex(redirect)) == 1u,
+          [&] {
+            p.assign(deValid, lit(1, 0));
+            p.assign(deRegwrite, lit(1, 0));
+            p.assign(deMemread, lit(1, 0));
+            p.assign(deMemwrite, lit(1, 0));
+            p.assign(deBeq, lit(1, 0));
+            p.assign(deBne, lit(1, 0));
+            p.assign(deJr, lit(1, 0));
+            p.assign(deMult, lit(1, 0));
+          },
+          [&] {
+            p.assign(deRsVal, rsVal);
+            p.assign(deRtVal, rtVal);
+            p.assign(deImm, immExt);
+            p.assign(deShamt, fShamt);
+            p.assign(deAluop, ctlAluop);
+            p.assign(deAlusrc, ctlAlusrc);
+            p.assign(deDest, ctlDest);
+            p.assign(dePc4, fdPc4);
+            p.assign(deValid, fdValid);
+            p.assign(deRegwrite, Ex(ctlRegwrite) & Ex(fdValid));
+            p.assign(deMemread, Ex(ctlMemread) & Ex(fdValid));
+            p.assign(deMemwrite, Ex(ctlMemwrite) & Ex(fdValid));
+            p.assign(deBeq, Ex(ctlBeq) & Ex(fdValid));
+            p.assign(deBne, Ex(ctlBne) & Ex(fdValid));
+            p.assign(deJr, Ex(ctlJr) & Ex(fdValid));
+            p.assign(deMult, Ex(ctlMult) & Ex(fdValid));
+          });
+  });
+
+  mb.onRising("rf_wr_p", clk, [&](ProcBuilder& p) {
+    p.if_((Ex(deValid) & Ex(deRegwrite)) == 1u, [&] {
+      p.if_(Ex(deDest) != 0u, [&] { p.write(rf, Ex(deDest), Ex(eResult)); });
+    });
+  });
+
+  mb.onRising("dmem_wr_p", clk, [&](ProcBuilder& p) {
+    p.if_((Ex(deValid) & Ex(deMemwrite)) == 1u, [&] {
+      p.if_(Ex(aluOut) != lit(32, kIoOutAddr),
+            [&] { p.write(dmem, slice(Ex(aluOut), 9, 2), Ex(deRtVal)); });
+    });
+  });
+
+  mb.onRising("io_p", clk, [&](ProcBuilder& p) {
+    p.if_(Ex(rst) == 1u, [&] { p.assign(ioOut, lit(32, 0)); },
+          [&] {
+            p.if_((Ex(deValid) & Ex(deMemwrite)) == 1u, [&] {
+              p.if_(Ex(aluOut) == lit(32, kIoOutAddr), [&] { p.assign(ioOut, deRtVal); });
+            });
+          });
+  });
+
+  mb.onRising("hilo_p", clk, [&](ProcBuilder& p) {
+    p.if_((Ex(deValid) & Ex(deMult)) == 1u, [&] {
+      const Ex prod = zext(Ex(deRsVal), 64) * zext(Ex(deRtVal), 64);
+      p.assign(hi, slice(prod, 63, 32));
+      p.assign(lo, slice(prod, 31, 0));
+    });
+  });
+
+  mb.onRising("cnt_p", clk, [&](ProcBuilder& p) {
+    p.if_(Ex(rst) == 1u,
+          [&] {
+            p.assign(cycleCnt, lit(32, 0));
+            p.assign(instret, lit(32, 0));
+          },
+          [&] {
+            p.assign(cycleCnt, Ex(cycleCnt) + 1u);
+            p.if_(Ex(deValid) == 1u, [&] { p.assign(instret, Ex(instret) + 1u); });
+          });
+  });
+
+  return mb.finish();
+}
+
+}  // namespace
+
+CaseStudy buildPlasmaCase() {
+  CaseStudy cs;
+  cs.name = "Plasma";
+  cs.module = buildPlasmaModule();
+  cs.clockGHz = 0.2;  // Table 1 operating point
+  cs.periodPs = 5000;
+  cs.vdd = 1.05;
+  cs.hfRatio = 10;
+  cs.staThresholdFraction = 0.30;
+  cs.staSpreadFraction = 0.60;  // bins the pipeline/datapath endpoints critical
+  cs.testbench.name = "plasma_fw";
+  cs.testbench.cycles = 400;
+  cs.testbench.drive = [](std::uint64_t c, const analysis::PortSetter& set) {
+    set("rst", c < 2 ? 1 : 0);
+    set("io_in", 0xC0FFEE00ull + (c / 16));
+  };
+  return cs;
+}
+
+}  // namespace xlv::ips

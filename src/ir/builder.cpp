@@ -1,0 +1,284 @@
+#include "ir/builder.h"
+
+#include <stdexcept>
+
+namespace xlv::ir {
+
+namespace {
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(std::string("ir::builder: ") + what);
+}
+
+/// Align two operands to a common width, extending each according to its own
+/// signedness (VHDL numeric_std convention).
+void align(Ex& a, Ex& b) {
+  require(a.ptr() && b.ptr(), "null expression operand");
+  const int w = std::max(a.width(), b.width());
+  if (a.width() < w) a = a.isSigned() ? sext(a, w) : zext(a, w);
+  if (b.width() < w) b = b.isSigned() ? sext(b, w) : zext(b, w);
+}
+
+Ex bin(BinOp op, Ex a, Ex b, bool alignWidths = true) {
+  if (alignWidths) align(a, b);
+  return Ex(makeBinary(op, a.ptr(), b.ptr()));
+}
+}  // namespace
+
+Ex lit(int width, std::uint64_t v) { return Ex(makeConst(width, v, false)); }
+
+Ex litS(int width, std::int64_t v) {
+  return Ex(makeConst(width, static_cast<std::uint64_t>(v), true));
+}
+
+Ex zext(Ex a, int width) { return Ex(makeResize(a.ptr(), width)); }
+Ex sext(Ex a, int width) { return Ex(makeSext(a.ptr(), width)); }
+Ex fit(Ex a, int width) { return a.isSigned() ? sext(a, width) : zext(a, width); }
+
+Ex slice(Ex a, int hi, int lo) { return Ex(makeSlice(a.ptr(), hi, lo)); }
+Ex bitof(Ex a, int i) { return slice(a, i, i); }
+
+Ex bitsel(Ex a, Ex idx) {
+  return zext(Ex(makeBinary(BinOp::Shr, a.ptr(), idx.ptr())), 1);
+}
+
+Ex concat(Ex hiPart, Ex loPart) {
+  return Ex(makeBinary(BinOp::Concat, hiPart.ptr(), loPart.ptr()));
+}
+
+Ex operator&(Ex a, Ex b) { return bin(BinOp::And, std::move(a), std::move(b)); }
+Ex operator|(Ex a, Ex b) { return bin(BinOp::Or, std::move(a), std::move(b)); }
+Ex operator^(Ex a, Ex b) { return bin(BinOp::Xor, std::move(a), std::move(b)); }
+Ex operator~(Ex a) { return Ex(makeUnary(UnOp::Not, a.ptr())); }
+Ex redand(Ex a) { return Ex(makeUnary(UnOp::RedAnd, a.ptr())); }
+Ex redor(Ex a) { return Ex(makeUnary(UnOp::RedOr, a.ptr())); }
+Ex redxor(Ex a) { return Ex(makeUnary(UnOp::RedXor, a.ptr())); }
+Ex bnot(Ex a) { return Ex(makeUnary(UnOp::BoolNot, a.ptr())); }
+
+Ex operator+(Ex a, Ex b) { return bin(BinOp::Add, std::move(a), std::move(b)); }
+Ex operator-(Ex a, Ex b) { return bin(BinOp::Sub, std::move(a), std::move(b)); }
+Ex operator*(Ex a, Ex b) { return bin(BinOp::Mul, std::move(a), std::move(b)); }
+Ex operator/(Ex a, Ex b) { return bin(BinOp::Div, std::move(a), std::move(b)); }
+Ex operator%(Ex a, Ex b) { return bin(BinOp::Mod, std::move(a), std::move(b)); }
+Ex neg(Ex a) { return Ex(makeUnary(UnOp::Neg, a.ptr())); }
+
+Ex shl(Ex a, Ex amount) { return bin(BinOp::Shl, std::move(a), std::move(amount), false); }
+Ex shr(Ex a, Ex amount) { return bin(BinOp::Shr, std::move(a), std::move(amount), false); }
+Ex ashr(Ex a, Ex amount) { return bin(BinOp::AShr, std::move(a), std::move(amount), false); }
+Ex shl(Ex a, int amount) { return shl(std::move(a), lit(32, static_cast<std::uint64_t>(amount))); }
+Ex shr(Ex a, int amount) { return shr(std::move(a), lit(32, static_cast<std::uint64_t>(amount))); }
+Ex ashr(Ex a, int amount) { return ashr(std::move(a), lit(32, static_cast<std::uint64_t>(amount))); }
+
+Ex operator==(Ex a, Ex b) { return bin(BinOp::Eq, std::move(a), std::move(b)); }
+Ex operator!=(Ex a, Ex b) { return bin(BinOp::Ne, std::move(a), std::move(b)); }
+Ex operator<(Ex a, Ex b) { return bin(BinOp::Lt, std::move(a), std::move(b)); }
+Ex operator<=(Ex a, Ex b) { return bin(BinOp::Le, std::move(a), std::move(b)); }
+Ex operator>(Ex a, Ex b) { return bin(BinOp::Gt, std::move(a), std::move(b)); }
+Ex operator>=(Ex a, Ex b) { return bin(BinOp::Ge, std::move(a), std::move(b)); }
+
+Ex operator==(Ex a, std::uint64_t v) {
+  const int w = a.width();
+  return a == lit(w, v);
+}
+Ex operator!=(Ex a, std::uint64_t v) {
+  const int w = a.width();
+  return a != lit(w, v);
+}
+Ex operator+(Ex a, std::uint64_t v) {
+  const int w = a.width();
+  return a + lit(w, v);
+}
+Ex operator-(Ex a, std::uint64_t v) {
+  const int w = a.width();
+  return a - lit(w, v);
+}
+
+Ex sel(Ex cond, Ex t, Ex f) {
+  align(t, f);
+  return Ex(makeSelect(cond.ptr(), t.ptr(), f.ptr()));
+}
+
+Ex at(const Arr& arr, Ex index) { return Ex(makeArrayRef(arr.id, arr.elemType, index.ptr())); }
+
+// --- ProcBuilder -------------------------------------------------------------
+
+void ProcBuilder::assign(const Sig& target, Ex value) {
+  require(target.valid(), "assign to undeclared signal");
+  require(value.ptr() != nullptr, "assign of null expression");
+  Ex rhs = value.width() == target.type.width ? value : fit(value, target.type.width);
+  stack_.back().push_back(makeAssign(target.id, rhs.ptr()));
+}
+
+void ProcBuilder::assignRange(const Sig& target, int hi, int lo, Ex value) {
+  require(target.valid(), "assign to undeclared signal");
+  Ex rhs = value.width() == hi - lo + 1 ? value : fit(value, hi - lo + 1);
+  stack_.back().push_back(makeAssignRange(target.id, hi, lo, rhs.ptr()));
+}
+
+void ProcBuilder::write(const Arr& target, Ex index, Ex value) {
+  require(target.id != kNoSymbol, "write to undeclared array");
+  Ex rhs = value.width() == target.elemType.width ? value : fit(value, target.elemType.width);
+  stack_.back().push_back(makeArrayWrite(target.id, index.ptr(), rhs.ptr()));
+}
+
+void ProcBuilder::if_(Ex cond, const std::function<void()>& thenFn,
+                      const std::function<void()>& elseFn) {
+  require(cond.ptr() != nullptr, "if with null condition");
+  stack_.emplace_back();
+  thenFn();
+  StmtPtr thenS = makeBlock(popLevel());
+  StmtPtr elseS;
+  if (elseFn) {
+    stack_.emplace_back();
+    elseFn();
+    elseS = makeBlock(popLevel());
+  }
+  stack_.back().push_back(makeIf(cond.ptr(), thenS, elseS));
+}
+
+void ProcBuilder::switch_(
+    Ex selector,
+    std::vector<std::pair<std::vector<std::uint64_t>, std::function<void()>>> arms,
+    const std::function<void()>& defaultFn) {
+  require(selector.ptr() != nullptr, "switch with null selector");
+  std::vector<CaseArm> irArms;
+  irArms.reserve(arms.size());
+  for (auto& [labels, fn] : arms) {
+    stack_.emplace_back();
+    fn();
+    irArms.push_back(CaseArm{labels, makeBlock(popLevel())});
+  }
+  StmtPtr dflt;
+  if (defaultFn) {
+    stack_.emplace_back();
+    defaultFn();
+    dflt = makeBlock(popLevel());
+  }
+  stack_.back().push_back(makeCase(selector.ptr(), std::move(irArms), dflt));
+}
+
+std::vector<StmtPtr> ProcBuilder::popLevel() {
+  auto stmts = std::move(stack_.back());
+  stack_.pop_back();
+  return stmts;
+}
+
+StmtPtr ProcBuilder::finish() {
+  require(stack_.size() == 1, "unbalanced control nesting in process body");
+  return makeBlock(popLevel());
+}
+
+// --- ModuleBuilder -----------------------------------------------------------
+
+Sig ModuleBuilder::declare(const std::string& name, SymKind kind, Type t, PortDir dir,
+                           ClockRole role, std::uint64_t init, bool hasInit) {
+  require(module_->findSymbol(name) == kNoSymbol, "duplicate symbol name");
+  Symbol s;
+  s.name = name;
+  s.kind = kind;
+  s.type = t;
+  s.dir = dir;
+  s.clock = role;
+  s.initValue = init;
+  s.hasInit = hasInit;
+  const SymbolId id = module_->addSymbol(std::move(s));
+  return Sig{id, t};
+}
+
+Sig ModuleBuilder::in(const std::string& name, int width, bool isSigned) {
+  return declare(name, SymKind::Signal, Type{width, isSigned}, PortDir::In);
+}
+
+Sig ModuleBuilder::out(const std::string& name, int width, bool isSigned) {
+  return declare(name, SymKind::Signal, Type{width, isSigned}, PortDir::Out);
+}
+
+Sig ModuleBuilder::clock(const std::string& name, ClockRole role) {
+  return declare(name, SymKind::Signal, Type{1, false}, PortDir::In, role);
+}
+
+Sig ModuleBuilder::signal(const std::string& name, int width, bool isSigned) {
+  return declare(name, SymKind::Signal, Type{width, isSigned}, PortDir::None);
+}
+
+Sig ModuleBuilder::signalInit(const std::string& name, int width, std::uint64_t init,
+                              bool isSigned) {
+  return declare(name, SymKind::Signal, Type{width, isSigned}, PortDir::None, ClockRole::None,
+                 init, true);
+}
+
+Sig ModuleBuilder::var(const std::string& name, int width, bool isSigned) {
+  return declare(name, SymKind::Variable, Type{width, isSigned}, PortDir::None);
+}
+
+Arr ModuleBuilder::array(const std::string& name, int elemWidth, int size, bool isSigned) {
+  require(size >= 1, "array size must be >= 1");
+  Symbol s;
+  s.name = name;
+  s.kind = SymKind::Array;
+  s.type = Type{elemWidth, isSigned};
+  s.arraySize = size;
+  const SymbolId id = module_->addSymbol(std::move(s));
+  return Arr{id, Type{elemWidth, isSigned}, size};
+}
+
+Arr ModuleBuilder::memory(const std::string& name, int elemWidth, int size, bool isSigned) {
+  Arr a = array(name, elemWidth, size, isSigned);
+  module_->symbol(a.id).isMacro = true;
+  return a;
+}
+
+void ModuleBuilder::initArray(const Arr& arr, std::vector<std::uint64_t> image) {
+  require(arr.id != kNoSymbol, "initArray on undeclared array");
+  require(static_cast<int>(image.size()) <= arr.size, "array init image too large");
+  module_->addArrayInit(ArrayInit{arr.id, std::move(image)});
+}
+
+void ModuleBuilder::sync(const std::string& name, const Sig& clk, EdgeKind edge,
+                         const std::function<void(ProcBuilder&)>& fn) {
+  require(clk.valid(), "sync process without clock");
+  ProcBuilder pb;
+  fn(pb);
+  Process p;
+  p.name = name;
+  p.isSync = true;
+  p.clock = clk.id;
+  p.edge = edge;
+  p.body = pb.finish();
+  module_->addProcess(std::move(p));
+}
+
+void ModuleBuilder::onPostEdge(const std::string& name, const Sig& clk,
+                               const std::function<void(ProcBuilder&)>& fn) {
+  sync(name, clk, EdgeKind::Rising, fn);
+  module_->processes().back().postEdge = true;
+}
+
+void ModuleBuilder::comb(const std::string& name, const std::function<void(ProcBuilder&)>& fn) {
+  ProcBuilder pb;
+  fn(pb);
+  Process p;
+  p.name = name;
+  p.isSync = false;
+  p.body = pb.finish();
+  p.sensitivity = deriveSensitivity(*p.body);
+  module_->addProcess(std::move(p));
+}
+
+void ModuleBuilder::instance(const std::string& name, std::shared_ptr<const Module> child,
+                             const std::vector<std::pair<std::string, Sig>>& portMap) {
+  require(child != nullptr, "instance of null module");
+  Instance inst;
+  inst.name = name;
+  inst.module = child;
+  for (const auto& [portName, parentSig] : portMap) {
+    const SymbolId childPort = child->findSymbol(portName);
+    require(childPort != kNoSymbol, "instance port name not found in child");
+    require(child->symbol(childPort).isPort(), "instance binding to non-port symbol");
+    require(child->symbol(childPort).type.width == parentSig.type.width,
+            "instance port width mismatch");
+    inst.bindings.push_back(PortBinding{childPort, parentSig.id});
+  }
+  module_->addInstance(std::move(inst));
+}
+
+}  // namespace xlv::ir

@@ -1,0 +1,203 @@
+// Builder DSL for constructing RTL IR modules in C++.
+//
+// Design code reads close to HDL:
+//
+//   ModuleBuilder mb("accum");
+//   auto clk = mb.clock("clk");
+//   auto rst = mb.in("rst", 1);
+//   auto din = mb.in("din", 8);
+//   auto acc = mb.out("acc", 16);
+//   mb.sync("acc_p", clk, EdgeKind::Rising, [&](ProcBuilder& p) {
+//     p.if_(Ex(rst) == 1u,
+//           [&] { p.assign(acc, lit(16, 0)); },
+//           [&] { p.assign(acc, Ex(acc) + zext(din, 16)); });
+//   });
+//   auto m = mb.finish();
+//
+// The Ex wrapper aligns operand widths automatically (zero-extension for
+// unsigned, sign-extension for signed operands), so built expressions always
+// satisfy the IR width rules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/module.h"
+#include "ir/walk.h"
+
+namespace xlv::ir {
+
+class ModuleBuilder;
+
+/// Handle to a declared signal/variable; knows its symbol and type.
+struct Sig {
+  SymbolId id = kNoSymbol;
+  Type type;
+
+  bool valid() const noexcept { return id != kNoSymbol; }
+};
+
+/// Handle to a declared array.
+struct Arr {
+  SymbolId id = kNoSymbol;
+  Type elemType;
+  int size = 0;
+};
+
+/// Expression wrapper enabling operator syntax.
+class Ex {
+ public:
+  Ex() = default;
+  explicit Ex(ExprPtr e) : e_(std::move(e)) {}
+  Ex(const Sig& s) : e_(makeRef(s.id, s.type)) {}  // NOLINT: implicit by design
+
+  const ExprPtr& ptr() const noexcept { return e_; }
+  int width() const noexcept { return e_ ? e_->type.width : 0; }
+  bool isSigned() const noexcept { return e_ && e_->type.isSigned; }
+
+ private:
+  ExprPtr e_;
+};
+
+// --- literals ---------------------------------------------------------------
+Ex lit(int width, std::uint64_t v);
+Ex litS(int width, std::int64_t v);
+
+// --- width manipulation -----------------------------------------------------
+Ex zext(Ex a, int width);
+Ex sext(Ex a, int width);
+/// Resize according to the operand's own signedness.
+Ex fit(Ex a, int width);
+Ex slice(Ex a, int hi, int lo);
+Ex bitof(Ex a, int i);
+/// Dynamic single-bit select: a[idx].
+Ex bitsel(Ex a, Ex idx);
+Ex concat(Ex hiPart, Ex loPart);
+
+// --- logic ------------------------------------------------------------------
+Ex operator&(Ex a, Ex b);
+Ex operator|(Ex a, Ex b);
+Ex operator^(Ex a, Ex b);
+Ex operator~(Ex a);
+Ex redand(Ex a);
+Ex redor(Ex a);
+Ex redxor(Ex a);
+/// Logical not: 1 iff a == 0.
+Ex bnot(Ex a);
+
+// --- arithmetic ---------------------------------------------------------------
+Ex operator+(Ex a, Ex b);
+Ex operator-(Ex a, Ex b);
+Ex operator*(Ex a, Ex b);
+Ex operator/(Ex a, Ex b);
+Ex operator%(Ex a, Ex b);
+Ex neg(Ex a);
+
+// --- shifts -------------------------------------------------------------------
+Ex shl(Ex a, Ex amount);
+Ex shr(Ex a, Ex amount);
+Ex ashr(Ex a, Ex amount);
+Ex shl(Ex a, int amount);
+Ex shr(Ex a, int amount);
+Ex ashr(Ex a, int amount);
+
+// --- comparisons (1-bit results) ---------------------------------------------
+Ex operator==(Ex a, Ex b);
+Ex operator!=(Ex a, Ex b);
+Ex operator<(Ex a, Ex b);
+Ex operator<=(Ex a, Ex b);
+Ex operator>(Ex a, Ex b);
+Ex operator>=(Ex a, Ex b);
+
+// Convenience right-hand literals sized to the left operand.
+Ex operator==(Ex a, std::uint64_t v);
+Ex operator!=(Ex a, std::uint64_t v);
+Ex operator+(Ex a, std::uint64_t v);
+Ex operator-(Ex a, std::uint64_t v);
+
+/// Conditional: cond ? t : f (arm widths aligned).
+Ex sel(Ex cond, Ex t, Ex f);
+
+/// Array element read.
+Ex at(const Arr& arr, Ex index);
+
+/// Statement accumulation with structured nesting. Obtained from
+/// ModuleBuilder::sync / comb callbacks; the callback records statements by
+/// calling the methods below.
+class ProcBuilder {
+ public:
+  void assign(const Sig& target, Ex value);
+  void assignRange(const Sig& target, int hi, int lo, Ex value);
+  void write(const Arr& target, Ex index, Ex value);
+  void if_(Ex cond, const std::function<void()>& thenFn,
+           const std::function<void()>& elseFn = {});
+  /// switch/case over a selector with integer labels.
+  void switch_(Ex selector,
+               std::vector<std::pair<std::vector<std::uint64_t>, std::function<void()>>> arms,
+               const std::function<void()>& defaultFn = {});
+
+ private:
+  friend class ModuleBuilder;
+  ProcBuilder() { stack_.emplace_back(); }
+  StmtPtr finish();
+  std::vector<StmtPtr> popLevel();
+
+  std::vector<std::vector<StmtPtr>> stack_;
+};
+
+class ModuleBuilder {
+ public:
+  explicit ModuleBuilder(std::string name)
+      : module_(std::make_shared<Module>(std::move(name))) {}
+
+  // --- declarations ---------------------------------------------------------
+  Sig in(const std::string& name, int width, bool isSigned = false);
+  Sig out(const std::string& name, int width, bool isSigned = false);
+  Sig clock(const std::string& name, ClockRole role = ClockRole::Main);
+  Sig signal(const std::string& name, int width, bool isSigned = false);
+  /// Signal with an explicit power-on value.
+  Sig signalInit(const std::string& name, int width, std::uint64_t init, bool isSigned = false);
+  /// Process variable (immediate assignment semantics).
+  Sig var(const std::string& name, int width, bool isSigned = false);
+  Arr array(const std::string& name, int elemWidth, int size, bool isSigned = false);
+  /// Array backed by a memory macro (SRAM/ROM): excluded from FF/gate counts.
+  Arr memory(const std::string& name, int elemWidth, int size, bool isSigned = false);
+  void initArray(const Arr& arr, std::vector<std::uint64_t> image);
+
+  // --- processes --------------------------------------------------------------
+  void sync(const std::string& name, const Sig& clk, EdgeKind edge,
+            const std::function<void(ProcBuilder&)>& fn);
+  void onRising(const std::string& name, const Sig& clk,
+                const std::function<void(ProcBuilder&)>& fn) {
+    sync(name, clk, EdgeKind::Rising, fn);
+  }
+  void onFalling(const std::string& name, const Sig& clk,
+                 const std::function<void(ProcBuilder&)>& fn) {
+    sync(name, clk, EdgeKind::Falling, fn);
+  }
+  /// Post-edge sampler process (see Process::postEdge): runs after the rising
+  /// edge's commits and settling, before any delayed update can land.
+  void onPostEdge(const std::string& name, const Sig& clk,
+                  const std::function<void(ProcBuilder&)>& fn);
+  /// Combinational process; sensitivity derived from the body's read set.
+  void comb(const std::string& name, const std::function<void(ProcBuilder&)>& fn);
+
+  // --- hierarchy ----------------------------------------------------------------
+  /// Instantiate `child`, binding child port names to parent signals.
+  void instance(const std::string& name, std::shared_ptr<const Module> child,
+                const std::vector<std::pair<std::string, Sig>>& portMap);
+
+  Module& module() noexcept { return *module_; }
+  std::shared_ptr<Module> finish() { return module_; }
+
+ private:
+  Sig declare(const std::string& name, SymKind kind, Type t, PortDir dir,
+              ClockRole role = ClockRole::None, std::uint64_t init = 0, bool hasInit = false);
+  std::shared_ptr<Module> module_;
+};
+
+}  // namespace xlv::ir

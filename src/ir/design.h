@@ -1,0 +1,49 @@
+// Design: a fully elaborated (flattened) RTL description.
+//
+// Elaboration inlines the instance hierarchy: child symbols get
+// "instance.name"-prefixed flat entries, child ports unify with the parent
+// symbols they are bound to, and all process bodies are rewritten onto the
+// flat symbol space. Every engine downstream — the event-driven RTL kernel,
+// the TLM scheduler, the STA, the mutation injector — operates on a Design.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace xlv::ir {
+
+struct Design {
+  std::string name;
+  std::vector<Symbol> symbols;
+  std::vector<Process> processes;
+  std::vector<ArrayInit> arrayInits;
+
+  SymbolId mainClock = kNoSymbol;
+  SymbolId hfClock = kNoSymbol;
+
+  std::vector<SymbolId> inputs;   ///< non-clock input ports of the top module
+  std::vector<SymbolId> outputs;  ///< output ports of the top module
+
+  /// symbols assigned in a synchronous process (register outputs / memories).
+  std::vector<bool> isRegister;
+
+  const Symbol& symbol(SymbolId id) const { return symbols.at(static_cast<std::size_t>(id)); }
+  SymbolId findSymbol(const std::string& n) const {
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      if (symbols[i].name == n) return static_cast<SymbolId>(i);
+    }
+    return kNoSymbol;
+  }
+
+  int numSymbols() const noexcept { return static_cast<int>(symbols.size()); }
+
+  /// Total flip-flop bits: width of every register signal plus array bits of
+  /// register arrays (the FF (#) column of Table 1).
+  int flipFlopBits() const;
+
+  int countProcesses(bool sync) const;
+};
+
+}  // namespace xlv::ir

@@ -1,0 +1,154 @@
+#include "ir/elaborate.h"
+
+#include <unordered_map>
+
+#include "ir/walk.h"
+
+namespace xlv::ir {
+
+namespace {
+
+/// Recursive flattening of one module into the design under construction.
+/// `bound` maps the module's port symbols to already-created flat ids (empty
+/// for the top module); unbound ports become flat symbols themselves.
+void flatten(const Module& m, const std::string& prefix,
+             const std::unordered_map<SymbolId, SymbolId>& bound, Design& d) {
+  std::unordered_map<SymbolId, SymbolId> map;
+
+  // Create flat symbols (or reuse bound ones for connected ports).
+  const auto& syms = m.symbols();
+  for (std::size_t i = 0; i < syms.size(); ++i) {
+    const auto id = static_cast<SymbolId>(i);
+    if (auto it = bound.find(id); it != bound.end()) {
+      map[id] = it->second;
+      continue;
+    }
+    Symbol flat = syms[i];
+    flat.name = prefix.empty() ? flat.name : prefix + "." + flat.name;
+    if (!prefix.empty()) flat.dir = PortDir::None;  // only top-level ports stay ports
+    d.symbols.push_back(std::move(flat));
+    map[id] = static_cast<SymbolId>(d.symbols.size() - 1);
+  }
+
+  // Processes and array images, rewritten onto flat ids.
+  for (const auto& p : m.processes()) {
+    Process fp;
+    fp.name = prefix.empty() ? p.name : prefix + "." + p.name;
+    fp.isSync = p.isSync;
+    fp.clock = p.isSync ? map.at(p.clock) : kNoSymbol;
+    fp.edge = p.edge;
+    fp.postEdge = p.postEdge;
+    fp.body = remapStmt(p.body, map);
+    if (!p.isSync) {
+      fp.sensitivity.reserve(p.sensitivity.size());
+      for (SymbolId s : p.sensitivity) fp.sensitivity.push_back(map.at(s));
+    }
+    d.processes.push_back(std::move(fp));
+  }
+  for (const auto& ai : m.arrayInits()) {
+    d.arrayInits.push_back(ArrayInit{map.at(ai.array), ai.words});
+  }
+
+  // Recurse into instances.
+  for (const auto& inst : m.instances()) {
+    std::unordered_map<SymbolId, SymbolId> childBound;
+    for (const auto& b : inst.bindings) childBound[b.childPort] = map.at(b.parentSym);
+    const std::string childPrefix = prefix.empty() ? inst.name : prefix + "." + inst.name;
+    flatten(*inst.module, childPrefix, childBound, d);
+  }
+}
+
+void checkDrivers(const Design& d) {
+  // driver[sym] = index of the (unique) writing process, or -2 for multiple.
+  std::vector<int> driver(d.symbols.size(), -1);
+  for (std::size_t pi = 0; pi < d.processes.size(); ++pi) {
+    std::set<SymbolId> writes;
+    collectWrites(*d.processes[pi].body, writes);
+    for (SymbolId s : writes) {
+      const Symbol& sym = d.symbol(s);
+      if (sym.kind == SymKind::Variable) continue;  // variables are process-local by convention
+      if (sym.isClock()) {
+        throw ElaborationError("process '" + d.processes[pi].name + "' writes clock '" +
+                               sym.name + "'");
+      }
+      if (sym.dir == PortDir::In) {
+        throw ElaborationError("process '" + d.processes[pi].name + "' writes input port '" +
+                               sym.name + "'");
+      }
+      auto& slot = driver[static_cast<std::size_t>(s)];
+      if (slot == -1) {
+        slot = static_cast<int>(pi);
+      } else if (slot != static_cast<int>(pi)) {
+        throw ElaborationError("signal '" + sym.name + "' has multiple drivers ('" +
+                               d.processes[static_cast<std::size_t>(slot)].name + "' and '" +
+                               d.processes[pi].name + "')");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int Design::flipFlopBits() const {
+  int bits = 0;
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    if (!isRegister[i]) continue;
+    const Symbol& s = symbols[i];
+    if (s.kind == SymKind::Array) {
+      if (!s.isMacro) bits += s.type.width * s.arraySize;
+    } else {
+      bits += s.type.width;
+    }
+  }
+  return bits;
+}
+
+int Design::countProcesses(bool sync) const {
+  int n = 0;
+  for (const auto& p : processes) {
+    if (p.isSync == sync) ++n;
+  }
+  return n;
+}
+
+Design elaborate(const Module& top) {
+  Design d;
+  d.name = top.name();
+  flatten(top, "", {}, d);
+
+  checkDrivers(d);
+
+  // Locate clocks and classify top-level ports.
+  for (std::size_t i = 0; i < d.symbols.size(); ++i) {
+    const auto id = static_cast<SymbolId>(i);
+    const Symbol& s = d.symbols[i];
+    if (s.clock == ClockRole::Main) {
+      if (d.mainClock != kNoSymbol && d.mainClock != id) {
+        throw ElaborationError("multiple main clocks: '" + d.symbol(d.mainClock).name +
+                               "' and '" + s.name + "'");
+      }
+      d.mainClock = id;
+    } else if (s.clock == ClockRole::HighFreq) {
+      if (d.hfClock != kNoSymbol && d.hfClock != id) {
+        throw ElaborationError("multiple high-frequency clocks: '" +
+                               d.symbol(d.hfClock).name + "' and '" + s.name + "'");
+      }
+      d.hfClock = id;
+    }
+    if (s.dir == PortDir::In && !s.isClock()) d.inputs.push_back(id);
+    if (s.dir == PortDir::Out) d.outputs.push_back(id);
+  }
+
+  // Mark registers: symbols written by synchronous processes.
+  d.isRegister.assign(d.symbols.size(), false);
+  for (const auto& p : d.processes) {
+    if (!p.isSync) continue;
+    std::set<SymbolId> writes;
+    collectWrites(*p.body, writes);
+    for (SymbolId s : writes) d.isRegister[static_cast<std::size_t>(s)] = true;
+  }
+
+  return d;
+}
+
+}  // namespace xlv::ir

@@ -1,0 +1,25 @@
+// Elaboration: flatten a module hierarchy into a Design.
+//
+// Performs static legality checks along the way:
+//   * every signal is driven by at most one process (no resolution),
+//   * clock symbols are never written by processes,
+//   * input ports of the top module are never written by processes,
+//   * instance port bindings are width-compatible (checked at build time).
+// Violations throw ElaborationError.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+
+#include "ir/design.h"
+
+namespace xlv::ir {
+
+class ElaborationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+Design elaborate(const Module& top);
+
+}  // namespace xlv::ir

@@ -1,0 +1,285 @@
+// Expression evaluation and statement execution over a flat Design.
+//
+// Templated on a value policy (hdt::FourState or hdt::TwoState, see
+// hdt/policy.h): the same IR runs with faithful 4-value semantics or with the
+// HDTLib-optimized 2-value types — the switch measured by Table 4 of the
+// paper.
+//
+// Assignment semantics (VHDL rules):
+//   * Variable targets update the store immediately;
+//   * Signal and array targets are collected into a nonblocking write buffer
+//     that the calling engine commits at a delta boundary.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "hdt/policy.h"
+#include "ir/design.h"
+#include "util/log.h"
+
+namespace xlv::ir {
+
+/// One pending nonblocking write.
+template <class P>
+struct SignalWrite {
+  using Vec = typename P::Vec;
+  SymbolId sym = kNoSymbol;
+  int hi = -1, lo = -1;            ///< optional bit range (-1,-1 = whole vector)
+  std::int64_t arrayIndex = -1;    ///< >= 0 for array element writes
+  Vec value;
+};
+
+/// Storage of current values for every symbol (and array) of a Design.
+template <class P>
+class ValueStore {
+ public:
+  using Vec = typename P::Vec;
+
+  explicit ValueStore(const Design& d) : arrayBase_(d.symbols.size(), -1) {
+    vals_.reserve(d.symbols.size());
+    for (const auto& s : d.symbols) {
+      if (s.kind == SymKind::Array) {
+        arrayBase_[vals_.size()] = static_cast<int>(arrayPool_.size());
+        arrayPool_.emplace_back(static_cast<std::size_t>(s.arraySize), Vec(s.type.width));
+        vals_.emplace_back(1);  // placeholder slot, never read
+      } else if (s.hasInit) {
+        vals_.push_back(Vec::fromUint(s.type.width, s.initValue));
+      } else {
+        vals_.emplace_back(s.type.width);
+      }
+    }
+    for (const auto& ai : d.arrayInits) {
+      auto& pool = arrayPool_[static_cast<std::size_t>(arrayBase_[static_cast<std::size_t>(ai.array)])];
+      const int w = d.symbol(ai.array).type.width;
+      for (std::size_t i = 0; i < ai.words.size() && i < pool.size(); ++i) {
+        pool[i] = Vec::fromUint(w, ai.words[i]);
+      }
+    }
+  }
+
+  const Vec& get(SymbolId s) const noexcept { return vals_[static_cast<std::size_t>(s)]; }
+  void set(SymbolId s, const Vec& v) { vals_[static_cast<std::size_t>(s)] = v; }
+  void set(SymbolId s, Vec&& v) { vals_[static_cast<std::size_t>(s)] = std::move(v); }
+  Vec& mut(SymbolId s) noexcept { return vals_[static_cast<std::size_t>(s)]; }
+
+  bool isArray(SymbolId s) const noexcept {
+    return arrayBase_[static_cast<std::size_t>(s)] >= 0;
+  }
+  std::size_t arraySize(SymbolId s) const noexcept { return pool(s).size(); }
+  const Vec& getArray(SymbolId s, std::uint64_t idx) const noexcept {
+    const auto& p = pool(s);
+    return p[static_cast<std::size_t>(idx % p.size())];  // clamp by wrap, documented
+  }
+  void setArray(SymbolId s, std::uint64_t idx, const Vec& v) {
+    auto& p = pool(s);
+    p[static_cast<std::size_t>(idx % p.size())] = v;
+  }
+
+ private:
+  const std::vector<Vec>& pool(SymbolId s) const noexcept {
+    return arrayPool_[static_cast<std::size_t>(arrayBase_[static_cast<std::size_t>(s)])];
+  }
+  std::vector<Vec>& pool(SymbolId s) noexcept {
+    return arrayPool_[static_cast<std::size_t>(arrayBase_[static_cast<std::size_t>(s)])];
+  }
+
+  std::vector<Vec> vals_;
+  std::vector<int> arrayBase_;
+  std::vector<std::vector<Vec>> arrayPool_;
+};
+
+/// Commit one nonblocking write; returns true when the stored value changed
+/// (the information that drives delta-cycle sensitivity wake-ups).
+template <class P>
+bool commitWrite(ValueStore<P>& st, const SignalWrite<P>& w) {
+  using hdt::vec_setSlice;
+  if (w.arrayIndex >= 0) {
+    const auto& old = st.getArray(w.sym, static_cast<std::uint64_t>(w.arrayIndex));
+    if (old.identical(w.value)) return false;
+    st.setArray(w.sym, static_cast<std::uint64_t>(w.arrayIndex), w.value);
+    return true;
+  }
+  if (w.hi >= 0) {
+    auto& cur = st.mut(w.sym);
+    typename P::Vec next = cur;
+    vec_setSlice(next, w.hi, w.lo, w.value);
+    if (cur.identical(next)) return false;
+    cur = std::move(next);
+    return true;
+  }
+  auto& cur = st.mut(w.sym);
+  if (cur.identical(w.value)) return false;
+  cur = w.value;
+  return true;
+}
+
+/// Executes process bodies against a ValueStore, buffering nonblocking
+/// writes. One Executor per engine; it is stateless between calls.
+template <class P>
+class Executor {
+ public:
+  using Vec = typename P::Vec;
+
+  Executor(const Design& d, ValueStore<P>& store) : d_(d), store_(store) {}
+
+  /// Run a process body, appending nonblocking writes to `nba`.
+  void run(const Stmt& body, std::vector<SignalWrite<P>>& nba) {
+    nba_ = &nba;
+    exec(body);
+    nba_ = nullptr;
+  }
+
+  Vec eval(const Expr& e) const {
+    using namespace hdt;
+    switch (e.kind) {
+      case ExprKind::Const:
+        return Vec::fromUint(e.type.width, e.cval);
+      case ExprKind::Ref:
+        return store_.get(e.sym);
+      case ExprKind::ArrayRef: {
+        const Vec idx = eval(*e.a);
+        if (idx.anyUnknown()) return Vec::allX(e.type.width);
+        return store_.getArray(e.sym, idx.toUint());
+      }
+      case ExprKind::Unary: {
+        const Vec a = eval(*e.a);
+        switch (e.uop) {
+          case UnOp::Not: return vec_not(a);
+          case UnOp::Neg: return vec_neg(a);
+          case UnOp::RedAnd: return vec_redand(a);
+          case UnOp::RedOr: return vec_redor(a);
+          case UnOp::RedXor: return vec_redxor(a);
+          case UnOp::BoolNot:
+            return Vec::fromUint(1, vec_isTrue(a) ? 0 : 1);
+        }
+        return Vec(e.type.width);
+      }
+      case ExprKind::Binary:
+        return evalBinary(e);
+      case ExprKind::Slice:
+        return vec_slice(eval(*e.a), e.hi, e.lo);
+      case ExprKind::Select: {
+        // Pessimistic condition: unknown selects the else arm (documented).
+        return vec_isTrue(eval(*e.a)) ? eval(*e.b) : eval(*e.c);
+      }
+      case ExprKind::Resize:
+        return vec_resize(eval(*e.a), e.type.width);
+      case ExprKind::Sext:
+        return vec_sext(eval(*e.a), e.type.width);
+    }
+    return Vec(e.type.width);
+  }
+
+ private:
+  Vec evalBinary(const Expr& e) const {
+    using namespace hdt;
+    switch (e.bop) {
+      case BinOp::Shl:
+      case BinOp::Shr:
+      case BinOp::AShr: {
+        const Vec a = eval(*e.a);
+        const Vec amt = eval(*e.b);
+        if (amt.anyUnknown()) return Vec::allX(e.type.width);
+        const std::uint64_t raw = amt.toUint();
+        const int amount = raw > static_cast<std::uint64_t>(std::numeric_limits<int>::max())
+                               ? std::numeric_limits<int>::max()
+                               : static_cast<int>(raw);
+        if (e.bop == BinOp::Shl) return vec_shl(a, amount);
+        if (e.bop == BinOp::Shr) return vec_shr(a, amount);
+        return vec_ashr(a, amount);
+      }
+      default:
+        break;
+    }
+    const Vec a = eval(*e.a);
+    const Vec b = eval(*e.b);
+    const bool sgn = e.a->type.isSigned && e.b->type.isSigned;
+    using namespace hdt;
+    switch (e.bop) {
+      case BinOp::And: return vec_and(a, b);
+      case BinOp::Or: return vec_or(a, b);
+      case BinOp::Xor: return vec_xor(a, b);
+      case BinOp::Add: return vec_add(a, b);
+      case BinOp::Sub: return vec_sub(a, b);
+      case BinOp::Mul: return vec_mul(a, b);
+      case BinOp::Div: return vec_div(a, b);
+      case BinOp::Mod: return vec_mod(a, b);
+      case BinOp::Eq: return vec_eq(a, b);
+      case BinOp::Ne: return vec_ne(a, b);
+      case BinOp::Lt: return sgn ? vec_lts(a, b) : vec_ltu(a, b);
+      case BinOp::Le: return sgn ? vec_les(a, b) : vec_leu(a, b);
+      case BinOp::Gt: return sgn ? vec_lts(b, a) : vec_ltu(b, a);
+      case BinOp::Ge: return sgn ? vec_les(b, a) : vec_leu(b, a);
+      case BinOp::Concat: return vec_concat(a, b);
+      default: break;
+    }
+    return Vec(e.type.width);
+  }
+
+  void exec(const Stmt& s) {
+    using namespace hdt;
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        Vec v = eval(*s.value);
+        const Symbol& sym = d_.symbol(s.target);
+        if (sym.kind == SymKind::Variable) {
+          if (s.hi >= 0) {
+            vec_setSlice(store_.mut(s.target), s.hi, s.lo, v);
+          } else {
+            store_.set(s.target, std::move(v));
+          }
+        } else {
+          nba_->push_back(SignalWrite<P>{s.target, s.hi, s.lo, -1, std::move(v)});
+        }
+        break;
+      }
+      case StmtKind::ArrayWrite: {
+        const Vec idx = eval(*s.index);
+        if (idx.anyUnknown()) {
+          XLV_WARN("ir.eval") << "array write with unknown index skipped (array '"
+                              << d_.symbol(s.target).name << "')";
+          break;
+        }
+        Vec v = eval(*s.value);
+        nba_->push_back(SignalWrite<P>{s.target, -1, -1,
+                                       static_cast<std::int64_t>(idx.toUint()), std::move(v)});
+        break;
+      }
+      case StmtKind::If: {
+        if (vec_isTrue(eval(*s.value))) {
+          if (s.thenS) exec(*s.thenS);
+        } else if (s.elseS) {
+          exec(*s.elseS);
+        }
+        break;
+      }
+      case StmtKind::Case: {
+        const Vec selv = eval(*s.value);
+        if (!selv.anyUnknown()) {
+          const std::uint64_t key = selv.toUint();
+          for (const auto& arm : s.arms) {
+            for (std::uint64_t label : arm.labels) {
+              if (label == key) {
+                if (arm.body) exec(*arm.body);
+                return;
+              }
+            }
+          }
+        }
+        if (s.defaultArm) exec(*s.defaultArm);
+        break;
+      }
+      case StmtKind::Block:
+        for (const auto& st : s.stmts) exec(*st);
+        break;
+    }
+  }
+
+  const Design& d_;
+  ValueStore<P>& store_;
+  std::vector<SignalWrite<P>>* nba_ = nullptr;
+};
+
+}  // namespace xlv::ir

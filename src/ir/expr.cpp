@@ -1,0 +1,223 @@
+#include "ir/expr.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace xlv::ir {
+
+namespace {
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(std::string("ir::Expr: ") + what);
+}
+
+std::shared_ptr<Expr> node(ExprKind k, Type t) {
+  auto e = std::make_shared<Expr>();
+  e->kind = k;
+  e->type = t;
+  return e;
+}
+}  // namespace
+
+ExprPtr makeConst(int width, std::uint64_t value, bool isSigned) {
+  require(width >= 1, "const width must be >= 1");
+  auto e = node(ExprKind::Const, Type{width, isSigned});
+  e->cval = width >= 64 ? value : (value & ((1ULL << width) - 1));
+  return e;
+}
+
+ExprPtr makeRef(SymbolId sym, Type t) {
+  require(sym != kNoSymbol, "ref to no symbol");
+  auto e = node(ExprKind::Ref, t);
+  e->sym = sym;
+  return e;
+}
+
+ExprPtr makeArrayRef(SymbolId arr, Type elemType, ExprPtr index) {
+  require(arr != kNoSymbol, "array ref to no symbol");
+  require(index != nullptr, "array ref needs an index");
+  auto e = node(ExprKind::ArrayRef, elemType);
+  e->sym = arr;
+  e->a = std::move(index);
+  return e;
+}
+
+ExprPtr makeUnary(UnOp op, ExprPtr a) {
+  require(a != nullptr, "unary operand missing");
+  Type t = a->type;
+  switch (op) {
+    case UnOp::Not:
+    case UnOp::Neg:
+      break;  // same width
+    case UnOp::RedAnd:
+    case UnOp::RedOr:
+    case UnOp::RedXor:
+    case UnOp::BoolNot:
+      t = Type{1, false};
+      break;
+  }
+  auto e = node(ExprKind::Unary, t);
+  e->uop = op;
+  e->a = std::move(a);
+  return e;
+}
+
+ExprPtr makeBinary(BinOp op, ExprPtr a, ExprPtr b) {
+  require(a != nullptr && b != nullptr, "binary operand missing");
+  Type t;
+  switch (op) {
+    case BinOp::And:
+    case BinOp::Or:
+    case BinOp::Xor:
+    case BinOp::Add:
+    case BinOp::Sub:
+    case BinOp::Mul:
+    case BinOp::Div:
+    case BinOp::Mod:
+      require(a->type.width == b->type.width, "binary op width mismatch");
+      t = Type{a->type.width, a->type.isSigned && b->type.isSigned};
+      break;
+    case BinOp::Shl:
+    case BinOp::Shr:
+    case BinOp::AShr:
+      t = a->type;  // amount width is free
+      break;
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+      require(a->type.width == b->type.width, "comparison width mismatch");
+      t = Type{1, false};
+      break;
+    case BinOp::Concat:
+      t = Type{a->type.width + b->type.width, false};
+      break;
+  }
+  auto e = node(ExprKind::Binary, t);
+  e->bop = op;
+  e->a = std::move(a);
+  e->b = std::move(b);
+  return e;
+}
+
+ExprPtr makeSlice(ExprPtr a, int hi, int lo) {
+  require(a != nullptr, "slice operand missing");
+  require(lo >= 0 && hi >= lo && hi < a->type.width, "slice bounds out of range");
+  auto e = node(ExprKind::Slice, Type{hi - lo + 1, false});
+  e->a = std::move(a);
+  e->hi = hi;
+  e->lo = lo;
+  return e;
+}
+
+ExprPtr makeSelect(ExprPtr cond, ExprPtr t, ExprPtr f) {
+  require(cond != nullptr && t != nullptr && f != nullptr, "select operand missing");
+  require(t->type.width == f->type.width, "select arm width mismatch");
+  auto e = node(ExprKind::Select, Type{t->type.width, t->type.isSigned && f->type.isSigned});
+  e->a = std::move(cond);
+  e->b = std::move(t);
+  e->c = std::move(f);
+  return e;
+}
+
+ExprPtr makeResize(ExprPtr a, int width) {
+  require(a != nullptr, "resize operand missing");
+  require(width >= 1, "resize width must be >= 1");
+  if (a->type.width == width) return a;
+  auto e = node(ExprKind::Resize, Type{width, false});
+  e->a = std::move(a);
+  return e;
+}
+
+ExprPtr makeSext(ExprPtr a, int width) {
+  require(a != nullptr, "sext operand missing");
+  require(width >= 1, "sext width must be >= 1");
+  if (a->type.width == width) return a;
+  auto e = node(ExprKind::Sext, Type{width, true});
+  e->a = std::move(a);
+  return e;
+}
+
+namespace {
+const char* binOpToken(BinOp op) {
+  switch (op) {
+    case BinOp::And: return "&";
+    case BinOp::Or: return "|";
+    case BinOp::Xor: return "^";
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::Shl: return "<<";
+    case BinOp::Shr: return ">>";
+    case BinOp::AShr: return ">>>";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Concat: return ",";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string exprToString(const Expr& e, const std::vector<Symbol>& symbols) {
+  auto symName = [&](SymbolId s) -> std::string {
+    if (s >= 0 && static_cast<std::size_t>(s) < symbols.size())
+      return symbols[static_cast<std::size_t>(s)].name;
+    return "?sym" + std::to_string(s);
+  };
+  std::ostringstream os;
+  switch (e.kind) {
+    case ExprKind::Const:
+      os << e.type.width << "'d" << e.cval;
+      break;
+    case ExprKind::Ref:
+      os << symName(e.sym);
+      break;
+    case ExprKind::ArrayRef:
+      os << symName(e.sym) << "[" << exprToString(*e.a, symbols) << "]";
+      break;
+    case ExprKind::Unary: {
+      const char* t = "~";
+      switch (e.uop) {
+        case UnOp::Not: t = "~"; break;
+        case UnOp::Neg: t = "-"; break;
+        case UnOp::RedAnd: t = "&"; break;
+        case UnOp::RedOr: t = "|"; break;
+        case UnOp::RedXor: t = "^"; break;
+        case UnOp::BoolNot: t = "!"; break;
+      }
+      os << t << "(" << exprToString(*e.a, symbols) << ")";
+      break;
+    }
+    case ExprKind::Binary:
+      if (e.bop == BinOp::Concat) {
+        os << "{" << exprToString(*e.a, symbols) << ", " << exprToString(*e.b, symbols) << "}";
+      } else {
+        os << "(" << exprToString(*e.a, symbols) << " " << binOpToken(e.bop) << " "
+           << exprToString(*e.b, symbols) << ")";
+      }
+      break;
+    case ExprKind::Slice:
+      os << exprToString(*e.a, symbols) << "[" << e.hi << ":" << e.lo << "]";
+      break;
+    case ExprKind::Select:
+      os << "(" << exprToString(*e.a, symbols) << " ? " << exprToString(*e.b, symbols) << " : "
+         << exprToString(*e.c, symbols) << ")";
+      break;
+    case ExprKind::Resize:
+      os << "zext(" << exprToString(*e.a, symbols) << ", " << e.type.width << ")";
+      break;
+    case ExprKind::Sext:
+      os << "sext(" << exprToString(*e.a, symbols) << ", " << e.type.width << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace xlv::ir

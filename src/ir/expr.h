@@ -1,0 +1,70 @@
+// Expression nodes of the RTL IR.
+//
+// Expressions are immutable and shared (shared_ptr<const Expr>), so rewriting
+// passes (elaboration renaming, mutant injection) clone only the spine they
+// change. Every node carries its result Type, fixed at construction by the
+// factory functions, which also enforce the width rules:
+//   * bitwise/arithmetic binary ops require equal operand widths,
+//   * comparisons and reductions produce width-1 unsigned,
+//   * Concat produces wa + wb,
+//   * shifts take the width of the shifted operand (any amount width).
+// The builder DSL (builder.h) performs automatic operand resizing so IP code
+// never constructs ill-typed nodes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ir/symbol.h"
+#include "ir/type.h"
+
+namespace xlv::ir {
+
+enum class ExprKind { Const, Ref, ArrayRef, Unary, Binary, Slice, Select, Resize, Sext };
+
+enum class UnOp { Not, Neg, RedAnd, RedOr, RedXor, BoolNot };
+
+enum class BinOp {
+  And, Or, Xor,
+  Add, Sub, Mul, Div, Mod,
+  Shl, Shr, AShr,
+  Eq, Ne, Lt, Le, Gt, Ge,   // Lt/Le/Gt/Ge signedness taken from operand a's type
+  Concat,
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  ExprKind kind = ExprKind::Const;
+  Type type;
+
+  std::uint64_t cval = 0;      ///< Const (widths up to 64; wider constants are built by Concat)
+  SymbolId sym = kNoSymbol;    ///< Ref / ArrayRef
+  ExprPtr a, b, c;             ///< unary: a; binary: a,b; slice: a; select: a=cond,b=then,c=else; arrayref: a=index
+  UnOp uop = UnOp::Not;
+  BinOp bop = BinOp::And;
+  int hi = 0, lo = 0;          ///< Slice bounds (inclusive)
+};
+
+// --- factories (each validates and computes the result type) ---------------
+
+ExprPtr makeConst(int width, std::uint64_t value, bool isSigned = false);
+ExprPtr makeRef(SymbolId sym, Type t);
+ExprPtr makeArrayRef(SymbolId arr, Type elemType, ExprPtr index);
+ExprPtr makeUnary(UnOp op, ExprPtr a);
+ExprPtr makeBinary(BinOp op, ExprPtr a, ExprPtr b);
+ExprPtr makeSlice(ExprPtr a, int hi, int lo);
+ExprPtr makeSelect(ExprPtr cond, ExprPtr t, ExprPtr f);
+/// Zero-extend (or truncate) keeping unsigned interpretation. Resize/Sext are
+/// pure wiring in hardware; they are distinct node kinds so timing analysis
+/// can cost them at zero delay.
+ExprPtr makeResize(ExprPtr a, int width);
+/// Sign-extend (or truncate).
+ExprPtr makeSext(ExprPtr a, int width);
+
+/// Human-readable rendering for diagnostics and the code emitters.
+std::string exprToString(const Expr& e, const std::vector<Symbol>& symbols);
+
+}  // namespace xlv::ir

@@ -1,0 +1,28 @@
+#include "ir/module.h"
+
+namespace xlv::ir {
+
+SymbolId Module::findSymbol(const std::string& name) const {
+  for (std::size_t i = 0; i < symbols_.size(); ++i) {
+    if (symbols_[i].name == name) return static_cast<SymbolId>(i);
+  }
+  return kNoSymbol;
+}
+
+std::vector<SymbolId> Module::ports() const {
+  std::vector<SymbolId> out;
+  for (std::size_t i = 0; i < symbols_.size(); ++i) {
+    if (symbols_[i].isPort()) out.push_back(static_cast<SymbolId>(i));
+  }
+  return out;
+}
+
+int Module::countProcesses(bool sync) const {
+  int n = 0;
+  for (const auto& p : processes_) {
+    if (p.isSync == sync) ++n;
+  }
+  return n;
+}
+
+}  // namespace xlv::ir

@@ -1,0 +1,79 @@
+// Module: one RTL design unit — symbols, processes, child instances.
+//
+// Modules are built through ModuleBuilder (builder.h), then either
+// instantiated inside other modules or elaborated into a flat Design
+// (elaborate.h) for simulation, timing analysis and abstraction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/process.h"
+#include "ir/symbol.h"
+
+namespace xlv::ir {
+
+class Module;
+
+/// Connects a child port symbol to a parent symbol of the same width.
+struct PortBinding {
+  SymbolId childPort = kNoSymbol;
+  SymbolId parentSym = kNoSymbol;
+};
+
+struct Instance {
+  std::string name;
+  std::shared_ptr<const Module> module;
+  std::vector<PortBinding> bindings;
+};
+
+/// Initialization image for an array symbol (ROMs, program memories).
+struct ArrayInit {
+  SymbolId array = kNoSymbol;
+  std::vector<std::uint64_t> words;
+};
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  SymbolId addSymbol(Symbol s) {
+    symbols_.push_back(std::move(s));
+    return static_cast<SymbolId>(symbols_.size() - 1);
+  }
+
+  const std::vector<Symbol>& symbols() const noexcept { return symbols_; }
+  const Symbol& symbol(SymbolId id) const { return symbols_.at(static_cast<std::size_t>(id)); }
+  Symbol& symbol(SymbolId id) { return symbols_.at(static_cast<std::size_t>(id)); }
+
+  void addProcess(Process p) { processes_.push_back(std::move(p)); }
+  const std::vector<Process>& processes() const noexcept { return processes_; }
+  std::vector<Process>& processes() noexcept { return processes_; }
+
+  void addInstance(Instance i) { instances_.push_back(std::move(i)); }
+  const std::vector<Instance>& instances() const noexcept { return instances_; }
+
+  void addArrayInit(ArrayInit ai) { arrayInits_.push_back(std::move(ai)); }
+  const std::vector<ArrayInit>& arrayInits() const noexcept { return arrayInits_; }
+
+  /// Find a symbol by name; returns kNoSymbol when absent.
+  SymbolId findSymbol(const std::string& name) const;
+
+  /// Port symbols in declaration order.
+  std::vector<SymbolId> ports() const;
+
+  int countProcesses(bool sync) const;
+
+ private:
+  std::string name_;
+  std::vector<Symbol> symbols_;
+  std::vector<Process> processes_;
+  std::vector<Instance> instances_;
+  std::vector<ArrayInit> arrayInits_;
+};
+
+}  // namespace xlv::ir

@@ -1,0 +1,37 @@
+// Processes: the concurrent statements of an RTL module.
+//
+// Two kinds exist, mirroring the paper's scheduler model (Fig. 6):
+//   * synchronous — triggered by one edge of one clock; these become the
+//     exec_synchronous_processes() calls of the TLM scheduler;
+//   * asynchronous (combinational) — triggered by any change of a symbol in
+//     the sensitivity list; these run inside the delta-cycle loops.
+// Sensitivity lists for asynchronous processes are derived automatically
+// from the read set of the body (see walk.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+#include "ir/symbol.h"
+
+namespace xlv::ir {
+
+enum class EdgeKind { Rising, Falling };
+
+struct Process {
+  std::string name;
+  bool isSync = false;
+  SymbolId clock = kNoSymbol;  ///< valid when isSync
+  EdgeKind edge = EdgeKind::Rising;
+  /// Post-edge sampler: a rising-edge synchronous process that runs after the
+  /// edge's nonblocking commits have been applied and combinational logic has
+  /// settled. This models a sampling element placed immediately behind the
+  /// registers (the Razor main flip-flop's view): it observes on-time commits
+  /// but misses anything postponed by a transport delay or a delay mutant.
+  bool postEdge = false;
+  std::vector<SymbolId> sensitivity;  ///< async processes: symbols whose change wakes this up
+  StmtPtr body;
+};
+
+}  // namespace xlv::ir

@@ -1,0 +1,103 @@
+#include "ir/stmt.h"
+
+#include <stdexcept>
+
+namespace xlv::ir {
+
+namespace {
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(std::string("ir::Stmt: ") + what);
+}
+
+std::shared_ptr<Stmt> node(StmtKind k) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = k;
+  return s;
+}
+}  // namespace
+
+StmtPtr makeAssign(SymbolId target, ExprPtr value) {
+  require(target != kNoSymbol, "assign to no symbol");
+  require(value != nullptr, "assign without value");
+  auto s = node(StmtKind::Assign);
+  s->target = target;
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr makeAssignRange(SymbolId target, int hi, int lo, ExprPtr value) {
+  require(target != kNoSymbol, "assign to no symbol");
+  require(value != nullptr, "assign without value");
+  require(hi >= lo && lo >= 0, "bad assign range");
+  require(value->type.width == hi - lo + 1, "range assign width mismatch");
+  auto s = node(StmtKind::Assign);
+  s->target = target;
+  s->hi = hi;
+  s->lo = lo;
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr makeArrayWrite(SymbolId target, ExprPtr index, ExprPtr value) {
+  require(target != kNoSymbol, "array write to no symbol");
+  require(index != nullptr && value != nullptr, "array write needs index and value");
+  auto s = node(StmtKind::ArrayWrite);
+  s->target = target;
+  s->index = std::move(index);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr makeIf(ExprPtr cond, StmtPtr thenS, StmtPtr elseS) {
+  require(cond != nullptr, "if without condition");
+  auto s = node(StmtKind::If);
+  s->value = std::move(cond);
+  s->thenS = std::move(thenS);
+  s->elseS = std::move(elseS);
+  return s;
+}
+
+StmtPtr makeCase(ExprPtr selector, std::vector<CaseArm> arms, StmtPtr defaultArm) {
+  require(selector != nullptr, "case without selector");
+  auto s = node(StmtKind::Case);
+  s->value = std::move(selector);
+  s->arms = std::move(arms);
+  s->defaultArm = std::move(defaultArm);
+  return s;
+}
+
+StmtPtr makeBlock(std::vector<StmtPtr> stmts) {
+  auto s = node(StmtKind::Block);
+  s->stmts = std::move(stmts);
+  return s;
+}
+
+int countAssignments(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::Assign:
+    case StmtKind::ArrayWrite:
+      return 1;
+    case StmtKind::If: {
+      int n = 0;
+      if (s.thenS) n += countAssignments(*s.thenS);
+      if (s.elseS) n += countAssignments(*s.elseS);
+      return n;
+    }
+    case StmtKind::Case: {
+      int n = 0;
+      for (const auto& arm : s.arms) {
+        if (arm.body) n += countAssignments(*arm.body);
+      }
+      if (s.defaultArm) n += countAssignments(*s.defaultArm);
+      return n;
+    }
+    case StmtKind::Block: {
+      int n = 0;
+      for (const auto& st : s.stmts) n += countAssignments(*st);
+      return n;
+    }
+  }
+  return 0;
+}
+
+}  // namespace xlv::ir

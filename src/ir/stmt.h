@@ -1,0 +1,60 @@
+// Statement nodes of the RTL IR.
+//
+// Assignment semantics follow VHDL: assigning to a Signal is nonblocking
+// (scheduled on the next delta boundary), assigning to a Variable takes
+// effect immediately. Which of the two applies is decided by the target
+// symbol's kind at execution time, so the node itself carries no flag.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace xlv::ir {
+
+enum class StmtKind { Assign, ArrayWrite, If, Case, Block };
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+struct CaseArm {
+  std::vector<std::uint64_t> labels;
+  StmtPtr body;
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::Block;
+
+  // Assign: target[hi:lo] <= value   (hi == -1 means the whole vector)
+  SymbolId target = kNoSymbol;
+  int hi = -1, lo = -1;
+  ExprPtr value;  ///< Assign RHS / If condition / Case selector / ArrayWrite data
+
+  // ArrayWrite: target[index] <= value
+  ExprPtr index;
+
+  // If
+  StmtPtr thenS, elseS;
+
+  // Case
+  std::vector<CaseArm> arms;
+  StmtPtr defaultArm;
+
+  // Block
+  std::vector<StmtPtr> stmts;
+};
+
+StmtPtr makeAssign(SymbolId target, ExprPtr value);
+StmtPtr makeAssignRange(SymbolId target, int hi, int lo, ExprPtr value);
+StmtPtr makeArrayWrite(SymbolId target, ExprPtr index, ExprPtr value);
+StmtPtr makeIf(ExprPtr cond, StmtPtr thenS, StmtPtr elseS = nullptr);
+StmtPtr makeCase(ExprPtr selector, std::vector<CaseArm> arms, StmtPtr defaultArm = nullptr);
+StmtPtr makeBlock(std::vector<StmtPtr> stmts);
+
+/// Number of leaf statements (assignments) in a tree — used for LoC-style
+/// complexity metrics and mutation site enumeration.
+int countAssignments(const Stmt& s);
+
+}  // namespace xlv::ir

@@ -1,0 +1,52 @@
+// Symbols: signals, variables and arrays of an RTL module.
+//
+// A Symbol is everything the simulators need to know about one named object:
+// its kind decides assignment semantics (signals update on delta boundaries,
+// variables immediately — VHDL rules), its port direction makes it part of
+// the module interface, and its clock role lets the engines find the main
+// and high-frequency clocks that drive scheduling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace xlv::ir {
+
+using SymbolId = std::int32_t;
+inline constexpr SymbolId kNoSymbol = -1;
+
+enum class SymKind {
+  Signal,    ///< delta-scheduled (nonblocking) updates
+  Variable,  ///< immediate updates, process-local semantics
+  Array,     ///< array of Signal-like elements (register files, memories)
+};
+
+enum class PortDir { None, In, Out };
+
+enum class ClockRole {
+  None,
+  Main,      ///< the IP clock; one TLM transaction per cycle (Section 5.2.1)
+  HighFreq,  ///< finer-grain clock wrapped inside a transaction (Section 5.2.2)
+};
+
+struct Symbol {
+  std::string name;
+  SymKind kind = SymKind::Signal;
+  Type type;
+  PortDir dir = PortDir::None;
+  int arraySize = 0;  ///< element count when kind == Array
+  ClockRole clock = ClockRole::None;
+  std::uint64_t initValue = 0;  ///< power-on value (applied before reset)
+  bool hasInit = false;
+  /// Memory macro (SRAM/ROM): excluded from flip-flop and gate counts, the
+  /// convention of synthesis reports where memories map to hard macros.
+  bool isMacro = false;
+
+  bool isPort() const noexcept { return dir != PortDir::None; }
+  bool isClock() const noexcept { return clock != ClockRole::None; }
+};
+
+}  // namespace xlv::ir

@@ -1,0 +1,15 @@
+// Value types of the RTL intermediate representation.
+#pragma once
+
+namespace xlv::ir {
+
+/// An RTL vector type: bit width plus signedness interpretation.
+/// Width 1 models both std_logic and 1-bit vectors.
+struct Type {
+  int width = 1;
+  bool isSigned = false;
+
+  bool operator==(const Type&) const = default;
+};
+
+}  // namespace xlv::ir

@@ -1,0 +1,180 @@
+#include "ir/walk.h"
+
+namespace xlv::ir {
+
+void collectReads(const Expr& e, std::set<SymbolId>& out) {
+  switch (e.kind) {
+    case ExprKind::Const:
+      break;
+    case ExprKind::Ref:
+      out.insert(e.sym);
+      break;
+    case ExprKind::ArrayRef:
+      out.insert(e.sym);
+      collectReads(*e.a, out);
+      break;
+    case ExprKind::Unary:
+    case ExprKind::Slice:
+    case ExprKind::Resize:
+    case ExprKind::Sext:
+      collectReads(*e.a, out);
+      break;
+    case ExprKind::Binary:
+      collectReads(*e.a, out);
+      collectReads(*e.b, out);
+      break;
+    case ExprKind::Select:
+      collectReads(*e.a, out);
+      collectReads(*e.b, out);
+      collectReads(*e.c, out);
+      break;
+  }
+}
+
+void collectReads(const Stmt& s, std::set<SymbolId>& out) {
+  switch (s.kind) {
+    case StmtKind::Assign:
+      collectReads(*s.value, out);
+      break;
+    case StmtKind::ArrayWrite:
+      collectReads(*s.index, out);
+      collectReads(*s.value, out);
+      break;
+    case StmtKind::If:
+      collectReads(*s.value, out);
+      if (s.thenS) collectReads(*s.thenS, out);
+      if (s.elseS) collectReads(*s.elseS, out);
+      break;
+    case StmtKind::Case:
+      collectReads(*s.value, out);
+      for (const auto& arm : s.arms) {
+        if (arm.body) collectReads(*arm.body, out);
+      }
+      if (s.defaultArm) collectReads(*s.defaultArm, out);
+      break;
+    case StmtKind::Block:
+      for (const auto& st : s.stmts) collectReads(*st, out);
+      break;
+  }
+}
+
+void collectWrites(const Stmt& s, std::set<SymbolId>& out) {
+  switch (s.kind) {
+    case StmtKind::Assign:
+    case StmtKind::ArrayWrite:
+      out.insert(s.target);
+      break;
+    case StmtKind::If:
+      if (s.thenS) collectWrites(*s.thenS, out);
+      if (s.elseS) collectWrites(*s.elseS, out);
+      break;
+    case StmtKind::Case:
+      for (const auto& arm : s.arms) {
+        if (arm.body) collectWrites(*arm.body, out);
+      }
+      if (s.defaultArm) collectWrites(*s.defaultArm, out);
+      break;
+    case StmtKind::Block:
+      for (const auto& st : s.stmts) collectWrites(*st, out);
+      break;
+  }
+}
+
+void forEachAssign(const Stmt& s, const std::function<void(const Stmt&)>& fn) {
+  switch (s.kind) {
+    case StmtKind::Assign:
+    case StmtKind::ArrayWrite:
+      fn(s);
+      break;
+    case StmtKind::If:
+      if (s.thenS) forEachAssign(*s.thenS, fn);
+      if (s.elseS) forEachAssign(*s.elseS, fn);
+      break;
+    case StmtKind::Case:
+      for (const auto& arm : s.arms) {
+        if (arm.body) forEachAssign(*arm.body, fn);
+      }
+      if (s.defaultArm) forEachAssign(*s.defaultArm, fn);
+      break;
+    case StmtKind::Block:
+      for (const auto& st : s.stmts) forEachAssign(*st, fn);
+      break;
+  }
+}
+
+namespace {
+SymbolId mapSym(SymbolId s, const std::unordered_map<SymbolId, SymbolId>& map) {
+  auto it = map.find(s);
+  return it == map.end() ? s : it->second;
+}
+}  // namespace
+
+ExprPtr remapExpr(const ExprPtr& e, const std::unordered_map<SymbolId, SymbolId>& map) {
+  if (!e) return nullptr;
+  auto n = std::make_shared<Expr>(*e);
+  n->sym = e->sym == kNoSymbol ? kNoSymbol : mapSym(e->sym, map);
+  n->a = remapExpr(e->a, map);
+  n->b = remapExpr(e->b, map);
+  n->c = remapExpr(e->c, map);
+  return n;
+}
+
+StmtPtr remapStmt(const StmtPtr& s, const std::unordered_map<SymbolId, SymbolId>& map) {
+  if (!s) return nullptr;
+  auto n = std::make_shared<Stmt>();
+  n->kind = s->kind;
+  n->target = s->target == kNoSymbol ? kNoSymbol : mapSym(s->target, map);
+  n->hi = s->hi;
+  n->lo = s->lo;
+  n->value = remapExpr(s->value, map);
+  n->index = remapExpr(s->index, map);
+  n->thenS = remapStmt(s->thenS, map);
+  n->elseS = remapStmt(s->elseS, map);
+  n->arms.reserve(s->arms.size());
+  for (const auto& arm : s->arms) {
+    n->arms.push_back(CaseArm{arm.labels, remapStmt(arm.body, map)});
+  }
+  n->defaultArm = remapStmt(s->defaultArm, map);
+  n->stmts.reserve(s->stmts.size());
+  for (const auto& st : s->stmts) n->stmts.push_back(remapStmt(st, map));
+  return n;
+}
+
+StmtPtr rewriteAssigns(const StmtPtr& s, const std::function<StmtPtr(const StmtPtr&)>& fn) {
+  if (!s) return nullptr;
+  switch (s->kind) {
+    case StmtKind::Assign:
+    case StmtKind::ArrayWrite:
+      return fn(s);
+    case StmtKind::If: {
+      auto n = std::make_shared<Stmt>(*s);
+      n->thenS = rewriteAssigns(s->thenS, fn);
+      n->elseS = rewriteAssigns(s->elseS, fn);
+      return n;
+    }
+    case StmtKind::Case: {
+      auto n = std::make_shared<Stmt>(*s);
+      n->arms.clear();
+      for (const auto& arm : s->arms) {
+        n->arms.push_back(CaseArm{arm.labels, rewriteAssigns(arm.body, fn)});
+      }
+      n->defaultArm = rewriteAssigns(s->defaultArm, fn);
+      return n;
+    }
+    case StmtKind::Block: {
+      auto n = std::make_shared<Stmt>(*s);
+      n->stmts.clear();
+      for (const auto& st : s->stmts) n->stmts.push_back(rewriteAssigns(st, fn));
+      return n;
+    }
+  }
+  return s;
+}
+
+std::vector<SymbolId> deriveSensitivity(const Stmt& body) {
+  std::set<SymbolId> reads;
+  collectReads(body, reads);
+  return {reads.begin(), reads.end()};
+}
+
+}  // namespace xlv::ir

@@ -1,0 +1,44 @@
+// IR traversal and rewriting utilities.
+//
+// These back three consumers:
+//   * sensitivity derivation (read set of an async process body),
+//   * static timing analysis (per-assignment cone walks),
+//   * mutant injection and elaboration (symbol-remapping clones).
+#pragma once
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "ir/process.h"
+#include "ir/stmt.h"
+
+namespace xlv::ir {
+
+/// All symbols read by an expression (Refs, ArrayRefs, and indices).
+void collectReads(const Expr& e, std::set<SymbolId>& out);
+
+/// All symbols read anywhere in a statement tree (conditions included).
+void collectReads(const Stmt& s, std::set<SymbolId>& out);
+
+/// All symbols written (Assign targets and ArrayWrite targets).
+void collectWrites(const Stmt& s, std::set<SymbolId>& out);
+
+/// Visit every Assign / ArrayWrite leaf in execution-order.
+void forEachAssign(const Stmt& s, const std::function<void(const Stmt&)>& fn);
+
+/// Clone an expression, substituting symbol ids through `map` (ids absent
+/// from the map are kept). Shared subtrees are re-cloned (exprs are small).
+ExprPtr remapExpr(const ExprPtr& e, const std::unordered_map<SymbolId, SymbolId>& map);
+
+/// Clone a statement tree with the same substitution.
+StmtPtr remapStmt(const StmtPtr& s, const std::unordered_map<SymbolId, SymbolId>& map);
+
+/// Clone a statement tree, transforming every Assign/ArrayWrite leaf through
+/// `fn`; `fn` returns the replacement (possibly the input unchanged).
+StmtPtr rewriteAssigns(const StmtPtr& s, const std::function<StmtPtr(const StmtPtr&)>& fn);
+
+/// Derive the sensitivity list of an async process: its read set.
+std::vector<SymbolId> deriveSensitivity(const Stmt& body);
+
+}  // namespace xlv::ir

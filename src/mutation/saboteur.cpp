@@ -1,0 +1,130 @@
+#include "mutation/saboteur.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "ir/builder.h"
+#include "ir/walk.h"
+
+namespace xlv::mutation {
+
+using namespace xlv::ir;
+
+const char* saboteurKindName(SaboteurKind k) {
+  switch (k) {
+    case SaboteurKind::StuckAtZero: return "stuck-at-0";
+    case SaboteurKind::StuckAtOne: return "stuck-at-1";
+    case SaboteurKind::BitFlip: return "bit-flip";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Deep-copy of the module (same helper shape as insertion's cloneModule,
+/// local to avoid a dependency cycle between the two libraries).
+std::shared_ptr<Module> clone(const Module& m, const std::string& name) {
+  auto out = std::make_shared<Module>(name);
+  for (const auto& s : m.symbols()) out->addSymbol(s);
+  for (const auto& p : m.processes()) out->addProcess(p);
+  for (const auto& i : m.instances()) out->addInstance(i);
+  for (const auto& ai : m.arrayInits()) out->addArrayInit(ai);
+  return out;
+}
+
+ExprPtr corruptExpr(SaboteurKind kind, std::uint64_t mask, SymbolId pre, Type t) {
+  ExprPtr ref = makeRef(pre, t);
+  switch (kind) {
+    case SaboteurKind::StuckAtZero:
+      return makeConst(t.width, 0);
+    case SaboteurKind::StuckAtOne:
+      return makeConst(t.width,
+                       t.width >= 64 ? ~0ULL : ((1ULL << t.width) - 1));
+    case SaboteurKind::BitFlip:
+      return makeBinary(BinOp::Xor, ref, makeConst(t.width, mask));
+  }
+  return ref;
+}
+
+}  // namespace
+
+SaboteurResult insertSaboteurs(const ir::Module& ip, const std::vector<SaboteurSpec>& specs) {
+  SaboteurResult result;
+  result.sabotaged = clone(ip, ip.name() + "_sab");
+  Module& m = *result.sabotaged;
+
+  int idx = 0;
+  for (const auto& spec : specs) {
+    const SymbolId target = m.findSymbol(spec.targetSignal);
+    if (target == kNoSymbol) {
+      throw std::invalid_argument("saboteur: no signal named '" + spec.targetSignal + "'");
+    }
+    const Symbol targetSym = m.symbol(target);
+    if (targetSym.kind != SymKind::Signal) {
+      throw std::invalid_argument("saboteur: target '" + spec.targetSignal +
+                                  "' is not a scalar signal");
+    }
+
+    // Find the unique driving process.
+    int driver = -1;
+    for (std::size_t pi = 0; pi < m.processes().size(); ++pi) {
+      std::set<SymbolId> writes;
+      collectWrites(*m.processes()[pi].body, writes);
+      if (writes.count(target)) {
+        if (driver >= 0) {
+          throw std::invalid_argument("saboteur: target '" + spec.targetSignal +
+                                      "' has multiple drivers");
+        }
+        driver = static_cast<int>(pi);
+      }
+    }
+    if (driver < 0) {
+      throw std::invalid_argument("saboteur: target '" + spec.targetSignal +
+                                  "' has no driving process");
+    }
+
+    const std::string suffix = std::to_string(idx);
+
+    // New pre-corruption wire takes over the original driver's writes.
+    Symbol pre;
+    pre.name = spec.targetSignal + "__pre" + suffix;
+    pre.kind = SymKind::Signal;
+    pre.type = targetSym.type;
+    const SymbolId preId = m.addSymbol(std::move(pre));
+    {
+      std::unordered_map<SymbolId, SymbolId> remap{{target, preId}};
+      auto& proc = m.processes()[static_cast<std::size_t>(driver)];
+      proc.body = remapStmt(proc.body, remap);
+      if (!proc.isSync) proc.sensitivity = deriveSensitivity(*proc.body);
+    }
+
+    // Activation port.
+    Symbol en;
+    en.name = "sab_en_" + suffix;
+    en.kind = SymKind::Signal;
+    en.type = Type{1, false};
+    en.dir = PortDir::In;
+    const SymbolId enId = m.addSymbol(std::move(en));
+
+    // Corruption stage.
+    Process p;
+    p.name = "saboteur_" + suffix;
+    p.isSync = false;
+    ExprPtr cond = makeBinary(BinOp::Eq, makeRef(enId, Type{1, false}), makeConst(1, 1));
+    ExprPtr corrupted = corruptExpr(spec.kind, spec.mask, preId, targetSym.type);
+    ExprPtr pass = makeRef(preId, targetSym.type);
+    p.body = makeBlock({makeAssign(target, makeSelect(cond, corrupted, pass))});
+    p.sensitivity = deriveSensitivity(*p.body);
+    m.addProcess(std::move(p));
+
+    InsertedSaboteur info;
+    info.spec = spec;
+    info.preSignal = spec.targetSignal + "__pre" + suffix;
+    info.enablePort = "sab_en_" + suffix;
+    result.saboteurs.push_back(std::move(info));
+    ++idx;
+  }
+  return result;
+}
+
+}  // namespace xlv::mutation

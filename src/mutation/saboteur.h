@@ -1,0 +1,53 @@
+// Saboteur insertion: the RTL-level fault-injection alternative the paper
+// positions itself against (Section 2.2, MEFISTO [41]).
+//
+// A saboteur is a structural modification of the RTL: a corruption element
+// spliced onto a signal, activated by a dedicated control input. Where the
+// paper's mutants live at TLM and displace updates in *time*, saboteurs live
+// at RTL and corrupt *values*. Supporting both lets the library demonstrate
+// the methodology comparison: saboteur campaigns require an RTL simulation
+// per fault, while the mutant campaigns run at TLM speed.
+//
+// Mechanics: for target signal s driven by process P, the saboteur renames
+// s's driver to feed an internal wire s__pre, then adds a combinational
+// corruption stage:
+//     s = sab_enable ? corrupt(s__pre) : s__pre
+// with corruption kinds: stuck-at-0, stuck-at-1, bit-flip (XOR mask).
+// A top-level input port `sab_enable` controls activation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace xlv::mutation {
+
+enum class SaboteurKind { StuckAtZero, StuckAtOne, BitFlip };
+
+const char* saboteurKindName(SaboteurKind k);
+
+struct SaboteurSpec {
+  std::string targetSignal;
+  SaboteurKind kind = SaboteurKind::BitFlip;
+  std::uint64_t mask = ~0ULL;  ///< BitFlip: which bits to invert
+};
+
+struct InsertedSaboteur {
+  SaboteurSpec spec;
+  std::string preSignal;     ///< renamed original driver target
+  std::string enablePort;    ///< activation input
+};
+
+struct SaboteurResult {
+  std::shared_ptr<ir::Module> sabotaged;
+  std::vector<InsertedSaboteur> saboteurs;
+};
+
+/// Splice saboteurs onto `ip`. Each spec gets its own enable port
+/// ("sab_en_<i>"). Targets must be scalar signals driven by exactly one
+/// process of the top module; violations throw std::invalid_argument.
+SaboteurResult insertSaboteurs(const ir::Module& ip, const std::vector<SaboteurSpec>& specs);
+
+}  // namespace xlv::mutation

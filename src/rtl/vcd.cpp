@@ -1,0 +1,72 @@
+#include "rtl/vcd.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace xlv::rtl {
+
+namespace {
+/// VCD identifiers are short printable-ASCII strings: base-94 encode.
+std::string vcdId(int index) {
+  std::string id;
+  int x = index;
+  do {
+    id.push_back(static_cast<char>('!' + x % 94));
+    x /= 94;
+  } while (x > 0);
+  return id;
+}
+
+/// VCD identifiers may not contain whitespace; scrub hierarchical names into
+/// legal "wire" names.
+std::string scrubName(const std::string& name) {
+  std::string s = name;
+  std::replace(s.begin(), s.end(), '.', '_');
+  return s;
+}
+}  // namespace
+
+VcdWriter::VcdWriter(const std::string& path, const ir::Design& design,
+                     const std::string& timescale)
+    : out_(path) {
+  idOf_.resize(design.symbols.size());
+  widthOf_.resize(design.symbols.size(), 0);
+
+  out_ << "$date xlv simulation $end\n";
+  out_ << "$version xlv rtl kernel $end\n";
+  out_ << "$timescale " << timescale << " $end\n";
+  out_ << "$scope module " << scrubName(design.name) << " $end\n";
+  for (std::size_t i = 0; i < design.symbols.size(); ++i) {
+    const auto& sym = design.symbols[i];
+    if (sym.kind == ir::SymKind::Array) continue;  // arrays are not traced
+    idOf_[i] = vcdId(static_cast<int>(i));
+    widthOf_[i] = sym.type.width;
+    out_ << "$var wire " << sym.type.width << " " << idOf_[i] << " " << scrubName(sym.name);
+    if (sym.type.width > 1) out_ << " [" << sym.type.width - 1 << ":0]";
+    out_ << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+VcdWriter::~VcdWriter() { out_.flush(); }
+
+void VcdWriter::timestamp(std::uint64_t timePs) {
+  if (timePs == lastTime_) return;
+  lastTime_ = timePs;
+  out_ << '#' << timePs << '\n';
+}
+
+void VcdWriter::change(ir::SymbolId sym, const std::string& bits) {
+  const auto i = static_cast<std::size_t>(sym);
+  if (i >= idOf_.size() || idOf_[i].empty()) return;
+  std::string lower = bits;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (widthOf_[i] == 1) {
+    out_ << lower << idOf_[i] << '\n';
+  } else {
+    out_ << 'b' << lower << ' ' << idOf_[i] << '\n';
+  }
+}
+
+}  // namespace xlv::rtl

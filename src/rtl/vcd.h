@@ -1,0 +1,45 @@
+// VCD (Value Change Dump) waveform writer.
+//
+// The RTL kernel emits value changes here; the resulting file opens in any
+// standard waveform viewer (GTKWave etc.). The writer is deliberately
+// untemplated: engines hand over value strings, so one writer serves both
+// value policies.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ir/design.h"
+
+namespace xlv::rtl {
+
+class VcdWriter {
+ public:
+  /// Opens `path` and writes the header (one wire per non-array symbol).
+  VcdWriter(const std::string& path, const ir::Design& design,
+            const std::string& timescale = "1ps");
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  bool ok() const noexcept { return out_.good(); }
+
+  /// Advance simulation time (ps). Idempotent for repeated equal times.
+  void timestamp(std::uint64_t timePs);
+
+  /// Record a value change; `bits` is the MSB-first {0,1,x,z} string.
+  void change(ir::SymbolId sym, const std::string& bits);
+
+  void flush() { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+  std::vector<std::string> idOf_;  ///< VCD short identifier per symbol ("" = untraced)
+  std::vector<int> widthOf_;
+  std::uint64_t lastTime_ = ~0ULL;
+};
+
+}  // namespace xlv::rtl

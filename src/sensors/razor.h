@@ -1,0 +1,43 @@
+// Modified Razor flip-flop (paper Section 4.1.1).
+//
+// The Razor monitors one register of the augmented IP: its main sampling
+// element captures the monitored value right at the clock edge (post-edge
+// sampling phase), while the shadow latch — clocked by the half-period
+// delayed clock — captures it at the falling edge. A value that commits on
+// time is seen identically by both; a value displaced into the detection
+// window (0, T/2] after the edge is missed by the main element but caught by
+// the shadow, raising the error flag E. With the recovery input R asserted,
+// the corrected (shadow) value is presented on Q one cycle later, modeling
+// the pipeline-replay recovery of the original Razor design.
+//
+// The sensor is a plain IR module: entirely digital, synthesizable in shape,
+// and indistinguishable from IP logic to the abstraction tool — the paradigm
+// constraints of Section 4.1.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/builder.h"
+
+namespace xlv::sensors {
+
+struct RazorPorts {
+  /// Canonical port names of the generated module.
+  static constexpr const char* clk = "clk";
+  static constexpr const char* d = "d";
+  static constexpr const char* recover = "r";
+  static constexpr const char* q = "q";
+  static constexpr const char* error = "e";
+};
+
+/// Build a Razor module monitoring a `width`-bit register.
+/// The module is cached per width (modules are immutable after build).
+std::shared_ptr<const ir::Module> buildRazor(int width);
+
+/// Area model: one extra FF-equivalent per monitored bit plus the XOR
+/// comparator and recovery mux (paper: "the area overhead of a modified
+/// Razor FF is quite modest, as it is about one standard FF").
+double razorAreaGates(int width);
+
+}  // namespace xlv::sensors

@@ -1,0 +1,424 @@
+#include "sta/sta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/prng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace xlv::sta {
+
+namespace {
+
+using ir::Design;
+using ir::Expr;
+using ir::ExprKind;
+using ir::kNoSymbol;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::SymbolId;
+
+/// Partial arrival: picoseconds (underated), logic levels, and the launching
+/// startpoint of the max path.
+struct Arrival {
+  double ps = 0.0;
+  double levels = 0.0;
+  SymbolId start = kNoSymbol;
+};
+
+Arrival maxArrival(const Arrival& a, const Arrival& b) { return a.ps >= b.ps ? a : b; }
+
+/// One assignment reaching a combinational signal, with the conditions
+/// guarding it (each contributes a mux stage).
+struct DriveArc {
+  const Expr* value = nullptr;
+  const Expr* index = nullptr;  // for array writes
+  std::vector<const Expr*> conds;
+};
+
+class ConeAnalyzer {
+ public:
+  ConeAnalyzer(const Design& d, const TechLibrary& lib) : d_(d), lib_(lib) {
+    buildDrivers();
+  }
+
+  /// Arrival of the D-input cone of one endpoint assignment.
+  Arrival arcArrival(const DriveArc& arc) {
+    Arrival a = exprArrival(*arc.value);
+    if (arc.index != nullptr) {
+      Arrival ia = exprArrival(*arc.index);
+      ia.levels += lib_.arrayDecodeLevels(8);
+      ia.ps += lib_.arrayDecodeLevels(8) * lib_.levelDelayPs();
+      a = maxArrival(a, ia);
+    }
+    for (const Expr* c : arc.conds) a = maxArrival(a, exprArrival(*c));
+    const double muxes = static_cast<double>(arc.conds.size()) * lib_.muxLevels();
+    a.ps += muxes * lib_.levelDelayPs();
+    a.levels += muxes;
+    return a;
+  }
+
+  /// Collect endpoint arcs from every synchronous process: target -> arcs.
+  std::unordered_map<SymbolId, std::vector<DriveArc>> endpointArcs() const {
+    std::unordered_map<SymbolId, std::vector<DriveArc>> out;
+    for (const auto& p : d_.processes) {
+      if (!p.isSync) continue;
+      std::vector<const Expr*> conds;
+      collectArcs(*p.body, conds, [&](SymbolId target, DriveArc arc) {
+        out[target].push_back(std::move(arc));
+      });
+    }
+    return out;
+  }
+
+  /// Output ports driven combinationally are endpoints too.
+  std::unordered_map<SymbolId, std::vector<DriveArc>> outputArcs() const {
+    std::unordered_map<SymbolId, std::vector<DriveArc>> out;
+    for (SymbolId o : d_.outputs) {
+      if (d_.isRegister[static_cast<std::size_t>(o)]) continue;  // already a register endpoint
+      auto it = drivers_.find(o);
+      if (it == drivers_.end()) continue;
+      out[o] = it->second;
+    }
+    return out;
+  }
+
+  Arrival exprArrival(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::Const:
+        return {};
+      case ExprKind::Ref:
+        return refArrival(e.sym);
+      case ExprKind::ArrayRef: {
+        Arrival idx = exprArrival(*e.a);
+        const double dec = lib_.arrayDecodeLevels(d_.symbol(e.sym).arraySize);
+        Arrival best{idx.ps + dec * lib_.levelDelayPs(), idx.levels + dec, idx.start};
+        if (best.start == kNoSymbol) best.start = e.sym;  // constant index: path starts at the array
+        return best;
+      }
+      case ExprKind::Unary: {
+        Arrival a = exprArrival(*e.a);
+        const double lv = lib_.levelsOf(e.uop, e.a->type.width);
+        return {a.ps + lv * lib_.levelDelayPs(), a.levels + lv, a.start};
+      }
+      case ExprKind::Binary: {
+        Arrival a = maxArrival(exprArrival(*e.a), exprArrival(*e.b));
+        const double lv = lib_.levelsOf(e.bop, std::max(e.a->type.width, e.b->type.width));
+        return {a.ps + lv * lib_.levelDelayPs(), a.levels + lv, a.start};
+      }
+      case ExprKind::Slice:
+      case ExprKind::Resize:
+      case ExprKind::Sext:
+        return exprArrival(*e.a);
+      case ExprKind::Select: {
+        Arrival a = maxArrival(exprArrival(*e.a),
+                               maxArrival(exprArrival(*e.b), exprArrival(*e.c)));
+        const double lv = lib_.muxLevels();
+        return {a.ps + lv * lib_.levelDelayPs(), a.levels + lv, a.start};
+      }
+    }
+    return {};
+  }
+
+ private:
+  void buildDrivers() {
+    for (const auto& p : d_.processes) {
+      if (p.isSync) continue;
+      std::vector<const Expr*> conds;
+      collectArcs(*p.body, conds, [&](SymbolId target, DriveArc arc) {
+        drivers_[target].push_back(std::move(arc));
+      });
+    }
+  }
+
+  template <typename Sink>
+  static void collectArcs(const Stmt& s, std::vector<const Expr*>& conds, const Sink& sink) {
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        DriveArc arc;
+        arc.value = s.value.get();
+        arc.conds = conds;
+        sink(s.target, std::move(arc));
+        break;
+      }
+      case StmtKind::ArrayWrite: {
+        DriveArc arc;
+        arc.value = s.value.get();
+        arc.index = s.index.get();
+        arc.conds = conds;
+        sink(s.target, std::move(arc));
+        break;
+      }
+      case StmtKind::If:
+        conds.push_back(s.value.get());
+        if (s.thenS) collectArcs(*s.thenS, conds, sink);
+        if (s.elseS) collectArcs(*s.elseS, conds, sink);
+        conds.pop_back();
+        break;
+      case StmtKind::Case:
+        conds.push_back(s.value.get());
+        for (const auto& arm : s.arms) {
+          if (arm.body) collectArcs(*arm.body, conds, sink);
+        }
+        if (s.defaultArm) collectArcs(*s.defaultArm, conds, sink);
+        conds.pop_back();
+        break;
+      case StmtKind::Block:
+        for (const auto& st : s.stmts) collectArcs(*st, conds, sink);
+        break;
+    }
+  }
+
+  Arrival refArrival(SymbolId sym) {
+    const auto& s = d_.symbol(sym);
+    // Launch points: registers, input ports, clocks (treated as stable).
+    if (d_.isRegister[static_cast<std::size_t>(sym)] || s.dir == ir::PortDir::In ||
+        s.kind == ir::SymKind::Variable) {
+      // Variables written earlier in the same process body are conservative
+      // launch-0 references only if they are register-like; treat them as
+      // pass-through of their last assignment instead (approximation: use
+      // cached combinational arrival when one exists).
+      if (s.kind != ir::SymKind::Variable || drivers_.find(sym) == drivers_.end()) {
+        return {0.0, 0.0, sym};
+      }
+    }
+    auto memoIt = memo_.find(sym);
+    if (memoIt != memo_.end()) return memoIt->second;
+    if (visiting_.count(sym) != 0) {
+      throw std::runtime_error("sta: combinational loop through signal '" + s.name + "'");
+    }
+    auto drvIt = drivers_.find(sym);
+    if (drvIt == drivers_.end()) {
+      // Undriven signal: constant-like, arrival 0, its own startpoint.
+      Arrival a{0.0, 0.0, sym};
+      memo_[sym] = a;
+      return a;
+    }
+    visiting_.insert(sym);
+    Arrival best;
+    for (const auto& arc : drvIt->second) {
+      Arrival a = exprArrival(*arc.value);
+      for (const Expr* c : arc.conds) a = maxArrival(a, exprArrival(*c));
+      const double muxes = static_cast<double>(arc.conds.size()) * lib_.muxLevels();
+      a.ps += muxes * lib_.levelDelayPs();
+      a.levels += muxes;
+      best = maxArrival(best, a);
+    }
+    visiting_.erase(sym);
+    memo_[sym] = best;
+    return best;
+  }
+
+  const Design& d_;
+  const TechLibrary& lib_;
+  std::unordered_map<SymbolId, std::vector<DriveArc>> drivers_;
+  std::unordered_map<SymbolId, Arrival> memo_;
+  std::set<SymbolId> visiting_;
+};
+
+double derateArrival(const Arrival& a, const StaConfig& cfg) {
+  double ps = a.ps * cfg.corner.derate() * TechLibrary::agingDerate(cfg.agingYears) *
+              cfg.ocvDerate;
+  if (cfg.statistical) {
+    ps += cfg.nSigma * cfg.sigmaPerLevelPs * std::sqrt(std::max(a.levels, 0.0));
+  }
+  return ps;
+}
+
+}  // namespace
+
+StaReport analyze(const ir::Design& design, const StaConfig& cfg, const TechLibrary& lib) {
+  util::Timer timer;
+  ConeAnalyzer cones(design, lib);
+
+  StaReport report;
+  report.clockPeriodPs = cfg.clockPeriodPs;
+  report.thresholdPs = cfg.effectiveThresholdPs();
+
+  auto addEndpoint = [&](SymbolId target, const std::vector<DriveArc>& arcs) {
+    Arrival worst;
+    for (const auto& arc : arcs) worst = maxArrival(worst, cones.arcArrival(arc));
+    PathRecord rec;
+    rec.endpoint = target;
+    rec.endpointName = design.symbol(target).name;
+    rec.startpoint = worst.start;
+    rec.startpointName = worst.start == kNoSymbol ? "-" : design.symbol(worst.start).name;
+    rec.arrivalPs = derateArrival(worst, cfg);
+    rec.logicLevels = worst.levels;
+    rec.slackPs = cfg.clockPeriodPs - cfg.clockUncertaintyPs - cfg.setupTimePs - rec.arrivalPs;
+    rec.critical = rec.slackPs < report.thresholdPs;
+    report.paths.push_back(std::move(rec));
+  };
+
+  // Use an id-ordered traversal for deterministic reports.
+  auto arcsByEndpoint = [](auto&& m) {
+    std::vector<std::pair<SymbolId, std::vector<DriveArc>>> v(m.begin(), m.end());
+    std::sort(v.begin(), v.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return v;
+  };
+  for (auto& [sym, arcs] : arcsByEndpoint(cones.endpointArcs())) addEndpoint(sym, arcs);
+  for (auto& [sym, arcs] : arcsByEndpoint(cones.outputArcs())) addEndpoint(sym, arcs);
+
+  std::sort(report.paths.begin(), report.paths.end(),
+            [](const PathRecord& a, const PathRecord& b) {
+              if (a.slackPs != b.slackPs) return a.slackPs < b.slackPs;
+              return a.endpointName < b.endpointName;
+            });
+  report.minSlackPs = report.paths.empty() ? 0.0 : report.paths.front().slackPs;
+  if (cfg.spreadFraction >= 0.0 && !report.paths.empty()) {
+    const double maxSlack = report.paths.back().slackPs;
+    report.thresholdPs =
+        report.minSlackPs + cfg.spreadFraction * (maxSlack - report.minSlackPs);
+    for (auto& p : report.paths) p.critical = p.slackPs <= report.thresholdPs;
+  }
+  report.criticalCount = 0;
+  for (const auto& p : report.paths) {
+    if (p.critical) ++report.criticalCount;
+  }
+  report.analysisSeconds = timer.seconds();
+  return report;
+}
+
+namespace {
+double exprArea(const ir::Expr& e, const TechLibrary& lib) {
+  double a = 0.0;
+  switch (e.kind) {
+    case ExprKind::Const:
+    case ExprKind::Ref:
+      return 0.0;
+    case ExprKind::ArrayRef:
+      return exprArea(*e.a, lib) + 2.0 * e.type.width;  // read mux column
+    case ExprKind::Unary:
+      return lib.areaGates(e.uop, e.a->type.width) + exprArea(*e.a, lib);
+    case ExprKind::Binary:
+      a = lib.areaGates(e.bop, std::max(e.a->type.width, e.b->type.width));
+      return a + exprArea(*e.a, lib) + exprArea(*e.b, lib);
+    case ExprKind::Slice:
+    case ExprKind::Resize:
+    case ExprKind::Sext:
+      return exprArea(*e.a, lib);
+    case ExprKind::Select:
+      return lib.muxAreaGates(e.type.width) + exprArea(*e.a, lib) + exprArea(*e.b, lib) +
+             exprArea(*e.c, lib);
+  }
+  return a;
+}
+
+double stmtArea(const ir::Stmt& s, const TechLibrary& lib) {
+  double a = 0.0;
+  switch (s.kind) {
+    case StmtKind::Assign:
+      return exprArea(*s.value, lib) + lib.muxAreaGates(s.value->type.width);
+    case StmtKind::ArrayWrite:
+      return exprArea(*s.value, lib) + exprArea(*s.index, lib) +
+             lib.muxAreaGates(s.value->type.width);
+    case StmtKind::If:
+      a = exprArea(*s.value, lib);
+      if (s.thenS) a += stmtArea(*s.thenS, lib);
+      if (s.elseS) a += stmtArea(*s.elseS, lib);
+      return a;
+    case StmtKind::Case:
+      a = exprArea(*s.value, lib);
+      for (const auto& arm : s.arms) {
+        if (arm.body) a += stmtArea(*arm.body, lib);
+      }
+      if (s.defaultArm) a += stmtArea(*s.defaultArm, lib);
+      return a;
+    case StmtKind::Block:
+      for (const auto& st : s.stmts) a += stmtArea(*st, lib);
+      return a;
+  }
+  return a;
+}
+}  // namespace
+
+double estimateAreaGates(const ir::Design& design, const TechLibrary& lib) {
+  double gates = lib.ffAreaGates() * design.flipFlopBits();
+  for (const auto& p : design.processes) gates += stmtArea(*p.body, lib);
+  return gates;
+}
+
+MonteCarloReport monteCarlo(const ir::Design& design, const StaConfig& cfg,
+                            const MonteCarloConfig& mc, const TechLibrary& lib) {
+  // Base: the deterministic nominal analysis (corner/aging derates off — the
+  // sampling replaces them for the global axis).
+  StaConfig nominal = cfg;
+  nominal.statistical = false;
+  const StaReport base = analyze(design, nominal, lib);
+
+  const double budget = cfg.clockPeriodPs - cfg.clockUncertaintyPs - cfg.setupTimePs;
+  util::Prng rng(mc.seed);
+  auto gauss = [&rng]() {
+    // Box-Muller on the deterministic generator.
+    double u1 = rng.uniform();
+    double u2 = rng.uniform();
+    if (u1 < 1e-12) u1 = 1e-12;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979 * u2);
+  };
+
+  MonteCarloReport report;
+  report.samples = mc.samples;
+  report.endpoints.reserve(base.paths.size());
+  std::vector<util::SampleSet> arrivals(base.paths.size());
+  std::vector<int> fails(base.paths.size(), 0);
+  int designFails = 0;
+
+  for (int s = 0; s < mc.samples; ++s) {
+    const double global = 1.0 + mc.globalSigma * gauss();
+    bool anyFail = false;
+    for (std::size_t i = 0; i < base.paths.size(); ++i) {
+      const auto& p = base.paths[i];
+      // Local variation RSS-combines over the path depth.
+      const double localSigma =
+          mc.localSigmaPerLevel * std::sqrt(std::max(1.0, p.logicLevels));
+      const double sample = p.arrivalPs * std::max(0.0, global + localSigma * gauss());
+      arrivals[i].add(sample);
+      if (sample > budget) {
+        ++fails[i];
+        anyFail = true;
+      }
+    }
+    if (anyFail) ++designFails;
+  }
+
+  for (std::size_t i = 0; i < base.paths.size(); ++i) {
+    EndpointYield y;
+    y.endpoint = base.paths[i].endpoint;
+    y.name = base.paths[i].endpointName;
+    y.meanArrivalPs = arrivals[i].mean();
+    y.p95ArrivalPs = arrivals[i].count() ? arrivals[i].percentile(0.95) : 0.0;
+    y.failProb = static_cast<double>(fails[i]) / mc.samples;
+    report.endpoints.push_back(std::move(y));
+  }
+  std::sort(report.endpoints.begin(), report.endpoints.end(),
+            [](const EndpointYield& a, const EndpointYield& b) {
+              if (a.failProb != b.failProb) return a.failProb > b.failProb;
+              return a.name < b.name;
+            });
+  report.designYield = 1.0 - static_cast<double>(designFails) / mc.samples;
+  return report;
+}
+
+std::string formatReport(const StaReport& report, int maxPaths) {
+  std::string out;
+  out += "STA report: period=" + std::to_string(report.clockPeriodPs) +
+         "ps threshold=" + std::to_string(report.thresholdPs) +
+         "ps critical=" + std::to_string(report.criticalCount) + "/" +
+         std::to_string(report.paths.size()) + "\n";
+  int n = 0;
+  for (const auto& p : report.paths) {
+    if (n++ >= maxPaths) break;
+    out += "  " + p.endpointName + " <- " + p.startpointName +
+           "  arrival=" + std::to_string(p.arrivalPs) + "ps slack=" +
+           std::to_string(p.slackPs) + "ps levels=" + std::to_string(p.logicLevels) +
+           (p.critical ? "  CRITICAL" : "") + "\n";
+  }
+  return out;
+}
+
+}  // namespace xlv::sta

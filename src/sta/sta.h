@@ -1,0 +1,132 @@
+// Static timing analysis over the RTL IR.
+//
+// This module substitutes for the synthesis + PrimeTime step of the paper's
+// flow (Section 4.2 / Table 2). For every register (and output port)
+// endpoint it computes the worst-case combinational arrival from the clocked
+// startpoints feeding it, derated by the selected PVT corner and an aging
+// factor, optionally with a statistical (RSS) variability term. Endpoints
+// whose setup slack falls below a threshold are binned critical — the
+// locations where delay sensors must be inserted.
+//
+// The analysis is "static" in the paper's sense: no simulation is involved,
+// only a traversal of the design's combinational cones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/design.h"
+#include "sta/tech_library.h"
+
+namespace xlv::sta {
+
+struct StaConfig {
+  double clockPeriodPs = 1000.0;
+  double setupTimePs = 35.0;
+  double clockUncertaintyPs = 20.0;
+  /// Endpoints with slack below this are critical. If negative, the
+  /// threshold is taken as `thresholdFraction` of the clock period.
+  double slackThresholdPs = -1.0;
+  double thresholdFraction = 0.18;
+  /// Alternative spread-relative binning: when in [0,1], the threshold is
+  /// minSlack + spreadFraction * (maxSlack - minSlack). This keeps critical
+  /// sets meaningful when the design's arrivals sit far from the clock
+  /// period (equivalent to tightening the margin budget, Section 4.2).
+  double spreadFraction = -1.0;
+
+  Corner corner = Corner::slow();
+  double agingYears = 10.0;
+  /// Local on-chip-variation derate applied per path (multiplicative).
+  double ocvDerate = 1.05;
+
+  /// Statistical mode: add nSigma * sigmaPerLevel * sqrt(levels) to arrival.
+  bool statistical = false;
+  double sigmaPerLevelPs = 2.2;
+  double nSigma = 3.0;
+
+  double effectiveThresholdPs() const noexcept {
+    return slackThresholdPs >= 0.0 ? slackThresholdPs : thresholdFraction * clockPeriodPs;
+  }
+};
+
+/// Worst path into one endpoint.
+struct PathRecord {
+  ir::SymbolId endpoint = ir::kNoSymbol;
+  std::string endpointName;
+  ir::SymbolId startpoint = ir::kNoSymbol;  ///< register/input launching the max path
+  std::string startpointName;
+  double arrivalPs = 0.0;  ///< derated worst-case data arrival
+  double slackPs = 0.0;
+  double logicLevels = 0.0;
+  bool critical = false;
+};
+
+struct StaReport {
+  std::vector<PathRecord> paths;  ///< one per endpoint, sorted by ascending slack
+  double thresholdPs = 0.0;
+  double clockPeriodPs = 0.0;
+  int criticalCount = 0;
+  double minSlackPs = 0.0;
+  double analysisSeconds = 0.0;
+
+  const PathRecord* findEndpoint(ir::SymbolId sym) const {
+    for (const auto& p : paths) {
+      if (p.endpoint == sym) return &p;
+    }
+    return nullptr;
+  }
+
+  std::vector<PathRecord> criticalPaths() const {
+    std::vector<PathRecord> out;
+    for (const auto& p : paths) {
+      if (p.critical) out.push_back(p);
+    }
+    return out;
+  }
+};
+
+/// Run STA on an elaborated design.
+StaReport analyze(const ir::Design& design, const StaConfig& cfg,
+                  const TechLibrary& lib = TechLibrary{});
+
+/// NAND2-equivalent area of the whole design (combinational operators plus
+/// flip-flops) — the Gates (#) column of Table 1.
+double estimateAreaGates(const ir::Design& design, const TechLibrary& lib = TechLibrary{});
+
+/// Render a human-readable timing report (bench/table2 uses the structured
+/// data; this is for the examples and logs).
+std::string formatReport(const StaReport& report, int maxPaths = 10);
+
+// --- Monte-Carlo statistical timing -----------------------------------------
+// Extension beyond the paper's deterministic STA: sample-based yield
+// analysis with the standard global + local variation decomposition
+// (global: correlated process spread; local: per-level OCV, RSS-combined
+// over the path depth). Complements StaConfig::statistical's closed-form
+// 3-sigma margin.
+
+struct MonteCarloConfig {
+  int samples = 2000;
+  double globalSigma = 0.05;        ///< correlated process spread (fraction)
+  double localSigmaPerLevel = 0.02; ///< local variation per logic level
+  std::uint64_t seed = 1;
+};
+
+struct EndpointYield {
+  ir::SymbolId endpoint = ir::kNoSymbol;
+  std::string name;
+  double meanArrivalPs = 0.0;
+  double p95ArrivalPs = 0.0;
+  double failProb = 0.0;  ///< P(arrival > period - setup - uncertainty)
+};
+
+struct MonteCarloReport {
+  std::vector<EndpointYield> endpoints;  ///< sorted by descending failProb
+  double designYield = 1.0;              ///< P(every endpoint meets timing)
+  int samples = 0;
+};
+
+MonteCarloReport monteCarlo(const ir::Design& design, const StaConfig& cfg,
+                            const MonteCarloConfig& mc,
+                            const TechLibrary& lib = TechLibrary{});
+
+}  // namespace xlv::sta

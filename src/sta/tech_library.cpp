@@ -1,0 +1,124 @@
+#include "sta/tech_library.h"
+
+#include <cmath>
+
+namespace xlv::sta {
+
+namespace {
+double log2w(int width) noexcept { return std::log2(static_cast<double>(width < 2 ? 2 : width)); }
+}  // namespace
+
+double TechLibrary::levelsOf(ir::BinOp op, int width) const noexcept {
+  using ir::BinOp;
+  switch (op) {
+    case BinOp::And:
+    case BinOp::Or:
+      return 1.0;
+    case BinOp::Xor:
+      return 2.0;
+    case BinOp::Add:
+    case BinOp::Sub:
+      return 1.5 * log2w(width) + 2.0;
+    case BinOp::Mul:
+      return 2.0 * log2w(width) + 4.0;
+    case BinOp::Div:
+    case BinOp::Mod:
+      // Iterative restoring divider, one subtract per bit.
+      return static_cast<double>(width) * (1.5 * log2w(width) + 2.0);
+    case BinOp::Shl:
+    case BinOp::Shr:
+    case BinOp::AShr:
+      return log2w(width);  // barrel shifter stages
+    case BinOp::Eq:
+    case BinOp::Ne:
+      return log2w(width) + 1.0;
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+      return log2w(width) + 2.0;
+    case BinOp::Concat:
+      return 0.0;  // wiring
+  }
+  return 0.0;
+}
+
+double TechLibrary::levelsOf(ir::UnOp op, int width) const noexcept {
+  using ir::UnOp;
+  switch (op) {
+    case UnOp::Not:
+      return 0.5;  // inverter
+    case UnOp::Neg:
+      return 1.5 * log2w(width) + 2.0;  // adder-based
+    case UnOp::RedAnd:
+    case UnOp::RedOr:
+    case UnOp::RedXor:
+      return log2w(width);
+    case UnOp::BoolNot:
+      return log2w(width) + 0.5;  // reduction + inverter
+  }
+  return 0.0;
+}
+
+double TechLibrary::arrayDecodeLevels(int size) const noexcept { return log2w(size); }
+
+double TechLibrary::areaGates(ir::BinOp op, int width) const noexcept {
+  using ir::BinOp;
+  const double w = width;
+  switch (op) {
+    case BinOp::And:
+    case BinOp::Or:
+      return w;
+    case BinOp::Xor:
+      return 3.0 * w;
+    case BinOp::Add:
+    case BinOp::Sub:
+      return 7.0 * w;
+    case BinOp::Mul:
+      return 3.5 * w * w;
+    case BinOp::Div:
+    case BinOp::Mod:
+      return 9.0 * w * w;
+    case BinOp::Shl:
+    case BinOp::Shr:
+    case BinOp::AShr:
+      return 3.0 * w * log2w(width);  // one mux layer per stage
+    case BinOp::Eq:
+    case BinOp::Ne:
+      return 3.0 * w + w;  // xor plane + reduction
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+      return 7.0 * w;  // subtract-based
+    case BinOp::Concat:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double TechLibrary::areaGates(ir::UnOp op, int width) const noexcept {
+  using ir::UnOp;
+  const double w = width;
+  switch (op) {
+    case UnOp::Not:
+      return 0.5 * w;
+    case UnOp::Neg:
+      return 7.0 * w;
+    case UnOp::RedAnd:
+    case UnOp::RedOr:
+      return w;
+    case UnOp::RedXor:
+      return 3.0 * w;
+    case UnOp::BoolNot:
+      return w + 0.5;
+  }
+  return 0.0;
+}
+
+double TechLibrary::agingDerate(double years) noexcept {
+  if (years <= 0.0) return 1.0;
+  return 1.0 + 0.037 * std::pow(years, 0.2);
+}
+
+}  // namespace xlv::sta

@@ -1,0 +1,85 @@
+// Technology library: per-operator delay and area models.
+//
+// This stands in for the 45nm STM standard-cell library + logic synthesis of
+// the paper's experimental setup (Table 1 reports gate counts from Synopsys
+// DC). Delays are modeled as logic levels times a per-level delay; areas as
+// NAND2-equivalent gate counts — the unit the paper uses ("the occupied area
+// is equivalent to approximately 352 NAND2 gates").
+//
+// Rationale for the level counts (width w):
+//   * and/or: 1 level; xor: 2 levels (4 NAND2 each);
+//   * add/sub: carry-lookahead, ~1.5*log2(w) + 2 levels;
+//   * mul: Wallace-tree-like, ~2*log2(w) + 4 levels;
+//   * comparisons: log2(w) reduction tree + 1..2;
+//   * dynamic shift: log2(w) mux stages (barrel shifter);
+//   * select (mux): 1 level; slicing/resizing: pure wiring, 0.
+// These do not reproduce any specific cell library; they only need to induce
+// a realistic relative ordering of path delays, which is all the insertion
+// flow consumes (paper Section 4.2 — the methodology is agnostic of the
+// timing engine as long as binning is conservative).
+#pragma once
+
+#include <string>
+
+#include "ir/expr.h"
+
+namespace xlv::sta {
+
+/// A process/voltage/temperature corner: a multiplicative delay derate.
+struct Corner {
+  std::string name = "typical";
+  double processFactor = 1.0;
+  double voltageFactor = 1.0;
+  double temperatureFactor = 1.0;
+
+  double derate() const noexcept {
+    return processFactor * voltageFactor * temperatureFactor;
+  }
+
+  static Corner typical() { return {"typical", 1.0, 1.0, 1.0}; }
+  /// Slow process, low voltage, high temperature (worst setup corner).
+  static Corner slow() { return {"ss_0.95v_125c", 1.12, 1.08, 1.06}; }
+  /// Fast process, high voltage, low temperature.
+  static Corner fast() { return {"ff_1.15v_m40c", 0.90, 0.94, 0.97}; }
+};
+
+class TechLibrary {
+ public:
+  /// 45nm-flavored defaults: one logic level = 22 ps, one FF = 6.2 NAND2.
+  TechLibrary() = default;
+  TechLibrary(double levelDelayPs, double ffAreaGates)
+      : levelDelayPs_(levelDelayPs), ffAreaGates_(ffAreaGates) {}
+
+  double levelDelayPs() const noexcept { return levelDelayPs_; }
+  double ffAreaGates() const noexcept { return ffAreaGates_; }
+
+  /// Logic depth (in levels) of one operator at the given operand width.
+  double levelsOf(ir::BinOp op, int width) const noexcept;
+  double levelsOf(ir::UnOp op, int width) const noexcept;
+  /// Mux stage inserted by one conditional nesting level.
+  double muxLevels() const noexcept { return 1.0; }
+  /// Array access decode depth for `size` elements.
+  double arrayDecodeLevels(int size) const noexcept;
+
+  double delayPs(ir::BinOp op, int width) const noexcept {
+    return levelsOf(op, width) * levelDelayPs_;
+  }
+  double delayPs(ir::UnOp op, int width) const noexcept {
+    return levelsOf(op, width) * levelDelayPs_;
+  }
+
+  /// NAND2-equivalent area of one operator at the given width.
+  double areaGates(ir::BinOp op, int width) const noexcept;
+  double areaGates(ir::UnOp op, int width) const noexcept;
+  double muxAreaGates(int width) const noexcept { return 3.0 * width; }
+
+  /// NBTI-style aging derate: delay multiplier after `years` of stress
+  /// (power-law drift, ~6% at 10 years).
+  static double agingDerate(double years) noexcept;
+
+ private:
+  double levelDelayPs_ = 22.0;
+  double ffAreaGates_ = 6.2;
+};
+
+}  // namespace xlv::sta

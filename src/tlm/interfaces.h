@@ -1,0 +1,56 @@
+// TLM-2.0 interface set: blocking, non-blocking, direct-memory and debug —
+// "the OSCI TLM-2.0 standard defines a set of interfaces (i.e., blocking,
+// non-blocking, direct memory, and debug interfaces)" (paper Section 2.4).
+#pragma once
+
+#include <cstdint>
+
+#include "tlm/payload.h"
+
+namespace xlv::tlm {
+
+/// Blocking transport: the loosely-timed (LT) primitive b_transport().
+class BTransportIf {
+ public:
+  virtual ~BTransportIf() = default;
+  virtual void b_transport(GenericPayload& trans, Time& delay) = 0;
+};
+
+/// Non-blocking transport, forward path: the approximately-timed (AT)
+/// primitive nb_transport_fw().
+class NbTransportFwIf {
+ public:
+  virtual ~NbTransportFwIf() = default;
+  virtual SyncEnum nb_transport_fw(GenericPayload& trans, Phase& phase, Time& t) = 0;
+};
+
+/// Non-blocking transport, backward path (target -> initiator).
+class NbTransportBwIf {
+ public:
+  virtual ~NbTransportBwIf() = default;
+  virtual SyncEnum nb_transport_bw(GenericPayload& trans, Phase& phase, Time& t) = 0;
+};
+
+struct DmiRegion {
+  std::uint8_t* base = nullptr;
+  std::uint64_t startAddress = 0;
+  std::uint64_t endAddress = 0;
+  bool readAllowed = false;
+  bool writeAllowed = false;
+};
+
+/// Direct memory interface.
+class DmiIf {
+ public:
+  virtual ~DmiIf() = default;
+  virtual bool get_direct_mem_ptr(GenericPayload& trans, DmiRegion& region) = 0;
+};
+
+/// Debug transport: data access with no timing side effects.
+class DebugIf {
+ public:
+  virtual ~DebugIf() = default;
+  virtual std::size_t transport_dbg(GenericPayload& trans) = 0;
+};
+
+}  // namespace xlv::tlm

@@ -1,0 +1,115 @@
+#include "tlm/memory.h"
+
+#include <cstring>
+
+namespace xlv::tlm {
+
+const char* responseName(Response r) {
+  switch (r) {
+    case Response::Ok: return "OK";
+    case Response::AddressError: return "ADDRESS_ERROR";
+    case Response::CommandError: return "COMMAND_ERROR";
+    case Response::GenericError: return "GENERIC_ERROR";
+    case Response::Incomplete: return "INCOMPLETE";
+  }
+  return "?";
+}
+
+void GenericPayload::setWriteWord(std::uint64_t addr, std::uint32_t word) {
+  std::vector<std::uint8_t> bytes(4);
+  for (int i = 0; i < 4; ++i) bytes[static_cast<std::size_t>(i)] = (word >> (8 * i)) & 0xFF;
+  setWrite(addr, std::move(bytes));
+}
+
+std::uint32_t GenericPayload::dataWord() const {
+  std::uint32_t w = 0;
+  for (std::size_t i = 0; i < data.size() && i < 4; ++i) {
+    w |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+  }
+  return w;
+}
+
+Memory::Memory(std::size_t bytes, Time readLatency, Time writeLatency)
+    : store_(bytes, 0), readLatency_(readLatency), writeLatency_(writeLatency) {
+  socket_.registerBTransport(this);
+  socket_.registerNbFw(this);
+  socket_.registerDmi(this);
+  socket_.registerDebug(this);
+}
+
+void Memory::access(GenericPayload& trans) {
+  if (trans.address + trans.data.size() > store_.size()) {
+    trans.response = Response::AddressError;
+    return;
+  }
+  switch (trans.command) {
+    case Command::Read:
+      std::memcpy(trans.data.data(), store_.data() + trans.address, trans.data.size());
+      trans.response = Response::Ok;
+      break;
+    case Command::Write:
+      std::memcpy(store_.data() + trans.address, trans.data.data(), trans.data.size());
+      trans.response = Response::Ok;
+      break;
+    case Command::Ignore:
+      trans.response = Response::Ok;
+      break;
+  }
+}
+
+void Memory::b_transport(GenericPayload& trans, Time& delay) {
+  access(trans);
+  delay += trans.command == Command::Write ? writeLatency_ : readLatency_;
+  trans.dmiAllowed = true;
+}
+
+SyncEnum Memory::nb_transport_fw(GenericPayload& trans, Phase& phase, Time& t) {
+  if (phase != Phase::BeginReq) {
+    trans.response = Response::GenericError;
+    return SyncEnum::Completed;
+  }
+  access(trans);
+  t += trans.command == Command::Write ? writeLatency_ : readLatency_;
+  phase = Phase::BeginResp;
+  return SyncEnum::Completed;  // early completion, base protocol shortcut
+}
+
+bool Memory::get_direct_mem_ptr(GenericPayload& trans, DmiRegion& region) {
+  (void)trans;
+  region.base = store_.data();
+  region.startAddress = 0;
+  region.endAddress = store_.size() - 1;
+  region.readAllowed = true;
+  region.writeAllowed = true;
+  return true;
+}
+
+std::size_t Memory::transport_dbg(GenericPayload& trans) {
+  const std::size_t n =
+      std::min<std::size_t>(trans.data.size(),
+                            trans.address < store_.size() ? store_.size() - trans.address : 0);
+  if (trans.command == Command::Read) {
+    std::memcpy(trans.data.data(), store_.data() + trans.address, n);
+  } else if (trans.command == Command::Write) {
+    std::memcpy(store_.data() + trans.address, trans.data.data(), n);
+  }
+  trans.response = Response::Ok;
+  return n;
+}
+
+std::uint32_t Memory::word(std::uint64_t addr) const {
+  std::uint32_t w = 0;
+  for (int i = 0; i < 4; ++i) {
+    w |= static_cast<std::uint32_t>(store_.at(addr + static_cast<std::uint64_t>(i)))
+         << (8 * i);
+  }
+  return w;
+}
+
+void Memory::setWord(std::uint64_t addr, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    store_.at(addr + static_cast<std::uint64_t>(i)) = (value >> (8 * i)) & 0xFF;
+  }
+}
+
+}  // namespace xlv::tlm

@@ -1,0 +1,42 @@
+// A simple TLM target memory implementing all four TLM-2.0 interfaces.
+// Used by the platform examples (virtual-platform style, paper Section 2.4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tlm/socket.h"
+
+namespace xlv::tlm {
+
+class Memory : public BTransportIf, public NbTransportFwIf, public DmiIf, public DebugIf {
+ public:
+  Memory(std::size_t bytes, Time readLatency = Time(10000), Time writeLatency = Time(10000));
+
+  TargetSocket& socket() noexcept { return socket_; }
+
+  // BTransportIf
+  void b_transport(GenericPayload& trans, Time& delay) override;
+  // NbTransportFwIf: base-protocol degenerate completion (AT targets may
+  // complete early by returning Completed on BeginReq).
+  SyncEnum nb_transport_fw(GenericPayload& trans, Phase& phase, Time& t) override;
+  // DmiIf
+  bool get_direct_mem_ptr(GenericPayload& trans, DmiRegion& region) override;
+  // DebugIf
+  std::size_t transport_dbg(GenericPayload& trans) override;
+
+  std::uint8_t* data() noexcept { return store_.data(); }
+  std::size_t size() const noexcept { return store_.size(); }
+
+  std::uint32_t word(std::uint64_t addr) const;
+  void setWord(std::uint64_t addr, std::uint32_t value);
+
+ private:
+  void access(GenericPayload& trans);
+
+  TargetSocket socket_;
+  std::vector<std::uint8_t> store_;
+  Time readLatency_, writeLatency_;
+};
+
+}  // namespace xlv::tlm

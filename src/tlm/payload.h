@@ -1,0 +1,87 @@
+// Generic payload and simulated time, modeled after OSCI TLM-2.0.
+//
+// The paper's flow wraps abstracted IPs behind TLM-2.0 interfaces; this
+// library provides the payload/phase/time vocabulary those interfaces need.
+// It is deliberately a compact re-implementation, not a SystemC dependency:
+// the flow only requires the communication primitives, not the SystemC
+// kernel (the abstracted models carry their own scheduler()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xlv::tlm {
+
+/// Simulated time in picoseconds (TLM-2.0's sc_time analogue).
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::uint64_t ps) : ps_(ps) {}
+
+  constexpr std::uint64_t ps() const noexcept { return ps_; }
+  constexpr double ns() const noexcept { return static_cast<double>(ps_) / 1e3; }
+
+  constexpr Time& operator+=(Time o) noexcept {
+    ps_ += o.ps_;
+    return *this;
+  }
+  friend constexpr Time operator+(Time a, Time b) noexcept { return Time(a.ps_ + b.ps_); }
+  friend constexpr bool operator==(Time a, Time b) noexcept { return a.ps_ == b.ps_; }
+  friend constexpr bool operator<(Time a, Time b) noexcept { return a.ps_ < b.ps_; }
+  friend constexpr bool operator<=(Time a, Time b) noexcept { return a.ps_ <= b.ps_; }
+
+ private:
+  std::uint64_t ps_ = 0;
+};
+
+enum class Command { Read, Write, Ignore };
+
+enum class Response {
+  Ok,
+  AddressError,
+  CommandError,
+  GenericError,
+  Incomplete,  ///< initial state, must be overwritten by the target
+};
+
+const char* responseName(Response r);
+
+/// TLM-2.0 generic payload (the subset the flow exercises: command, address,
+/// data, response status, DMI hint).
+class GenericPayload {
+ public:
+  Command command = Command::Ignore;
+  std::uint64_t address = 0;
+  std::vector<std::uint8_t> data;
+  Response response = Response::Incomplete;
+  bool dmiAllowed = false;
+
+  void setRead(std::uint64_t addr, std::size_t nbytes) {
+    command = Command::Read;
+    address = addr;
+    data.assign(nbytes, 0);
+    response = Response::Incomplete;
+  }
+
+  void setWrite(std::uint64_t addr, std::vector<std::uint8_t> bytes) {
+    command = Command::Write;
+    address = addr;
+    data = std::move(bytes);
+    response = Response::Incomplete;
+  }
+
+  /// Little-endian word helpers (the platform examples use 32-bit words).
+  void setWriteWord(std::uint64_t addr, std::uint32_t word);
+  std::uint32_t dataWord() const;
+
+  bool ok() const noexcept { return response == Response::Ok; }
+};
+
+/// AT protocol phases (TLM-2.0 base protocol).
+enum class Phase { BeginReq, EndReq, BeginResp, EndResp };
+
+/// Return codes of the non-blocking interface.
+enum class SyncEnum { Accepted, Updated, Completed };
+
+}  // namespace xlv::tlm

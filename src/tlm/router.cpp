@@ -1,0 +1,59 @@
+#include "tlm/router.h"
+
+#include <stdexcept>
+
+namespace xlv::tlm {
+
+Router::Router() {
+  socket_.registerBTransport(this);
+  socket_.registerDebug(this);
+}
+
+void Router::map(std::uint64_t base, std::uint64_t size, TargetSocket& target, std::string name) {
+  for (const auto& r : regions_) {
+    const bool overlap = base < r->base + r->size && r->base < base + size;
+    if (overlap) {
+      throw std::invalid_argument("tlm::Router: overlapping address regions");
+    }
+  }
+  auto region = std::make_unique<Region>();
+  region->base = base;
+  region->size = size;
+  region->name = std::move(name);
+  region->out.bind(target);
+  regions_.push_back(std::move(region));
+}
+
+Router::Region* Router::resolve(std::uint64_t addr) {
+  for (auto& r : regions_) {
+    if (addr >= r->base && addr < r->base + r->size) return r.get();
+  }
+  return nullptr;
+}
+
+void Router::b_transport(GenericPayload& trans, Time& delay) {
+  Region* r = resolve(trans.address);
+  if (r == nullptr) {
+    trans.response = Response::AddressError;
+    return;
+  }
+  const std::uint64_t orig = trans.address;
+  trans.address -= r->base;
+  r->out.b_transport(trans, delay);
+  trans.address = orig;
+}
+
+std::size_t Router::transport_dbg(GenericPayload& trans) {
+  Region* r = resolve(trans.address);
+  if (r == nullptr) {
+    trans.response = Response::AddressError;
+    return 0;
+  }
+  const std::uint64_t orig = trans.address;
+  trans.address -= r->base;
+  const std::size_t n = r->out.transport_dbg(trans);
+  trans.address = orig;
+  return n;
+}
+
+}  // namespace xlv::tlm

@@ -1,0 +1,47 @@
+// Address-mapped TLM router: one target socket in, N initiator sockets out.
+// The platform examples use it to build small memory-mapped systems around
+// the abstracted IPs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tlm/socket.h"
+
+namespace xlv::tlm {
+
+class Router : public BTransportIf, public DebugIf {
+ public:
+  TargetSocket& socket() noexcept { return socket_; }
+
+  Router();
+
+  /// Map [base, base+size) to `target`; incoming addresses are rebased.
+  void map(std::uint64_t base, std::uint64_t size, TargetSocket& target,
+           std::string name = "");
+
+  void b_transport(GenericPayload& trans, Time& delay) override;
+  std::size_t transport_dbg(GenericPayload& trans) override;
+
+  int regionCount() const noexcept { return static_cast<int>(regions_.size()); }
+  const std::string& regionName(int i) const {
+    return regions_.at(static_cast<std::size_t>(i))->name;
+  }
+
+ private:
+  struct Region {
+    std::uint64_t base = 0;
+    std::uint64_t size = 0;
+    InitiatorSocket out;
+    std::string name;
+  };
+
+  Region* resolve(std::uint64_t addr);
+
+  TargetSocket socket_;
+  std::vector<std::unique_ptr<Region>> regions_;
+};
+
+}  // namespace xlv::tlm

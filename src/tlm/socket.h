@@ -1,0 +1,100 @@
+// Initiator/target sockets binding the TLM interfaces, plus the LT quantum
+// keeper for temporally decoupled initiators.
+#pragma once
+
+#include <stdexcept>
+
+#include "tlm/interfaces.h"
+
+namespace xlv::tlm {
+
+class TargetSocket;
+
+/// Initiator-side socket: forwards calls to the bound target.
+class InitiatorSocket {
+ public:
+  void bind(TargetSocket& target);
+  bool bound() const noexcept { return target_ != nullptr; }
+
+  void b_transport(GenericPayload& trans, Time& delay);
+  SyncEnum nb_transport_fw(GenericPayload& trans, Phase& phase, Time& t);
+  bool get_direct_mem_ptr(GenericPayload& trans, DmiRegion& region);
+  std::size_t transport_dbg(GenericPayload& trans);
+
+  /// Backward-path hook (targets call back through the initiator socket).
+  void registerBw(NbTransportBwIf* bw) noexcept { bw_ = bw; }
+  NbTransportBwIf* bw() const noexcept { return bw_; }
+
+ private:
+  TargetSocket* target_ = nullptr;
+  NbTransportBwIf* bw_ = nullptr;
+};
+
+/// Target-side socket: carries the implementation pointers.
+class TargetSocket {
+ public:
+  void registerBTransport(BTransportIf* impl) noexcept { b_ = impl; }
+  void registerNbFw(NbTransportFwIf* impl) noexcept { nbFw_ = impl; }
+  void registerDmi(DmiIf* impl) noexcept { dmi_ = impl; }
+  void registerDebug(DebugIf* impl) noexcept { dbg_ = impl; }
+
+  BTransportIf* bTransport() const noexcept { return b_; }
+  NbTransportFwIf* nbFw() const noexcept { return nbFw_; }
+  DmiIf* dmi() const noexcept { return dmi_; }
+  DebugIf* debug() const noexcept { return dbg_; }
+
+ private:
+  BTransportIf* b_ = nullptr;
+  NbTransportFwIf* nbFw_ = nullptr;
+  DmiIf* dmi_ = nullptr;
+  DebugIf* dbg_ = nullptr;
+};
+
+inline void InitiatorSocket::bind(TargetSocket& target) { target_ = &target; }
+
+inline void InitiatorSocket::b_transport(GenericPayload& trans, Time& delay) {
+  if (!target_ || !target_->bTransport()) {
+    throw std::runtime_error("tlm: b_transport on unbound initiator socket");
+  }
+  target_->bTransport()->b_transport(trans, delay);
+}
+
+inline SyncEnum InitiatorSocket::nb_transport_fw(GenericPayload& trans, Phase& phase, Time& t) {
+  if (!target_ || !target_->nbFw()) {
+    throw std::runtime_error("tlm: nb_transport_fw on unbound initiator socket");
+  }
+  return target_->nbFw()->nb_transport_fw(trans, phase, t);
+}
+
+inline bool InitiatorSocket::get_direct_mem_ptr(GenericPayload& trans, DmiRegion& region) {
+  if (!target_ || !target_->dmi()) return false;
+  return target_->dmi()->get_direct_mem_ptr(trans, region);
+}
+
+inline std::size_t InitiatorSocket::transport_dbg(GenericPayload& trans) {
+  if (!target_ || !target_->debug()) return 0;
+  return target_->debug()->transport_dbg(trans);
+}
+
+/// Quantum keeper for loosely-timed modeling: initiators accumulate local
+/// time and synchronize when the quantum is exceeded (TLM-2.0 LT style).
+class QuantumKeeper {
+ public:
+  explicit QuantumKeeper(Time quantum = Time(100000)) : quantum_(quantum) {}
+
+  void inc(Time t) noexcept { local_ += t; }
+  Time localTime() const noexcept { return local_; }
+  bool needSync() const noexcept { return quantum_ < local_ || quantum_ == local_; }
+  /// Returns the time to consume at the sync point and resets local time.
+  Time sync() noexcept {
+    const Time t = local_;
+    local_ = Time(0);
+    return t;
+  }
+
+ private:
+  Time quantum_;
+  Time local_;
+};
+
+}  // namespace xlv::tlm

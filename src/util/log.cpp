@@ -1,0 +1,30 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace xlv::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* levelName(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel logLevel() noexcept { return g_level; }
+void setLogLevel(LogLevel lvl) noexcept { g_level = lvl; }
+
+void logLine(LogLevel lvl, const std::string& component, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s: %s\n", levelName(lvl), component.c_str(), msg.c_str());
+}
+
+}  // namespace xlv::util

@@ -1,0 +1,58 @@
+// Minimal leveled logging for the xlv libraries.
+//
+// Logging in a simulation kernel must be cheap when disabled: the macros below
+// compile to a level check plus a lazily-formatted message. The default level
+// is Warn so that simulators stay silent in benchmarks.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace xlv::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global log level. Not thread-safe by design: the simulators are
+/// single-threaded and benchmarks set this once at startup.
+LogLevel logLevel() noexcept;
+void setLogLevel(LogLevel lvl) noexcept;
+
+/// Emit one log line (already formatted) at the given level.
+void logLine(LogLevel lvl, const std::string& component, const std::string& msg);
+
+namespace detail {
+/// Stream-building helper so call sites can write `logf(...) << "x=" << x;`.
+class LogStream {
+ public:
+  LogStream(LogLevel lvl, std::string component) : lvl_(lvl), component_(std::move(component)) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { logLine(lvl_, component_, os_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::string component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline bool logEnabled(LogLevel lvl) noexcept { return lvl >= logLevel(); }
+
+}  // namespace xlv::util
+
+#define XLV_LOG(lvl, component)                  \
+  if (!::xlv::util::logEnabled(lvl)) {           \
+  } else                                         \
+    ::xlv::util::detail::LogStream(lvl, component)
+
+#define XLV_TRACE(component) XLV_LOG(::xlv::util::LogLevel::Trace, component)
+#define XLV_DEBUG(component) XLV_LOG(::xlv::util::LogLevel::Debug, component)
+#define XLV_INFO(component) XLV_LOG(::xlv::util::LogLevel::Info, component)
+#define XLV_WARN(component) XLV_LOG(::xlv::util::LogLevel::Warn, component)
+#define XLV_ERROR(component) XLV_LOG(::xlv::util::LogLevel::Error, component)

@@ -1,0 +1,48 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xlv::util {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double SampleSet::mean() const noexcept {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+void SampleSet::ensureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::percentile(double q) const {
+  if (samples_.empty()) throw std::out_of_range("SampleSet::percentile on empty set");
+  ensureSorted();
+  if (q <= 0.0) return samples_.front();
+  if (q >= 1.0) return samples_.back();
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) throw std::out_of_range("SampleSet::min on empty set");
+  ensureSorted();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) throw std::out_of_range("SampleSet::max on empty set");
+  ensureSorted();
+  return samples_.back();
+}
+
+}  // namespace xlv::util

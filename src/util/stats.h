@@ -1,0 +1,56 @@
+// Streaming statistics accumulators used by the benchmark harness and the
+// mutation-analysis reports.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace xlv::util {
+
+/// Welford-style running mean / variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = (n_ == 1) ? x : std::min(min_, x);
+    max_ = (n_ == 1) ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects samples and answers percentile queries (used to report simulation
+/// time distributions, as the paper averages over multiple runs).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const noexcept;
+  /// q in [0,1]; linear interpolation between closest ranks.
+  double percentile(double q) const;
+  double min() const;
+  double max() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensureSorted() const;
+};
+
+}  // namespace xlv::util

@@ -1,0 +1,79 @@
+#include "util/table.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace xlv::util {
+
+namespace {
+bool looksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' && c != '+' &&
+        c != 'x' && c != '%' && c != ',' && c != 'e')
+      return false;
+  }
+  return std::isdigit(static_cast<unsigned char>(s.front())) ||
+         s.front() == '-' || s.front() == '+' || s.front() == '.';
+}
+}  // namespace
+
+void Table::addRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::addSeparator() { rows_.emplace_back(); }
+
+std::string Table::fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto renderRule = [&](std::ostringstream& os) {
+    os << '+';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto renderCells = [&](std::ostringstream& os, const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      const std::size_t pad = width[c] - s.size();
+      if (looksNumeric(s)) {
+        os << ' ' << std::string(pad, ' ') << s << ' ';
+      } else {
+        os << ' ' << s << std::string(pad, ' ') << ' ';
+      }
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  renderRule(os);
+  renderCells(os, header_);
+  renderRule(os);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      renderRule(os);
+    } else {
+      renderCells(os, row);
+    }
+  }
+  renderRule(os);
+  return os.str();
+}
+
+}  // namespace xlv::util

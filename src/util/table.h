@@ -1,0 +1,28 @@
+// Plain-text table rendering for the benchmark binaries: every bench prints
+// the same rows/columns as the corresponding table in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xlv::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void addRow(std::vector<std::string> row);
+  /// Insert a horizontal separator before the next row.
+  void addSeparator();
+
+  /// Render with column alignment; numbers right-aligned heuristically.
+  std::string render() const;
+
+  static std::string fixed(double v, int digits);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace xlv::util

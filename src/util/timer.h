@@ -1,0 +1,23 @@
+// Wall-clock timer used to report simulation and analysis times.
+#pragma once
+
+#include <chrono>
+
+namespace xlv::util {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+  void reset() noexcept { start_ = Clock::now(); }
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double millis() const noexcept { return seconds() * 1e3; }
+  double micros() const noexcept { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xlv::util

@@ -1,0 +1,125 @@
+// Code emitters: VHDL and SystemC-TLM text generation.
+#include <gtest/gtest.h>
+
+#include "abstraction/abstractor.h"
+#include "abstraction/emit_vhdl.h"
+#include "insertion/insertion.h"
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+#include "mutation/adam.h"
+#include "sta/sta.h"
+
+namespace xlv::abstraction {
+namespace {
+
+using namespace xlv::ir;
+
+std::shared_ptr<Module> smallIp() {
+  ModuleBuilder mb("acc");
+  auto clk = mb.clock("clk");
+  auto rst = mb.in("rst", 1);
+  auto din = mb.in("din", 8);
+  auto acc = mb.out("acc", 16);
+  mb.onRising("p", clk, [&](ProcBuilder& p) {
+    p.if_(Ex(rst) == 1u, [&] { p.assign(acc, lit(16, 0)); },
+          [&] { p.assign(acc, Ex(acc) + zext(Ex(din), 16)); });
+  });
+  return mb.finish();
+}
+
+TEST(EmitVhdl, ContainsEntityArchitectureProcess) {
+  const std::string v = emitVhdl(*smallIp());
+  EXPECT_NE(std::string::npos, v.find("entity acc is"));
+  EXPECT_NE(std::string::npos, v.find("architecture rtl of acc"));
+  EXPECT_NE(std::string::npos, v.find("rising_edge(clk)"));
+  EXPECT_NE(std::string::npos, v.find("acc <= "));
+  EXPECT_NE(std::string::npos, v.find("port ("));
+}
+
+TEST(EmitVhdl, EmitsChildEntitiesOnce) {
+  auto ip = smallIp();
+  sta::StaConfig cfg;
+  cfg.clockPeriodPs = 1000;
+  cfg.thresholdFraction = 1.0;
+  auto report = sta::analyze(elaborate(*ip), cfg);
+  insertion::InsertionConfig icfg;
+  auto res = insertion::insertSensors(*ip, report, icfg);
+  const std::string v = emitVhdl(*res.augmented);
+  // The Razor entity appears exactly once even with many instances.
+  std::size_t count = 0;
+  for (std::size_t pos = v.find("entity razor_w16 is"); pos != std::string::npos;
+       pos = v.find("entity razor_w16 is", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(1u, count);
+  EXPECT_NE(std::string::npos, v.find("port map"));
+}
+
+TEST(EmitVhdl, AugmentedIpHasMoreLines) {
+  auto ip = smallIp();
+  const int base = countLines(emitVhdl(*ip));
+  sta::StaConfig cfg;
+  cfg.clockPeriodPs = 1000;
+  cfg.thresholdFraction = 1.0;
+  auto report = sta::analyze(elaborate(*ip), cfg);
+  auto res = insertion::insertSensors(*ip, report, insertion::InsertionConfig{});
+  const int aug = countLines(emitVhdl(*res.augmented));
+  EXPECT_GT(aug, base);
+}
+
+TEST(EmitCpp, ContainsSchedulerAndProcesses) {
+  Design d = elaborate(*smallIp());
+  EmitCppOptions opts;
+  const std::string c = emitCpp(d, opts);
+  EXPECT_NE(std::string::npos, c.find("void scheduler()"));
+  EXPECT_NE(std::string::npos, c.find("proc_p()"));
+  EXPECT_NE(std::string::npos, c.find("b_transport"));
+  EXPECT_NE(std::string::npos, c.find("hdt::LogicVector"));
+}
+
+TEST(EmitCpp, TwoStateOptionSwitchesTypes) {
+  Design d = elaborate(*smallIp());
+  EmitCppOptions opts;
+  opts.twoStateTypes = true;
+  const std::string c = emitCpp(d, opts);
+  EXPECT_NE(std::string::npos, c.find("hdt::BitVector"));
+  EXPECT_EQ(std::string::npos, c.find("hdt::LogicVector"));
+}
+
+TEST(EmitCpp, DualClockEmitsHfLoop) {
+  ModuleBuilder mb("dual");
+  auto clk = mb.clock("clk");
+  auto hclk = mb.clock("hclk", ClockRole::HighFreq);
+  auto t = mb.signal("t", 8);
+  mb.onRising("cnt", hclk, [&](ProcBuilder& p) { p.assign(t, Ex(t) + 1u); });
+  (void)clk;
+  Design d = elaborate(*mb.finish());
+  EmitCppOptions opts;
+  opts.hfRatio = 10;
+  const std::string c = emitCpp(d, opts);
+  EXPECT_NE(std::string::npos, c.find("for (int hfclk = 1; hfclk <= 10"));
+}
+
+TEST(EmitCpp, InjectedEmitsApplyMutantFunctions) {
+  Design d = elaborate(*smallIp());
+  auto injected = mutation::injectMutants(d, {{"acc", mutation::MutantKind::MinDelay, 0}});
+  EmitCppOptions opts;
+  const std::string c = emitCppInjected(injected, opts);
+  EXPECT_NE(std::string::npos, c.find("apply_mutant_acc_0"));
+  EXPECT_NE(std::string::npos, c.find("MIN_DELAY"));
+  EXPECT_NE(std::string::npos, c.find("adam_tmp_acc"));
+  // The injected model has more lines than the clean one (Table 5 vs 3).
+  EXPECT_GT(countLines(c), countLines(emitCpp(d, opts)));
+}
+
+TEST(Abstractor, ArtifactsRecordLinesAndTime) {
+  Design d = elaborate(*smallIp());
+  AbstractionOptions opts;
+  auto a = abstractDesign(d, opts);
+  EXPECT_GT(a.sourceLines, 20);
+  EXPECT_GE(a.abstractionSeconds, 0.0);
+  EXPECT_EQ(a.sourceLines, countLines(a.source));
+}
+
+}  // namespace
+}  // namespace xlv::abstraction

@@ -1,0 +1,307 @@
+// TlmIpModel: cycle equivalence against the event-driven RTL kernel (the
+// flow's invariant 1), mutant phase semantics, and the Section 8.5
+// cross-check (RTL transport delays vs TLM mutants produce identical sensor
+// observations).
+#include <gtest/gtest.h>
+
+#include "abstraction/tlm_model.h"
+#include "insertion/insertion.h"
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+#include "rtl/kernel.h"
+#include "sta/sta.h"
+
+namespace xlv::abstraction {
+namespace {
+
+using namespace xlv::ir;
+using insertion::InsertionConfig;
+using insertion::SensorKind;
+using mutation::MutantKind;
+using rtl::KernelConfig;
+using rtl::RtlSimulator;
+
+constexpr std::uint64_t kPeriod = 1200;
+constexpr int kRatio = 10;
+constexpr std::uint64_t kTick = (kPeriod / 2) / (kRatio + 1);
+
+/// Drive both engines with the same stimulus and compare every non-clock
+/// symbol after every cycle.
+template <class P>
+void expectCycleEquivalence(const Design& d, int hfRatio, int cycles,
+                            const std::function<std::uint64_t(std::uint64_t, const std::string&)>&
+                                stimulusFor) {
+  RtlSimulator<P> rtlSim(d, KernelConfig{kPeriod, hfRatio, 1000});
+  TlmIpModel<P> tlmSim(d, TlmModelConfig{hfRatio, false});
+
+  std::vector<std::string> inputNames;
+  for (SymbolId in : d.inputs) inputNames.push_back(d.symbol(in).name);
+
+  rtlSim.setStimulus([&](std::uint64_t c, RtlSimulator<P>& s) {
+    for (const auto& n : inputNames) s.setInputByName(n, stimulusFor(c, n));
+  });
+
+  for (int c = 0; c < cycles; ++c) {
+    rtlSim.runCycles(1);
+    for (const auto& n : inputNames) {
+      tlmSim.setInputByName(n, stimulusFor(static_cast<std::uint64_t>(c), n));
+    }
+    tlmSim.scheduler();
+    for (std::size_t i = 0; i < d.symbols.size(); ++i) {
+      const auto id = static_cast<SymbolId>(i);
+      if (d.symbols[i].isClock() || d.symbols[i].kind == SymKind::Array) continue;
+      EXPECT_TRUE(rtlSim.value(id).identical(tlmSim.value(id)))
+          << "cycle " << c << " symbol '" << d.symbols[i].name << "': rtl="
+          << rtlSim.value(id).toString() << " tlm=" << tlmSim.value(id).toString();
+    }
+  }
+}
+
+Design pipelineDesign() {
+  ModuleBuilder mb("pipe");
+  auto clk = mb.clock("clk");
+  auto a = mb.in("a", 8);
+  auto b = mb.in("b", 8);
+  auto s1 = mb.signal("s1", 8);
+  auto s2 = mb.signal("s2", 8);
+  auto w = mb.signal("w", 8);
+  auto y = mb.out("y", 8);
+  mb.onRising("st1", clk, [&](ProcBuilder& p) { p.assign(s1, Ex(a) * Ex(b)); });
+  mb.onRising("st2", clk, [&](ProcBuilder& p) { p.assign(s2, Ex(s1) + Ex(w)); });
+  mb.comb("c1", [&](ProcBuilder& p) { p.assign(w, Ex(a) ^ Ex(b)); });
+  mb.comb("c2", [&](ProcBuilder& p) { p.assign(y, Ex(s2) + 1u); });
+  return elaborate(*mb.finish());
+}
+
+template <class P>
+class TlmTypedTest : public ::testing::Test {};
+using Policies = ::testing::Types<hdt::FourState, hdt::TwoState>;
+TYPED_TEST_SUITE(TlmTypedTest, Policies);
+
+TYPED_TEST(TlmTypedTest, PipelineCycleEquivalence) {
+  expectCycleEquivalence<TypeParam>(pipelineDesign(), 0, 25,
+                                    [](std::uint64_t c, const std::string& n) {
+                                      return (n == "a" ? 3 * c + 1 : 5 * c + 2) & 0xFF;
+                                    });
+}
+
+TYPED_TEST(TlmTypedTest, FsmCycleEquivalence) {
+  ModuleBuilder mb("fsm");
+  auto clk = mb.clock("clk");
+  auto go = mb.in("go", 1);
+  auto st = mb.signal("st", 2);
+  auto y = mb.out("y", 4);
+  mb.onRising("next", clk, [&](ProcBuilder& p) {
+    p.switch_(Ex(st),
+              {{{0}, [&] { p.if_(Ex(go) == 1u, [&] { p.assign(st, lit(2, 1)); }); }},
+               {{1}, [&] { p.assign(st, lit(2, 2)); }},
+               {{2}, [&] { p.assign(st, lit(2, 3)); }}},
+              [&] { p.assign(st, lit(2, 0)); });
+  });
+  mb.comb("out", [&](ProcBuilder& p) { p.assign(y, shl(lit(4, 1), Ex(st))); });
+  expectCycleEquivalence<TypeParam>(elaborate(*mb.finish()), 0, 20,
+                                    [](std::uint64_t c, const std::string&) {
+                                      return (c % 3) == 0 ? 1u : 0u;
+                                    });
+}
+
+TYPED_TEST(TlmTypedTest, DualClockCycleEquivalence) {
+  ModuleBuilder mb("dual");
+  auto clk = mb.clock("clk");
+  auto hclk = mb.clock("hclk", ClockRole::HighFreq);
+  auto d_in = mb.in("d", 8);
+  auto r = mb.signal("r", 8);
+  auto ticks = mb.signal("ticks", 16);
+  auto y = mb.out("y", 16);
+  mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assign(r, d_in); });
+  mb.onRising("cnt", hclk, [&](ProcBuilder& p) { p.assign(ticks, Ex(ticks) + 1u); });
+  mb.comb("c", [&](ProcBuilder& p) { p.assign(y, Ex(ticks) + zext(Ex(r), 16)); });
+  expectCycleEquivalence<TypeParam>(elaborate(*mb.finish()), kRatio, 15,
+                                    [](std::uint64_t c, const std::string&) { return c & 0xFF; });
+}
+
+// Equivalence holds for the sensor-augmented IPs too — the heart of the
+// "sensor-aware abstraction preserves sensor behaviour" claim (Section 5.2).
+struct AugmentedFixture {
+  Design design;
+  std::vector<insertion::InsertedSensor> sensors;
+
+  explicit AugmentedFixture(SensorKind kind) {
+    ModuleBuilder mb("dut");
+    auto clk = mb.clock("clk");
+    auto din = mb.in("din", 8);
+    auto dout = mb.out("dout", 8);
+    auto r = mb.signal("r", 8);
+    auto r2 = mb.signal("r2", 8);
+    mb.onRising("ff", clk, [&](ProcBuilder& p) {
+      // XOR-toggle keeps both registers (and their parity) changing every
+      // cycle, which the Counter's observation function requires.
+      p.assign(r, Ex(din) ^ Ex(r));
+      p.assign(r2, Ex(r) * Ex(din));
+    });
+    mb.comb("drive", [&](ProcBuilder& p) { p.assign(dout, Ex(r) ^ Ex(r2)); });
+    auto ip = mb.finish();
+
+    sta::StaConfig staCfg;
+    staCfg.clockPeriodPs = kPeriod;
+    staCfg.thresholdFraction = 1.0;
+    auto report = sta::analyze(elaborate(*ip), staCfg);
+    InsertionConfig icfg;
+    icfg.kind = kind;
+    auto ins = insertSensors(*ip, report, icfg);
+    design = elaborate(*ins.augmented);
+    sensors = ins.sensors;
+  }
+};
+
+TYPED_TEST(TlmTypedTest, RazorAugmentedCycleEquivalence) {
+  AugmentedFixture fx(SensorKind::Razor);
+  expectCycleEquivalence<TypeParam>(fx.design, 0, 20,
+                                    [](std::uint64_t c, const std::string& n) {
+                                      if (n == "recovery_en") return std::uint64_t{1};
+                                      return (3 * c + 1) & 0xFF;
+                                    });
+}
+
+TYPED_TEST(TlmTypedTest, CounterAugmentedCycleEquivalence) {
+  AugmentedFixture fx(SensorKind::Counter);
+  expectCycleEquivalence<TypeParam>(fx.design, kRatio, 20,
+                                    [](std::uint64_t c, const std::string&) {
+                                      return (3 * c + 1) & 0xFF;
+                                    });
+}
+
+// Injected model with no active mutant is cycle-equivalent to the clean one.
+TEST(TlmModel, InactiveMutantsPreserveBehaviour) {
+  AugmentedFixture fx(SensorKind::Razor);
+  auto injected = mutation::injectMutants(
+      fx.design, {{"r", MutantKind::MinDelay, 0}, {"r", MutantKind::MaxDelay, 0}});
+
+  TlmIpModel<hdt::FourState> clean(fx.design, TlmModelConfig{0, false});
+  TlmIpModel<hdt::FourState> inj(injected, TlmModelConfig{0, false});
+  for (int c = 0; c < 25; ++c) {
+    for (auto* m : {&clean, &inj}) {
+      m->setInputByName("din", (3 * c + 1) & 0xFF);
+      m->setInputByName("recovery_en", 1);
+      m->scheduler();
+    }
+    EXPECT_EQ(clean.valueUintByName("dout"), inj.valueUintByName("dout")) << "cycle " << c;
+    EXPECT_EQ(1u, inj.valueUintByName("metric_ok")) << "cycle " << c;
+  }
+}
+
+// Active mutants land in the Razor detection window (Section 6.1).
+class RazorMutantP : public ::testing::TestWithParam<MutantKind> {};
+
+TEST_P(RazorMutantP, RazorDetectsMinAndMaxMutants) {
+  AugmentedFixture fx(SensorKind::Razor);
+  // Locate the sensor monitoring register r (sensor order follows slack).
+  std::string errSignal;
+  for (const auto& s : fx.sensors) {
+    if (s.endpointName == "r") errSignal = s.errorSignal;
+  }
+  ASSERT_FALSE(errSignal.empty());
+  auto injected = mutation::injectMutants(fx.design, {{"r", GetParam(), 0}});
+  TlmIpModel<hdt::FourState> m(injected, TlmModelConfig{0, false});
+  m.activateMutant(0);
+  bool risen = false;
+  for (int c = 0; c < 20; ++c) {
+    m.setInputByName("din", 7);  // odd parity: CPS toggles every cycle
+    m.setInputByName("recovery_en", 1);
+    m.scheduler();
+    if (m.valueUintByName(errSignal) == 1) risen = true;
+  }
+  EXPECT_TRUE(risen);
+  EXPECT_EQ(0u, m.valueUintByName("metric_ok"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, RazorMutantP,
+                         ::testing::Values(MutantKind::MinDelay, MutantKind::MaxDelay));
+
+// Delta mutants measure exactly their tick on the Counter sensor
+// (Section 6.2): the TLM delta-delay of n HF periods reads n on MEAS_VAL.
+class DeltaMutantP : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaMutantP, CounterMeasuresDeltaMutantTicks) {
+  const int n = GetParam();
+  AugmentedFixture fx(SensorKind::Counter);
+  auto injected = mutation::injectMutants(fx.design, {{"r", MutantKind::DeltaDelay, n}});
+  TlmIpModel<hdt::FourState> m(injected, TlmModelConfig{kRatio, false});
+  m.activateMutant(0);
+  for (int c = 0; c < 8; ++c) {
+    m.setInputByName("din", 7);  // odd parity: CPS toggles every cycle
+    m.scheduler();
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(n), m.valueUintByName("meas_val"));
+  const bool risen = m.valueUintByName("metric_ok") == 0;
+  EXPECT_EQ(n > 8, risen);  // threshold = 8 HF periods
+}
+
+INSTANTIATE_TEST_SUITE_P(Ticks, DeltaMutantP, ::testing::Range(1, kRatio + 1));
+
+// Section 8.5 cross-check: the TLM delta mutant of n HF periods and an RTL
+// transport delay landing in the same HF period produce identical sensor
+// readings.
+class CrossCheckP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossCheckP, RtlDelayAndTlmMutantAgree) {
+  const int n = GetParam();
+  AugmentedFixture fx(SensorKind::Counter);
+
+  // RTL: transport delay of n ticks on r.
+  RtlSimulator<hdt::FourState> rtlSim(fx.design, KernelConfig{kPeriod, kRatio, 1000});
+  rtlSim.setStimulus([](std::uint64_t, RtlSimulator<hdt::FourState>& s) {
+    s.setInputByName("din", 7);
+  });
+  rtlSim.injectDelay(fx.design.findSymbol("r"), static_cast<std::uint64_t>(n) * kTick);
+  rtlSim.runCycles(8);
+
+  // TLM: delta mutant of n HF periods on r.
+  auto injected = mutation::injectMutants(fx.design, {{"r", MutantKind::DeltaDelay, n}});
+  TlmIpModel<hdt::FourState> tlmSim(injected, TlmModelConfig{kRatio, false});
+  tlmSim.activateMutant(0);
+  for (int c = 0; c < 8; ++c) {
+    tlmSim.setInputByName("din", 7);  // odd parity: CPS toggles every cycle
+    tlmSim.scheduler();
+  }
+
+  EXPECT_EQ(rtlSim.valueUintByName("meas_val"), tlmSim.valueUintByName("meas_val"));
+  EXPECT_EQ(rtlSim.valueUintByName("metric_ok"), tlmSim.valueUintByName("metric_ok"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ticks, CrossCheckP, ::testing::Range(1, kRatio + 1));
+
+TEST(TlmModel, CombinationalCycleRejected) {
+  ModuleBuilder mb("loop");
+  mb.clock("clk");
+  auto x = mb.signal("x", 4);
+  auto y = mb.signal("y", 4);
+  mb.comb("c1", [&](ProcBuilder& p) { p.assign(x, Ex(y) + 1u); });
+  mb.comb("c2", [&](ProcBuilder& p) { p.assign(y, Ex(x) + 1u); });
+  Design d = elaborate(*mb.finish());
+  EXPECT_THROW((TlmIpModel<hdt::FourState>(d, TlmModelConfig{0, false})),
+               std::invalid_argument);
+}
+
+TEST(TlmModel, StatsCountTransactions) {
+  Design d = pipelineDesign();
+  TlmIpModel<hdt::FourState> m(d, TlmModelConfig{0, false});
+  m.run(7, [](std::uint64_t c, TlmIpModel<hdt::FourState>& mm) {
+    mm.setInputByName("a", c);
+    mm.setInputByName("b", c + 1);
+  });
+  EXPECT_EQ(7u, m.stats().transactions);
+  EXPECT_GT(m.stats().processRuns, 0u);
+}
+
+TEST(TlmModel, ActivateMutantValidatesId) {
+  AugmentedFixture fx(SensorKind::Razor);
+  auto injected = mutation::injectMutants(fx.design, {{"r", MutantKind::MinDelay, 0}});
+  TlmIpModel<hdt::FourState> m(injected, TlmModelConfig{0, false});
+  EXPECT_THROW(m.activateMutant(5), std::out_of_range);
+  EXPECT_NO_THROW(m.activateMutant(0));
+  EXPECT_NO_THROW(m.activateMutant(-1));
+}
+
+}  // namespace
+}  // namespace xlv::abstraction

@@ -1,0 +1,165 @@
+// Methodology-level tests: the paper's "detection only" vs "detection and
+// correction" paradigms (Section 2.1), and failure injection — the flow
+// must FLAG defective sensor integrations, not silently pass them.
+#include <gtest/gtest.h>
+
+#include "abstraction/tlm_model.h"
+#include "analysis/mutation_analysis.h"
+#include "insertion/insertion.h"
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+#include "sta/sta.h"
+
+namespace xlv::analysis {
+namespace {
+
+using namespace xlv::ir;
+using abstraction::TlmIpModel;
+using abstraction::TlmModelConfig;
+using insertion::InsertionConfig;
+using insertion::SensorKind;
+using mutation::MutantKind;
+
+struct Dut {
+  Design design;
+  std::vector<insertion::InsertedSensor> sensors;
+
+  explicit Dut(SensorKind kind, InsertionConfig icfg = {}) {
+    ModuleBuilder mb("dut");
+    auto clk = mb.clock("clk");
+    auto din = mb.in("din", 8);
+    auto dout = mb.out("dout", 8);
+    auto r = mb.signal("r", 8);
+    mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assign(r, Ex(din) ^ Ex(r)); });
+    mb.comb("drive", [&](ProcBuilder& p) { p.assign(dout, r); });
+    auto ip = mb.finish();
+    sta::StaConfig staCfg;
+    staCfg.clockPeriodPs = 1200;
+    staCfg.thresholdFraction = 1.0;
+    auto report = sta::analyze(elaborate(*ip), staCfg);
+    icfg.kind = kind;
+    auto ins = insertSensors(*ip, report, icfg);
+    design = elaborate(*ins.augmented);
+    sensors = ins.sensors;
+  }
+};
+
+// Section 2.1 "detection only": with the recovery input low, the Razor
+// flags errors (E rises) but performs no correction — q keeps presenting
+// the (possibly stale) sampled data.
+TEST(Paradigm, DetectionOnlyRazorFlagsWithoutCorrecting) {
+  Dut dut(SensorKind::Razor);
+  auto injected = mutation::injectMutants(dut.design, {{"r", MutantKind::MinDelay, 0}});
+  TlmIpModel<hdt::FourState> m(injected, TlmModelConfig{0, false});
+  m.activateMutant(0);
+
+  bool risen = false;
+  bool qEverDiffersFromShadow = false;
+  const SymbolId q = dut.design.findSymbol("rz_q_0");
+  const SymbolId shadow = dut.design.findSymbol("razor0.shadow");
+  const SymbolId mainFf = dut.design.findSymbol("razor0.main_ff");
+  ASSERT_NE(kNoSymbol, shadow);
+  for (int c = 0; c < 20; ++c) {
+    m.setInputByName("din", 7);
+    m.setInputByName("recovery_en", 0);  // detection only
+    m.scheduler();
+    if (m.valueUintByName("rz_e_0") == 1) risen = true;
+    // Without recovery, q tracks the main FF (stale), never the shadow.
+    if (m.valueUint(q) != m.valueUint(mainFf)) qEverDiffersFromShadow = true;
+  }
+  EXPECT_TRUE(risen);
+  EXPECT_FALSE(qEverDiffersFromShadow) << "q must mirror the main FF when R=0";
+  (void)shadow;
+}
+
+TEST(Paradigm, DetectionAndCorrectionRecoversShadowValue) {
+  // A *transient* timing failure shows the replay: at the first healthy
+  // cycle after the error, q presents the shadow-caught value the main FF
+  // missed, diverging from the main FF for exactly that cycle.
+  Dut dut(SensorKind::Razor);
+  auto injected = mutation::injectMutants(dut.design, {{"r", MutantKind::MinDelay, 0}});
+  TlmIpModel<hdt::FourState> m(injected, TlmModelConfig{0, false});
+  const SymbolId q = dut.design.findSymbol("rz_q_0");
+  const SymbolId mainFf = dut.design.findSymbol("razor0.main_ff");
+  const SymbolId r = dut.design.findSymbol("r");
+
+  m.activateMutant(0);  // delay present for cycles 0..7
+  std::uint64_t missedValue = 0;
+  for (int c = 0; c < 8; ++c) {
+    m.setInputByName("din", 7);
+    m.setInputByName("recovery_en", 1);
+    m.scheduler();
+    missedValue = m.valueUint(r);  // the late-arriving true value
+  }
+  EXPECT_EQ(1u, m.valueUintByName("rz_e_0"));
+
+  m.activateMutant(-1);  // silicon healthy again
+  m.setInputByName("din", 7);
+  m.setInputByName("recovery_en", 1);
+  m.scheduler();
+  // Replay cycle: q presents the caught (shadow) value, not the main FF's.
+  EXPECT_NE(m.valueUint(q), m.valueUint(mainFf));
+  EXPECT_EQ(missedValue, m.valueUint(q));
+}
+
+// Failure injection: a defectively integrated sensor (Counter wired to a
+// critical bit that never toggles) must show up as undetected mutants in the
+// analysis report — this is precisely what the verification step exists to
+// catch (paper Section 7's "the sensor failed at verifying the delay").
+TEST(FailureInjection, MiswiredCounterIsFlaggedByAnalysis) {
+  InsertionConfig bad;
+  bad.monitoredBit = 7;  // r toggles only in bits 0..2 under din=7
+  Dut dut(SensorKind::Counter, bad);
+
+  Testbench tb;
+  tb.cycles = 40;
+  tb.drive = [](std::uint64_t, const PortSetter& set) { set("din", 7); };
+
+  auto injected = mutation::injectMutants(dut.design, {{"r", MutantKind::DeltaDelay, 9}});
+  AnalysisConfig cfg;
+  cfg.hfRatio = 10;
+  cfg.sensorKind = SensorKind::Counter;
+  auto report = analyzeMutations<hdt::FourState>(dut.design, injected, dut.sensors, tb, cfg);
+
+  ASSERT_EQ(1, report.total());
+  EXPECT_FALSE(report.results[0].detected) << "the defective wiring must be visible";
+  EXPECT_FALSE(report.results[0].errorRisen);
+  EXPECT_EQ(0u, report.results[0].measuredDelay);
+}
+
+// The same configuration with a correctly chosen bit detects everything —
+// the control for the failure-injection case above.
+TEST(FailureInjection, CorrectlyWiredCounterDetects) {
+  InsertionConfig good;
+  good.monitoredBit = 0;
+  Dut dut(SensorKind::Counter, good);
+  Testbench tb;
+  tb.cycles = 40;
+  tb.drive = [](std::uint64_t, const PortSetter& set) { set("din", 7); };
+  auto injected = mutation::injectMutants(dut.design, {{"r", MutantKind::DeltaDelay, 9}});
+  AnalysisConfig cfg;
+  cfg.hfRatio = 10;
+  cfg.sensorKind = SensorKind::Counter;
+  auto report = analyzeMutations<hdt::FourState>(dut.design, injected, dut.sensors, tb, cfg);
+  EXPECT_TRUE(report.results[0].detected);
+  EXPECT_TRUE(report.results[0].errorRisen);
+  EXPECT_EQ(9u, report.results[0].measuredDelay);
+}
+
+// A testbench that never exercises the monitored register leaves mutants
+// survived — the paper's diagnosis "the testbench has failed to generate a
+// proper input sequence" — and the report exposes it through the score.
+TEST(FailureInjection, InadequateTestbenchLowersMutationScore) {
+  Dut dut(SensorKind::Razor);
+  Testbench frozen;
+  frozen.cycles = 40;
+  frozen.drive = [](std::uint64_t, const PortSetter& set) { set("din", 0); };
+  auto injected = mutation::injectMutants(dut.design, razorMutantSet(dut.sensors));
+  AnalysisConfig cfg;
+  auto report = analyzeMutations<hdt::FourState>(dut.design, injected, dut.sensors, frozen, cfg);
+  EXPECT_LT(report.mutationScorePct(), 100.0);
+  EXPECT_EQ(0, report.countDetected());
+}
+
+}  // namespace
+}  // namespace xlv::analysis

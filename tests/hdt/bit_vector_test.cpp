@@ -1,0 +1,111 @@
+// BitVector: 2-value semantics and agreement with LogicVector on X-free data.
+#include <gtest/gtest.h>
+
+#include "hdt/bit_vector.h"
+#include "hdt/logic_vector.h"
+#include "hdt/policy.h"
+#include "util/prng.h"
+
+namespace xlv::hdt {
+namespace {
+
+using util::Prng;
+
+TEST(BitVector, DefaultIsZero) {
+  BitVector v(40);
+  EXPECT_TRUE(v.isZero());
+  EXPECT_EQ(40, v.width());
+  EXPECT_FALSE(v.anyUnknown());
+}
+
+TEST(BitVector, FromStringCollapsesXZToZero) {
+  const auto v = BitVector::fromString("1XZ0");
+  EXPECT_EQ(0x8u, v.toUint());
+}
+
+TEST(BitVector, StringRoundTripBinary) {
+  const std::string s = "1011001";
+  EXPECT_EQ(s, BitVector::fromString(s).toString());
+}
+
+TEST(BitVector, SetBitGetBit) {
+  BitVector v(70);
+  v.setBit(69, Logic::L1);
+  v.setBit(3, Logic::L1);
+  EXPECT_EQ(Logic::L1, v.bit(69));
+  EXPECT_EQ(Logic::L1, v.bit(3));
+  EXPECT_EQ(Logic::L0, v.bit(68));
+  v.setBit(69, Logic::L0);
+  EXPECT_EQ(Logic::L0, v.bit(69));
+}
+
+TEST(BitVector, DivisionByZeroIsZero) {
+  const auto a = BitVector::fromUint(8, 42);
+  EXPECT_EQ(0u, vec_div(a, BitVector::zeros(8)).toUint());
+  EXPECT_EQ(0u, vec_mod(a, BitVector::zeros(8)).toUint());
+}
+
+// Cross-type property: every operation agrees between LogicVector and
+// BitVector on X-free inputs. This is the backbone of the flow's
+// "data type abstraction is sound" claim (Table 4 compares the two).
+class CrossPolicyP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossPolicyP, OperationsAgreeOnKnownData) {
+  const int width = GetParam();
+  Prng rng(0xC0FFEE ^ static_cast<unsigned>(width));
+  for (int iter = 0; iter < 60; ++iter) {
+    const std::uint64_t x = rng.bits(std::min(width, 64));
+    const std::uint64_t y = rng.bits(std::min(width, 64));
+    const auto la = LogicVector::fromUint(width, x);
+    const auto lb = LogicVector::fromUint(width, y);
+    const auto ba = BitVector::fromUint(width, x);
+    const auto bb = BitVector::fromUint(width, y);
+
+    auto same = [](const LogicVector& l, const BitVector& b) {
+      return toTwoState(l).identical(b);
+    };
+
+    EXPECT_TRUE(same(vec_and(la, lb), vec_and(ba, bb)));
+    EXPECT_TRUE(same(vec_or(la, lb), vec_or(ba, bb)));
+    EXPECT_TRUE(same(vec_xor(la, lb), vec_xor(ba, bb)));
+    EXPECT_TRUE(same(vec_not(la), vec_not(ba)));
+    EXPECT_TRUE(same(vec_add(la, lb), vec_add(ba, bb)));
+    EXPECT_TRUE(same(vec_sub(la, lb), vec_sub(ba, bb)));
+    EXPECT_TRUE(same(vec_mul(la, lb), vec_mul(ba, bb)));
+    EXPECT_TRUE(same(vec_eq(la, lb), vec_eq(ba, bb)));
+    EXPECT_TRUE(same(vec_ltu(la, lb), vec_ltu(ba, bb)));
+    EXPECT_TRUE(same(vec_lts(la, lb), vec_lts(ba, bb)));
+    EXPECT_TRUE(same(vec_redand(la), vec_redand(ba)));
+    EXPECT_TRUE(same(vec_redor(la), vec_redor(ba)));
+    EXPECT_TRUE(same(vec_redxor(la), vec_redxor(ba)));
+    const int amt = static_cast<int>(rng.below(static_cast<std::uint64_t>(width + 2)));
+    EXPECT_TRUE(same(vec_shl(la, amt), vec_shl(ba, amt)));
+    EXPECT_TRUE(same(vec_shr(la, amt), vec_shr(ba, amt)));
+    EXPECT_TRUE(same(vec_ashr(la, amt), vec_ashr(ba, amt)));
+    EXPECT_TRUE(same(vec_concat(la, lb), vec_concat(ba, bb)));
+    if (width > 2) {
+      EXPECT_TRUE(same(vec_slice(la, width - 2, 1), vec_slice(ba, width - 2, 1)));
+    }
+    EXPECT_TRUE(same(vec_resize(la, width + 7), vec_resize(ba, width + 7)));
+    EXPECT_TRUE(same(vec_sext(la, width + 7), vec_sext(ba, width + 7)));
+    EXPECT_EQ(vec_isTrue(la), vec_isTrue(ba));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CrossPolicyP, ::testing::Values(1, 8, 16, 32, 33, 64, 96));
+
+TEST(Policy, RoundTripConversions) {
+  Prng rng(5);
+  for (int iter = 0; iter < 30; ++iter) {
+    const auto b = BitVector::fromUint(48, rng.bits(48));
+    EXPECT_TRUE(b.identical(toTwoState(toFourState(b))));
+  }
+}
+
+TEST(Policy, ToTwoStateScrubs) {
+  const auto l = LogicVector::fromString("Z1X0");
+  EXPECT_EQ(0x4u, toTwoState(l).toUint());
+}
+
+}  // namespace
+}  // namespace xlv::hdt

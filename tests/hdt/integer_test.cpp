@@ -1,0 +1,56 @@
+// Signed / Unsigned HDL integers: wrap semantics and conversions.
+#include <gtest/gtest.h>
+
+#include "hdt/integer.h"
+
+namespace xlv::hdt {
+namespace {
+
+TEST(Unsigned, WrapsAtWidth) {
+  Unsigned a(8, 250);
+  Unsigned b(8, 10);
+  EXPECT_EQ(4u, (a + b).value());  // 260 mod 256
+  EXPECT_EQ(240u, (a - b).value());
+  EXPECT_EQ((250u * 10u) & 0xFFu, (a * b).value());
+}
+
+TEST(Unsigned, ShiftsStayInWidth) {
+  Unsigned a(8, 0x81);
+  EXPECT_EQ(0x02u, (a << 1).value());
+  EXPECT_EQ(0x40u, (a >> 1).value());
+}
+
+TEST(Unsigned, Comparisons) {
+  EXPECT_TRUE(Unsigned(8, 3) < Unsigned(8, 200));
+  EXPECT_TRUE(Unsigned(8, 200) <= Unsigned(8, 200));
+  EXPECT_TRUE(Unsigned(8, 5) == Unsigned(8, 5));
+}
+
+TEST(Signed, WrapsIntoSignedRange) {
+  Signed a(8, 127);
+  Signed one(8, 1);
+  EXPECT_EQ(-128, (a + one).value());
+  Signed m(8, -128);
+  EXPECT_EQ(127, (m - one).value());
+}
+
+TEST(Signed, ArithmeticShiftKeepsSign) {
+  Signed a(8, -64);
+  EXPECT_EQ(-32, (a >> 1).value());
+  EXPECT_EQ(-128, (a << 1).value());
+}
+
+TEST(Signed, NegationWraps) {
+  Signed m(8, -128);
+  EXPECT_EQ(-128, (-m).value());  // two's complement edge case
+  EXPECT_EQ(-5, (-Signed(8, 5)).value());
+}
+
+TEST(Integer, VectorConversions) {
+  EXPECT_EQ(0xF4u, Signed(8, -12).toLogicVector().toUint());
+  EXPECT_EQ(-12, Signed(8, -12).toBitVector().toInt());
+  EXPECT_EQ(200u, Unsigned(8, 200).toBitVector().toUint());
+}
+
+}  // namespace
+}  // namespace xlv::hdt

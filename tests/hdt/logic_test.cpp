@@ -1,0 +1,82 @@
+// Scalar 4-value logic: truth-table semantics and identities.
+#include <gtest/gtest.h>
+
+#include "hdt/logic.h"
+
+namespace xlv::hdt {
+namespace {
+
+const Logic kAll[] = {Logic::L0, Logic::L1, Logic::X, Logic::Z};
+
+TEST(Logic, KnownPredicate) {
+  EXPECT_TRUE(isKnown(Logic::L0));
+  EXPECT_TRUE(isKnown(Logic::L1));
+  EXPECT_FALSE(isKnown(Logic::X));
+  EXPECT_FALSE(isKnown(Logic::Z));
+}
+
+TEST(Logic, AndDominantZero) {
+  for (Logic a : kAll) {
+    EXPECT_EQ(Logic::L0, a & Logic::L0) << toChar(a);
+    EXPECT_EQ(Logic::L0, Logic::L0 & a) << toChar(a);
+  }
+}
+
+TEST(Logic, OrDominantOne) {
+  for (Logic a : kAll) {
+    EXPECT_EQ(Logic::L1, a | Logic::L1) << toChar(a);
+    EXPECT_EQ(Logic::L1, Logic::L1 | a) << toChar(a);
+  }
+}
+
+TEST(Logic, UnknownPropagation) {
+  // X/Z op anything-not-dominant yields X.
+  EXPECT_EQ(Logic::X, Logic::X & Logic::L1);
+  EXPECT_EQ(Logic::X, Logic::Z & Logic::L1);
+  EXPECT_EQ(Logic::X, Logic::X | Logic::L0);
+  EXPECT_EQ(Logic::X, Logic::Z | Logic::L0);
+  EXPECT_EQ(Logic::X, Logic::X ^ Logic::L0);
+  EXPECT_EQ(Logic::X, Logic::X ^ Logic::L1);
+  EXPECT_EQ(Logic::X, Logic::Z ^ Logic::Z);
+}
+
+TEST(Logic, NotTable) {
+  EXPECT_EQ(Logic::L1, ~Logic::L0);
+  EXPECT_EQ(Logic::L0, ~Logic::L1);
+  EXPECT_EQ(Logic::X, ~Logic::X);
+  EXPECT_EQ(Logic::X, ~Logic::Z);
+}
+
+TEST(Logic, KnownSubsetMatchesBool) {
+  for (bool a : {false, true}) {
+    for (bool b : {false, true}) {
+      EXPECT_EQ(fromBool(a && b), fromBool(a) & fromBool(b));
+      EXPECT_EQ(fromBool(a || b), fromBool(a) | fromBool(b));
+      EXPECT_EQ(fromBool(a != b), fromBool(a) ^ fromBool(b));
+    }
+    EXPECT_EQ(fromBool(!a), ~fromBool(a));
+  }
+}
+
+TEST(Logic, Commutativity) {
+  for (Logic a : kAll) {
+    for (Logic b : kAll) {
+      EXPECT_EQ(a & b, b & a);
+      EXPECT_EQ(a | b, b | a);
+      EXPECT_EQ(a ^ b, b ^ a);
+    }
+  }
+}
+
+TEST(Logic, CharRoundTrip) {
+  EXPECT_EQ(Logic::L0, logicFromChar('0'));
+  EXPECT_EQ(Logic::L1, logicFromChar('1'));
+  EXPECT_EQ(Logic::X, logicFromChar('X'));
+  EXPECT_EQ(Logic::X, logicFromChar('x'));
+  EXPECT_EQ(Logic::Z, logicFromChar('Z'));
+  EXPECT_EQ(Logic::Z, logicFromChar('z'));
+  for (Logic a : kAll) EXPECT_EQ(a, logicFromChar(toChar(a)));
+}
+
+}  // namespace
+}  // namespace xlv::hdt

@@ -1,0 +1,266 @@
+// LogicVector: construction, word-parallel op consistency against the scalar
+// truth tables, arithmetic against 64-bit references, structural ops.
+#include <gtest/gtest.h>
+
+#include "hdt/logic_vector.h"
+#include "util/prng.h"
+
+namespace xlv::hdt {
+namespace {
+
+using util::Prng;
+
+LogicVector randomVec(Prng& rng, int width, bool withUnknowns) {
+  LogicVector v(width);
+  for (int i = 0; i < width; ++i) {
+    const int r = static_cast<int>(rng.below(withUnknowns ? 4 : 2));
+    v.setBit(i, static_cast<Logic>(r));
+  }
+  return v;
+}
+
+TEST(LogicVector, DefaultIsZero) {
+  LogicVector v(17);
+  EXPECT_EQ(17, v.width());
+  EXPECT_TRUE(v.isZero());
+  EXPECT_FALSE(v.anyUnknown());
+}
+
+TEST(LogicVector, FromUintMasksToWidth) {
+  auto v = LogicVector::fromUint(4, 0xFFu);
+  EXPECT_EQ(0xFu, v.toUint());
+}
+
+TEST(LogicVector, StringRoundTrip) {
+  const std::string s = "01XZ10ZX";
+  auto v = LogicVector::fromString(s);
+  EXPECT_EQ(s, v.toString());
+  EXPECT_TRUE(v.anyUnknown());
+}
+
+TEST(LogicVector, BitOrderMsbFirstInString) {
+  auto v = LogicVector::fromString("100");
+  EXPECT_EQ(Logic::L1, v.bit(2));
+  EXPECT_EQ(Logic::L0, v.bit(1));
+  EXPECT_EQ(Logic::L0, v.bit(0));
+  EXPECT_EQ(4u, v.toUint());
+}
+
+TEST(LogicVector, AllXHasNoKnownValue) {
+  auto v = LogicVector::allX(8);
+  EXPECT_TRUE(v.anyUnknown());
+  EXPECT_EQ(0u, v.toUint());  // X reads as 0 in the 2-value projection
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(Logic::X, v.bit(i));
+}
+
+TEST(LogicVector, IdenticalDistinguishesXFromZero) {
+  EXPECT_FALSE(LogicVector::allX(4).identical(LogicVector::zeros(4)));
+  EXPECT_FALSE(LogicVector::allZ(4).identical(LogicVector::allX(4)));
+  EXPECT_TRUE(LogicVector::allX(4).identical(LogicVector::allX(4)));
+}
+
+// Property: word-parallel bitwise ops agree with the scalar truth tables on
+// every bit, across widths spanning the word boundary.
+class LogicVectorBitwiseP : public ::testing::TestWithParam<int> {};
+
+TEST_P(LogicVectorBitwiseP, MatchesScalarSemantics) {
+  const int width = GetParam();
+  Prng rng(0xABCD0000u + static_cast<unsigned>(width));
+  for (int iter = 0; iter < 50; ++iter) {
+    const LogicVector a = randomVec(rng, width, true);
+    const LogicVector b = randomVec(rng, width, true);
+    const LogicVector iand = vec_and(a, b);
+    const LogicVector ior = vec_or(a, b);
+    const LogicVector ixor = vec_xor(a, b);
+    const LogicVector inot = vec_not(a);
+    for (int i = 0; i < width; ++i) {
+      EXPECT_EQ(a.bit(i) & b.bit(i), iand.bit(i)) << "width=" << width << " bit=" << i;
+      EXPECT_EQ(a.bit(i) | b.bit(i), ior.bit(i));
+      EXPECT_EQ(a.bit(i) ^ b.bit(i), ixor.bit(i));
+      EXPECT_EQ(~a.bit(i), inot.bit(i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LogicVectorBitwiseP,
+                         ::testing::Values(1, 7, 8, 31, 32, 33, 63, 64, 65, 127, 128, 200));
+
+// Property: arithmetic on X-free vectors matches plain 64-bit arithmetic.
+class LogicVectorArithP : public ::testing::TestWithParam<int> {};
+
+TEST_P(LogicVectorArithP, MatchesUint64Reference) {
+  const int width = GetParam();
+  const std::uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+  Prng rng(0x1234u + static_cast<unsigned>(width));
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::uint64_t x = rng.bits(width);
+    const std::uint64_t y = rng.bits(width);
+    const auto a = LogicVector::fromUint(width, x);
+    const auto b = LogicVector::fromUint(width, y);
+    EXPECT_EQ((x + y) & mask, vec_add(a, b).toUint());
+    EXPECT_EQ((x - y) & mask, vec_sub(a, b).toUint());
+    EXPECT_EQ((x * y) & mask, vec_mul(a, b).toUint());
+    EXPECT_EQ((x < y) ? 1u : 0u, vec_ltu(a, b).toUint());
+    EXPECT_EQ((x <= y) ? 1u : 0u, vec_leu(a, b).toUint());
+    EXPECT_EQ((x == y) ? 1u : 0u, vec_eq(a, b).toUint());
+    if (y != 0) {
+      EXPECT_EQ((x / y) & mask, vec_div(a, b).toUint());
+      EXPECT_EQ((x % y) & mask, vec_mod(a, b).toUint());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LogicVectorArithP, ::testing::Values(4, 8, 16, 31, 32, 48, 64));
+
+TEST(LogicVector, WideAddCarriesAcrossWords) {
+  // 128-bit: (2^64 - 1) + 1 == 2^64.
+  LogicVector a(128);
+  for (int i = 0; i < 64; ++i) a.setBit(i, Logic::L1);
+  const auto one = LogicVector::fromUint(128, 1);
+  const auto sum = vec_add(a, one);
+  EXPECT_EQ(Logic::L1, sum.bit(64));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(Logic::L0, sum.bit(i));
+}
+
+TEST(LogicVector, ArithmeticIsPessimisticOnUnknowns) {
+  const auto a = LogicVector::fromString("1X01");
+  const auto b = LogicVector::fromUint(4, 3);
+  EXPECT_TRUE(vec_add(a, b).anyUnknown());
+  EXPECT_TRUE(vec_eq(a, b).anyUnknown());
+  EXPECT_TRUE(vec_ltu(a, b).anyUnknown());
+}
+
+TEST(LogicVector, DivisionByZeroIsAllX) {
+  const auto a = LogicVector::fromUint(8, 42);
+  const auto z = LogicVector::zeros(8);
+  EXPECT_TRUE(vec_div(a, z).anyUnknown());
+  EXPECT_TRUE(vec_mod(a, z).anyUnknown());
+}
+
+class LogicVectorShiftP : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(LogicVectorShiftP, MatchesUint64Reference) {
+  const auto [width, amount] = GetParam();
+  const std::uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+  Prng rng(77);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::uint64_t x = rng.bits(width);
+    const auto a = LogicVector::fromUint(width, x);
+    const std::uint64_t shlRef = amount >= width ? 0 : ((x << amount) & mask);
+    const std::uint64_t shrRef = amount >= width ? 0 : (x >> amount);
+    EXPECT_EQ(shlRef, vec_shl(a, amount).toUint()) << width << " << " << amount;
+    EXPECT_EQ(shrRef, vec_shr(a, amount).toUint()) << width << " >> " << amount;
+    // Arithmetic shift reference via sign extension.
+    std::int64_t sx = static_cast<std::int64_t>(x << (64 - width)) >> (64 - width);
+    const std::uint64_t ashrRef =
+        static_cast<std::uint64_t>(sx >> std::min(amount, 63)) & mask;
+    EXPECT_EQ(ashrRef, vec_ashr(a, amount).toUint()) << width << " >>> " << amount;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WidthAmount, LogicVectorShiftP,
+                         ::testing::Values(std::pair{8, 0}, std::pair{8, 3}, std::pair{8, 8},
+                                           std::pair{8, 12}, std::pair{32, 1}, std::pair{32, 31},
+                                           std::pair{64, 17}, std::pair{64, 63}));
+
+TEST(LogicVector, ShiftPreservesUnknownPositions) {
+  const auto a = LogicVector::fromString("X100");
+  EXPECT_EQ("1000", vec_shl(a, 1).toString());
+  EXPECT_EQ("0X10", vec_shr(a, 1).toString());
+  EXPECT_EQ(Logic::X, vec_shr(a, 1).bit(2));
+}
+
+TEST(LogicVector, ConcatOrdersHighLow) {
+  const auto hi = LogicVector::fromUint(4, 0xA);
+  const auto lo = LogicVector::fromUint(4, 0x5);
+  EXPECT_EQ(0xA5u, vec_concat(hi, lo).toUint());
+  EXPECT_EQ(8, vec_concat(hi, lo).width());
+}
+
+TEST(LogicVector, SliceExtractsRange) {
+  const auto v = LogicVector::fromUint(12, 0xABC);
+  EXPECT_EQ(0xBu, vec_slice(v, 7, 4).toUint());
+  EXPECT_EQ(0xAu, vec_slice(v, 11, 8).toUint());
+  EXPECT_EQ(0xCu, vec_slice(v, 3, 0).toUint());
+}
+
+TEST(LogicVector, SliceConcatRoundTrip) {
+  Prng rng(99);
+  for (int iter = 0; iter < 40; ++iter) {
+    const auto v = randomVec(rng, 24, true);
+    const auto hi = vec_slice(v, 23, 12);
+    const auto lo = vec_slice(v, 11, 0);
+    EXPECT_TRUE(v.identical(vec_concat(hi, lo)));
+  }
+}
+
+TEST(LogicVector, ResizeZeroExtends) {
+  const auto v = LogicVector::fromUint(4, 0xF);
+  const auto w = vec_resize(v, 8);
+  EXPECT_EQ(0x0Fu, w.toUint());
+  EXPECT_EQ(8, w.width());
+}
+
+TEST(LogicVector, SextSignExtends) {
+  const auto v = LogicVector::fromUint(4, 0x8);  // -8 in 4 bits
+  EXPECT_EQ(0xF8u, vec_sext(v, 8).toUint());
+  const auto p = LogicVector::fromUint(4, 0x7);
+  EXPECT_EQ(0x07u, vec_sext(p, 8).toUint());
+}
+
+TEST(LogicVector, SextPropagatesUnknownSign) {
+  auto v = LogicVector::fromString("X01");
+  const auto w = vec_sext(v, 6);
+  for (int i = 3; i < 6; ++i) EXPECT_EQ(Logic::X, w.bit(i));
+}
+
+TEST(LogicVector, SetSliceWritesRange) {
+  LogicVector v = LogicVector::zeros(12);
+  vec_setSlice(v, 7, 4, LogicVector::fromUint(4, 0xB));
+  EXPECT_EQ(0x0B0u, v.toUint());
+}
+
+TEST(LogicVector, Reductions) {
+  EXPECT_EQ(1u, vec_redand(LogicVector::ones(9)).toUint());
+  EXPECT_EQ(0u, vec_redand(LogicVector::fromUint(9, 0x1FE)).toUint());
+  EXPECT_EQ(1u, vec_redor(LogicVector::fromUint(9, 0x010)).toUint());
+  EXPECT_EQ(0u, vec_redor(LogicVector::zeros(9)).toUint());
+  EXPECT_EQ(1u, vec_redxor(LogicVector::fromUint(8, 0x01)).toUint());
+  EXPECT_EQ(0u, vec_redxor(LogicVector::fromUint(8, 0x03)).toUint());
+}
+
+TEST(LogicVector, RedorKnownOneDominatesUnknown) {
+  const auto v = LogicVector::fromString("1X");
+  EXPECT_EQ(1u, vec_redor(v).toUint());
+  const auto u = LogicVector::fromString("0X");
+  EXPECT_TRUE(vec_redor(u).anyUnknown());
+}
+
+TEST(LogicVector, SignedComparison) {
+  const auto minus1 = LogicVector::fromUint(8, 0xFF);
+  const auto plus1 = LogicVector::fromUint(8, 0x01);
+  EXPECT_EQ(1u, vec_lts(minus1, plus1).toUint());
+  EXPECT_EQ(0u, vec_lts(plus1, minus1).toUint());
+  EXPECT_EQ(1u, vec_ltu(plus1, minus1).toUint());
+}
+
+TEST(LogicVector, ToIntSignExtends) {
+  EXPECT_EQ(-1, LogicVector::fromUint(4, 0xF).toInt());
+  EXPECT_EQ(7, LogicVector::fromUint(4, 0x7).toInt());
+}
+
+TEST(LogicVector, To2StateScrubsUnknowns) {
+  const auto v = LogicVector::fromString("1XZ0");
+  const auto s = vec_to2state(v);
+  EXPECT_FALSE(s.anyUnknown());
+  EXPECT_EQ(0x8u, s.toUint());  // only the known 1 survives
+}
+
+TEST(LogicVector, IsTruePessimisticOnUnknown) {
+  EXPECT_FALSE(vec_isTrue(LogicVector::fromString("X")));
+  EXPECT_FALSE(vec_isTrue(LogicVector::zeros(5)));
+  EXPECT_TRUE(vec_isTrue(LogicVector::fromUint(5, 4)));
+}
+
+}  // namespace
+}  // namespace xlv::hdt

@@ -1,0 +1,97 @@
+// Word-level 4-value formulas: exhaustive agreement with scalar tables.
+#include <gtest/gtest.h>
+
+#include "hdt/logic.h"
+#include "hdt/word_ops.h"
+
+namespace xlv::hdt {
+namespace {
+
+W4 encode(Logic v) {
+  switch (v) {
+    case Logic::L0: return {0, 0};
+    case Logic::L1: return {1, 0};
+    case Logic::X: return {0, 1};
+    case Logic::Z: return {1, 1};
+  }
+  return {0, 0};
+}
+
+Logic decode(W4 w) {
+  const bool val = w.val & 1;
+  const bool unk = w.unk & 1;
+  if (!unk) return val ? Logic::L1 : Logic::L0;
+  return val ? Logic::Z : Logic::X;
+}
+
+const Logic kAll[] = {Logic::L0, Logic::L1, Logic::X, Logic::Z};
+
+// Exhaustive: the Karnaugh-minimized word formulas realize exactly the
+// 4-value truth tables, for every input pair. Note the word forms normalize
+// results to {0,1,X} (no operator yields Z), same as the scalar tables.
+TEST(WordOps, And4MatchesTable) {
+  for (Logic a : kAll) {
+    for (Logic b : kAll) {
+      EXPECT_EQ(a & b, decode(and4(encode(a), encode(b))))
+          << toChar(a) << " & " << toChar(b);
+    }
+  }
+}
+
+TEST(WordOps, Or4MatchesTable) {
+  for (Logic a : kAll) {
+    for (Logic b : kAll) {
+      EXPECT_EQ(a | b, decode(or4(encode(a), encode(b))))
+          << toChar(a) << " | " << toChar(b);
+    }
+  }
+}
+
+TEST(WordOps, Xor4MatchesTable) {
+  for (Logic a : kAll) {
+    for (Logic b : kAll) {
+      EXPECT_EQ(a ^ b, decode(xor4(encode(a), encode(b))))
+          << toChar(a) << " ^ " << toChar(b);
+    }
+  }
+}
+
+TEST(WordOps, Not4MatchesTable) {
+  for (Logic a : kAll) {
+    EXPECT_EQ(~a, decode(not4(encode(a)))) << toChar(a);
+  }
+}
+
+TEST(WordOps, To2CollapsesUnknowns) {
+  EXPECT_EQ(0u, to2(encode(Logic::X)) & 1);
+  EXPECT_EQ(0u, to2(encode(Logic::Z)) & 1);
+  EXPECT_EQ(1u, to2(encode(Logic::L1)) & 1);
+  EXPECT_EQ(0u, to2(encode(Logic::L0)) & 1);
+}
+
+TEST(WordOps, FullWordParallelism) {
+  // All 16 input combinations packed into one word, verified in parallel.
+  W4 a{0, 0}, b{0, 0};
+  int bitIdx = 0;
+  Logic expectAnd[16];
+  for (Logic x : kAll) {
+    for (Logic y : kAll) {
+      const W4 ex = encode(x);
+      const W4 ey = encode(y);
+      a.val |= (ex.val & 1) << bitIdx;
+      a.unk |= (ex.unk & 1) << bitIdx;
+      b.val |= (ey.val & 1) << bitIdx;
+      b.unk |= (ey.unk & 1) << bitIdx;
+      expectAnd[bitIdx] = x & y;
+      ++bitIdx;
+    }
+  }
+  const W4 r = and4(a, b);
+  for (int i = 0; i < 16; ++i) {
+    const W4 bitw{(r.val >> i) & 1, (r.unk >> i) & 1};
+    EXPECT_EQ(expectAnd[i], decode(bitw)) << "packed bit " << i;
+  }
+}
+
+}  // namespace
+}  // namespace xlv::hdt

@@ -1,0 +1,80 @@
+// SmallWords storage: inline/heap transitions, copy/move correctness —
+// the foundation under both vector types.
+#include <gtest/gtest.h>
+
+#include "hdt/small_words.h"
+
+namespace xlv::hdt {
+namespace {
+
+TEST(SmallWords, InlineStorageHoldsValues) {
+  SmallWords w(3, 0xAB);
+  EXPECT_EQ(3, w.size());
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(0xABu, w[i]);
+  w[1] = 42;
+  EXPECT_EQ(42u, w[1]);
+  EXPECT_EQ(0xABu, w[0]);
+}
+
+TEST(SmallWords, HeapStorageBeyondInlineCapacity) {
+  SmallWords w(9, 7);
+  EXPECT_EQ(9, w.size());
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(7u, w[i]);
+  w[8] = 99;
+  EXPECT_EQ(99u, w[8]);
+}
+
+TEST(SmallWords, CopyIsDeep) {
+  SmallWords a(8, 5);
+  SmallWords b(a);
+  b[0] = 1;
+  EXPECT_EQ(5u, a[0]);
+  EXPECT_EQ(1u, b[0]);
+}
+
+TEST(SmallWords, CopyAssignAcrossSizes) {
+  SmallWords small(2, 3);
+  SmallWords big(10, 4);
+  small = big;  // inline -> heap
+  EXPECT_EQ(10, small.size());
+  EXPECT_EQ(4u, small[9]);
+  SmallWords tiny(1, 9);
+  big = tiny;  // heap -> inline
+  EXPECT_EQ(1, big.size());
+  EXPECT_EQ(9u, big[0]);
+}
+
+TEST(SmallWords, MoveStealsHeap) {
+  SmallWords a(12, 6);
+  const std::uint64_t* data = a.data();
+  SmallWords b(std::move(a));
+  EXPECT_EQ(12, b.size());
+  EXPECT_EQ(data, b.data());  // heap pointer moved, not copied
+  EXPECT_EQ(6u, b[11]);
+}
+
+TEST(SmallWords, MoveInlineCopiesBytes) {
+  SmallWords a(2, 8);
+  SmallWords b(std::move(a));
+  EXPECT_EQ(2, b.size());
+  EXPECT_EQ(8u, b[0]);
+}
+
+TEST(SmallWords, SelfAssignmentSafe) {
+  SmallWords a(6, 2);
+  auto& ref = a;
+  a = ref;
+  EXPECT_EQ(6, a.size());
+  EXPECT_EQ(2u, a[5]);
+}
+
+TEST(SmallWords, MoveAssignReleasesOldHeap) {
+  SmallWords a(10, 1);
+  SmallWords b(11, 2);
+  a = std::move(b);
+  EXPECT_EQ(11, a.size());
+  EXPECT_EQ(2u, a[10]);
+}
+
+}  // namespace
+}  // namespace xlv::hdt

@@ -1,0 +1,174 @@
+// Sensor insertion: endpoint selection, port creation, wiring, functional
+// preservation of the augmented IP.
+#include <gtest/gtest.h>
+
+#include "insertion/insertion.h"
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+#include "rtl/kernel.h"
+#include "sta/sta.h"
+
+namespace xlv::insertion {
+namespace {
+
+using namespace xlv::ir;
+
+std::shared_ptr<Module> multiRegIp() {
+  ModuleBuilder mb("ip");
+  auto clk = mb.clock("clk");
+  auto a = mb.in("a", 8);
+  auto y = mb.out("y", 8);
+  auto r1 = mb.signal("r1", 8);
+  auto r2 = mb.signal("r2", 8);
+  auto r3 = mb.signal("r3", 8);
+  auto mem = mb.array("mem", 8, 16);
+  auto idx = mb.in("idx", 4);
+  // r1: shallow; r2, r3: deep cones.
+  mb.onRising("ffs", clk, [&](ProcBuilder& p) {
+    p.assign(r1, Ex(a) + 1u);
+    p.assign(r2, (Ex(a) * Ex(r1)) + Ex(r2));
+    p.assign(r3, (Ex(r2) * Ex(r1)) + Ex(a));
+    p.write(mem, Ex(idx), (Ex(a) * Ex(r2)) + Ex(r3));
+  });
+  mb.comb("drive", [&](ProcBuilder& p) { p.assign(y, Ex(r2) ^ Ex(r3)); });
+  return mb.finish();
+}
+
+sta::StaReport reportFor(const Module& m, double thresholdPs) {
+  sta::StaConfig cfg;
+  cfg.clockPeriodPs = 2000.0;
+  cfg.slackThresholdPs = thresholdPs;
+  return sta::analyze(elaborate(m), cfg);
+}
+
+TEST(Insertion, OneSensorPerEligibleCriticalEndpoint) {
+  auto ip = multiRegIp();
+  auto report = reportFor(*ip, 2000.0);  // everything critical
+  InsertionConfig cfg;
+  cfg.kind = SensorKind::Razor;
+  auto res = insertSensors(*ip, report, cfg);
+  // r1, r2, r3 get sensors; mem (array) and y (combinational output) are
+  // skipped.
+  EXPECT_EQ(3u, res.sensors.size());
+  EXPECT_GE(res.skippedEndpoints, 1);
+  EXPECT_GT(res.sensorAreaGates, 0.0);
+}
+
+TEST(Insertion, ThresholdControlsSensorCount) {
+  auto ip = multiRegIp();
+  auto loose = insertSensors(*ip, reportFor(*ip, 0.0), InsertionConfig{});
+  auto tight = insertSensors(*ip, reportFor(*ip, 2000.0), InsertionConfig{});
+  EXPECT_LT(loose.sensors.size(), tight.sensors.size());
+}
+
+TEST(Insertion, RazorAddsRecoveryAndMetricOkPorts) {
+  auto ip = multiRegIp();
+  auto res = insertSensors(*ip, reportFor(*ip, 2000.0), InsertionConfig{});
+  const Module& m = *res.augmented;
+  const SymbolId rec = m.findSymbol("recovery_en");
+  const SymbolId ok = m.findSymbol("metric_ok");
+  ASSERT_NE(kNoSymbol, rec);
+  ASSERT_NE(kNoSymbol, ok);
+  EXPECT_EQ(PortDir::In, m.symbol(rec).dir);
+  EXPECT_EQ(PortDir::Out, m.symbol(ok).dir);
+}
+
+TEST(Insertion, CounterAddsHfClockAndMeasValPorts) {
+  auto ip = multiRegIp();
+  InsertionConfig cfg;
+  cfg.kind = SensorKind::Counter;
+  auto res = insertSensors(*ip, reportFor(*ip, 2000.0), cfg);
+  const Module& m = *res.augmented;
+  const SymbolId hclk = m.findSymbol("hclk");
+  ASSERT_NE(kNoSymbol, hclk);
+  EXPECT_EQ(ClockRole::HighFreq, m.symbol(hclk).clock);
+  EXPECT_NE(kNoSymbol, m.findSymbol("meas_val"));
+  EXPECT_NE(kNoSymbol, m.findSymbol("metric_ok"));
+  // Default: full-register CPS, no extraction alias.
+  EXPECT_EQ(kNoSymbol, m.findSymbol("cps_0"));
+}
+
+TEST(Insertion, CounterSingleBitModeCreatesExtractionAlias) {
+  auto ip = multiRegIp();
+  InsertionConfig cfg;
+  cfg.kind = SensorKind::Counter;
+  cfg.monitoredBit = 0;  // the literal Section 4.2 single-critical-bit mode
+  auto res = insertSensors(*ip, reportFor(*ip, 2000.0), cfg);
+  EXPECT_NE(kNoSymbol, res.augmented->findSymbol("cps_0"));
+  EXPECT_NO_THROW(elaborate(*res.augmented));
+}
+
+TEST(Insertion, AugmentedDesignElaborates) {
+  auto ip = multiRegIp();
+  for (SensorKind kind : {SensorKind::Razor, SensorKind::Counter}) {
+    InsertionConfig cfg;
+    cfg.kind = kind;
+    auto res = insertSensors(*ip, reportFor(*ip, 2000.0), cfg);
+    EXPECT_NO_THROW(elaborate(*res.augmented));
+  }
+}
+
+// Functional preservation (DESIGN.md invariant 5): with no delays injected,
+// the augmented IP's original outputs match the clean IP cycle by cycle.
+TEST(Insertion, AugmentationPreservesFunctionality) {
+  auto ip = multiRegIp();
+  Design clean = elaborate(*ip);
+  auto res = insertSensors(*ip, reportFor(*ip, 2000.0), InsertionConfig{});
+  Design aug = elaborate(*res.augmented);
+
+  rtl::RtlSimulator<hdt::FourState> simClean(clean, rtl::KernelConfig{1000, 0, 1000});
+  rtl::RtlSimulator<hdt::FourState> simAug(aug, rtl::KernelConfig{1000, 0, 1000});
+  auto drive = [](std::uint64_t c, rtl::RtlSimulator<hdt::FourState>& s) {
+    s.setInputByName("a", (c * 7 + 3) & 0xFF);
+    s.setInputByName("idx", c & 0xF);
+    if (s.design().findSymbol("recovery_en") != kNoSymbol) {
+      s.setInputByName("recovery_en", 1);
+    }
+  };
+  simClean.setStimulus(drive);
+  simAug.setStimulus(drive);
+  for (int c = 0; c < 30; ++c) {
+    simClean.runCycles(1);
+    simAug.runCycles(1);
+    EXPECT_EQ(simClean.valueUintByName("y"), simAug.valueUintByName("y")) << "cycle " << c;
+    EXPECT_EQ(simClean.valueUintByName("r3"), simAug.valueUintByName("r3"));
+  }
+  // And no sensor fired.
+  EXPECT_EQ(1u, simAug.valueUintByName("metric_ok"));
+}
+
+TEST(Insertion, SensorInfoRecordsEndpointArrival) {
+  auto ip = multiRegIp();
+  auto report = reportFor(*ip, 2000.0);
+  auto res = insertSensors(*ip, report, InsertionConfig{});
+  for (const auto& s : res.sensors) {
+    EXPECT_GT(s.endpointArrivalPs, 0.0) << s.endpointName;
+    EXPECT_FALSE(s.instanceName.empty());
+  }
+}
+
+TEST(Insertion, CloneModulePreservesStructure) {
+  auto ip = multiRegIp();
+  auto copy = cloneModule(*ip, "copy");
+  EXPECT_EQ("copy", copy->name());
+  EXPECT_EQ(ip->symbols().size(), copy->symbols().size());
+  EXPECT_EQ(ip->processes().size(), copy->processes().size());
+  // Clean designs from both elaborate identically-shaped.
+  Design d1 = elaborate(*ip);
+  Design d2 = elaborate(*copy);
+  EXPECT_EQ(d1.symbols.size(), d2.symbols.size());
+}
+
+TEST(Insertion, MissingMainClockThrows) {
+  ModuleBuilder mb("noclk");
+  auto a = mb.in("a", 4);
+  auto y = mb.out("y", 4);
+  mb.comb("c", [&](ProcBuilder& p) { p.assign(y, a); });
+  auto ip = mb.finish();
+  sta::StaConfig cfg;
+  auto report = sta::analyze(elaborate(*ip), cfg);
+  EXPECT_THROW(insertSensors(*ip, report, InsertionConfig{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xlv::insertion

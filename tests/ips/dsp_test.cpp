@@ -1,0 +1,111 @@
+// Heart-rate DSP: beat detection on the synthetic blood-flow waveform,
+// filter-stage sanity, structural characteristics.
+#include <gtest/gtest.h>
+
+#include "ips/case_study.h"
+#include "ir/elaborate.h"
+#include "rtl/kernel.h"
+
+namespace xlv::ips {
+namespace {
+
+using namespace xlv::ir;
+using rtl::KernelConfig;
+using rtl::RtlSimulator;
+
+struct DspRun {
+  int beats = 0;
+  std::vector<std::uint64_t> rrIntervals;
+  std::uint64_t maxEnergy = 0;
+};
+
+DspRun runDsp(int cycles) {
+  CaseStudy cs = buildDspCase();
+  Design d = elaborate(*cs.module);
+  RtlSimulator<hdt::FourState> sim(d, KernelConfig{cs.periodPs, 0, 2000});
+  sim.setStimulus([&](std::uint64_t c, RtlSimulator<hdt::FourState>& s) {
+    cs.testbench.drive(c, [&](const std::string& n, std::uint64_t v) { s.setInputByName(n, v); });
+  });
+  DspRun out;
+  for (int c = 0; c < cycles; ++c) {
+    sim.runCycles(1);
+    if (sim.valueUintByName("beat") == 1) {
+      ++out.beats;
+      out.rrIntervals.push_back(sim.valueUintByName("rr_interval"));
+    }
+    out.maxEnergy = std::max(out.maxEnergy, sim.valueUintByName("energy"));
+  }
+  return out;
+}
+
+TEST(Dsp, DetectsPulseTrain) {
+  // Pulse period is 40 samples; in 2000 cycles ~50 pulses arrive. Allow for
+  // threshold adaptation at the start.
+  DspRun run = runDsp(2000);
+  EXPECT_GE(run.beats, 30) << "missed most beats";
+  EXPECT_LE(run.beats, 60) << "double-detections";
+}
+
+TEST(Dsp, InterBeatIntervalTracksPulsePeriod) {
+  DspRun run = runDsp(2000);
+  ASSERT_GE(run.rrIntervals.size(), 10u);
+  // Skip the adaptation phase; the steady-state interval is the pulse
+  // period (40) within a small tolerance.
+  int good = 0, considered = 0;
+  for (std::size_t i = 5; i < run.rrIntervals.size(); ++i) {
+    ++considered;
+    if (run.rrIntervals[i] >= 34 && run.rrIntervals[i] <= 46) ++good;
+  }
+  EXPECT_GE(good, (considered * 3) / 4)
+      << "steady-state RR intervals strayed from the pulse period";
+}
+
+TEST(Dsp, EnergyRespondsToPulses) {
+  DspRun run = runDsp(500);
+  EXPECT_GT(run.maxEnergy, 1000u) << "integrator never charged";
+}
+
+TEST(Dsp, QuietInputProducesNoBeats) {
+  CaseStudy cs = buildDspCase();
+  Design d = elaborate(*cs.module);
+  RtlSimulator<hdt::FourState> sim(d, KernelConfig{cs.periodPs, 0, 2000});
+  sim.setStimulus([&](std::uint64_t c, RtlSimulator<hdt::FourState>& s) {
+    s.setInputByName("rst", c < 2 ? 1 : 0);
+    s.setInputByName("sample", 0);
+  });
+  int beats = 0;
+  for (int c = 0; c < 800; ++c) {
+    sim.runCycles(1);
+    beats += static_cast<int>(sim.valueUintByName("beat"));
+  }
+  EXPECT_EQ(0, beats);
+}
+
+TEST(Dsp, StructuralCharacteristicsNearPaper) {
+  CaseStudy cs = buildDspCase();
+  Design d = elaborate(*cs.module);
+  // Paper Table 1: FF = 536, 2 synchronous processes.
+  EXPECT_GE(d.flipFlopBits(), 400);
+  EXPECT_LE(d.flipFlopBits(), 700);
+  EXPECT_EQ(2, d.countProcesses(true));
+  EXPECT_GT(d.countProcesses(false), 8);
+}
+
+TEST(Dsp, ResetClearsState) {
+  CaseStudy cs = buildDspCase();
+  Design d = elaborate(*cs.module);
+  RtlSimulator<hdt::FourState> sim(d, KernelConfig{cs.periodPs, 0, 2000});
+  sim.setStimulus([&](std::uint64_t c, RtlSimulator<hdt::FourState>& s) {
+    // Run, then re-assert reset.
+    s.setInputByName("rst", (c < 2 || (c >= 300 && c < 302)) ? 1 : 0);
+    cs.testbench.drive(c, [&](const std::string& n, std::uint64_t v) {
+      if (n != "rst") s.setInputByName(n, v);
+    });
+  });
+  sim.runCycles(303);
+  EXPECT_EQ(0u, sim.valueUintByName("energy"));
+  EXPECT_EQ(0u, sim.valueUintByName("rr_interval"));
+}
+
+}  // namespace
+}  // namespace xlv::ips

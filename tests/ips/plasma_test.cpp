@@ -1,0 +1,228 @@
+// Plasma CPU: instruction-level correctness against an architectural
+// reference interpreter of the same MIPS subset, plus pipeline behaviours
+// (forwarding, flush) and structural characteristics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ips/case_study.h"
+#include "ips/mips_asm.h"
+#include "ir/elaborate.h"
+#include "rtl/kernel.h"
+
+namespace xlv::ips {
+namespace {
+
+using namespace xlv::ir;
+using rtl::KernelConfig;
+using rtl::RtlSimulator;
+
+/// Architectural (non-pipelined) reference executor for the implemented
+/// subset. Used as the golden ISA model: the pipelined core must produce the
+/// same sequence of I/O writes.
+class MipsRef {
+ public:
+  explicit MipsRef(std::vector<std::uint64_t> image) : imem_(std::move(image)), dmem_(256, 0) {}
+
+  void step() {
+    using u32 = std::uint32_t;
+    const u32 instr = pc_ / 4 < imem_.size() ? static_cast<u32>(imem_[pc_ / 4]) : 0;
+    u32 nextPc = pc_ + 4;
+    const u32 op = instr >> 26;
+    const u32 rs = (instr >> 21) & 31;
+    const u32 rt = (instr >> 16) & 31;
+    const u32 rd = (instr >> 11) & 31;
+    const u32 sh = (instr >> 6) & 31;
+    const u32 fn = instr & 63;
+    const u32 imm = instr & 0xFFFF;
+    const u32 simm = static_cast<u32>(static_cast<std::int32_t>(static_cast<std::int16_t>(imm)));
+    auto wr = [&](u32 r, u32 v) {
+      if (r != 0) rf_[r] = v;
+    };
+    switch (op) {
+      case 0x00:
+        switch (fn) {
+          case 0x20: case 0x21: wr(rd, rf_[rs] + rf_[rt]); break;
+          case 0x22: case 0x23: wr(rd, rf_[rs] - rf_[rt]); break;
+          case 0x24: wr(rd, rf_[rs] & rf_[rt]); break;
+          case 0x25: wr(rd, rf_[rs] | rf_[rt]); break;
+          case 0x26: wr(rd, rf_[rs] ^ rf_[rt]); break;
+          case 0x27: wr(rd, ~(rf_[rs] | rf_[rt])); break;
+          case 0x2A:
+            wr(rd, static_cast<std::int32_t>(rf_[rs]) < static_cast<std::int32_t>(rf_[rt]) ? 1 : 0);
+            break;
+          case 0x2B: wr(rd, rf_[rs] < rf_[rt] ? 1 : 0); break;
+          case 0x00: wr(rd, rf_[rt] << sh); break;
+          case 0x02: wr(rd, rf_[rt] >> sh); break;
+          case 0x03:
+            wr(rd, static_cast<u32>(static_cast<std::int32_t>(rf_[rt]) >> sh));
+            break;
+          case 0x04: wr(rd, rf_[rt] << (rf_[rs] & 31)); break;
+          case 0x06: wr(rd, rf_[rt] >> (rf_[rs] & 31)); break;
+          case 0x07:
+            wr(rd, static_cast<u32>(static_cast<std::int32_t>(rf_[rt]) >> (rf_[rs] & 31)));
+            break;
+          case 0x08: nextPc = rf_[rs]; break;
+          case 0x18: {
+            const std::uint64_t p = static_cast<std::uint64_t>(rf_[rs]) * rf_[rt];
+            hi_ = static_cast<u32>(p >> 32);
+            lo_ = static_cast<u32>(p);
+            break;
+          }
+          case 0x10: wr(rd, hi_); break;
+          case 0x12: wr(rd, lo_); break;
+          default: break;
+        }
+        break;
+      case 0x08: case 0x09: wr(rt, rf_[rs] + simm); break;
+      case 0x0A:
+        wr(rt, static_cast<std::int32_t>(rf_[rs]) < static_cast<std::int32_t>(simm) ? 1 : 0);
+        break;
+      case 0x0B: wr(rt, rf_[rs] < simm ? 1 : 0); break;
+      case 0x0C: wr(rt, rf_[rs] & imm); break;
+      case 0x0D: wr(rt, rf_[rs] | imm); break;
+      case 0x0E: wr(rt, rf_[rs] ^ imm); break;
+      case 0x0F: wr(rt, imm << 16); break;
+      case 0x23: {
+        const u32 addr = rf_[rs] + simm;
+        wr(rt, addr == 0x1004 ? ioIn : dmem_[(addr >> 2) & 0xFF]);
+        break;
+      }
+      case 0x2B: {
+        const u32 addr = rf_[rs] + simm;
+        if (addr == 0x1000) {
+          if (rf_[rt] != ioOut_) ioTrace.push_back(rf_[rt]);
+          ioOut_ = rf_[rt];
+        } else {
+          dmem_[(addr >> 2) & 0xFF] = rf_[rt];
+        }
+        break;
+      }
+      case 0x04: if (rf_[rs] == rf_[rt]) nextPc = pc_ + 4 + (simm << 2); break;
+      case 0x05: if (rf_[rs] != rf_[rt]) nextPc = pc_ + 4 + (simm << 2); break;
+      case 0x02: nextPc = (pc_ & 0xF0000000) | ((instr & 0x03FFFFFF) << 2); break;
+      case 0x03:
+        wr(31, pc_ + 4);
+        nextPc = (pc_ & 0xF0000000) | ((instr & 0x03FFFFFF) << 2);
+        break;
+      default: break;
+    }
+    pc_ = nextPc;
+  }
+
+  std::uint32_t reg(int i) const { return rf_[i]; }
+  std::uint32_t ioIn = 0;
+  std::vector<std::uint32_t> ioTrace;
+
+ private:
+  std::vector<std::uint64_t> imem_;
+  std::vector<std::uint32_t> dmem_;
+  std::uint32_t rf_[32] = {};
+  std::uint32_t pc_ = 0, hi_ = 0, lo_ = 0;
+  std::uint32_t ioOut_ = 0;
+};
+
+TEST(Plasma, IoWriteSequenceMatchesIsaReference) {
+  CaseStudy cs = buildPlasmaCase();
+  Design d = elaborate(*cs.module);
+
+  // Pipelined core under the standard testbench.
+  RtlSimulator<hdt::FourState> sim(d, KernelConfig{cs.periodPs, 0, 2000});
+  std::vector<std::uint32_t> rtlTrace;
+  sim.setStimulus([&](std::uint64_t c, RtlSimulator<hdt::FourState>& s) {
+    cs.testbench.drive(c, [&](const std::string& n, std::uint64_t v) { s.setInputByName(n, v); });
+  });
+  std::uint32_t lastIo = 0;
+  for (int c = 0; c < 600; ++c) {
+    sim.runCycles(1);
+    const auto io = static_cast<std::uint32_t>(sim.valueUintByName("io_out"));
+    if (io != lastIo) rtlTrace.push_back(io);
+    lastIo = io;
+  }
+
+  // Reference executes the same firmware image architecturally.
+  SymbolId imem = d.findSymbol("imem");
+  ASSERT_NE(kNoSymbol, imem);
+  std::vector<std::uint64_t> image;
+  for (const auto& ai : d.arrayInits) {
+    if (ai.array == imem) image = ai.words;
+  }
+  ASSERT_FALSE(image.empty());
+  MipsRef ref(image);
+  ref.ioIn = 0xC0FFEE00;
+  for (int i = 0; i < 700; ++i) ref.step();
+
+  ASSERT_GE(rtlTrace.size(), 12u) << "core produced too few I/O writes";
+  ASSERT_GE(ref.ioTrace.size(), rtlTrace.size());
+  for (std::size_t i = 0; i < rtlTrace.size(); ++i) {
+    EXPECT_EQ(ref.ioTrace[i], rtlTrace[i]) << "I/O write #" << i;
+  }
+}
+
+TEST(Plasma, FibonacciValuesAppearOnIo) {
+  CaseStudy cs = buildPlasmaCase();
+  Design d = elaborate(*cs.module);
+  RtlSimulator<hdt::FourState> sim(d, KernelConfig{cs.periodPs, 0, 2000});
+  sim.setStimulus([&](std::uint64_t c, RtlSimulator<hdt::FourState>& s) {
+    cs.testbench.drive(c, [&](const std::string& n, std::uint64_t v) { s.setInputByName(n, v); });
+  });
+  std::vector<std::uint64_t> seen;
+  std::uint64_t last = 0;
+  for (int c = 0; c < 300; ++c) {
+    sim.runCycles(1);
+    const auto io = sim.valueUintByName("io_out");
+    if (io != last) seen.push_back(io);
+    last = io;
+  }
+  // First round (seed 0): Fibonacci values 1,2,3,5,8,13 over six
+  // iterations, then HI of 13 * 2^30 = 3.
+  const std::uint64_t expected[] = {1, 2, 3, 5, 8, 13, 3};
+  ASSERT_GE(seen.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(expected[i], seen[i]) << "write " << i;
+}
+
+TEST(Plasma, InstructionsRetireContinuously) {
+  CaseStudy cs = buildPlasmaCase();
+  Design d = elaborate(*cs.module);
+  RtlSimulator<hdt::FourState> sim(d, KernelConfig{cs.periodPs, 0, 2000});
+  sim.setStimulus([&](std::uint64_t c, RtlSimulator<hdt::FourState>& s) {
+    cs.testbench.drive(c, [&](const std::string& n, std::uint64_t v) { s.setInputByName(n, v); });
+  });
+  sim.runCycles(200);
+  const auto ret200 = sim.valueUintByName("instret_out");
+  sim.runCycles(200);
+  const auto ret400 = sim.valueUintByName("instret_out");
+  // The firmware loops forever; IPC is below 1 due to flush bubbles but
+  // must stay well above 0.5 (only 1-in-~8 instructions branches).
+  EXPECT_GT(ret200, 100u);
+  EXPECT_GT(ret400, ret200 + 100);
+}
+
+TEST(Plasma, StructuralCharacteristicsNearPaper) {
+  CaseStudy cs = buildPlasmaCase();
+  Design d = elaborate(*cs.module);
+  // Paper Table 1: FF = 1297 (32x32 register file plus pipeline state).
+  const int ff = d.flipFlopBits();
+  EXPECT_GE(ff, 1100);
+  EXPECT_LE(ff, 1700);
+  // Paper: 7 synchronous processes; ours is the same order.
+  EXPECT_GE(d.countProcesses(true), 6);
+  EXPECT_LE(d.countProcesses(true), 10);
+  EXPECT_GT(d.countProcesses(false), 15);
+}
+
+TEST(Plasma, RegisterZeroStaysZero) {
+  // A firmware writing to $0 must leave it zero: exercised implicitly by the
+  // reference comparison, checked explicitly here via the register file.
+  CaseStudy cs = buildPlasmaCase();
+  Design d = elaborate(*cs.module);
+  RtlSimulator<hdt::FourState> sim(d, KernelConfig{cs.periodPs, 0, 2000});
+  sim.setStimulus([&](std::uint64_t c, RtlSimulator<hdt::FourState>& s) {
+    cs.testbench.drive(c, [&](const std::string& n, std::uint64_t v) { s.setInputByName(n, v); });
+  });
+  sim.runCycles(150);
+  EXPECT_EQ(0u, sim.store().getArray(d.findSymbol("rf"), 0).toUint());
+}
+
+}  // namespace
+}  // namespace xlv::ips

@@ -1,0 +1,160 @@
+// Builder DSL: declarations, operator width alignment, process construction.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace xlv::ir {
+namespace {
+
+TEST(Builder, DeclarationsCreateSymbols) {
+  ModuleBuilder mb("m");
+  auto clk = mb.clock("clk");
+  auto a = mb.in("a", 8);
+  auto y = mb.out("y", 8);
+  auto s = mb.signal("s", 4);
+  auto v = mb.var("v", 4);
+  auto arr = mb.array("mem", 8, 16);
+  auto m = mb.finish();
+
+  EXPECT_EQ(6u, m->symbols().size());
+  EXPECT_TRUE(m->symbol(clk.id).isClock());
+  EXPECT_EQ(PortDir::In, m->symbol(a.id).dir);
+  EXPECT_EQ(PortDir::Out, m->symbol(y.id).dir);
+  EXPECT_EQ(SymKind::Signal, m->symbol(s.id).kind);
+  EXPECT_EQ(SymKind::Variable, m->symbol(v.id).kind);
+  EXPECT_EQ(SymKind::Array, m->symbol(arr.id).kind);
+  EXPECT_EQ(16, m->symbol(arr.id).arraySize);
+}
+
+TEST(Builder, RejectsDuplicateNames) {
+  ModuleBuilder mb("m");
+  mb.signal("s", 4);
+  EXPECT_THROW(mb.signal("s", 8), std::invalid_argument);
+}
+
+TEST(Builder, OperatorAlignmentZeroExtendsUnsigned) {
+  ModuleBuilder mb("m");
+  auto a = mb.signal("a", 4);
+  auto b = mb.signal("b", 8);
+  Ex sum = Ex(a) + Ex(b);
+  EXPECT_EQ(8, sum.width());
+}
+
+TEST(Builder, OperatorAlignmentSignExtendsSigned) {
+  ModuleBuilder mb("m");
+  auto a = mb.signal("a", 4, /*isSigned=*/true);
+  auto b = mb.signal("b", 8, /*isSigned=*/true);
+  Ex sum = Ex(a) + Ex(b);
+  EXPECT_EQ(8, sum.width());
+  EXPECT_TRUE(sum.isSigned());
+  // The narrow operand was sign-extended.
+  EXPECT_EQ(ExprKind::Binary, sum.ptr()->kind);
+  EXPECT_EQ(ExprKind::Sext, sum.ptr()->a->kind);
+}
+
+TEST(Builder, ComparisonIsOneBit) {
+  ModuleBuilder mb("m");
+  auto a = mb.signal("a", 16);
+  Ex e = Ex(a) == 5u;
+  EXPECT_EQ(1, e.width());
+}
+
+TEST(Builder, ConcatAndSlice) {
+  ModuleBuilder mb("m");
+  auto a = mb.signal("a", 4);
+  auto b = mb.signal("b", 4);
+  EXPECT_EQ(8, concat(a, b).width());
+  EXPECT_EQ(2, slice(Ex(a), 2, 1).width());
+  EXPECT_EQ(1, bitof(Ex(a), 3).width());
+}
+
+TEST(Builder, SyncProcessRecordsClockAndEdge) {
+  ModuleBuilder mb("m");
+  auto clk = mb.clock("clk");
+  auto q = mb.signal("q", 1);
+  auto d = mb.in("d", 1);
+  mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assign(q, d); });
+  mb.onFalling("sh", clk, [&](ProcBuilder& p) { p.assign(q, d); });
+  auto m = mb.finish();
+  ASSERT_EQ(2u, m->processes().size());
+  EXPECT_TRUE(m->processes()[0].isSync);
+  EXPECT_EQ(clk.id, m->processes()[0].clock);
+  EXPECT_EQ(EdgeKind::Rising, m->processes()[0].edge);
+  EXPECT_EQ(EdgeKind::Falling, m->processes()[1].edge);
+}
+
+TEST(Builder, CombProcessDerivesSensitivity) {
+  ModuleBuilder mb("m");
+  auto a = mb.in("a", 4);
+  auto b = mb.in("b", 4);
+  auto c = mb.in("c", 1);
+  auto y = mb.out("y", 4);
+  mb.comb("mux", [&](ProcBuilder& p) { p.assign(y, sel(Ex(c) == 1u, a, b)); });
+  auto m = mb.finish();
+  const auto& sens = m->processes()[0].sensitivity;
+  // Reads a, b, c — but never its own output.
+  EXPECT_EQ(3u, sens.size());
+  EXPECT_TRUE(std::find(sens.begin(), sens.end(), a.id) != sens.end());
+  EXPECT_TRUE(std::find(sens.begin(), sens.end(), b.id) != sens.end());
+  EXPECT_TRUE(std::find(sens.begin(), sens.end(), c.id) != sens.end());
+  EXPECT_TRUE(std::find(sens.begin(), sens.end(), y.id) == sens.end());
+}
+
+TEST(Builder, NestedControlFlow) {
+  ModuleBuilder mb("m");
+  auto clk = mb.clock("clk");
+  auto st = mb.signal("st", 2);
+  auto y = mb.signal("y", 4);
+  mb.onRising("fsm", clk, [&](ProcBuilder& p) {
+    p.switch_(Ex(st),
+              {{{0}, [&] { p.assign(y, lit(4, 1)); }},
+               {{1, 2}, [&] { p.if_(Ex(y) == 3u, [&] { p.assign(y, lit(4, 0)); }); }}},
+              [&] { p.assign(y, lit(4, 15)); });
+  });
+  auto m = mb.finish();
+  const auto& body = *m->processes()[0].body;
+  ASSERT_EQ(StmtKind::Block, body.kind);
+  ASSERT_EQ(1u, body.stmts.size());
+  const auto& cs = *body.stmts[0];
+  ASSERT_EQ(StmtKind::Case, cs.kind);
+  EXPECT_EQ(2u, cs.arms.size());
+  EXPECT_NE(nullptr, cs.defaultArm);
+  EXPECT_EQ(3, countAssignments(cs));
+}
+
+TEST(Builder, AssignAutoResizesValue) {
+  ModuleBuilder mb("m");
+  auto clk = mb.clock("clk");
+  auto wide = mb.signal("wide", 16);
+  auto narrow = mb.in("narrow", 4);
+  mb.onRising("p", clk, [&](ProcBuilder& p) { p.assign(wide, narrow); });
+  auto m = mb.finish();
+  const auto& assign = *m->processes()[0].body->stmts[0];
+  EXPECT_EQ(16, assign.value->type.width);
+}
+
+TEST(Builder, InstanceChecksPortNamesAndWidths) {
+  ModuleBuilder child("child");
+  child.in("i", 4);
+  child.out("o", 4);
+  auto cm = child.finish();
+
+  ModuleBuilder parent("parent");
+  auto s4 = parent.signal("s4", 4);
+  auto s8 = parent.signal("s8", 8);
+  EXPECT_THROW(parent.instance("u1", cm, {{"nope", s4}}), std::invalid_argument);
+  EXPECT_THROW(parent.instance("u2", cm, {{"i", s8}}), std::invalid_argument);
+  parent.instance("u3", cm, {{"i", s4}, {"o", s4}});
+  EXPECT_EQ(1u, parent.module().instances().size());
+}
+
+TEST(Builder, BitselSelectsDynamicBit) {
+  ModuleBuilder mb("m");
+  auto a = mb.signal("a", 8);
+  auto i = mb.signal("i", 3);
+  Ex b = bitsel(a, i);
+  EXPECT_EQ(1, b.width());
+}
+
+}  // namespace
+}  // namespace xlv::ir

@@ -1,0 +1,139 @@
+// Elaboration: flattening, port unification, legality checks.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+
+namespace xlv::ir {
+namespace {
+
+std::shared_ptr<Module> makeCounterChild() {
+  ModuleBuilder mb("ctr");
+  auto clk = mb.clock("clk");
+  auto en = mb.in("en", 1);
+  auto q = mb.out("q", 4);
+  mb.onRising("count", clk, [&](ProcBuilder& p) {
+    p.if_(Ex(en) == 1u, [&] { p.assign(q, Ex(q) + 1u); });
+  });
+  return mb.finish();
+}
+
+TEST(Elaborate, FlatTopKeepsPortNames) {
+  auto m = makeCounterChild();
+  Design d = elaborate(*m);
+  EXPECT_EQ("ctr", d.name);
+  EXPECT_NE(kNoSymbol, d.findSymbol("clk"));
+  EXPECT_NE(kNoSymbol, d.findSymbol("en"));
+  EXPECT_NE(kNoSymbol, d.findSymbol("q"));
+  EXPECT_EQ(d.findSymbol("clk"), d.mainClock);
+  ASSERT_EQ(1u, d.inputs.size());  // clk excluded from inputs
+  EXPECT_EQ(d.findSymbol("en"), d.inputs[0]);
+}
+
+TEST(Elaborate, InstanceSymbolsArePrefixed) {
+  auto child = makeCounterChild();
+  ModuleBuilder top("top");
+  auto clk = top.clock("clk");
+  auto en = top.in("en", 1);
+  auto q0 = top.out("q0", 4);
+  auto q1 = top.out("q1", 4);
+  top.instance("u0", child, {{"clk", clk}, {"en", en}, {"q", q0}});
+  top.instance("u1", child, {{"clk", clk}, {"en", en}, {"q", q1}});
+  Design d = elaborate(*top.finish());
+
+  // Child ports unified with parent symbols; no duplicated port symbols.
+  EXPECT_EQ(kNoSymbol, d.findSymbol("u0.clk"));
+  EXPECT_EQ(kNoSymbol, d.findSymbol("u0.q"));
+  // Two processes, one per instance, with prefixed names.
+  ASSERT_EQ(2u, d.processes.size());
+  EXPECT_EQ("u0.count", d.processes[0].name);
+  EXPECT_EQ("u1.count", d.processes[1].name);
+  // Both sync processes reference the single flat clock.
+  EXPECT_EQ(d.mainClock, d.processes[0].clock);
+  EXPECT_EQ(d.mainClock, d.processes[1].clock);
+}
+
+TEST(Elaborate, NestedHierarchyFlattens) {
+  auto leaf = makeCounterChild();
+  ModuleBuilder mid("mid");
+  auto mclk = mid.clock("clk");
+  auto men = mid.in("en", 1);
+  auto mq = mid.out("q", 4);
+  mid.instance("leaf0", leaf, {{"clk", mclk}, {"en", men}, {"q", mq}});
+  auto midM = mid.finish();
+
+  ModuleBuilder top("top");
+  auto clk = top.clock("clk");
+  auto en = top.in("en", 1);
+  auto q = top.out("q", 4);
+  top.instance("m0", midM, {{"clk", clk}, {"en", en}, {"q", q}});
+  Design d = elaborate(*top.finish());
+  ASSERT_EQ(1u, d.processes.size());
+  EXPECT_EQ("m0.leaf0.count", d.processes[0].name);
+}
+
+TEST(Elaborate, DetectsMultipleDrivers) {
+  ModuleBuilder mb("bad");
+  auto clk = mb.clock("clk");
+  auto y = mb.signal("y", 1);
+  mb.onRising("p1", clk, [&](ProcBuilder& p) { p.assign(y, lit(1, 0)); });
+  mb.onRising("p2", clk, [&](ProcBuilder& p) { p.assign(y, lit(1, 1)); });
+  EXPECT_THROW(elaborate(*mb.finish()), ElaborationError);
+}
+
+TEST(Elaborate, DetectsClockWrite) {
+  ModuleBuilder mb("bad");
+  auto clk = mb.clock("clk");
+  mb.comb("p", [&](ProcBuilder& p) { p.assign(clk, lit(1, 1)); });
+  EXPECT_THROW(elaborate(*mb.finish()), ElaborationError);
+}
+
+TEST(Elaborate, DetectsInputPortWrite) {
+  ModuleBuilder mb("bad");
+  auto a = mb.in("a", 4);
+  mb.comb("p", [&](ProcBuilder& p) { p.assign(a, lit(4, 1)); });
+  EXPECT_THROW(elaborate(*mb.finish()), ElaborationError);
+}
+
+TEST(Elaborate, MarksRegisters) {
+  ModuleBuilder mb("m");
+  auto clk = mb.clock("clk");
+  auto a = mb.in("a", 8);
+  auto r = mb.signal("r", 8);
+  auto w = mb.signal("w", 8);
+  auto y = mb.out("y", 8);
+  mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assign(r, a); });
+  mb.comb("wire", [&](ProcBuilder& p) { p.assign(w, Ex(r) + 1u); });
+  mb.comb("drive", [&](ProcBuilder& p) { p.assign(y, w); });
+  Design d = elaborate(*mb.finish());
+  EXPECT_TRUE(d.isRegister[static_cast<std::size_t>(d.findSymbol("r"))]);
+  EXPECT_FALSE(d.isRegister[static_cast<std::size_t>(d.findSymbol("w"))]);
+  EXPECT_EQ(8, d.flipFlopBits());
+}
+
+TEST(Elaborate, FlipFlopBitsCountsArrays) {
+  ModuleBuilder mb("m");
+  auto clk = mb.clock("clk");
+  auto a = mb.in("a", 8);
+  auto idx = mb.in("i", 2);
+  auto rf = mb.array("rf", 8, 4);
+  mb.onRising("wr", clk, [&](ProcBuilder& p) { p.write(rf, Ex(idx), Ex(a)); });
+  Design d = elaborate(*mb.finish());
+  EXPECT_EQ(32, d.flipFlopBits());
+}
+
+TEST(Elaborate, CountProcesses) {
+  ModuleBuilder mb("m");
+  auto clk = mb.clock("clk");
+  auto a = mb.in("a", 1);
+  auto r = mb.signal("r", 1);
+  auto w = mb.out("w", 1);
+  mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assign(r, a); });
+  mb.comb("c1", [&](ProcBuilder& p) { p.assign(w, ~Ex(r)); });
+  Design d = elaborate(*mb.finish());
+  EXPECT_EQ(1, d.countProcesses(true));
+  EXPECT_EQ(1, d.countProcesses(false));
+}
+
+}  // namespace
+}  // namespace xlv::ir

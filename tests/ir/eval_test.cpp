@@ -1,0 +1,229 @@
+// Evaluator / executor: expression semantics over a value store, VHDL
+// assignment rules (signal = nonblocking, variable = immediate), both
+// policies via typed tests.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+#include "ir/eval.h"
+
+namespace xlv::ir {
+namespace {
+
+template <class P>
+class EvalTypedTest : public ::testing::Test {};
+
+using Policies = ::testing::Types<hdt::FourState, hdt::TwoState>;
+TYPED_TEST_SUITE(EvalTypedTest, Policies);
+
+struct Fixture {
+  std::shared_ptr<Module> mod;
+  Design d;
+  Sig a, b, y, v, clk;
+  Arr mem;
+
+  Fixture() {
+    ModuleBuilder mb("fx");
+    clk = mb.clock("clk");
+    a = mb.in("a", 8);
+    b = mb.in("b", 8);
+    y = mb.out("y", 8);
+    v = mb.var("v", 8);
+    mem = mb.array("mem", 8, 8);
+    mb.onRising("p", clk, [&](ProcBuilder& p) { p.assign(y, Ex(a) + Ex(b)); });
+    mod = mb.finish();
+    d = elaborate(*mod);
+  }
+};
+
+TYPED_TEST(EvalTypedTest, EvaluatesArithmetic) {
+  using P = TypeParam;
+  Fixture fx;
+  ValueStore<P> st(fx.d);
+  Executor<P> ex(fx.d, st);
+  st.set(fx.a.id, P::Vec::fromUint(8, 33));
+  st.set(fx.b.id, P::Vec::fromUint(8, 9));
+  auto e = (Ex(fx.a) + Ex(fx.b)).ptr();
+  EXPECT_EQ(42u, ex.eval(*e).toUint());
+  auto m = (Ex(fx.a) * Ex(fx.b)).ptr();
+  EXPECT_EQ((33u * 9u) & 0xFFu, ex.eval(*m).toUint());
+}
+
+TYPED_TEST(EvalTypedTest, SignalAssignIsNonblocking) {
+  using P = TypeParam;
+  Fixture fx;
+  ValueStore<P> st(fx.d);
+  Executor<P> ex(fx.d, st);
+  st.set(fx.a.id, P::Vec::fromUint(8, 5));
+  st.set(fx.b.id, P::Vec::fromUint(8, 6));
+
+  std::vector<SignalWrite<P>> nba;
+  ex.run(*fx.d.processes[0].body, nba);
+  // Not yet visible.
+  EXPECT_EQ(0u, st.get(fx.y.id).toUint());
+  ASSERT_EQ(1u, nba.size());
+  EXPECT_TRUE(commitWrite(st, nba[0]));
+  EXPECT_EQ(11u, st.get(fx.y.id).toUint());
+  // Committing the same value again reports no change.
+  EXPECT_FALSE(commitWrite(st, nba[0]));
+}
+
+TYPED_TEST(EvalTypedTest, VariableAssignIsImmediate) {
+  using P = TypeParam;
+  ModuleBuilder mb("m");
+  auto clk = mb.clock("clk");
+  auto a = mb.in("a", 8);
+  auto v = mb.var("v", 8);
+  auto y = mb.out("y", 8);
+  mb.onRising("p", clk, [&](ProcBuilder& p) {
+    p.assign(v, Ex(a) + 1u);   // immediate
+    p.assign(y, Ex(v) + 1u);   // sees updated v in the same run
+  });
+  Design d = elaborate(*mb.finish());
+  ValueStore<P> st(d);
+  Executor<P> ex(d, st);
+  st.set(d.findSymbol("a"), P::Vec::fromUint(8, 10));
+  std::vector<SignalWrite<P>> nba;
+  ex.run(*d.processes[0].body, nba);
+  EXPECT_EQ(11u, st.get(d.findSymbol("v")).toUint());
+  ASSERT_EQ(1u, nba.size());
+  EXPECT_EQ(12u, nba[0].value.toUint());
+}
+
+TYPED_TEST(EvalTypedTest, ArrayReadWrite) {
+  using P = TypeParam;
+  Fixture fx;
+  ValueStore<P> st(fx.d);
+  Executor<P> ex(fx.d, st);
+  st.setArray(fx.mem.id, 3, P::Vec::fromUint(8, 77));
+  auto e = at(fx.mem, lit(3, 3)).ptr();
+  EXPECT_EQ(77u, ex.eval(*e).toUint());
+}
+
+TYPED_TEST(EvalTypedTest, ArrayIndexWraps) {
+  using P = TypeParam;
+  Fixture fx;
+  ValueStore<P> st(fx.d);
+  Executor<P> ex(fx.d, st);
+  st.setArray(fx.mem.id, 1, P::Vec::fromUint(8, 55));
+  // Index 9 wraps to 1 on a size-8 array (documented clamp-by-wrap).
+  auto e = at(fx.mem, lit(4, 9)).ptr();
+  EXPECT_EQ(55u, ex.eval(*e).toUint());
+}
+
+TYPED_TEST(EvalTypedTest, CaseSelectsMatchingArm) {
+  using P = TypeParam;
+  ModuleBuilder mb("m");
+  auto clk = mb.clock("clk");
+  auto s = mb.in("s", 2);
+  auto y = mb.out("y", 8);
+  mb.onRising("p", clk, [&](ProcBuilder& p) {
+    p.switch_(Ex(s),
+              {{{0}, [&] { p.assign(y, lit(8, 10)); }},
+               {{1, 2}, [&] { p.assign(y, lit(8, 20)); }}},
+              [&] { p.assign(y, lit(8, 30)); });
+  });
+  Design d = elaborate(*mb.finish());
+  ValueStore<P> st(d);
+  Executor<P> ex(d, st);
+
+  auto runWith = [&](std::uint64_t sv) {
+    st.set(d.findSymbol("s"), P::Vec::fromUint(2, sv));
+    std::vector<SignalWrite<P>> nba;
+    ex.run(*d.processes[0].body, nba);
+    EXPECT_EQ(1u, nba.size());
+    return nba[0].value.toUint();
+  };
+  EXPECT_EQ(10u, runWith(0));
+  EXPECT_EQ(20u, runWith(1));
+  EXPECT_EQ(20u, runWith(2));
+  EXPECT_EQ(30u, runWith(3));
+}
+
+TYPED_TEST(EvalTypedTest, RangeAssignMergesBits) {
+  using P = TypeParam;
+  ModuleBuilder mb("m");
+  auto clk = mb.clock("clk");
+  auto y = mb.signal("y", 8);
+  mb.onRising("p", clk, [&](ProcBuilder& p) {
+    p.assignRange(y, 7, 4, lit(4, 0xA));
+  });
+  Design d = elaborate(*mb.finish());
+  ValueStore<P> st(d);
+  Executor<P> ex(d, st);
+  st.set(d.findSymbol("y"), P::Vec::fromUint(8, 0x0C));
+  std::vector<SignalWrite<P>> nba;
+  ex.run(*d.processes[0].body, nba);
+  ASSERT_EQ(1u, nba.size());
+  EXPECT_TRUE(commitWrite(st, nba[0]));
+  EXPECT_EQ(0xACu, st.get(d.findSymbol("y")).toUint());
+}
+
+TYPED_TEST(EvalTypedTest, InitialValuesApplied) {
+  using P = TypeParam;
+  ModuleBuilder mb("m");
+  auto clk = mb.clock("clk");
+  (void)clk;
+  auto s = mb.signalInit("s", 8, 0x5A);
+  auto arr = mb.array("rom", 8, 4);
+  mb.initArray(arr, {1, 2, 3, 4});
+  Design d = elaborate(*mb.finish());
+  ValueStore<P> st(d);
+  EXPECT_EQ(0x5Au, st.get(d.findSymbol("s")).toUint());
+  EXPECT_EQ(3u, st.getArray(d.findSymbol("rom"), 2).toUint());
+  (void)s;
+}
+
+TYPED_TEST(EvalTypedTest, SelectConditionChoosesArm) {
+  using P = TypeParam;
+  Fixture fx;
+  ValueStore<P> st(fx.d);
+  Executor<P> ex(fx.d, st);
+  st.set(fx.a.id, P::Vec::fromUint(8, 1));
+  auto e = sel(Ex(fx.a) == 1u, lit(8, 100), lit(8, 200)).ptr();
+  EXPECT_EQ(100u, ex.eval(*e).toUint());
+  st.set(fx.a.id, P::Vec::fromUint(8, 2));
+  EXPECT_EQ(200u, ex.eval(*e).toUint());
+}
+
+TYPED_TEST(EvalTypedTest, SignedComparisonFollowsOperandTypes) {
+  using P = TypeParam;
+  ModuleBuilder mb("m");
+  auto a = mb.signal("a", 8, /*isSigned=*/true);
+  auto b = mb.signal("b", 8, /*isSigned=*/true);
+  Design d = elaborate(*mb.finish());
+  ValueStore<P> st(d);
+  Executor<P> ex(d, st);
+  st.set(d.findSymbol("a"), P::Vec::fromUint(8, 0xFF));  // -1
+  st.set(d.findSymbol("b"), P::Vec::fromUint(8, 0x01));  // +1
+  auto lt = (Ex(a) < Ex(b)).ptr();
+  EXPECT_EQ(1u, ex.eval(*lt).toUint());
+}
+
+// 4-state-only behaviours.
+TEST(EvalFourState, UnknownConditionTakesElseBranch) {
+  using P = hdt::FourState;
+  Fixture fx;
+  ValueStore<P> st(fx.d);
+  Executor<P> ex(fx.d, st);
+  st.set(fx.a.id, hdt::LogicVector::allX(8));
+  auto e = sel(Ex(fx.a) == 1u, lit(8, 100), lit(8, 200)).ptr();
+  EXPECT_EQ(200u, ex.eval(*e).toUint());
+}
+
+TEST(EvalFourState, UnknownArrayIndexYieldsAllX) {
+  using P = hdt::FourState;
+  Fixture fx;
+  ValueStore<P> st(fx.d);
+  Executor<P> ex(fx.d, st);
+  ModuleBuilder mb("aux");
+  auto i = mb.signal("i", 3);
+  (void)i;
+  // Use input a as an X index.
+  st.set(fx.a.id, hdt::LogicVector::allX(8));
+  auto e = makeArrayRef(fx.mem.id, Type{8, false}, makeRef(fx.a.id, Type{8, false}));
+  EXPECT_TRUE(ex.eval(*e).anyUnknown());
+}
+
+}  // namespace
+}  // namespace xlv::ir

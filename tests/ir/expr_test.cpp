@@ -1,0 +1,89 @@
+// Expression factories: width/type computation and validation.
+#include <gtest/gtest.h>
+
+#include "ir/expr.h"
+
+namespace xlv::ir {
+namespace {
+
+TEST(Expr, ConstMasksValue) {
+  auto e = makeConst(4, 0x1F);
+  EXPECT_EQ(0xFu, e->cval);
+  EXPECT_EQ(4, e->type.width);
+}
+
+TEST(Expr, ConstRejectsZeroWidth) {
+  EXPECT_THROW(makeConst(0, 1), std::invalid_argument);
+}
+
+TEST(Expr, BinaryWidthRules) {
+  auto a = makeConst(8, 1);
+  auto b = makeConst(8, 2);
+  EXPECT_EQ(8, makeBinary(BinOp::Add, a, b)->type.width);
+  EXPECT_EQ(1, makeBinary(BinOp::Eq, a, b)->type.width);
+  EXPECT_EQ(16, makeBinary(BinOp::Concat, a, b)->type.width);
+}
+
+TEST(Expr, BinaryRejectsWidthMismatch) {
+  auto a = makeConst(8, 1);
+  auto b = makeConst(4, 2);
+  EXPECT_THROW(makeBinary(BinOp::Add, a, b), std::invalid_argument);
+  EXPECT_THROW(makeBinary(BinOp::Eq, a, b), std::invalid_argument);
+}
+
+TEST(Expr, ShiftAllowsAnyAmountWidth) {
+  auto a = makeConst(8, 1);
+  auto amt = makeConst(32, 3);
+  EXPECT_EQ(8, makeBinary(BinOp::Shl, a, amt)->type.width);
+}
+
+TEST(Expr, SliceBoundsChecked) {
+  auto a = makeConst(8, 0xFF);
+  EXPECT_EQ(4, makeSlice(a, 7, 4)->type.width);
+  EXPECT_THROW(makeSlice(a, 8, 0), std::invalid_argument);
+  EXPECT_THROW(makeSlice(a, 3, 5), std::invalid_argument);
+}
+
+TEST(Expr, SelectRequiresMatchingArms) {
+  auto c = makeConst(1, 1);
+  auto t = makeConst(8, 1);
+  auto f4 = makeConst(4, 1);
+  EXPECT_THROW(makeSelect(c, t, f4), std::invalid_argument);
+  auto f8 = makeConst(8, 2);
+  EXPECT_EQ(8, makeSelect(c, t, f8)->type.width);
+}
+
+TEST(Expr, ResizeIsIdentityAtSameWidth) {
+  auto a = makeConst(8, 1);
+  EXPECT_EQ(a.get(), makeResize(a, 8).get());
+  EXPECT_EQ(12, makeResize(a, 12)->type.width);
+}
+
+TEST(Expr, SextMarksSigned) {
+  auto a = makeConst(8, 0x80);
+  auto s = makeSext(a, 16);
+  EXPECT_TRUE(s->type.isSigned);
+  EXPECT_EQ(16, s->type.width);
+}
+
+TEST(Expr, ReductionsAreOneBit) {
+  auto a = makeConst(8, 3);
+  EXPECT_EQ(1, makeUnary(UnOp::RedAnd, a)->type.width);
+  EXPECT_EQ(1, makeUnary(UnOp::RedOr, a)->type.width);
+  EXPECT_EQ(1, makeUnary(UnOp::BoolNot, a)->type.width);
+  EXPECT_EQ(8, makeUnary(UnOp::Not, a)->type.width);
+}
+
+TEST(Expr, ToStringRendersStructure) {
+  std::vector<Symbol> syms(2);
+  syms[0].name = "a";
+  syms[1].name = "b";
+  auto ra = makeRef(0, Type{8, false});
+  auto rb = makeRef(1, Type{8, false});
+  auto e = makeBinary(BinOp::Add, ra, rb);
+  EXPECT_EQ("(a + b)", exprToString(*e, syms));
+  EXPECT_EQ("a[3:1]", exprToString(*makeSlice(ra, 3, 1), syms));
+}
+
+}  // namespace
+}  // namespace xlv::ir

@@ -1,0 +1,41 @@
+// Statement factories and the assignment counter.
+#include <gtest/gtest.h>
+
+#include "ir/stmt.h"
+
+namespace xlv::ir {
+namespace {
+
+TEST(Stmt, AssignValidation) {
+  EXPECT_THROW(makeAssign(kNoSymbol, makeConst(1, 0)), std::invalid_argument);
+  EXPECT_THROW(makeAssign(0, nullptr), std::invalid_argument);
+  auto s = makeAssign(3, makeConst(8, 1));
+  EXPECT_EQ(StmtKind::Assign, s->kind);
+  EXPECT_EQ(3, s->target);
+  EXPECT_EQ(-1, s->hi);
+}
+
+TEST(Stmt, RangeAssignChecksWidth) {
+  EXPECT_THROW(makeAssignRange(0, 7, 4, makeConst(8, 1)), std::invalid_argument);
+  auto s = makeAssignRange(0, 7, 4, makeConst(4, 1));
+  EXPECT_EQ(7, s->hi);
+  EXPECT_EQ(4, s->lo);
+}
+
+TEST(Stmt, CountAssignmentsWalksNesting) {
+  auto a1 = makeAssign(0, makeConst(1, 0));
+  auto a2 = makeAssign(1, makeConst(1, 1));
+  auto a3 = makeArrayWrite(2, makeConst(4, 0), makeConst(8, 0));
+  auto inner = makeIf(makeConst(1, 1), a1, a2);
+  std::vector<CaseArm> arms;
+  arms.push_back(CaseArm{{0, 1}, makeBlock({inner, a3})});
+  auto c = makeCase(makeConst(2, 0), std::move(arms), a1);
+  EXPECT_EQ(4, countAssignments(*c));  // if(2) + arraywrite + default
+}
+
+TEST(Stmt, EmptyBlockCountsZero) {
+  EXPECT_EQ(0, countAssignments(*makeBlock({})));
+}
+
+}  // namespace
+}  // namespace xlv::ir

@@ -1,0 +1,116 @@
+// IR traversal: read/write sets, remapping clones, assignment rewriting.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/walk.h"
+
+namespace xlv::ir {
+namespace {
+
+TEST(Walk, CollectReadsSeesConditionsAndIndices) {
+  ModuleBuilder mb("m");
+  auto a = mb.in("a", 4);
+  auto b = mb.in("b", 4);
+  auto i = mb.in("i", 2);
+  auto arr = mb.array("mem", 4, 4);
+  auto y = mb.out("y", 4);
+  mb.comb("p", [&](ProcBuilder& p) {
+    p.if_(Ex(a) == 0u, [&] { p.assign(y, at(arr, Ex(i)) + Ex(b)); });
+  });
+  auto m = mb.finish();
+  std::set<SymbolId> reads;
+  collectReads(*m->processes()[0].body, reads);
+  EXPECT_TRUE(reads.count(a.id));
+  EXPECT_TRUE(reads.count(b.id));
+  EXPECT_TRUE(reads.count(i.id));
+  EXPECT_TRUE(reads.count(arr.id));
+  EXPECT_FALSE(reads.count(y.id));
+}
+
+TEST(Walk, CollectWritesSeesAllBranches) {
+  ModuleBuilder mb("m");
+  auto c = mb.in("c", 1);
+  auto y = mb.signal("y", 4);
+  auto z = mb.signal("z", 4);
+  auto clk = mb.clock("clk");
+  mb.onRising("p", clk, [&](ProcBuilder& p) {
+    p.if_(Ex(c) == 1u, [&] { p.assign(y, lit(4, 1)); }, [&] { p.assign(z, lit(4, 2)); });
+  });
+  auto m = mb.finish();
+  std::set<SymbolId> writes;
+  collectWrites(*m->processes()[0].body, writes);
+  EXPECT_TRUE(writes.count(y.id));
+  EXPECT_TRUE(writes.count(z.id));
+  EXPECT_FALSE(writes.count(c.id));
+}
+
+TEST(Walk, RemapStmtSubstitutesSymbols) {
+  ModuleBuilder mb("m");
+  auto a = mb.in("a", 4);
+  auto y = mb.signal("y", 4);
+  auto clk = mb.clock("clk");
+  mb.onRising("p", clk, [&](ProcBuilder& p) { p.assign(y, Ex(a) + 1u); });
+  auto m = mb.finish();
+
+  std::unordered_map<SymbolId, SymbolId> map{{a.id, 100}, {y.id, 200}};
+  auto mapped = remapStmt(m->processes()[0].body, map);
+  std::set<SymbolId> reads, writes;
+  collectReads(*mapped, reads);
+  collectWrites(*mapped, writes);
+  EXPECT_TRUE(reads.count(100));
+  EXPECT_TRUE(writes.count(200));
+  EXPECT_FALSE(reads.count(a.id));
+}
+
+TEST(Walk, RemapLeavesUnmappedSymbolsAlone) {
+  auto e = makeRef(7, Type{4, false});
+  auto r = remapExpr(e, {{3, 30}});
+  EXPECT_EQ(7, r->sym);
+}
+
+TEST(Walk, RewriteAssignsTransformsLeaves) {
+  ModuleBuilder mb("m");
+  auto clk = mb.clock("clk");
+  auto y = mb.signal("y", 4);
+  auto z = mb.signal("z", 4);
+  auto c = mb.in("c", 1);
+  mb.onRising("p", clk, [&](ProcBuilder& p) {
+    p.if_(Ex(c) == 1u, [&] { p.assign(y, lit(4, 1)); }, [&] { p.assign(z, lit(4, 2)); });
+  });
+  auto m = mb.finish();
+
+  // Redirect writes of y to z (the shape of a mutant's tmp redirection).
+  int rewrites = 0;
+  auto out = rewriteAssigns(m->processes()[0].body, [&](const StmtPtr& s) -> StmtPtr {
+    if (s->target == y.id) {
+      ++rewrites;
+      auto n = std::make_shared<Stmt>(*s);
+      n->target = z.id;
+      return n;
+    }
+    return s;
+  });
+  EXPECT_EQ(1, rewrites);
+  std::set<SymbolId> writes;
+  collectWrites(*out, writes);
+  EXPECT_FALSE(writes.count(y.id));
+  EXPECT_TRUE(writes.count(z.id));
+  // Original untouched (persistent tree).
+  std::set<SymbolId> origWrites;
+  collectWrites(*m->processes()[0].body, origWrites);
+  EXPECT_TRUE(origWrites.count(y.id));
+}
+
+TEST(Walk, DeriveSensitivityIsSortedUnique) {
+  ModuleBuilder mb("m");
+  auto a = mb.in("a", 4);
+  auto y = mb.out("y", 4);
+  mb.comb("p", [&](ProcBuilder& p) { p.assign(y, Ex(a) + Ex(a)); });
+  auto m = mb.finish();
+  const auto& sens = m->processes()[0].sensitivity;
+  EXPECT_EQ(1u, sens.size());
+  EXPECT_EQ(a.id, sens[0]);
+}
+
+}  // namespace
+}  // namespace xlv::ir

@@ -1,0 +1,107 @@
+// ADAM mutant injection: code rewriting, validation, shared tmp variables.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+#include "ir/walk.h"
+#include "mutation/adam.h"
+
+namespace xlv::mutation {
+namespace {
+
+using namespace xlv::ir;
+
+Design simpleDesign() {
+  ModuleBuilder mb("m");
+  auto clk = mb.clock("clk");
+  auto hclk = mb.clock("hclk", ClockRole::HighFreq);
+  (void)hclk;
+  auto din = mb.in("din", 8);
+  auto r = mb.signal("r", 8);
+  auto w = mb.signal("w", 8);
+  auto y = mb.out("y", 8);
+  mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assign(r, Ex(din) + Ex(r)); });
+  mb.comb("c", [&](ProcBuilder& p) { p.assign(w, Ex(r) + 1u); });
+  mb.comb("d", [&](ProcBuilder& p) { p.assign(y, w); });
+  return elaborate(*mb.finish());
+}
+
+TEST(Adam, RewritesTargetAssignmentToTmp) {
+  Design d = simpleDesign();
+  auto injected = injectMutants(d, {{"r", MutantKind::MinDelay, 0}});
+  ASSERT_EQ(1u, injected.mutants.size());
+  const auto& m = injected.mutants[0];
+  EXPECT_EQ(d.findSymbol("r"), m.target);
+  EXPECT_NE(kNoSymbol, m.tmpVar);
+  EXPECT_EQ(SymKind::Variable, injected.design.symbol(m.tmpVar).kind);
+
+  // The driving process no longer writes r; it writes the tmp variable.
+  std::set<SymbolId> writes;
+  collectWrites(*injected.design.processes[0].body, writes);
+  EXPECT_FALSE(writes.count(m.target));
+  EXPECT_TRUE(writes.count(m.tmpVar));
+  // Original design untouched.
+  std::set<SymbolId> origWrites;
+  collectWrites(*d.processes[0].body, origWrites);
+  EXPECT_TRUE(origWrites.count(d.findSymbol("r")));
+}
+
+TEST(Adam, MutantsOnSameTargetShareTmp) {
+  Design d = simpleDesign();
+  auto injected = injectMutants(d, {{"r", MutantKind::MinDelay, 0},
+                                    {"r", MutantKind::MaxDelay, 0},
+                                    {"r", MutantKind::DeltaDelay, 3}});
+  ASSERT_EQ(3u, injected.mutants.size());
+  EXPECT_EQ(injected.mutants[0].tmpVar, injected.mutants[1].tmpVar);
+  EXPECT_EQ(injected.mutants[1].tmpVar, injected.mutants[2].tmpVar);
+  EXPECT_EQ(1u, injected.targets().size());
+}
+
+TEST(Adam, RejectsUnknownSignal) {
+  Design d = simpleDesign();
+  EXPECT_THROW(injectMutants(d, {{"nope", MutantKind::MinDelay, 0}}), std::invalid_argument);
+}
+
+TEST(Adam, RejectsCombinationalTarget) {
+  Design d = simpleDesign();
+  EXPECT_THROW(injectMutants(d, {{"w", MutantKind::MinDelay, 0}}), std::invalid_argument);
+}
+
+TEST(Adam, RejectsDeltaWithoutHfClock) {
+  ModuleBuilder mb("nohf");
+  auto clk = mb.clock("clk");
+  auto din = mb.in("din", 8);
+  auto r = mb.signal("r", 8);
+  mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assign(r, din); });
+  Design d = elaborate(*mb.finish());
+  EXPECT_THROW(injectMutants(d, {{"r", MutantKind::DeltaDelay, 2}}), std::invalid_argument);
+  // Min/max are fine without an HF clock.
+  EXPECT_NO_THROW(injectMutants(d, {{"r", MutantKind::MinDelay, 0}}));
+}
+
+TEST(Adam, RejectsRangeAssignedTarget) {
+  ModuleBuilder mb("range");
+  auto clk = mb.clock("clk");
+  auto din = mb.in("din", 4);
+  auto r = mb.signal("r", 8);
+  mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assignRange(r, 3, 0, din); });
+  Design d = elaborate(*mb.finish());
+  EXPECT_THROW(injectMutants(d, {{"r", MutantKind::MinDelay, 0}}), std::invalid_argument);
+}
+
+TEST(Adam, MutantKindNames) {
+  EXPECT_STREQ("min-delay", mutantKindName(MutantKind::MinDelay));
+  EXPECT_STREQ("max-delay", mutantKindName(MutantKind::MaxDelay));
+  EXPECT_STREQ("delta-delay", mutantKindName(MutantKind::DeltaDelay));
+}
+
+TEST(Adam, IdsAreSequential) {
+  Design d = simpleDesign();
+  auto injected = injectMutants(d, {{"r", MutantKind::MinDelay, 0},
+                                    {"r", MutantKind::MaxDelay, 0}});
+  EXPECT_EQ(0, injected.mutants[0].id);
+  EXPECT_EQ(1, injected.mutants[1].id);
+}
+
+}  // namespace
+}  // namespace xlv::mutation

@@ -1,0 +1,138 @@
+// Saboteur insertion: structural corruption stages, activation semantics,
+// functional preservation when disabled.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+#include "mutation/saboteur.h"
+#include "rtl/kernel.h"
+
+namespace xlv::mutation {
+namespace {
+
+using namespace xlv::ir;
+using rtl::KernelConfig;
+using rtl::RtlSimulator;
+
+std::shared_ptr<Module> smallIp() {
+  ModuleBuilder mb("ip");
+  auto clk = mb.clock("clk");
+  auto din = mb.in("din", 8);
+  auto r = mb.signal("r", 8);
+  auto dout = mb.out("dout", 8);
+  mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assign(r, Ex(din) + Ex(r)); });
+  mb.comb("drive", [&](ProcBuilder& p) { p.assign(dout, Ex(r) ^ lit(8, 0x0F)); });
+  return mb.finish();
+}
+
+TEST(Saboteur, AddsEnablePortAndPreWire) {
+  auto ip = smallIp();
+  auto res = insertSaboteurs(*ip, {{"r", SaboteurKind::BitFlip, 0xFF}});
+  ASSERT_EQ(1u, res.saboteurs.size());
+  const Module& m = *res.sabotaged;
+  EXPECT_NE(kNoSymbol, m.findSymbol("sab_en_0"));
+  EXPECT_NE(kNoSymbol, m.findSymbol("r__pre0"));
+  EXPECT_EQ(PortDir::In, m.symbol(m.findSymbol("sab_en_0")).dir);
+  EXPECT_NO_THROW(elaborate(m));
+}
+
+TEST(Saboteur, DisabledPreservesFunctionality) {
+  auto ip = smallIp();
+  auto res = insertSaboteurs(*ip, {{"r", SaboteurKind::BitFlip, 0xFF}});
+  Design clean = elaborate(*ip);
+  Design sab = elaborate(*res.sabotaged);
+
+  RtlSimulator<hdt::FourState> a(clean, KernelConfig{1000, 0, 1000});
+  RtlSimulator<hdt::FourState> b(sab, KernelConfig{1000, 0, 1000});
+  a.setStimulus([](std::uint64_t c, auto& s) { s.setInputByName("din", 3 * c + 1); });
+  b.setStimulus([](std::uint64_t c, auto& s) {
+    s.setInputByName("din", 3 * c + 1);
+    s.setInputByName("sab_en_0", 0);
+  });
+  for (int c = 0; c < 25; ++c) {
+    a.runCycles(1);
+    b.runCycles(1);
+    EXPECT_EQ(a.valueUintByName("dout"), b.valueUintByName("dout")) << "cycle " << c;
+  }
+}
+
+class SaboteurKindP : public ::testing::TestWithParam<SaboteurKind> {};
+
+TEST_P(SaboteurKindP, EnabledCorruptsPerKind) {
+  auto ip = smallIp();
+  auto res = insertSaboteurs(*ip, {{"r", GetParam(), 0x0F}});
+  Design sab = elaborate(*res.sabotaged);
+  RtlSimulator<hdt::FourState> sim(sab, KernelConfig{1000, 0, 1000});
+  sim.setStimulus([](std::uint64_t c, auto& s) {
+    s.setInputByName("din", 3 * c + 1);
+    s.setInputByName("sab_en_0", 1);
+  });
+  sim.runCycles(10);
+  const auto pre = sim.valueUintByName("r__pre0");
+  const auto post = sim.valueUintByName("r");
+  switch (GetParam()) {
+    case SaboteurKind::StuckAtZero:
+      EXPECT_EQ(0u, post);
+      break;
+    case SaboteurKind::StuckAtOne:
+      EXPECT_EQ(0xFFu, post);
+      break;
+    case SaboteurKind::BitFlip:
+      EXPECT_EQ(pre ^ 0x0Fu, post);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SaboteurKindP,
+                         ::testing::Values(SaboteurKind::StuckAtZero,
+                                           SaboteurKind::StuckAtOne, SaboteurKind::BitFlip));
+
+TEST(Saboteur, MidRunActivationToggles) {
+  auto ip = smallIp();
+  auto res = insertSaboteurs(*ip, {{"r", SaboteurKind::StuckAtZero, 0}});
+  Design sab = elaborate(*res.sabotaged);
+  RtlSimulator<hdt::FourState> sim(sab, KernelConfig{1000, 0, 1000});
+  sim.setStimulus([](std::uint64_t c, auto& s) {
+    s.setInputByName("din", 1);
+    s.setInputByName("sab_en_0", (c >= 5 && c < 10) ? 1 : 0);
+  });
+  sim.runCycles(5);
+  EXPECT_NE(0u, sim.valueUintByName("r"));
+  sim.runCycles(5);
+  EXPECT_EQ(0u, sim.valueUintByName("r"));  // fault window
+  sim.runCycles(5);
+  EXPECT_NE(0u, sim.valueUintByName("r"));  // recovered
+}
+
+TEST(Saboteur, ValidatesTargets) {
+  auto ip = smallIp();
+  EXPECT_THROW(insertSaboteurs(*ip, {{"nope", SaboteurKind::BitFlip, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(insertSaboteurs(*ip, {{"din", SaboteurKind::BitFlip, 1}}),
+               std::invalid_argument);  // input port has no driving process
+}
+
+TEST(Saboteur, MultipleIndependentSaboteurs) {
+  auto ip = smallIp();
+  auto res = insertSaboteurs(*ip, {{"r", SaboteurKind::BitFlip, 0x01},
+                                   {"dout", SaboteurKind::StuckAtOne, 0}});
+  EXPECT_EQ(2u, res.saboteurs.size());
+  Design sab = elaborate(*res.sabotaged);
+  RtlSimulator<hdt::FourState> sim(sab, KernelConfig{1000, 0, 1000});
+  sim.setStimulus([](std::uint64_t c, auto& s) {
+    s.setInputByName("din", 2 * c);
+    s.setInputByName("sab_en_0", 0);
+    s.setInputByName("sab_en_1", 1);  // only the output saboteur fires
+  });
+  sim.runCycles(6);
+  EXPECT_EQ(0xFFu, sim.valueUintByName("dout"));
+}
+
+TEST(Saboteur, KindNames) {
+  EXPECT_STREQ("stuck-at-0", saboteurKindName(SaboteurKind::StuckAtZero));
+  EXPECT_STREQ("stuck-at-1", saboteurKindName(SaboteurKind::StuckAtOne));
+  EXPECT_STREQ("bit-flip", saboteurKindName(SaboteurKind::BitFlip));
+}
+
+}  // namespace
+}  // namespace xlv::mutation

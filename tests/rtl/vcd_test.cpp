@@ -1,0 +1,72 @@
+// VCD writer: header structure and value change records.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+#include "rtl/kernel.h"
+#include "rtl/vcd.h"
+
+namespace xlv::rtl {
+namespace {
+
+using namespace xlv::ir;
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+TEST(Vcd, HeaderListsWires) {
+  ModuleBuilder mb("m");
+  mb.clock("clk");
+  mb.in("a", 8);
+  mb.out("y", 1);
+  mb.array("mem", 8, 4);
+  Design d = elaborate(*mb.finish());
+
+  const std::string path = ::testing::TempDir() + "/xlv_vcd_header.vcd";
+  {
+    VcdWriter vcd(path, d);
+    ASSERT_TRUE(vcd.ok());
+  }
+  const std::string text = slurp(path);
+  EXPECT_NE(std::string::npos, text.find("$timescale 1ps $end"));
+  EXPECT_NE(std::string::npos, text.find("$var wire 1"));
+  EXPECT_NE(std::string::npos, text.find("$var wire 8"));
+  EXPECT_NE(std::string::npos, text.find("a [7:0]"));
+  // Arrays are not traced.
+  EXPECT_EQ(std::string::npos, text.find("mem"));
+  EXPECT_NE(std::string::npos, text.find("$enddefinitions"));
+}
+
+TEST(Vcd, KernelEmitsChanges) {
+  ModuleBuilder mb("ctr");
+  auto clk = mb.clock("clk");
+  auto q = mb.out("q", 4);
+  mb.onRising("count", clk, [&](ProcBuilder& p) { p.assign(q, Ex(q) + 1u); });
+  Design d = elaborate(*mb.finish());
+
+  const std::string path = ::testing::TempDir() + "/xlv_vcd_changes.vcd";
+  {
+    VcdWriter vcd(path, d);
+    RtlSimulator<hdt::FourState> sim(d, KernelConfig{1000, 0, 100});
+    sim.attachVcd(&vcd);
+    sim.runCycles(3);
+  }
+  const std::string text = slurp(path);
+  // Time advances and multi-bit changes appear with the b-prefix.
+  EXPECT_NE(std::string::npos, text.find("#250"));
+  EXPECT_NE(std::string::npos, text.find("b0001"));
+  EXPECT_NE(std::string::npos, text.find("b0010"));
+  EXPECT_NE(std::string::npos, text.find("b0011"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xlv::rtl

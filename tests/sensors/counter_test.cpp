@@ -1,0 +1,162 @@
+// Counter-based monitor semantics at RTL through STA + insertion: delay
+// measurement in HF periods, threshold comparison, no-transition behaviour.
+#include <gtest/gtest.h>
+
+#include "insertion/insertion.h"
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+#include "rtl/kernel.h"
+#include "sta/sta.h"
+
+namespace xlv::sensors {
+namespace {
+
+using namespace xlv::ir;
+using namespace xlv::insertion;
+using rtl::KernelConfig;
+using rtl::RtlSimulator;
+
+constexpr std::uint64_t kPeriod = 1200;
+constexpr int kRatio = 10;
+/// HF tick spacing used by the kernel: (T/2) / (R+1).
+constexpr std::uint64_t kTick = (kPeriod / 2) / (kRatio + 1);
+
+struct CounterFixture {
+  Design design;
+  SymbolId rSym, mvSym, okSym, metricOkSym, measPortSym;
+
+  CounterFixture() {
+    ModuleBuilder mb("dut");
+    auto clk = mb.clock("clk");
+    auto din = mb.in("din", 8);
+    auto dout = mb.out("dout", 8);
+    auto r = mb.signal("r", 8);
+    // XOR-toggle register: with a nonzero din, r's parity flips every cycle,
+    // giving the Counter a transition in every observability window.
+    mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assign(r, Ex(din) ^ Ex(r)); });
+    mb.comb("drive", [&](ProcBuilder& p) { p.assign(dout, r); });
+    auto ip = mb.finish();
+
+    sta::StaConfig staCfg;
+    staCfg.clockPeriodPs = kPeriod;
+    staCfg.thresholdFraction = 1.0;  // everything critical
+    auto report = sta::analyze(elaborate(*ip), staCfg);
+
+    InsertionConfig icfg;
+    icfg.kind = SensorKind::Counter;
+    auto ins = insertSensors(*ip, report, icfg);
+    EXPECT_EQ(1u, ins.sensors.size());
+    design = elaborate(*ins.augmented);
+    rSym = design.findSymbol("r");
+    mvSym = design.findSymbol("mv_0");
+    okSym = design.findSymbol("ok_0");
+    metricOkSym = design.findSymbol("metric_ok");
+    measPortSym = design.findSymbol("meas_val");
+    EXPECT_NE(kNoSymbol, mvSym);
+    EXPECT_NE(kNoSymbol, design.hfClock);
+  }
+};
+
+template <class P>
+RtlSimulator<P> makeSim(const Design& d) {
+  return RtlSimulator<P>(d, KernelConfig{kPeriod, kRatio, 1000});
+}
+
+void driveToggle(std::uint64_t, RtlSimulator<hdt::FourState>& s) {
+  // din with odd parity: the XOR-toggle register's parity flips every cycle.
+  s.setInputByName("din", 1);
+}
+
+TEST(CounterMonitor, OnTimeCommitsMeasureZero) {
+  CounterFixture fx;
+  auto sim = makeSim<hdt::FourState>(fx.design);
+  sim.setStimulus(driveToggle);
+  for (int c = 0; c < 12; ++c) {
+    sim.runCycles(1);
+    EXPECT_EQ(0u, sim.valueUint(fx.mvSym)) << "cycle " << c;
+    EXPECT_EQ(1u, sim.valueUint(fx.okSym));
+    EXPECT_EQ(1u, sim.valueUint(fx.metricOkSym));
+  }
+}
+
+// The headline property: a transport delay of j HF periods measures exactly
+// j (resolution = one HF period, paper Section 4.1.2).
+class CounterMeasureP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CounterMeasureP, MeasuresDelayInHfPeriods) {
+  const int j = GetParam();
+  CounterFixture fx;
+  auto sim = makeSim<hdt::FourState>(fx.design);
+  sim.setStimulus(driveToggle);
+  sim.injectDelay(fx.rSym, static_cast<std::uint64_t>(j) * kTick);
+  sim.runCycles(6);
+  EXPECT_EQ(static_cast<std::uint64_t>(j), sim.valueUint(fx.mvSym));
+  EXPECT_EQ(static_cast<std::uint64_t>(j), sim.valueUint(fx.measPortSym));
+}
+
+INSTANTIATE_TEST_SUITE_P(HfPeriods, CounterMeasureP, ::testing::Range(1, kRatio + 1));
+
+TEST(CounterMonitor, ThresholdSeparatesTolerableDelays) {
+  // Threshold is 8 HF periods (paper Section 8.5): j=8 -> OK, j=9 -> error.
+  {
+    CounterFixture fx;
+    auto sim = makeSim<hdt::FourState>(fx.design);
+    sim.setStimulus(driveToggle);
+    sim.injectDelay(fx.rSym, 8 * kTick);
+    sim.runCycles(6);
+    EXPECT_EQ(8u, sim.valueUint(fx.mvSym));
+    EXPECT_EQ(1u, sim.valueUint(fx.okSym));
+  }
+  {
+    CounterFixture fx;
+    auto sim = makeSim<hdt::FourState>(fx.design);
+    sim.setStimulus(driveToggle);
+    sim.injectDelay(fx.rSym, 9 * kTick);
+    sim.runCycles(6);
+    EXPECT_EQ(9u, sim.valueUint(fx.mvSym));
+    EXPECT_EQ(0u, sim.valueUint(fx.okSym));
+    EXPECT_EQ(0u, sim.valueUint(fx.metricOkSym));
+  }
+}
+
+TEST(CounterMonitor, NoTransitionMeansZeroEvenWithDelay) {
+  CounterFixture fx;
+  auto sim = makeSim<hdt::FourState>(fx.design);
+  sim.setStimulus([](std::uint64_t, RtlSimulator<hdt::FourState>& s) {
+    s.setInputByName("din", 0);  // r frozen: no transitions to observe
+  });
+  sim.injectDelay(fx.rSym, 5 * kTick);
+  sim.runCycles(8);
+  EXPECT_EQ(0u, sim.valueUint(fx.mvSym));
+  EXPECT_EQ(1u, sim.valueUint(fx.okSym));
+}
+
+TEST(CounterMonitor, MeasurementRearmsEveryCycle) {
+  CounterFixture fx;
+  auto sim = makeSim<hdt::FourState>(fx.design);
+  sim.setStimulus(driveToggle);
+  sim.injectDelay(fx.rSym, 4 * kTick);
+  sim.runCycles(6);
+  EXPECT_EQ(4u, sim.valueUint(fx.mvSym));
+  // Delay removed: the next windows measure on-time behaviour again.
+  sim.clearDelay(fx.rSym);
+  sim.runCycles(3);
+  EXPECT_EQ(0u, sim.valueUint(fx.mvSym));
+  EXPECT_EQ(1u, sim.valueUint(fx.okSym));
+}
+
+TEST(CounterMonitor, ModuleCachedPerConfig) {
+  auto a = buildCounterMonitor({8, 8});
+  auto b = buildCounterMonitor({8, 8});
+  auto c = buildCounterMonitor({8, 6});
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST(CounterMonitor, AreaModelPositive) {
+  EXPECT_GT(counterAreaGates({8, 8}), 0.0);
+  EXPECT_GT(counterAreaGates({12, 8}), counterAreaGates({8, 8}));
+}
+
+}  // namespace
+}  // namespace xlv::sensors

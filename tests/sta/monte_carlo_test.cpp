@@ -1,0 +1,119 @@
+// Monte-Carlo statistical timing: yield estimates, monotonicity properties.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+#include "sta/sta.h"
+
+namespace xlv::sta {
+namespace {
+
+using namespace xlv::ir;
+
+Design chainDesign(int depth) {
+  ModuleBuilder mb("chain" + std::to_string(depth));
+  auto clk = mb.clock("clk");
+  auto a = mb.in("a", 16);
+  auto r = mb.signal("r", 16);
+  Ex e(a);
+  for (int i = 0; i < depth; ++i) e = (e + lit(16, 1)) * lit(16, 3);
+  mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assign(r, e); });
+  return elaborate(*mb.finish());
+}
+
+StaConfig cfgWithPeriod(double ps) {
+  StaConfig cfg;
+  cfg.clockPeriodPs = ps;
+  cfg.corner = Corner::typical();
+  cfg.agingYears = 0;
+  cfg.ocvDerate = 1.0;
+  return cfg;
+}
+
+TEST(MonteCarlo, GenerousPeriodYieldsFully) {
+  MonteCarloConfig mc;
+  mc.samples = 500;
+  auto rep = monteCarlo(chainDesign(2), cfgWithPeriod(100000), mc);
+  EXPECT_DOUBLE_EQ(1.0, rep.designYield);
+  for (const auto& e : rep.endpoints) EXPECT_DOUBLE_EQ(0.0, e.failProb);
+}
+
+TEST(MonteCarlo, ImpossiblePeriodFailsFully) {
+  MonteCarloConfig mc;
+  mc.samples = 500;
+  auto rep = monteCarlo(chainDesign(4), cfgWithPeriod(60), mc);
+  EXPECT_NEAR(0.0, rep.designYield, 0.01);
+}
+
+TEST(MonteCarlo, MarginalPeriodGivesPartialYield) {
+  // Pick the period right at the nominal arrival: ~half the global samples
+  // land above it.
+  Design d = chainDesign(4);
+  StaConfig cfg = cfgWithPeriod(1000);
+  auto det = analyze(d, cfg);
+  const double nominal = det.paths.front().arrivalPs;
+  cfg.clockPeriodPs = nominal + cfg.setupTimePs + cfg.clockUncertaintyPs;
+
+  MonteCarloConfig mc;
+  mc.samples = 4000;
+  auto rep = monteCarlo(d, cfg, mc);
+  EXPECT_GT(rep.designYield, 0.2);
+  EXPECT_LT(rep.designYield, 0.8);
+}
+
+TEST(MonteCarlo, YieldMonotoneInPeriod) {
+  Design d = chainDesign(5);
+  MonteCarloConfig mc;
+  mc.samples = 1500;
+  double prev = -1.0;
+  for (double period : {400.0, 600.0, 900.0, 1400.0, 3000.0}) {
+    auto rep = monteCarlo(d, cfgWithPeriod(period), mc);
+    EXPECT_GE(rep.designYield, prev) << "period " << period;
+    prev = rep.designYield;
+  }
+}
+
+TEST(MonteCarlo, DeterministicPerSeed) {
+  Design d = chainDesign(3);
+  MonteCarloConfig mc;
+  mc.samples = 300;
+  mc.seed = 77;
+  auto a = monteCarlo(d, cfgWithPeriod(500), mc);
+  auto b = monteCarlo(d, cfgWithPeriod(500), mc);
+  EXPECT_DOUBLE_EQ(a.designYield, b.designYield);
+  mc.seed = 78;
+  auto c = monteCarlo(d, cfgWithPeriod(500), mc);
+  (void)c;  // different seed may coincide; only the API contract matters
+}
+
+TEST(MonteCarlo, DeeperConesFailMore) {
+  // Two endpoints of different depth in one design: the deeper one's
+  // failure probability dominates.
+  ModuleBuilder mb("two");
+  auto clk = mb.clock("clk");
+  auto a = mb.in("a", 16);
+  auto shallow = mb.signal("shallow", 16);
+  auto deep = mb.signal("deep", 16);
+  Ex e(a);
+  for (int i = 0; i < 6; ++i) e = (e + lit(16, 1)) * lit(16, 3);
+  mb.onRising("ff", clk, [&](ProcBuilder& p) {
+    p.assign(shallow, Ex(a) + 1u);
+    p.assign(deep, e);
+  });
+  Design d = elaborate(*mb.finish());
+
+  StaConfig cfg = cfgWithPeriod(1000);
+  auto det = analyze(d, cfg);
+  cfg.clockPeriodPs =
+      det.paths.front().arrivalPs + cfg.setupTimePs + cfg.clockUncertaintyPs;
+  MonteCarloConfig mc;
+  mc.samples = 2000;
+  auto rep = monteCarlo(d, cfg, mc);
+  ASSERT_EQ(2u, rep.endpoints.size());
+  EXPECT_EQ("deep", rep.endpoints.front().name);  // sorted by failProb
+  EXPECT_GT(rep.endpoints.front().failProb, rep.endpoints.back().failProb);
+  EXPECT_GT(rep.endpoints.front().p95ArrivalPs, rep.endpoints.front().meanArrivalPs);
+}
+
+}  // namespace
+}  // namespace xlv::sta

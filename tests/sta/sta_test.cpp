@@ -1,0 +1,222 @@
+// Static timing analysis: arrivals, slacks, threshold binning, corners,
+// statistical mode, aging, monotonicity, area estimation.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+#include "sta/sta.h"
+
+namespace xlv::sta {
+namespace {
+
+using namespace xlv::ir;
+
+/// Two registers: r_short <- a + 1 (shallow cone), r_long <- deep cone.
+Design twoConesDesign() {
+  ModuleBuilder mb("cones");
+  auto clk = mb.clock("clk");
+  auto a = mb.in("a", 16);
+  auto b = mb.in("b", 16);
+  auto rShort = mb.signal("r_short", 16);
+  auto rLong = mb.signal("r_long", 16);
+  auto w1 = mb.signal("w1", 16);
+  auto w2 = mb.signal("w2", 16);
+  mb.comb("c1", [&](ProcBuilder& p) { p.assign(w1, Ex(a) * Ex(b)); });
+  mb.comb("c2", [&](ProcBuilder& p) { p.assign(w2, (Ex(w1) + Ex(a)) * Ex(b)); });
+  mb.onRising("ffs", clk, [&](ProcBuilder& p) {
+    p.assign(rShort, Ex(a) + 1u);
+    p.assign(rLong, Ex(w2) + Ex(w1));
+  });
+  return elaborate(*mb.finish());
+}
+
+StaConfig baseCfg() {
+  StaConfig cfg;
+  cfg.clockPeriodPs = 2000.0;
+  cfg.corner = Corner::typical();
+  cfg.agingYears = 0.0;
+  cfg.ocvDerate = 1.0;
+  return cfg;
+}
+
+TEST(Sta, DeepConeHasLargerArrival) {
+  Design d = twoConesDesign();
+  StaReport r = analyze(d, baseCfg());
+  const auto* s = r.findEndpoint(d.findSymbol("r_short"));
+  const auto* l = r.findEndpoint(d.findSymbol("r_long"));
+  ASSERT_NE(nullptr, s);
+  ASSERT_NE(nullptr, l);
+  EXPECT_GT(l->arrivalPs, s->arrivalPs);
+  EXPECT_LT(l->slackPs, s->slackPs);
+  EXPECT_GT(l->logicLevels, s->logicLevels);
+}
+
+TEST(Sta, PathsSortedBySlack) {
+  Design d = twoConesDesign();
+  StaReport r = analyze(d, baseCfg());
+  for (std::size_t i = 1; i < r.paths.size(); ++i) {
+    EXPECT_LE(r.paths[i - 1].slackPs, r.paths[i].slackPs);
+  }
+}
+
+TEST(Sta, ThresholdBinsCritical) {
+  Design d = twoConesDesign();
+  StaConfig cfg = baseCfg();
+  StaReport r0 = analyze(d, cfg);
+  const auto* l = r0.findEndpoint(d.findSymbol("r_long"));
+  const auto* s = r0.findEndpoint(d.findSymbol("r_short"));
+  ASSERT_NE(nullptr, l);
+  ASSERT_NE(nullptr, s);
+
+  // Threshold between the two slacks -> exactly the deep path is critical.
+  cfg.slackThresholdPs = (l->slackPs + s->slackPs) / 2.0;
+  StaReport r = analyze(d, cfg);
+  EXPECT_TRUE(r.findEndpoint(d.findSymbol("r_long"))->critical);
+  EXPECT_FALSE(r.findEndpoint(d.findSymbol("r_short"))->critical);
+  EXPECT_EQ(1, r.criticalCount);
+}
+
+TEST(Sta, FractionalThresholdDefault) {
+  StaConfig cfg;
+  cfg.clockPeriodPs = 1000.0;
+  cfg.slackThresholdPs = -1.0;
+  cfg.thresholdFraction = 0.25;
+  EXPECT_DOUBLE_EQ(250.0, cfg.effectiveThresholdPs());
+  cfg.slackThresholdPs = 100.0;
+  EXPECT_DOUBLE_EQ(100.0, cfg.effectiveThresholdPs());
+}
+
+TEST(Sta, SlowCornerIncreasesArrival) {
+  Design d = twoConesDesign();
+  StaConfig cfg = baseCfg();
+  StaReport typ = analyze(d, cfg);
+  cfg.corner = Corner::slow();
+  StaReport slow = analyze(d, cfg);
+  for (std::size_t i = 0; i < typ.paths.size(); ++i) {
+    const auto* a = typ.findEndpoint(slow.paths[i].endpoint);
+    ASSERT_NE(nullptr, a);
+    EXPECT_GT(slow.paths[i].arrivalPs, a->arrivalPs);
+  }
+}
+
+TEST(Sta, FastCornerDecreasesArrival) {
+  Design d = twoConesDesign();
+  StaConfig cfg = baseCfg();
+  StaReport typ = analyze(d, cfg);
+  cfg.corner = Corner::fast();
+  StaReport fast = analyze(d, cfg);
+  EXPECT_LT(fast.findEndpoint(d.findSymbol("r_long"))->arrivalPs,
+            typ.findEndpoint(d.findSymbol("r_long"))->arrivalPs);
+}
+
+TEST(Sta, AgingIncreasesArrivalMonotonically) {
+  EXPECT_DOUBLE_EQ(1.0, TechLibrary::agingDerate(0.0));
+  EXPECT_GT(TechLibrary::agingDerate(1.0), 1.0);
+  EXPECT_GT(TechLibrary::agingDerate(10.0), TechLibrary::agingDerate(1.0));
+  EXPECT_GT(TechLibrary::agingDerate(20.0), TechLibrary::agingDerate(10.0));
+}
+
+TEST(Sta, StatisticalModeAddsMargin) {
+  Design d = twoConesDesign();
+  StaConfig cfg = baseCfg();
+  StaReport det = analyze(d, cfg);
+  cfg.statistical = true;
+  StaReport stat = analyze(d, cfg);
+  for (const auto& p : stat.paths) {
+    const auto* q = det.findEndpoint(p.endpoint);
+    ASSERT_NE(nullptr, q);
+    if (p.logicLevels > 0) {
+      EXPECT_GT(p.arrivalPs, q->arrivalPs);
+    }
+  }
+}
+
+// Monotonicity property (DESIGN.md invariant 6): adding logic to a cone
+// never decreases the endpoint's arrival.
+TEST(Sta, AddingLogicNeverDecreasesArrival) {
+  for (int depth = 1; depth <= 6; ++depth) {
+    ModuleBuilder mb("chain" + std::to_string(depth));
+    auto clk = mb.clock("clk");
+    auto a = mb.in("a", 8);
+    auto r = mb.signal("r", 8);
+    Ex e(a);
+    for (int i = 0; i < depth; ++i) e = e + lit(8, 1);
+    mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assign(r, e); });
+    Design d = elaborate(*mb.finish());
+    StaReport rep = analyze(d, baseCfg());
+    const double arrival = rep.findEndpoint(d.findSymbol("r"))->arrivalPs;
+    static double prev = 0.0;
+    if (depth == 1) prev = 0.0;
+    EXPECT_GE(arrival, prev) << "depth " << depth;
+    prev = arrival;
+  }
+}
+
+TEST(Sta, StartpointTracksLaunchRegisterOrInput) {
+  Design d = twoConesDesign();
+  StaReport r = analyze(d, baseCfg());
+  const auto* l = r.findEndpoint(d.findSymbol("r_long"));
+  ASSERT_NE(nullptr, l);
+  // Long cone starts at one of the primary inputs.
+  EXPECT_TRUE(l->startpointName == "a" || l->startpointName == "b");
+}
+
+TEST(Sta, CombinationalLoopDetected) {
+  ModuleBuilder mb("loop");
+  mb.clock("clk");
+  auto x = mb.signal("x", 4);
+  auto y = mb.signal("y", 4);
+  auto r = mb.signal("r", 4);
+  auto clk2 = Sig{0, Type{1, false}};
+  (void)clk2;
+  mb.comb("c1", [&](ProcBuilder& p) { p.assign(x, Ex(y) + 1u); });
+  mb.comb("c2", [&](ProcBuilder& p) { p.assign(y, Ex(x) + 1u); });
+  mb.onRising("ff", Sig{0, Type{1, false}}, [&](ProcBuilder& p) { p.assign(r, x); });
+  Design d = elaborate(*mb.finish());
+  EXPECT_THROW(analyze(d, baseCfg()), std::runtime_error);
+}
+
+TEST(Sta, AreaGrowsWithWidth) {
+  auto makeDesign = [](int w) {
+    ModuleBuilder mb("aw");
+    auto clk = mb.clock("clk");
+    auto a = mb.in("a", w);
+    auto b = mb.in("b", w);
+    auto r = mb.signal("r", w);
+    mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assign(r, Ex(a) * Ex(b)); });
+    return elaborate(*mb.finish());
+  };
+  const double a8 = estimateAreaGates(makeDesign(8));
+  const double a16 = estimateAreaGates(makeDesign(16));
+  const double a32 = estimateAreaGates(makeDesign(32));
+  EXPECT_GT(a16, a8);
+  EXPECT_GT(a32, a16);
+}
+
+TEST(Sta, AreaIncludesFlipFlops) {
+  ModuleBuilder mb("ffarea");
+  auto clk = mb.clock("clk");
+  auto a = mb.in("a", 32);
+  auto r = mb.signal("r", 32);
+  mb.onRising("ff", clk, [&](ProcBuilder& p) { p.assign(r, a); });
+  Design d = elaborate(*mb.finish());
+  TechLibrary lib;
+  EXPECT_GE(estimateAreaGates(d, lib), lib.ffAreaGates() * 32);
+}
+
+TEST(Sta, ReportFormatsWithoutCrashing) {
+  Design d = twoConesDesign();
+  StaReport r = analyze(d, baseCfg());
+  const std::string text = formatReport(r);
+  EXPECT_NE(std::string::npos, text.find("STA report"));
+  EXPECT_NE(std::string::npos, text.find("r_long"));
+}
+
+TEST(Sta, AnalysisTimeRecorded) {
+  Design d = twoConesDesign();
+  StaReport r = analyze(d, baseCfg());
+  EXPECT_GE(r.analysisSeconds, 0.0);
+}
+
+}  // namespace
+}  // namespace xlv::sta

@@ -1,0 +1,149 @@
+// TLM-2.0-lite library: payload, sockets, memory target, router, quantum.
+#include <gtest/gtest.h>
+
+#include "tlm/memory.h"
+#include "tlm/router.h"
+#include "tlm/socket.h"
+
+namespace xlv::tlm {
+namespace {
+
+TEST(Payload, WordHelpersRoundTrip) {
+  GenericPayload p;
+  p.setWriteWord(0x40, 0xDEADBEEF);
+  EXPECT_EQ(Command::Write, p.command);
+  EXPECT_EQ(0x40u, p.address);
+  EXPECT_EQ(0xDEADBEEFu, p.dataWord());
+  EXPECT_EQ(Response::Incomplete, p.response);
+}
+
+TEST(Payload, ResponseNames) {
+  EXPECT_STREQ("OK", responseName(Response::Ok));
+  EXPECT_STREQ("ADDRESS_ERROR", responseName(Response::AddressError));
+}
+
+TEST(Memory, ReadBackAfterWrite) {
+  Memory mem(256);
+  InitiatorSocket init;
+  init.bind(mem.socket());
+
+  GenericPayload p;
+  Time delay;
+  p.setWriteWord(16, 0xCAFEBABE);
+  init.b_transport(p, delay);
+  EXPECT_TRUE(p.ok());
+
+  p.setRead(16, 4);
+  init.b_transport(p, delay);
+  EXPECT_TRUE(p.ok());
+  EXPECT_EQ(0xCAFEBABEu, p.dataWord());
+  EXPECT_GT(delay.ps(), 0u);
+}
+
+TEST(Memory, OutOfRangeIsAddressError) {
+  Memory mem(64);
+  InitiatorSocket init;
+  init.bind(mem.socket());
+  GenericPayload p;
+  Time delay;
+  p.setWriteWord(62, 1);  // 4 bytes starting at 62 overflow a 64-byte memory
+  init.b_transport(p, delay);
+  EXPECT_EQ(Response::AddressError, p.response);
+}
+
+TEST(Memory, NbTransportEarlyCompletion) {
+  Memory mem(64);
+  GenericPayload p;
+  p.setWriteWord(0, 0x12345678);
+  Phase phase = Phase::BeginReq;
+  Time t;
+  EXPECT_EQ(SyncEnum::Completed, mem.nb_transport_fw(p, phase, t));
+  EXPECT_EQ(Phase::BeginResp, phase);
+  EXPECT_TRUE(p.ok());
+  EXPECT_EQ(0x12345678u, mem.word(0));
+}
+
+TEST(Memory, DmiGrantsWholeRange) {
+  Memory mem(128);
+  GenericPayload p;
+  DmiRegion region;
+  ASSERT_TRUE(mem.get_direct_mem_ptr(p, region));
+  EXPECT_EQ(0u, region.startAddress);
+  EXPECT_EQ(127u, region.endAddress);
+  ASSERT_NE(nullptr, region.base);
+  region.base[5] = 42;
+  EXPECT_EQ(42, mem.data()[5]);
+}
+
+TEST(Memory, DebugTransportHasNoTiming) {
+  Memory mem(64);
+  mem.setWord(8, 0x11223344);
+  GenericPayload p;
+  p.setRead(8, 4);
+  EXPECT_EQ(4u, mem.transport_dbg(p));
+  EXPECT_EQ(0x11223344u, p.dataWord());
+}
+
+TEST(Router, RoutesByAddressAndRebases) {
+  Memory m0(64), m1(64);
+  Router router;
+  router.map(0x000, 64, m0.socket(), "m0");
+  router.map(0x100, 64, m1.socket(), "m1");
+
+  InitiatorSocket init;
+  init.bind(router.socket());
+  GenericPayload p;
+  Time delay;
+  p.setWriteWord(0x104, 7);
+  init.b_transport(p, delay);
+  EXPECT_TRUE(p.ok());
+  EXPECT_EQ(7u, m1.word(4));
+  EXPECT_EQ(0u, m0.word(4));
+  EXPECT_EQ(0x104u, p.address);  // restored after routing
+}
+
+TEST(Router, UnmappedAddressFails) {
+  Memory m0(64);
+  Router router;
+  router.map(0, 64, m0.socket());
+  InitiatorSocket init;
+  init.bind(router.socket());
+  GenericPayload p;
+  Time delay;
+  p.setWriteWord(0x500, 1);
+  init.b_transport(p, delay);
+  EXPECT_EQ(Response::AddressError, p.response);
+}
+
+TEST(Router, RejectsOverlappingRegions) {
+  Memory m0(64), m1(64);
+  Router router;
+  router.map(0, 64, m0.socket());
+  EXPECT_THROW(router.map(32, 64, m1.socket()), std::invalid_argument);
+}
+
+TEST(Socket, UnboundTransportThrows) {
+  InitiatorSocket init;
+  GenericPayload p;
+  Time delay;
+  EXPECT_THROW(init.b_transport(p, delay), std::runtime_error);
+}
+
+TEST(QuantumKeeper, SyncsAtQuantum) {
+  QuantumKeeper qk(Time(1000));
+  qk.inc(Time(400));
+  EXPECT_FALSE(qk.needSync());
+  qk.inc(Time(600));
+  EXPECT_TRUE(qk.needSync());
+  EXPECT_EQ(1000u, qk.sync().ps());
+  EXPECT_EQ(0u, qk.localTime().ps());
+}
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ(Time(300), Time(100) + Time(200));
+  EXPECT_TRUE(Time(100) < Time(200));
+  EXPECT_DOUBLE_EQ(1.5, Time(1500).ns());
+}
+
+}  // namespace
+}  // namespace xlv::tlm

@@ -1,0 +1,126 @@
+// Utility layer: PRNG determinism, statistics accumulators, table renderer.
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace xlv::util {
+namespace {
+
+TEST(Prng, DeterministicPerSeed) {
+  Prng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Prng a2(123), c2(124);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Prng, BelowStaysInRange) {
+  Prng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Prng, RangeInclusive) {
+  Prng rng(9);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= v == -3;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Prng, BitsMasksWidth) {
+  Prng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.bits(5), 32u);
+  }
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Prng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(0.5, sum / 10000, 0.02);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(8u, s.count());
+  EXPECT_DOUBLE_EQ(5.0, s.mean());
+  EXPECT_NEAR(4.571, s.variance(), 0.001);  // sample variance
+  EXPECT_DOUBLE_EQ(2.0, s.min());
+  EXPECT_DOUBLE_EQ(9.0, s.max());
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(1.0, s.min());
+  EXPECT_DOUBLE_EQ(100.0, s.max());
+  EXPECT_NEAR(50.5, s.percentile(0.5), 0.01);
+  EXPECT_NEAR(90.1, s.percentile(0.9), 0.01);
+  EXPECT_DOUBLE_EQ(50.5, s.mean());
+}
+
+TEST(SampleSet, EmptyThrows) {
+  SampleSet s;
+  EXPECT_THROW(s.percentile(0.5), std::out_of_range);
+  EXPECT_THROW(s.min(), std::out_of_range);
+}
+
+TEST(Table, RendersAlignedGrid) {
+  Table t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addSeparator();
+  t.addRow({"longer-name", "123"});
+  const std::string out = t.render();
+  EXPECT_NE(std::string::npos, out.find("| name "));
+  EXPECT_NE(std::string::npos, out.find("alpha"));
+  EXPECT_NE(std::string::npos, out.find("longer-name"));
+  // Numbers right-aligned: "  1 |" style padding before the short number.
+  EXPECT_NE(std::string::npos, out.find("  1 |"));
+}
+
+TEST(Table, FixedFormatsDigits) {
+  EXPECT_EQ("3.14", Table::fixed(3.14159, 2));
+  EXPECT_EQ("3", Table::fixed(3.14159, 0));
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.addRow({"x"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const double s = t.seconds();
+  EXPECT_GT(s, 0.0);
+  // millis() reads the clock again: allow the elapsed delta.
+  EXPECT_GE(t.millis(), s * 1e3);
+  t.reset();
+  EXPECT_LT(t.seconds(), s + 1.0);
+}
+
+}  // namespace
+}  // namespace xlv::util
