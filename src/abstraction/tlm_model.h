@@ -15,6 +15,15 @@
 // For acyclic combinational logic the sweep reaches the identical fixpoint
 // the delta iteration would (verified by the cycle-equivalence tests).
 //
+// Concurrency model: everything that is expensive to derive and immutable
+// after construction — the elaborated design copy, the compiled process
+// bodies, the process classification and the levelized sweep order — lives
+// in a TlmModelLayout shared read-only (via shared_ptr-const) by any number
+// of model instances. A TlmIpModel is then a cheap, independent simulation
+// session: per-instance value store, dirty flags, cycle counter and active
+// mutant. A mutation campaign compiles the injected design once and clones
+// one session per task/thread; sessions never share mutable state.
+//
 // Mutant support (Section 6): the model owns the scheduler-phase application
 // points. Inactive mutants commit their target at the normal edge-commit
 // point (making the injected model cycle-equivalent to the original); the
@@ -26,6 +35,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -54,6 +64,132 @@ struct TlmModelConfig {
   bool allowCombLoops = false;
 };
 
+/// The immutable, policy-independent part of an abstracted model: one
+/// elaboration + compilation + levelization, shared read-only by every
+/// session instantiated from it. Thread-safe to share once built.
+struct TlmModelLayout {
+  ir::Design design;   ///< owned copy: sessions outlive construction inputs
+  TlmModelConfig cfg;
+  CompiledDesign code;  ///< compiled process bodies (the abstraction product)
+  std::vector<mutation::InjectedMutant> mutants;
+
+  std::vector<int> mainRise, mainPost, mainFall, hfRise, hfFall;
+  std::vector<int> sweepOrder;  ///< async process indices in topological order
+  std::vector<std::vector<int>> sensitiveSlots;  ///< symbol -> sweep slots
+};
+
+using TlmModelLayoutPtr = std::shared_ptr<const TlmModelLayout>;
+
+/// Build the shared layout for a (possibly injected) design. Throws
+/// std::invalid_argument on an hfRatio without an HF clock, on processes
+/// with unknown clocks, and on combinational cycles (unless allowed).
+inline TlmModelLayoutPtr buildTlmModelLayout(
+    const ir::Design& design, TlmModelConfig cfg,
+    std::vector<mutation::InjectedMutant> mutants = {}) {
+  auto layout = std::make_shared<TlmModelLayout>();
+  layout->design = design;
+  layout->cfg = cfg;
+  layout->code = compileDesign(layout->design);
+  layout->mutants = std::move(mutants);
+  const ir::Design& d = layout->design;
+
+  if (cfg.hfRatio > 0 && d.hfClock == ir::kNoSymbol) {
+    throw std::invalid_argument("TlmIpModel: hfRatio set but design has no HF clock");
+  }
+
+  // Classify processes by clock and edge.
+  std::vector<int> asyncProcs;
+  for (std::size_t pi = 0; pi < d.processes.size(); ++pi) {
+    const auto& p = d.processes[pi];
+    if (!p.isSync) {
+      asyncProcs.push_back(static_cast<int>(pi));
+      continue;
+    }
+    const bool rising = p.edge == ir::EdgeKind::Rising;
+    if (p.clock == d.mainClock) {
+      if (p.postEdge) {
+        layout->mainPost.push_back(static_cast<int>(pi));
+      } else {
+        (rising ? layout->mainRise : layout->mainFall).push_back(static_cast<int>(pi));
+      }
+    } else if (p.clock == d.hfClock) {
+      (rising ? layout->hfRise : layout->hfFall).push_back(static_cast<int>(pi));
+    } else {
+      throw std::invalid_argument("TlmIpModel: process '" + p.name + "' uses unknown clock");
+    }
+  }
+
+  // Topologically order the asynchronous processes by write->read signal
+  // dependencies; build the dirty-marking index.
+  const int n = static_cast<int>(asyncProcs.size());
+  layout->sensitiveSlots.assign(d.symbols.size(), {});
+  std::vector<std::set<ir::SymbolId>> writes(static_cast<std::size_t>(n));
+  std::vector<std::set<ir::SymbolId>> reads(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const auto& p = d.processes[static_cast<std::size_t>(asyncProcs[static_cast<std::size_t>(k)])];
+    ir::collectWrites(*p.body, writes[static_cast<std::size_t>(k)]);
+    for (ir::SymbolId s : p.sensitivity) reads[static_cast<std::size_t>(k)].insert(s);
+  }
+  // Edges: k -> m when k writes a symbol m reads.
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (int k = 0; k < n; ++k) {
+    for (int m = 0; m < n; ++m) {
+      if (k == m) continue;
+      bool dep = false;
+      for (ir::SymbolId s : writes[static_cast<std::size_t>(k)]) {
+        if (reads[static_cast<std::size_t>(m)].count(s)) {
+          dep = true;
+          break;
+        }
+      }
+      if (dep) {
+        adj[static_cast<std::size_t>(k)].push_back(m);
+        ++indeg[static_cast<std::size_t>(m)];
+      }
+    }
+  }
+  // Kahn topological sort.
+  std::vector<int> order;
+  std::vector<int> queue;
+  for (int k = 0; k < n; ++k) {
+    if (indeg[static_cast<std::size_t>(k)] == 0) queue.push_back(k);
+  }
+  while (!queue.empty()) {
+    const int k = queue.back();
+    queue.pop_back();
+    order.push_back(k);
+    for (int m : adj[static_cast<std::size_t>(k)]) {
+      if (--indeg[static_cast<std::size_t>(m)] == 0) queue.push_back(m);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    if (!cfg.allowCombLoops) {
+      throw std::invalid_argument(
+          "TlmIpModel: combinational cycle among asynchronous processes in '" + d.name + "'");
+    }
+    order.clear();
+    for (int k = 0; k < n; ++k) order.push_back(k);
+  }
+  // sweepOrder[slot] = process index; slotOfK[k] = slot of async order k.
+  layout->sweepOrder.resize(static_cast<std::size_t>(n));
+  std::vector<int> slotOfK(static_cast<std::size_t>(n));
+  for (int slot = 0; slot < n; ++slot) {
+    layout->sweepOrder[static_cast<std::size_t>(slot)] =
+        asyncProcs[static_cast<std::size_t>(order[static_cast<std::size_t>(slot)])];
+    slotOfK[static_cast<std::size_t>(order[static_cast<std::size_t>(slot)])] = slot;
+  }
+  // Sensitivity: symbol -> sweep slots to dirty.
+  for (int k = 0; k < n; ++k) {
+    for (ir::SymbolId s : reads[static_cast<std::size_t>(k)]) {
+      if (s == d.mainClock || s == d.hfClock) continue;
+      layout->sensitiveSlots[static_cast<std::size_t>(s)].push_back(
+          slotOfK[static_cast<std::size_t>(k)]);
+    }
+  }
+  return layout;
+}
+
 template <class P>
 class TlmIpModel {
  public:
@@ -61,13 +197,24 @@ class TlmIpModel {
 
   /// Abstract a clean design (no mutants).
   TlmIpModel(const ir::Design& design, TlmModelConfig cfg)
-      : TlmIpModel(design, cfg, {}) {}
+      : TlmIpModel(buildTlmModelLayout(design, cfg)) {}
 
   /// Abstract an ADAM-injected design.
   TlmIpModel(const mutation::InjectedDesign& injected, TlmModelConfig cfg)
-      : TlmIpModel(injected.design, cfg, injected.mutants) {}
+      : TlmIpModel(buildTlmModelLayout(injected.design, cfg, injected.mutants)) {}
 
-  const ir::Design& design() const noexcept { return d_; }
+  /// Instantiate a fresh session over a pre-built shared layout: cheap
+  /// (per-instance value store only), safe to do concurrently.
+  explicit TlmIpModel(TlmModelLayoutPtr layout)
+      : layout_(std::move(layout)), machine_(layout_->design, layout_->code) {
+    // HDL initialization semantics: every combinational process evaluates
+    // once before the first transaction.
+    dirty_.assign(layout_->sweepOrder.size(), 1);
+    anyDirty_ = !dirty_.empty();
+  }
+
+  const ir::Design& design() const noexcept { return layout_->design; }
+  const TlmModelLayoutPtr& layout() const noexcept { return layout_; }
   const TlmModelStats& stats() const noexcept { return stats_; }
   std::uint64_t cycle() const noexcept { return cycleCount_; }
 
@@ -76,7 +223,7 @@ class TlmIpModel {
     if (machine_.setScalar(sym, machine_.fromVec(v))) markDirty(sym);
   }
   void setInput(ir::SymbolId sym, std::uint64_t v) {
-    setInput(sym, Vec::fromUint(d_.symbol(sym).type.width, v));
+    setInput(sym, Vec::fromUint(design().symbol(sym).type.width, v));
   }
   void setInputByName(const std::string& name, std::uint64_t v) { setInput(mustFind(name), v); }
 
@@ -87,9 +234,9 @@ class TlmIpModel {
   }
 
   // --- mutant control ---------------------------------------------------------
-  int mutantCount() const noexcept { return static_cast<int>(mutants_.size()); }
+  int mutantCount() const noexcept { return static_cast<int>(layout_->mutants.size()); }
   const mutation::InjectedMutant& mutant(int id) const {
-    return mutants_.at(static_cast<std::size_t>(id));
+    return layout_->mutants.at(static_cast<std::size_t>(id));
   }
   /// Activate exactly one mutant (or none with id = -1).
   void activateMutant(int id) {
@@ -103,6 +250,7 @@ class TlmIpModel {
   // --- execution ---------------------------------------------------------------
   /// One TLM transaction: one cycle of the main clock (Fig. 6b / Fig. 8b).
   void scheduler() {
+    const TlmModelLayout& L = *layout_;
     ++stats_.transactions;
     ++cycleCount_;
 
@@ -110,16 +258,16 @@ class TlmIpModel {
     sweep();
 
     // Rising edge of clock: execute synchronous processes.
-    setClock(d_.mainClock, 1);
-    runProcs(mainRise_);
+    setClock(L.design.mainClock, 1);
+    runProcs(L.mainRise);
     // Edge commit: nonblocking writes plus every *inactive* mutated target.
     commitNba();
     applyMutants(/*min=*/false, /*max=*/false, /*deltaTick=*/-1, /*inactiveOnly=*/true);
     sweep();
 
     // Post-edge samplers (sensor main flip-flops).
-    if (!mainPost_.empty()) {
-      runProcs(mainPost_);
+    if (!L.mainPost.empty()) {
+      runProcs(L.mainPost);
       commitNba();
       sweep();
     }
@@ -130,16 +278,16 @@ class TlmIpModel {
 
     // High-frequency clock periods wrapped inside this transaction (Fig. 8b);
     // delta-delay mutants land at their period (Fig. 9d).
-    for (int j = 1; j <= cfg_.hfRatio; ++j) {
+    for (int j = 1; j <= L.cfg.hfRatio; ++j) {
       applyMutants(false, false, j, false);
       sweep();
-      setClock(d_.hfClock, 1);
-      runProcs(hfRise_);
+      setClock(L.design.hfClock, 1);
+      runProcs(L.hfRise);
       commitNba();
       sweep();
-      setClock(d_.hfClock, 0);
-      if (!hfFall_.empty()) {
-        runProcs(hfFall_);
+      setClock(L.design.hfClock, 0);
+      if (!L.hfFall.empty()) {
+        runProcs(L.hfFall);
         commitNba();
         sweep();
       }
@@ -150,8 +298,8 @@ class TlmIpModel {
     sweep();
 
     // Falling edge of clock.
-    setClock(d_.mainClock, 0);
-    runProcs(mainFall_);
+    setClock(L.design.mainClock, 0);
+    runProcs(L.mainFall);
     commitNba();
     sweep();
   }
@@ -166,119 +314,8 @@ class TlmIpModel {
   }
 
  private:
-  TlmIpModel(const ir::Design& design, TlmModelConfig cfg,
-             std::vector<mutation::InjectedMutant> mutants)
-      : d_(design),
-        cfg_(cfg),
-        code_(compileDesign(d_)),
-        machine_(d_, code_),
-        mutants_(std::move(mutants)) {
-    if (cfg_.hfRatio > 0 && d_.hfClock == ir::kNoSymbol) {
-      throw std::invalid_argument("TlmIpModel: hfRatio set but design has no HF clock");
-    }
-    classify();
-    levelize();
-    // HDL initialization semantics: every combinational process evaluates
-    // once before the first transaction.
-    for (auto& f : dirty_) f = 1;
-    anyDirty_ = !dirty_.empty();
-  }
-
-  void classify() {
-    for (std::size_t pi = 0; pi < d_.processes.size(); ++pi) {
-      const auto& p = d_.processes[pi];
-      if (!p.isSync) {
-        asyncProcs_.push_back(static_cast<int>(pi));
-        continue;
-      }
-      const bool rising = p.edge == ir::EdgeKind::Rising;
-      if (p.clock == d_.mainClock) {
-        if (p.postEdge) {
-          mainPost_.push_back(static_cast<int>(pi));
-        } else {
-          (rising ? mainRise_ : mainFall_).push_back(static_cast<int>(pi));
-        }
-      } else if (p.clock == d_.hfClock) {
-        (rising ? hfRise_ : hfFall_).push_back(static_cast<int>(pi));
-      } else {
-        throw std::invalid_argument("TlmIpModel: process '" + p.name + "' uses unknown clock");
-      }
-    }
-  }
-
-  /// Topologically order the asynchronous processes by write->read signal
-  /// dependencies; build the dirty-marking index.
-  void levelize() {
-    const int n = static_cast<int>(asyncProcs_.size());
-    // writerOf[sym] -> async order slots reading sym.
-    sensitiveSlots_.assign(d_.symbols.size(), {});
-    std::vector<std::set<ir::SymbolId>> writes(static_cast<std::size_t>(n));
-    std::vector<std::set<ir::SymbolId>> reads(static_cast<std::size_t>(n));
-    for (int k = 0; k < n; ++k) {
-      const auto& p = d_.processes[static_cast<std::size_t>(asyncProcs_[static_cast<std::size_t>(k)])];
-      ir::collectWrites(*p.body, writes[static_cast<std::size_t>(k)]);
-      for (ir::SymbolId s : p.sensitivity) reads[static_cast<std::size_t>(k)].insert(s);
-    }
-    // Edges: k -> m when k writes a symbol m reads.
-    std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
-    std::vector<int> indeg(static_cast<std::size_t>(n), 0);
-    for (int k = 0; k < n; ++k) {
-      for (int m = 0; m < n; ++m) {
-        if (k == m) continue;
-        bool dep = false;
-        for (ir::SymbolId s : writes[static_cast<std::size_t>(k)]) {
-          if (reads[static_cast<std::size_t>(m)].count(s)) {
-            dep = true;
-            break;
-          }
-        }
-        if (dep) {
-          adj[static_cast<std::size_t>(k)].push_back(m);
-          ++indeg[static_cast<std::size_t>(m)];
-        }
-      }
-    }
-    // Kahn topological sort.
-    std::vector<int> order;
-    std::vector<int> queue;
-    for (int k = 0; k < n; ++k) {
-      if (indeg[static_cast<std::size_t>(k)] == 0) queue.push_back(k);
-    }
-    while (!queue.empty()) {
-      const int k = queue.back();
-      queue.pop_back();
-      order.push_back(k);
-      for (int m : adj[static_cast<std::size_t>(k)]) {
-        if (--indeg[static_cast<std::size_t>(m)] == 0) queue.push_back(m);
-      }
-    }
-    if (static_cast<int>(order.size()) != n) {
-      if (!cfg_.allowCombLoops) {
-        throw std::invalid_argument(
-            "TlmIpModel: combinational cycle among asynchronous processes in '" + d_.name + "'");
-      }
-      order.clear();
-      for (int k = 0; k < n; ++k) order.push_back(k);
-    }
-    // sweepOrder_[slot] = process index; slotOf_[k] = slot of async order k.
-    sweepOrder_.resize(static_cast<std::size_t>(n));
-    std::vector<int> slotOfK(static_cast<std::size_t>(n));
-    for (int slot = 0; slot < n; ++slot) {
-      sweepOrder_[static_cast<std::size_t>(slot)] = asyncProcs_[static_cast<std::size_t>(order[static_cast<std::size_t>(slot)])];
-      slotOfK[static_cast<std::size_t>(order[static_cast<std::size_t>(slot)])] = slot;
-    }
-    // Sensitivity: symbol -> sweep slots to dirty.
-    for (int k = 0; k < n; ++k) {
-      for (ir::SymbolId s : reads[static_cast<std::size_t>(k)]) {
-        if (s == d_.mainClock || s == d_.hfClock) continue;
-        sensitiveSlots_[static_cast<std::size_t>(s)].push_back(slotOfK[static_cast<std::size_t>(k)]);
-      }
-    }
-    dirty_.assign(static_cast<std::size_t>(n), 0);
-  }
-
   void markDirty(ir::SymbolId s) {
-    for (int slot : sensitiveSlots_[static_cast<std::size_t>(s)]) {
+    for (int slot : layout_->sensitiveSlots[static_cast<std::size_t>(s)]) {
       if (!dirty_[static_cast<std::size_t>(slot)]) {
         dirty_[static_cast<std::size_t>(slot)] = 1;
         anyDirty_ = true;
@@ -296,15 +333,15 @@ class TlmIpModel {
     // loops tolerated under allowCombLoops; iterate until clean.
     for (int round = 0; anyDirty_; ++round) {
       if (round > 64) {
-        throw std::runtime_error("TlmIpModel: combinational iteration limit in '" + d_.name +
-                                 "'");
+        throw std::runtime_error("TlmIpModel: combinational iteration limit in '" +
+                                 layout_->design.name + "'");
       }
       anyDirty_ = false;
-      for (std::size_t slot = 0; slot < sweepOrder_.size(); ++slot) {
+      for (std::size_t slot = 0; slot < layout_->sweepOrder.size(); ++slot) {
         if (!dirty_[slot]) continue;
         dirty_[slot] = 0;
         ++stats_.processRuns;
-        machine_.run(sweepOrder_[slot], nba_);
+        machine_.run(layout_->sweepOrder[slot], nba_);
         for (auto& w : nba_) {
           if (machine_.commit(w)) {
             ++stats_.commits;
@@ -337,8 +374,9 @@ class TlmIpModel {
 
   /// Apply mutated-target updates whose phase matches.
   void applyMutants(bool minPhase, bool maxPhase, int deltaTick, bool inactiveOnly) {
-    for (std::size_t i = 0; i < mutants_.size(); ++i) {
-      const auto& m = mutants_[i];
+    const auto& mutants = layout_->mutants;
+    for (std::size_t i = 0; i < mutants.size(); ++i) {
+      const auto& m = mutants[i];
       const bool active = static_cast<int>(i) == activeMutant_;
       if (inactiveOnly) {
         // Edge-commit phase: targets whose mutants are all inactive update
@@ -371,12 +409,13 @@ class TlmIpModel {
 
   bool targetHasActiveMutant(ir::SymbolId target) const {
     if (activeMutant_ < 0) return false;
-    return mutants_[static_cast<std::size_t>(activeMutant_)].target == target;
+    return layout_->mutants[static_cast<std::size_t>(activeMutant_)].target == target;
   }
 
   bool firstMutantOfTarget(std::size_t i) const {
+    const auto& mutants = layout_->mutants;
     for (std::size_t k = 0; k < i; ++k) {
-      if (mutants_[k].target == mutants_[i].target) return false;
+      if (mutants[k].target == mutants[i].target) return false;
     }
     return true;
   }
@@ -386,23 +425,17 @@ class TlmIpModel {
   }
 
   ir::SymbolId mustFind(const std::string& name) const {
-    const ir::SymbolId s = d_.findSymbol(name);
+    const ir::SymbolId s = design().findSymbol(name);
     if (s == ir::kNoSymbol) {
       throw std::invalid_argument("TlmIpModel: no symbol named '" + name + "'");
     }
     return s;
   }
 
-  ir::Design d_;  // owned copy: the model outlives its construction inputs
-  TlmModelConfig cfg_;
-  CompiledDesign code_;       ///< compiled process bodies (the abstraction product)
-  ScalarMachine<P> machine_;  ///< native-word execution backend
-  std::vector<mutation::InjectedMutant> mutants_;
+  TlmModelLayoutPtr layout_;  ///< shared read-only; keeps design/code alive
+  ScalarMachine<P> machine_;  ///< per-session native-word execution backend
   int activeMutant_ = -1;
 
-  std::vector<int> mainRise_, mainPost_, mainFall_, hfRise_, hfFall_, asyncProcs_;
-  std::vector<int> sweepOrder_;
-  std::vector<std::vector<int>> sensitiveSlots_;
   std::vector<char> dirty_;
   bool anyDirty_ = false;
 

@@ -43,13 +43,17 @@ EquivalenceReport checkRtlVsTlm(const ir::Design& design, const Testbench& tb,
       design, rtl::KernelConfig{cfg.mainPeriodPs, cfg.hfRatio, 100000});
   TlmIpModel<hdt::FourState> tlmSim(design, TlmModelConfig{cfg.hfRatio, false});
 
+  // Separate driver sessions for the two engines, same stimulus id: a
+  // stateful (makeDriver-only) testbench replays identical inputs into both.
+  const DriveFn rtlDrive = tb.driverForTask(0);
+  const DriveFn tlmDrive = tb.driverForTask(0);
   rtlSim.setStimulus([&](std::uint64_t c, rtl::RtlSimulator<hdt::FourState>& s) {
-    tb.drive(c, [&](const std::string& n, std::uint64_t v) { s.setInputByName(n, v); });
+    rtlDrive(c, [&](const std::string& n, std::uint64_t v) { s.setInputByName(n, v); });
   });
 
   for (std::uint64_t c = 0; c < tb.cycles; ++c) {
     rtlSim.runCycles(1);
-    tb.drive(c, [&](const std::string& n, std::uint64_t v) { tlmSim.setInputByName(n, v); });
+    tlmDrive(c, [&](const std::string& n, std::uint64_t v) { tlmSim.setInputByName(n, v); });
     tlmSim.scheduler();
     for (std::size_t i = 0; i < design.symbols.size(); ++i) {
       const auto id = static_cast<ir::SymbolId>(i);
@@ -117,15 +121,18 @@ EquivalenceReport compareModels(L& l, R& r, const ir::Design& lhs, const ir::Des
     names.push_back(lhs.symbols[i].name);
   }
 
-  auto driveInto = [&](std::uint64_t c, auto& model) {
-    tb.drive(c, [&](const std::string& n, std::uint64_t v) {
+  // One driver session per model, same stimulus id (see checkRtlVsTlm).
+  const DriveFn lDrive = tb.driverForTask(0);
+  const DriveFn rDrive = tb.driverForTask(0);
+  auto driveInto = [&](const DriveFn& drive, std::uint64_t c, auto& model) {
+    drive(c, [&](const std::string& n, std::uint64_t v) {
       if (model.design().findSymbol(n) != ir::kNoSymbol) model.setInputByName(n, v);
     });
   };
 
   for (std::uint64_t c = 0; c < tb.cycles; ++c) {
-    driveInto(c, l);
-    driveInto(c, r);
+    driveInto(lDrive, c, l);
+    driveInto(rDrive, c, r);
     l.scheduler();
     r.scheduler();
     for (std::size_t k = 0; k < pairs.size(); ++k) {

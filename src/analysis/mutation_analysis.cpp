@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "campaign/executor.h"
 #include "util/timer.h"
 
 namespace xlv::analysis {
@@ -52,31 +53,22 @@ double AnalysisReport::correctedPct() const noexcept {
   return 100.0 * ok / static_cast<double>(checked);
 }
 
-namespace {
-
-/// Golden trajectory: per cycle, the output-port values and the monitored
-/// endpoint register values (for the correction check).
 template <class P>
-struct GoldenTrace {
-  std::vector<std::vector<std::uint64_t>> outputs;    // [cycle][outIdx]
-  std::vector<std::vector<std::uint64_t>> endpoints;  // [cycle][sensorIdx]
-};
-
-template <class P>
-GoldenTrace<P> recordGolden(const ir::Design& golden,
-                            const std::vector<InsertedSensor>& sensors, const Testbench& tb,
-                            const AnalysisConfig& cfg) {
+GoldenTrace recordGoldenTrace(const ir::Design& golden,
+                              const std::vector<InsertedSensor>& sensors, const Testbench& tb,
+                              const AnalysisConfig& cfg) {
   TlmIpModel<P> model(golden, TlmModelConfig{cfg.hfRatio, false});
   std::vector<ir::SymbolId> endpointSyms;
   endpointSyms.reserve(sensors.size());
   for (const auto& s : sensors) endpointSyms.push_back(golden.findSymbol(s.endpointName));
 
-  GoldenTrace<P> trace;
+  GoldenTrace trace;
   trace.outputs.reserve(tb.cycles);
   trace.endpoints.reserve(tb.cycles);
   const bool hasRecovery = golden.findSymbol(cfg.recoveryPort) != ir::kNoSymbol;
+  const DriveFn drive = tb.driverForTask(cfg.stimulusId);
   for (std::uint64_t c = 0; c < tb.cycles; ++c) {
-    tb.drive(c, [&](const std::string& name, std::uint64_t v) { model.setInputByName(name, v); });
+    drive(c, [&](const std::string& name, std::uint64_t v) { model.setInputByName(name, v); });
     if (hasRecovery) model.setInputByName(cfg.recoveryPort, 1);
     model.scheduler();
     std::vector<std::uint64_t> outs;
@@ -91,107 +83,154 @@ GoldenTrace<P> recordGolden(const ir::Design& golden,
   return trace;
 }
 
-}  // namespace
+template <class P>
+MutationCampaignContext prepareMutationCampaign(const ir::Design& golden,
+                                                const InjectedDesign& injected,
+                                                const std::vector<InsertedSensor>& sensors,
+                                                const Testbench& tb,
+                                                const AnalysisConfig& cfg) {
+  MutationCampaignContext ctx;
+  ctx.sensors = sensors;
+  ctx.tb = tb;
+  ctx.cfg = cfg;
+  ctx.gold = recordGoldenTrace<P>(golden, sensors, tb, cfg);
+  // Compile + levelize the injected design once; every task clones a cheap
+  // private session from this shared layout.
+  ctx.layout = abstraction::buildTlmModelLayout(
+      injected.design, TlmModelConfig{cfg.hfRatio, false}, injected.mutants);
+  ctx.hasRecovery = injected.design.findSymbol(cfg.recoveryPort) != ir::kNoSymbol;
+  return ctx;
+}
+
+template <class P>
+MutantResult simulateMutant(const MutationCampaignContext& ctx, int mutantIndex) {
+  const ir::Design& design = ctx.layout->design;
+  const auto& mutant = ctx.layout->mutants.at(static_cast<std::size_t>(mutantIndex));
+
+  TlmIpModel<P> model(ctx.layout);
+  model.activateMutant(mutant.id);
+
+  MutantResult res;
+  res.id = mutant.id;
+  res.endpoint = mutant.spec.targetSignal;
+  res.kind = mutant.spec.kind;
+  res.deltaTicks = mutant.spec.deltaTicks;
+
+  const InsertedSensor* sensor = nullptr;
+  int sensorIdx = -1;
+  for (std::size_t i = 0; i < ctx.sensors.size(); ++i) {
+    if (ctx.sensors[i].endpointName == res.endpoint) {
+      sensor = &ctx.sensors[i];
+      sensorIdx = static_cast<int>(i);
+      break;
+    }
+  }
+  ir::SymbolId eSym = ir::kNoSymbol, qSym = ir::kNoSymbol, mvSym = ir::kNoSymbol,
+               okSym = ir::kNoSymbol;
+  if (sensor != nullptr) {
+    if (!sensor->errorSignal.empty()) eSym = design.findSymbol(sensor->errorSignal);
+    if (!sensor->qSignal.empty()) qSym = design.findSymbol(sensor->qSignal);
+    if (!sensor->measValSignal.empty()) mvSym = design.findSymbol(sensor->measValSignal);
+    if (!sensor->outOkSignal.empty()) okSym = design.findSymbol(sensor->outOkSignal);
+  }
+
+  bool correctionViolated = false;
+  bool correctionObserved = false;
+
+  // Fresh driver per task, same stimulus id as the golden run: stateful
+  // testbenches replay identical inputs from a private session.
+  const DriveFn drive = ctx.tb.driverForTask(ctx.cfg.stimulusId);
+  const GoldenTrace& gold = ctx.gold;
+
+  for (std::uint64_t c = 0; c < ctx.tb.cycles; ++c) {
+    drive(c, [&](const std::string& name, std::uint64_t v) { model.setInputByName(name, v); });
+    if (ctx.hasRecovery) model.setInputByName(ctx.cfg.recoveryPort, 1);
+    model.scheduler();
+
+    // Kill check: any output differs from the golden run.
+    for (std::size_t o = 0; o < design.outputs.size(); ++o) {
+      if (model.valueUint(design.outputs[o]) != gold.outputs[c][o]) {
+        res.killed = true;
+        break;
+      }
+    }
+    // Sensor observation at the mutated endpoint.
+    if (eSym != ir::kNoSymbol && model.valueUint(eSym) == 1) {
+      res.detected = true;
+      res.errorRisen = true;
+      // Correction check: q presents the golden endpoint value of the
+      // previous cycle.
+      if (qSym != ir::kNoSymbol && c >= 1 && sensorIdx >= 0) {
+        correctionObserved = true;
+        if (model.valueUint(qSym) != gold.endpoints[c - 1][static_cast<std::size_t>(sensorIdx)]) {
+          correctionViolated = true;
+        }
+      }
+    }
+    if (mvSym != ir::kNoSymbol) {
+      const std::uint64_t mv = model.valueUint(mvSym);
+      if (mv != 0) {
+        res.detected = true;
+        res.measuredDelay = std::max(res.measuredDelay, mv);
+      }
+    }
+    if (okSym != ir::kNoSymbol && model.valueUint(okSym) == 0) res.errorRisen = true;
+  }
+
+  if (qSym != ir::kNoSymbol) {
+    res.correctionChecked = correctionObserved;
+    res.corrected = correctionObserved && !correctionViolated;
+  }
+  return res;
+}
 
 template <class P>
 AnalysisReport analyzeMutations(const ir::Design& golden, const InjectedDesign& injected,
                                 const std::vector<InsertedSensor>& sensors, const Testbench& tb,
                                 const AnalysisConfig& cfg) {
-  util::Timer timer;
+  util::Timer wall;
   AnalysisReport report;
   report.cyclesPerRun = tb.cycles;
 
-  const GoldenTrace<P> gold = recordGolden<P>(golden, sensors, tb, cfg);
+  util::Timer goldenTimer;
+  const MutationCampaignContext ctx =
+      prepareMutationCampaign<P>(golden, injected, sensors, tb, cfg);
+  const double goldenSeconds = goldenTimer.seconds();
 
-  // Map endpoints to their sensor record.
-  auto sensorOf = [&](const std::string& endpoint) -> const InsertedSensor* {
-    for (const auto& s : sensors) {
-      if (s.endpointName == endpoint) return &s;
-    }
-    return nullptr;
-  };
-  auto sensorIndexOf = [&](const std::string& endpoint) -> int {
-    for (std::size_t i = 0; i < sensors.size(); ++i) {
-      if (sensors[i].endpointName == endpoint) return static_cast<int>(i);
-    }
-    return -1;
-  };
+  const std::size_t n = ctx.layout->mutants.size();
+  report.results.resize(n);
+  std::vector<double> taskSeconds(n, 0.0);
 
-  const bool hasRecovery = injected.design.findSymbol(cfg.recoveryPort) != ir::kNoSymbol;
+  campaign::Executor executor(campaign::ExecutorConfig{cfg.threads, 0});
+  report.threadsUsed = executor.effectiveThreads(n);
+  executor.run(n, [&](std::size_t i) {
+    util::Timer t;
+    report.results[i] = simulateMutant<P>(ctx, static_cast<int>(i));
+    taskSeconds[i] = t.seconds();
+  });
 
-  for (const auto& mutant : injected.mutants) {
-    TlmIpModel<P> model(injected, TlmModelConfig{cfg.hfRatio, false});
-    model.activateMutant(mutant.id);
-
-    MutantResult res;
-    res.id = mutant.id;
-    res.endpoint = mutant.spec.targetSignal;
-    res.kind = mutant.spec.kind;
-    res.deltaTicks = mutant.spec.deltaTicks;
-
-    const InsertedSensor* sensor = sensorOf(res.endpoint);
-    const int sensorIdx = sensorIndexOf(res.endpoint);
-    ir::SymbolId eSym = ir::kNoSymbol, qSym = ir::kNoSymbol, mvSym = ir::kNoSymbol,
-                 okSym = ir::kNoSymbol;
-    if (sensor != nullptr) {
-      if (!sensor->errorSignal.empty()) eSym = injected.design.findSymbol(sensor->errorSignal);
-      if (!sensor->qSignal.empty()) qSym = injected.design.findSymbol(sensor->qSignal);
-      if (!sensor->measValSignal.empty())
-        mvSym = injected.design.findSymbol(sensor->measValSignal);
-      if (!sensor->outOkSignal.empty()) okSym = injected.design.findSymbol(sensor->outOkSignal);
-    }
-
-    bool correctionViolated = false;
-    bool correctionObserved = false;
-
-    for (std::uint64_t c = 0; c < tb.cycles; ++c) {
-      tb.drive(c, [&](const std::string& name, std::uint64_t v) {
-        model.setInputByName(name, v);
-      });
-      if (hasRecovery) model.setInputByName(cfg.recoveryPort, 1);
-      model.scheduler();
-
-      // Kill check: any output differs from the golden run.
-      for (std::size_t o = 0; o < injected.design.outputs.size(); ++o) {
-        if (model.valueUint(injected.design.outputs[o]) != gold.outputs[c][o]) {
-          res.killed = true;
-          break;
-        }
-      }
-      // Sensor observation at the mutated endpoint.
-      if (eSym != ir::kNoSymbol && model.valueUint(eSym) == 1) {
-        res.detected = true;
-        res.errorRisen = true;
-        // Correction check: q presents the golden endpoint value of the
-        // previous cycle.
-        if (qSym != ir::kNoSymbol && c >= 1 && sensorIdx >= 0) {
-          correctionObserved = true;
-          if (model.valueUint(qSym) != gold.endpoints[c - 1][static_cast<std::size_t>(sensorIdx)]) {
-            correctionViolated = true;
-          }
-        }
-      }
-      if (mvSym != ir::kNoSymbol) {
-        const std::uint64_t mv = model.valueUint(mvSym);
-        if (mv != 0) {
-          res.detected = true;
-          res.measuredDelay = std::max(res.measuredDelay, mv);
-        }
-      }
-      if (okSym != ir::kNoSymbol && model.valueUint(okSym) == 0) res.errorRisen = true;
-    }
-
-    if (qSym != ir::kNoSymbol) {
-      res.correctionChecked = correctionObserved;
-      res.corrected = correctionObserved && !correctionViolated;
-    }
-    report.results.push_back(std::move(res));
-  }
-
-  report.simSeconds = timer.seconds();
+  // simSeconds aggregates the work (sum of per-run times); wallSeconds is
+  // what elapsed — they coincide on one thread.
+  report.simSeconds = goldenSeconds;
+  for (double s : taskSeconds) report.simSeconds += s;
+  report.wallSeconds = wall.seconds();
   return report;
 }
 
+template GoldenTrace recordGoldenTrace<hdt::FourState>(const ir::Design&,
+                                                       const std::vector<InsertedSensor>&,
+                                                       const Testbench&, const AnalysisConfig&);
+template GoldenTrace recordGoldenTrace<hdt::TwoState>(const ir::Design&,
+                                                      const std::vector<InsertedSensor>&,
+                                                      const Testbench&, const AnalysisConfig&);
+template MutationCampaignContext prepareMutationCampaign<hdt::FourState>(
+    const ir::Design&, const InjectedDesign&, const std::vector<InsertedSensor>&,
+    const Testbench&, const AnalysisConfig&);
+template MutationCampaignContext prepareMutationCampaign<hdt::TwoState>(
+    const ir::Design&, const InjectedDesign&, const std::vector<InsertedSensor>&,
+    const Testbench&, const AnalysisConfig&);
+template MutantResult simulateMutant<hdt::FourState>(const MutationCampaignContext&, int);
+template MutantResult simulateMutant<hdt::TwoState>(const MutationCampaignContext&, int);
 template AnalysisReport analyzeMutations<hdt::FourState>(
     const ir::Design&, const InjectedDesign&, const std::vector<InsertedSensor>&,
     const Testbench&, const AnalysisConfig&);

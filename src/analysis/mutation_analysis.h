@@ -20,6 +20,16 @@
 // The mutation score is killed / total (all delay mutants are
 // non-equivalent by construction when the testbench toggles the monitored
 // registers).
+//
+// Execution model: the analysis is a mutation *campaign*. The golden trace
+// is recorded once and shared read-only; the injected design is compiled
+// and levelized once into a shared TlmModelLayout; then one independent
+// task per mutant instantiates a private TlmIpModel session from the shared
+// layout and simulates it against the trace. Tasks are scheduled by the
+// campaign executor (campaign/executor.h); results land in pre-assigned
+// slots (merge in task-id order), so the report is bit-identical to the
+// serial path — excluding the timing fields — at any thread count, and
+// threads = 1 is byte-for-byte today's serial flow.
 #pragma once
 
 #include <cstdint>
@@ -49,7 +59,14 @@ struct MutantResult {
 struct AnalysisReport {
   std::vector<MutantResult> results;
   std::uint64_t cyclesPerRun = 0;
-  double simSeconds = 0.0;  ///< wall time of all runs (golden + injected)
+  /// Simulation work: sum of per-run wall times (golden + every injected
+  /// run). Equals wallSeconds on one thread, exceeds it under parallel
+  /// execution. Per-run times are wall clock, so oversubscription (threads
+  /// beyond available cores) inflates this with timeslice waits.
+  double simSeconds = 0.0;
+  /// Elapsed wall time of the whole analysis (what a user waits for).
+  double wallSeconds = 0.0;
+  int threadsUsed = 1;
 
   int total() const noexcept { return static_cast<int>(results.size()); }
   int countKilled() const noexcept;
@@ -69,9 +86,54 @@ struct AnalysisConfig {
   insertion::SensorKind sensorKind = insertion::SensorKind::Razor;
   /// Drive the Razor recovery input high (named port, ignored if absent).
   std::string recoveryPort = "recovery_en";
+  /// Worker threads for the per-mutant campaign: 1 = serial (today's
+  /// behavior), 0 = auto (XLV_THREADS env override, else hardware
+  /// concurrency), n > 1 = exactly n.
+  int threads = 1;
+  /// Stimulus identity for stateful testbenches: every run (golden and each
+  /// mutant) uses a fresh driver from Testbench::driverForTask(stimulusId),
+  /// so all runs replay the identical stimulus from independent sessions.
+  std::uint64_t stimulusId = 0;
 };
 
-/// Run the full analysis: one golden run plus one injected run per mutant.
+/// Golden trajectory: per cycle, the output-port values and the monitored
+/// endpoint register values (for the correction check). Recorded once per
+/// analysis and shared read-only across all mutant tasks.
+struct GoldenTrace {
+  std::vector<std::vector<std::uint64_t>> outputs;    // [cycle][outIdx]
+  std::vector<std::vector<std::uint64_t>> endpoints;  // [cycle][sensorIdx]
+};
+
+template <class P>
+GoldenTrace recordGoldenTrace(const ir::Design& golden,
+                              const std::vector<insertion::InsertedSensor>& sensors,
+                              const Testbench& tb, const AnalysisConfig& cfg);
+
+/// The shared read-only context of one mutation campaign: everything a
+/// per-mutant task needs that is derived once, not per mutant.
+struct MutationCampaignContext {
+  abstraction::TlmModelLayoutPtr layout;  ///< injected design, compiled once
+  GoldenTrace gold;
+  std::vector<insertion::InsertedSensor> sensors;
+  Testbench tb;
+  AnalysisConfig cfg;
+  bool hasRecovery = false;
+};
+
+/// Build the shared context (golden trace + compiled injected layout).
+template <class P>
+MutationCampaignContext prepareMutationCampaign(
+    const ir::Design& golden, const mutation::InjectedDesign& injected,
+    const std::vector<insertion::InsertedSensor>& sensors, const Testbench& tb,
+    const AnalysisConfig& cfg);
+
+/// One campaign task: simulate mutant `mutantIndex` on a private session
+/// cloned from the shared layout. Thread-safe for distinct indices.
+template <class P>
+MutantResult simulateMutant(const MutationCampaignContext& ctx, int mutantIndex);
+
+/// Run the full analysis: one golden run plus one injected run per mutant,
+/// scheduled on cfg.threads workers (see AnalysisConfig::threads).
 template <class P>
 AnalysisReport analyzeMutations(const ir::Design& golden,
                                 const mutation::InjectedDesign& injected,
@@ -79,6 +141,22 @@ AnalysisReport analyzeMutations(const ir::Design& golden,
                                 const Testbench& tb, const AnalysisConfig& cfg);
 
 // Explicit instantiations are provided for both value policies.
+extern template GoldenTrace recordGoldenTrace<hdt::FourState>(
+    const ir::Design&, const std::vector<insertion::InsertedSensor>&, const Testbench&,
+    const AnalysisConfig&);
+extern template GoldenTrace recordGoldenTrace<hdt::TwoState>(
+    const ir::Design&, const std::vector<insertion::InsertedSensor>&, const Testbench&,
+    const AnalysisConfig&);
+extern template MutationCampaignContext prepareMutationCampaign<hdt::FourState>(
+    const ir::Design&, const mutation::InjectedDesign&,
+    const std::vector<insertion::InsertedSensor>&, const Testbench&, const AnalysisConfig&);
+extern template MutationCampaignContext prepareMutationCampaign<hdt::TwoState>(
+    const ir::Design&, const mutation::InjectedDesign&,
+    const std::vector<insertion::InsertedSensor>&, const Testbench&, const AnalysisConfig&);
+extern template MutantResult simulateMutant<hdt::FourState>(const MutationCampaignContext&,
+                                                            int);
+extern template MutantResult simulateMutant<hdt::TwoState>(const MutationCampaignContext&,
+                                                           int);
 extern template AnalysisReport analyzeMutations<hdt::FourState>(
     const ir::Design&, const mutation::InjectedDesign&,
     const std::vector<insertion::InsertedSensor>&, const Testbench&, const AnalysisConfig&);

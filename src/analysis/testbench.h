@@ -5,6 +5,15 @@
 // same object stimulates the event-driven RTL kernel, the abstracted TLM
 // model and the injected TLM model, guaranteeing identical inputs across
 // levels.
+//
+// Concurrency contract: `drive` must be safe to call concurrently for
+// distinct cycles (the stock case-study testbenches are pure functions of
+// the cycle index, deriving any randomness from the cycle, so they qualify).
+// A testbench whose driver keeps mutable session state (an incremental PRNG,
+// a protocol FSM) instead provides `makeDriver`: each campaign task then
+// gets its own driver instance via driverForTask(), seeded deterministically
+// from (seed, taskId) — the same task always replays the same stimulus, on
+// any thread, at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -16,11 +25,38 @@ namespace xlv::analysis {
 /// Receives (portName, value) for each input to drive this cycle.
 using PortSetter = std::function<void(const std::string&, std::uint64_t)>;
 
+/// Drives the DUT inputs for the given cycle.
+using DriveFn = std::function<void(std::uint64_t cycle, const PortSetter&)>;
+
 struct Testbench {
   std::string name;
   std::uint64_t cycles = 100;
-  /// Drive the DUT inputs for the given cycle.
-  std::function<void(std::uint64_t cycle, const PortSetter&)> drive;
+  /// Shared driver; must be thread-safe (stateless / pure in the cycle).
+  DriveFn drive;
+
+  /// Campaign-level base seed mixed into every per-task seed.
+  std::uint64_t seed = 0x5eed5eed5eed5eedULL;
+  /// Optional factory for stateful drivers: called once per campaign task
+  /// with a deterministic per-task seed; the returned driver is owned by
+  /// that task alone, so it may keep mutable state. The factory itself IS
+  /// invoked concurrently from worker threads — it must not touch shared
+  /// mutable state (construct everything from the seed argument).
+  std::function<DriveFn(std::uint64_t taskSeed)> makeDriver;
+
+  /// Deterministic per-task seed: splitmix64 finalizer over (seed, taskId).
+  std::uint64_t taskSeed(std::uint64_t taskId) const noexcept {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (taskId + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// The driver a campaign task should use: a fresh per-task instance when
+  /// the testbench is stateful, the shared (pure) driver otherwise.
+  DriveFn driverForTask(std::uint64_t taskId) const {
+    if (makeDriver) return makeDriver(taskSeed(taskId));
+    return drive;
+  }
 };
 
 }  // namespace xlv::analysis

@@ -1,0 +1,86 @@
+#include "campaign/campaign.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace xlv::campaign {
+
+bool CampaignResult::ok() const noexcept {
+  for (const auto& it : items) {
+    if (!it.error.empty()) return false;
+  }
+  return true;
+}
+
+const CampaignItemResult* CampaignResult::find(const std::string& label) const noexcept {
+  for (const auto& it : items) {
+    if (it.label == label) return &it;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string defaultLabel(const CampaignItem& item) {
+  const char* kind =
+      item.options.sensorKind == insertion::SensorKind::Razor ? "razor" : "counter";
+  return item.caseStudy.name + "/" + kind;
+}
+
+}  // namespace
+
+CampaignResult runCampaign(const CampaignSpec& spec) {
+  util::Timer wall;
+  CampaignResult result;
+  result.name = spec.name;
+  result.items.resize(spec.items.size());
+
+  Executor executor(spec.executor);
+  result.threadsUsed = executor.effectiveThreads(spec.items.size());
+  XLV_INFO("campaign") << "'" << spec.name << "': " << spec.items.size() << " items on "
+                       << result.threadsUsed << " threads";
+
+  executor.run(spec.items.size(), [&](std::size_t i) {
+    const CampaignItem& item = spec.items[i];
+    CampaignItemResult& out = result.items[i];
+    out.taskId = i;
+    out.label = item.label.empty() ? defaultLabel(item) : item.label;
+    util::Timer t;
+    try {
+      out.report = core::runFlow(item.caseStudy, item.options);
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    } catch (...) {
+      out.error = "unknown error";
+    }
+    out.taskSeconds = t.seconds();
+  });
+
+  for (const auto& it : result.items) result.simSeconds += it.taskSeconds;
+  result.wallSeconds = wall.seconds();
+  return result;
+}
+
+CampaignSpec fullMatrixCampaign(const std::vector<ips::CaseStudy>& cases,
+                                const core::FlowOptions& base, ExecutorConfig exec) {
+  CampaignSpec spec;
+  spec.name = "full-matrix";
+  spec.executor = exec;
+  const bool outerParallel = resolveThreadCount(exec.threads) > 1;
+  for (const auto& cs : cases) {
+    for (auto kind : {insertion::SensorKind::Razor, insertion::SensorKind::Counter}) {
+      CampaignItem item;
+      item.caseStudy = cs;
+      item.options = base;
+      item.options.sensorKind = kind;
+      if (outerParallel) item.options.analysisThreads = 1;
+      spec.items.push_back(std::move(item));
+    }
+  }
+  return spec;
+}
+
+}  // namespace xlv::campaign

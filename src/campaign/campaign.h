@@ -1,0 +1,71 @@
+// Campaign layer: batched execution of the paper's methodology.
+//
+// A campaign is a list of independent items — one (IP × sensor-kind ×
+// options) combination each — scheduled onto the chunked thread pool
+// (campaign/executor.h). Each item runs the composable flow stages of
+// core/flow.h end to end; results are merged in task-id order, so a
+// CampaignResult is deterministic for a given spec regardless of thread
+// count. Item failures are captured per item (the rest of the campaign
+// completes), mirroring how a regression farm reports one broken seed
+// without discarding the batch.
+//
+// Two levels of parallelism compose:
+//   * across items  — CampaignSpec::executor (this file);
+//   * within one item's mutation analysis — FlowOptions::analysisThreads
+//     (the per-mutant campaign inside analyzeMutations).
+// fullMatrixCampaign() keeps the inner level serial when the outer pool has
+// more than one worker, avoiding oversubscription.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/executor.h"
+#include "core/flow.h"
+#include "ips/case_study.h"
+
+namespace xlv::campaign {
+
+/// One independent unit of campaign work.
+struct CampaignItem {
+  ips::CaseStudy caseStudy;
+  core::FlowOptions options;
+  std::string label;  ///< defaults to "<ip>/<sensor-kind>" when empty
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::vector<CampaignItem> items;
+  ExecutorConfig executor;
+};
+
+struct CampaignItemResult {
+  std::size_t taskId = 0;
+  std::string label;
+  core::FlowReport report;
+  double taskSeconds = 0.0;  ///< wall time of this item on its worker
+  std::string error;         ///< non-empty when the item threw
+};
+
+struct CampaignResult {
+  std::string name;
+  std::vector<CampaignItemResult> items;  ///< always in task-id order
+  double simSeconds = 0.0;   ///< sum of per-item task times (the work done)
+  double wallSeconds = 0.0;  ///< elapsed time of the whole campaign
+  int threadsUsed = 1;
+
+  bool ok() const noexcept;
+  const CampaignItemResult* find(const std::string& label) const noexcept;
+};
+
+/// Run every item of the spec; blocks until the campaign completes.
+CampaignResult runCampaign(const CampaignSpec& spec);
+
+/// The paper's full experiment matrix: every case study × both sensor
+/// kinds, with `base` options applied to each item (sensorKind overridden
+/// per item; analysisThreads forced to 1 when the outer pool is parallel).
+CampaignSpec fullMatrixCampaign(const std::vector<ips::CaseStudy>& cases,
+                                const core::FlowOptions& base, ExecutorConfig exec = {});
+
+}  // namespace xlv::campaign

@@ -1,5 +1,7 @@
 #include "core/flow.h"
 
+#include <stdexcept>
+
 #include "abstraction/emit_vhdl.h"
 #include "ir/elaborate.h"
 #include "util/timer.h"
@@ -12,10 +14,13 @@ using insertion::SensorKind;
 
 namespace {
 
-/// Adapter: drive a simulator's inputs from the case study's testbench.
+/// Adapter: drive a simulator's inputs from a testbench driver session.
+/// Callers obtain one driver per simulation run via driverForTask(), so
+/// makeDriver-only (stateful) testbenches work everywhere, not just in the
+/// mutation campaign.
 template <class Sim>
-void driveInputs(const ips::CaseStudy& cs, std::uint64_t cycle, Sim& sim) {
-  cs.testbench.drive(cycle, [&](const std::string& name, std::uint64_t v) {
+void driveInputs(const analysis::DriveFn& drive, std::uint64_t cycle, Sim& sim) {
+  drive(cycle, [&](const std::string& name, std::uint64_t v) {
     sim.setInputByName(name, v);
   });
   // The Razor recovery enable is an insertion-added port the stock
@@ -27,12 +32,17 @@ void driveInputs(const ips::CaseStudy& cs, std::uint64_t cycle, Sim& sim) {
 
 }  // namespace
 
+std::uint64_t flowCycles(const ips::CaseStudy& cs, const FlowOptions& opts) {
+  return opts.testbenchCycles != 0 ? opts.testbenchCycles : cs.testbench.cycles;
+}
+
 double timeRtlSimulation(const ir::Design& d, const ips::CaseStudy& cs, int hfRatio,
                          std::uint64_t cycles) {
   rtl::RtlSimulator<hdt::FourState> sim(
       d, rtl::KernelConfig{cs.periodPs, hfRatio, 100000});
-  sim.setStimulus([&](std::uint64_t c, rtl::RtlSimulator<hdt::FourState>& s) {
-    driveInputs(cs, c, s);
+  const analysis::DriveFn drive = cs.testbench.driverForTask(0);
+  sim.setStimulus([&, drive](std::uint64_t c, rtl::RtlSimulator<hdt::FourState>& s) {
+    driveInputs(drive, c, s);
   });
   util::Timer t;
   sim.runCycles(cycles);
@@ -43,9 +53,10 @@ template <class P>
 double timeTlmSimulation(const ir::Design& d, const ips::CaseStudy& cs, int hfRatio,
                          std::uint64_t cycles) {
   TlmIpModel<P> model(d, TlmModelConfig{hfRatio, false});
+  const analysis::DriveFn drive = cs.testbench.driverForTask(0);
   util::Timer t;
   for (std::uint64_t c = 0; c < cycles; ++c) {
-    driveInputs(cs, c, model);
+    driveInputs(drive, c, model);
     model.scheduler();
   }
   return t.seconds();
@@ -56,19 +67,20 @@ template double timeTlmSimulation<hdt::FourState>(const ir::Design&, const ips::
 template double timeTlmSimulation<hdt::TwoState>(const ir::Design&, const ips::CaseStudy&, int,
                                                  std::uint64_t);
 
-FlowReport runFlow(const ips::CaseStudy& cs, const FlowOptions& opts) {
-  FlowReport report;
+// --- Step 0: elaborate the clean IP -----------------------------------------
+void stageElaborate(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report) {
+  if (cs.module == nullptr) {
+    throw std::invalid_argument("flow: case study '" + cs.name + "' has no module");
+  }
   report.ipName = cs.name;
   report.sensorKind = opts.sensorKind;
   report.hfRatio = opts.sensorKind == SensorKind::Counter ? cs.hfRatio : 0;
-  const std::uint64_t cycles =
-      opts.testbenchCycles != 0 ? opts.testbenchCycles : cs.testbench.cycles;
-
-  // --- Step 0: elaborate the clean IP -----------------------------------------
   report.cleanDesign = ir::elaborate(*cs.module);
   report.loc.rtlClean = abstraction::countLines(abstraction::emitVhdl(*cs.module));
+}
 
-  // --- Step 1: STA + sensor insertion (Section 4) --------------------------------
+// --- Step 1: STA + sensor insertion (Section 4) ------------------------------
+void stageInsertion(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report) {
   sta::StaConfig staCfg;
   staCfg.clockPeriodPs = static_cast<double>(cs.periodPs);
   staCfg.thresholdFraction = cs.staThresholdFraction;
@@ -84,13 +96,17 @@ FlowReport runFlow(const ips::CaseStudy& cs, const FlowOptions& opts) {
   report.sensorAreaGates = ins.sensorAreaGates;
   report.loc.rtlAugmented = abstraction::countLines(abstraction::emitVhdl(*ins.augmented));
   report.augmentedDesign = ir::elaborate(*ins.augmented);
+}
 
-  // --- Step 2: RTL-to-TLM abstraction (Section 5) ---------------------------------
+// --- Step 2: RTL-to-TLM abstraction (Section 5) ------------------------------
+void stageAbstraction(FlowReport& report) {
   abstraction::AbstractionOptions aopts;
   aopts.hfRatio = report.hfRatio;
   report.loc.tlm = abstraction::abstractDesign(report.augmentedDesign, aopts).sourceLines;
+}
 
-  // --- Step 3: mutant injection (Section 6) ----------------------------------------
+// --- Step 3: mutant injection (Section 6) ------------------------------------
+void stageInjection(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report) {
   if (opts.sensorKind == SensorKind::Razor) {
     report.mutantSpecs = analysis::razorMutantSet(report.sensors);
   } else {
@@ -98,10 +114,15 @@ FlowReport runFlow(const ips::CaseStudy& cs, const FlowOptions& opts) {
         report.sensors, static_cast<double>(cs.periodPs), cs.hfRatio);
   }
   report.injected = mutation::injectMutants(report.augmentedDesign, report.mutantSpecs);
+  abstraction::AbstractionOptions aopts;
+  aopts.hfRatio = report.hfRatio;
   report.loc.tlmInjected =
       abstraction::abstractInjected(report.injected, aopts).sourceLines;
+}
 
-  // --- Timing measurements -----------------------------------------------------------
+// --- Timing measurements -----------------------------------------------------
+void stageTimings(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report) {
+  const std::uint64_t cycles = flowCycles(cs, opts);
   auto repeat = [&](auto&& fn) {
     double total = 0.0;
     const int n = std::max(1, opts.timingRepetitions);
@@ -127,23 +148,37 @@ FlowReport runFlow(const ips::CaseStudy& cs, const FlowOptions& opts) {
     // Injected model with all mutants inactive (Table 5's simulation cost).
     TlmIpModel<hdt::FourState> model(report.injected,
                                      TlmModelConfig{report.hfRatio, false});
+    const analysis::DriveFn drive = cs.testbench.driverForTask(0);
     util::Timer t;
     for (std::uint64_t c = 0; c < cycles; ++c) {
-      driveInputs(cs, c, model);
+      driveInputs(drive, c, model);
       model.scheduler();
     }
     report.timings.injectedSeconds = t.seconds();
   }
+}
 
-  // --- Step 4: mutation analysis (Section 7) -------------------------------------------
+// --- Step 4: mutation analysis (Section 7) -----------------------------------
+void stageAnalysis(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report) {
+  analysis::AnalysisConfig acfg;
+  acfg.hfRatio = report.hfRatio;
+  acfg.sensorKind = opts.sensorKind;
+  acfg.threads = opts.analysisThreads;
+  analysis::Testbench tb = cs.testbench;
+  tb.cycles = flowCycles(cs, opts);
+  report.analysis = analysis::analyzeMutations<hdt::FourState>(
+      report.augmentedDesign, report.injected, report.sensors, tb, acfg);
+}
+
+FlowReport runFlow(const ips::CaseStudy& cs, const FlowOptions& opts) {
+  FlowReport report;
+  stageElaborate(cs, opts, report);
+  stageInsertion(cs, opts, report);
+  stageAbstraction(report);
+  stageInjection(cs, opts, report);
+  stageTimings(cs, opts, report);
   if (opts.runMutationAnalysis) {
-    analysis::AnalysisConfig acfg;
-    acfg.hfRatio = report.hfRatio;
-    acfg.sensorKind = opts.sensorKind;
-    analysis::Testbench tb = cs.testbench;
-    tb.cycles = cycles;
-    report.analysis = analysis::analyzeMutations<hdt::FourState>(
-        report.augmentedDesign, report.injected, report.sensors, tb, acfg);
+    stageAnalysis(cs, opts, report);
   }
   return report;
 }

@@ -1,7 +1,24 @@
-// VerificationFlow: the paper's four-step methodology as one facade
-// (Fig. 3): (1) STA-driven sensor insertion, (2) RTL-to-TLM abstraction,
-// (3) delay-mutant injection, (4) mutation analysis — plus the cross-level
-// timing measurements behind Tables 3, 4 and 5.
+// VerificationFlow: the paper's four-step methodology (Fig. 3) as
+// composable stages plus a facade:
+//
+//   stageElaborate   — elaborate the clean IP (step 0);
+//   stageInsertion   — STA-driven sensor insertion (step 1, Section 4);
+//   stageAbstraction — RTL-to-TLM abstraction (step 2, Section 5);
+//   stageInjection   — delay-mutant injection (step 3, Section 6);
+//   stageTimings     — the cross-level timing measurements behind
+//                      Tables 3, 4 and 5;
+//   stageAnalysis    — mutation analysis (step 4, Section 7).
+//
+// runFlow() chains all stages on one (IP × sensor-kind) combination —
+// today's monolithic behavior. The stages are public so the campaign layer
+// (campaign/campaign.h) can launch them per combination across threads, or
+// reuse an expensive prefix (elaborate + insertion + injection) while
+// sweeping only the analysis stage.
+//
+// Each stage reads its inputs from, and writes its outputs into, the
+// FlowReport accumulator; stages after stageInsertion only touch fields the
+// earlier stages produced, so a FlowReport fragment can be shared read-only
+// once its producing stage has run.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +45,10 @@ struct FlowOptions {
   bool measureRtl = true;          ///< event-driven kernel baseline (Table 3)
   bool measureOptimized = true;    ///< HDTLib 2-state policy (Table 4)
   bool runMutationAnalysis = true; ///< Table 5
+  /// Worker threads for the per-mutant analysis campaign: 1 = serial,
+  /// 0 = auto (XLV_THREADS / hardware), n > 1 = exactly n. A campaign that
+  /// already parallelizes across flows should keep this at 1.
+  int analysisThreads = 1;
 };
 
 struct FlowTimings {
@@ -62,7 +83,18 @@ struct FlowReport {
   int hfRatio = 0;  ///< 0 for Razor versions, case-study ratio for Counter
 };
 
-/// Execute the full flow on one case study.
+/// The effective cycle budget of a flow invocation.
+std::uint64_t flowCycles(const ips::CaseStudy& cs, const FlowOptions& opts);
+
+// --- composable stages (each fills its slice of the FlowReport) -------------
+void stageElaborate(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report);
+void stageInsertion(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report);
+void stageAbstraction(FlowReport& report);
+void stageInjection(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report);
+void stageTimings(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report);
+void stageAnalysis(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report);
+
+/// Execute the full flow on one case study (all stages, in order).
 FlowReport runFlow(const ips::CaseStudy& cs, const FlowOptions& opts);
 
 /// Individual timing probes (used by the benches for finer control).

@@ -1,11 +1,12 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace xlv::util {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 const char* levelName(LogLevel lvl) {
   switch (lvl) {
@@ -20,10 +21,11 @@ const char* levelName(LogLevel lvl) {
 }
 }  // namespace
 
-LogLevel logLevel() noexcept { return g_level; }
-void setLogLevel(LogLevel lvl) noexcept { g_level = lvl; }
+LogLevel logLevel() noexcept { return g_level.load(std::memory_order_relaxed); }
+void setLogLevel(LogLevel lvl) noexcept { g_level.store(lvl, std::memory_order_relaxed); }
 
 void logLine(LogLevel lvl, const std::string& component, const std::string& msg) {
+  // One fprintf call per line keeps concurrent workers' lines unscrambled.
   std::fprintf(stderr, "[%s] %s: %s\n", levelName(lvl), component.c_str(), msg.c_str());
 }
 

@@ -12,8 +12,8 @@ namespace xlv::util {
 
 enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
 
-/// Global log level. Not thread-safe by design: the simulators are
-/// single-threaded and benchmarks set this once at startup.
+/// Global log level. Reads and writes are atomic (campaign workers log
+/// concurrently); benchmarks still set this once at startup.
 LogLevel logLevel() noexcept;
 void setLogLevel(LogLevel lvl) noexcept;
 
