@@ -23,18 +23,7 @@ namespace {
 /// Everything except timing fields must match across thread counts.
 bool sameResults(const xlv::analysis::AnalysisReport& a,
                  const xlv::analysis::AnalysisReport& b) {
-  if (a.results.size() != b.results.size() || a.cyclesPerRun != b.cyclesPerRun) return false;
-  for (std::size_t i = 0; i < a.results.size(); ++i) {
-    const auto& x = a.results[i];
-    const auto& y = b.results[i];
-    if (x.id != y.id || x.endpoint != y.endpoint || x.kind != y.kind ||
-        x.deltaTicks != y.deltaTicks || x.killed != y.killed || x.detected != y.detected ||
-        x.errorRisen != y.errorRisen || x.corrected != y.corrected ||
-        x.correctionChecked != y.correctionChecked || x.measuredDelay != y.measuredDelay) {
-      return false;
-    }
-  }
-  return true;
+  return a.sameResults(b);
 }
 
 }  // namespace

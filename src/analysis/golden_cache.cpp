@@ -1,0 +1,75 @@
+#include "analysis/golden_cache.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "abstraction/emit_cpp.h"
+#include "analysis/mutation_analysis.h"
+#include "util/fnv.h"
+
+namespace xlv::analysis {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  return util::fnv1a64(s, h);
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) { return util::fnv1a64Mix(v, h); }
+
+}  // namespace
+
+std::uint64_t designFingerprint(const ir::Design& design, int hfRatio) {
+  // The emitted C++ is a canonical rendering of everything the simulators
+  // execute: symbols, init values, process bodies, the scheduler shape
+  // (single- vs dual-clock). Hash it, then mix in structural counts as a
+  // cheap second opinion against text-level coincidences.
+  abstraction::EmitCppOptions opts;
+  opts.hfRatio = hfRatio;
+  std::uint64_t h = fnv1a(util::kFnvOffset, abstraction::emitCpp(design, opts));
+  h = fnv1a(h, design.name);
+  h = mix(h, static_cast<std::uint64_t>(design.numSymbols()));
+  h = mix(h, static_cast<std::uint64_t>(design.flipFlopBits()));
+  h = mix(h, static_cast<std::uint64_t>(design.processes.size()));
+  for (const auto& init : design.arrayInits) {
+    h = mix(h, static_cast<std::uint64_t>(init.words.size()));
+    for (std::uint64_t v : init.words) h = mix(h, v);
+  }
+  return h;
+}
+
+std::string goldenTraceKey(const ir::Design& golden,
+                           const std::vector<insertion::InsertedSensor>& sensors,
+                           const Testbench& tb, const AnalysisConfig& cfg,
+                           const char* policyTag) {
+  std::uint64_t endpointHash = util::kFnvOffset;
+  for (const auto& s : sensors) {
+    endpointHash = fnv1a(endpointHash, s.endpointName);
+    endpointHash = fnv1a(endpointHash, "|");
+  }
+  endpointHash = mix(endpointHash, sensors.size());
+
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "d=%016" PRIx64 "|e=%016" PRIx64 "|seed=%016" PRIx64 "|stim=%" PRIu64
+                "|cyc=%" PRIu64 "|hf=%d|p=%s",
+                designFingerprint(golden, cfg.hfRatio), endpointHash, tb.seed,
+                cfg.stimulusId, tb.cycles, cfg.hfRatio, policyTag);
+  // Variable-length fields go through std::string (no truncation) and are
+  // length-prefixed so a '|' or '=' inside a name cannot alias another
+  // field boundary.
+  std::string key(buf);
+  key.append("|tb=").append(std::to_string(tb.name.size())).append(":").append(tb.name);
+  key.append("|rec=")
+      .append(std::to_string(cfg.recoveryPort.size()))
+      .append(":")
+      .append(cfg.recoveryPort);
+  return key;
+}
+
+util::OnceCache<GoldenTrace>& goldenTraceCache() {
+  static util::OnceCache<GoldenTrace> cache;
+  return cache;
+}
+
+}  // namespace xlv::analysis

@@ -1,0 +1,68 @@
+// Process-wide golden-trace cache (ROADMAP: "Golden-trace sharing across
+// analyses").
+//
+// recordGoldenTrace simulates the clean augmented design for the full
+// testbench length — for corner sweeps that vary only the mutant set or the
+// STA binning of an identical critical set, that run is byte-identical
+// across sweep points. This cache shares it: analyses whose (design
+// identity, observed endpoints, testbench, cycles, hfRatio, stimulus)
+// agree reuse one immutable GoldenTrace.
+//
+// Keying rules (see also campaign/README.md):
+//   * design identity — a structural fingerprint of the elaborated golden
+//     design (hash of its canonical emitted C++ plus symbol/FF counts), so
+//     two sweep points hit iff sensor insertion produced the same design;
+//   * endpoints — the ordered sensor endpoint names (the trace records one
+//     column per sensor);
+//   * testbench — (name, seed, cycles, stimulusId). The drive function
+//     itself is not hashable: two testbenches with different behavior MUST
+//     differ in name or seed, which every stock case study does;
+//   * hfRatio / recovery port / value policy — scheduler and recording
+//     configuration that changes the trace contents.
+//
+// Thread safety: backed by util::OnceCache — concurrent analyses racing for
+// one key record the trace exactly once (waiters block on the recording),
+// and the shared trace is immutable afterwards, so reports stay
+// bit-identical at any thread count with the cache on or off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/design.h"
+#include "util/once_cache.h"
+
+namespace xlv::insertion {
+struct InsertedSensor;
+}
+
+namespace xlv::analysis {
+
+struct Testbench;
+struct AnalysisConfig;
+struct GoldenTrace;
+
+/// Structural fingerprint of an elaborated design: FNV-1a over the canonical
+/// emitted C++ (process bodies, symbols, scheduler shape) mixed with cheap
+/// structural counts. Designs that simulate differently hash differently
+/// modulo 64-bit collisions.
+std::uint64_t designFingerprint(const ir::Design& design, int hfRatio);
+
+/// The full cache key for one golden recording, serialized to a string
+/// (doubles and hashes rendered exactly). `policyTag` distinguishes value
+/// policies ("4s" / "2s").
+std::string goldenTraceKey(const ir::Design& golden,
+                           const std::vector<insertion::InsertedSensor>& sensors,
+                           const Testbench& tb, const AnalysisConfig& cfg,
+                           const char* policyTag);
+
+/// The process-wide trace cache. No eviction: entries live until clear(),
+/// which is what lets later campaigns in the same process reuse earlier
+/// recordings. A long-lived process sweeping an unbounded key set (many
+/// IPs x testbench lengths) should clear() between phases to bound memory
+/// (each trace holds cycles x (outputs + endpoints) uint64 words); see the
+/// ROADMAP eviction/persistence item.
+util::OnceCache<GoldenTrace>& goldenTraceCache();
+
+}  // namespace xlv::analysis

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <type_traits>
 
+#include "analysis/golden_cache.h"
 #include "campaign/executor.h"
 #include "util/timer.h"
 
@@ -83,6 +86,15 @@ GoldenTrace recordGoldenTrace(const ir::Design& golden,
   return trace;
 }
 
+namespace {
+
+template <class P>
+constexpr const char* policyTag() {
+  return std::is_same_v<P, hdt::TwoState> ? "2s" : "4s";
+}
+
+}  // namespace
+
 template <class P>
 MutationCampaignContext prepareMutationCampaign(const ir::Design& golden,
                                                 const InjectedDesign& injected,
@@ -93,7 +105,30 @@ MutationCampaignContext prepareMutationCampaign(const ir::Design& golden,
   ctx.sensors = sensors;
   ctx.tb = tb;
   ctx.cfg = cfg;
-  ctx.gold = recordGoldenTrace<P>(golden, sensors, tb, cfg);
+  if (cfg.useGoldenCache) {
+    const std::string key = goldenTraceKey(golden, sensors, tb, cfg, policyTag<P>());
+    // Time the recording inside the build lambda: only the task that
+    // actually records is charged goldenSeconds. A waiter blocked on an
+    // in-flight recording reports ~0 — its wait shows up in wall time, not
+    // in the "golden work spent" ledger (which must not inflate with
+    // thread count).
+    double recordSeconds = 0.0;
+    ctx.gold = goldenTraceCache().getOrBuild(
+        key,
+        [&] {
+          util::Timer t;
+          GoldenTrace trace = recordGoldenTrace<P>(golden, sensors, tb, cfg);
+          recordSeconds = t.seconds();
+          return trace;
+        },
+        &ctx.goldenFromCache);
+    ctx.goldenSeconds = recordSeconds;
+  } else {
+    util::Timer t;
+    ctx.gold = std::make_shared<const GoldenTrace>(
+        recordGoldenTrace<P>(golden, sensors, tb, cfg));
+    ctx.goldenSeconds = t.seconds();
+  }
   // Compile + levelize the injected design once; every task clones a cheap
   // private session from this shared layout.
   ctx.layout = abstraction::buildTlmModelLayout(
@@ -140,7 +175,7 @@ MutantResult simulateMutant(const MutationCampaignContext& ctx, int mutantIndex)
   // Fresh driver per task, same stimulus id as the golden run: stateful
   // testbenches replay identical inputs from a private session.
   const DriveFn drive = ctx.tb.driverForTask(ctx.cfg.stimulusId);
-  const GoldenTrace& gold = ctx.gold;
+  const GoldenTrace& gold = *ctx.gold;
 
   for (std::uint64_t c = 0; c < ctx.tb.cycles; ++c) {
     drive(c, [&](const std::string& name, std::uint64_t v) { model.setInputByName(name, v); });
@@ -192,10 +227,12 @@ AnalysisReport analyzeMutations(const ir::Design& golden, const InjectedDesign& 
   AnalysisReport report;
   report.cyclesPerRun = tb.cycles;
 
-  util::Timer goldenTimer;
+  util::Timer prepareTimer;
   const MutationCampaignContext ctx =
       prepareMutationCampaign<P>(golden, injected, sensors, tb, cfg);
-  const double goldenSeconds = goldenTimer.seconds();
+  const double prepareSeconds = prepareTimer.seconds();
+  report.goldenSeconds = ctx.goldenSeconds;
+  report.goldenFromCache = ctx.goldenFromCache;
 
   const std::size_t n = ctx.layout->mutants.size();
   report.results.resize(n);
@@ -210,8 +247,9 @@ AnalysisReport analyzeMutations(const ir::Design& golden, const InjectedDesign& 
   });
 
   // simSeconds aggregates the work (sum of per-run times); wallSeconds is
-  // what elapsed — they coincide on one thread.
-  report.simSeconds = goldenSeconds;
+  // what elapsed — they coincide on one thread. A golden-cache hit shrinks
+  // the prepare component (layout build remains, recording is skipped).
+  report.simSeconds = prepareSeconds;
   for (double s : taskSeconds) report.simSeconds += s;
   report.wallSeconds = wall.seconds();
   return report;

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,10 @@ struct MutantResult {
   bool corrected = false;       ///< meaningful only when correctionChecked
   bool correctionChecked = false;
   std::uint64_t measuredDelay = 0;  ///< Counter: max MEAS_VAL over the run
+
+  /// Full-field equality — MutantResult carries no timing, so this is the
+  /// per-mutant bit-identity check the determinism tests and benches share.
+  bool operator==(const MutantResult&) const = default;
 };
 
 struct AnalysisReport {
@@ -66,7 +71,23 @@ struct AnalysisReport {
   double simSeconds = 0.0;
   /// Elapsed wall time of the whole analysis (what a user waits for).
   double wallSeconds = 0.0;
+  /// Golden-trace recording time charged to this analysis: the actual
+  /// recording when this run performed it, exactly 0 on a cache hit (a
+  /// waiter blocked on another task's in-flight recording is not charged —
+  /// its wait lands in wallSeconds). The component the cache saves;
+  /// thread-count independent in meaning.
+  double goldenSeconds = 0.0;
+  /// True when the golden trace came from the process-wide cache
+  /// (AnalysisConfig::useGoldenCache) instead of a fresh recording.
+  bool goldenFromCache = false;
   int threadsUsed = 1;
+
+  /// Deterministic-content equality: per-mutant results and cycle budget,
+  /// ignoring the timing/threading/cache fields. The single comparator
+  /// behind every "bit-identical across thread counts / cache modes" check.
+  bool sameResults(const AnalysisReport& other) const noexcept {
+    return cyclesPerRun == other.cyclesPerRun && results == other.results;
+  }
 
   int total() const noexcept { return static_cast<int>(results.size()); }
   int countKilled() const noexcept;
@@ -94,6 +115,12 @@ struct AnalysisConfig {
   /// mutant) uses a fresh driver from Testbench::driverForTask(stimulusId),
   /// so all runs replay the identical stimulus from independent sessions.
   std::uint64_t stimulusId = 0;
+  /// Share the golden trace through the process-wide cache
+  /// (analysis/golden_cache.h): analyses keyed identically — same design
+  /// identity, endpoints, testbench, cycles, hfRatio — reuse one recording.
+  /// The shared trace is immutable, so the report stays bit-identical with
+  /// the cache on or off; only goldenSeconds/simSeconds shrink on a hit.
+  bool useGoldenCache = false;
 };
 
 /// Golden trajectory: per cycle, the output-port values and the monitored
@@ -113,11 +140,15 @@ GoldenTrace recordGoldenTrace(const ir::Design& golden,
 /// per-mutant task needs that is derived once, not per mutant.
 struct MutationCampaignContext {
   abstraction::TlmModelLayoutPtr layout;  ///< injected design, compiled once
-  GoldenTrace gold;
+  /// Immutable, possibly cache-shared across analyses (never null after
+  /// prepareMutationCampaign).
+  std::shared_ptr<const GoldenTrace> gold;
   std::vector<insertion::InsertedSensor> sensors;
   Testbench tb;
   AnalysisConfig cfg;
   bool hasRecovery = false;
+  double goldenSeconds = 0.0;  ///< time spent obtaining the trace
+  bool goldenFromCache = false;
 };
 
 /// Build the shared context (golden trace + compiled injected layout).

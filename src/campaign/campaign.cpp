@@ -22,6 +22,30 @@ const CampaignItemResult* CampaignResult::find(const std::string& label) const n
   return nullptr;
 }
 
+bool CampaignResult::sameResults(const CampaignResult& other) const noexcept {
+  if (items.size() != other.items.size()) return false;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& x = items[i];
+    const auto& y = other.items[i];
+    const auto& rx = x.report;
+    const auto& ry = y.report;
+    if (x.label != y.label || x.error != y.error) return false;
+    if (rx.ipName != ry.ipName || rx.sensorKind != ry.sensorKind ||
+        rx.hfRatio != ry.hfRatio || rx.sensors.size() != ry.sensors.size() ||
+        rx.skippedEndpoints != ry.skippedEndpoints ||
+        rx.sensorAreaGates != ry.sensorAreaGates ||
+        rx.sta.criticalCount != ry.sta.criticalCount ||
+        rx.sta.thresholdPs != ry.sta.thresholdPs ||
+        rx.loc.rtlClean != ry.loc.rtlClean || rx.loc.rtlAugmented != ry.loc.rtlAugmented ||
+        rx.loc.tlm != ry.loc.tlm || rx.loc.tlmInjected != ry.loc.tlmInjected ||
+        rx.mutantSpecs != ry.mutantSpecs) {
+      return false;
+    }
+    if (!rx.analysis.sameResults(ry.analysis)) return false;
+  }
+  return true;
+}
+
 namespace {
 
 std::string defaultLabel(const CampaignItem& item) {
@@ -50,7 +74,17 @@ CampaignResult runCampaign(const CampaignSpec& spec) {
     out.label = item.label.empty() ? defaultLabel(item) : item.label;
     util::Timer t;
     try {
-      out.report = core::runFlow(item.caseStudy, item.options);
+      if (!item.prefixKey.empty()) {
+        const core::FlowPrefixPtr prefix = core::flowPrefixCache().getOrBuild(
+            item.prefixKey,
+            [&] { return core::buildFlowPrefix(item.caseStudy, item.options); },
+            &out.prefixShared);
+        out.report = core::runFlowWithPrefix(*prefix, item.caseStudy, item.options);
+      } else {
+        out.report = core::runFlow(item.caseStudy, item.options);
+      }
+      out.goldenSeconds = out.report.analysis.goldenSeconds;
+      out.goldenFromCache = out.report.analysis.goldenFromCache;
     } catch (const std::exception& e) {
       out.error = e.what();
     } catch (...) {
@@ -59,7 +93,18 @@ CampaignResult runCampaign(const CampaignSpec& spec) {
     out.taskSeconds = t.seconds();
   });
 
-  for (const auto& it : result.items) result.simSeconds += it.taskSeconds;
+  for (const auto& it : result.items) {
+    // Task time already contains the item's analysis wall time; add the
+    // work a parallel inner analysis did beyond its elapsed time so
+    // simSeconds stays "total simulation work" (golden recording included
+    // exactly once per actual recording).
+    result.simSeconds += it.taskSeconds;
+    const auto& a = it.report.analysis;
+    if (a.simSeconds > a.wallSeconds) result.simSeconds += a.simSeconds - a.wallSeconds;
+    result.goldenSeconds += it.goldenSeconds;
+    result.goldenCacheHits += it.goldenFromCache ? 1 : 0;
+    result.prefixCacheHits += it.prefixShared ? 1 : 0;
+  }
   result.wallSeconds = wall.seconds();
   return result;
 }

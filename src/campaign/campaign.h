@@ -32,6 +32,12 @@ struct CampaignItem {
   ips::CaseStudy caseStudy;
   core::FlowOptions options;
   std::string label;  ///< defaults to "<ip>/<sensor-kind>" when empty
+  /// When non-empty, the item's elaborate+insertion prefix is fetched from
+  /// (or built into) the process-wide core::flowPrefixCache() under this
+  /// key and the flow runs via runFlowWithPrefix. Sweep items that agree on
+  /// the insertion axes share the key (core::flowPrefixKey), so one task
+  /// elaborates and the rest reuse. Empty = self-contained runFlow.
+  std::string prefixKey;
 };
 
 struct CampaignSpec {
@@ -44,19 +50,38 @@ struct CampaignItemResult {
   std::size_t taskId = 0;
   std::string label;
   core::FlowReport report;
-  double taskSeconds = 0.0;  ///< wall time of this item on its worker
-  std::string error;         ///< non-empty when the item threw
+  double taskSeconds = 0.0;    ///< wall time of this item on its worker
+  double goldenSeconds = 0.0;  ///< golden-trace time inside this item (~0 on a cache hit)
+  bool goldenFromCache = false;  ///< golden trace reused from the process cache
+  bool prefixShared = false;     ///< elaborate+insertion reused from the prefix cache
+  std::string error;             ///< non-empty when the item threw
 };
 
 struct CampaignResult {
   std::string name;
   std::vector<CampaignItemResult> items;  ///< always in task-id order
-  double simSeconds = 0.0;   ///< sum of per-item task times (the work done)
-  double wallSeconds = 0.0;  ///< elapsed time of the whole campaign
+  /// Total simulation work: per-item task time plus, for items whose inner
+  /// mutation analysis ran parallel, the analysis work beyond its wall time
+  /// — so golden-trace recording is always accounted once per recording,
+  /// and cache savings show up as a simSeconds drop against goldenSeconds.
+  double simSeconds = 0.0;
+  /// Golden-trace time actually spent across items (cache hits contribute
+  /// ~0; compare with items.size() × a recording to see the savings).
+  double goldenSeconds = 0.0;
+  int goldenCacheHits = 0;    ///< items whose golden trace came from the cache
+  int prefixCacheHits = 0;    ///< items that reused a shared stage prefix
+  double wallSeconds = 0.0;   ///< elapsed time of the whole campaign
   int threadsUsed = 1;
 
   bool ok() const noexcept;
   const CampaignItemResult* find(const std::string& label) const noexcept;
+
+  /// Deterministic-content equality: labels, errors and every
+  /// non-timing/non-cache report field (sensors, STA binning, mutant specs,
+  /// per-mutant analysis results). The single comparator behind the
+  /// "bit-identical across thread counts / cache modes" checks of the
+  /// sweep tests and the bench/CI self-check.
+  bool sameResults(const CampaignResult& other) const noexcept;
 };
 
 /// Run every item of the spec; blocks until the campaign completes.

@@ -1,9 +1,13 @@
 #include "core/flow.h"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <stdexcept>
 
 #include "abstraction/emit_vhdl.h"
 #include "ir/elaborate.h"
+#include "util/fnv.h"
 #include "util/timer.h"
 
 namespace xlv::core {
@@ -34,6 +38,52 @@ void driveInputs(const analysis::DriveFn& drive, std::uint64_t cycle, Sim& sim) 
 
 std::uint64_t flowCycles(const ips::CaseStudy& cs, const FlowOptions& opts) {
   return opts.testbenchCycles != 0 ? opts.testbenchCycles : cs.testbench.cycles;
+}
+
+int flowHfRatio(const ips::CaseStudy& cs, const FlowOptions& opts) {
+  if (opts.sensorKind != SensorKind::Counter) return 0;
+  return opts.hfRatio.value_or(cs.hfRatio);
+}
+
+const char* mutantSetVariantName(MutantSetVariant v) noexcept {
+  switch (v) {
+    case MutantSetVariant::MinDelay: return "min";
+    case MutantSetVariant::MaxDelay: return "max";
+    case MutantSetVariant::Full: break;
+  }
+  return "full";
+}
+
+std::vector<mutation::MutantSpec> sliceMutantSet(
+    const std::vector<mutation::MutantSpec>& specs, MutantSetVariant variant) {
+  if (variant == MutantSetVariant::Full) return specs;
+  // Keep, per endpoint, the least (MinDelay) or most (MaxDelay) severe
+  // mutant. Razor sets carry one MinDelay + one MaxDelay spec per endpoint
+  // (kind decides); Counter sets carry a DeltaDelay triple ordered by
+  // ascending severity factor, so severity is the deltaTicks value. The
+  // scan is stable: the first spec of the winning severity represents its
+  // endpoint, and endpoint order follows first appearance in the input.
+  const bool wantMax = variant == MutantSetVariant::MaxDelay;
+  std::vector<mutation::MutantSpec> out;
+  std::vector<std::string> seen;
+  for (const auto& spec : specs) {
+    if (std::find(seen.begin(), seen.end(), spec.targetSignal) != seen.end()) continue;
+    seen.push_back(spec.targetSignal);
+    const mutation::MutantSpec* best = &spec;
+    for (const auto& s : specs) {
+      if (s.targetSignal != spec.targetSignal) continue;
+      if (s.kind != best->kind) {
+        // Razor: the MaxDelay kind is the severe one.
+        const bool sIsMax = s.kind == mutation::MutantKind::MaxDelay;
+        if (sIsMax == wantMax) best = &s;
+      } else if (wantMax ? s.deltaTicks > best->deltaTicks
+                         : s.deltaTicks < best->deltaTicks) {
+        best = &s;
+      }
+    }
+    out.push_back(*best);
+  }
+  return out;
 }
 
 double timeRtlSimulation(const ir::Design& d, const ips::CaseStudy& cs, int hfRatio,
@@ -74,7 +124,7 @@ void stageElaborate(const ips::CaseStudy& cs, const FlowOptions& opts, FlowRepor
   }
   report.ipName = cs.name;
   report.sensorKind = opts.sensorKind;
-  report.hfRatio = opts.sensorKind == SensorKind::Counter ? cs.hfRatio : 0;
+  report.hfRatio = flowHfRatio(cs, opts);
   report.cleanDesign = ir::elaborate(*cs.module);
   report.loc.rtlClean = abstraction::countLines(abstraction::emitVhdl(*cs.module));
 }
@@ -83,8 +133,9 @@ void stageElaborate(const ips::CaseStudy& cs, const FlowOptions& opts, FlowRepor
 void stageInsertion(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report) {
   sta::StaConfig staCfg;
   staCfg.clockPeriodPs = static_cast<double>(cs.periodPs);
-  staCfg.thresholdFraction = cs.staThresholdFraction;
-  staCfg.spreadFraction = cs.staSpreadFraction;
+  staCfg.thresholdFraction = opts.staThresholdFraction.value_or(cs.staThresholdFraction);
+  staCfg.spreadFraction = opts.staSpreadFraction.value_or(cs.staSpreadFraction);
+  if (opts.staCorner) staCfg.corner = *opts.staCorner;
   report.sta = sta::analyze(report.cleanDesign, staCfg);
   report.timings.staSeconds = report.sta.analysisSeconds;
 
@@ -111,8 +162,9 @@ void stageInjection(const ips::CaseStudy& cs, const FlowOptions& opts, FlowRepor
     report.mutantSpecs = analysis::razorMutantSet(report.sensors);
   } else {
     report.mutantSpecs = analysis::counterMutantSet(
-        report.sensors, static_cast<double>(cs.periodPs), cs.hfRatio);
+        report.sensors, static_cast<double>(cs.periodPs), report.hfRatio);
   }
+  report.mutantSpecs = sliceMutantSet(report.mutantSpecs, opts.mutantSet);
   report.injected = mutation::injectMutants(report.augmentedDesign, report.mutantSpecs);
   abstraction::AbstractionOptions aopts;
   aopts.hfRatio = report.hfRatio;
@@ -164,10 +216,71 @@ void stageAnalysis(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport
   acfg.hfRatio = report.hfRatio;
   acfg.sensorKind = opts.sensorKind;
   acfg.threads = opts.analysisThreads;
+  acfg.useGoldenCache = opts.useGoldenCache;
   analysis::Testbench tb = cs.testbench;
   tb.cycles = flowCycles(cs, opts);
   report.analysis = analysis::analyzeMutations<hdt::FourState>(
       report.augmentedDesign, report.injected, report.sensors, tb, acfg);
+}
+
+// --- shared stage prefixes ----------------------------------------------------
+
+FlowPrefix buildFlowPrefix(const ips::CaseStudy& cs, const FlowOptions& opts) {
+  FlowPrefix prefix;
+  stageElaborate(cs, opts, prefix.report);
+  stageInsertion(cs, opts, prefix.report);
+  return prefix;
+}
+
+std::string flowPrefixKey(const ips::CaseStudy& cs, const FlowOptions& opts) {
+  // Exactly the inputs stageElaborate + stageInsertion consume — including
+  // the module *content* (hash of its canonical emitted VHDL), so two
+  // same-named case studies with different modules never alias. hfRatio,
+  // cycle budget and mutant set are later-stage concerns and must NOT key
+  // the prefix (that is what makes sweeping them free).
+  const std::uint64_t moduleHash =
+      cs.module ? util::fnv1a64(abstraction::emitVhdl(*cs.module)) : 0;
+  const sta::Corner corner = opts.staCorner.value_or(sta::StaConfig{}.corner);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "m=%016" PRIx64 "|kind=%s|thr=%.17g|spread=%.17g|period=%" PRIu64
+                "|cp=%.17g|cv=%.17g|ct=%.17g",
+                moduleHash,
+                opts.sensorKind == insertion::SensorKind::Razor ? "razor" : "counter",
+                opts.staThresholdFraction.value_or(cs.staThresholdFraction),
+                opts.staSpreadFraction.value_or(cs.staSpreadFraction),
+                static_cast<std::uint64_t>(cs.periodPs), corner.processFactor,
+                corner.voltageFactor, corner.temperatureFactor);
+  // Variable-length names are length-prefixed so a '|' inside one cannot
+  // alias another field boundary.
+  std::string key("ip=");
+  key.append(std::to_string(cs.name.size())).append(":").append(cs.name);
+  key.append("|corner=").append(std::to_string(corner.name.size())).append(":");
+  key.append(corner.name).append("|").append(buf);
+  return key;
+}
+
+util::OnceCache<FlowPrefix>& flowPrefixCache() {
+  static util::OnceCache<FlowPrefix> cache;
+  return cache;
+}
+
+FlowReport runFlowWithPrefix(const FlowPrefix& prefix, const ips::CaseStudy& cs,
+                             const FlowOptions& opts) {
+  if (prefix.report.ipName != cs.name || prefix.report.sensorKind != opts.sensorKind) {
+    throw std::invalid_argument("flow: prefix built for " + prefix.report.ipName +
+                                " does not match case study '" + cs.name + "'");
+  }
+  FlowReport report = prefix.report;
+  // hfRatio is a per-point axis the shared prefix cannot carry.
+  report.hfRatio = flowHfRatio(cs, opts);
+  stageAbstraction(report);
+  stageInjection(cs, opts, report);
+  stageTimings(cs, opts, report);
+  if (opts.runMutationAnalysis) {
+    stageAnalysis(cs, opts, report);
+  }
+  return report;
 }
 
 FlowReport runFlow(const ips::CaseStudy& cs, const FlowOptions& opts) {

@@ -22,6 +22,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,13 +34,38 @@
 #include "mutation/adam.h"
 #include "rtl/kernel.h"
 #include "sta/sta.h"
+#include "util/once_cache.h"
 
 namespace xlv::core {
+
+/// Which slice of the generated mutant set an analysis runs — the
+/// "mutant-set variant" sweep axis. Full keeps every mutant; MinDelay /
+/// MaxDelay keep, per monitored endpoint, only the least / most severe
+/// mutant (Razor: the MinDelay / MaxDelay kind; Counter: the smallest /
+/// largest deltaTicks of the endpoint's DeltaDelay triple).
+enum class MutantSetVariant { Full, MinDelay, MaxDelay };
+
+const char* mutantSetVariantName(MutantSetVariant v) noexcept;
 
 struct FlowOptions {
   insertion::SensorKind sensorKind = insertion::SensorKind::Razor;
   /// Override the case study's testbench length (0 = keep).
   std::uint64_t testbenchCycles = 0;
+  // --- sweep-axis overrides (unset = keep the case study's value) ----------
+  /// PVT / V-f operating-point corner for the STA binning (Table 1 points;
+  /// unset = sta::StaConfig's default worst-setup corner).
+  std::optional<sta::Corner> staCorner;
+  std::optional<double> staThresholdFraction;
+  std::optional<double> staSpreadFraction;
+  /// Counter-version HF clock ratio override (ignored for Razor).
+  std::optional<int> hfRatio;
+  /// Mutant-set slice injected and analyzed (see MutantSetVariant).
+  MutantSetVariant mutantSet = MutantSetVariant::Full;
+  /// Share the golden trace through the process-wide cache
+  /// (analysis/golden_cache.h). Off by default: single flows gain nothing;
+  /// sweeps turn it on so axis points differing only in mutant set / STA
+  /// binning of an identical critical set skip the golden re-run.
+  bool useGoldenCache = false;
   /// Simulation-time measurements repeat this many times; the mean is kept
   /// (the paper averages over a number of executions).
   int timingRepetitions = 1;
@@ -85,6 +112,49 @@ struct FlowReport {
 
 /// The effective cycle budget of a flow invocation.
 std::uint64_t flowCycles(const ips::CaseStudy& cs, const FlowOptions& opts);
+
+/// The effective HF clock ratio (Counter: case-study value unless
+/// overridden; Razor: always 0).
+int flowHfRatio(const ips::CaseStudy& cs, const FlowOptions& opts);
+
+/// Apply the mutant-set variant slice (FlowOptions::mutantSet) to a
+/// generated mutant set. Full returns the input unchanged; MinDelay /
+/// MaxDelay keep one mutant per endpoint (stable: first match wins on ties).
+std::vector<mutation::MutantSpec> sliceMutantSet(
+    const std::vector<mutation::MutantSpec>& specs, MutantSetVariant variant);
+
+// --- shared stage prefixes ---------------------------------------------------
+// A FlowPrefix is the immutable result of the elaborate + insertion stages
+// (the re-elaboration a sweep must not repeat): sweep points that agree on
+// (IP, sensor kind, corner, threshold/spread binning, clock period) share
+// one prefix and only run injection/timings/analysis per point. hfRatio,
+// cycles and the mutant set deliberately do NOT key the prefix — they only
+// affect later stages, and runFlowWithPrefix recomputes the per-point
+// hfRatio on its private FlowReport copy.
+
+struct FlowPrefix {
+  FlowReport report;  ///< fragment filled by stageElaborate + stageInsertion
+};
+using FlowPrefixPtr = std::shared_ptr<const FlowPrefix>;
+
+/// Build the shared prefix: stageElaborate + stageInsertion.
+FlowPrefix buildFlowPrefix(const ips::CaseStudy& cs, const FlowOptions& opts);
+
+/// Deterministic identity of the prefix a (cs, opts) pair would build —
+/// the key of the process-wide prefix cache (serialized axis values, exact
+/// double rendering).
+std::string flowPrefixKey(const ips::CaseStudy& cs, const FlowOptions& opts);
+
+/// The process-wide prefix cache (util::OnceCache semantics: concurrent
+/// requests for one key elaborate exactly once). Cleared only by
+/// tests/benches.
+util::OnceCache<FlowPrefix>& flowPrefixCache();
+
+/// Run the remaining stages (abstraction, injection, timings, analysis) on a
+/// private copy of the prefix fragment. The prefix must have been built for
+/// the same case study, sensor kind and STA binning as `opts`.
+FlowReport runFlowWithPrefix(const FlowPrefix& prefix, const ips::CaseStudy& cs,
+                             const FlowOptions& opts);
 
 // --- composable stages (each fills its slice of the FlowReport) -------------
 void stageElaborate(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report);

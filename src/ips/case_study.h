@@ -39,4 +39,10 @@ CaseStudy buildDspCase();
 /// 1-bit PDM in, 16-bit PCM out.
 CaseStudy buildFilterCase();
 
+/// Stateful-protocol case study (beyond the paper's three IPs): a req/ack
+/// handshake target with a multi-cycle MAC datapath. Its testbench is
+/// makeDriver-only — a per-session protocol FSM with an incremental PRNG —
+/// exercising the campaign's per-task seeded driver contract end to end.
+CaseStudy buildHandshakeCase();
+
 }  // namespace xlv::ips

@@ -1,0 +1,189 @@
+// Handshake case study: a req/ack protocol target (ROADMAP's
+// stateful-testbench coverage item).
+//
+// The IP is a four-phase-handshake accumulator: a requester raises `req`
+// with `data_in` held stable; the target latches the operand, runs a
+// two-cycle multiply-accumulate (the deep combinational cone the STA bins
+// critical), then raises `ack` and presents `data_out`; `ack` drops only
+// after `req` drops. Outputs also expose a running checksum so every
+// transaction perturbs observable state (delay mutants are killable).
+//
+// Unlike the paper's three IPs, the shipped testbench is NOT a pure
+// function of the cycle index: it is a protocol FSM with an incremental
+// PRNG (random idle gaps, hold lengths and operands), provided only through
+// Testbench::makeDriver. Every campaign run — golden and each mutant —
+// replays the identical stimulus from a fresh seeded session, which is
+// exactly the contract the per-task driver machinery must uphold.
+#include "ips/case_study.h"
+
+#include <memory>
+
+#include "ir/builder.h"
+#include "util/prng.h"
+
+namespace xlv::ips {
+
+using namespace xlv::ir;
+
+namespace {
+
+constexpr int kW = 16;  // operand width
+constexpr int kAccW = 24;
+
+std::shared_ptr<Module> buildHandshakeModule() {
+  ModuleBuilder mb("handshake");
+  auto clk = mb.clock("clk");
+  auto rst = mb.in("rst", 1);
+  auto req = mb.in("req", 1);
+  auto dataIn = mb.in("data_in", kW);
+  auto ack = mb.out("ack", 1);
+  auto dataOut = mb.out("data_out", kAccW);
+  auto chkOut = mb.out("checksum", kW);
+
+  // Protocol state: 0 = IDLE (wait req), 1 = BUSY (MAC settling),
+  // 2 = HOLD (ack high, wait for req release).
+  auto state = mb.signal("state", 2);
+  auto latch = mb.signal("op_latch", kW);
+  auto busyCnt = mb.signal("busy_cnt", 2);
+  auto acc = mb.signal("acc_r", kAccW);
+  auto chk = mb.signal("chk_r", kW);
+  auto ackR = mb.signal("ack_r", 1);
+
+  // The critical cone: operand times a running coefficient folded into the
+  // accumulator — multiplier depth plus the add makes these endpoints the
+  // deepest paths of the design.
+  auto macNext = mb.signal("mac_next", kAccW);
+  mb.comb("p_mac", [&](ProcBuilder& p) {
+    p.assign(macNext,
+             Ex(acc) + slice(zext(Ex(latch), 2 * kW) * zext(slice(Ex(chk), 7, 0), 2 * kW),
+                             kAccW - 1, 0));
+  });
+  auto chkNext = mb.signal("chk_next", kW);
+  mb.comb("p_chk", [&](ProcBuilder& p) {
+    p.assign(chkNext, (Ex(chk) ^ Ex(latch)) + slice(Ex(macNext), kW - 1, 0));
+  });
+
+  mb.onRising("protocol_p", clk, [&](ProcBuilder& p) {
+    p.if_(
+        Ex(rst) == 1u,
+        [&] {
+          p.assign(state, lit(2, 0));
+          p.assign(latch, lit(kW, 0));
+          p.assign(busyCnt, lit(2, 0));
+          p.assign(acc, lit(kAccW, 0));
+          p.assign(chk, lit(kW, 0x5a5a & ((1 << kW) - 1)));
+          p.assign(ackR, lit(1, 0));
+        },
+        [&] {
+          p.if_(
+              Ex(state) == lit(2, 0),
+              [&] {
+                // IDLE: capture the operand on req.
+                p.if_(Ex(req) == 1u, [&] {
+                  p.assign(latch, dataIn);
+                  p.assign(busyCnt, lit(2, 0));
+                  p.assign(state, lit(2, 1));
+                });
+              },
+              [&] {
+                p.if_(
+                    Ex(state) == lit(2, 1),
+                    [&] {
+                      // BUSY: let the MAC cone settle for two cycles, then
+                      // commit and acknowledge.
+                      p.if_(
+                          Ex(busyCnt) == lit(2, 1),
+                          [&] {
+                            p.assign(acc, macNext);
+                            p.assign(chk, chkNext);
+                            p.assign(ackR, lit(1, 1));
+                            p.assign(state, lit(2, 2));
+                          },
+                          [&] { p.assign(busyCnt, Ex(busyCnt) + 1u); });
+                    },
+                    [&] {
+                      // HOLD: four-phase release — drop ack after req drops.
+                      p.if_(Ex(req) == 0u, [&] {
+                        p.assign(ackR, lit(1, 0));
+                        p.assign(state, lit(2, 0));
+                      });
+                    });
+              });
+        });
+  });
+
+  mb.comb("p_ack_out", [&](ProcBuilder& p) { p.assign(ack, ackR); });
+  mb.comb("p_data_out", [&](ProcBuilder& p) { p.assign(dataOut, acc); });
+  mb.comb("p_chk_out", [&](ProcBuilder& p) { p.assign(chkOut, chk); });
+
+  return mb.finish();
+}
+
+/// The per-session protocol driver: an FSM over (gap, assert, release)
+/// phases with PRNG-derived gap lengths, hold lengths and operands. All
+/// state lives in the session (captured by the returned closure), so two
+/// sessions with the same seed replay identical stimuli and sessions with
+/// different seeds explore different traffic shapes.
+analysis::DriveFn makeHandshakeDriver(std::uint64_t seed) {
+  struct Session {
+    util::Prng prng;
+    enum { Gap, Assert, Release } phase = Gap;
+    std::uint64_t phaseLeft = 2;
+    std::uint64_t operand = 0;
+    explicit Session(std::uint64_t s) : prng(s) {}
+  };
+  auto st = std::make_shared<Session>(seed);
+  return [st](std::uint64_t cycle, const analysis::PortSetter& set) {
+    if (cycle < 2) {  // reset preamble: a fixed, state-free prologue
+      set("rst", 1);
+      set("req", 0);
+      set("data_in", 0);
+      return;
+    }
+    set("rst", 0);
+    if (st->phaseLeft == 0) {
+      switch (st->phase) {
+        case Session::Gap:
+          st->phase = Session::Assert;
+          st->operand = st->prng.next() & 0xffff;
+          // Hold req at least 5 cycles: capture + 2-cycle MAC + ack + margin,
+          // so the write-only driver never races the target's ack.
+          st->phaseLeft = 5 + st->prng.next() % 3;
+          break;
+        case Session::Assert:
+          st->phase = Session::Release;
+          st->phaseLeft = 2;  // req low long enough for ack to drop
+          break;
+        case Session::Release:
+          st->phase = Session::Gap;
+          st->phaseLeft = 1 + st->prng.next() % 4;
+          break;
+      }
+    }
+    --st->phaseLeft;
+    set("req", st->phase == Session::Assert ? 1 : 0);
+    set("data_in", st->phase == Session::Assert ? st->operand : 0);
+  };
+}
+
+}  // namespace
+
+CaseStudy buildHandshakeCase() {
+  CaseStudy cs;
+  cs.name = "Handshake";
+  cs.module = buildHandshakeModule();
+  cs.clockGHz = 1.0;
+  cs.periodPs = 1000;
+  cs.vdd = 1.05;
+  cs.hfRatio = 8;
+  cs.staThresholdFraction = 0.25;
+  cs.staSpreadFraction = 0.75;  // MAC/checksum endpoints critical, FSM bits not
+  cs.testbench.name = "reqack_random";
+  cs.testbench.cycles = 400;
+  // makeDriver-only: there is deliberately no shared `drive` — every engine
+  // must go through a per-session driver (Testbench::driverForTask).
+  cs.testbench.makeDriver = makeHandshakeDriver;
+  return cs;
+}
+
+}  // namespace xlv::ips

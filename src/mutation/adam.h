@@ -33,6 +33,8 @@ struct MutantSpec {
   std::string targetSignal;  ///< flat name of the monitored register
   MutantKind kind = MutantKind::MinDelay;
   int deltaTicks = 1;        ///< DeltaDelay: HF periods of delay (1-based)
+
+  bool operator==(const MutantSpec&) const = default;
 };
 
 struct InjectedMutant {

@@ -1,8 +1,37 @@
 #include "sta/tech_library.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <stdexcept>
 
 namespace xlv::sta {
+
+Corner Corner::byName(const std::string& name) {
+  if (name == "typical") return typical();
+  if (name == "slow") return slow();
+  if (name == "fast") return fast();
+  throw std::invalid_argument("sta: unknown corner '" + name +
+                              "' (expected typical|slow|fast)");
+}
+
+Corner Corner::atOperatingPoint(double vdd, double nominalVdd) {
+  if (vdd <= 0.0 || nominalVdd <= 0.0) {
+    throw std::invalid_argument("sta: operating-point supply must be positive");
+  }
+  // Alpha-power-law delay scaling: d(V) ~ V / (V - Vth)^alpha, normalized to
+  // the nominal supply so the typical corner stays at factor 1.0.
+  constexpr double kVth = 0.35;   // 45nm-flavored threshold
+  constexpr double kAlpha = 1.3;  // velocity-saturation exponent
+  auto delay = [](double v) { return v / std::pow(std::max(v - kVth, 0.05), kAlpha); };
+  char name[32];
+  std::snprintf(name, sizeof(name), "vf_%.2fv", vdd);
+  return {name, 1.0, delay(vdd) / delay(nominalVdd), 1.0};
+}
+
+std::vector<Corner> standardCorners() {
+  return {Corner::typical(), Corner::slow(), Corner::fast()};
+}
 
 namespace {
 double log2w(int width) noexcept { return std::log2(static_cast<double>(width < 2 ? 2 : width)); }

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "ir/expr.h"
 
@@ -41,7 +42,22 @@ struct Corner {
   static Corner slow() { return {"ss_0.95v_125c", 1.12, 1.08, 1.06}; }
   /// Fast process, high voltage, low temperature.
   static Corner fast() { return {"ff_1.15v_m40c", 0.90, 0.94, 0.97}; }
+
+  /// Named-corner lookup ("typical" | "slow" | "fast"); throws
+  /// std::invalid_argument on an unknown name. Sweep specs address corners
+  /// by name so campaign labels and cache keys stay human-readable.
+  static Corner byName(const std::string& name);
+
+  /// A V-f operating-point derate in the style of Table 1: voltage scaling
+  /// relative to the library's nominal supply, alpha-power-law delay model
+  /// (delay ~ Vdd / (Vdd - Vth)^alpha, alpha ≈ 1.3 at 45nm). Lower supply
+  /// → larger factor → earlier critical binning, which is exactly how the
+  /// paper tightens monitor insertion at low-voltage points.
+  static Corner atOperatingPoint(double vdd, double nominalVdd = 1.05);
 };
+
+/// The corner axis the sweep layer offers by default: typical, slow, fast.
+std::vector<Corner> standardCorners();
 
 class TechLibrary {
  public:

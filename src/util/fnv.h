@@ -1,0 +1,32 @@
+// FNV-1a 64-bit hashing, shared by the cache-key builders (golden traces,
+// flow prefixes). Not cryptographic — collision resistance is "64 bits over
+// canonical serializations", which is the usual content-addressing trade.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace xlv::util {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t fnv1a64(std::string_view data,
+                             std::uint64_t h = kFnvOffset) noexcept {
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Mix an integer into the hash byte-by-byte (endianness-independent).
+inline std::uint64_t fnv1a64Mix(std::uint64_t v, std::uint64_t h) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffU;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace xlv::util

@@ -1,0 +1,113 @@
+// OnceCache: a process-wide, thread-safe build-once/share-forever cache.
+//
+// The campaign layer derives several expensive immutable artifacts whose
+// identity is fully captured by a string key: golden traces (analysis/
+// golden_cache.h) and flow stage prefixes (core/flow.h). Sweep points that
+// agree on a key must share one artifact; concurrent executor tasks racing
+// for the same key must build it exactly once, with the losers blocking on
+// the winner rather than duplicating work.
+//
+// Concurrency model: a mutex guards only the key -> entry map; each entry
+// carries its own std::once_flag, so builds for *different* keys proceed in
+// parallel while builds for the *same* key serialize through call_once. A
+// build that throws leaves the once_flag unset (std::call_once semantics),
+// so the next caller retries instead of caching the failure.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace xlv::util {
+
+struct OnceCacheStats {
+  std::size_t hits = 0;    ///< requests served from an already-present entry
+  std::size_t misses = 0;  ///< requests that inserted the entry (and built it)
+  double hitRate() const noexcept {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+template <class V>
+class OnceCache {
+ public:
+  /// Return the cached value for `key`, building it via `build` on first
+  /// request. `wasHit`, when non-null, reports whether this call's work was
+  /// served by a build it did not run itself (a waiter on an in-flight
+  /// build counts as a hit: the work is not repeated). A caller that
+  /// re-runs the build because an earlier attempt threw counts as a miss.
+  std::shared_ptr<const V> getOrBuild(const std::string& key,
+                                      const std::function<V()>& build,
+                                      bool* wasHit = nullptr) {
+    std::shared_ptr<Entry> entry;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it == entries_.end()) {
+        it = entries_.emplace(key, std::make_shared<Entry>()).first;
+      }
+      entry = it->second;
+    }
+    bool builtHere = false;
+    std::call_once(entry->once, [&] {
+      builtHere = true;
+      auto value = std::make_shared<const V>(build());
+      std::lock_guard<std::mutex> lock(mutex_);
+      entry->value = std::move(value);
+    });
+    if (builtHere) {
+      ++misses_;
+    } else {
+      ++hits_;
+    }
+    if (wasHit != nullptr) *wasHit = !builtHere;
+    // call_once synchronizes-with the winning build, so value is visible.
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entry->value;
+  }
+
+  /// Peek without building; null when absent or still being built.
+  std::shared_ptr<const V> find(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : it->second->value;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  OnceCacheStats stats() const {
+    return OnceCacheStats{hits_.load(std::memory_order_relaxed),
+                          misses_.load(std::memory_order_relaxed)};
+  }
+
+  /// Drop all entries and reset the counters. Not linearizable with respect
+  /// to concurrent getOrBuild calls (in-flight builds complete against the
+  /// old entries); intended for test/bench isolation between phases.
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::shared_ptr<const V> value;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace xlv::util

@@ -1,0 +1,136 @@
+// Golden-trace cache: key discrimination (distinct hfRatio / cycles /
+// testbench must miss), concurrent-access safety (one recording per key,
+// whatever the race), and cached-vs-uncached report equality.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "analysis/golden_cache.h"
+#include "analysis/mutation_analysis.h"
+#include "core/flow.h"
+#include "ips/case_study.h"
+#include "util/once_cache.h"
+
+namespace xlv::analysis {
+namespace {
+
+struct Fixture {
+  ips::CaseStudy cs;
+  core::FlowReport flow;
+  Testbench tb;
+  AnalysisConfig cfg;
+
+  explicit Fixture(std::uint64_t cycles = 80) {
+    cs = ips::buildFilterCase();
+    core::FlowOptions opts;
+    opts.testbenchCycles = cycles;
+    core::stageElaborate(cs, opts, flow);
+    core::stageInsertion(cs, opts, flow);
+    core::stageInjection(cs, opts, flow);
+    tb = cs.testbench;
+    tb.cycles = cycles;
+    cfg.hfRatio = flow.hfRatio;
+    cfg.sensorKind = opts.sensorKind;
+  }
+
+  std::string key() const {
+    return goldenTraceKey(flow.augmentedDesign, flow.sensors, tb, cfg, "4s");
+  }
+};
+
+TEST(GoldenCacheKey, IdenticalInputsAgreeDistinctInputsMiss) {
+  const Fixture a;
+  EXPECT_EQ(a.key(), Fixture().key());  // fully re-derived, same key
+
+  Fixture cycles;
+  cycles.tb.cycles = 81;
+  EXPECT_NE(a.key(), cycles.key());
+
+  Fixture hf;
+  hf.cfg.hfRatio = 7;
+  EXPECT_NE(a.key(), hf.key());
+
+  Fixture tbName;
+  tbName.tb.name = "other_stimulus";
+  EXPECT_NE(a.key(), tbName.key());
+
+  Fixture seed;
+  seed.tb.seed ^= 1;
+  EXPECT_NE(a.key(), seed.key());
+
+  Fixture stim;
+  stim.cfg.stimulusId = 3;
+  EXPECT_NE(a.key(), stim.key());
+
+  EXPECT_NE(a.key(), goldenTraceKey(a.flow.augmentedDesign, a.flow.sensors, a.tb, a.cfg, "2s"));
+
+  // A different design (the clean IP instead of the augmented one) misses.
+  EXPECT_NE(designFingerprint(a.flow.augmentedDesign, 0),
+            designFingerprint(a.flow.cleanDesign, 0));
+}
+
+TEST(GoldenCache, ConcurrentRequestsRecordExactlyOnce) {
+  util::OnceCache<GoldenTrace> cache;
+  const Fixture f;
+  std::atomic<int> recordings{0};
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const GoldenTrace>> traces(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      traces[t] = cache.getOrBuild(f.key(), [&] {
+        recordings.fetch_add(1);
+        return recordGoldenTrace<hdt::FourState>(f.flow.augmentedDesign, f.flow.sensors,
+                                                 f.tb, f.cfg);
+      });
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(1, recordings.load());
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(traces[0], traces[t]);  // same object
+  EXPECT_EQ(1u, cache.stats().misses);
+  EXPECT_EQ(static_cast<std::size_t>(kThreads - 1), cache.stats().hits);
+}
+
+TEST(GoldenCache, CachedAnalysisIsBitIdenticalToUncached) {
+  goldenTraceCache().clear();
+  const Fixture f;
+
+  auto analyze = [&](bool useCache) {
+    AnalysisConfig cfg = f.cfg;
+    cfg.useGoldenCache = useCache;
+    return analyzeMutations<hdt::FourState>(f.flow.augmentedDesign, f.flow.injected,
+                                            f.flow.sensors, f.tb, cfg);
+  };
+
+  const AnalysisReport uncached = analyze(false);
+  EXPECT_FALSE(uncached.goldenFromCache);
+
+  const AnalysisReport first = analyze(true);
+  EXPECT_FALSE(first.goldenFromCache);  // cold cache: this run recorded
+  const AnalysisReport second = analyze(true);
+  EXPECT_TRUE(second.goldenFromCache);
+  EXPECT_EQ(1u, goldenTraceCache().stats().hits);
+
+  ASSERT_GT(uncached.total(), 0);
+  EXPECT_TRUE(uncached.sameResults(first));
+  EXPECT_TRUE(uncached.sameResults(second));
+  // The ledger shows the saving: a hit spends (almost) no golden time.
+  EXPECT_GT(first.goldenSeconds, 0.0);
+  EXPECT_LT(second.goldenSeconds, first.goldenSeconds);
+}
+
+TEST(OnceCache, BuildFailureIsRetriedNotCached) {
+  util::OnceCache<int> cache;
+  EXPECT_THROW(cache.getOrBuild("k", []() -> int { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  auto v = cache.getOrBuild("k", [] { return 42; });
+  ASSERT_NE(nullptr, v);
+  EXPECT_EQ(42, *v);
+}
+
+}  // namespace
+}  // namespace xlv::analysis

@@ -1,0 +1,51 @@
+// Corner plumbing for the sweep layer: name-based lookup and the Table-1
+// V-f operating-point derate model.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sta/sta.h"
+#include "sta/tech_library.h"
+
+namespace xlv::sta {
+namespace {
+
+TEST(Corner, ByNameResolvesTheStandardCorners) {
+  EXPECT_EQ(Corner::typical().name, Corner::byName("typical").name);
+  EXPECT_EQ(Corner::slow().name, Corner::byName("slow").name);
+  EXPECT_EQ(Corner::fast().name, Corner::byName("fast").name);
+  EXPECT_DOUBLE_EQ(Corner::slow().derate(), Corner::byName("slow").derate());
+  EXPECT_THROW(Corner::byName("ss_typo"), std::invalid_argument);
+}
+
+TEST(Corner, StandardCornersSpanTypicalSlowFast) {
+  const auto corners = standardCorners();
+  ASSERT_EQ(3u, corners.size());
+  EXPECT_LT(corners[2].derate(), corners[0].derate());  // fast < typical
+  EXPECT_LT(corners[0].derate(), corners[1].derate());  // typical < slow
+}
+
+TEST(Corner, OperatingPointDerateGrowsAsSupplyDrops) {
+  // Alpha-power-law shape: nominal supply is the 1.0 reference, lower Vdd
+  // slows paths (larger factor), higher Vdd speeds them up — the Table 1
+  // V-f trade the paper characterizes each IP across.
+  const Corner nominal = Corner::atOperatingPoint(1.05);
+  EXPECT_NEAR(1.0, nominal.derate(), 1e-12);
+  const Corner low = Corner::atOperatingPoint(0.9);
+  const Corner lower = Corner::atOperatingPoint(0.8);
+  const Corner high = Corner::atOperatingPoint(1.2);
+  EXPECT_GT(low.derate(), 1.0);
+  EXPECT_GT(lower.derate(), low.derate());
+  EXPECT_LT(high.derate(), 1.0);
+  EXPECT_EQ("vf_0.90v", low.name);
+  EXPECT_THROW(Corner::atOperatingPoint(0.0), std::invalid_argument);
+
+  // A lower-supply corner tightens critical binning: derated arrivals rise,
+  // so the critical set can only grow for a fixed threshold.
+  StaConfig cfg;
+  cfg.corner = lower;
+  EXPECT_GT(cfg.corner.derate(), StaConfig{}.corner.derate() * 0.8);
+}
+
+}  // namespace
+}  // namespace xlv::sta
