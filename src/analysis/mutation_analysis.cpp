@@ -234,7 +234,13 @@ AnalysisReport analyzeMutations(const ir::Design& golden, const InjectedDesign& 
   report.goldenSeconds = ctx.goldenSeconds;
   report.goldenFromCache = ctx.goldenFromCache;
 
-  const std::size_t n = ctx.layout->mutants.size();
+  // Clamp the requested mutant subrange (AnalysisConfig::mutantBegin/End)
+  // to the injected set; the default 0/0 selects every mutant.
+  const std::size_t total = ctx.layout->mutants.size();
+  const std::size_t begin = std::min(cfg.mutantBegin, total);
+  const std::size_t end =
+      std::max(begin, cfg.mutantEnd == 0 ? total : std::min(cfg.mutantEnd, total));
+  const std::size_t n = end - begin;
   report.results.resize(n);
   std::vector<double> taskSeconds(n, 0.0);
 
@@ -242,7 +248,7 @@ AnalysisReport analyzeMutations(const ir::Design& golden, const InjectedDesign& 
   report.threadsUsed = executor.effectiveThreads(n);
   executor.run(n, [&](std::size_t i) {
     util::Timer t;
-    report.results[i] = simulateMutant<P>(ctx, static_cast<int>(i));
+    report.results[i] = simulateMutant<P>(ctx, static_cast<int>(begin + i));
     taskSeconds[i] = t.seconds();
   });
 

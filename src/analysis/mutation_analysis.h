@@ -121,6 +121,13 @@ struct AnalysisConfig {
   /// The shared trace is immutable, so the report stays bit-identical with
   /// the cache on or off; only goldenSeconds/simSeconds shrink on a hit.
   bool useGoldenCache = false;
+  /// Simulate only injected-mutant indices [mutantBegin, mutantEnd), clamped
+  /// to the injected set; mutantEnd == 0 means "to the end". The report's
+  /// results are exactly that subrange in index order with their global ids,
+  /// so concatenating adjacent subrange reports reproduces the full run —
+  /// the contract process-level shard fragments rely on.
+  std::size_t mutantBegin = 0;
+  std::size_t mutantEnd = 0;
 };
 
 /// Golden trajectory: per cycle, the output-port values and the monitored

@@ -15,6 +15,15 @@ bool CampaignResult::ok() const noexcept {
   return true;
 }
 
+const CampaignItemResult* CampaignResult::firstError() const noexcept {
+  const CampaignItemResult* first = nullptr;
+  for (const auto& it : items) {
+    if (it.error.empty()) continue;
+    if (first == nullptr || it.taskId < first->taskId) first = &it;
+  }
+  return first;
+}
+
 const CampaignItemResult* CampaignResult::find(const std::string& label) const noexcept {
   for (const auto& it : items) {
     if (it.label == label) return &it;
@@ -49,9 +58,7 @@ bool CampaignResult::sameResults(const CampaignResult& other) const noexcept {
 namespace {
 
 std::string defaultLabel(const CampaignItem& item) {
-  const char* kind =
-      item.options.sensorKind == insertion::SensorKind::Razor ? "razor" : "counter";
-  return item.caseStudy.name + "/" + kind;
+  return item.caseStudy.name + "/" + insertion::sensorKindName(item.options.sensorKind);
 }
 
 }  // namespace

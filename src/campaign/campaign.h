@@ -75,6 +75,11 @@ struct CampaignResult {
 
   bool ok() const noexcept;
   const CampaignItemResult* find(const std::string& label) const noexcept;
+  /// The errored item with the lowest task id, or null when ok(). Mirrors
+  /// the executor's lowest-index exception rule at the campaign level: a
+  /// merged multi-shard result surfaces the same first failure the
+  /// single-process run would.
+  const CampaignItemResult* firstError() const noexcept;
 
   /// Deterministic-content equality: labels, errors and every
   /// non-timing/non-cache report field (sensors, STA binning, mutant specs,

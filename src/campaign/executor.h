@@ -37,8 +37,13 @@ struct ExecutorConfig {
 
 /// Resolve a requested thread count against the XLV_THREADS override and the
 /// hardware concurrency (logged once per process via util/log, component
-/// "campaign").
+/// "campaign"). A malformed or out-of-range override is ignored with a
+/// warning (once per distinct value) and degrades to auto.
 int resolveThreadCount(int requested);
+
+/// Test hook: forget which malformed XLV_THREADS values were already warned
+/// about, so warning assertions stay valid under --gtest_repeat.
+void resetThreadEnvWarningsForTest();
 
 class Executor {
  public:

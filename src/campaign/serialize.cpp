@@ -1,0 +1,367 @@
+#include "campaign/serialize.h"
+
+#include "util/codec.h"
+
+namespace xlv::campaign {
+
+using util::Decoder;
+using util::DecodeError;
+using util::Encoder;
+
+namespace {
+
+constexpr const char* kSpecTag = "campaign-spec";
+constexpr const char* kResultTag = "campaign-result";
+constexpr const char* kAnalysisTag = "analysis-report";
+constexpr const char* kMutantTag = "mutant-result";
+
+// --- enum <-> canonical wire names ------------------------------------------
+// Enums travel as names, not raw integers: the decoder rejects values a
+// different build would interpret differently, and shard files stay
+// human-readable. Forward mappings are the shared canonical ones
+// (insertion::sensorKindName, core::mutantSetVariantName,
+// mutation::mutantKindName); only the reverse lookups live here.
+
+using insertion::sensorKindName;
+
+insertion::SensorKind sensorKindByName(const std::string& s) {
+  if (s == "razor") return insertion::SensorKind::Razor;
+  if (s == "counter") return insertion::SensorKind::Counter;
+  throw DecodeError("unknown sensor kind '" + s + "'");
+}
+
+core::MutantSetVariant mutantSetByName(const std::string& s) {
+  if (s == "full") return core::MutantSetVariant::Full;
+  if (s == "min") return core::MutantSetVariant::MinDelay;
+  if (s == "max") return core::MutantSetVariant::MaxDelay;
+  throw DecodeError("unknown mutant-set variant '" + s + "'");
+}
+
+mutation::MutantKind mutantKindByName(const std::string& s) {
+  if (s == "min-delay") return mutation::MutantKind::MinDelay;
+  if (s == "max-delay") return mutation::MutantKind::MaxDelay;
+  if (s == "delta-delay") return mutation::MutantKind::DeltaDelay;
+  throw DecodeError("unknown mutant kind '" + s + "'");
+}
+
+// --- field-group helpers -----------------------------------------------------
+
+void putCorner(Encoder& e, const sta::Corner& c) {
+  e.str("corner.name", c.name);
+  e.f64("corner.process", c.processFactor);
+  e.f64("corner.voltage", c.voltageFactor);
+  e.f64("corner.temperature", c.temperatureFactor);
+}
+
+sta::Corner getCorner(Decoder& d) {
+  sta::Corner c;
+  c.name = d.str("corner.name");
+  c.processFactor = d.f64("corner.process");
+  c.voltageFactor = d.f64("corner.voltage");
+  c.temperatureFactor = d.f64("corner.temperature");
+  return c;
+}
+
+void putOptions(Encoder& e, const core::FlowOptions& o) {
+  e.str("opt.sensorKind", sensorKindName(o.sensorKind));
+  e.u64("opt.testbenchCycles", o.testbenchCycles);
+  e.boolean("opt.hasCorner", o.staCorner.has_value());
+  if (o.staCorner) putCorner(e, *o.staCorner);
+  e.boolean("opt.hasThreshold", o.staThresholdFraction.has_value());
+  if (o.staThresholdFraction) e.f64("opt.threshold", *o.staThresholdFraction);
+  e.boolean("opt.hasSpread", o.staSpreadFraction.has_value());
+  if (o.staSpreadFraction) e.f64("opt.spread", *o.staSpreadFraction);
+  e.boolean("opt.hasHfRatio", o.hfRatio.has_value());
+  if (o.hfRatio) e.i64("opt.hfRatio", *o.hfRatio);
+  e.str("opt.mutantSet", core::mutantSetVariantName(o.mutantSet));
+  e.u64("opt.mutantBegin", o.mutantBegin);
+  e.u64("opt.mutantEnd", o.mutantEnd);
+  e.boolean("opt.useGoldenCache", o.useGoldenCache);
+  e.i64("opt.timingRepetitions", o.timingRepetitions);
+  e.boolean("opt.measureRtl", o.measureRtl);
+  e.boolean("opt.measureOptimized", o.measureOptimized);
+  e.boolean("opt.runMutationAnalysis", o.runMutationAnalysis);
+  e.i64("opt.analysisThreads", o.analysisThreads);
+}
+
+core::FlowOptions getOptions(Decoder& d) {
+  core::FlowOptions o;
+  o.sensorKind = sensorKindByName(d.str("opt.sensorKind"));
+  o.testbenchCycles = d.u64("opt.testbenchCycles");
+  if (d.boolean("opt.hasCorner")) o.staCorner = getCorner(d);
+  if (d.boolean("opt.hasThreshold")) o.staThresholdFraction = d.f64("opt.threshold");
+  if (d.boolean("opt.hasSpread")) o.staSpreadFraction = d.f64("opt.spread");
+  if (d.boolean("opt.hasHfRatio")) o.hfRatio = static_cast<int>(d.i64("opt.hfRatio"));
+  o.mutantSet = mutantSetByName(d.str("opt.mutantSet"));
+  o.mutantBegin = static_cast<std::size_t>(d.u64("opt.mutantBegin"));
+  o.mutantEnd = static_cast<std::size_t>(d.u64("opt.mutantEnd"));
+  o.useGoldenCache = d.boolean("opt.useGoldenCache");
+  o.timingRepetitions = static_cast<int>(d.i64("opt.timingRepetitions"));
+  o.measureRtl = d.boolean("opt.measureRtl");
+  o.measureOptimized = d.boolean("opt.measureOptimized");
+  o.runMutationAnalysis = d.boolean("opt.runMutationAnalysis");
+  o.analysisThreads = static_cast<int>(d.i64("opt.analysisThreads"));
+  return o;
+}
+
+void putMutantSpec(Encoder& e, const mutation::MutantSpec& m) {
+  e.str("spec.target", m.targetSignal);
+  e.str("spec.kind", mutation::mutantKindName(m.kind));
+  e.i64("spec.deltaTicks", m.deltaTicks);
+}
+
+mutation::MutantSpec getMutantSpec(Decoder& d) {
+  mutation::MutantSpec m;
+  m.targetSignal = d.str("spec.target");
+  m.kind = mutantKindByName(d.str("spec.kind"));
+  m.deltaTicks = static_cast<int>(d.i64("spec.deltaTicks"));
+  return m;
+}
+
+void putMutantResult(Encoder& e, const analysis::MutantResult& r) {
+  e.i64("mut.id", r.id);
+  e.str("mut.endpoint", r.endpoint);
+  e.str("mut.kind", mutation::mutantKindName(r.kind));
+  e.i64("mut.deltaTicks", r.deltaTicks);
+  e.boolean("mut.killed", r.killed);
+  e.boolean("mut.detected", r.detected);
+  e.boolean("mut.errorRisen", r.errorRisen);
+  e.boolean("mut.corrected", r.corrected);
+  e.boolean("mut.correctionChecked", r.correctionChecked);
+  e.u64("mut.measuredDelay", r.measuredDelay);
+}
+
+analysis::MutantResult getMutantResult(Decoder& d) {
+  analysis::MutantResult r;
+  r.id = static_cast<int>(d.i64("mut.id"));
+  r.endpoint = d.str("mut.endpoint");
+  r.kind = mutantKindByName(d.str("mut.kind"));
+  r.deltaTicks = static_cast<int>(d.i64("mut.deltaTicks"));
+  r.killed = d.boolean("mut.killed");
+  r.detected = d.boolean("mut.detected");
+  r.errorRisen = d.boolean("mut.errorRisen");
+  r.corrected = d.boolean("mut.corrected");
+  r.correctionChecked = d.boolean("mut.correctionChecked");
+  r.measuredDelay = d.u64("mut.measuredDelay");
+  return r;
+}
+
+void putAnalysis(Encoder& e, const analysis::AnalysisReport& a) {
+  e.u64("an.cyclesPerRun", a.cyclesPerRun);
+  e.f64("an.simSeconds", a.simSeconds);
+  e.f64("an.wallSeconds", a.wallSeconds);
+  e.f64("an.goldenSeconds", a.goldenSeconds);
+  e.boolean("an.goldenFromCache", a.goldenFromCache);
+  e.i64("an.threadsUsed", a.threadsUsed);
+  e.beginList("an.results", a.results.size());
+  for (const auto& r : a.results) putMutantResult(e, r);
+}
+
+analysis::AnalysisReport getAnalysis(Decoder& d) {
+  analysis::AnalysisReport a;
+  a.cyclesPerRun = d.u64("an.cyclesPerRun");
+  a.simSeconds = d.f64("an.simSeconds");
+  a.wallSeconds = d.f64("an.wallSeconds");
+  a.goldenSeconds = d.f64("an.goldenSeconds");
+  a.goldenFromCache = d.boolean("an.goldenFromCache");
+  a.threadsUsed = static_cast<int>(d.i64("an.threadsUsed"));
+  a.results.resize(d.beginList("an.results"));
+  for (auto& r : a.results) r = getMutantResult(d);
+  return a;
+}
+
+void putSensor(Encoder& e, const insertion::InsertedSensor& s) {
+  e.str("sensor.endpoint", s.endpointName);
+  e.str("sensor.instance", s.instanceName);
+  e.str("sensor.error", s.errorSignal);
+  e.str("sensor.q", s.qSignal);
+  e.str("sensor.measVal", s.measValSignal);
+  e.str("sensor.outOk", s.outOkSignal);
+  e.f64("sensor.arrivalPs", s.endpointArrivalPs);
+}
+
+insertion::InsertedSensor getSensor(Decoder& d) {
+  insertion::InsertedSensor s;
+  s.endpointName = d.str("sensor.endpoint");
+  s.instanceName = d.str("sensor.instance");
+  s.errorSignal = d.str("sensor.error");
+  s.qSignal = d.str("sensor.q");
+  s.measValSignal = d.str("sensor.measVal");
+  s.outOkSignal = d.str("sensor.outOk");
+  s.endpointArrivalPs = d.f64("sensor.arrivalPs");
+  return s;
+}
+
+// The portable FlowReport subset: every field sameResults compares plus the
+// timing ledger — never the elaborated designs (see serialize.h).
+void putReport(Encoder& e, const core::FlowReport& r) {
+  e.str("rep.ipName", r.ipName);
+  e.str("rep.sensorKind", sensorKindName(r.sensorKind));
+  e.i64("rep.hfRatio", r.hfRatio);
+  e.i64("rep.skippedEndpoints", r.skippedEndpoints);
+  e.f64("rep.sensorAreaGates", r.sensorAreaGates);
+  e.i64("rep.staCriticalCount", r.sta.criticalCount);
+  e.f64("rep.staThresholdPs", r.sta.thresholdPs);
+  e.f64("rep.staClockPeriodPs", r.sta.clockPeriodPs);
+  e.f64("rep.staMinSlackPs", r.sta.minSlackPs);
+  e.i64("rep.locRtlClean", r.loc.rtlClean);
+  e.i64("rep.locRtlAugmented", r.loc.rtlAugmented);
+  e.i64("rep.locTlm", r.loc.tlm);
+  e.i64("rep.locTlmInjected", r.loc.tlmInjected);
+  e.beginList("rep.sensors", r.sensors.size());
+  for (const auto& s : r.sensors) putSensor(e, s);
+  e.beginList("rep.mutantSpecs", r.mutantSpecs.size());
+  for (const auto& m : r.mutantSpecs) putMutantSpec(e, m);
+  putAnalysis(e, r.analysis);
+}
+
+core::FlowReport getReport(Decoder& d) {
+  core::FlowReport r;
+  r.ipName = d.str("rep.ipName");
+  r.sensorKind = sensorKindByName(d.str("rep.sensorKind"));
+  r.hfRatio = static_cast<int>(d.i64("rep.hfRatio"));
+  r.skippedEndpoints = static_cast<int>(d.i64("rep.skippedEndpoints"));
+  r.sensorAreaGates = d.f64("rep.sensorAreaGates");
+  r.sta.criticalCount = static_cast<int>(d.i64("rep.staCriticalCount"));
+  r.sta.thresholdPs = d.f64("rep.staThresholdPs");
+  r.sta.clockPeriodPs = d.f64("rep.staClockPeriodPs");
+  r.sta.minSlackPs = d.f64("rep.staMinSlackPs");
+  r.loc.rtlClean = static_cast<int>(d.i64("rep.locRtlClean"));
+  r.loc.rtlAugmented = static_cast<int>(d.i64("rep.locRtlAugmented"));
+  r.loc.tlm = static_cast<int>(d.i64("rep.locTlm"));
+  r.loc.tlmInjected = static_cast<int>(d.i64("rep.locTlmInjected"));
+  r.sensors.resize(d.beginList("rep.sensors"));
+  for (auto& s : r.sensors) s = getSensor(d);
+  r.mutantSpecs.resize(d.beginList("rep.mutantSpecs"));
+  for (auto& m : r.mutantSpecs) m = getMutantSpec(d);
+  r.analysis = getAnalysis(d);
+  return r;
+}
+
+void putItemResult(Encoder& e, const CampaignItemResult& it) {
+  e.u64("item.taskId", it.taskId);
+  e.str("item.label", it.label);
+  e.str("item.error", it.error);
+  e.f64("item.taskSeconds", it.taskSeconds);
+  e.f64("item.goldenSeconds", it.goldenSeconds);
+  e.boolean("item.goldenFromCache", it.goldenFromCache);
+  e.boolean("item.prefixShared", it.prefixShared);
+  putReport(e, it.report);
+}
+
+CampaignItemResult getItemResult(Decoder& d) {
+  CampaignItemResult it;
+  it.taskId = static_cast<std::size_t>(d.u64("item.taskId"));
+  it.label = d.str("item.label");
+  it.error = d.str("item.error");
+  it.taskSeconds = d.f64("item.taskSeconds");
+  it.goldenSeconds = d.f64("item.goldenSeconds");
+  it.goldenFromCache = d.boolean("item.goldenFromCache");
+  it.prefixShared = d.boolean("item.prefixShared");
+  it.report = getReport(d);
+  return it;
+}
+
+}  // namespace
+
+std::vector<std::string> knownCaseStudyNames() {
+  return {"Plasma", "DSP", "Filter", "Handshake"};
+}
+
+ips::CaseStudy buildCaseStudyByName(const std::string& name) {
+  if (name == "Plasma") return ips::buildPlasmaCase();
+  if (name == "DSP") return ips::buildDspCase();
+  if (name == "Filter") return ips::buildFilterCase();
+  if (name == "Handshake") return ips::buildHandshakeCase();
+  throw DecodeError("unknown case study '" + name + "' (known: Plasma, DSP, Filter, Handshake)");
+}
+
+std::string encodeCampaignSpec(const CampaignSpec& spec) {
+  Encoder e(kSpecTag, kCampaignCodecVersion);
+  e.str("name", spec.name);
+  e.i64("executor.threads", spec.executor.threads);
+  e.i64("executor.chunkSize", spec.executor.chunkSize);
+  e.beginList("items", spec.items.size());
+  for (const auto& item : spec.items) {
+    e.str("item.case", item.caseStudy.name);
+    e.str("item.label", item.label);
+    e.str("item.prefixKey", item.prefixKey);
+    putOptions(e, item.options);
+  }
+  return e.take();
+}
+
+CampaignSpec decodeCampaignSpec(std::string_view data) {
+  Decoder d(data, kSpecTag, kCampaignCodecVersion);
+  CampaignSpec spec;
+  spec.name = d.str("name");
+  spec.executor.threads = static_cast<int>(d.i64("executor.threads"));
+  spec.executor.chunkSize = static_cast<int>(d.i64("executor.chunkSize"));
+  spec.items.resize(d.beginList("items"));
+  for (auto& item : spec.items) {
+    item.caseStudy = buildCaseStudyByName(d.str("item.case"));
+    item.label = d.str("item.label");
+    item.prefixKey = d.str("item.prefixKey");
+    item.options = getOptions(d);
+  }
+  d.finish();
+  return spec;
+}
+
+std::string encodeCampaignResult(const CampaignResult& result) {
+  Encoder e(kResultTag, kCampaignCodecVersion);
+  e.str("name", result.name);
+  e.f64("simSeconds", result.simSeconds);
+  e.f64("goldenSeconds", result.goldenSeconds);
+  e.i64("goldenCacheHits", result.goldenCacheHits);
+  e.i64("prefixCacheHits", result.prefixCacheHits);
+  e.f64("wallSeconds", result.wallSeconds);
+  e.i64("threadsUsed", result.threadsUsed);
+  e.beginList("items", result.items.size());
+  for (const auto& it : result.items) putItemResult(e, it);
+  return e.take();
+}
+
+CampaignResult decodeCampaignResult(std::string_view data) {
+  Decoder d(data, kResultTag, kCampaignCodecVersion);
+  CampaignResult result;
+  result.name = d.str("name");
+  result.simSeconds = d.f64("simSeconds");
+  result.goldenSeconds = d.f64("goldenSeconds");
+  result.goldenCacheHits = static_cast<int>(d.i64("goldenCacheHits"));
+  result.prefixCacheHits = static_cast<int>(d.i64("prefixCacheHits"));
+  result.wallSeconds = d.f64("wallSeconds");
+  result.threadsUsed = static_cast<int>(d.i64("threadsUsed"));
+  result.items.resize(d.beginList("items"));
+  for (auto& it : result.items) it = getItemResult(d);
+  d.finish();
+  return result;
+}
+
+std::string encodeAnalysisReport(const analysis::AnalysisReport& report) {
+  Encoder e(kAnalysisTag, kCampaignCodecVersion);
+  putAnalysis(e, report);
+  return e.take();
+}
+
+analysis::AnalysisReport decodeAnalysisReport(std::string_view data) {
+  Decoder d(data, kAnalysisTag, kCampaignCodecVersion);
+  analysis::AnalysisReport report = getAnalysis(d);
+  d.finish();
+  return report;
+}
+
+std::string encodeMutantResult(const analysis::MutantResult& result) {
+  Encoder e(kMutantTag, kCampaignCodecVersion);
+  putMutantResult(e, result);
+  return e.take();
+}
+
+analysis::MutantResult decodeMutantResult(std::string_view data) {
+  Decoder d(data, kMutantTag, kCampaignCodecVersion);
+  analysis::MutantResult result = getMutantResult(d);
+  d.finish();
+  return result;
+}
+
+}  // namespace xlv::campaign

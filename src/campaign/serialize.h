@@ -1,0 +1,60 @@
+// Cross-process serialization of the campaign domain types.
+//
+// Process-level sharding (campaign/shard.h) ships a CampaignSpec to worker
+// processes and ships their CampaignResults back; the codecs here are the
+// wire layer for both, built on util/codec.h (versioned header,
+// length-prefixed fields, strict field-order checking).
+//
+// Two deliberate asymmetries versus the in-memory structs:
+//
+//   * Case studies travel BY NAME. A CaseStudy owns an elaborated module and
+//     a testbench closure — neither serializes — and every process links the
+//     same IP builders, so the name ("Plasma", "DSP", "Filter", "Handshake")
+//     is the complete, version-checked identity. decodeCampaignSpec rebuilds
+//     the case study through buildCaseStudyByName and re-derives what the
+//     builders own; an unknown name is a DecodeError.
+//
+//   * Results carry the PORTABLE subset of a FlowReport: every field
+//     CampaignResult::sameResults compares (per-mutant analysis results,
+//     mutant specs, inserted sensors, STA/LoC/area summary) plus the
+//     timing/cache ledgers — but not the elaborated designs. A decoded
+//     result therefore supports sameResults, ok(), find() and ledger
+//     aggregation bit-exactly, which is all the merge and diff paths need.
+//
+// Every encoder is byte-stable: encode(decode(encode(x))) == encode(x)
+// (doubles are hexfloat-rendered, so finite values round-trip exactly).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/campaign.h"
+
+namespace xlv::campaign {
+
+/// Domain schema version shared by every campaign codec; bump on any field
+/// change so stale shard artifacts are rejected instead of misread.
+inline constexpr int kCampaignCodecVersion = 1;
+
+/// Names accepted by buildCaseStudyByName (the spec wire format's case-study
+/// identity space).
+std::vector<std::string> knownCaseStudyNames();
+
+/// Rebuild a case study from its wire name; throws util::DecodeError on an
+/// unknown name.
+ips::CaseStudy buildCaseStudyByName(const std::string& name);
+
+std::string encodeCampaignSpec(const CampaignSpec& spec);
+CampaignSpec decodeCampaignSpec(std::string_view data);
+
+std::string encodeCampaignResult(const CampaignResult& result);
+CampaignResult decodeCampaignResult(std::string_view data);
+
+std::string encodeAnalysisReport(const analysis::AnalysisReport& report);
+analysis::AnalysisReport decodeAnalysisReport(std::string_view data);
+
+std::string encodeMutantResult(const analysis::MutantResult& result);
+analysis::MutantResult decodeMutantResult(std::string_view data);
+
+}  // namespace xlv::campaign

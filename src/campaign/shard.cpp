@@ -1,0 +1,437 @@
+#include "campaign/shard.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/mutation_analysis.h"
+#include "campaign/serialize.h"
+#include "campaign/sweep.h"
+#include "util/codec.h"
+#include "util/fnv.h"
+#include "util/log.h"
+
+namespace xlv::campaign {
+
+using util::Decoder;
+using util::Encoder;
+
+namespace {
+
+constexpr const char* kPlanTag = "shard-plan";
+constexpr const char* kOutputTag = "shard-output";
+
+void putUnit(Encoder& e, const ShardUnit& u) {
+  e.u64("unit.taskId", u.taskId);
+  e.u64("unit.mutantBegin", u.mutantBegin);
+  e.u64("unit.mutantEnd", u.mutantEnd);
+}
+
+ShardUnit getUnit(Decoder& d) {
+  ShardUnit u;
+  u.taskId = static_cast<std::size_t>(d.u64("unit.taskId"));
+  u.mutantBegin = static_cast<std::size_t>(d.u64("unit.mutantBegin"));
+  u.mutantEnd = static_cast<std::size_t>(d.u64("unit.mutantEnd"));
+  return u;
+}
+
+}  // namespace
+
+std::uint64_t campaignSpecFnv(const CampaignSpec& spec) {
+  return util::fnv1a64(encodeCampaignSpec(spec));
+}
+
+std::size_t countFlowMutants(const ips::CaseStudy& cs, const core::FlowOptions& opts) {
+  // The specs stageInjection would generate, without injecting or
+  // simulating anything: elaborate + insertion + set generation + slice.
+  core::FlowReport report;
+  core::stageElaborate(cs, opts, report);
+  core::stageInsertion(cs, opts, report);
+  std::vector<mutation::MutantSpec> specs =
+      opts.sensorKind == insertion::SensorKind::Razor
+          ? analysis::razorMutantSet(report.sensors)
+          : analysis::counterMutantSet(report.sensors,
+                                       static_cast<double>(cs.periodPs), report.hfRatio);
+  return core::sliceMutantSet(specs, opts.mutantSet).size();
+}
+
+ShardPlan planShards(const CampaignSpec& spec, const ShardPlanOptions& opt) {
+  if (opt.shards < 1) {
+    throw std::invalid_argument("planShards: shard count must be >= 1, got " +
+                                std::to_string(opt.shards));
+  }
+  if (!opt.mutantCounts.empty() && opt.mutantCounts.size() != spec.items.size()) {
+    throw std::invalid_argument(
+        "planShards: mutantCounts size " + std::to_string(opt.mutantCounts.size()) +
+        " does not match the spec's " + std::to_string(spec.items.size()) + " items");
+  }
+
+  std::vector<std::size_t> counts = opt.mutantCounts;
+  if (counts.empty() && opt.maxFragmentMutants > 0) {
+    counts.reserve(spec.items.size());
+    for (const auto& item : spec.items) {
+      counts.push_back(countFlowMutants(item.caseStudy, item.options));
+    }
+  }
+
+  // Units in global task-id order (fragments of one item in range order),
+  // each weighted by its mutant count so the contiguous split below
+  // balances simulation work, not just item counts.
+  std::vector<ShardUnit> units;
+  std::vector<std::uint64_t> weights;
+  std::uint64_t totalWeight = 0;
+  for (std::size_t i = 0; i < spec.items.size(); ++i) {
+    const std::size_t count = i < counts.size() ? counts[i] : 0;
+    if (opt.maxFragmentMutants > 0 && count > opt.maxFragmentMutants) {
+      for (std::size_t begin = 0; begin < count; begin += opt.maxFragmentMutants) {
+        const std::size_t end = std::min(count, begin + opt.maxFragmentMutants);
+        units.push_back(ShardUnit{i, begin, end});
+        weights.push_back(static_cast<std::uint64_t>(end - begin));
+        totalWeight += weights.back();
+      }
+    } else {
+      units.push_back(ShardUnit{i, 0, 0});
+      weights.push_back(std::max<std::uint64_t>(count, 1));
+      totalWeight += weights.back();
+    }
+  }
+
+  ShardPlan plan;
+  plan.specFnv = campaignSpecFnv(spec);
+  plan.specItems = spec.items.size();
+  plan.shards.assign(static_cast<std::size_t>(opt.shards), {});
+  // Contiguous weighted partition: advance to the next shard once the
+  // accumulated weight crosses its proportional boundary. Deterministic,
+  // integer-only, and keeps each shard a contiguous task-id range so
+  // prefix/golden-cache sharing within a shard mirrors the nested-loop
+  // sweep order.
+  const std::uint64_t n = static_cast<std::uint64_t>(opt.shards);
+  std::uint64_t acc = 0;
+  std::size_t shard = 0;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    plan.shards[shard].push_back(units[u]);
+    acc += weights[u];
+    while (shard + 1 < static_cast<std::size_t>(opt.shards) &&
+           acc * n >= totalWeight * (static_cast<std::uint64_t>(shard) + 1)) {
+      ++shard;
+    }
+  }
+  return plan;
+}
+
+ShardOutput runShard(const CampaignSpec& spec, const ShardPlan& plan, int shardIndex) {
+  const std::uint64_t fnv = campaignSpecFnv(spec);
+  if (plan.specFnv != fnv || plan.specItems != spec.items.size()) {
+    throw std::invalid_argument("runShard: plan was built for a different spec");
+  }
+  if (shardIndex < 0 || shardIndex >= plan.shardCount()) {
+    throw std::invalid_argument("runShard: shard index " + std::to_string(shardIndex) +
+                                " outside [0, " + std::to_string(plan.shardCount()) + ")");
+  }
+  const std::vector<ShardUnit>& units = plan.shards[static_cast<std::size_t>(shardIndex)];
+
+  CampaignSpec sub;
+  sub.name = spec.name + "/shard" + std::to_string(shardIndex);
+  sub.executor = spec.executor;
+  sub.items.reserve(units.size());
+  for (const ShardUnit& unit : units) {
+    CampaignItem item = spec.items.at(unit.taskId);
+    if (!unit.wholeItem()) {
+      item.options.mutantBegin = unit.mutantBegin;
+      item.options.mutantEnd = unit.mutantEnd;
+    }
+    sub.items.push_back(std::move(item));
+  }
+
+  ShardOutput out;
+  out.specFnv = fnv;
+  out.shardIndex = shardIndex;
+  out.shardCount = plan.shardCount();
+  out.units = units;
+  out.result = runCampaign(sub);
+  // Task ids must be the GLOBAL ids the merge keys on, not shard-local ones.
+  for (std::size_t i = 0; i < out.result.items.size(); ++i) {
+    out.result.items[i].taskId = units[i].taskId;
+  }
+  return out;
+}
+
+namespace {
+
+/// Stitch one item's fragments (sorted by range) back into a single item
+/// result, validating the ranges tile the mutant set from 0 and — when the
+/// item's analysis ran cleanly — that the stitched results cover the full
+/// injected set (fragments always inject every mutant, so the report's
+/// mutantSpecs are the ground-truth count; a stale planner count that
+/// undershoots must fail the merge, not silently drop mutants).
+CampaignItemResult stitchFragments(std::size_t taskId, bool analysisRan,
+                                   std::vector<const ShardOutput*> owners,
+                                   std::vector<const CampaignItemResult*> parts,
+                                   std::vector<const ShardUnit*> units) {
+  std::vector<std::size_t> order(units.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return units[a]->mutantBegin < units[b]->mutantBegin;
+  });
+
+  CampaignItemResult merged = *parts[order[0]];
+  merged.taskId = taskId;
+  merged.error.clear();
+  merged.report.analysis.results.clear();
+  merged.report.analysis.simSeconds = 0.0;
+  merged.report.analysis.wallSeconds = 0.0;
+  merged.report.analysis.goldenSeconds = 0.0;
+  merged.report.analysis.goldenFromCache = true;
+  merged.report.analysis.threadsUsed = 1;
+  merged.taskSeconds = 0.0;
+  merged.goldenSeconds = 0.0;
+  merged.goldenFromCache = true;
+  merged.prefixShared = false;
+
+  std::size_t expectBegin = 0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const ShardUnit& unit = *units[order[k]];
+    const CampaignItemResult& part = *parts[order[k]];
+    if (unit.wholeItem()) {
+      throw std::invalid_argument("merge: item " + std::to_string(taskId) +
+                                  " is covered both whole and as fragments");
+    }
+    if (unit.mutantBegin != expectBegin) {
+      throw std::invalid_argument(
+          "merge: item " + std::to_string(taskId) + " fragment gap/overlap at mutant " +
+          std::to_string(expectBegin) + " (next fragment starts at " +
+          std::to_string(unit.mutantBegin) + ", shard " +
+          std::to_string(owners[order[k]]->shardIndex) + ")");
+    }
+    const std::size_t want = unit.mutantEnd - unit.mutantBegin;
+    const std::size_t got = part.report.analysis.results.size();
+    // A clean non-final fragment must be full; the final one may be shorter
+    // when the planner's count overshot the actual mutant set. Errored
+    // fragments legitimately carry fewer (usually zero) results.
+    if (part.error.empty() && k + 1 < order.size() && got != want) {
+      throw std::invalid_argument("merge: item " + std::to_string(taskId) + " fragment [" +
+                                  std::to_string(unit.mutantBegin) + ", " +
+                                  std::to_string(unit.mutantEnd) + ") carries " +
+                                  std::to_string(got) + " results, expected " +
+                                  std::to_string(want));
+    }
+    if (merged.error.empty() && !part.error.empty()) merged.error = part.error;
+
+    // Work (simSeconds, goldenSeconds) sums across fragments; elapsed time
+    // (wallSeconds, taskSeconds) takes the max — fragments of one item run
+    // concurrently on separate processes, mirroring the campaign-level
+    // ledger rule in mergeShards.
+    const auto& a = part.report.analysis;
+    auto& out = merged.report.analysis;
+    out.results.insert(out.results.end(), a.results.begin(), a.results.end());
+    out.simSeconds += a.simSeconds;
+    out.wallSeconds = std::max(out.wallSeconds, a.wallSeconds);
+    out.goldenSeconds += a.goldenSeconds;
+    out.goldenFromCache = out.goldenFromCache && a.goldenFromCache;
+    out.threadsUsed = std::max(out.threadsUsed, a.threadsUsed);
+
+    merged.taskSeconds = std::max(merged.taskSeconds, part.taskSeconds);
+    merged.goldenSeconds += part.goldenSeconds;
+    merged.goldenFromCache = merged.goldenFromCache && part.goldenFromCache;
+    merged.prefixShared = merged.prefixShared || part.prefixShared;
+    expectBegin = unit.mutantEnd;
+  }
+  const std::size_t stitched = merged.report.analysis.results.size();
+  const std::size_t expected = merged.report.mutantSpecs.size();
+  if (analysisRan && merged.error.empty() && stitched != expected) {
+    throw std::invalid_argument(
+        "merge: item " + std::to_string(taskId) + " stitched " + std::to_string(stitched) +
+        " mutant results but the injected set has " + std::to_string(expected) +
+        " mutants (stale fragment plan?)");
+  }
+  return merged;
+}
+
+}  // namespace
+
+CampaignResult mergeShards(const CampaignSpec& spec, const std::vector<ShardOutput>& outputs) {
+  const std::uint64_t fnv = campaignSpecFnv(spec);
+  if (outputs.empty()) {
+    throw std::invalid_argument("merge: no shard outputs");
+  }
+  const int shardCount = outputs.front().shardCount;
+  if (static_cast<int>(outputs.size()) != shardCount) {
+    throw std::invalid_argument("merge: plan has " + std::to_string(shardCount) +
+                                " shards but " + std::to_string(outputs.size()) +
+                                " outputs were provided");
+  }
+  std::vector<char> seen(static_cast<std::size_t>(shardCount), 0);
+  for (const auto& o : outputs) {
+    if (o.specFnv != fnv) {
+      throw std::invalid_argument("merge: shard " + std::to_string(o.shardIndex) +
+                                  " was run against a different spec (fingerprint mismatch)");
+    }
+    if (o.shardCount != shardCount || o.shardIndex < 0 || o.shardIndex >= shardCount) {
+      throw std::invalid_argument("merge: inconsistent shard coordinates (index " +
+                                  std::to_string(o.shardIndex) + " of " +
+                                  std::to_string(o.shardCount) + ")");
+    }
+    if (seen[static_cast<std::size_t>(o.shardIndex)]++) {
+      throw std::invalid_argument("merge: duplicate output for shard " +
+                                  std::to_string(o.shardIndex));
+    }
+    if (o.units.size() != o.result.items.size()) {
+      throw std::invalid_argument("merge: shard " + std::to_string(o.shardIndex) +
+                                  " unit/result count mismatch");
+    }
+  }
+
+  const std::size_t n = spec.items.size();
+  struct Part {
+    const ShardOutput* owner;
+    const ShardUnit* unit;
+    const CampaignItemResult* item;
+  };
+  std::vector<std::vector<Part>> byTask(n);
+  for (const auto& o : outputs) {
+    for (std::size_t k = 0; k < o.units.size(); ++k) {
+      const ShardUnit& unit = o.units[k];
+      if (unit.taskId >= n) {
+        throw std::invalid_argument("merge: shard " + std::to_string(o.shardIndex) +
+                                    " references task " + std::to_string(unit.taskId) +
+                                    " outside the spec's " + std::to_string(n) + " items");
+      }
+      byTask[unit.taskId].push_back(Part{&o, &unit, &o.result.items[k]});
+    }
+  }
+
+  CampaignResult merged;
+  merged.name = spec.name;
+  merged.items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& parts = byTask[i];
+    if (parts.empty()) {
+      throw std::invalid_argument("merge: item " + std::to_string(i) +
+                                  " is covered by no shard");
+    }
+    if (parts.size() == 1 && parts[0].unit->wholeItem()) {
+      merged.items.push_back(*parts[0].item);
+      merged.items.back().taskId = i;
+    } else {
+      std::vector<const ShardOutput*> owners;
+      std::vector<const CampaignItemResult*> items;
+      std::vector<const ShardUnit*> units;
+      for (const Part& p : parts) {
+        owners.push_back(p.owner);
+        items.push_back(p.item);
+        units.push_back(p.unit);
+      }
+      merged.items.push_back(stitchFragments(i, spec.items[i].options.runMutationAnalysis,
+                                             std::move(owners), std::move(items),
+                                             std::move(units)));
+    }
+  }
+
+  // Ledger aggregation: work and cache hits sum across shards (hits stay
+  // attributed to the process that scored them); wall time is the elapsed
+  // maximum, since shards run concurrently on separate processes/hosts.
+  for (const auto& o : outputs) {
+    merged.simSeconds += o.result.simSeconds;
+    merged.goldenSeconds += o.result.goldenSeconds;
+    merged.goldenCacheHits += o.result.goldenCacheHits;
+    merged.prefixCacheHits += o.result.prefixCacheHits;
+    merged.wallSeconds = std::max(merged.wallSeconds, o.result.wallSeconds);
+    merged.threadsUsed = std::max(merged.threadsUsed, o.result.threadsUsed);
+  }
+  XLV_INFO("shard") << "merged " << outputs.size() << " shards into '" << merged.name
+                    << "': " << merged.items.size() << " items, "
+                    << (merged.ok() ? "ok" : "with errors");
+  return merged;
+}
+
+// --- wire format -------------------------------------------------------------
+
+std::string encodeShardPlan(const ShardPlan& plan) {
+  Encoder e(kPlanTag, kCampaignCodecVersion);
+  e.u64("specFnv", plan.specFnv);
+  e.u64("specItems", plan.specItems);
+  e.beginList("shards", plan.shards.size());
+  for (const auto& shard : plan.shards) {
+    e.beginList("units", shard.size());
+    for (const auto& u : shard) putUnit(e, u);
+  }
+  return e.take();
+}
+
+ShardPlan decodeShardPlan(std::string_view data) {
+  Decoder d(data, kPlanTag, kCampaignCodecVersion);
+  ShardPlan plan;
+  plan.specFnv = d.u64("specFnv");
+  plan.specItems = static_cast<std::size_t>(d.u64("specItems"));
+  plan.shards.resize(d.beginList("shards"));
+  for (auto& shard : plan.shards) {
+    shard.resize(d.beginList("units"));
+    for (auto& u : shard) u = getUnit(d);
+  }
+  d.finish();
+  return plan;
+}
+
+std::string encodeShardOutput(const ShardOutput& output) {
+  Encoder e(kOutputTag, kCampaignCodecVersion);
+  e.u64("specFnv", output.specFnv);
+  e.i64("shardIndex", output.shardIndex);
+  e.i64("shardCount", output.shardCount);
+  e.beginList("units", output.units.size());
+  for (const auto& u : output.units) putUnit(e, u);
+  // The result travels as a nested campaign-result document; its own header
+  // keeps the two schema versions independently checkable.
+  e.str("result", encodeCampaignResult(output.result));
+  return e.take();
+}
+
+ShardOutput decodeShardOutput(std::string_view data) {
+  Decoder d(data, kOutputTag, kCampaignCodecVersion);
+  ShardOutput output;
+  output.specFnv = d.u64("specFnv");
+  output.shardIndex = static_cast<int>(d.i64("shardIndex"));
+  output.shardCount = static_cast<int>(d.i64("shardCount"));
+  output.units.resize(d.beginList("units"));
+  for (auto& u : output.units) u = getUnit(d);
+  output.result = decodeCampaignResult(d.str("result"));
+  d.finish();
+  return output;
+}
+
+// --- built-in specs ----------------------------------------------------------
+
+std::vector<std::string> builtinCampaignSpecNames() { return {"smoke", "single"}; }
+
+CampaignSpec builtinCampaignSpec(const std::string& preset) {
+  if (preset == "smoke") {
+    // The PR 2 acceptance sweep: 2 IPs x 2 sensor kinds x 2 STA corners,
+    // quick cycle budget — the workload the cross-shard bit-identity
+    // acceptance criterion is stated over.
+    SweepSpec sweep;
+    sweep.name = "shard-smoke";
+    sweep.cases = {ips::buildFilterCase(), ips::buildDspCase()};
+    sweep.base.testbenchCycles = 80;
+    sweep.base.measureRtl = false;
+    sweep.base.measureOptimized = false;
+    sweep.axes.sensorKinds = {insertion::SensorKind::Razor, insertion::SensorKind::Counter};
+    sweep.axes.corners = {sta::Corner::typical(), sta::Corner::slow()};
+    return expandSweep(sweep);
+  }
+  if (preset == "single") {
+    // One Counter item with its full DeltaDelay triple per sensor — enough
+    // mutants to demonstrate mutant-range fragmentation of one item.
+    CampaignSpec spec;
+    spec.name = "shard-single";
+    CampaignItem item;
+    item.caseStudy = ips::buildFilterCase();
+    item.options.sensorKind = insertion::SensorKind::Counter;
+    item.options.testbenchCycles = 120;
+    item.options.measureRtl = false;
+    item.options.measureOptimized = false;
+    spec.items.push_back(std::move(item));
+    return spec;
+  }
+  throw std::invalid_argument("unknown campaign preset '" + preset +
+                              "' (known: smoke, single)");
+}
+
+}  // namespace xlv::campaign

@@ -16,10 +16,6 @@ std::string fmt(double v) {
   return buf;
 }
 
-const char* kindName(insertion::SensorKind k) {
-  return k == insertion::SensorKind::Razor ? "razor" : "counter";
-}
-
 }  // namespace
 
 std::size_t sweepCardinality(const SweepSpec& sweep) {
@@ -46,7 +42,7 @@ std::size_t sweepCardinality(const SweepSpec& sweep) {
 
 std::string sweepPointLabel(const ips::CaseStudy& cs, const core::FlowOptions& opts,
                             const SweepAxes& axes) {
-  std::string label = cs.name + "/" + kindName(opts.sensorKind);
+  std::string label = cs.name + "/" + insertion::sensorKindName(opts.sensorKind);
   if (!axes.corners.empty() && opts.staCorner) label += "/" + opts.staCorner->name;
   if (!axes.thresholdFractions.empty() && opts.staThresholdFraction) {
     label += "/thr=" + fmt(*opts.staThresholdFraction);

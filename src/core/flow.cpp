@@ -217,6 +217,8 @@ void stageAnalysis(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport
   acfg.sensorKind = opts.sensorKind;
   acfg.threads = opts.analysisThreads;
   acfg.useGoldenCache = opts.useGoldenCache;
+  acfg.mutantBegin = opts.mutantBegin;
+  acfg.mutantEnd = opts.mutantEnd;
   analysis::Testbench tb = cs.testbench;
   tb.cycles = flowCycles(cs, opts);
   report.analysis = analysis::analyzeMutations<hdt::FourState>(
@@ -245,8 +247,7 @@ std::string flowPrefixKey(const ips::CaseStudy& cs, const FlowOptions& opts) {
   std::snprintf(buf, sizeof(buf),
                 "m=%016" PRIx64 "|kind=%s|thr=%.17g|spread=%.17g|period=%" PRIu64
                 "|cp=%.17g|cv=%.17g|ct=%.17g",
-                moduleHash,
-                opts.sensorKind == insertion::SensorKind::Razor ? "razor" : "counter",
+                moduleHash, insertion::sensorKindName(opts.sensorKind),
                 opts.staThresholdFraction.value_or(cs.staThresholdFraction),
                 opts.staSpreadFraction.value_or(cs.staSpreadFraction),
                 static_cast<std::uint64_t>(cs.periodPs), corner.processFactor,

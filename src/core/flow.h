@@ -61,6 +61,15 @@ struct FlowOptions {
   std::optional<int> hfRatio;
   /// Mutant-set slice injected and analyzed (see MutantSetVariant).
   MutantSetVariant mutantSet = MutantSetVariant::Full;
+  /// Analyze only injected-mutant indices [mutantBegin, mutantEnd) of the
+  /// (already variant-sliced) set; 0/0 = every mutant. Process-level shard
+  /// fragments of one oversized item use this — the full set is still
+  /// injected (so the augmented design, its fingerprint and the golden
+  /// trace stay identical to the unsharded run) and MutantResult ids stay
+  /// global, which is what lets campaign/shard.h stitch fragment reports
+  /// back into the single-process result bit-identically.
+  std::size_t mutantBegin = 0;
+  std::size_t mutantEnd = 0;
   /// Share the golden trace through the process-wide cache
   /// (analysis/golden_cache.h). Off by default: single flows gain nothing;
   /// sweeps turn it on so axis points differing only in mutant set / STA

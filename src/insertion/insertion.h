@@ -26,6 +26,13 @@ namespace xlv::insertion {
 
 enum class SensorKind { Razor, Counter };
 
+/// The canonical lower-case kind name shared by campaign labels, prefix
+/// cache keys and the wire codecs (one mapping — renames would otherwise
+/// silently change spec fingerprints).
+constexpr const char* sensorKindName(SensorKind k) noexcept {
+  return k == SensorKind::Razor ? "razor" : "counter";
+}
+
 struct InsertionConfig {
   SensorKind kind = SensorKind::Razor;
   /// Counter CPS extraction (the "intermediate variable used to extract

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "campaign/executor.h"
@@ -103,6 +104,34 @@ TEST(Executor, EnvOverrideDrivesAutoThreadCount) {
 
   ASSERT_EQ(0, unsetenv("XLV_THREADS"));
   EXPECT_EQ(hw == 0 ? 1 : hw, resolveThreadCount(0));
+}
+
+TEST(Executor, MalformedEnvOverrideWarnsAndFallsBackToAuto) {
+  // Strict parsing: "4abc" must not silently run on 4 threads, and every
+  // malformed or out-of-range value degrades to the auto thread count with
+  // a visible warning (an empty variable is simply unset — no warning).
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int autoThreads = hw == 0 ? 1 : hw;
+  resetThreadEnvWarningsForTest();  // warnings are once per value per process
+  struct Case {
+    const char* value;
+    bool expectWarning;
+  };
+  for (const Case& c : {Case{"", false}, Case{"0", true}, Case{"-3", true},
+                        Case{"foo", true}, Case{"99999", true}, Case{"4abc", true}}) {
+    ASSERT_EQ(0, setenv("XLV_THREADS", c.value, 1));
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(autoThreads, resolveThreadCount(0)) << "XLV_THREADS='" << c.value << "'";
+    const std::string warnings = testing::internal::GetCapturedStderr();
+    if (c.expectWarning) {
+      EXPECT_NE(std::string::npos, warnings.find("XLV_THREADS"))
+          << "expected a warning for XLV_THREADS='" << c.value << "'";
+    } else {
+      EXPECT_EQ(std::string::npos, warnings.find("XLV_THREADS"))
+          << "unexpected warning for XLV_THREADS='" << c.value << "': " << warnings;
+    }
+  }
+  ASSERT_EQ(0, unsetenv("XLV_THREADS"));
 }
 
 }  // namespace

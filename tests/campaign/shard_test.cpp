@@ -1,0 +1,219 @@
+// Process-level sharding: the cross-shard bit-identity conformance suite.
+//
+// The single-process campaign is the truth; a sharded run — any shard
+// count, whole items or mutant-range fragments, each shard executed with
+// cold process caches exactly like a separate worker process — must merge
+// back into a CampaignResult that CampaignResult::sameResults cannot tell
+// apart from that truth.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/golden_cache.h"
+#include "campaign/serialize.h"
+#include "campaign/shard.h"
+#include "core/flow.h"
+
+namespace xlv::campaign {
+namespace {
+
+void clearProcessCaches() {
+  core::flowPrefixCache().clear();
+  analysis::goldenTraceCache().clear();
+}
+
+/// Run every shard of the plan as a separate worker process would see it:
+/// cold caches per shard, spec/plan/output pushed through the wire codecs.
+std::vector<ShardOutput> runAllShards(const CampaignSpec& spec, const ShardPlan& plan) {
+  const std::string specWire = encodeCampaignSpec(spec);
+  const std::string planWire = encodeShardPlan(plan);
+  std::vector<ShardOutput> outputs;
+  for (int s = 0; s < plan.shardCount(); ++s) {
+    clearProcessCaches();
+    const CampaignSpec workerSpec = decodeCampaignSpec(specWire);
+    const ShardPlan workerPlan = decodeShardPlan(planWire);
+    outputs.push_back(
+        decodeShardOutput(encodeShardOutput(runShard(workerSpec, workerPlan, s))));
+  }
+  clearProcessCaches();
+  return outputs;
+}
+
+// --- the acceptance workload: PR 2 sweep, N in {2, 3, 5} ---------------------
+
+TEST(Shard, MergedSweepIsBitIdenticalToSingleProcessForAnyShardCount) {
+  const CampaignSpec spec = builtinCampaignSpec("smoke");
+  ASSERT_EQ(8u, spec.items.size()) << "2 IPs x 2 sensor kinds x 2 corners";
+
+  clearProcessCaches();
+  const CampaignResult single = runCampaign(spec);
+  EXPECT_TRUE(single.ok());
+
+  std::vector<CampaignResult> merged;
+  for (const int shards : {2, 3, 5}) {
+    const ShardPlan plan = planShards(spec, ShardPlanOptions{shards, 0, {}});
+    ASSERT_EQ(shards, plan.shardCount());
+    merged.push_back(mergeShards(spec, runAllShards(spec, plan)));
+    EXPECT_TRUE(merged.back().ok()) << shards << " shards";
+    EXPECT_TRUE(single.sameResults(merged.back())) << shards << " shards vs single";
+    EXPECT_EQ(single.items.size(), merged.back().items.size());
+  }
+  // Every pairing of shard counts agrees too (sameResults is the single
+  // comparator, so this is transitivity made explicit).
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    for (std::size_t j = i + 1; j < merged.size(); ++j) {
+      EXPECT_TRUE(merged[i].sameResults(merged[j])) << i << " vs " << j;
+    }
+  }
+}
+
+// --- mutant-range fragmentation of one oversized item ------------------------
+
+TEST(Shard, OversizedItemSplitsByMutantRangeAndStitchesBack) {
+  const CampaignSpec spec = builtinCampaignSpec("single");
+  ASSERT_EQ(1u, spec.items.size());
+  const std::size_t mutants =
+      countFlowMutants(spec.items[0].caseStudy, spec.items[0].options);
+  ASSERT_GE(mutants, 3u) << "Counter sets carry a DeltaDelay triple per sensor";
+
+  clearProcessCaches();
+  const CampaignResult single = runCampaign(spec);
+  ASSERT_TRUE(single.ok());
+  ASSERT_EQ(mutants, single.items[0].report.analysis.results.size());
+
+  ShardPlanOptions opt;
+  opt.shards = 3;
+  opt.maxFragmentMutants = 2;
+  const ShardPlan plan = planShards(spec, opt);
+  // The one item must actually fragment: every unit is a range, ranges tile
+  // [0, mutants) in order.
+  std::size_t units = 0, expectBegin = 0;
+  for (const auto& shard : plan.shards) {
+    for (const auto& u : shard) {
+      ++units;
+      EXPECT_FALSE(u.wholeItem());
+      EXPECT_EQ(0u, u.taskId);
+      EXPECT_EQ(expectBegin, u.mutantBegin);
+      EXPECT_LE(u.mutantEnd - u.mutantBegin, opt.maxFragmentMutants);
+      expectBegin = u.mutantEnd;
+    }
+  }
+  EXPECT_EQ(mutants, expectBegin);
+  EXPECT_EQ((mutants + 1) / 2, units);
+
+  const CampaignResult merged = mergeShards(spec, runAllShards(spec, plan));
+  EXPECT_TRUE(merged.ok());
+  EXPECT_TRUE(single.sameResults(merged));
+  // The stitched analysis is the full set with global ids in order.
+  ASSERT_EQ(mutants, merged.items[0].report.analysis.results.size());
+  EXPECT_EQ(single.items[0].report.analysis.results,
+            merged.items[0].report.analysis.results);
+}
+
+// --- planner properties ------------------------------------------------------
+
+TEST(Shard, PlannerIsDeterministicContiguousAndComplete) {
+  const CampaignSpec spec = builtinCampaignSpec("smoke");
+  const ShardPlan a = planShards(spec, ShardPlanOptions{3, 0, {}});
+  const ShardPlan b = planShards(spec, ShardPlanOptions{3, 0, {}});
+  EXPECT_EQ(a.shards, b.shards);
+  EXPECT_EQ(encodeShardPlan(a), encodeShardPlan(b));
+
+  // Whole-item planning covers every task id exactly once, in order, with
+  // contiguous slices per shard.
+  std::size_t expect = 0;
+  for (const auto& shard : a.shards) {
+    for (const auto& u : shard) {
+      EXPECT_TRUE(u.wholeItem());
+      EXPECT_EQ(expect++, u.taskId);
+    }
+  }
+  EXPECT_EQ(spec.items.size(), expect);
+
+  // More shards than units: trailing shards are empty, never invalid.
+  const ShardPlan wide = planShards(spec, ShardPlanOptions{64, 0, {}});
+  std::size_t covered = 0;
+  for (const auto& shard : wide.shards) covered += shard.size();
+  EXPECT_EQ(spec.items.size(), covered);
+
+  EXPECT_THROW(planShards(spec, ShardPlanOptions{0, 0, {}}), std::invalid_argument);
+  EXPECT_THROW(planShards(spec, ShardPlanOptions{2, 0, {1, 2, 3}}), std::invalid_argument);
+}
+
+// --- failure propagation across the shard boundary ---------------------------
+
+TEST(Shard, MergeSurfacesTheLowestTaskIdError) {
+  // Items 1 and 3 carry a broken case study (no module): each fails inside
+  // its shard, the campaign captures the error per item, and the merged
+  // result reports the LOWEST task id first — the same failure the
+  // single-process run surfaces.
+  CampaignSpec spec;
+  spec.name = "broken-items";
+  for (int i = 0; i < 5; ++i) {
+    CampaignItem item;
+    item.caseStudy = ips::buildFilterCase();
+    item.options.testbenchCycles = 40;
+    item.options.measureRtl = false;
+    item.options.measureOptimized = false;
+    item.options.runMutationAnalysis = false;
+    item.label = "item" + std::to_string(i);
+    if (i == 1 || i == 3) item.caseStudy.module = nullptr;
+    spec.items.push_back(std::move(item));
+  }
+
+  clearProcessCaches();
+  const CampaignResult single = runCampaign(spec);
+  EXPECT_FALSE(single.ok());
+  ASSERT_NE(nullptr, single.firstError());
+  EXPECT_EQ(1u, single.firstError()->taskId);
+
+  // Shards run on the in-memory spec (not the wire round trip — the codec
+  // rebuilds case studies by name, which would heal the broken module).
+  const ShardPlan plan = planShards(spec, ShardPlanOptions{3, 0, {}});
+  std::vector<ShardOutput> outputs;
+  for (int s = 0; s < plan.shardCount(); ++s) {
+    clearProcessCaches();
+    outputs.push_back(runShard(spec, plan, s));
+  }
+  const CampaignResult merged = mergeShards(spec, outputs);
+  EXPECT_FALSE(merged.ok());
+  ASSERT_NE(nullptr, merged.firstError());
+  EXPECT_EQ(1u, merged.firstError()->taskId);
+  EXPECT_NE(nullptr, std::strstr(merged.firstError()->error.c_str(), "has no module"));
+  EXPECT_TRUE(single.sameResults(merged)) << "errors are part of the compared content";
+}
+
+// --- merge validation --------------------------------------------------------
+
+TEST(Shard, MergeRejectsIncompleteMismatchedOrDuplicateOutputs) {
+  const CampaignSpec spec = builtinCampaignSpec("single");
+  const ShardPlan plan = planShards(spec, ShardPlanOptions{2, 0, {}});
+  clearProcessCaches();
+  std::vector<ShardOutput> outputs = runAllShards(spec, plan);
+  ASSERT_EQ(2u, outputs.size());
+
+  // Complete set merges.
+  EXPECT_NO_THROW(mergeShards(spec, outputs));
+
+  // A missing shard is incomplete.
+  EXPECT_THROW(mergeShards(spec, {outputs[0]}), std::invalid_argument);
+
+  // The same shard twice is a duplicate.
+  EXPECT_THROW(mergeShards(spec, {outputs[0], outputs[0]}), std::invalid_argument);
+
+  // Outputs from a different spec are rejected by fingerprint.
+  CampaignSpec other = spec;
+  other.name = "renamed";
+  EXPECT_THROW(mergeShards(other, outputs), std::invalid_argument);
+
+  // A stale plan (fingerprint mismatch) cannot even start a shard run.
+  const ShardPlan stalePlan = planShards(other, ShardPlanOptions{2, 0, {}});
+  EXPECT_THROW(runShard(spec, stalePlan, 0), std::invalid_argument);
+  EXPECT_THROW(runShard(spec, plan, 7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xlv::campaign

@@ -1,0 +1,278 @@
+// xlv_campaign — process-level campaign sharding CLI (campaign/shard.h).
+//
+// Splits a campaign spec into N deterministic shards, runs each shard in a
+// separate OS process, and merges the shard outputs back into one result
+// that is bit-identical (CampaignResult::sameResults) to the single-process
+// run. Typical multi-process session (shards may run on different hosts —
+// every artifact is a self-contained versioned file):
+//
+//   xlv_campaign spec --preset smoke -o spec.xlv
+//   xlv_campaign run --spec spec.xlv -o single.xlv          # reference
+//   xlv_campaign plan --spec spec.xlv --shards 3 -o plan.xlv
+//   xlv_campaign run-shard --spec spec.xlv --plan plan.xlv --index 0 -o s0.xlv &
+//   xlv_campaign run-shard --spec spec.xlv --plan plan.xlv --index 1 -o s1.xlv &
+//   xlv_campaign run-shard --spec spec.xlv --plan plan.xlv --index 2 -o s2.xlv &
+//   wait
+//   xlv_campaign merge --spec spec.xlv -o merged.xlv s0.xlv s1.xlv s2.xlv
+//   xlv_campaign diff single.xlv merged.xlv                 # exit 0 iff identical
+//
+// Exit codes: 0 success (diff: identical), 1 usage or runtime error,
+// 2 diff divergence, 3 campaign completed but one or more items errored
+// (the output file is still written so the failure can be inspected and
+// merged, but CI pipelines fail instead of passing vacuously).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/serialize.h"
+#include "campaign/shard.h"
+#include "util/log.h"
+
+namespace {
+
+using namespace xlv;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "xlv_campaign: %s\n\n", error);
+  std::fputs(
+      "usage:\n"
+      "  xlv_campaign spec --preset <name> [--threads N] [-o FILE]\n"
+      "  xlv_campaign plan --spec FILE --shards N [--max-fragment M] [-o FILE]\n"
+      "  xlv_campaign run --spec FILE [-o FILE]\n"
+      "  xlv_campaign run-shard --spec FILE --plan FILE --index I [-o FILE]\n"
+      "  xlv_campaign merge --spec FILE -o FILE SHARD_FILE...\n"
+      "  xlv_campaign diff RESULT_A RESULT_B\n"
+      "  xlv_campaign show RESULT_FILE\n"
+      "\n"
+      "presets: smoke (2 IPs x 2 sensor kinds x 2 corners), single (one\n"
+      "Counter item, for --max-fragment splitting). -o defaults to stdout.\n"
+      "--verbose raises the log level to info.\n",
+      stderr);
+  std::exit(1);
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void writeOutput(const std::string& path, const std::string& data) {
+  if (path.empty() || path == "-") {
+    std::fwrite(data.data(), 1, data.size(), stdout);
+    return;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out || !(out << data)) throw std::runtime_error("cannot write '" + path + "'");
+}
+
+/// Minimal flag cursor: named flags in any order, positional operands kept.
+struct Args {
+  std::vector<std::string> positional;
+  std::string spec, plan, out, preset;
+  long shards = 0, index = -1, maxFragment = 0, threads = 0;
+
+  static long parseLong(const std::string& flag, const std::string& v) {
+    try {
+      std::size_t end = 0;
+      const long n = std::stol(v, &end);
+      if (end != v.size()) throw std::invalid_argument(v);
+      return n;
+    } catch (const std::exception&) {
+      usage(("flag " + flag + ": invalid integer '" + v + "'").c_str());
+    }
+  }
+};
+
+Args parseArgs(int argc, char** argv, int first) {
+  Args a;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) usage((std::string(flag) + " requires a value").c_str());
+      return argv[++i];
+    };
+    if (arg == "--spec") {
+      a.spec = next("--spec");
+    } else if (arg == "--plan") {
+      a.plan = next("--plan");
+    } else if (arg == "-o" || arg == "--out") {
+      a.out = next("-o");
+    } else if (arg == "--preset") {
+      a.preset = next("--preset");
+    } else if (arg == "--shards") {
+      a.shards = Args::parseLong(arg, next("--shards"));
+    } else if (arg == "--index") {
+      a.index = Args::parseLong(arg, next("--index"));
+    } else if (arg == "--max-fragment") {
+      a.maxFragment = Args::parseLong(arg, next("--max-fragment"));
+    } else if (arg == "--threads") {
+      a.threads = Args::parseLong(arg, next("--threads"));
+    } else if (arg == "--verbose") {
+      util::setLogLevel(util::LogLevel::Info);
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      usage(("unknown flag '" + arg + "'").c_str());
+    } else {
+      a.positional.push_back(arg);
+    }
+  }
+  return a;
+}
+
+campaign::CampaignSpec loadSpec(const Args& a) {
+  if (a.spec.empty()) usage("--spec FILE is required");
+  return campaign::decodeCampaignSpec(readFile(a.spec));
+}
+
+/// Per-item failures don't abort a campaign, but they must fail the
+/// process: a pipeline whose every stage exits 0 while zero mutants were
+/// simulated would pass vacuously.
+int reportItemErrors(const char* what, const campaign::CampaignResult& r) {
+  if (r.ok()) return 0;
+  const auto* first = r.firstError();
+  std::fprintf(stderr, "%s finished with item errors; first: task %zu (%s): %s\n", what,
+               first->taskId, first->label.c_str(), first->error.c_str());
+  return 3;
+}
+
+void printSummary(const campaign::CampaignResult& r) {
+  std::printf("campaign '%s': %zu items, %s\n", r.name.c_str(), r.items.size(),
+              r.ok() ? "ok" : "ERRORS");
+  for (const auto& it : r.items) {
+    if (!it.error.empty()) {
+      std::printf("  [%4zu] %-44s ERROR: %s\n", it.taskId, it.label.c_str(),
+                  it.error.c_str());
+      continue;
+    }
+    const auto& an = it.report.analysis;
+    std::printf("  [%4zu] %-44s mutants %3d  killed %5.1f%%  risen %5.1f%%\n", it.taskId,
+                it.label.c_str(), an.total(), an.killedPct(), an.risenPct());
+  }
+  std::printf(
+      "ledger: sim %.3fs, golden %.3fs, wall %.3fs, golden hits %d, prefix hits %d, "
+      "threads %d\n",
+      r.simSeconds, r.goldenSeconds, r.wallSeconds, r.goldenCacheHits, r.prefixCacheHits,
+      r.threadsUsed);
+}
+
+int cmdSpec(const Args& a) {
+  if (a.preset.empty()) usage("--preset <name> is required");
+  if (a.threads < 0) usage("--threads must be >= 0 (0 = auto)");
+  campaign::CampaignSpec spec = campaign::builtinCampaignSpec(a.preset);
+  if (a.threads != 0) spec.executor.threads = static_cast<int>(a.threads);
+  writeOutput(a.out, campaign::encodeCampaignSpec(spec));
+  std::fprintf(stderr, "spec '%s': %zu items, fingerprint %016llx\n", spec.name.c_str(),
+               spec.items.size(),
+               static_cast<unsigned long long>(campaign::campaignSpecFnv(spec)));
+  return 0;
+}
+
+int cmdPlan(const Args& a) {
+  if (a.shards < 1) usage("--shards N (>= 1) is required");
+  if (a.maxFragment < 0) usage("--max-fragment must be >= 0");
+  const campaign::CampaignSpec spec = loadSpec(a);
+  campaign::ShardPlanOptions opt;
+  opt.shards = static_cast<int>(a.shards);
+  opt.maxFragmentMutants = static_cast<std::size_t>(a.maxFragment);
+  const campaign::ShardPlan plan = campaign::planShards(spec, opt);
+  writeOutput(a.out, campaign::encodeShardPlan(plan));
+  for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+    std::size_t whole = 0, fragments = 0;
+    for (const auto& u : plan.shards[s]) (u.wholeItem() ? whole : fragments)++;
+    std::fprintf(stderr, "shard %zu: %zu whole items, %zu fragments\n", s, whole,
+                 fragments);
+  }
+  return 0;
+}
+
+int cmdRun(const Args& a) {
+  const campaign::CampaignSpec spec = loadSpec(a);
+  const campaign::CampaignResult result = campaign::runCampaign(spec);
+  writeOutput(a.out, campaign::encodeCampaignResult(result));
+  return reportItemErrors("campaign", result);
+}
+
+int cmdRunShard(const Args& a) {
+  if (a.plan.empty()) usage("--plan FILE is required");
+  if (a.index < 0) usage("--index I (>= 0) is required");
+  const campaign::CampaignSpec spec = loadSpec(a);
+  const campaign::ShardPlan plan = campaign::decodeShardPlan(readFile(a.plan));
+  const campaign::ShardOutput out =
+      campaign::runShard(spec, plan, static_cast<int>(a.index));
+  writeOutput(a.out, campaign::encodeShardOutput(out));
+  return reportItemErrors("shard", out.result);
+}
+
+int cmdMerge(const Args& a) {
+  if (a.positional.empty()) usage("merge needs at least one shard output file");
+  if (a.out.empty()) usage("merge requires -o FILE (the merged result)");
+  const campaign::CampaignSpec spec = loadSpec(a);
+  std::vector<campaign::ShardOutput> outputs;
+  outputs.reserve(a.positional.size());
+  for (const auto& path : a.positional) {
+    outputs.push_back(campaign::decodeShardOutput(readFile(path)));
+  }
+  const campaign::CampaignResult merged = campaign::mergeShards(spec, outputs);
+  writeOutput(a.out, campaign::encodeCampaignResult(merged));
+  return reportItemErrors("merged campaign", merged);
+}
+
+int cmdDiff(const Args& a) {
+  if (a.positional.size() != 2) usage("diff takes exactly two result files");
+  const campaign::CampaignResult x = campaign::decodeCampaignResult(readFile(a.positional[0]));
+  const campaign::CampaignResult y = campaign::decodeCampaignResult(readFile(a.positional[1]));
+  if (x.sameResults(y)) {
+    std::printf("identical: %zu items\n", x.items.size());
+    return 0;
+  }
+  if (x.items.size() != y.items.size()) {
+    std::printf("DIVERGED: %zu vs %zu items\n", x.items.size(), y.items.size());
+    return 2;
+  }
+  for (std::size_t i = 0; i < x.items.size(); ++i) {
+    // Narrow the divergence per item with the same comparator, by
+    // comparing single-item results.
+    campaign::CampaignResult a1, b1;
+    a1.items.push_back(x.items[i]);
+    b1.items.push_back(y.items[i]);
+    if (!a1.sameResults(b1)) {
+      std::printf("DIVERGED at task %zu: '%s' vs '%s'\n", i, x.items[i].label.c_str(),
+                  y.items[i].label.c_str());
+    }
+  }
+  return 2;
+}
+
+int cmdShow(const Args& a) {
+  if (a.positional.size() != 1) usage("show takes exactly one result file");
+  printSummary(campaign::decodeCampaignResult(readFile(a.positional[0])));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args a = parseArgs(argc, argv, 2);
+    if (cmd == "spec") return cmdSpec(a);
+    if (cmd == "plan") return cmdPlan(a);
+    if (cmd == "run") return cmdRun(a);
+    if (cmd == "run-shard") return cmdRunShard(a);
+    if (cmd == "merge") return cmdMerge(a);
+    if (cmd == "diff") return cmdDiff(a);
+    if (cmd == "show") return cmdShow(a);
+    usage(("unknown command '" + cmd + "'").c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xlv_campaign %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
