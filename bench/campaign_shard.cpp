@@ -9,25 +9,29 @@
 //
 // Self-check (CI runs the true multi-process variant through
 // tools/xlv_campaign; this binary is the in-process equivalent): any
-// divergence, for any shard count, exits nonzero.
+// divergence, for any shard count, exits nonzero — and so does the
+// artifact-store warm leg when its ledgers report zero disk hits (a
+// silently disabled cache must not pass on a vacuously identical diff).
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "analysis/golden_cache.h"
+#include "analysis/mutant_cache.h"
 #include "bench/common.h"
 #include "campaign/serialize.h"
 #include "campaign/shard.h"
 #include "core/flow.h"
+#include "util/artifact_store.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace xlv;
 
-void clearCaches() {
-  core::flowPrefixCache().clear();
-  analysis::goldenTraceCache().clear();
-}
+void clearCaches() { core::clearProcessCaches(); }
 
 /// Run every shard of a plan as a worker process would: cold caches, spec
 /// and plan decoded from their wire form, output round-tripped through the
@@ -105,15 +109,55 @@ int main() {
               util::Table::fixed(merged.simSeconds, 3), identical ? "yes" : "NO — BUG"});
   }
 
+  // --- persistent artifact store: cold populate, warm sharded reload ---------
+  // The cross-process reuse path of `xlv_campaign run-shard --cache-dir`:
+  // a cold sharded pass writes golden traces / prefixes / mutant results to
+  // a shared store; a second sharded pass (memory caches cleared per shard,
+  // like fresh worker processes) must reload instead of recompute — with a
+  // nonzero disk-hit ledger — and stay bit-identical.
+  const std::filesystem::path cacheDir =
+      std::filesystem::temp_directory_path() /
+      ("xlv-bench-shard-cache-" + std::to_string(static_cast<long>(::getpid())));
+  std::filesystem::remove_all(cacheDir);
+  util::configureProcessArtifactStore(util::ArtifactStoreConfig{cacheDir.string(), 0});
+  {
+    const campaign::ShardPlan plan =
+        campaign::planShards(smoke, campaign::ShardPlanOptions{3, 0, {}});
+    const campaign::CampaignResult coldStore = runSharded(smoke, plan);
+    const campaign::CampaignResult warmStore = runSharded(smoke, plan);
+    const bool identical =
+        single.sameResults(coldStore) && single.sameResults(warmStore);
+    const bool warmHits = warmStore.diskHits > 0 && warmStore.mutantCacheHits > 0;
+    if (!warmHits) {
+      std::fprintf(stderr,
+                   "FAIL: warm sharded leg reports no cache reuse (disk hits %d, "
+                   "mutant hits %d, stores %d) — store silently disabled?\n",
+                   warmStore.diskHits, warmStore.mutantCacheHits, warmStore.diskStores);
+    }
+    ok = ok && coldStore.ok() && warmStore.ok() && identical && warmHits;
+    t.addRow({"smoke+store", "3 cold", std::to_string(coldStore.diskStores) + " stored",
+              util::Table::fixed(coldStore.wallSeconds, 3),
+              util::Table::fixed(coldStore.simSeconds, 3), identical ? "yes" : "NO — BUG"});
+    t.addRow({"smoke+store", "3 warm", std::to_string(warmStore.diskHits) + " loaded",
+              util::Table::fixed(warmStore.wallSeconds, 3),
+              util::Table::fixed(warmStore.simSeconds, 3), identical ? "yes" : "NO — BUG"});
+  }
+  util::configureProcessArtifactStore(std::nullopt);
+  std::filesystem::remove_all(cacheDir);
+  clearCaches();
+
   std::fputs(t.render().c_str(), stdout);
   std::printf(
       "\nExpected shape: every merged row reports \"yes\" — the shard planner\n"
       "assigns stable global task ids (and global mutant ids within fragmented\n"
       "items), so the task-id-ordered merge reproduces the single-process\n"
-      "result bit-for-bit while sim work distributes across processes.\n");
+      "result bit-for-bit while sim work distributes across processes. The\n"
+      "\"+store\" rows run against a shared --cache-dir artifact store: the\n"
+      "warm pass must reload (disk hits > 0) and still match bit-for-bit.\n");
 
   if (!ok) {
-    std::fprintf(stderr, "\nFAIL: sharded campaign diverged from the single-process run\n");
+    std::fprintf(stderr, "\nFAIL: sharded campaign diverged from the single-process run "
+                         "or a warm cache served nothing\n");
     return 1;
   }
   std::printf("\nself-check: OK\n");

@@ -11,10 +11,13 @@
 //
 // Self-check (CI runs this binary): the per-item reports must be
 // bit-identical between cache-enabled and cache-disabled modes and across
-// thread counts; any divergence exits nonzero.
+// thread counts; any divergence exits nonzero. So does a warm leg whose
+// cache ledgers report zero hits — a silently disabled cache must fail the
+// bench, not ride a vacuously-identical comparison to a green exit.
 #include <cstdio>
 
 #include "analysis/golden_cache.h"
+#include "analysis/mutant_cache.h"
 #include "bench/common.h"
 #include "campaign/sweep.h"
 #include "util/table.h"
@@ -45,13 +48,11 @@ campaign::SweepSpec makeSweep(int threads, bool shareCaches) {
   sweep.executor = campaign::ExecutorConfig{threads, 0};
   sweep.sharePrefixes = shareCaches;
   sweep.shareGoldenTraces = shareCaches;
+  sweep.shareMutantResults = shareCaches;
   return sweep;
 }
 
-void clearCaches() {
-  core::flowPrefixCache().clear();
-  analysis::goldenTraceCache().clear();
-}
+void clearCaches() { core::clearProcessCaches(); }
 
 }  // namespace
 
@@ -71,10 +72,10 @@ int main() {
   ok = ok && cold.ok();
 
   util::Table t({"Mode", "Threads", "Wall (s)", "Sim work (s)", "Golden (s)", "Golden hits",
-                 "Prefix hits", "Identical"});
+                 "Prefix hits", "Mutant hits", "Identical"});
   t.addRow({"cold", "1", util::Table::fixed(cold.wallSeconds, 3),
             util::Table::fixed(cold.simSeconds, 3), util::Table::fixed(cold.goldenSeconds, 3),
-            "0", "0", "ref"});
+            "0", "0", "0", "ref"});
 
   // --- cache-enabled at increasing thread counts ----------------------------
   double cachedSerialWall = 0.0;
@@ -84,7 +85,20 @@ int main() {
     const campaign::CampaignResult r = campaign::runSweep(makeSweep(threads, true));
     // CampaignResult::sameResults — the same comparator the tests use.
     const bool identical = cold.sameResults(r);
-    ok = ok && r.ok() && identical;
+    // Warm-leg hit floor: this sweep shares prefixes across mutant-set
+    // points, golden traces across identical augmented designs and mutant
+    // results across full ⊃ min/max — ledgers reporting zero reuse mean the
+    // cache is silently off, which must fail the self-check even though the
+    // reports still compare identical.
+    const bool hitsOk =
+        r.prefixCacheHits > 0 && r.goldenCacheHits > 0 && r.mutantCacheHits > 0;
+    if (!hitsOk) {
+      std::fprintf(stderr,
+                   "FAIL: cached leg (threads=%d) reports zero cache hits "
+                   "(prefix %d, golden %d, mutant %d) — cache silently disabled?\n",
+                   threads, r.prefixCacheHits, r.goldenCacheHits, r.mutantCacheHits);
+    }
+    ok = ok && r.ok() && identical && hitsOk;
     if (threads == 1) {
       cachedSerialWall = r.wallSeconds;
       cachedGoldenSeconds = r.goldenSeconds;
@@ -93,7 +107,8 @@ int main() {
     t.addRow({"cached", std::to_string(threads), util::Table::fixed(r.wallSeconds, 3),
               util::Table::fixed(r.simSeconds, 3), util::Table::fixed(r.goldenSeconds, 3),
               std::to_string(r.goldenCacheHits) + "/" + std::to_string(gstats.hits + gstats.misses),
-              std::to_string(r.prefixCacheHits), identical ? "yes" : "NO — BUG"});
+              std::to_string(r.prefixCacheHits), std::to_string(r.mutantCacheHits),
+              identical ? "yes" : "NO — BUG"});
   }
   std::fputs(t.render().c_str(), stdout);
 

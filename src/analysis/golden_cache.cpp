@@ -2,9 +2,11 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <stdexcept>
 
 #include "abstraction/emit_cpp.h"
 #include "analysis/mutation_analysis.h"
+#include "util/codec.h"
 #include "util/fnv.h"
 
 namespace xlv::analysis {
@@ -70,6 +72,111 @@ std::string goldenTraceKey(const ir::Design& golden,
 util::OnceCache<GoldenTrace>& goldenTraceCache() {
   static util::OnceCache<GoldenTrace> cache;
   return cache;
+}
+
+// --- disk-spill codec --------------------------------------------------------
+
+namespace {
+
+constexpr const char* kTraceTag = "golden-trace";
+constexpr int kTraceVersion = 1;
+
+/// Pack a [cycle][idx] word matrix into width * cycles little-endian
+/// 8-byte words (row-major). Fixed-width binary inside one length-prefixed
+/// codec field: byte-stable, compact, endianness-explicit.
+std::string packWords(const std::vector<std::vector<std::uint64_t>>& rows,
+                      std::size_t width) {
+  std::string out;
+  out.reserve(rows.size() * width * 8);
+  for (const auto& row : rows) {
+    for (std::uint64_t w : row) {
+      for (int b = 0; b < 8; ++b) out.push_back(static_cast<char>((w >> (8 * b)) & 0xff));
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint64_t>> unpackWords(std::string_view bytes,
+                                                    std::size_t cycles, std::size_t width,
+                                                    const char* what) {
+  if (bytes.size() != cycles * width * 8) {
+    throw util::DecodeError(std::string(what) + ": expected " +
+                            std::to_string(cycles * width * 8) + " bytes, found " +
+                            std::to_string(bytes.size()));
+  }
+  std::vector<std::vector<std::uint64_t>> rows(cycles);
+  std::size_t pos = 0;
+  for (auto& row : rows) {
+    row.resize(width);
+    for (auto& w : row) {
+      w = 0;
+      for (int b = 0; b < 8; ++b) {
+        w |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[pos++])) << (8 * b);
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::string encodeGoldenTrace(const GoldenTrace& trace) {
+  const std::size_t cycles = trace.outputs.size();
+  const std::size_t outWidth = cycles == 0 ? 0 : trace.outputs.front().size();
+  const std::size_t epWidth =
+      trace.endpoints.empty() ? 0 : trace.endpoints.front().size();
+  // The format assumes the invariants recordGoldenTrace guarantees — one
+  // row per cycle in BOTH matrices, uniform row widths. Enforce them here
+  // so a malformed trace fails loudly at encode time instead of producing
+  // an artifact its own decode rejects as corrupt on every warm run.
+  if (trace.endpoints.size() != cycles) {
+    throw std::invalid_argument("golden trace: endpoints rows != outputs rows");
+  }
+  for (const auto& row : trace.outputs) {
+    if (row.size() != outWidth) {
+      throw std::invalid_argument("golden trace: ragged outputs rows");
+    }
+  }
+  for (const auto& row : trace.endpoints) {
+    if (row.size() != epWidth) {
+      throw std::invalid_argument("golden trace: ragged endpoints rows");
+    }
+  }
+  util::Encoder e(kTraceTag, kTraceVersion);
+  e.u64("cycles", cycles);
+  e.u64("outWidth", outWidth);
+  e.u64("epWidth", epWidth);
+  e.str("outputs", packWords(trace.outputs, outWidth));
+  e.str("endpoints", packWords(trace.endpoints, epWidth));
+  return e.take();
+}
+
+GoldenTrace decodeGoldenTrace(std::string_view data) {
+  util::Decoder d(data, kTraceTag, kTraceVersion);
+  const std::size_t cycles = static_cast<std::size_t>(d.u64("cycles"));
+  const std::size_t outWidth = static_cast<std::size_t>(d.u64("outWidth"));
+  const std::size_t epWidth = static_cast<std::size_t>(d.u64("epWidth"));
+  // Plausibility bounds before any arithmetic or allocation (same rule as
+  // Decoder::beginList): each count is individually capped by the input
+  // size FIRST, so the products below cannot wrap around and sneak an
+  // absurd row width past the byte-count check. Deliberate asymmetry: a
+  // zero-width trace (no outputs AND no sensors — nothing the analysis
+  // could compare, unreachable from recordGoldenTrace on any accepted
+  // design) is bounded by cycles <= data.size(), so such a degenerate
+  // artifact rebuilds rather than driving an unbounded row allocation.
+  if (cycles > data.size() || outWidth > data.size() / 8 || epWidth > data.size() / 8) {
+    throw util::DecodeError("golden trace: implausible cycle/word counts");
+  }
+  const std::size_t wordBytes = (outWidth + epWidth) * 8;
+  if (cycles != 0 && wordBytes != 0 && cycles > data.size() / wordBytes) {
+    throw util::DecodeError("golden trace: implausible cycle/word counts");
+  }
+  GoldenTrace trace;
+  trace.outputs = unpackWords(d.str("outputs"), cycles, outWidth, "golden trace outputs");
+  trace.endpoints =
+      unpackWords(d.str("endpoints"), cycles, epWidth, "golden trace endpoints");
+  d.finish();
+  return trace;
 }
 
 }  // namespace xlv::analysis

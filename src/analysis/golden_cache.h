@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/design.h"
@@ -57,12 +58,20 @@ std::string goldenTraceKey(const ir::Design& golden,
                            const Testbench& tb, const AnalysisConfig& cfg,
                            const char* policyTag);
 
-/// The process-wide trace cache. No eviction: entries live until clear(),
-/// which is what lets later campaigns in the same process reuse earlier
-/// recordings. A long-lived process sweeping an unbounded key set (many
-/// IPs x testbench lengths) should clear() between phases to bound memory
-/// (each trace holds cycles x (outputs + endpoints) uint64 words); see the
-/// ROADMAP eviction/persistence item.
+/// The process-wide trace cache. Unbounded by default (entries live until
+/// clear()); a long-lived process sweeping an unbounded key set (many IPs x
+/// testbench lengths) can bound it with OnceCache::setCapacity (LRU). When
+/// a util::processArtifactStore() is configured, the analysis layer spills
+/// recordings to disk under the same keys (domain "golden"), so sharded
+/// multi-process campaigns — and evicted entries — reload instead of
+/// re-simulating.
 util::OnceCache<GoldenTrace>& goldenTraceCache();
+
+/// Byte-stable artifact codec for a GoldenTrace (util/codec.h envelope;
+/// trace words packed 8-byte little-endian): the disk-spill format of the
+/// golden cache. decodeGoldenTrace throws util::DecodeError on truncation,
+/// version skew or a word-count mismatch.
+std::string encodeGoldenTrace(const GoldenTrace& trace);
+GoldenTrace decodeGoldenTrace(std::string_view data);
 
 }  // namespace xlv::analysis

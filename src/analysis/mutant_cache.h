@@ -1,0 +1,68 @@
+// Process-wide per-mutant result cache (ROADMAP: "per-mutant result
+// sharing across variants").
+//
+// The mutant-set-variant sweep axis re-simulates work: `full` injects and
+// simulates every generated mutant, while `min`/`max` keep a subset of the
+// very same mutants (core::sliceMutantSet) — their golden-vs-injected
+// co-simulations are identical because an inactive mutant commits its
+// target at the normal edge point (mutation/adam.h: the injected model is
+// cycle-equivalent to the augmented design whichever other mutants ride
+// along). A MutantResult is therefore fully determined by
+//
+//   (augmented-design identity, observed endpoints, testbench identity,
+//    scheduler/recording config)  x  (mutant spec),
+//
+// where the first factor is exactly the golden-trace key
+// (analysis/golden_cache.h) — the golden trace is derived from the same
+// inputs — and the second is the (targetSignal, kind, deltaTicks) triple.
+//
+// The only field that is NOT part of that identity is MutantResult::id: the
+// index of the mutant in the *current* injected set, which differs between
+// variants (mutant 7 of `full` may be mutant 2 of `min`). Cached values are
+// id-normalized (id = -1); consumers fix the id up from their own injected
+// set on every reuse (mutation_analysis.cpp), which is what keeps variant
+// and fragment reports bit-identical to their from-scratch runs.
+//
+// Enabled by AnalysisConfig/FlowOptions::useMutantCache (sweeps turn it on
+// by default); layered over util::processArtifactStore() (domain "mutant")
+// when one is configured, so warm processes skip the simulations entirely.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analysis/mutation_analysis.h"
+#include "mutation/adam.h"
+#include "util/codec.h"
+#include "util/once_cache.h"
+
+namespace xlv::analysis {
+
+/// Cache key of one mutant's result: the golden-trace key of its analysis
+/// (design fingerprint, endpoints, testbench, config, value policy) plus
+/// the mutant spec. Length-prefixed like every other cache key.
+std::string mutantResultKey(const std::string& goldenKey, const mutation::MutantSpec& spec);
+
+/// The process-wide cache. Values are id-normalized (id = -1); copy and fix
+/// the id up before putting one into a report.
+util::OnceCache<MutantResult>& mutantResultCache();
+
+/// Field-level codec of a MutantResult's CONTENT — every field except the
+/// id (which is variant-local and handled by each caller). The ONE field
+/// list shared by the campaign wire codec (campaign/serialize.cpp, prefix
+/// "mut.") and the artifact codec below (no prefix): a new MutantResult
+/// field added here reaches both formats, so warm-vs-cold bit-identity
+/// cannot silently drift. getMutantResultFields returns id = -1 and throws
+/// util::DecodeError on an unknown mutant kind.
+void putMutantResultFields(util::Encoder& e, std::string_view prefix,
+                           const MutantResult& result);
+MutantResult getMutantResultFields(util::Decoder& d, std::string_view prefix);
+
+/// Byte-stable artifact codec (util/codec.h) for the disk spill. The id
+/// travels as the normalized -1 so one entry serves every variant; decode
+/// throws util::DecodeError on truncation, version skew or an unknown
+/// mutant kind.
+std::string encodeMutantResultArtifact(const MutantResult& result);
+MutantResult decodeMutantResultArtifact(std::string_view data);
+
+}  // namespace xlv::analysis

@@ -6,7 +6,9 @@
 #include <type_traits>
 
 #include "analysis/golden_cache.h"
+#include "analysis/mutant_cache.h"
 #include "campaign/executor.h"
+#include "util/artifact_store.h"
 #include "util/timer.h"
 
 namespace xlv::analysis {
@@ -105,23 +107,28 @@ MutationCampaignContext prepareMutationCampaign(const ir::Design& golden,
   ctx.sensors = sensors;
   ctx.tb = tb;
   ctx.cfg = cfg;
+  if (cfg.useGoldenCache || cfg.useMutantCache) {
+    ctx.goldenKey = goldenTraceKey(golden, sensors, tb, cfg, policyTag<P>());
+  }
   if (cfg.useGoldenCache) {
-    const std::string key = goldenTraceKey(golden, sensors, tb, cfg, policyTag<P>());
     // Time the recording inside the build lambda: only the task that
     // actually records is charged goldenSeconds. A waiter blocked on an
     // in-flight recording reports ~0 — its wait shows up in wall time, not
     // in the "golden work spent" ledger (which must not inflate with
-    // thread count).
+    // thread count). A disk load is likewise not a recording: it charges 0
+    // and counts as served-from-cache.
     double recordSeconds = 0.0;
-    ctx.gold = goldenTraceCache().getOrBuild(
-        key,
+    bool memHit = false;
+    ctx.gold = util::getOrBuildWithStore<GoldenTrace>(
+        goldenTraceCache(), util::processArtifactStore(), "golden", ctx.goldenKey,
         [&] {
           util::Timer t;
           GoldenTrace trace = recordGoldenTrace<P>(golden, sensors, tb, cfg);
           recordSeconds = t.seconds();
           return trace;
         },
-        &ctx.goldenFromCache);
+        encodeGoldenTrace, decodeGoldenTrace, &memHit, &ctx.goldenFromDisk);
+    ctx.goldenFromCache = memHit || ctx.goldenFromDisk;
     ctx.goldenSeconds = recordSeconds;
   } else {
     util::Timer t;
@@ -233,6 +240,7 @@ AnalysisReport analyzeMutations(const ir::Design& golden, const InjectedDesign& 
   const double prepareSeconds = prepareTimer.seconds();
   report.goldenSeconds = ctx.goldenSeconds;
   report.goldenFromCache = ctx.goldenFromCache;
+  report.goldenFromDisk = ctx.goldenFromDisk;
 
   // Clamp the requested mutant subrange (AnalysisConfig::mutantBegin/End)
   // to the injected set; the default 0/0 selects every mutant.
@@ -243,14 +251,42 @@ AnalysisReport analyzeMutations(const ir::Design& golden, const InjectedDesign& 
   const std::size_t n = end - begin;
   report.results.resize(n);
   std::vector<double> taskSeconds(n, 0.0);
+  std::vector<char> servedFromCache(n, 0);
 
   campaign::Executor executor(campaign::ExecutorConfig{cfg.threads, 0});
   report.threadsUsed = executor.effectiveThreads(n);
   executor.run(n, [&](std::size_t i) {
     util::Timer t;
-    report.results[i] = simulateMutant<P>(ctx, static_cast<int>(begin + i));
+    const int mutantIndex = static_cast<int>(begin + i);
+    if (cfg.useMutantCache) {
+      // A mutant's result is independent of which other (inactive) mutants
+      // ride along in the injected design (mutation/adam.h), so it is keyed
+      // by (golden key, spec) alone and shared across mutant-set variants,
+      // re-runs and — through the artifact store — processes. Only the id
+      // is variant-local: the cached value is id-normalized and fixed up
+      // here against this run's injected set.
+      const auto& mutant = ctx.layout->mutants.at(static_cast<std::size_t>(mutantIndex));
+      bool memHit = false, diskHit = false;
+      const std::shared_ptr<const MutantResult> cached =
+          util::getOrBuildWithStore<MutantResult>(
+              mutantResultCache(), util::processArtifactStore(), "mutant",
+              mutantResultKey(ctx.goldenKey, mutant.spec),
+              [&] {
+                MutantResult fresh = simulateMutant<P>(ctx, mutantIndex);
+                fresh.id = -1;
+                return fresh;
+              },
+              encodeMutantResultArtifact, decodeMutantResultArtifact, &memHit, &diskHit);
+      MutantResult res = *cached;
+      res.id = mutant.id;
+      report.results[i] = res;
+      servedFromCache[i] = (memHit || diskHit) ? 1 : 0;
+    } else {
+      report.results[i] = simulateMutant<P>(ctx, mutantIndex);
+    }
     taskSeconds[i] = t.seconds();
   });
+  for (char hit : servedFromCache) report.mutantCacheHits += hit ? 1 : 0;
 
   // simSeconds aggregates the work (sum of per-run times); wallSeconds is
   // what elapsed — they coincide on one thread. A golden-cache hit shrinks

@@ -80,6 +80,14 @@ struct AnalysisReport {
   /// True when the golden trace came from the process-wide cache
   /// (AnalysisConfig::useGoldenCache) instead of a fresh recording.
   bool goldenFromCache = false;
+  /// True when the golden trace was loaded from the cross-process artifact
+  /// store (util/artifact_store.h) rather than recorded or found in memory.
+  bool goldenFromDisk = false;
+  /// Mutant results served from the per-mutant result cache
+  /// (analysis/mutant_cache.h, AnalysisConfig::useMutantCache) instead of a
+  /// fresh co-simulation. Equal to results.size() on a fully warm run —
+  /// the "zero re-simulations" ledger the variant-sweep tests assert.
+  int mutantCacheHits = 0;
   int threadsUsed = 1;
 
   /// Deterministic-content equality: per-mutant results and cycle budget,
@@ -121,6 +129,13 @@ struct AnalysisConfig {
   /// The shared trace is immutable, so the report stays bit-identical with
   /// the cache on or off; only goldenSeconds/simSeconds shrink on a hit.
   bool useGoldenCache = false;
+  /// Reuse per-mutant results through the process-wide cache
+  /// (analysis/mutant_cache.h): mutants whose (design identity, spec,
+  /// testbench identity) agree — e.g. the same mutant under another
+  /// mutant-set variant, or a re-run of an identical analysis — skip the
+  /// co-simulation. Ids are fixed up per injected set, so the report stays
+  /// bit-identical with the cache on or off.
+  bool useMutantCache = false;
   /// Simulate only injected-mutant indices [mutantBegin, mutantEnd), clamped
   /// to the injected set; mutantEnd == 0 means "to the end". The report's
   /// results are exactly that subrange in index order with their global ids,
@@ -156,6 +171,10 @@ struct MutationCampaignContext {
   bool hasRecovery = false;
   double goldenSeconds = 0.0;  ///< time spent obtaining the trace
   bool goldenFromCache = false;
+  bool goldenFromDisk = false;  ///< trace loaded from the artifact store
+  /// The golden-trace key of this campaign (also the per-mutant cache key
+  /// prefix); empty when neither cache is enabled.
+  std::string goldenKey;
 };
 
 /// Build the shared context (golden trace + compiled injected layout).

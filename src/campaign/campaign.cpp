@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "campaign/serialize.h"
+#include "util/artifact_store.h"
 #include "util/log.h"
 #include "util/timer.h"
 
@@ -14,6 +16,8 @@ bool CampaignResult::ok() const noexcept {
   }
   return true;
 }
+
+int campaignExitCode(const CampaignResult& result) noexcept { return result.ok() ? 0 : 3; }
 
 const CampaignItemResult* CampaignResult::firstError() const noexcept {
   const CampaignItemResult* first = nullptr;
@@ -69,6 +73,14 @@ CampaignResult runCampaign(const CampaignSpec& spec) {
   result.name = spec.name;
   result.items.resize(spec.items.size());
 
+  // Artifact-store traffic is attributed by stats delta around this run
+  // (one campaign per process in the sharded flow; concurrent campaigns in
+  // one process would share the attribution, which only skews the ledger,
+  // never the results).
+  util::ArtifactStore* store = util::processArtifactStore();
+  const util::ArtifactStoreStats storeBefore =
+      store != nullptr ? store->stats() : util::ArtifactStoreStats{};
+
   Executor executor(spec.executor);
   result.threadsUsed = executor.effectiveThreads(spec.items.size());
   XLV_INFO("campaign") << "'" << spec.name << "': " << spec.items.size() << " items on "
@@ -82,10 +94,21 @@ CampaignResult runCampaign(const CampaignSpec& spec) {
     util::Timer t;
     try {
       if (!item.prefixKey.empty()) {
-        const core::FlowPrefixPtr prefix = core::flowPrefixCache().getOrBuild(
+        // Memory first, then the artifact store (the elaborate+insertion
+        // spill: a warm process reloads the STA report and re-derives the
+        // designs deterministically), then a full build written through.
+        // Both layers count as "shared": the STA work was not repeated.
+        bool memHit = false, diskHit = false;
+        const core::FlowPrefixPtr prefix = util::getOrBuildWithStore<core::FlowPrefix>(
+            core::flowPrefixCache(), util::processArtifactStore(), "prefix",
             item.prefixKey,
             [&] { return core::buildFlowPrefix(item.caseStudy, item.options); },
-            &out.prefixShared);
+            encodeFlowPrefix,
+            [&](std::string_view data) {
+              return decodeFlowPrefix(data, item.caseStudy, item.options);
+            },
+            &memHit, &diskHit);
+        out.prefixShared = memHit || diskHit;
         out.report = core::runFlowWithPrefix(*prefix, item.caseStudy, item.options);
       } else {
         out.report = core::runFlow(item.caseStudy, item.options);
@@ -111,6 +134,13 @@ CampaignResult runCampaign(const CampaignSpec& spec) {
     result.goldenSeconds += it.goldenSeconds;
     result.goldenCacheHits += it.goldenFromCache ? 1 : 0;
     result.prefixCacheHits += it.prefixShared ? 1 : 0;
+    result.mutantCacheHits += a.mutantCacheHits;
+  }
+  if (store != nullptr) {
+    const util::ArtifactStoreStats after = store->stats();
+    result.diskHits = static_cast<int>(after.hits - storeBefore.hits);
+    result.diskStores = static_cast<int>(after.stores - storeBefore.stores);
+    result.diskEvictions = static_cast<int>(after.evictions - storeBefore.evictions);
   }
   result.wallSeconds = wall.seconds();
   return result;

@@ -70,6 +70,15 @@ struct CampaignResult {
   double goldenSeconds = 0.0;
   int goldenCacheHits = 0;    ///< items whose golden trace came from the cache
   int prefixCacheHits = 0;    ///< items that reused a shared stage prefix
+  /// Per-mutant co-simulations skipped via the result cache
+  /// (analysis/mutant_cache.h), summed over items. On a fully warm run this
+  /// equals the total mutant count — the "analysis-free" ledger.
+  int mutantCacheHits = 0;
+  // Artifact-store traffic of this run (util/artifact_store.h; all zero
+  // when no --cache-dir store is configured). Sums across merged shards.
+  int diskHits = 0;       ///< artifacts loaded instead of recomputed
+  int diskStores = 0;     ///< artifacts persisted for later runs
+  int diskEvictions = 0;  ///< entries dropped by the LRU byte cap
   double wallSeconds = 0.0;   ///< elapsed time of the whole campaign
   int threadsUsed = 1;
 
@@ -91,6 +100,12 @@ struct CampaignResult {
 
 /// Run every item of the spec; blocks until the campaign completes.
 CampaignResult runCampaign(const CampaignSpec& spec);
+
+/// The process exit code a completed campaign maps to: 0 when every item
+/// succeeded, 3 when any item errored (the tools/xlv_campaign contract CI
+/// pipelines fail on — a campaign that "completed" with zero mutants
+/// simulated must not pass vacuously).
+int campaignExitCode(const CampaignResult& result) noexcept;
 
 /// The paper's full experiment matrix: every case study × both sensor
 /// kinds, with `base` options applied to each item (sensorKind overridden

@@ -1,5 +1,6 @@
 #include "campaign/serialize.h"
 
+#include "analysis/mutant_cache.h"
 #include "util/codec.h"
 
 namespace xlv::campaign {
@@ -14,6 +15,7 @@ constexpr const char* kSpecTag = "campaign-spec";
 constexpr const char* kResultTag = "campaign-result";
 constexpr const char* kAnalysisTag = "analysis-report";
 constexpr const char* kMutantTag = "mutant-result";
+constexpr const char* kPrefixTag = "flow-prefix";
 
 // --- enum <-> canonical wire names ------------------------------------------
 // Enums travel as names, not raw integers: the decoder rejects values a
@@ -38,10 +40,9 @@ core::MutantSetVariant mutantSetByName(const std::string& s) {
 }
 
 mutation::MutantKind mutantKindByName(const std::string& s) {
-  if (s == "min-delay") return mutation::MutantKind::MinDelay;
-  if (s == "max-delay") return mutation::MutantKind::MaxDelay;
-  if (s == "delta-delay") return mutation::MutantKind::DeltaDelay;
-  throw DecodeError("unknown mutant kind '" + s + "'");
+  const auto kind = mutation::mutantKindFromName(s);
+  if (!kind) throw DecodeError("unknown mutant kind '" + s + "'");
+  return *kind;
 }
 
 // --- field-group helpers -----------------------------------------------------
@@ -77,6 +78,7 @@ void putOptions(Encoder& e, const core::FlowOptions& o) {
   e.u64("opt.mutantBegin", o.mutantBegin);
   e.u64("opt.mutantEnd", o.mutantEnd);
   e.boolean("opt.useGoldenCache", o.useGoldenCache);
+  e.boolean("opt.useMutantCache", o.useMutantCache);
   e.i64("opt.timingRepetitions", o.timingRepetitions);
   e.boolean("opt.measureRtl", o.measureRtl);
   e.boolean("opt.measureOptimized", o.measureOptimized);
@@ -96,6 +98,7 @@ core::FlowOptions getOptions(Decoder& d) {
   o.mutantBegin = static_cast<std::size_t>(d.u64("opt.mutantBegin"));
   o.mutantEnd = static_cast<std::size_t>(d.u64("opt.mutantEnd"));
   o.useGoldenCache = d.boolean("opt.useGoldenCache");
+  o.useMutantCache = d.boolean("opt.useMutantCache");
   o.timingRepetitions = static_cast<int>(d.i64("opt.timingRepetitions"));
   o.measureRtl = d.boolean("opt.measureRtl");
   o.measureOptimized = d.boolean("opt.measureOptimized");
@@ -118,31 +121,19 @@ mutation::MutantSpec getMutantSpec(Decoder& d) {
   return m;
 }
 
+// The content fields come from the ONE shared field list
+// (analysis::putMutantResultFields), so this wire codec and the disk
+// artifact codec cannot drift apart; only the id — variant-local, excluded
+// from artifacts — is added here.
 void putMutantResult(Encoder& e, const analysis::MutantResult& r) {
   e.i64("mut.id", r.id);
-  e.str("mut.endpoint", r.endpoint);
-  e.str("mut.kind", mutation::mutantKindName(r.kind));
-  e.i64("mut.deltaTicks", r.deltaTicks);
-  e.boolean("mut.killed", r.killed);
-  e.boolean("mut.detected", r.detected);
-  e.boolean("mut.errorRisen", r.errorRisen);
-  e.boolean("mut.corrected", r.corrected);
-  e.boolean("mut.correctionChecked", r.correctionChecked);
-  e.u64("mut.measuredDelay", r.measuredDelay);
+  analysis::putMutantResultFields(e, "mut.", r);
 }
 
 analysis::MutantResult getMutantResult(Decoder& d) {
-  analysis::MutantResult r;
-  r.id = static_cast<int>(d.i64("mut.id"));
-  r.endpoint = d.str("mut.endpoint");
-  r.kind = mutantKindByName(d.str("mut.kind"));
-  r.deltaTicks = static_cast<int>(d.i64("mut.deltaTicks"));
-  r.killed = d.boolean("mut.killed");
-  r.detected = d.boolean("mut.detected");
-  r.errorRisen = d.boolean("mut.errorRisen");
-  r.corrected = d.boolean("mut.corrected");
-  r.correctionChecked = d.boolean("mut.correctionChecked");
-  r.measuredDelay = d.u64("mut.measuredDelay");
+  const int id = static_cast<int>(d.i64("mut.id"));
+  analysis::MutantResult r = analysis::getMutantResultFields(d, "mut.");
+  r.id = id;
   return r;
 }
 
@@ -152,6 +143,8 @@ void putAnalysis(Encoder& e, const analysis::AnalysisReport& a) {
   e.f64("an.wallSeconds", a.wallSeconds);
   e.f64("an.goldenSeconds", a.goldenSeconds);
   e.boolean("an.goldenFromCache", a.goldenFromCache);
+  e.boolean("an.goldenFromDisk", a.goldenFromDisk);
+  e.i64("an.mutantCacheHits", a.mutantCacheHits);
   e.i64("an.threadsUsed", a.threadsUsed);
   e.beginList("an.results", a.results.size());
   for (const auto& r : a.results) putMutantResult(e, r);
@@ -164,6 +157,8 @@ analysis::AnalysisReport getAnalysis(Decoder& d) {
   a.wallSeconds = d.f64("an.wallSeconds");
   a.goldenSeconds = d.f64("an.goldenSeconds");
   a.goldenFromCache = d.boolean("an.goldenFromCache");
+  a.goldenFromDisk = d.boolean("an.goldenFromDisk");
+  a.mutantCacheHits = static_cast<int>(d.i64("an.mutantCacheHits"));
   a.threadsUsed = static_cast<int>(d.i64("an.threadsUsed"));
   a.results.resize(d.beginList("an.results"));
   for (auto& r : a.results) r = getMutantResult(d);
@@ -315,6 +310,10 @@ std::string encodeCampaignResult(const CampaignResult& result) {
   e.f64("goldenSeconds", result.goldenSeconds);
   e.i64("goldenCacheHits", result.goldenCacheHits);
   e.i64("prefixCacheHits", result.prefixCacheHits);
+  e.i64("mutantCacheHits", result.mutantCacheHits);
+  e.i64("diskHits", result.diskHits);
+  e.i64("diskStores", result.diskStores);
+  e.i64("diskEvictions", result.diskEvictions);
   e.f64("wallSeconds", result.wallSeconds);
   e.i64("threadsUsed", result.threadsUsed);
   e.beginList("items", result.items.size());
@@ -330,6 +329,10 @@ CampaignResult decodeCampaignResult(std::string_view data) {
   result.goldenSeconds = d.f64("goldenSeconds");
   result.goldenCacheHits = static_cast<int>(d.i64("goldenCacheHits"));
   result.prefixCacheHits = static_cast<int>(d.i64("prefixCacheHits"));
+  result.mutantCacheHits = static_cast<int>(d.i64("mutantCacheHits"));
+  result.diskHits = static_cast<int>(d.i64("diskHits"));
+  result.diskStores = static_cast<int>(d.i64("diskStores"));
+  result.diskEvictions = static_cast<int>(d.i64("diskEvictions"));
   result.wallSeconds = d.f64("wallSeconds");
   result.threadsUsed = static_cast<int>(d.i64("threadsUsed"));
   result.items.resize(d.beginList("items"));
@@ -362,6 +365,82 @@ analysis::MutantResult decodeMutantResult(std::string_view data) {
   analysis::MutantResult result = getMutantResult(d);
   d.finish();
   return result;
+}
+
+// --- flow-prefix artifact ----------------------------------------------------
+
+std::string encodeFlowPrefix(const core::FlowPrefix& prefix) {
+  const core::FlowReport& r = prefix.report;
+  Encoder e(kPrefixTag, kCampaignCodecVersion);
+  e.str("ip", r.ipName);
+  e.str("kind", sensorKindName(r.sensorKind));
+  e.f64("sta.thresholdPs", r.sta.thresholdPs);
+  e.f64("sta.clockPeriodPs", r.sta.clockPeriodPs);
+  e.i64("sta.criticalCount", r.sta.criticalCount);
+  e.f64("sta.minSlackPs", r.sta.minSlackPs);
+  e.beginList("sta.paths", r.sta.paths.size());
+  for (const auto& p : r.sta.paths) {
+    e.i64("path.endpoint", p.endpoint);
+    e.str("path.endpointName", p.endpointName);
+    e.i64("path.startpoint", p.startpoint);
+    e.str("path.startpointName", p.startpointName);
+    e.f64("path.arrivalPs", p.arrivalPs);
+    e.f64("path.slackPs", p.slackPs);
+    e.f64("path.logicLevels", p.logicLevels);
+    e.boolean("path.critical", p.critical);
+  }
+  e.beginList("sensors", r.sensors.size());
+  for (const auto& s : r.sensors) putSensor(e, s);
+  return e.take();
+}
+
+core::FlowPrefix decodeFlowPrefix(std::string_view data, const ips::CaseStudy& cs,
+                                  const core::FlowOptions& opts) {
+  Decoder d(data, kPrefixTag, kCampaignCodecVersion);
+  const std::string ip = d.str("ip");
+  const insertion::SensorKind kind = sensorKindByName(d.str("kind"));
+  sta::StaReport sta;
+  sta.thresholdPs = d.f64("sta.thresholdPs");
+  sta.clockPeriodPs = d.f64("sta.clockPeriodPs");
+  sta.criticalCount = static_cast<int>(d.i64("sta.criticalCount"));
+  sta.minSlackPs = d.f64("sta.minSlackPs");
+  sta.paths.resize(d.beginList("sta.paths"));
+  for (auto& p : sta.paths) {
+    p.endpoint = static_cast<ir::SymbolId>(d.i64("path.endpoint"));
+    p.endpointName = d.str("path.endpointName");
+    p.startpoint = static_cast<ir::SymbolId>(d.i64("path.startpoint"));
+    p.startpointName = d.str("path.startpointName");
+    p.arrivalPs = d.f64("path.arrivalPs");
+    p.slackPs = d.f64("path.slackPs");
+    p.logicLevels = d.f64("path.logicLevels");
+    p.critical = d.boolean("path.critical");
+  }
+  std::vector<insertion::InsertedSensor> storedSensors(d.beginList("sensors"));
+  for (auto& s : storedSensors) s = getSensor(d);
+  d.finish();
+
+  if (ip != cs.name || kind != opts.sensorKind) {
+    throw DecodeError("flow-prefix artifact was recorded for " + ip + "/" +
+                      sensorKindName(kind) + ", requested " + cs.name + "/" +
+                      sensorKindName(opts.sensorKind));
+  }
+  // Re-derive the designs deterministically from the stored STA report,
+  // then cross-check the rebuilt sensor list against the stored one: a
+  // mismatch means the artifact predates a code or model change (the key
+  // failed to capture it) and must be rebuilt from scratch, never trusted.
+  core::FlowPrefix prefix = core::rebuildFlowPrefix(cs, opts, sta);
+  const auto& rebuilt = prefix.report.sensors;
+  bool consistent = rebuilt.size() == storedSensors.size();
+  for (std::size_t i = 0; consistent && i < rebuilt.size(); ++i) {
+    consistent = rebuilt[i].endpointName == storedSensors[i].endpointName &&
+                 rebuilt[i].instanceName == storedSensors[i].instanceName &&
+                 rebuilt[i].endpointArrivalPs == storedSensors[i].endpointArrivalPs;
+  }
+  if (!consistent) {
+    throw DecodeError("flow-prefix artifact for " + cs.name +
+                      " disagrees with the rebuilt insertion (stale artifact)");
+  }
+  return prefix;
 }
 
 }  // namespace xlv::campaign

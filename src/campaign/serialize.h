@@ -35,7 +35,9 @@ namespace xlv::campaign {
 
 /// Domain schema version shared by every campaign codec; bump on any field
 /// change so stale shard artifacts are rejected instead of misread.
-inline constexpr int kCampaignCodecVersion = 1;
+/// v2: FlowOptions::useMutantCache, the mutant/disk cache ledgers on
+/// AnalysisReport and CampaignResult, and the flow-prefix artifact codec.
+inline constexpr int kCampaignCodecVersion = 2;
 
 /// Names accepted by buildCaseStudyByName (the spec wire format's case-study
 /// identity space).
@@ -56,5 +58,17 @@ analysis::AnalysisReport decodeAnalysisReport(std::string_view data);
 
 std::string encodeMutantResult(const analysis::MutantResult& result);
 analysis::MutantResult decodeMutantResult(std::string_view data);
+
+/// Disk-spill codec of a core::FlowPrefix (the elaborate+insertion result
+/// shared by sweep points; util/artifact_store.h domain "prefix"). The
+/// designs themselves do not serialize — the artifact carries the STA
+/// report plus the inserted-sensor list, and decodeFlowPrefix re-derives
+/// everything else deterministically via core::rebuildFlowPrefix against
+/// the given (cs, opts). A stored artifact whose identity or rebuilt
+/// sensors disagree with (cs, opts) throws util::DecodeError, which the
+/// store treats as corruption: rebuild, never a wrong prefix.
+std::string encodeFlowPrefix(const core::FlowPrefix& prefix);
+core::FlowPrefix decodeFlowPrefix(std::string_view data, const ips::CaseStudy& cs,
+                                  const core::FlowOptions& opts);
 
 }  // namespace xlv::campaign

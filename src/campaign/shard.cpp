@@ -181,6 +181,8 @@ CampaignItemResult stitchFragments(std::size_t taskId, bool analysisRan,
   merged.report.analysis.wallSeconds = 0.0;
   merged.report.analysis.goldenSeconds = 0.0;
   merged.report.analysis.goldenFromCache = true;
+  merged.report.analysis.goldenFromDisk = true;
+  merged.report.analysis.mutantCacheHits = 0;
   merged.report.analysis.threadsUsed = 1;
   merged.taskSeconds = 0.0;
   merged.goldenSeconds = 0.0;
@@ -227,6 +229,8 @@ CampaignItemResult stitchFragments(std::size_t taskId, bool analysisRan,
     out.wallSeconds = std::max(out.wallSeconds, a.wallSeconds);
     out.goldenSeconds += a.goldenSeconds;
     out.goldenFromCache = out.goldenFromCache && a.goldenFromCache;
+    out.goldenFromDisk = out.goldenFromDisk && a.goldenFromDisk;
+    out.mutantCacheHits += a.mutantCacheHits;
     out.threadsUsed = std::max(out.threadsUsed, a.threadsUsed);
 
     merged.taskSeconds = std::max(merged.taskSeconds, part.taskSeconds);
@@ -334,6 +338,10 @@ CampaignResult mergeShards(const CampaignSpec& spec, const std::vector<ShardOutp
     merged.goldenSeconds += o.result.goldenSeconds;
     merged.goldenCacheHits += o.result.goldenCacheHits;
     merged.prefixCacheHits += o.result.prefixCacheHits;
+    merged.mutantCacheHits += o.result.mutantCacheHits;
+    merged.diskHits += o.result.diskHits;
+    merged.diskStores += o.result.diskStores;
+    merged.diskEvictions += o.result.diskEvictions;
     merged.wallSeconds = std::max(merged.wallSeconds, o.result.wallSeconds);
     merged.threadsUsed = std::max(merged.threadsUsed, o.result.threadsUsed);
   }
@@ -399,7 +407,7 @@ ShardOutput decodeShardOutput(std::string_view data) {
 
 // --- built-in specs ----------------------------------------------------------
 
-std::vector<std::string> builtinCampaignSpecNames() { return {"smoke", "single"}; }
+std::vector<std::string> builtinCampaignSpecNames() { return {"smoke", "single", "failing"}; }
 
 CampaignSpec builtinCampaignSpec(const std::string& preset) {
   if (preset == "smoke") {
@@ -418,7 +426,9 @@ CampaignSpec builtinCampaignSpec(const std::string& preset) {
   }
   if (preset == "single") {
     // One Counter item with its full DeltaDelay triple per sensor — enough
-    // mutants to demonstrate mutant-range fragmentation of one item.
+    // mutants to demonstrate mutant-range fragmentation of one item. The
+    // caches are on so a --cache-dir run persists its golden trace and
+    // per-mutant results for warm re-runs.
     CampaignSpec spec;
     spec.name = "shard-single";
     CampaignItem item;
@@ -427,11 +437,42 @@ CampaignSpec builtinCampaignSpec(const std::string& preset) {
     item.options.testbenchCycles = 120;
     item.options.measureRtl = false;
     item.options.measureOptimized = false;
+    item.options.useGoldenCache = true;
+    item.options.useMutantCache = true;
     spec.items.push_back(std::move(item));
     return spec;
   }
+  if (preset == "failing") {
+    // Deterministically broken mid-campaign items (Counter with an invalid
+    // hfRatio override — rejected by stageElaborate) surrounded by healthy
+    // ones: the regression workload for CampaignResult::firstError and the
+    // CLI's exit-code-3 contract. The breakage lives in the OPTIONS, so it
+    // survives the wire round trip (a broken module would be healed by the
+    // by-name case-study rebuild).
+    CampaignSpec spec;
+    spec.name = "shard-failing";
+    auto makeItem = [](insertion::SensorKind kind, const std::string& label) {
+      CampaignItem item;
+      item.caseStudy = ips::buildFilterCase();
+      item.options.sensorKind = kind;
+      item.options.testbenchCycles = 40;
+      item.options.measureRtl = false;
+      item.options.measureOptimized = false;
+      item.label = label;
+      return item;
+    };
+    spec.items.push_back(makeItem(insertion::SensorKind::Razor, "ok-razor"));
+    CampaignItem bad1 = makeItem(insertion::SensorKind::Counter, "bad-hf0");
+    bad1.options.hfRatio = 0;
+    spec.items.push_back(std::move(bad1));
+    spec.items.push_back(makeItem(insertion::SensorKind::Counter, "ok-counter"));
+    CampaignItem bad3 = makeItem(insertion::SensorKind::Counter, "bad-hf-negative");
+    bad3.options.hfRatio = -4;
+    spec.items.push_back(std::move(bad3));
+    return spec;
+  }
   throw std::invalid_argument("unknown campaign preset '" + preset +
-                              "' (known: smoke, single)");
+                              "' (known: smoke, single, failing)");
 }
 
 }  // namespace xlv::campaign

@@ -99,6 +99,7 @@ CampaignSpec expandSweep(const SweepSpec& sweep) {
                 if (hf) item.options.hfRatio = *hf;
                 if (ms) item.options.mutantSet = *ms;
                 if (sweep.shareGoldenTraces) item.options.useGoldenCache = true;
+                if (sweep.shareMutantResults) item.options.useMutantCache = true;
                 if (outerParallel) item.options.analysisThreads = 1;
                 item.label = sweepPointLabel(cs, item.options, sweep.axes);
                 if (sweep.sharePrefixes) {

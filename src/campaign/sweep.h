@@ -60,6 +60,12 @@ struct SweepSpec {
   /// Share golden traces via the process-wide cache (sets
   /// FlowOptions::useGoldenCache on every point).
   bool shareGoldenTraces = true;
+  /// Share per-mutant results via analysis::mutantResultCache() (sets
+  /// FlowOptions::useMutantCache on every point): the mutant-set-variant
+  /// axis becomes analysis-free once `full` has simulated its mutants
+  /// (full ⊃ min/max), and with a util::processArtifactStore() configured
+  /// the reuse extends across processes and runs.
+  bool shareMutantResults = true;
 };
 
 /// Number of items expandSweep() will generate.

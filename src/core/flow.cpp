@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "abstraction/emit_vhdl.h"
+#include "analysis/golden_cache.h"
+#include "analysis/mutant_cache.h"
 #include "ir/elaborate.h"
 #include "util/fnv.h"
 #include "util/timer.h"
@@ -118,10 +120,30 @@ template double timeTlmSimulation<hdt::TwoState>(const ir::Design&, const ips::C
                                                  std::uint64_t);
 
 // --- Step 0: elaborate the clean IP -----------------------------------------
+namespace {
+
+/// Option sanity shared by EVERY entry into the flow — the direct stages
+/// and the cached-prefix path alike, so an invalid item fails with the
+/// SAME error string whichever path (and whichever cache-population order)
+/// it takes; error text is part of CampaignResult::sameResults.
+void validateFlowOptions(const ips::CaseStudy& cs, const FlowOptions& opts) {
+  if (opts.sensorKind == SensorKind::Counter && flowHfRatio(cs, opts) < 1) {
+    // A Counter flow schedules a high-frequency clock at hfRatio ticks per
+    // main-clock cycle; a non-positive ratio cannot drive the dual-clock
+    // scheduler and must fail the item up front, not deep inside a model.
+    throw std::invalid_argument("flow: Counter flow on '" + cs.name +
+                                "' requires hfRatio >= 1, got " +
+                                std::to_string(flowHfRatio(cs, opts)));
+  }
+}
+
+}  // namespace
+
 void stageElaborate(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report) {
   if (cs.module == nullptr) {
     throw std::invalid_argument("flow: case study '" + cs.name + "' has no module");
   }
+  validateFlowOptions(cs, opts);
   report.ipName = cs.name;
   report.sensorKind = opts.sensorKind;
   report.hfRatio = flowHfRatio(cs, opts);
@@ -130,15 +152,13 @@ void stageElaborate(const ips::CaseStudy& cs, const FlowOptions& opts, FlowRepor
 }
 
 // --- Step 1: STA + sensor insertion (Section 4) ------------------------------
-void stageInsertion(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report) {
-  sta::StaConfig staCfg;
-  staCfg.clockPeriodPs = static_cast<double>(cs.periodPs);
-  staCfg.thresholdFraction = opts.staThresholdFraction.value_or(cs.staThresholdFraction);
-  staCfg.spreadFraction = opts.staSpreadFraction.value_or(cs.staSpreadFraction);
-  if (opts.staCorner) staCfg.corner = *opts.staCorner;
-  report.sta = sta::analyze(report.cleanDesign, staCfg);
-  report.timings.staSeconds = report.sta.analysisSeconds;
 
+namespace {
+
+/// The post-STA half of stageInsertion: deterministic in (cs, opts,
+/// report.sta). Shared by the normal stage and the disk-spill rebuild path
+/// (rebuildFlowPrefix), which re-runs insertion against a stored report.
+void applyInsertion(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report) {
   insertion::InsertionConfig icfg;
   icfg.kind = opts.sensorKind;
   auto ins = insertion::insertSensors(*cs.module, report.sta, icfg);
@@ -147,6 +167,19 @@ void stageInsertion(const ips::CaseStudy& cs, const FlowOptions& opts, FlowRepor
   report.sensorAreaGates = ins.sensorAreaGates;
   report.loc.rtlAugmented = abstraction::countLines(abstraction::emitVhdl(*ins.augmented));
   report.augmentedDesign = ir::elaborate(*ins.augmented);
+}
+
+}  // namespace
+
+void stageInsertion(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport& report) {
+  sta::StaConfig staCfg;
+  staCfg.clockPeriodPs = static_cast<double>(cs.periodPs);
+  staCfg.thresholdFraction = opts.staThresholdFraction.value_or(cs.staThresholdFraction);
+  staCfg.spreadFraction = opts.staSpreadFraction.value_or(cs.staSpreadFraction);
+  if (opts.staCorner) staCfg.corner = *opts.staCorner;
+  report.sta = sta::analyze(report.cleanDesign, staCfg);
+  report.timings.staSeconds = report.sta.analysisSeconds;
+  applyInsertion(cs, opts, report);
 }
 
 // --- Step 2: RTL-to-TLM abstraction (Section 5) ------------------------------
@@ -217,6 +250,7 @@ void stageAnalysis(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport
   acfg.sensorKind = opts.sensorKind;
   acfg.threads = opts.analysisThreads;
   acfg.useGoldenCache = opts.useGoldenCache;
+  acfg.useMutantCache = opts.useMutantCache;
   acfg.mutantBegin = opts.mutantBegin;
   acfg.mutantEnd = opts.mutantEnd;
   analysis::Testbench tb = cs.testbench;
@@ -231,6 +265,19 @@ FlowPrefix buildFlowPrefix(const ips::CaseStudy& cs, const FlowOptions& opts) {
   FlowPrefix prefix;
   stageElaborate(cs, opts, prefix.report);
   stageInsertion(cs, opts, prefix.report);
+  return prefix;
+}
+
+FlowPrefix rebuildFlowPrefix(const ips::CaseStudy& cs, const FlowOptions& opts,
+                             const sta::StaReport& sta) {
+  FlowPrefix prefix;
+  stageElaborate(cs, opts, prefix.report);
+  prefix.report.sta = sta;
+  // No STA traversal ran here; its historical cost stays with the process
+  // that recorded the artifact.
+  prefix.report.sta.analysisSeconds = 0.0;
+  prefix.report.timings.staSeconds = 0.0;
+  applyInsertion(cs, opts, prefix.report);
   return prefix;
 }
 
@@ -266,8 +313,19 @@ util::OnceCache<FlowPrefix>& flowPrefixCache() {
   return cache;
 }
 
+void clearProcessCaches() {
+  flowPrefixCache().clear();
+  analysis::goldenTraceCache().clear();
+  analysis::mutantResultCache().clear();
+}
+
 FlowReport runFlowWithPrefix(const FlowPrefix& prefix, const ips::CaseStudy& cs,
                              const FlowOptions& opts) {
+  // The prefix key deliberately excludes hfRatio, so an item with an
+  // invalid per-point option can arrive here on a prefix some VALID item
+  // built: re-validate, or the error (and the report) would depend on
+  // which item populated the cache first.
+  validateFlowOptions(cs, opts);
   if (prefix.report.ipName != cs.name || prefix.report.sensorKind != opts.sensorKind) {
     throw std::invalid_argument("flow: prefix built for " + prefix.report.ipName +
                                 " does not match case study '" + cs.name + "'");

@@ -75,6 +75,12 @@ struct FlowOptions {
   /// sweeps turn it on so axis points differing only in mutant set / STA
   /// binning of an identical critical set skip the golden re-run.
   bool useGoldenCache = false;
+  /// Reuse per-mutant results through the process-wide cache
+  /// (analysis/mutant_cache.h). Off by default for the same reason; sweeps
+  /// turn it on so mutant-set-variant points (full ⊃ min/max) — and, with a
+  /// util::processArtifactStore() configured, warm re-runs and sharded
+  /// workers — skip the per-mutant co-simulations.
+  bool useMutantCache = false;
   /// Simulation-time measurements repeat this many times; the mean is kept
   /// (the paper averages over a number of executions).
   int timingRepetitions = 1;
@@ -149,6 +155,16 @@ using FlowPrefixPtr = std::shared_ptr<const FlowPrefix>;
 /// Build the shared prefix: stageElaborate + stageInsertion.
 FlowPrefix buildFlowPrefix(const ips::CaseStudy& cs, const FlowOptions& opts);
 
+/// Rebuild a prefix from a previously computed STA report — the disk-spill
+/// path of the prefix cache (campaign/serialize.h: decodeFlowPrefix).
+/// Elaboration and sensor insertion re-run deterministically against the
+/// given report (skipping the STA traversal), so the result is identical to
+/// buildFlowPrefix modulo timing fields, provided `sta` came from the same
+/// (cs, opts) — which the artifact key guarantees and the decoder
+/// cross-checks.
+FlowPrefix rebuildFlowPrefix(const ips::CaseStudy& cs, const FlowOptions& opts,
+                             const sta::StaReport& sta);
+
 /// Deterministic identity of the prefix a (cs, opts) pair would build —
 /// the key of the process-wide prefix cache (serialized axis values, exact
 /// double rendering).
@@ -158,6 +174,14 @@ std::string flowPrefixKey(const ips::CaseStudy& cs, const FlowOptions& opts);
 /// requests for one key elaborate exactly once). Cleared only by
 /// tests/benches.
 util::OnceCache<FlowPrefix>& flowPrefixCache();
+
+/// Test/bench hook: clear EVERY process-wide in-memory artifact cache —
+/// stage prefixes, golden traces, per-mutant results — i.e. exactly what a
+/// fresh worker process starts with. One helper so a newly added cache
+/// cannot be missed by one of the "cold leg" call sites (which would
+/// silently turn a bit-identity or zero-hit assertion vacuous). Does not
+/// touch the on-disk artifact store.
+void clearProcessCaches();
 
 /// Run the remaining stages (abstraction, injection, timings, analysis) on a
 /// private copy of the prefix fragment. The prefix must have been built for

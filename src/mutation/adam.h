@@ -18,7 +18,9 @@
 // original (verified by tests).
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/design.h"
@@ -28,6 +30,10 @@ namespace xlv::mutation {
 enum class MutantKind { MinDelay, MaxDelay, DeltaDelay };
 
 const char* mutantKindName(MutantKind k);
+
+/// Reverse of mutantKindName (the one canonical mapping shared by wire
+/// codecs and cache keys); nullopt on an unknown name.
+std::optional<MutantKind> mutantKindFromName(std::string_view name);
 
 struct MutantSpec {
   std::string targetSignal;  ///< flat name of the monitored register

@@ -2,20 +2,31 @@
 //
 // The campaign layer derives several expensive immutable artifacts whose
 // identity is fully captured by a string key: golden traces (analysis/
-// golden_cache.h) and flow stage prefixes (core/flow.h). Sweep points that
-// agree on a key must share one artifact; concurrent executor tasks racing
-// for the same key must build it exactly once, with the losers blocking on
-// the winner rather than duplicating work.
+// golden_cache.h), flow stage prefixes (core/flow.h) and per-mutant results
+// (analysis/mutant_cache.h). Sweep points that agree on a key must share one
+// artifact; concurrent executor tasks racing for the same key must build it
+// exactly once, with the losers blocking on the winner rather than
+// duplicating work.
 //
 // Concurrency model: a mutex guards only the key -> entry map; each entry
 // carries its own std::once_flag, so builds for *different* keys proceed in
 // parallel while builds for the *same* key serialize through call_once. A
 // build that throws leaves the once_flag unset (std::call_once semantics),
 // so the next caller retries instead of caching the failure.
+//
+// Capacity: setCapacity(n) bounds the entry count with LRU eviction (a
+// long-lived service sweeping an unbounded key set must not grow without
+// limit — the ROADMAP eviction item). Eviction only drops completed
+// entries; an in-flight build keeps its entry alive through the builder's
+// own shared_ptr, so exactly-once still holds per *residency* — an evicted
+// key rebuilds on its next request. Layer util::ArtifactStore underneath
+// (util/artifact_store.h, getOrBuildWithStore) to turn those rebuilds into
+// disk loads shared across processes.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -27,6 +38,7 @@ namespace xlv::util {
 struct OnceCacheStats {
   std::size_t hits = 0;    ///< requests served from an already-present entry
   std::size_t misses = 0;  ///< requests that inserted the entry (and built it)
+  std::size_t evictions = 0;  ///< completed entries dropped by the LRU cap
   double hitRate() const noexcept {
     const std::size_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
@@ -52,22 +64,41 @@ class OnceCache {
         it = entries_.emplace(key, std::make_shared<Entry>()).first;
       }
       entry = it->second;
+      entry->lastUse = ++tick_;
+      // Entries with callers inside call_once are never eviction victims;
+      // the count also covers a build that THROWS (decremented in the
+      // catch below), so a failed entry with no remaining callers becomes
+      // evictable instead of pinning the map above its capacity forever.
+      ++entry->activeCallers;
     }
     bool builtHere = false;
-    std::call_once(entry->once, [&] {
-      builtHere = true;
-      auto value = std::make_shared<const V>(build());
+    try {
+      std::call_once(entry->once, [&] {
+        builtHere = true;
+        auto value = std::make_shared<const V>(build());
+        std::lock_guard<std::mutex> lock(mutex_);
+        entry->value = std::move(value);
+      });
+    } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
-      entry->value = std::move(value);
-    });
+      --entry->activeCallers;
+      // A failed build still inserted an entry: enforce the cap here too,
+      // or a stream of distinct always-throwing keys would grow the map
+      // unboundedly until some unrelated build succeeds.
+      evictOverCapacityLocked(nullptr);
+      throw;
+    }
+    if (wasHit != nullptr) *wasHit = !builtHere;
+    // call_once synchronizes-with the winning build, so value is visible.
+    std::lock_guard<std::mutex> lock(mutex_);
+    --entry->activeCallers;
     if (builtHere) {
       ++misses_;
     } else {
       ++hits_;
     }
-    if (wasHit != nullptr) *wasHit = !builtHere;
-    // call_once synchronizes-with the winning build, so value is visible.
-    std::lock_guard<std::mutex> lock(mutex_);
+    entry->lastUse = ++tick_;
+    if (builtHere) evictOverCapacityLocked(entry);
     return entry->value;
   }
 
@@ -83,9 +114,17 @@ class OnceCache {
     return entries_.size();
   }
 
+  /// Bound the entry count (0 = unlimited, the default). Shrinking below the
+  /// current size evicts immediately, least recently used first.
+  void setCapacity(std::size_t maxEntries) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = maxEntries;
+    evictOverCapacityLocked(nullptr);
+  }
+
   OnceCacheStats stats() const {
-    return OnceCacheStats{hits_.load(std::memory_order_relaxed),
-                          misses_.load(std::memory_order_relaxed)};
+    std::lock_guard<std::mutex> lock(mutex_);
+    return OnceCacheStats{hits_, misses_, evictions_};
   }
 
   /// Drop all entries and reset the counters. Not linearizable with respect
@@ -94,20 +133,49 @@ class OnceCache {
   void clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
-    hits_.store(0, std::memory_order_relaxed);
-    misses_.store(0, std::memory_order_relaxed);
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
   }
 
  private:
   struct Entry {
     std::once_flag once;
     std::shared_ptr<const V> value;
+    std::uint64_t lastUse = 0;
+    int activeCallers = 0;  ///< callers currently inside getOrBuild
   };
+
+  /// Drop least-recently-used entries until within capacity. `keep` (the
+  /// entry just built/requested) and entries with active callers (an
+  /// in-flight build, or waiters about to read the value) are never
+  /// victims; if only those remain, the cache temporarily exceeds the cap
+  /// rather than corrupting an in-flight build. An idle entry whose build
+  /// threw (value still null, nobody inside) IS evictable — the next
+  /// request re-inserts and retries it.
+  void evictOverCapacityLocked(const std::shared_ptr<Entry>& keep) {
+    if (capacity_ == 0) return;
+    while (entries_.size() > capacity_) {
+      auto victim = entries_.end();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->second == keep || it->second->activeCallers > 0) continue;
+        if (victim == entries_.end() || it->second->lastUse < victim->second->lastUse) {
+          victim = it;
+        }
+      }
+      if (victim == entries_.end()) break;
+      entries_.erase(victim);
+      ++evictions_;
+    }
+  }
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
-  std::atomic<std::size_t> hits_{0};
-  std::atomic<std::size_t> misses_{0};
+  std::size_t capacity_ = 0;
+  std::uint64_t tick_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
 };
 
 }  // namespace xlv::util

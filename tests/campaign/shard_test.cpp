@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/golden_cache.h"
+#include "analysis/mutant_cache.h"
 #include "campaign/serialize.h"
 #include "campaign/shard.h"
 #include "core/flow.h"
@@ -20,10 +21,7 @@
 namespace xlv::campaign {
 namespace {
 
-void clearProcessCaches() {
-  core::flowPrefixCache().clear();
-  analysis::goldenTraceCache().clear();
-}
+void clearProcessCaches() { core::clearProcessCaches(); }
 
 /// Run every shard of the plan as a separate worker process would see it:
 /// cold caches per shard, spec/plan/output pushed through the wire codecs.

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/golden_cache.h"
+#include "analysis/mutant_cache.h"
 #include "campaign/sweep.h"
 #include "core/flow.h"
 
@@ -78,9 +79,12 @@ TEST(Sweep, SharesPrefixKeysAcrossMutantSetPoints) {
   EXPECT_EQ(spec.items[2].prefixKey, spec.items[3].prefixKey);
   // Different corner -> different prefix.
   EXPECT_NE(spec.items[0].prefixKey, spec.items[2].prefixKey);
-  // Sweeps default to shared golden traces and serialized inner analysis
-  // under a parallel outer pool.
-  for (const auto& item : spec.items) EXPECT_TRUE(item.options.useGoldenCache);
+  // Sweeps default to shared golden traces, shared per-mutant results and
+  // serialized inner analysis under a parallel outer pool.
+  for (const auto& item : spec.items) {
+    EXPECT_TRUE(item.options.useGoldenCache);
+    EXPECT_TRUE(item.options.useMutantCache);
+  }
 }
 
 TEST(Sweep, MutantSetVariantsSliceThePool) {
@@ -153,8 +157,7 @@ TEST(Sweep, HfAxisAppliesOnlyToCounterItems) {
 }
 
 TEST(Sweep, FullSweepIsThreadCountInvariant) {
-  core::flowPrefixCache().clear();
-  analysis::goldenTraceCache().clear();
+  core::clearProcessCaches();
 
   const CampaignResult serial = runSweep(threeAxisSweep(1));
   ASSERT_EQ(8u, serial.items.size());
@@ -163,10 +166,12 @@ TEST(Sweep, FullSweepIsThreadCountInvariant) {
 
   // On the serial first pass every (corner, threshold) pair elaborates once
   // and its second mutant-set point reuses prefix AND golden trace: 4
-  // distinct prefixes, >= 4 shared reuses of each kind.
+  // distinct prefixes, >= 4 shared reuses of each kind. The max-variant
+  // points additionally reuse the full variant's per-mutant results.
   EXPECT_EQ(4, serial.prefixCacheHits);
   EXPECT_GE(serial.goldenCacheHits, 4);
   EXPECT_GT(serial.goldenSeconds, 0.0);
+  EXPECT_GT(serial.mutantCacheHits, 0);
 
   for (int threads : {2, 8}) {
     const CampaignResult parallel = runSweep(threeAxisSweep(threads));
@@ -179,16 +184,17 @@ TEST(Sweep, FullSweepIsThreadCountInvariant) {
 }
 
 TEST(Sweep, CacheDisabledSweepMatchesCachedSweep) {
-  core::flowPrefixCache().clear();
-  analysis::goldenTraceCache().clear();
+  core::clearProcessCaches();
   const CampaignResult cached = runSweep(threeAxisSweep(2));
 
   SweepSpec cold = threeAxisSweep(2);
   cold.sharePrefixes = false;
   cold.shareGoldenTraces = false;
+  cold.shareMutantResults = false;
   const CampaignResult uncached = runSweep(cold);
   EXPECT_EQ(0, uncached.goldenCacheHits);
   EXPECT_EQ(0, uncached.prefixCacheHits);
+  EXPECT_EQ(0, uncached.mutantCacheHits);
   expectSameSweepResult(cached, uncached, "cached-vs-uncached");
 }
 

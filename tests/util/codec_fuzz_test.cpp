@@ -1,0 +1,299 @@
+// Fuzz-style (seeded, deterministic) conformance suite for the util/codec.h
+// wire format through its real schemas: randomized specs/results round-trip
+// byte-stably (encode -> decode -> encode reproduces the input bytes), every
+// single-byte truncation raises DecodeError, and every single-byte
+// corruption either raises DecodeError or decodes to a value whose
+// re-encoding IS the corrupted input — i.e. the decoder is the exact
+// inverse of the encoder and never maps non-canonical bytes onto a
+// different value ("mis-decoding"). Byte-level corruption that survives
+// decoding (e.g. a flipped character inside a string payload) is caught one
+// layer up by the artifact store's payload fingerprint.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/golden_cache.h"
+#include "analysis/mutant_cache.h"
+#include "campaign/serialize.h"
+#include "campaign/shard.h"
+#include "util/codec.h"
+#include "util/prng.h"
+
+namespace xlv {
+namespace {
+
+using util::DecodeError;
+using util::Prng;
+
+// --- randomized domain values ------------------------------------------------
+
+/// Random bytes including the format's structural characters ('=', ':',
+/// '\n') and non-ASCII — string payloads are length-prefixed raw bytes, so
+/// none of these may confuse the framing.
+std::string randomString(Prng& rng) {
+  static const char alphabet[] = "abcXYZ019=:\n|\t\\\"%a-+ ";
+  const std::size_t len = rng.below(24);
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (rng.chance(0.15)) {
+      s.push_back(static_cast<char>(rng.below(256)));
+    } else {
+      s.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+    }
+  }
+  return s;
+}
+
+double randomDouble(Prng& rng) {
+  switch (rng.below(8)) {
+    case 0: return 0.0;
+    case 1: return -0.0;
+    case 2: return 1.0 / 3.0;
+    case 3: return -1e300;
+    case 4: return 5e-324;  // smallest denormal
+    case 5: return static_cast<double>(rng.next()) * 1e-9;
+    default: return rng.uniform() * (rng.chance(0.5) ? -1.0 : 1.0);
+  }
+}
+
+mutation::MutantKind randomKind(Prng& rng) {
+  switch (rng.below(3)) {
+    case 0: return mutation::MutantKind::MinDelay;
+    case 1: return mutation::MutantKind::MaxDelay;
+    default: return mutation::MutantKind::DeltaDelay;
+  }
+}
+
+analysis::MutantResult randomMutantResult(Prng& rng) {
+  analysis::MutantResult m;
+  m.id = static_cast<int>(rng.below(1000)) - 1;
+  m.endpoint = randomString(rng);
+  m.kind = randomKind(rng);
+  m.deltaTicks = static_cast<int>(rng.range(-16, 16));
+  m.killed = rng.chance(0.5);
+  m.detected = rng.chance(0.5);
+  m.errorRisen = rng.chance(0.5);
+  m.corrected = rng.chance(0.5);
+  m.correctionChecked = rng.chance(0.5);
+  m.measuredDelay = rng.next();
+  return m;
+}
+
+analysis::AnalysisReport randomAnalysisReport(Prng& rng) {
+  analysis::AnalysisReport a;
+  a.cyclesPerRun = rng.below(100000);
+  a.simSeconds = randomDouble(rng);
+  a.wallSeconds = randomDouble(rng);
+  a.goldenSeconds = randomDouble(rng);
+  a.goldenFromCache = rng.chance(0.5);
+  a.goldenFromDisk = rng.chance(0.5);
+  a.mutantCacheHits = static_cast<int>(rng.below(64));
+  a.threadsUsed = 1 + static_cast<int>(rng.below(16));
+  const std::size_t n = rng.below(5);
+  for (std::size_t i = 0; i < n; ++i) a.results.push_back(randomMutantResult(rng));
+  return a;
+}
+
+campaign::CampaignResult randomCampaignResult(Prng& rng) {
+  campaign::CampaignResult r;
+  r.name = randomString(rng);
+  r.simSeconds = randomDouble(rng);
+  r.goldenSeconds = randomDouble(rng);
+  r.goldenCacheHits = static_cast<int>(rng.below(16));
+  r.prefixCacheHits = static_cast<int>(rng.below(16));
+  r.mutantCacheHits = static_cast<int>(rng.below(64));
+  r.diskHits = static_cast<int>(rng.below(64));
+  r.diskStores = static_cast<int>(rng.below(64));
+  r.diskEvictions = static_cast<int>(rng.below(64));
+  r.wallSeconds = randomDouble(rng);
+  r.threadsUsed = 1 + static_cast<int>(rng.below(8));
+  const std::size_t items = rng.below(3);
+  for (std::size_t i = 0; i < items; ++i) {
+    campaign::CampaignItemResult it;
+    it.taskId = rng.below(100);
+    it.label = randomString(rng);
+    if (rng.chance(0.3)) it.error = randomString(rng);
+    it.taskSeconds = randomDouble(rng);
+    it.goldenSeconds = randomDouble(rng);
+    it.goldenFromCache = rng.chance(0.5);
+    it.prefixShared = rng.chance(0.5);
+    it.report.ipName = randomString(rng);
+    it.report.sensorKind = rng.chance(0.5) ? insertion::SensorKind::Razor
+                                           : insertion::SensorKind::Counter;
+    it.report.hfRatio = static_cast<int>(rng.below(16));
+    it.report.skippedEndpoints = static_cast<int>(rng.below(8));
+    it.report.sensorAreaGates = randomDouble(rng);
+    it.report.sta.criticalCount = static_cast<int>(rng.below(32));
+    it.report.sta.thresholdPs = randomDouble(rng);
+    it.report.sta.clockPeriodPs = randomDouble(rng);
+    it.report.sta.minSlackPs = randomDouble(rng);
+    it.report.loc.rtlClean = static_cast<int>(rng.below(500));
+    it.report.loc.rtlAugmented = static_cast<int>(rng.below(500));
+    it.report.loc.tlm = static_cast<int>(rng.below(500));
+    it.report.loc.tlmInjected = static_cast<int>(rng.below(500));
+    const std::size_t sensors = rng.below(3);
+    for (std::size_t s = 0; s < sensors; ++s) {
+      it.report.sensors.push_back(insertion::InsertedSensor{
+          randomString(rng), randomString(rng), randomString(rng), randomString(rng),
+          randomString(rng), randomString(rng), randomDouble(rng)});
+    }
+    const std::size_t specs = rng.below(3);
+    for (std::size_t s = 0; s < specs; ++s) {
+      it.report.mutantSpecs.push_back(mutation::MutantSpec{
+          randomString(rng), randomKind(rng), static_cast<int>(rng.range(-8, 8))});
+    }
+    it.report.analysis = randomAnalysisReport(rng);
+    r.items.push_back(std::move(it));
+  }
+  return r;
+}
+
+campaign::ShardPlan randomShardPlan(Prng& rng) {
+  campaign::ShardPlan plan;
+  plan.specFnv = rng.next();
+  plan.specItems = rng.below(64);
+  const std::size_t shards = 1 + rng.below(4);
+  plan.shards.resize(shards);
+  for (auto& shard : plan.shards) {
+    const std::size_t units = rng.below(4);
+    for (std::size_t u = 0; u < units; ++u) {
+      shard.push_back(campaign::ShardUnit{rng.below(64), rng.below(8), rng.below(32)});
+    }
+  }
+  return plan;
+}
+
+analysis::GoldenTrace randomGoldenTrace(Prng& rng) {
+  analysis::GoldenTrace trace;
+  const std::size_t cycles = rng.below(12);
+  const std::size_t outW = rng.below(4);
+  const std::size_t epW = rng.below(4);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    std::vector<std::uint64_t> outs(outW), eps(epW);
+    for (auto& w : outs) w = rng.next();
+    for (auto& w : eps) w = rng.next();
+    trace.outputs.push_back(std::move(outs));
+    trace.endpoints.push_back(std::move(eps));
+  }
+  return trace;
+}
+
+// --- the three fuzz properties -----------------------------------------------
+
+/// A named encode/decode pair: decode(bytes) either throws DecodeError or
+/// yields a value, and reencode(decode(bytes)) lets the harness check the
+/// inverse property without knowing the value type.
+struct Codec {
+  const char* name;
+  std::function<std::string(Prng&)> randomDoc;          // encode(randomValue)
+  std::function<std::string(std::string_view)> reroll;  // encode(decode(bytes))
+};
+
+std::vector<Codec> codecs() {
+  return {
+      {"mutant-result",
+       [](Prng& rng) { return campaign::encodeMutantResult(randomMutantResult(rng)); },
+       [](std::string_view b) {
+         return campaign::encodeMutantResult(campaign::decodeMutantResult(b));
+       }},
+      {"mutant-artifact",
+       [](Prng& rng) {
+         return analysis::encodeMutantResultArtifact(randomMutantResult(rng));
+       },
+       [](std::string_view b) {
+         return analysis::encodeMutantResultArtifact(
+             analysis::decodeMutantResultArtifact(b));
+       }},
+      {"analysis-report",
+       [](Prng& rng) { return campaign::encodeAnalysisReport(randomAnalysisReport(rng)); },
+       [](std::string_view b) {
+         return campaign::encodeAnalysisReport(campaign::decodeAnalysisReport(b));
+       }},
+      {"campaign-result",
+       [](Prng& rng) { return campaign::encodeCampaignResult(randomCampaignResult(rng)); },
+       [](std::string_view b) {
+         return campaign::encodeCampaignResult(campaign::decodeCampaignResult(b));
+       }},
+      {"shard-plan",
+       [](Prng& rng) { return campaign::encodeShardPlan(randomShardPlan(rng)); },
+       [](std::string_view b) {
+         return campaign::encodeShardPlan(campaign::decodeShardPlan(b));
+       }},
+      {"golden-trace",
+       [](Prng& rng) { return analysis::encodeGoldenTrace(randomGoldenTrace(rng)); },
+       [](std::string_view b) {
+         return analysis::encodeGoldenTrace(analysis::decodeGoldenTrace(b));
+       }},
+  };
+}
+
+TEST(CodecFuzz, RandomizedRoundTripsAreByteStable) {
+  Prng rng(0xC0DEC0DEC0DEC0DEULL);
+  for (const Codec& codec : codecs()) {
+    for (int iter = 0; iter < 50; ++iter) {
+      const std::string doc = codec.randomDoc(rng);
+      std::string rerolled;
+      ASSERT_NO_THROW(rerolled = codec.reroll(doc))
+          << codec.name << " iteration " << iter;
+      EXPECT_EQ(doc, rerolled) << codec.name << " iteration " << iter;
+    }
+  }
+}
+
+TEST(CodecFuzz, EverySingleByteTruncationRaisesDecodeError) {
+  Prng rng(0x7142C47E5EEDULL);
+  for (const Codec& codec : codecs()) {
+    for (int iter = 0; iter < 8; ++iter) {
+      const std::string doc = codec.randomDoc(rng);
+      for (std::size_t cut = 0; cut < doc.size(); ++cut) {
+        EXPECT_THROW(codec.reroll(std::string_view(doc).substr(0, cut)), DecodeError)
+            << codec.name << " iteration " << iter << " cut at " << cut << "/"
+            << doc.size();
+      }
+    }
+  }
+}
+
+TEST(CodecFuzz, GoldenTraceRejectsOverflowingCountsBeforeAllocating) {
+  // A verified-but-hostile entry (fingerprint collision or crafted file):
+  // counts whose product wraps std::size_t must throw DecodeError up
+  // front, never reach a resize() that dies with length_error/bad_alloc.
+  util::Encoder e("golden-trace", 1);
+  e.u64("cycles", 1);
+  e.u64("outWidth", 1ULL << 61);
+  e.u64("epWidth", 0);
+  e.str("outputs", "");
+  e.str("endpoints", "");
+  EXPECT_THROW(analysis::decodeGoldenTrace(e.out()), DecodeError);
+}
+
+TEST(CodecFuzz, EverySingleByteCorruptionIsRejectedOrDecodesToExactlyThoseBytes) {
+  Prng rng(0xBADBADBADBADULL);
+  for (const Codec& codec : codecs()) {
+    for (int iter = 0; iter < 4; ++iter) {
+      const std::string doc = codec.randomDoc(rng);
+      for (std::size_t pos = 0; pos < doc.size(); ++pos) {
+        for (const unsigned char delta : {0x01, 0x80}) {
+          std::string corrupted = doc;
+          corrupted[pos] = static_cast<char>(corrupted[pos] ^ delta);
+          try {
+            const std::string rerolled = codec.reroll(corrupted);
+            // Accepted: then the decode must be the exact inverse — the
+            // corrupted bytes themselves are the canonical encoding of the
+            // decoded value, never a silently skewed reading of them.
+            EXPECT_EQ(corrupted, rerolled)
+                << codec.name << " iteration " << iter << " flip 0x" << std::hex
+                << static_cast<int>(delta) << " at byte " << std::dec << pos;
+          } catch (const DecodeError&) {
+            // Rejected: equally fine (and mandatory for framing bytes).
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xlv

@@ -1,0 +1,200 @@
+// OnceCache under contention: N threads x M keys hammering getOrBuild with
+// a throwing first build per key — exactly-once successful builds,
+// retry-after-throw, ledger consistency (hits + misses == successful
+// calls), and the LRU capacity policy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/once_cache.h"
+
+namespace xlv::util {
+namespace {
+
+TEST(OnceCacheStress, ExactlyOnceBuildsWithThrowingFirstAttempt) {
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 24;
+  constexpr int kRounds = 3;
+
+  OnceCache<int> cache;
+  std::vector<std::unique_ptr<std::atomic<int>>> attempts;     // builds started
+  std::vector<std::unique_ptr<std::atomic<int>>> successes;    // builds returned
+  std::vector<std::unique_ptr<std::atomic<bool>>> threwOnce;   // first-attempt poison
+  for (int k = 0; k < kKeys; ++k) {
+    attempts.push_back(std::make_unique<std::atomic<int>>(0));
+    successes.push_back(std::make_unique<std::atomic<int>>(0));
+    threwOnce.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+
+  std::atomic<int> successfulCalls{0};
+  std::atomic<int> caughtThrows{0};
+  std::atomic<int> wrongValues{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kKeys; ++i) {
+          // Different traversal order per thread maximizes cross-key races.
+          const int k = (i * 7 + t * 3 + round) % kKeys;
+          const std::string key = "key-" + std::to_string(k);
+          // Retry until served: the first build of each key throws, and
+          // call_once must hand the build to a later caller, never cache
+          // the failure.
+          for (;;) {
+            try {
+              auto v = cache.getOrBuild(key, [&]() -> int {
+                attempts[k]->fetch_add(1);
+                if (!threwOnce[k]->exchange(true)) {
+                  throw std::runtime_error("first build of " + key + " fails");
+                }
+                successes[k]->fetch_add(1);
+                return 1000 + k;
+              });
+              successfulCalls.fetch_add(1);
+              if (v == nullptr || *v != 1000 + k) wrongValues.fetch_add(1);
+              break;
+            } catch (const std::runtime_error&) {
+              caughtThrows.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(0, wrongValues.load());
+  int totalAttempts = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(1, successes[k]->load()) << "key " << k << " must build exactly once";
+    // One throwing attempt + one successful retry, no more.
+    EXPECT_EQ(2, attempts[k]->load()) << "key " << k;
+    totalAttempts += attempts[k]->load();
+  }
+  EXPECT_EQ(kKeys, caughtThrows.load()) << "each key throws exactly one caller";
+
+  // Ledger consistency: every *successful* call is exactly one hit or one
+  // miss; misses == successful builds (throwing attempts count neither).
+  const OnceCacheStats stats = cache.stats();
+  EXPECT_EQ(static_cast<std::size_t>(kKeys), stats.misses);
+  EXPECT_EQ(static_cast<std::size_t>(successfulCalls.load()), stats.hits + stats.misses);
+  EXPECT_EQ(static_cast<std::size_t>(kThreads * kRounds * kKeys), stats.hits + stats.misses);
+  EXPECT_EQ(0u, stats.evictions);
+  EXPECT_EQ(static_cast<std::size_t>(kKeys), cache.size());
+  (void)totalAttempts;
+}
+
+TEST(OnceCacheStress, CapacityEvictsLeastRecentlyUsed) {
+  OnceCache<int> cache;
+  cache.setCapacity(2);
+  EXPECT_EQ(1, *cache.getOrBuild("k1", [] { return 1; }));
+  EXPECT_EQ(2, *cache.getOrBuild("k2", [] { return 2; }));
+  // Touch k1: k2 becomes the LRU entry.
+  EXPECT_EQ(1, *cache.getOrBuild("k1", [] { return -1; }));
+  EXPECT_EQ(3, *cache.getOrBuild("k3", [] { return 3; }));
+
+  EXPECT_EQ(2u, cache.size());
+  EXPECT_NE(nullptr, cache.find("k1"));
+  EXPECT_NE(nullptr, cache.find("k3"));
+  EXPECT_EQ(nullptr, cache.find("k2")) << "k2 was least recently used";
+  EXPECT_EQ(1u, cache.stats().evictions);
+
+  // An evicted key rebuilds (counts as a fresh miss), evicting the next LRU.
+  bool wasHit = true;
+  EXPECT_EQ(22, *cache.getOrBuild("k2", [] { return 22; }, &wasHit));
+  EXPECT_FALSE(wasHit);
+  EXPECT_EQ(2u, cache.size());
+
+  // Shrinking the cap evicts immediately.
+  cache.setCapacity(1);
+  EXPECT_EQ(1u, cache.size());
+
+  // Capacity 0 = unlimited again.
+  cache.setCapacity(0);
+  cache.getOrBuild("k4", [] { return 4; });
+  cache.getOrBuild("k5", [] { return 5; });
+  EXPECT_EQ(3u, cache.size());
+}
+
+TEST(OnceCacheStress, FailedBuildEntriesDoNotPinTheCapacityCap) {
+  OnceCache<int> cache;
+  cache.setCapacity(2);
+  // A stream of keys whose builds ALWAYS throw — no successful build ever
+  // runs the eviction path for them — must still not grow the map past the
+  // cap: an idle failed entry (null value, nobody inside) is evictable,
+  // and the throw path enforces the cap itself.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_THROW(cache.getOrBuild("poison-" + std::to_string(i),
+                                  []() -> int { throw std::runtime_error("boom"); }),
+                 std::runtime_error);
+    EXPECT_LE(cache.size(), 2u) << "after failing key " << i;
+  }
+  // Mixed failure/success streams stay bounded too.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_THROW(cache.getOrBuild("poison2-" + std::to_string(i),
+                                  []() -> int { throw std::runtime_error("boom"); }),
+                 std::runtime_error);
+    cache.getOrBuild("good-" + std::to_string(i), [i] { return i; });
+    EXPECT_LE(cache.size(), 2u) << "iteration " << i;
+  }
+  // A previously failed key retries cleanly after re-insertion.
+  EXPECT_EQ(5, *cache.getOrBuild("poison-0", [] { return 5; }));
+}
+
+TEST(OnceCacheStress, EvictionNeverDropsAnInFlightBuild) {
+  OnceCache<int> cache;
+  cache.setCapacity(1);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool gateOpen = false;
+  bool building = false;
+
+  // Thread A starts building "slow" and blocks inside the build.
+  std::thread a([&] {
+    cache.getOrBuild("slow", [&] {
+      {
+        std::lock_guard<std::mutex> lock(m);
+        building = true;
+      }
+      cv.notify_all();
+      std::unique_lock<std::mutex> lock(m);
+      cv.wait(lock, [&] { return gateOpen; });
+      return 7;
+    });
+  });
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return building; });
+  }
+
+  // While "slow" is in flight, fill and overflow the cache: the in-flight
+  // entry must never be a victim.
+  cache.getOrBuild("fast1", [] { return 1; });
+  cache.getOrBuild("fast2", [] { return 2; });
+  {
+    std::lock_guard<std::mutex> lock(m);
+    gateOpen = true;
+  }
+  cv.notify_all();
+  a.join();
+
+  // The slow build completed exactly once and its value is correct: either
+  // still resident or evicted afterwards, but never corrupted.
+  bool wasHit = false;
+  auto v = cache.getOrBuild("slow", [] { return -1; }, &wasHit);
+  ASSERT_NE(nullptr, v);
+  EXPECT_TRUE(*v == 7 || (*v == -1 && !wasHit))
+      << "in-flight build must publish 7, or a post-eviction rebuild runs fresh";
+}
+
+}  // namespace
+}  // namespace xlv::util

@@ -16,10 +16,19 @@
 //   xlv_campaign merge --spec spec.xlv -o merged.xlv s0.xlv s1.xlv s2.xlv
 //   xlv_campaign diff single.xlv merged.xlv                 # exit 0 iff identical
 //
+// Cross-run / cross-process artifact reuse: pass --cache-dir DIR to run and
+// run-shard and the expensive immutable artifacts (golden traces, flow
+// prefixes, per-mutant results) persist under DIR — a warm re-run, or a
+// worker sharing DIR with its siblings, loads instead of recomputing while
+// staying bit-identical. --cache-max-bytes caps the store with LRU
+// eviction; --require-disk-hits makes a supposedly-warm run fail (exit 4)
+// when the store served nothing, so CI catches a silently disabled cache.
+//
 // Exit codes: 0 success (diff: identical), 1 usage or runtime error,
 // 2 diff divergence, 3 campaign completed but one or more items errored
 // (the output file is still written so the failure can be inspected and
-// merged, but CI pipelines fail instead of passing vacuously).
+// merged, but CI pipelines fail instead of passing vacuously), 4 a
+// --require-disk-hits run reported zero artifact-store hits.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -31,6 +40,7 @@
 
 #include "campaign/serialize.h"
 #include "campaign/shard.h"
+#include "util/artifact_store.h"
 #include "util/log.h"
 
 namespace {
@@ -43,15 +53,20 @@ using namespace xlv;
       "usage:\n"
       "  xlv_campaign spec --preset <name> [--threads N] [-o FILE]\n"
       "  xlv_campaign plan --spec FILE --shards N [--max-fragment M] [-o FILE]\n"
-      "  xlv_campaign run --spec FILE [-o FILE]\n"
-      "  xlv_campaign run-shard --spec FILE --plan FILE --index I [-o FILE]\n"
+      "  xlv_campaign run --spec FILE [cache flags] [-o FILE]\n"
+      "  xlv_campaign run-shard --spec FILE --plan FILE --index I [cache flags] [-o FILE]\n"
       "  xlv_campaign merge --spec FILE -o FILE SHARD_FILE...\n"
       "  xlv_campaign diff RESULT_A RESULT_B\n"
       "  xlv_campaign show RESULT_FILE\n"
       "\n"
       "presets: smoke (2 IPs x 2 sensor kinds x 2 corners), single (one\n"
-      "Counter item, for --max-fragment splitting). -o defaults to stdout.\n"
-      "--verbose raises the log level to info.\n",
+      "Counter item, for --max-fragment splitting), failing (broken mid-\n"
+      "campaign items, exercises the exit-3 path). -o defaults to stdout.\n"
+      "cache flags: --cache-dir DIR persists golden traces, flow prefixes\n"
+      "and per-mutant results under DIR (shared across processes and runs,\n"
+      "bit-identical warm or cold); --cache-max-bytes N caps the store with\n"
+      "LRU eviction; --require-disk-hits exits 4 when a warm run loaded\n"
+      "nothing from the store. --verbose raises the log level to info.\n",
       stderr);
   std::exit(1);
 }
@@ -76,8 +91,9 @@ void writeOutput(const std::string& path, const std::string& data) {
 /// Minimal flag cursor: named flags in any order, positional operands kept.
 struct Args {
   std::vector<std::string> positional;
-  std::string spec, plan, out, preset;
-  long shards = 0, index = -1, maxFragment = 0, threads = 0;
+  std::string spec, plan, out, preset, cacheDir;
+  long shards = 0, index = -1, maxFragment = 0, threads = 0, cacheMaxBytes = 0;
+  bool requireDiskHits = false;
 
   static long parseLong(const std::string& flag, const std::string& v) {
     try {
@@ -115,6 +131,12 @@ Args parseArgs(int argc, char** argv, int first) {
       a.maxFragment = Args::parseLong(arg, next("--max-fragment"));
     } else if (arg == "--threads") {
       a.threads = Args::parseLong(arg, next("--threads"));
+    } else if (arg == "--cache-dir") {
+      a.cacheDir = next("--cache-dir");
+    } else if (arg == "--cache-max-bytes") {
+      a.cacheMaxBytes = Args::parseLong(arg, next("--cache-max-bytes"));
+    } else if (arg == "--require-disk-hits") {
+      a.requireDiskHits = true;
     } else if (arg == "--verbose") {
       util::setLogLevel(util::LogLevel::Info);
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -131,15 +153,50 @@ campaign::CampaignSpec loadSpec(const Args& a) {
   return campaign::decodeCampaignSpec(readFile(a.spec));
 }
 
+/// Subcommands that never touch the store must REJECT cache flags, not
+/// silently ignore them (a flag on the wrong pipeline stage doing nothing
+/// is how a "cached" pipeline runs cold without anyone noticing).
+void rejectCacheFlags(const Args& a, const char* cmd) {
+  if (!a.cacheDir.empty() || a.cacheMaxBytes != 0 || a.requireDiskHits) {
+    usage((std::string(cmd) +
+           " does not take cache flags (--cache-dir/--cache-max-bytes/"
+           "--require-disk-hits apply to run, run-shard and merge)")
+              .c_str());
+  }
+}
+
+/// Install the process-wide artifact store when --cache-dir was given.
+void configureCache(const Args& a) {
+  if (a.cacheMaxBytes < 0) usage("--cache-max-bytes must be >= 0 (0 = unbounded)");
+  if (a.cacheDir.empty()) {
+    if (a.requireDiskHits) usage("--require-disk-hits needs --cache-dir");
+    if (a.cacheMaxBytes != 0) usage("--cache-max-bytes needs --cache-dir");
+    return;
+  }
+  util::configureProcessArtifactStore(util::ArtifactStoreConfig{
+      a.cacheDir, static_cast<std::uint64_t>(a.cacheMaxBytes)});
+}
+
 /// Per-item failures don't abort a campaign, but they must fail the
-/// process: a pipeline whose every stage exits 0 while zero mutants were
-/// simulated would pass vacuously.
-int reportItemErrors(const char* what, const campaign::CampaignResult& r) {
-  if (r.ok()) return 0;
-  const auto* first = r.firstError();
-  std::fprintf(stderr, "%s finished with item errors; first: task %zu (%s): %s\n", what,
-               first->taskId, first->label.c_str(), first->error.c_str());
-  return 3;
+/// process (campaign::campaignExitCode, exit 3): a pipeline whose every
+/// stage exits 0 while zero mutants were simulated would pass vacuously.
+/// Similarly, --require-disk-hits fails (exit 4) a run whose supposedly
+/// warm artifact store served nothing.
+int reportItemErrors(const char* what, const Args& a, const campaign::CampaignResult& r) {
+  if (!r.ok()) {
+    const auto* first = r.firstError();
+    std::fprintf(stderr, "%s finished with item errors; first: task %zu (%s): %s\n", what,
+                 first->taskId, first->label.c_str(), first->error.c_str());
+    return campaign::campaignExitCode(r);
+  }
+  if (a.requireDiskHits && r.diskHits == 0) {
+    std::fprintf(stderr,
+                 "%s expected artifact-store hits (--require-disk-hits) but the store "
+                 "served none (stores %d, evictions %d) — cache silently cold?\n",
+                 what, r.diskStores, r.diskEvictions);
+    return 4;
+  }
+  return 0;
 }
 
 void printSummary(const campaign::CampaignResult& r) {
@@ -157,12 +214,14 @@ void printSummary(const campaign::CampaignResult& r) {
   }
   std::printf(
       "ledger: sim %.3fs, golden %.3fs, wall %.3fs, golden hits %d, prefix hits %d, "
-      "threads %d\n",
+      "mutant hits %d, threads %d\n"
+      "store:  disk hits %d, stores %d, evictions %d\n",
       r.simSeconds, r.goldenSeconds, r.wallSeconds, r.goldenCacheHits, r.prefixCacheHits,
-      r.threadsUsed);
+      r.mutantCacheHits, r.threadsUsed, r.diskHits, r.diskStores, r.diskEvictions);
 }
 
 int cmdSpec(const Args& a) {
+  rejectCacheFlags(a, "spec");
   if (a.preset.empty()) usage("--preset <name> is required");
   if (a.threads < 0) usage("--threads must be >= 0 (0 = auto)");
   campaign::CampaignSpec spec = campaign::builtinCampaignSpec(a.preset);
@@ -175,6 +234,7 @@ int cmdSpec(const Args& a) {
 }
 
 int cmdPlan(const Args& a) {
+  rejectCacheFlags(a, "plan");
   if (a.shards < 1) usage("--shards N (>= 1) is required");
   if (a.maxFragment < 0) usage("--max-fragment must be >= 0");
   const campaign::CampaignSpec spec = loadSpec(a);
@@ -194,23 +254,30 @@ int cmdPlan(const Args& a) {
 
 int cmdRun(const Args& a) {
   const campaign::CampaignSpec spec = loadSpec(a);
+  configureCache(a);
   const campaign::CampaignResult result = campaign::runCampaign(spec);
   writeOutput(a.out, campaign::encodeCampaignResult(result));
-  return reportItemErrors("campaign", result);
+  return reportItemErrors("campaign", a, result);
 }
 
 int cmdRunShard(const Args& a) {
   if (a.plan.empty()) usage("--plan FILE is required");
   if (a.index < 0) usage("--index I (>= 0) is required");
   const campaign::CampaignSpec spec = loadSpec(a);
+  configureCache(a);
   const campaign::ShardPlan plan = campaign::decodeShardPlan(readFile(a.plan));
   const campaign::ShardOutput out =
       campaign::runShard(spec, plan, static_cast<int>(a.index));
   writeOutput(a.out, campaign::encodeShardOutput(out));
-  return reportItemErrors("shard", out.result);
+  return reportItemErrors("shard", a, out.result);
 }
 
 int cmdMerge(const Args& a) {
+  // merge aggregates the shards' ledgers, so --require-disk-hits can gate
+  // it; the store itself plays no part here.
+  if (!a.cacheDir.empty() || a.cacheMaxBytes != 0) {
+    usage("merge takes --require-disk-hits only (no store is opened)");
+  }
   if (a.positional.empty()) usage("merge needs at least one shard output file");
   if (a.out.empty()) usage("merge requires -o FILE (the merged result)");
   const campaign::CampaignSpec spec = loadSpec(a);
@@ -221,10 +288,11 @@ int cmdMerge(const Args& a) {
   }
   const campaign::CampaignResult merged = campaign::mergeShards(spec, outputs);
   writeOutput(a.out, campaign::encodeCampaignResult(merged));
-  return reportItemErrors("merged campaign", merged);
+  return reportItemErrors("merged campaign", a, merged);
 }
 
 int cmdDiff(const Args& a) {
+  rejectCacheFlags(a, "diff");
   if (a.positional.size() != 2) usage("diff takes exactly two result files");
   const campaign::CampaignResult x = campaign::decodeCampaignResult(readFile(a.positional[0]));
   const campaign::CampaignResult y = campaign::decodeCampaignResult(readFile(a.positional[1]));
@@ -251,6 +319,7 @@ int cmdDiff(const Args& a) {
 }
 
 int cmdShow(const Args& a) {
+  rejectCacheFlags(a, "show");
   if (a.positional.size() != 1) usage("show takes exactly one result file");
   printSummary(campaign::decodeCampaignResult(readFile(a.positional[0])));
   return 0;
