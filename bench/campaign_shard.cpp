@@ -12,8 +12,10 @@
 // divergence, for any shard count, exits nonzero — and so does the
 // artifact-store warm leg when its ledgers report zero disk hits (a
 // silently disabled cache must not pass on a vacuously identical diff).
+#include <stdlib.h>
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -146,6 +148,53 @@ int main() {
   std::filesystem::remove_all(cacheDir);
   clearCaches();
 
+  // --- divergence-driven fast path vs XLV_REFERENCE_SIM=1 full replay -------
+  // Acceptance self-check on the PRISTINE builtin presets (fixed cycle
+  // budgets, so the ratio is a deterministic cycle count, not a timing):
+  // bit-identical results and >= 2x fewer simulated mutant-cycles.
+  const char* refPresets[2] = {"smoke", "single"};
+  double refRatios[2] = {0.0, 0.0};
+  std::uint64_t fastSimulated = 0, fastSkipped = 0, refSimulated = 0;
+  for (int p = 0; p < 2; ++p) {
+    const char* preset = refPresets[p];
+    const campaign::CampaignSpec spec = campaign::builtinCampaignSpec(preset);
+    clearCaches();
+    const campaign::CampaignResult fast = campaign::runCampaign(spec);
+    ::setenv("XLV_REFERENCE_SIM", "1", 1);
+    clearCaches();
+    const campaign::CampaignResult reference = campaign::runCampaign(spec);
+    ::unsetenv("XLV_REFERENCE_SIM");
+
+    const bool identical = reference.sameResults(fast);
+    const double ratio =
+        fast.cyclesSimulated > 0 ? static_cast<double>(reference.cyclesSimulated) /
+                                       static_cast<double>(fast.cyclesSimulated)
+                                 : 0.0;
+    if (!identical) {
+      std::fprintf(stderr, "FAIL: preset '%s' fast path diverged from full replay\n",
+                   preset);
+    }
+    if (fast.cyclesSkipped == 0 || ratio < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: preset '%s' simulated %llu of %llu reference mutant-cycles "
+                   "(%.2fx, skipped %llu) — expected >= 2x fewer\n",
+                   preset, static_cast<unsigned long long>(fast.cyclesSimulated),
+                   static_cast<unsigned long long>(reference.cyclesSimulated), ratio,
+                   static_cast<unsigned long long>(fast.cyclesSkipped));
+    }
+    ok = ok && fast.ok() && reference.ok() && identical && fast.cyclesSkipped > 0 &&
+         ratio >= 2.0;
+    refRatios[p] = ratio;
+    fastSimulated += fast.cyclesSimulated;
+    fastSkipped += fast.cyclesSkipped;
+    refSimulated += reference.cyclesSimulated;
+    t.addRow({std::string(preset) + "+refdiff", "fast vs ref",
+              std::to_string(fast.cyclesSimulated) + "/" +
+                  std::to_string(reference.cyclesSimulated) + " cyc",
+              util::Table::fixed(ratio, 2) + "x", "-", identical ? "yes" : "NO — BUG"});
+  }
+  clearCaches();
+
   std::fputs(t.render().c_str(), stdout);
   std::printf(
       "\nExpected shape: every merged row reports \"yes\" — the shard planner\n"
@@ -153,7 +202,22 @@ int main() {
       "items), so the task-id-ordered merge reproduces the single-process\n"
       "result bit-for-bit while sim work distributes across processes. The\n"
       "\"+store\" rows run against a shared --cache-dir artifact store: the\n"
-      "warm pass must reload (disk hits > 0) and still match bit-for-bit.\n");
+      "warm pass must reload (disk hits > 0) and still match bit-for-bit.\n"
+      "The \"+refdiff\" rows pin the divergence-driven fast path: bit-identical\n"
+      "to XLV_REFERENCE_SIM=1 full replay with >= 2x fewer simulated cycles\n"
+      "(smoke %.2fx, single %.2fx).\n",
+      refRatios[0], refRatios[1]);
+
+  bench::writeBenchJson(
+      "campaign_shard",
+      {{"wall_seconds_single", single.wallSeconds},
+       {"sim_seconds_single", single.simSeconds},
+       {"cycles_simulated_fast", static_cast<double>(fastSimulated)},
+       {"cycles_skipped_fast", static_cast<double>(fastSkipped)},
+       {"cycles_simulated_reference", static_cast<double>(refSimulated)},
+       {"cycle_reduction_smoke", refRatios[0]},
+       {"cycle_reduction_single", refRatios[1]},
+       {"self_check_ok", ok ? 1.0 : 0.0}});
 
   if (!ok) {
     std::fprintf(stderr, "\nFAIL: sharded campaign diverged from the single-process run "

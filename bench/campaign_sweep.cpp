@@ -10,10 +10,14 @@
 // point.
 //
 // Self-check (CI runs this binary): the per-item reports must be
-// bit-identical between cache-enabled and cache-disabled modes and across
-// thread counts; any divergence exits nonzero. So does a warm leg whose
-// cache ledgers report zero hits — a silently disabled cache must fail the
-// bench, not ride a vacuously-identical comparison to a green exit.
+// bit-identical between cache-enabled and cache-disabled modes, across
+// thread counts AND against the XLV_REFERENCE_SIM=1 full-replay path; any
+// divergence exits nonzero. So does a warm leg whose cache ledgers report
+// zero hits, or a fast leg whose cyclesSkipped ledger is zero — a silently
+// disabled cache or fast path must fail the bench, not ride a
+// vacuously-identical comparison to a green exit.
+#include <stdlib.h>
+
 #include <cstdio>
 
 #include "analysis/golden_cache.h"
@@ -66,10 +70,33 @@ int main() {
 
   bool ok = true;
 
-  // --- cache-disabled reference (every point self-contained) ----------------
+  // --- full-replay reference (XLV_REFERENCE_SIM=1, no fast path) ------------
+  ::setenv("XLV_REFERENCE_SIM", "1", 1);
+  clearCaches();
+  const campaign::CampaignResult reference = campaign::runSweep(makeSweep(1, false));
+  ::unsetenv("XLV_REFERENCE_SIM");
+  ok = ok && reference.ok();
+  if (reference.cyclesSkipped != 0) {
+    std::fprintf(stderr, "FAIL: reference leg skipped cycles (env toggle broken?)\n");
+    ok = false;
+  }
+
+  // --- cache-disabled cold leg (every point self-contained, fast path) ------
   clearCaches();
   const campaign::CampaignResult cold = campaign::runSweep(makeSweep(1, false));
   ok = ok && cold.ok();
+  if (!reference.sameResults(cold)) {
+    std::fprintf(stderr,
+                 "FAIL: divergence-driven fast path diverged from the full-replay "
+                 "reference\n");
+    ok = false;
+  }
+  if (cold.cyclesSkipped == 0) {
+    std::fprintf(stderr,
+                 "FAIL: fast path skipped zero cycles — checkpoint fast-forward/early "
+                 "exit silently disabled?\n");
+    ok = false;
+  }
 
   util::Table t({"Mode", "Threads", "Wall (s)", "Sim work (s)", "Golden (s)", "Golden hits",
                  "Prefix hits", "Mutant hits", "Identical"});
@@ -113,6 +140,18 @@ int main() {
   std::fputs(t.render().c_str(), stdout);
 
   const double speedup = cachedSerialWall > 0.0 ? cold.wallSeconds / cachedSerialWall : 0.0;
+  const double cycleRatio =
+      cold.cyclesSimulated > 0
+          ? static_cast<double>(reference.cyclesSimulated) /
+                static_cast<double>(cold.cyclesSimulated)
+          : 0.0;
+  std::printf(
+      "\nDivergence-driven simulation: %llu reference mutant-cycles -> %llu fast\n"
+      "(%llu skipped, %.2fx fewer simulated; DSP Razor mutants stay live until the\n"
+      "correction verdict resolves, so this razor-only sweep skips mostly prefixes).\n",
+      static_cast<unsigned long long>(reference.cyclesSimulated),
+      static_cast<unsigned long long>(cold.cyclesSimulated),
+      static_cast<unsigned long long>(cold.cyclesSkipped), cycleRatio);
   std::printf(
       "\nCache effect (serial, same thread count): %.3fs -> %.3fs wall (%.2fx);\n"
       "golden-trace component: %.3fs -> %.3fs.\n"
@@ -124,6 +163,19 @@ int main() {
       "threads shrinks wall time on top (items are independent; caches serve\n"
       "concurrent tasks via per-key build-once).\n",
       cold.wallSeconds, cachedSerialWall, speedup, cold.goldenSeconds, cachedGoldenSeconds);
+
+  bench::writeBenchJson(
+      "campaign_sweep",
+      {{"points", static_cast<double>(points)},
+       {"wall_seconds_cold", cold.wallSeconds},
+       {"wall_seconds_cached_serial", cachedSerialWall},
+       {"golden_seconds_cold", cold.goldenSeconds},
+       {"golden_seconds_cached", cachedGoldenSeconds},
+       {"cycles_simulated_reference", static_cast<double>(reference.cyclesSimulated)},
+       {"cycles_simulated_fast", static_cast<double>(cold.cyclesSimulated)},
+       {"cycles_skipped_fast", static_cast<double>(cold.cyclesSkipped)},
+       {"cycle_reduction_factor", cycleRatio},
+       {"self_check_ok", ok ? 1.0 : 0.0}});
 
   if (!ok) {
     std::fprintf(stderr, "\nFAIL: sweep reports diverged (cache or thread-count dependent)\n");

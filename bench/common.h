@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ips/case_study.h"
@@ -37,6 +38,32 @@ inline std::vector<ips::CaseStudy> allCases() {
 inline void banner(const char* what, const char* paperRef) {
   std::printf("\n=== %s ===\n(reproduces %s; absolute times are host-dependent, the paper's\n shape — orderings, factors, crossovers — is the comparison target)\n\n",
               what, paperRef);
+}
+
+/// Machine-readable bench report: one JSON object per bench run so CI can
+/// upload the file as an artifact and the perf trajectory (wall seconds,
+/// simulated-vs-skipped mutant cycles, cache hits) is trackable PR over PR.
+/// The output path comes from XLV_BENCH_JSON, defaulting to
+/// BENCH_<benchName>.json in the working directory so two benches run
+/// back-to-back never clobber each other's report.
+inline void writeBenchJson(const std::string& benchName,
+                           const std::vector<std::pair<std::string, double>>& metrics) {
+  const char* env = std::getenv("XLV_BENCH_JSON");
+  const std::string path =
+      (env != nullptr && *env != '\0') ? env : "BENCH_" + benchName + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n", benchName.c_str());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %.17g%s\n", metrics[i].first.c_str(), metrics[i].second,
+                 i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("bench json: %s\n", path.c_str());
 }
 
 }  // namespace xlv::bench

@@ -80,6 +80,19 @@ struct TlmModelLayout {
 
 using TlmModelLayoutPtr = std::shared_ptr<const TlmModelLayout>;
 
+/// A restorable state of one TlmIpModel session, valid at the transaction
+/// boundary or at the stimulus point (i.e. between scheduler() calls, with
+/// setInput calls since the last transaction captured through the dirty
+/// flags). Policy-independent; restore() requires a session over the same
+/// layout shape. The active mutant and the stats counters are session
+/// configuration/diagnostics and deliberately NOT part of the state.
+struct TlmModelSnapshot {
+  ScalarSnapshot machine;
+  std::vector<char> dirty;
+  bool anyDirty = false;
+  std::uint64_t cycle = 0;
+};
+
 /// Build the shared layout for a (possibly injected) design. Throws
 /// std::invalid_argument on an hfRatio without an HF clock, on processes
 /// with unknown clocks, and on combinational cycles (unless allowed).
@@ -226,11 +239,49 @@ class TlmIpModel {
     setInput(sym, Vec::fromUint(design().symbol(sym).type.width, v));
   }
   void setInputByName(const std::string& name, std::uint64_t v) { setInput(mustFind(name), v); }
+  /// Hot-path drive: identical semantics to setInput(sym, uint64) without
+  /// the Vec round trip (the per-mutant campaign loop calls this once per
+  /// port per cycle — see analysis::simulateMutant's de-stringed driver).
+  void setInputUint(ir::SymbolId sym, std::uint64_t v) {
+    if (machine_.setScalar(sym, SV{v & maskOf(machine_.width(sym)), 0})) markDirty(sym);
+  }
 
   Vec value(ir::SymbolId sym) const { return machine_.toVec(sym); }
   std::uint64_t valueUint(ir::SymbolId sym) const noexcept { return machine_.valueUint(sym); }
+  /// Both scalar planes, unmasked: the value+unknown comparison the golden
+  /// recorder uses to detect endpoint activity (a 0 -> X transition is a
+  /// real change valueUint alone would miss).
+  SV rawValue(ir::SymbolId sym) const noexcept { return machine_.get(sym); }
+  Vec arrayElem(ir::SymbolId sym, std::uint64_t idx) const {
+    return machine_.arrayElem(sym, idx);
+  }
   std::uint64_t valueUintByName(const std::string& name) const {
     return machine_.valueUint(mustFind(name));
+  }
+
+  // --- checkpointing ----------------------------------------------------------
+  /// Capture this session's state between scheduler() calls. The write
+  /// buffer is always drained at that boundary, so the state is exactly
+  /// (machine values, dirty flags, cycle counter).
+  TlmModelSnapshot snapshot() const {
+    return TlmModelSnapshot{machine_.snapshot(), dirty_, anyDirty_, cycleCount_};
+  }
+
+  /// Restore a snapshot taken from a session over the same layout shape
+  /// (typically the same TlmModelLayoutPtr). The active mutant selection is
+  /// untouched — a mutant session fast-forwarding from a clean-run
+  /// checkpoint keeps its own mutant active — and the stats counters keep
+  /// accumulating (they are diagnostics, not simulation state). Throws
+  /// std::invalid_argument on a shape mismatch.
+  void restore(const TlmModelSnapshot& s) {
+    if (s.dirty.size() != dirty_.size()) {
+      throw std::invalid_argument("TlmIpModel: snapshot dirty-flag shape mismatch");
+    }
+    machine_.restore(s.machine);
+    dirty_ = s.dirty;
+    anyDirty_ = s.anyDirty;
+    cycleCount_ = s.cycle;
+    nba_.clear();
   }
 
   // --- mutant control ---------------------------------------------------------

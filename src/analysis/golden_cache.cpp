@@ -79,7 +79,11 @@ util::OnceCache<GoldenTrace>& goldenTraceCache() {
 namespace {
 
 constexpr const char* kTraceTag = "golden-trace";
-constexpr int kTraceVersion = 1;
+// v3: adds the per-endpoint firstActivity fast-forward metadata (one LE
+// word per sensor column). Older artifacts fail the version check and are
+// dropped as corrupt -> re-recorded; a trace without the metadata could
+// otherwise silently disable the divergence-driven fast path.
+constexpr int kTraceVersion = kGoldenTraceCodecVersion;
 
 /// Pack a [cycle][idx] word matrix into width * cycles little-endian
 /// 8-byte words (row-major). Fixed-width binary inside one length-prefixed
@@ -142,12 +146,16 @@ std::string encodeGoldenTrace(const GoldenTrace& trace) {
       throw std::invalid_argument("golden trace: ragged endpoints rows");
     }
   }
+  if (trace.firstActivity.size() != epWidth) {
+    throw std::invalid_argument("golden trace: firstActivity size != endpoint count");
+  }
   util::Encoder e(kTraceTag, kTraceVersion);
   e.u64("cycles", cycles);
   e.u64("outWidth", outWidth);
   e.u64("epWidth", epWidth);
   e.str("outputs", packWords(trace.outputs, outWidth));
   e.str("endpoints", packWords(trace.endpoints, epWidth));
+  e.str("firstActivity", packWords({trace.firstActivity}, epWidth));
   return e.take();
 }
 
@@ -175,6 +183,9 @@ GoldenTrace decodeGoldenTrace(std::string_view data) {
   trace.outputs = unpackWords(d.str("outputs"), cycles, outWidth, "golden trace outputs");
   trace.endpoints =
       unpackWords(d.str("endpoints"), cycles, epWidth, "golden trace endpoints");
+  std::vector<std::vector<std::uint64_t>> fa =
+      unpackWords(d.str("firstActivity"), 1, epWidth, "golden trace firstActivity");
+  trace.firstActivity = std::move(fa.front());
   d.finish();
   return trace;
 }

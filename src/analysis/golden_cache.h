@@ -70,7 +70,11 @@ util::OnceCache<GoldenTrace>& goldenTraceCache();
 /// Byte-stable artifact codec for a GoldenTrace (util/codec.h envelope;
 /// trace words packed 8-byte little-endian): the disk-spill format of the
 /// golden cache. decodeGoldenTrace throws util::DecodeError on truncation,
-/// version skew or a word-count mismatch.
+/// version skew or a word-count mismatch. The version constant is exposed
+/// so hostile-input tests can craft current-version documents that reach
+/// the plausibility guards instead of silently decaying into
+/// version-mismatch tests on the next bump.
+inline constexpr int kGoldenTraceCodecVersion = 3;
 std::string encodeGoldenTrace(const GoldenTrace& trace);
 GoldenTrace decodeGoldenTrace(std::string_view data);
 

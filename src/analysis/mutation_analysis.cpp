@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <type_traits>
+#include <unordered_map>
+#include <utility>
 
 #include "analysis/golden_cache.h"
 #include "analysis/mutant_cache.h"
@@ -13,12 +16,75 @@
 
 namespace xlv::analysis {
 
+using abstraction::SV;
 using abstraction::TlmIpModel;
 using abstraction::TlmModelConfig;
 using insertion::InsertedSensor;
 using insertion::SensorKind;
 using mutation::InjectedDesign;
 using mutation::MutantKind;
+
+bool referenceSimMode() noexcept {
+  const char* v = std::getenv("XLV_REFERENCE_SIM");
+  return v != nullptr && v[0] == '1' && v[1] == '\0';
+}
+
+namespace {
+
+/// De-stringed testbench driver: resolves each driven port name to its
+/// SymbolId once per run (first use) and pushes values through the
+/// boxing-free setInputUint. One name lookup per (run, port) instead of one
+/// per (cycle, port) — the hot-loop de-stringing of the campaign rewrite.
+template <class P>
+class PortBinder {
+ public:
+  explicit PortBinder(TlmIpModel<P>& model) : model_(&model) {}
+
+  void operator()(const std::string& name, std::uint64_t v) {
+    auto it = ids_.find(name);
+    if (it == ids_.end()) {
+      const ir::SymbolId sym = model_->design().findSymbol(name);
+      if (sym == ir::kNoSymbol) {
+        throw std::invalid_argument("TlmIpModel: no symbol named '" + name + "'");
+      }
+      it = ids_.emplace(name, sym).first;
+    }
+    model_->setInputUint(it->second, v);
+  }
+
+  PortSetter setter() {
+    return [this](const std::string& name, std::uint64_t v) { (*this)(name, v); };
+  }
+
+ private:
+  TlmIpModel<P>* model_;
+  std::unordered_map<std::string, ir::SymbolId> ids_;
+};
+
+/// Clamp the requested mutant subrange (AnalysisConfig::mutantBegin/End)
+/// to the injected set; the default 0/0 selects every mutant. The ONE
+/// range rule shared by the task scheduler and the checkpoint recorder —
+/// a desync would silently mis-size the recording run.
+std::pair<std::size_t, std::size_t> clampMutantRange(const AnalysisConfig& cfg,
+                                                     std::size_t total) {
+  const std::size_t begin = std::min(cfg.mutantBegin, total);
+  const std::size_t end =
+      std::max(begin, cfg.mutantEnd == 0 ? total : std::min(cfg.mutantEnd, total));
+  return {begin, end};
+}
+
+/// Stimulus sink for driver replay: a stateful testbench driver
+/// (Testbench::makeDriver) must be stepped through the fast-forwarded
+/// prefix so its internal FSM/PRNG state matches the restored model state,
+/// but the driven values are already baked into the checkpoint — discard
+/// them. (Drivers are write-only: they cannot observe the model, so a null
+/// sink replays their state trajectory exactly.)
+const PortSetter& nullPortSetter() {
+  static const PortSetter sink = [](const std::string&, std::uint64_t) {};
+  return sink;
+}
+
+}  // namespace
 
 int AnalysisReport::countKilled() const noexcept {
   int n = 0;
@@ -63,18 +129,39 @@ GoldenTrace recordGoldenTrace(const ir::Design& golden,
                               const std::vector<InsertedSensor>& sensors, const Testbench& tb,
                               const AnalysisConfig& cfg) {
   TlmIpModel<P> model(golden, TlmModelConfig{cfg.hfRatio, false});
-  std::vector<ir::SymbolId> endpointSyms;
-  endpointSyms.reserve(sensors.size());
-  for (const auto& s : sensors) endpointSyms.push_back(golden.findSymbol(s.endpointName));
+  const std::size_t n = sensors.size();
+  std::vector<ir::SymbolId> endpointSyms, eSyms(n, ir::kNoSymbol), mvSyms(n, ir::kNoSymbol),
+      okSyms(n, ir::kNoSymbol);
+  endpointSyms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const InsertedSensor& s = sensors[i];
+    endpointSyms.push_back(golden.findSymbol(s.endpointName));
+    if (!s.errorSignal.empty()) eSyms[i] = golden.findSymbol(s.errorSignal);
+    if (!s.measValSignal.empty()) mvSyms[i] = golden.findSymbol(s.measValSignal);
+    if (!s.outOkSignal.empty()) okSyms[i] = golden.findSymbol(s.outOkSignal);
+  }
 
   GoldenTrace trace;
   trace.outputs.reserve(tb.cycles);
   trace.endpoints.reserve(tb.cycles);
-  const bool hasRecovery = golden.findSymbol(cfg.recoveryPort) != ir::kNoSymbol;
+  // "No activity yet" and "quiet for the whole run" share the tb.cycles
+  // sentinel: a sensor that never fires simply keeps it. A zero-cycle
+  // trace has no endpoint columns at all — the codec derives the metadata
+  // width from the (empty) endpoint rows, and recorder and encoder must
+  // agree.
+  trace.firstActivity.assign(tb.cycles == 0 ? 0 : n, tb.cycles);
+  // Endpoint state at the previous cycle boundary, full SV planes (the
+  // initial values before cycle 0 seed the comparison).
+  std::vector<SV> prev(n);
+  for (std::size_t i = 0; i < n; ++i) prev[i] = model.rawValue(endpointSyms[i]);
+
+  const ir::SymbolId recoverySym = golden.findSymbol(cfg.recoveryPort);
   const DriveFn drive = tb.driverForTask(cfg.stimulusId);
+  PortBinder<P> ports(model);
+  const PortSetter setter = ports.setter();
   for (std::uint64_t c = 0; c < tb.cycles; ++c) {
-    drive(c, [&](const std::string& name, std::uint64_t v) { model.setInputByName(name, v); });
-    if (hasRecovery) model.setInputByName(cfg.recoveryPort, 1);
+    drive(c, setter);
+    if (recoverySym != ir::kNoSymbol) model.setInputUint(recoverySym, 1);
     model.scheduler();
     std::vector<std::uint64_t> outs;
     outs.reserve(golden.outputs.size());
@@ -84,6 +171,22 @@ GoldenTrace recordGoldenTrace(const ir::Design& golden,
     eps.reserve(endpointSyms.size());
     for (ir::SymbolId e : endpointSyms) eps.push_back(model.valueUint(e));
     trace.endpoints.push_back(std::move(eps));
+    // First-activity tracking: the first value-plane change of the endpoint
+    // register OR the first cycle the golden run itself would trip one of
+    // the mutant loop's observation predicates. Until that cycle a mutant
+    // at this endpoint is provably transparent (no value-changing commit to
+    // re-time) and provably unobserved (state-identical to this run, whose
+    // observations are all quiet), so the fast path may skip straight to it.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (trace.firstActivity[i] != tb.cycles) continue;
+      const SV cur = model.rawValue(endpointSyms[i]);
+      const bool toggled = cur.val != prev[i].val || cur.unk != prev[i].unk;
+      const bool observed =
+          (eSyms[i] != ir::kNoSymbol && model.valueUint(eSyms[i]) == 1) ||
+          (mvSyms[i] != ir::kNoSymbol && model.valueUint(mvSyms[i]) != 0) ||
+          (okSyms[i] != ir::kNoSymbol && model.valueUint(okSyms[i]) == 0);
+      if (toggled || observed) trace.firstActivity[i] = c;
+    }
   }
   return trace;
 }
@@ -140,17 +243,80 @@ MutationCampaignContext prepareMutationCampaign(const ir::Design& golden,
   // private session from this shared layout.
   ctx.layout = abstraction::buildTlmModelLayout(
       injected.design, TlmModelConfig{cfg.hfRatio, false}, injected.mutants);
-  ctx.hasRecovery = injected.design.findSymbol(cfg.recoveryPort) != ir::kNoSymbol;
+  ctx.recoverySym = ctx.layout->design.findSymbol(cfg.recoveryPort);
+  ctx.hasRecovery = ctx.recoverySym != ir::kNoSymbol;
+  ctx.referenceSim = referenceSimMode();
+  // ~16 checkpoints across the run: fine enough that a fast-forward lands
+  // close to the divergence cycle, coarse enough that the recording run's
+  // snapshot cost stays a fraction of one mutant simulation.
+  ctx.checkpointInterval = std::max<std::uint64_t>(1, tb.cycles / 16);
+  ctx.checkpoints = std::make_shared<CampaignCheckpoints>();
   return ctx;
 }
 
+namespace {
+
+/// Record the campaign checkpoints exactly once (any number of tasks may
+/// race here; losers block on the winner): one clean no-mutant run over the
+/// injected layout — by mutant transparency, the golden trajectory — with a
+/// state snapshot at every interval boundary.
 template <class P>
-MutantResult simulateMutant(const MutationCampaignContext& ctx, int mutantIndex) {
+const CampaignCheckpoints& ensureCheckpoints(const MutationCampaignContext& ctx) {
+  CampaignCheckpoints& cp = *ctx.checkpoints;
+  std::call_once(cp.once, [&] {
+    TlmIpModel<P> model(ctx.layout);
+    const DriveFn drive = ctx.tb.driverForTask(ctx.cfg.stimulusId);
+    PortBinder<P> ports(model);
+    const PortSetter setter = ports.setter();
+    const std::uint64_t k = ctx.checkpointInterval;
+    // The deepest restorable point any mutant can use is the last interval
+    // boundary at or before the largest fast-forward limit of THIS
+    // analysis's mutant subrange (a shard fragment must not pay for the
+    // prefixes of mutants other fragments own; a limit >= tb.cycles is a
+    // full skip that needs no checkpoint at all) — the recording run stops
+    // there instead of replaying the whole bench.
+    const auto [begin, end] = clampMutantRange(ctx.cfg, ctx.layout->mutants.size());
+    std::uint64_t deepest = 0;
+    for (std::size_t m = begin; m < end; ++m) {
+      const std::string& endpoint = ctx.layout->mutants[m].spec.targetSignal;
+      for (std::size_t i = 0; i < ctx.sensors.size(); ++i) {
+        if (ctx.sensors[i].endpointName != endpoint) continue;
+        if (i < ctx.gold->firstActivity.size() &&
+            ctx.gold->firstActivity[i] < ctx.tb.cycles) {
+          deepest = std::max(deepest, ctx.gold->firstActivity[i]);
+        }
+        break;
+      }
+    }
+    const std::uint64_t last = (deepest / k) * k;
+    for (std::uint64_t c = 0; c < last; ++c) {
+      if (c != 0 && c % k == 0) {
+        cp.cycles.push_back(c);
+        cp.snaps.push_back(model.snapshot());
+      }
+      drive(c, setter);
+      if (ctx.hasRecovery) model.setInputUint(ctx.recoverySym, 1);
+      model.scheduler();
+    }
+    if (last != 0) {
+      cp.cycles.push_back(last);
+      cp.snaps.push_back(model.snapshot());
+    }
+    cp.recordedCycles = last;
+    cp.recorded.store(true, std::memory_order_release);
+  });
+  return cp;
+}
+
+}  // namespace
+
+template <class P>
+MutantResult simulateMutant(const MutationCampaignContext& ctx, int mutantIndex,
+                            MutantSimStats* stats) {
   const ir::Design& design = ctx.layout->design;
   const auto& mutant = ctx.layout->mutants.at(static_cast<std::size_t>(mutantIndex));
-
-  TlmIpModel<P> model(ctx.layout);
-  model.activateMutant(mutant.id);
+  const std::uint64_t cycles = ctx.tb.cycles;
+  const GoldenTrace& gold = *ctx.gold;
 
   MutantResult res;
   res.id = mutant.id;
@@ -176,24 +342,105 @@ MutantResult simulateMutant(const MutationCampaignContext& ctx, int mutantIndex)
     if (!sensor->outOkSignal.empty()) okSym = design.findSymbol(sensor->outOkSignal);
   }
 
+  // Fast-forward limit: the cycle before which this mutant is provably
+  // transparent AND provably unobserved (GoldenTrace::firstActivity). Zero
+  // (no skip) in reference mode, for unsensored targets and for traces
+  // predating the metadata (size guard: a trace without per-sensor
+  // first-activity data cannot justify skipping anything).
+  const bool fast = !ctx.referenceSim;
+  std::uint64_t limit = 0;
+  if (fast && sensorIdx >= 0 && gold.firstActivity.size() == ctx.sensors.size()) {
+    limit = std::min<std::uint64_t>(gold.firstActivity[static_cast<std::size_t>(sensorIdx)],
+                                    cycles);
+  }
+
+  if (fast && limit >= cycles) {
+    // Quiet for the whole run: the mutant never re-times a value-changing
+    // commit and the golden run never trips an observation predicate, so
+    // the co-simulation is the golden run — nothing is killed, detected or
+    // measured. The default-initialized result IS the full-replay result.
+    if (stats != nullptr) stats->cyclesSkipped += cycles;
+    return res;
+  }
+
+  TlmIpModel<P> model(ctx.layout);
+  model.activateMutant(mutant.id);
+
+  // Checkpoint fast-forward: restore the deepest campaign checkpoint at or
+  // before the limit instead of re-simulating the quiet prefix from reset.
+  std::uint64_t startCycle = 0;
+  if (fast && limit >= ctx.checkpointInterval) {
+    const CampaignCheckpoints& cp = ensureCheckpoints<P>(ctx);
+    for (std::size_t i = cp.cycles.size(); i-- > 0;) {
+      if (cp.cycles[i] <= limit) {
+        model.restore(cp.snaps[i]);
+        startCycle = cp.cycles[i];
+        break;
+      }
+    }
+  }
+
+  // Fresh driver per task, same stimulus id as the golden run: stateful
+  // testbenches replay identical inputs from a private session. A stateful
+  // driver is additionally stepped through the skipped prefix against a
+  // null sink so its session state matches the restored model state; pure
+  // drivers are functions of the cycle index and need no replay.
+  const DriveFn drive = ctx.tb.driverForTask(ctx.cfg.stimulusId);
+  if (startCycle > 0 && ctx.tb.makeDriver) {
+    for (std::uint64_t c = 0; c < startCycle; ++c) drive(c, nullPortSetter());
+  }
+
   bool correctionViolated = false;
   bool correctionObserved = false;
 
-  // Fresh driver per task, same stimulus id as the golden run: stateful
-  // testbenches replay identical inputs from a private session.
-  const DriveFn drive = ctx.tb.driverForTask(ctx.cfg.stimulusId);
-  const GoldenTrace& gold = *ctx.gold;
+  // Verdict saturation: true once no remaining cycle can change any field
+  // of the result, at which point the loop may stop early.
+  //   * killed, detected, errorRisen are sticky — they only go false->true;
+  //   * the Razor correction verdict is pinned once a violation was
+  //     observed (corrected is then false forever); while the correction
+  //     holds, any future error cycle could still violate it, so the run
+  //     must continue;
+  //   * a DeltaDelay mutant's MEAS_VAL is structurally capped at its own
+  //     deltaTicks: the target's only driver commits exactly at HF period
+  //     deltaTicks, so every toggle window measures that count (and quiet
+  //     windows measure 0) — once the max is reached it cannot rise, and
+  //     the per-toggle OUT_OK comparison against the constant LUT threshold
+  //     repeats identically, so errorRisen is final once a toggle was
+  //     detected. (This reasoning assumes two-valued operation of the
+  //     monitored path, which holds for initialized registers under known
+  //     stimulus — the conformance suite pins fast == reference.)
+  const bool isDelta = mutant.spec.kind == MutantKind::DeltaDelay;
+  const std::uint64_t deltaCap = static_cast<std::uint64_t>(std::max(0, res.deltaTicks));
+  const auto saturated = [&]() noexcept {
+    if (!res.killed) return false;
+    if (eSym != ir::kNoSymbol && !(res.detected && res.errorRisen)) return false;
+    if (qSym != ir::kNoSymbol && !(correctionObserved && correctionViolated)) return false;
+    if (mvSym != ir::kNoSymbol && !(isDelta && deltaCap > 0 && res.measuredDelay >= deltaCap)) {
+      return false;
+    }
+    if (okSym != ir::kNoSymbol && !res.errorRisen && !(isDelta && res.detected)) return false;
+    return true;
+  };
 
-  for (std::uint64_t c = 0; c < ctx.tb.cycles; ++c) {
-    drive(c, [&](const std::string& name, std::uint64_t v) { model.setInputByName(name, v); });
-    if (ctx.hasRecovery) model.setInputByName(ctx.cfg.recoveryPort, 1);
+  PortBinder<P> ports(model);
+  const PortSetter setter = ports.setter();
+  const std::vector<ir::SymbolId>& outSyms = design.outputs;
+  std::uint64_t executed = 0;
+  for (std::uint64_t c = startCycle; c < cycles; ++c) {
+    drive(c, setter);
+    if (ctx.hasRecovery) model.setInputUint(ctx.recoverySym, 1);
     model.scheduler();
+    ++executed;
 
-    // Kill check: any output differs from the golden run.
-    for (std::size_t o = 0; o < design.outputs.size(); ++o) {
-      if (model.valueUint(design.outputs[o]) != gold.outputs[c][o]) {
-        res.killed = true;
-        break;
+    // Kill check against the golden output row; a killed mutant stays
+    // killed, so the scan is skipped once it has fired.
+    if (!res.killed) {
+      const std::vector<std::uint64_t>& goldRow = gold.outputs[c];
+      for (std::size_t o = 0; o < outSyms.size(); ++o) {
+        if (model.valueUint(outSyms[o]) != goldRow[o]) {
+          res.killed = true;
+          break;
+        }
       }
     }
     // Sensor observation at the mutated endpoint.
@@ -217,8 +464,14 @@ MutantResult simulateMutant(const MutationCampaignContext& ctx, int mutantIndex)
       }
     }
     if (okSym != ir::kNoSymbol && model.valueUint(okSym) == 0) res.errorRisen = true;
+
+    if (fast && saturated()) break;
   }
 
+  if (stats != nullptr) {
+    stats->cyclesSimulated += executed;
+    stats->cyclesSkipped += cycles - executed;
+  }
   if (qSym != ir::kNoSymbol) {
     res.correctionChecked = correctionObserved;
     res.corrected = correctionObserved && !correctionViolated;
@@ -242,15 +495,11 @@ AnalysisReport analyzeMutations(const ir::Design& golden, const InjectedDesign& 
   report.goldenFromCache = ctx.goldenFromCache;
   report.goldenFromDisk = ctx.goldenFromDisk;
 
-  // Clamp the requested mutant subrange (AnalysisConfig::mutantBegin/End)
-  // to the injected set; the default 0/0 selects every mutant.
-  const std::size_t total = ctx.layout->mutants.size();
-  const std::size_t begin = std::min(cfg.mutantBegin, total);
-  const std::size_t end =
-      std::max(begin, cfg.mutantEnd == 0 ? total : std::min(cfg.mutantEnd, total));
+  const auto [begin, end] = clampMutantRange(cfg, ctx.layout->mutants.size());
   const std::size_t n = end - begin;
   report.results.resize(n);
   std::vector<double> taskSeconds(n, 0.0);
+  std::vector<MutantSimStats> simStats(n);
   std::vector<char> servedFromCache(n, 0);
 
   campaign::Executor executor(campaign::ExecutorConfig{cfg.threads, 0});
@@ -272,7 +521,7 @@ AnalysisReport analyzeMutations(const ir::Design& golden, const InjectedDesign& 
               mutantResultCache(), util::processArtifactStore(), "mutant",
               mutantResultKey(ctx.goldenKey, mutant.spec),
               [&] {
-                MutantResult fresh = simulateMutant<P>(ctx, mutantIndex);
+                MutantResult fresh = simulateMutant<P>(ctx, mutantIndex, &simStats[i]);
                 fresh.id = -1;
                 return fresh;
               },
@@ -282,11 +531,21 @@ AnalysisReport analyzeMutations(const ir::Design& golden, const InjectedDesign& 
       report.results[i] = res;
       servedFromCache[i] = (memHit || diskHit) ? 1 : 0;
     } else {
-      report.results[i] = simulateMutant<P>(ctx, mutantIndex);
+      report.results[i] = simulateMutant<P>(ctx, mutantIndex, &simStats[i]);
     }
     taskSeconds[i] = t.seconds();
   });
   for (char hit : servedFromCache) report.mutantCacheHits += hit ? 1 : 0;
+  // Cycle ledger: per-mutant executed/skipped sums (deterministic — slots
+  // are summed in task order) plus the lazy checkpoint recording run, which
+  // ran at most once and only if some task fast-forwarded.
+  for (const MutantSimStats& s : simStats) {
+    report.cyclesSimulated += s.cyclesSimulated;
+    report.cyclesSkipped += s.cyclesSkipped;
+  }
+  if (ctx.checkpoints != nullptr && ctx.checkpoints->recorded.load(std::memory_order_acquire)) {
+    report.cyclesSimulated += ctx.checkpoints->recordedCycles;
+  }
 
   // simSeconds aggregates the work (sum of per-run times); wallSeconds is
   // what elapsed — they coincide on one thread. A golden-cache hit shrinks
@@ -309,8 +568,10 @@ template MutationCampaignContext prepareMutationCampaign<hdt::FourState>(
 template MutationCampaignContext prepareMutationCampaign<hdt::TwoState>(
     const ir::Design&, const InjectedDesign&, const std::vector<InsertedSensor>&,
     const Testbench&, const AnalysisConfig&);
-template MutantResult simulateMutant<hdt::FourState>(const MutationCampaignContext&, int);
-template MutantResult simulateMutant<hdt::TwoState>(const MutationCampaignContext&, int);
+template MutantResult simulateMutant<hdt::FourState>(const MutationCampaignContext&, int,
+                                                     MutantSimStats*);
+template MutantResult simulateMutant<hdt::TwoState>(const MutationCampaignContext&, int,
+                                                    MutantSimStats*);
 template AnalysisReport analyzeMutations<hdt::FourState>(
     const ir::Design&, const InjectedDesign&, const std::vector<InsertedSensor>&,
     const Testbench&, const AnalysisConfig&);

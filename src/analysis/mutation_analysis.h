@@ -32,8 +32,10 @@
 // threads = 1 is byte-for-byte today's serial flow.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -61,9 +63,29 @@ struct MutantResult {
   bool operator==(const MutantResult&) const = default;
 };
 
+/// Cycle ledger of one mutant co-simulation (out-parameter of
+/// simulateMutant): how many scheduler transactions actually ran versus how
+/// many the divergence-driven fast path proved unnecessary (checkpoint
+/// fast-forward over the pre-divergence prefix plus verdict-saturation
+/// early exit over the tail). simulated + skipped == the testbench length.
+struct MutantSimStats {
+  std::uint64_t cyclesSimulated = 0;
+  std::uint64_t cyclesSkipped = 0;
+};
+
 struct AnalysisReport {
   std::vector<MutantResult> results;
   std::uint64_t cyclesPerRun = 0;
+  /// Mutant-campaign cycle ledger: scheduler transactions actually executed
+  /// by the per-mutant co-simulations (including the once-per-campaign
+  /// checkpoint recording run, charged here because it exists only to serve
+  /// the mutant loop) versus transactions the divergence-driven fast path
+  /// skipped. Under XLV_REFERENCE_SIM=1, cyclesSkipped is 0 and
+  /// cyclesSimulated == results * cyclesPerRun. Mutants served from the
+  /// result cache contribute to neither (like simSeconds). Not part of
+  /// sameResults — a ledger, not a verdict.
+  std::uint64_t cyclesSimulated = 0;
+  std::uint64_t cyclesSkipped = 0;
   /// Simulation work: sum of per-run wall times (golden + every injected
   /// run). Equals wallSeconds on one thread, exceeds it under parallel
   /// execution. Per-run times are wall clock, so oversubscription (threads
@@ -148,15 +170,59 @@ struct AnalysisConfig {
 /// Golden trajectory: per cycle, the output-port values and the monitored
 /// endpoint register values (for the correction check). Recorded once per
 /// analysis and shared read-only across all mutant tasks.
+///
+/// v3 additionally records, per sensor, the first cycle a mutant at that
+/// endpoint may NOT be fast-forwarded past: the minimum of (a) the first
+/// cycle the endpoint register's committed value changes (full value+unknown
+/// planes — a delay mutant is behaviorally transparent until its target's
+/// first value-changing commit, because a no-change commit is phase
+/// invariant) and (b) the first cycle the golden run itself trips one of the
+/// sensor-observation predicates the mutant loop evaluates (E == 1,
+/// MEAS_VAL != 0, OUT_OK == 0) — before that cycle the mutant run's state is
+/// bit-identical to the golden run's, so the skipped prefix provably
+/// contributes nothing to the MutantResult. A value of outputs.size() means
+/// the whole run is quiet for that endpoint (the mutant is transparent end
+/// to end and needs no simulation at all).
 struct GoldenTrace {
   std::vector<std::vector<std::uint64_t>> outputs;    // [cycle][outIdx]
   std::vector<std::vector<std::uint64_t>> endpoints;  // [cycle][sensorIdx]
+  std::vector<std::uint64_t> firstActivity;           // [sensorIdx]
 };
 
 template <class P>
 GoldenTrace recordGoldenTrace(const ir::Design& golden,
                               const std::vector<insertion::InsertedSensor>& sensors,
                               const Testbench& tb, const AnalysisConfig& cfg);
+
+/// True when the XLV_REFERENCE_SIM environment variable is exactly "1":
+/// every mutant replays the full testbench from reset (no checkpoint
+/// fast-forward, no verdict-saturation early exit). The reference path the
+/// conformance suite and the CI Release leg diff the fast path against;
+/// results are bit-identical either way, only the cycle ledgers move.
+bool referenceSimMode() noexcept;
+
+/// Campaign checkpoint store: periodic state snapshots of the injected
+/// layout simulated with NO active mutant (which, by mutant transparency,
+/// replays the golden trajectory), letting each mutant task restore the
+/// last checkpoint at or before its fast-forward limit instead of
+/// re-simulating from reset. Recorded lazily, exactly once per campaign, by
+/// the first task whose limit clears the checkpoint interval — a campaign
+/// whose mutants all come from the result cache (or all diverge in the
+/// first interval) never pays for it. Snapshots are layout-specific session
+/// state, so they live in the campaign context, not in the cross-variant
+/// golden-trace cache.
+struct CampaignCheckpoints {
+  std::once_flag once;
+  /// Parallel vectors: snapshot i was taken at the start of cycles[i]
+  /// (multiples of the interval, in increasing order). Empty until the
+  /// recording ran; read only after the call_once completed.
+  std::vector<std::uint64_t> cycles;
+  std::vector<abstraction::TlmModelSnapshot> snaps;
+  /// Scheduler transactions the recording run executed (it stops at the
+  /// last restorable boundary) — charged to the campaign's cyclesSimulated.
+  std::uint64_t recordedCycles = 0;
+  std::atomic<bool> recorded{false};
+};
 
 /// The shared read-only context of one mutation campaign: everything a
 /// per-mutant task needs that is derived once, not per mutant.
@@ -169,12 +235,23 @@ struct MutationCampaignContext {
   Testbench tb;
   AnalysisConfig cfg;
   bool hasRecovery = false;
+  /// Recovery port symbol in the injected design (kNoSymbol when absent),
+  /// resolved once so the cycle loop never re-hashes the port name.
+  ir::SymbolId recoverySym = ir::kNoSymbol;
   double goldenSeconds = 0.0;  ///< time spent obtaining the trace
   bool goldenFromCache = false;
   bool goldenFromDisk = false;  ///< trace loaded from the artifact store
   /// The golden-trace key of this campaign (also the per-mutant cache key
   /// prefix); empty when neither cache is enabled.
   std::string goldenKey;
+  /// Snapshot of referenceSimMode() at prepare time (one env read per
+  /// campaign, every task agrees on the mode).
+  bool referenceSim = false;
+  /// Cycle stride between checkpoints (>= 1; ~1/16 of the testbench).
+  std::uint64_t checkpointInterval = 1;
+  /// Lazily recorded checkpoint store (never null after prepare; shared so
+  /// the context stays movable).
+  std::shared_ptr<CampaignCheckpoints> checkpoints;
 };
 
 /// Build the shared context (golden trace + compiled injected layout).
@@ -185,9 +262,21 @@ MutationCampaignContext prepareMutationCampaign(
     const AnalysisConfig& cfg);
 
 /// One campaign task: simulate mutant `mutantIndex` on a private session
-/// cloned from the shared layout. Thread-safe for distinct indices.
+/// cloned from the shared layout. Thread-safe for distinct indices (the
+/// lazy checkpoint recording serializes through the context's call_once).
+///
+/// Fast path (default): the task restores the last campaign checkpoint at
+/// or before the mutant's fast-forward limit (GoldenTrace::firstActivity —
+/// the prefix where the mutant is provably transparent), then stops the
+/// cycle loop as soon as the verdict saturates — every MutantResult field
+/// is sticky or structurally pinned, so later cycles cannot change it (see
+/// the saturation predicate in mutation_analysis.cpp). Under
+/// XLV_REFERENCE_SIM=1 the full testbench replays from reset. Both paths
+/// return bit-identical results; `stats`, when non-null, receives the
+/// executed-vs-skipped cycle ledger.
 template <class P>
-MutantResult simulateMutant(const MutationCampaignContext& ctx, int mutantIndex);
+MutantResult simulateMutant(const MutationCampaignContext& ctx, int mutantIndex,
+                            MutantSimStats* stats = nullptr);
 
 /// Run the full analysis: one golden run plus one injected run per mutant,
 /// scheduled on cfg.threads workers (see AnalysisConfig::threads).
@@ -211,9 +300,9 @@ extern template MutationCampaignContext prepareMutationCampaign<hdt::TwoState>(
     const ir::Design&, const mutation::InjectedDesign&,
     const std::vector<insertion::InsertedSensor>&, const Testbench&, const AnalysisConfig&);
 extern template MutantResult simulateMutant<hdt::FourState>(const MutationCampaignContext&,
-                                                            int);
+                                                            int, MutantSimStats*);
 extern template MutantResult simulateMutant<hdt::TwoState>(const MutationCampaignContext&,
-                                                           int);
+                                                           int, MutantSimStats*);
 extern template AnalysisReport analyzeMutations<hdt::FourState>(
     const ir::Design&, const mutation::InjectedDesign&,
     const std::vector<insertion::InsertedSensor>&, const Testbench&, const AnalysisConfig&);

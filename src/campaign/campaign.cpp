@@ -135,6 +135,8 @@ CampaignResult runCampaign(const CampaignSpec& spec) {
     result.goldenCacheHits += it.goldenFromCache ? 1 : 0;
     result.prefixCacheHits += it.prefixShared ? 1 : 0;
     result.mutantCacheHits += a.mutantCacheHits;
+    result.cyclesSimulated += a.cyclesSimulated;
+    result.cyclesSkipped += a.cyclesSkipped;
   }
   if (store != nullptr) {
     const util::ArtifactStoreStats after = store->stats();

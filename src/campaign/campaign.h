@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,14 @@ struct CampaignResult {
   int diskHits = 0;       ///< artifacts loaded instead of recomputed
   int diskStores = 0;     ///< artifacts persisted for later runs
   int diskEvictions = 0;  ///< entries dropped by the LRU byte cap
+  /// Mutant-simulation cycle ledger summed over items (and, through
+  /// stitch/merge, over shard fragments): scheduler transactions the
+  /// per-mutant co-simulations actually executed versus transactions the
+  /// divergence-driven fast path (checkpoint fast-forward + verdict
+  /// saturation, analysis/mutation_analysis.h) proved unnecessary. Under
+  /// XLV_REFERENCE_SIM=1 cyclesSkipped is 0.
+  std::uint64_t cyclesSimulated = 0;
+  std::uint64_t cyclesSkipped = 0;
   double wallSeconds = 0.0;   ///< elapsed time of the whole campaign
   int threadsUsed = 1;
 

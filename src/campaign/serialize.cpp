@@ -139,6 +139,8 @@ analysis::MutantResult getMutantResult(Decoder& d) {
 
 void putAnalysis(Encoder& e, const analysis::AnalysisReport& a) {
   e.u64("an.cyclesPerRun", a.cyclesPerRun);
+  e.u64("an.cyclesSimulated", a.cyclesSimulated);
+  e.u64("an.cyclesSkipped", a.cyclesSkipped);
   e.f64("an.simSeconds", a.simSeconds);
   e.f64("an.wallSeconds", a.wallSeconds);
   e.f64("an.goldenSeconds", a.goldenSeconds);
@@ -153,6 +155,8 @@ void putAnalysis(Encoder& e, const analysis::AnalysisReport& a) {
 analysis::AnalysisReport getAnalysis(Decoder& d) {
   analysis::AnalysisReport a;
   a.cyclesPerRun = d.u64("an.cyclesPerRun");
+  a.cyclesSimulated = d.u64("an.cyclesSimulated");
+  a.cyclesSkipped = d.u64("an.cyclesSkipped");
   a.simSeconds = d.f64("an.simSeconds");
   a.wallSeconds = d.f64("an.wallSeconds");
   a.goldenSeconds = d.f64("an.goldenSeconds");
@@ -314,6 +318,8 @@ std::string encodeCampaignResult(const CampaignResult& result) {
   e.i64("diskHits", result.diskHits);
   e.i64("diskStores", result.diskStores);
   e.i64("diskEvictions", result.diskEvictions);
+  e.u64("cyclesSimulated", result.cyclesSimulated);
+  e.u64("cyclesSkipped", result.cyclesSkipped);
   e.f64("wallSeconds", result.wallSeconds);
   e.i64("threadsUsed", result.threadsUsed);
   e.beginList("items", result.items.size());
@@ -333,6 +339,8 @@ CampaignResult decodeCampaignResult(std::string_view data) {
   result.diskHits = static_cast<int>(d.i64("diskHits"));
   result.diskStores = static_cast<int>(d.i64("diskStores"));
   result.diskEvictions = static_cast<int>(d.i64("diskEvictions"));
+  result.cyclesSimulated = d.u64("cyclesSimulated");
+  result.cyclesSkipped = d.u64("cyclesSkipped");
   result.wallSeconds = d.f64("wallSeconds");
   result.threadsUsed = static_cast<int>(d.i64("threadsUsed"));
   result.items.resize(d.beginList("items"));

@@ -37,7 +37,9 @@ namespace xlv::campaign {
 /// change so stale shard artifacts are rejected instead of misread.
 /// v2: FlowOptions::useMutantCache, the mutant/disk cache ledgers on
 /// AnalysisReport and CampaignResult, and the flow-prefix artifact codec.
-inline constexpr int kCampaignCodecVersion = 2;
+/// v3: the cyclesSimulated/cyclesSkipped ledgers of the divergence-driven
+/// mutant simulation on AnalysisReport and CampaignResult.
+inline constexpr int kCampaignCodecVersion = 3;
 
 /// Names accepted by buildCaseStudyByName (the spec wire format's case-study
 /// identity space).

@@ -183,6 +183,8 @@ CampaignItemResult stitchFragments(std::size_t taskId, bool analysisRan,
   merged.report.analysis.goldenFromCache = true;
   merged.report.analysis.goldenFromDisk = true;
   merged.report.analysis.mutantCacheHits = 0;
+  merged.report.analysis.cyclesSimulated = 0;
+  merged.report.analysis.cyclesSkipped = 0;
   merged.report.analysis.threadsUsed = 1;
   merged.taskSeconds = 0.0;
   merged.goldenSeconds = 0.0;
@@ -231,6 +233,8 @@ CampaignItemResult stitchFragments(std::size_t taskId, bool analysisRan,
     out.goldenFromCache = out.goldenFromCache && a.goldenFromCache;
     out.goldenFromDisk = out.goldenFromDisk && a.goldenFromDisk;
     out.mutantCacheHits += a.mutantCacheHits;
+    out.cyclesSimulated += a.cyclesSimulated;
+    out.cyclesSkipped += a.cyclesSkipped;
     out.threadsUsed = std::max(out.threadsUsed, a.threadsUsed);
 
     merged.taskSeconds = std::max(merged.taskSeconds, part.taskSeconds);
@@ -342,6 +346,8 @@ CampaignResult mergeShards(const CampaignSpec& spec, const std::vector<ShardOutp
     merged.diskHits += o.result.diskHits;
     merged.diskStores += o.result.diskStores;
     merged.diskEvictions += o.result.diskEvictions;
+    merged.cyclesSimulated += o.result.cyclesSimulated;
+    merged.cyclesSkipped += o.result.cyclesSkipped;
     merged.wallSeconds = std::max(merged.wallSeconds, o.result.wallSeconds);
     merged.threadsUsed = std::max(merged.threadsUsed, o.result.threadsUsed);
   }

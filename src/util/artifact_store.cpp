@@ -63,9 +63,11 @@ ArtifactStore::ArtifactStore(ArtifactStoreConfig cfg) : cfg_(std::move(cfg)) {
     throw std::runtime_error("artifact store: cannot create directory '" + cfg_.dir +
                              "': " + ec.message());
   }
-  // Sweep temp orphans left by crashed writers and take the initial byte
-  // census the capped store's running total starts from.
+  // Sweep temp orphans left by crashed writers, expire aged entries and
+  // take the initial byte census the capped store's running total starts
+  // from.
   std::lock_guard<std::mutex> lock(mutex_);
+  expireOldEntriesLocked();
   approxBytes_ = scanLocked(/*sweepStaleTemps=*/true);
 }
 
@@ -292,6 +294,39 @@ void ArtifactStore::evictOverCapLocked() {
   // The scan is ground truth (other processes may have added or evicted
   // entries since our last census): resync the running total.
   approxBytes_ = total;
+}
+
+std::size_t ArtifactStore::expireOldEntriesLocked() {
+  if (cfg_.maxAgeSeconds == 0) return 0;
+  std::size_t removed = 0;
+  const auto cutoff =
+      fs::file_time_type::clock::now() - std::chrono::seconds(cfg_.maxAgeSeconds);
+  std::error_code walkEc;
+  for (fs::recursive_directory_iterator it(cfg_.dir, walkEc), end; !walkEc && it != end;
+       it.increment(walkEc)) {
+    std::error_code ec;
+    if (!it->is_regular_file(ec) || ec) continue;
+    if (isTempFile(it->path()) || it->path().extension() != kEntrySuffix) continue;
+    const auto mtime = it->last_write_time(ec);
+    if (ec || mtime >= cutoff) continue;
+    // No approxBytes_ bookkeeping here: both callers rescan the census
+    // right after the expiry pass.
+    std::error_code rec;
+    if (fs::remove(it->path(), rec) && !rec) {
+      ++stats_.expired;
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+std::size_t ArtifactStore::gc() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t evictionsBefore = stats_.evictions;
+  const std::size_t expired = expireOldEntriesLocked();
+  approxBytes_ = scanLocked(/*sweepStaleTemps=*/true);
+  if (cfg_.maxBytes != 0 && approxBytes_ > cfg_.maxBytes) evictOverCapLocked();
+  return expired + (stats_.evictions - evictionsBefore);
 }
 
 ArtifactStoreStats ArtifactStore::stats() const {

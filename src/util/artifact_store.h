@@ -44,6 +44,13 @@ struct ArtifactStoreConfig {
   std::string dir;
   /// LRU byte cap over all domains; 0 = unbounded.
   std::uint64_t maxBytes = 0;
+  /// Age-based expiry: entries whose recency (file mtime, refreshed by
+  /// loads) is older than this many seconds are deleted by gc() and by the
+  /// construction-time sweep. 0 = never expire. Age expiry protects a
+  /// long-lived shared cache dir from artifacts nobody asks for anymore
+  /// (renamed sweeps, retired corners) that LRU byte eviction alone would
+  /// keep until the byte cap forces them out.
+  std::uint64_t maxAgeSeconds = 0;
 };
 
 struct ArtifactStoreStats {
@@ -51,6 +58,7 @@ struct ArtifactStoreStats {
   std::size_t misses = 0;      ///< loads that found no (usable) entry
   std::size_t stores = 0;      ///< entries written
   std::size_t evictions = 0;   ///< entries deleted by the LRU byte cap
+  std::size_t expired = 0;     ///< entries deleted by the age limit
   std::size_t corrupt = 0;     ///< entries dropped by verification
 };
 
@@ -81,10 +89,20 @@ class ArtifactStore {
   /// Summed size of all entries currently on disk (scan).
   std::uint64_t diskBytes() const;
 
+  /// Housekeeping pass (the `xlv_campaign cache-gc` entry point): delete
+  /// entries older than cfg.maxAgeSeconds (no-op when 0), then enforce the
+  /// byte cap (no-op when 0). Also runs once at construction, so a
+  /// long-lived cache dir self-cleans on the next process start. Returns
+  /// the number of entries deleted by this pass (expired + evicted).
+  std::size_t gc();
+
   ArtifactStoreStats stats() const;
   void resetStats();
 
  private:
+  /// Delete entries whose mtime is older than cfg.maxAgeSeconds; returns
+  /// the count (also booked in stats().expired).
+  std::size_t expireOldEntriesLocked();
   std::string entryPath(std::string_view domain, const std::string& key) const;
   void removeEntryLocked(const std::string& path);
   /// Sum the entry bytes on disk; optionally sweep temp-file orphans older

@@ -1,0 +1,215 @@
+// snapshot()/restore() round trips for both simulation backends: the
+// state-checkpoint API behind the campaign's golden fast-forward
+// (analysis/mutation_analysis.h). Pinned properties:
+//
+//   * mid-simulation restore equivalence — restoring a cycle-k snapshot
+//     into a FRESH session and replaying cycles k..n is bit-identical,
+//     symbol for symbol and cycle for cycle, to the straight-line run;
+//   * both value policies (2-state and 4-state, including a live unknown
+//     plane produced by a division by zero);
+//   * array state (a register-file write pattern) is part of the snapshot;
+//   * shape-mismatched snapshots are rejected, never half-applied.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abstraction/tlm_model.h"
+#include "ir/builder.h"
+#include "ir/elaborate.h"
+#include "rtl/kernel.h"
+
+namespace xlv::abstraction {
+namespace {
+
+using namespace xlv::ir;
+using rtl::KernelConfig;
+using rtl::RtlSimulator;
+
+/// Counter/accumulator design with a register file and a division (the
+/// divide-by-zero path turns the 4-state unknown plane on, so snapshots
+/// must carry both planes to round-trip).
+Design snapshotDesign() {
+  ModuleBuilder mb("snap");
+  auto clk = mb.clock("clk");
+  auto en = mb.in("en", 1);
+  auto d = mb.in("d", 8);
+  auto acc = mb.signal("acc", 16);
+  auto idx = mb.signal("idx", 3);
+  auto regs = mb.array("regs", 16, 8);
+  auto quot = mb.signal("quot", 8);
+  auto y = mb.out("y", 16);
+
+  mb.onRising("accumulate", clk, [&](ProcBuilder& p) {
+    p.if_(Ex(en) == 1u, [&] {
+      p.assign(acc, Ex(acc) + zext(Ex(d), 16));
+      p.write(regs, Ex(idx), Ex(acc));
+      p.assign(idx, Ex(idx) + 1u);
+    });
+  });
+  // d / (d & 7): divides by zero whenever the low bits of d are zero —
+  // 4-state yields all-X, 2-state scrubs to 0.
+  mb.comb("divide", [&](ProcBuilder& p) { p.assign(quot, Ex(d) / (Ex(d) & lit(8, 7))); });
+  mb.comb("output", [&](ProcBuilder& p) {
+    p.assign(y, Ex(acc) ^ zext(at(regs, Ex(idx)), 16) ^ zext(Ex(quot), 16));
+  });
+  return elaborate(*mb.finish());
+}
+
+std::uint64_t stimulus(std::uint64_t c, const std::string& name) {
+  if (name == "en") return (c % 3) != 0 ? 1 : 0;
+  return (c * 37 + 11) & 0xff;
+}
+
+template <class P>
+void driveTlm(TlmIpModel<P>& m, const Design& d, std::uint64_t c) {
+  for (SymbolId in : d.inputs) m.setInputByName(d.symbol(in).name, stimulus(c, d.symbol(in).name));
+  m.scheduler();
+}
+
+template <class P>
+class SnapshotTypedTest : public ::testing::Test {};
+using Policies = ::testing::Types<hdt::FourState, hdt::TwoState>;
+TYPED_TEST_SUITE(SnapshotTypedTest, Policies);
+
+TYPED_TEST(SnapshotTypedTest, MidSimulationRestoreEquality) {
+  using P = TypeParam;
+  const Design d = snapshotDesign();
+  const TlmModelLayoutPtr layout = buildTlmModelLayout(d, TlmModelConfig{0, false});
+
+  constexpr std::uint64_t kSnapAt = 7, kTotal = 25;
+  TlmIpModel<P> straight(layout);
+  TlmModelSnapshot snap;
+  // Straight-line run, snapshot at the cycle-kSnapAt boundary, recording
+  // every symbol's value each cycle afterwards.
+  std::vector<std::vector<std::string>> tail;
+  for (std::uint64_t c = 0; c < kTotal; ++c) {
+    if (c == kSnapAt) snap = straight.snapshot();
+    driveTlm(straight, d, c);
+    if (c >= kSnapAt) {
+      std::vector<std::string> row;
+      for (std::size_t i = 0; i < d.symbols.size(); ++i) {
+        if (d.symbols[i].kind == SymKind::Array) continue;
+        row.push_back(straight.value(static_cast<SymbolId>(i)).toString());
+      }
+      tail.push_back(std::move(row));
+    }
+  }
+
+  // Fresh session, restore, replay the tail: every symbol must match every
+  // cycle (the unknown plane included — toString renders X/Z).
+  TlmIpModel<P> resumed(layout);
+  resumed.restore(snap);
+  EXPECT_EQ(kSnapAt, resumed.cycle());
+  for (std::uint64_t c = kSnapAt; c < kTotal; ++c) {
+    driveTlm(resumed, d, c);
+    std::size_t col = 0;
+    for (std::size_t i = 0; i < d.symbols.size(); ++i) {
+      if (d.symbols[i].kind == SymKind::Array) continue;
+      EXPECT_EQ(tail[c - kSnapAt][col], resumed.value(static_cast<SymbolId>(i)).toString())
+          << "cycle " << c << " symbol '" << d.symbols[i].name << "'";
+      ++col;
+    }
+  }
+}
+
+TYPED_TEST(SnapshotTypedTest, ArrayStateRoundTrips) {
+  using P = TypeParam;
+  const Design d = snapshotDesign();
+  const TlmModelLayoutPtr layout = buildTlmModelLayout(d, TlmModelConfig{0, false});
+  const SymbolId regs = d.findSymbol("regs");
+  ASSERT_NE(kNoSymbol, regs);
+
+  TlmIpModel<P> m(layout);
+  for (std::uint64_t c = 0; c < 12; ++c) driveTlm(m, d, c);
+  const TlmModelSnapshot snap = m.snapshot();
+
+  TlmIpModel<P> fresh(layout);
+  fresh.restore(snap);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(m.arrayElem(regs, i).identical(fresh.arrayElem(regs, i)))
+        << "register-file slot " << i;
+  }
+}
+
+TYPED_TEST(SnapshotTypedTest, UnknownPlaneIsCapturedWhenFourState) {
+  using P = TypeParam;
+  const Design d = snapshotDesign();
+  const TlmModelLayoutPtr layout = buildTlmModelLayout(d, TlmModelConfig{0, false});
+  TlmIpModel<P> m(layout);
+  // d = 8 -> low bits 0 -> division by zero -> X quotient in 4-state.
+  m.setInputByName("en", 1);
+  m.setInputByName("d", 8);
+  m.scheduler();
+  const SymbolId quot = d.findSymbol("quot");
+  const SV raw = m.rawValue(quot);
+  if (std::is_same_v<P, hdt::FourState>) {
+    ASSERT_NE(0u, raw.unk) << "test design no longer produces an unknown plane";
+  }
+  TlmIpModel<P> fresh(layout);
+  fresh.restore(m.snapshot());
+  EXPECT_EQ(raw.val, fresh.rawValue(quot).val);
+  EXPECT_EQ(raw.unk, fresh.rawValue(quot).unk);
+}
+
+TYPED_TEST(SnapshotTypedTest, ShapeMismatchIsRejected) {
+  using P = TypeParam;
+  const Design d = snapshotDesign();
+  TlmIpModel<P> m(d, TlmModelConfig{0, false});
+  TlmModelSnapshot snap = m.snapshot();
+  snap.machine.vals.pop_back();
+  EXPECT_THROW(m.restore(snap), std::invalid_argument);
+  TlmModelSnapshot snap2 = m.snapshot();
+  snap2.dirty.push_back(1);
+  EXPECT_THROW(m.restore(snap2), std::invalid_argument);
+}
+
+TYPED_TEST(SnapshotTypedTest, RtlSimulatorRestoreEquality) {
+  using P = TypeParam;
+  const Design d = snapshotDesign();
+  constexpr std::uint64_t kPeriod = 1000, kSnapAt = 6, kTotal = 20;
+
+  auto makeSim = [&] {
+    auto sim = std::make_unique<RtlSimulator<P>>(d, KernelConfig{kPeriod, 0, 1000});
+    sim->setStimulus([&d](std::uint64_t c, RtlSimulator<P>& s) {
+      for (SymbolId in : d.inputs) {
+        s.setInputByName(d.symbol(in).name, stimulus(c, d.symbol(in).name));
+      }
+    });
+    // A transport delay longer than one period keeps a pending time-wheel
+    // event alive across the snapshot boundary — the wheel must round-trip.
+    sim->injectDelay(d.findSymbol("acc"), kPeriod + kPeriod / 2);
+    return sim;
+  };
+
+  auto straight = makeSim();
+  straight->runCycles(kSnapAt);
+  const rtl::RtlSnapshot<P> snap = straight->snapshot();
+  std::vector<std::vector<std::string>> tail;
+  for (std::uint64_t c = kSnapAt; c < kTotal; ++c) {
+    straight->runCycles(1);
+    std::vector<std::string> row;
+    for (std::size_t i = 0; i < d.symbols.size(); ++i) {
+      if (d.symbols[i].kind == SymKind::Array) continue;
+      row.push_back(straight->value(static_cast<SymbolId>(i)).toString());
+    }
+    tail.push_back(std::move(row));
+  }
+
+  auto resumed = makeSim();
+  resumed->restore(snap);
+  for (std::uint64_t c = kSnapAt; c < kTotal; ++c) {
+    resumed->runCycles(1);
+    std::size_t col = 0;
+    for (std::size_t i = 0; i < d.symbols.size(); ++i) {
+      if (d.symbols[i].kind == SymKind::Array) continue;
+      EXPECT_EQ(tail[c - kSnapAt][col], resumed->value(static_cast<SymbolId>(i)).toString())
+          << "cycle " << c << " symbol '" << d.symbols[i].name << "'";
+      ++col;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xlv::abstraction

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -265,6 +266,89 @@ TEST(ArtifactStore, UndecodablePayloadIsDroppedAndRebuilt) {
   EXPECT_EQ(7, *v2);
   EXPECT_EQ(1, builds);
   EXPECT_TRUE(diskHit);
+}
+
+// --- age-based expiry (ROADMAP store housekeeping) ---------------------------
+
+/// Backdate an entry file's mtime so it looks `age` old to the expiry scan.
+void backdate(const fs::path& file, std::chrono::seconds age) {
+  fs::last_write_time(file, fs::file_time_type::clock::now() - age);
+}
+
+TEST(ArtifactStore, GcExpiresEntriesOlderThanMaxAge) {
+  TempDir dir;
+  ArtifactStore store(ArtifactStoreConfig{dir.str(), 0, /*maxAgeSeconds=*/3600});
+  store.store("golden", "old", "stale-payload");
+  store.store("golden", "fresh", "fresh-payload");
+  ASSERT_EQ(2u, entryFiles(dir.path).size());
+
+  // Age one entry past the limit; the other stays current.
+  for (const fs::path& f : entryFiles(dir.path)) {
+    if (fs::file_size(f) == 0) continue;
+    std::ifstream in(f);
+    std::string content((std::istreambuf_iterator<char>(in)), {});
+    if (content.find("stale-payload") != std::string::npos) {
+      backdate(f, std::chrono::seconds(7200));
+    }
+  }
+
+  EXPECT_EQ(1u, store.gc());
+  EXPECT_EQ(1u, store.stats().expired);
+  EXPECT_FALSE(store.load("golden", "old").has_value());
+  EXPECT_EQ("fresh-payload", store.load("golden", "fresh").value());
+  EXPECT_EQ(1u, entryFiles(dir.path).size());
+}
+
+TEST(ArtifactStore, ConstructionSweepExpiresAgedEntries) {
+  TempDir dir;
+  {
+    ArtifactStore store(ArtifactStoreConfig{dir.str(), 0});
+    store.store("golden", "k", "payload");
+  }
+  for (const fs::path& f : entryFiles(dir.path)) backdate(f, std::chrono::seconds(7200));
+
+  // A new store instance (a later process) with an age limit self-cleans at
+  // construction — the stale entry is gone before the first load.
+  ArtifactStore store(ArtifactStoreConfig{dir.str(), 0, /*maxAgeSeconds=*/3600});
+  EXPECT_EQ(1u, store.stats().expired);
+  EXPECT_EQ(0u, entryFiles(dir.path).size());
+  EXPECT_FALSE(store.load("golden", "k").has_value());
+}
+
+TEST(ArtifactStore, ZeroMaxAgeNeverExpires) {
+  TempDir dir;
+  ArtifactStore store(ArtifactStoreConfig{dir.str(), 0, /*maxAgeSeconds=*/0});
+  store.store("golden", "k", "payload");
+  for (const fs::path& f : entryFiles(dir.path)) backdate(f, std::chrono::seconds(1u << 20));
+  EXPECT_EQ(0u, store.gc());
+  EXPECT_EQ(0u, store.stats().expired);
+  EXPECT_EQ("payload", store.load("golden", "k").value());
+}
+
+TEST(ArtifactStore, GcEnforcesByteCapWithoutAgeLimit) {
+  TempDir dir;
+  std::uint64_t bytes = 0;
+  {
+    // Populate unbounded, then reopen with a cap: gc() must evict down.
+    ArtifactStore store(ArtifactStoreConfig{dir.str(), 0});
+    for (int i = 0; i < 8; ++i) {
+      const auto before = entryFiles(dir.path);
+      store.store("golden", "key-" + std::to_string(i), std::string(256, 'x'));
+      // Backdate only the just-written entry: genuinely distinct mtimes
+      // keep the LRU order deterministic on coarse-resolution filesystems.
+      for (const fs::path& f : entryFiles(dir.path)) {
+        if (std::find(before.begin(), before.end(), f) == before.end()) {
+          backdate(f, std::chrono::seconds(100 - i * 10));
+        }
+      }
+    }
+    bytes = store.diskBytes();
+  }
+  ASSERT_GT(bytes, 0u);
+  ArtifactStore capped(ArtifactStoreConfig{dir.str(), bytes / 2, 0});
+  EXPECT_GT(capped.gc(), 0u);
+  EXPECT_LE(capped.diskBytes(), bytes / 2);
+  EXPECT_GT(entryFiles(dir.path).size(), 0u);
 }
 
 }  // namespace

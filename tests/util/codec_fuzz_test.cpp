@@ -84,6 +84,8 @@ analysis::MutantResult randomMutantResult(Prng& rng) {
 analysis::AnalysisReport randomAnalysisReport(Prng& rng) {
   analysis::AnalysisReport a;
   a.cyclesPerRun = rng.below(100000);
+  a.cyclesSimulated = rng.below(100000);
+  a.cyclesSkipped = rng.below(100000);
   a.simSeconds = randomDouble(rng);
   a.wallSeconds = randomDouble(rng);
   a.goldenSeconds = randomDouble(rng);
@@ -107,6 +109,8 @@ campaign::CampaignResult randomCampaignResult(Prng& rng) {
   r.diskHits = static_cast<int>(rng.below(64));
   r.diskStores = static_cast<int>(rng.below(64));
   r.diskEvictions = static_cast<int>(rng.below(64));
+  r.cyclesSimulated = rng.below(1000000);
+  r.cyclesSkipped = rng.below(1000000);
   r.wallSeconds = randomDouble(rng);
   r.threadsUsed = 1 + static_cast<int>(rng.below(8));
   const std::size_t items = rng.below(3);
@@ -177,6 +181,10 @@ analysis::GoldenTrace randomGoldenTrace(Prng& rng) {
     trace.outputs.push_back(std::move(outs));
     trace.endpoints.push_back(std::move(eps));
   }
+  // epWidth is derived from the endpoint rows at encode time: a zero-cycle
+  // trace has no rows, hence no endpoint columns to carry metadata for.
+  trace.firstActivity.resize(cycles == 0 ? 0 : epW);
+  for (auto& w : trace.firstActivity) w = rng.next();
   return trace;
 }
 
@@ -260,12 +268,13 @@ TEST(CodecFuzz, GoldenTraceRejectsOverflowingCountsBeforeAllocating) {
   // A verified-but-hostile entry (fingerprint collision or crafted file):
   // counts whose product wraps std::size_t must throw DecodeError up
   // front, never reach a resize() that dies with length_error/bad_alloc.
-  util::Encoder e("golden-trace", 1);
+  util::Encoder e("golden-trace", analysis::kGoldenTraceCodecVersion);
   e.u64("cycles", 1);
   e.u64("outWidth", 1ULL << 61);
   e.u64("epWidth", 0);
   e.str("outputs", "");
   e.str("endpoints", "");
+  e.str("firstActivity", "");
   EXPECT_THROW(analysis::decodeGoldenTrace(e.out()), DecodeError);
 }
 

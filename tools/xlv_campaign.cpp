@@ -58,6 +58,8 @@ using namespace xlv;
       "  xlv_campaign merge --spec FILE -o FILE SHARD_FILE...\n"
       "  xlv_campaign diff RESULT_A RESULT_B\n"
       "  xlv_campaign show RESULT_FILE\n"
+      "  xlv_campaign cache-gc --cache-dir DIR [--max-age-seconds N]\n"
+      "                        [--cache-max-bytes N]\n"
       "\n"
       "presets: smoke (2 IPs x 2 sensor kinds x 2 corners), single (one\n"
       "Counter item, for --max-fragment splitting), failing (broken mid-\n"
@@ -66,7 +68,11 @@ using namespace xlv;
       "and per-mutant results under DIR (shared across processes and runs,\n"
       "bit-identical warm or cold); --cache-max-bytes N caps the store with\n"
       "LRU eviction; --require-disk-hits exits 4 when a warm run loaded\n"
-      "nothing from the store. --verbose raises the log level to info.\n",
+      "nothing from the store. cache-gc runs store housekeeping: entries\n"
+      "older than --max-age-seconds expire, then the byte cap is enforced.\n"
+      "XLV_REFERENCE_SIM=1 disables the divergence-driven mutant fast path\n"
+      "(full replay from reset; results are bit-identical either way).\n"
+      "--verbose raises the log level to info.\n",
       stderr);
   std::exit(1);
 }
@@ -93,6 +99,7 @@ struct Args {
   std::vector<std::string> positional;
   std::string spec, plan, out, preset, cacheDir;
   long shards = 0, index = -1, maxFragment = 0, threads = 0, cacheMaxBytes = 0;
+  long maxAgeSeconds = 0;
   bool requireDiskHits = false;
 
   static long parseLong(const std::string& flag, const std::string& v) {
@@ -135,6 +142,8 @@ Args parseArgs(int argc, char** argv, int first) {
       a.cacheDir = next("--cache-dir");
     } else if (arg == "--cache-max-bytes") {
       a.cacheMaxBytes = Args::parseLong(arg, next("--cache-max-bytes"));
+    } else if (arg == "--max-age-seconds") {
+      a.maxAgeSeconds = Args::parseLong(arg, next("--max-age-seconds"));
     } else if (arg == "--require-disk-hits") {
       a.requireDiskHits = true;
     } else if (arg == "--verbose") {
@@ -157,10 +166,12 @@ campaign::CampaignSpec loadSpec(const Args& a) {
 /// silently ignore them (a flag on the wrong pipeline stage doing nothing
 /// is how a "cached" pipeline runs cold without anyone noticing).
 void rejectCacheFlags(const Args& a, const char* cmd) {
-  if (!a.cacheDir.empty() || a.cacheMaxBytes != 0 || a.requireDiskHits) {
+  if (!a.cacheDir.empty() || a.cacheMaxBytes != 0 || a.maxAgeSeconds != 0 ||
+      a.requireDiskHits) {
     usage((std::string(cmd) +
            " does not take cache flags (--cache-dir/--cache-max-bytes/"
-           "--require-disk-hits apply to run, run-shard and merge)")
+           "--max-age-seconds/--require-disk-hits apply to run, run-shard, "
+           "merge and cache-gc)")
               .c_str());
   }
 }
@@ -168,13 +179,16 @@ void rejectCacheFlags(const Args& a, const char* cmd) {
 /// Install the process-wide artifact store when --cache-dir was given.
 void configureCache(const Args& a) {
   if (a.cacheMaxBytes < 0) usage("--cache-max-bytes must be >= 0 (0 = unbounded)");
+  if (a.maxAgeSeconds < 0) usage("--max-age-seconds must be >= 0 (0 = never expire)");
   if (a.cacheDir.empty()) {
     if (a.requireDiskHits) usage("--require-disk-hits needs --cache-dir");
     if (a.cacheMaxBytes != 0) usage("--cache-max-bytes needs --cache-dir");
+    if (a.maxAgeSeconds != 0) usage("--max-age-seconds needs --cache-dir");
     return;
   }
   util::configureProcessArtifactStore(util::ArtifactStoreConfig{
-      a.cacheDir, static_cast<std::uint64_t>(a.cacheMaxBytes)});
+      a.cacheDir, static_cast<std::uint64_t>(a.cacheMaxBytes),
+      static_cast<std::uint64_t>(a.maxAgeSeconds)});
 }
 
 /// Per-item failures don't abort a campaign, but they must fail the
@@ -215,9 +229,13 @@ void printSummary(const campaign::CampaignResult& r) {
   std::printf(
       "ledger: sim %.3fs, golden %.3fs, wall %.3fs, golden hits %d, prefix hits %d, "
       "mutant hits %d, threads %d\n"
+      "cycles: simulated %llu, skipped %llu (fast-forward + early exit)\n"
       "store:  disk hits %d, stores %d, evictions %d\n",
       r.simSeconds, r.goldenSeconds, r.wallSeconds, r.goldenCacheHits, r.prefixCacheHits,
-      r.mutantCacheHits, r.threadsUsed, r.diskHits, r.diskStores, r.diskEvictions);
+      r.mutantCacheHits, r.threadsUsed,
+      static_cast<unsigned long long>(r.cyclesSimulated),
+      static_cast<unsigned long long>(r.cyclesSkipped), r.diskHits, r.diskStores,
+      r.diskEvictions);
 }
 
 int cmdSpec(const Args& a) {
@@ -325,6 +343,24 @@ int cmdShow(const Args& a) {
   return 0;
 }
 
+int cmdCacheGc(const Args& a) {
+  if (a.cacheDir.empty()) usage("cache-gc requires --cache-dir DIR");
+  if (a.requireDiskHits) usage("cache-gc does not take --require-disk-hits");
+  if (a.cacheMaxBytes < 0) usage("--cache-max-bytes must be >= 0 (0 = unbounded)");
+  if (a.maxAgeSeconds < 0) usage("--max-age-seconds must be >= 0 (0 = never expire)");
+  util::ArtifactStore store(util::ArtifactStoreConfig{
+      a.cacheDir, static_cast<std::uint64_t>(a.cacheMaxBytes),
+      static_cast<std::uint64_t>(a.maxAgeSeconds)});
+  // Construction already swept (aged entries + temp orphans); gc() reports
+  // a complete pass so the numbers below reflect this invocation.
+  store.gc();
+  const util::ArtifactStoreStats s = store.stats();
+  std::printf("cache-gc '%s': expired %zu, evicted %zu, remaining %llu bytes\n",
+              a.cacheDir.c_str(), s.expired, s.evictions,
+              static_cast<unsigned long long>(store.diskBytes()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -339,6 +375,7 @@ int main(int argc, char** argv) {
     if (cmd == "merge") return cmdMerge(a);
     if (cmd == "diff") return cmdDiff(a);
     if (cmd == "show") return cmdShow(a);
+    if (cmd == "cache-gc") return cmdCacheGc(a);
     usage(("unknown command '" + cmd + "'").c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "xlv_campaign %s: %s\n", cmd.c_str(), e.what());
