@@ -1,0 +1,786 @@
+#include "abstraction/emit_native.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace xlv::abstraction {
+
+namespace {
+
+std::string hexU64(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v << "ull";
+  return os.str();
+}
+
+std::string maskLit(int width) { return hexU64(maskOf(width)); }
+
+/// Per-symbol array-pool offsets into the flat element store, -1 for
+/// non-arrays; also returns the total element count.
+std::vector<int> arrayOffsets(const ir::Design& d, std::size_t* totalOut) {
+  std::vector<int> off(d.symbols.size(), -1);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < d.symbols.size(); ++i) {
+    if (d.symbols[i].kind == ir::SymKind::Array) {
+      off[i] = static_cast<int>(total);
+      total += static_cast<std::size_t>(d.symbols[i].arraySize);
+    }
+  }
+  if (totalOut != nullptr) *totalOut = total;
+  return off;
+}
+
+/// Emit one compiled process body as a straight-line function with goto
+/// labels at jump targets. Policy branches are resolved here, at emit time;
+/// each op is the literal ScalarMachine<P> case with constants folded in.
+void emitProc(std::ostringstream& os, const TlmModelLayout& L, int procIndex,
+              bool fourState, const std::vector<int>& arrOff) {
+  const ir::Design& d = L.design;
+  const CompiledProc& proc = L.code.procs[static_cast<std::size_t>(procIndex)];
+  const auto& ops = proc.ops;
+
+  std::unordered_set<std::size_t> targets;
+  for (const Op& op : ops) {
+    if (op.code == OpCode::Jump || op.code == OpCode::JumpIfFalse ||
+        op.code == OpCode::JumpIfTrue) {
+      targets.insert(static_cast<std::size_t>(op.a));
+    }
+  }
+
+  // allX(w) and isTrue(v), policy-resolved.
+  const auto allX = [&](int w) -> std::string {
+    return fourState ? "SV{0ull, " + maskLit(w) + "}" : "SV{0ull, 0ull}";
+  };
+  const auto isTrue = [&](const std::string& v) -> std::string {
+    return fourState ? "(" + v + ".unk == 0 && " + v + ".val != 0)"
+                     : "(" + v + ".val != 0)";
+  };
+
+  os << "static void proc_" << procIndex << "(State& st) {\n";
+  os << "  SV stk[" << (proc.maxStack + 8 < 9 ? 9 : proc.maxStack + 8) << "];\n";
+  os << "  SV* sp = stk;\n";
+  os << "  (void)sp;\n";
+
+  for (std::size_t pc = 0; pc < ops.size(); ++pc) {
+    if (targets.count(pc) != 0) os << "L" << pc << ":;\n";
+    const Op& op = ops[pc];
+    const int symI = static_cast<int>(op.sym);
+    os << "  ";
+    switch (op.code) {
+      case OpCode::PushConst:
+        os << "*sp++ = kConst[" << op.a << "];";
+        break;
+      case OpCode::PushSig:
+        os << "*sp++ = st.vals[" << symI << "];";
+        break;
+      case OpCode::PushArrayElem: {
+        const int off = arrOff[static_cast<std::size_t>(op.sym)];
+        const int size = d.symbol(op.sym).arraySize;
+        os << "{ SV idx = *--sp; if (idx.unk != 0) { *sp++ = " << allX(op.a)
+           << "; } else { *sp++ = st.arr[" << off << " + (int)(idx.val % " << size
+           << "ull)]; } }";
+        break;
+      }
+      case OpCode::UnNot:
+        if (fourState) {
+          os << "{ SV& a = sp[-1]; a.val = ~a.val & ~a.unk & " << maskLit(op.a)
+             << "; a.unk &= " << maskLit(op.a) << "; }";
+        } else {
+          os << "{ SV& a = sp[-1]; a.val = ~a.val & " << maskLit(op.a) << "; }";
+        }
+        break;
+      case OpCode::UnNeg:
+        os << "{ SV& a = sp[-1]; if (a.unk) { a = " << allX(op.a)
+           << "; } else { a = SV{(~a.val + 1) & " << maskLit(op.a) << ", 0ull}; } }";
+        break;
+      case OpCode::UnRedAnd:
+        os << "{ SV& a = sp[-1]; if (a.unk) { a = " << allX(1)
+           << "; } else { a = SV{a.val == " << maskLit(op.a)
+           << " ? 1ull : 0ull, 0ull}; } }";
+        break;
+      case OpCode::UnRedOr:
+        os << "{ SV& a = sp[-1]; if ((a.val & ~a.unk) != 0) { a = SV{1ull, 0ull}; } "
+              "else if (a.unk) { a = "
+           << allX(1) << "; } else { a = SV{0ull, 0ull}; } }";
+        break;
+      case OpCode::UnRedXor:
+        os << "{ SV& a = sp[-1]; if (a.unk) { a = " << allX(1)
+           << "; } else { a = SV{parity64(a.val), 0ull}; } }";
+        break;
+      case OpCode::UnBoolNot:
+        os << "{ SV& a = sp[-1]; a = SV{" << isTrue("a") << " ? 0ull : 1ull, 0ull}; }";
+        break;
+      case OpCode::BiAnd:
+        if (fourState) {
+          os << "{ SV b = *--sp; SV& a = sp[-1]; a = and4(a, b); }";
+        } else {
+          os << "{ SV b = *--sp; sp[-1].val &= b.val; }";
+        }
+        break;
+      case OpCode::BiOr:
+        if (fourState) {
+          os << "{ SV b = *--sp; SV& a = sp[-1]; a = or4(a, b); }";
+        } else {
+          os << "{ SV b = *--sp; sp[-1].val |= b.val; }";
+        }
+        break;
+      case OpCode::BiXor:
+        if (fourState) {
+          os << "{ SV b = *--sp; SV& a = sp[-1]; a = xor4(a, b); }";
+        } else {
+          os << "{ SV b = *--sp; sp[-1].val ^= b.val; }";
+        }
+        break;
+      case OpCode::BiAdd:
+        if (fourState) {
+          os << "{ SV b = *--sp; SV& a = sp[-1]; if (a.unk | b.unk) { a = " << allX(op.a)
+             << "; } else { a = SV{(a.val + b.val) & " << maskLit(op.a) << ", 0ull}; } }";
+        } else {
+          os << "{ SV b = *--sp; sp[-1].val = (sp[-1].val + b.val) & " << maskLit(op.a)
+             << "; }";
+        }
+        break;
+      case OpCode::BiSub:
+        if (fourState) {
+          os << "{ SV b = *--sp; SV& a = sp[-1]; if (a.unk | b.unk) { a = " << allX(op.a)
+             << "; } else { a = SV{(a.val - b.val) & " << maskLit(op.a) << ", 0ull}; } }";
+        } else {
+          os << "{ SV b = *--sp; sp[-1].val = (sp[-1].val - b.val) & " << maskLit(op.a)
+             << "; }";
+        }
+        break;
+      case OpCode::BiMul:
+        if (fourState) {
+          os << "{ SV b = *--sp; SV& a = sp[-1]; if (a.unk | b.unk) { a = " << allX(op.a)
+             << "; } else { a = SV{(a.val * b.val) & " << maskLit(op.a) << ", 0ull}; } }";
+        } else {
+          os << "{ SV b = *--sp; sp[-1].val = (sp[-1].val * b.val) & " << maskLit(op.a)
+             << "; }";
+        }
+        break;
+      case OpCode::BiDiv:
+        os << "{ SV b = *--sp; SV& a = sp[-1]; if ((a.unk | b.unk) || b.val == 0) { a = "
+           << allX(op.a) << "; } else { a = SV{a.val / b.val, 0ull}; } }";
+        break;
+      case OpCode::BiMod:
+        os << "{ SV b = *--sp; SV& a = sp[-1]; if ((a.unk | b.unk) || b.val == 0) { a = "
+           << allX(op.a) << "; } else { a = SV{a.val % b.val, 0ull}; } }";
+        break;
+      case OpCode::BiShl:
+        os << "{ SV amt = *--sp; SV& a = sp[-1]; if (amt.unk != 0) { a = " << allX(op.a)
+           << "; } else if (amt.val >= " << op.a
+           << "ull) { a = SV{0ull, 0ull}; } else { a = SV{(a.val << amt.val) & "
+           << maskLit(op.a) << ", (a.unk << amt.val) & " << maskLit(op.a) << "}; } }";
+        break;
+      case OpCode::BiShr:
+        os << "{ SV amt = *--sp; SV& a = sp[-1]; if (amt.unk != 0) { a = " << allX(op.a)
+           << "; } else if (amt.val >= " << op.a
+           << "ull) { a = SV{0ull, 0ull}; } else { a = SV{a.val >> amt.val, a.unk >> "
+              "amt.val}; } }";
+        break;
+      case OpCode::BiAShr:
+        os << "{ SV amt = *--sp; SV& a = sp[-1]; if (amt.unk != 0) { a = " << allX(op.a)
+           << "; } else { const u64 sVal = a.val & " << hexU64(1ULL << (op.a - 1))
+           << "; const u64 sUnk = a.unk & " << hexU64(1ULL << (op.a - 1))
+           << "; const u64 n = amt.val >= " << op.a << "ull ? " << op.a
+           << "ull : amt.val; const u64 fill = n == 0 ? 0 : (maskOf64(n) << (" << op.a
+           << " - n)); a.val = ((a.val >> n) | (sVal ? fill : 0)) & " << maskLit(op.a)
+           << "; a.unk = ((a.unk >> n) | (sUnk ? fill : 0)) & " << maskLit(op.a)
+           << "; } }";
+        break;
+      case OpCode::BiEq:
+        if (fourState) {
+          os << "{ SV b = *--sp; SV& a = sp[-1]; if (a.unk | b.unk) { a = " << allX(1)
+             << "; } else { a = SV{a.val == b.val ? 1ull : 0ull, 0ull}; } }";
+        } else {
+          os << "{ SV b = *--sp; sp[-1].val = sp[-1].val == b.val ? 1ull : 0ull; }";
+        }
+        break;
+      case OpCode::BiNe:
+        if (fourState) {
+          os << "{ SV b = *--sp; SV& a = sp[-1]; if (a.unk | b.unk) { a = " << allX(1)
+             << "; } else { a = SV{a.val != b.val ? 1ull : 0ull, 0ull}; } }";
+        } else {
+          os << "{ SV b = *--sp; sp[-1].val = sp[-1].val != b.val ? 1ull : 0ull; }";
+        }
+        break;
+      case OpCode::BiLtu:
+        if (fourState) {
+          os << "{ SV b = *--sp; SV& a = sp[-1]; if (a.unk | b.unk) { a = " << allX(1)
+             << "; } else { a = SV{a.val < b.val ? 1ull : 0ull, 0ull}; } }";
+        } else {
+          os << "{ SV b = *--sp; sp[-1].val = sp[-1].val < b.val ? 1ull : 0ull; }";
+        }
+        break;
+      case OpCode::BiLeu:
+        if (fourState) {
+          os << "{ SV b = *--sp; SV& a = sp[-1]; if (a.unk | b.unk) { a = " << allX(1)
+             << "; } else { a = SV{a.val <= b.val ? 1ull : 0ull, 0ull}; } }";
+        } else {
+          os << "{ SV b = *--sp; sp[-1].val = sp[-1].val <= b.val ? 1ull : 0ull; }";
+        }
+        break;
+      case OpCode::BiLts:
+        os << "{ SV b = *--sp; SV& a = sp[-1]; if (a.unk | b.unk) { a = " << allX(1)
+           << "; } else { a = SV{sext64(a.val, " << op.a << ") < sext64(b.val, " << op.a
+           << ") ? 1ull : 0ull, 0ull}; } }";
+        break;
+      case OpCode::BiLes:
+        os << "{ SV b = *--sp; SV& a = sp[-1]; if (a.unk | b.unk) { a = " << allX(1)
+           << "; } else { a = SV{sext64(a.val, " << op.a << ") <= sext64(b.val, " << op.a
+           << ") ? 1ull : 0ull, 0ull}; } }";
+        break;
+      case OpCode::BiConcat:
+        os << "{ SV b = *--sp; SV& a = sp[-1]; a = SV{(a.val << " << op.b
+           << ") | b.val, (a.unk << " << op.b << ") | b.unk}; }";
+        break;
+      case OpCode::Slice:
+        os << "{ SV& a = sp[-1]; a = SV{(a.val >> " << op.b << ") & "
+           << maskLit(op.a - op.b + 1) << ", (a.unk >> " << op.b << ") & "
+           << maskLit(op.a - op.b + 1) << "}; }";
+        break;
+      case OpCode::Resize:
+        os << "{ SV& a = sp[-1]; a.val &= " << maskLit(op.a) << "; a.unk &= "
+           << maskLit(op.a) << "; }";
+        break;
+      case OpCode::Sext: {
+        const int sw = op.b;
+        const int tw = op.a;
+        if (tw <= sw) {
+          os << "{ SV& a = sp[-1]; a.val &= " << maskLit(tw) << "; a.unk &= "
+             << maskLit(tw) << "; }";
+        } else {
+          const std::uint64_t signMask = 1ULL << (sw - 1);
+          const std::uint64_t ext = maskOf(tw) & ~maskOf(sw);
+          os << "{ SV& a = sp[-1]; const bool sUnk = (a.unk & " << hexU64(signMask)
+             << ") != 0; const bool sVal = (a.val & " << hexU64(signMask)
+             << ") != 0; if (sUnk) { a.unk |= " << hexU64(ext) << "; if (sVal) a.val |= "
+             << hexU64(ext) << "; } else if (sVal) { a.val |= " << hexU64(ext)
+             << "; } }";
+        }
+        break;
+      }
+      case OpCode::JumpIfFalse:
+        os << "{ SV c = *--sp; if (!" << isTrue("c") << ") goto L" << op.a << "; }";
+        break;
+      case OpCode::JumpIfTrue:
+        os << "{ SV c = *--sp; if (" << isTrue("c") << ") goto L" << op.a << "; }";
+        break;
+      case OpCode::Jump:
+        os << "goto L" << op.a << ";";
+        break;
+      case OpCode::Dup:
+        os << "{ *sp = sp[-1]; ++sp; }";
+        break;
+      case OpCode::Pop:
+        os << "--sp;";
+        break;
+      case OpCode::StoreVar:
+        os << "st.vals[" << symI << "] = *--sp;";
+        break;
+      case OpCode::StoreVarRange: {
+        const std::uint64_t m = maskOf(op.a - op.b + 1) << op.b;
+        os << "{ SV v = *--sp; SV& cur = st.vals[" << symI << "]; cur.val = (cur.val & "
+           << hexU64(~m) << ") | ((v.val << " << op.b << ") & " << hexU64(m)
+           << "); cur.unk = (cur.unk & " << hexU64(~m) << ") | ((v.unk << " << op.b
+           << ") & " << hexU64(m) << "); }";
+        break;
+      }
+      case OpCode::StoreSig:
+        os << "{ Write& w = st.nba[st.nbaCount++]; w.sym = " << symI
+           << "; w.hi = -1; w.lo = -1; w.idx = -1; w.v = *--sp; }";
+        break;
+      case OpCode::StoreSigRange:
+        os << "{ Write& w = st.nba[st.nbaCount++]; w.sym = " << symI << "; w.hi = "
+           << op.a << "; w.lo = " << op.b << "; w.idx = -1; w.v = *--sp; }";
+        break;
+      case OpCode::StoreArray:
+        os << "{ SV v = *--sp; SV idx = *--sp; if (idx.unk == 0) { Write& w = "
+              "st.nba[st.nbaCount++]; w.sym = "
+           << symI << "; w.hi = -1; w.lo = -1; w.idx = (long long)idx.val; w.v = v; } }";
+        break;
+      case OpCode::End:
+        os << "return;";
+        break;
+    }
+    os << "\n";
+  }
+  // A Jump target one past the last op lands here.
+  if (targets.count(ops.size()) != 0) os << "L" << ops.size() << ":;\n";
+  os << "  return;\n";
+  os << "}\n\n";
+}
+
+void emitIntList(std::ostringstream& os, const char* name, const std::vector<int>& v) {
+  os << "static const int " << name << "[" << (v.empty() ? 1 : v.size()) << "] = {";
+  if (v.empty()) {
+    os << "0";
+  } else {
+    for (std::size_t i = 0; i < v.size(); ++i) os << (i ? ", " : "") << v[i];
+  }
+  os << "};\n";
+}
+
+}  // namespace
+
+std::size_t nativeStateWords(const TlmModelLayout& layout) {
+  std::size_t totalArr = 0;
+  arrayOffsets(layout.design, &totalArr);
+  return 2 + layout.sweepOrder.size() + 2 * layout.design.symbols.size() + 2 * totalArr;
+}
+
+void snapshotToWords(const TlmModelLayout& layout, const TlmModelSnapshot& snap,
+                     std::vector<std::uint64_t>& out) {
+  out.reserve(out.size() + nativeStateWords(layout));
+  out.push_back(snap.cycle);
+  out.push_back(snap.anyDirty ? 1 : 0);
+  for (char d : snap.dirty) out.push_back(static_cast<std::uint64_t>(d));
+  for (const SV& v : snap.machine.vals) {
+    out.push_back(v.val);
+    out.push_back(v.unk);
+  }
+  for (const auto& pool : snap.machine.arrays) {
+    for (const SV& v : pool) {
+      out.push_back(v.val);
+      out.push_back(v.unk);
+    }
+  }
+}
+
+TlmModelSnapshot wordsToSnapshot(const TlmModelLayout& layout,
+                                 const std::vector<std::uint64_t>& words) {
+  if (words.size() != nativeStateWords(layout)) {
+    throw std::invalid_argument("native snapshot: word count mismatch for layout");
+  }
+  TlmModelSnapshot snap;
+  std::size_t i = 0;
+  snap.cycle = words[i++];
+  snap.anyDirty = words[i++] != 0;
+  snap.dirty.resize(layout.sweepOrder.size());
+  for (std::size_t s = 0; s < snap.dirty.size(); ++s) {
+    snap.dirty[s] = static_cast<char>(words[i++]);
+  }
+  snap.machine.vals.resize(layout.design.symbols.size());
+  for (SV& v : snap.machine.vals) {
+    v.val = words[i++];
+    v.unk = words[i++];
+  }
+  for (const auto& sym : layout.design.symbols) {
+    if (sym.kind != ir::SymKind::Array) continue;
+    std::vector<SV> pool(static_cast<std::size_t>(sym.arraySize));
+    for (SV& v : pool) {
+      v.val = words[i++];
+      v.unk = words[i++];
+    }
+    snap.machine.arrays.push_back(std::move(pool));
+  }
+  return snap;
+}
+
+std::string emitNativeCpp(const TlmModelLayout& layout, bool fourState,
+                          const std::string& identity) {
+  const ir::Design& d = layout.design;
+  const std::size_t nSym = d.symbols.size();
+  const std::size_t nSweep = layout.sweepOrder.size();
+  const std::size_t nProc = layout.code.procs.size();
+  const std::size_t nMut = layout.mutants.size();
+  std::size_t totalArr = 0;
+  const std::vector<int> arrOff = arrayOffsets(d, &totalArr);
+
+  // Nonblocking-write capacity: process bodies have no backward jumps, so
+  // every store op executes at most once per run; the buffer drains after
+  // each phase list / sweep slot, so the sum over all procs bounds it.
+  std::size_t nbaCap = 8;
+  for (const auto& proc : layout.code.procs) {
+    for (const Op& op : proc.ops) {
+      if (op.code == OpCode::StoreSig || op.code == OpCode::StoreSigRange ||
+          op.code == OpCode::StoreArray) {
+        ++nbaCap;
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << "// Auto-generated native TLM scheduler for design '" << d.name << "' ("
+     << (fourState ? "4-state" : "2-state") << ").\n";
+  os << "// Transliterated from the compiled op streams; do not edit.\n";
+  os << "#include <cstdint>\n\n";
+  os << "namespace {\n\n";
+  os << "using u64 = std::uint64_t;\n";
+  os << "struct SV { u64 val; u64 unk; };\n";
+  os << "struct Write { int sym; int hi; int lo; long long idx; SV v; };\n\n";
+  os << "inline u64 maskOf64(u64 w) { return w >= 64 ? ~0ull : ((1ull << w) - 1); }\n";
+  os << "inline u64 parity64(u64 v) { v ^= v >> 32; v ^= v >> 16; v ^= v >> 8; v ^= v >> "
+        "4; v ^= v >> 2; v ^= v >> 1; return v & 1; }\n";
+  os << "inline long long sext64(u64 v, int w) { if (w >= 64) return (long long)v; const "
+        "u64 s = 1ull << (w - 1); return (long long)((v ^ s) - s); }\n";
+  if (fourState) {
+    os << "inline SV and4(SV a, SV b) { const u64 k0 = (~a.val & ~a.unk) | (~b.val & "
+          "~b.unk); const u64 u = (a.unk | b.unk) & ~k0; const u64 v = a.val & b.val & "
+          "~a.unk & ~b.unk; return SV{v, u}; }\n";
+    os << "inline SV or4(SV a, SV b) { const u64 k1 = (a.val & ~a.unk) | (b.val & "
+          "~b.unk); const u64 u = (a.unk | b.unk) & ~k1; const u64 v = ((a.val | b.val) "
+          "& ~a.unk & ~b.unk) | k1; return SV{v, u}; }\n";
+    os << "inline SV xor4(SV a, SV b) { const u64 u = a.unk | b.unk; const u64 v = "
+          "(a.val ^ b.val) & ~u; return SV{v, u}; }\n";
+  }
+  os << "\n";
+  os << "enum : int { kNSym = " << nSym << ", kNSweep = " << static_cast<int>(nSweep)
+     << ", kNMut = " << static_cast<int>(nMut) << ", kHfRatio = " << layout.cfg.hfRatio
+     << ", kMainClk = " << static_cast<int>(d.mainClock)
+     << ", kHfClk = " << static_cast<int>(d.hfClock) << " };\n";
+  os << "enum : int { kTotArr = " << static_cast<int>(totalArr) << ", kNbaCap = "
+     << static_cast<int>(nbaCap) << " };\n\n";
+
+  // --- baked tables ---------------------------------------------------------
+  os << "static const u64 kMask[kNSym] = {";
+  for (std::size_t i = 0; i < nSym; ++i) {
+    os << (i ? ", " : "") << hexU64(maskOf(d.symbols[i].type.width));
+  }
+  os << "};\n";
+
+  os << "static const SV kInit[kNSym] = {";
+  for (std::size_t i = 0; i < nSym; ++i) {
+    const auto& s = d.symbols[i];
+    const std::uint64_t v =
+        (s.kind != ir::SymKind::Array && s.hasInit) ? (s.initValue & maskOf(s.type.width))
+                                                    : 0;
+    os << (i ? ", " : "") << "{" << hexU64(v) << ", 0ull}";
+  }
+  os << "};\n";
+
+  {
+    // Array pools with arrayInits applied, flattened in symbol id order.
+    std::vector<SV> flat(totalArr);
+    for (const auto& ai : d.arrayInits) {
+      const int base = arrOff[static_cast<std::size_t>(ai.array)];
+      const std::size_t size =
+          static_cast<std::size_t>(d.symbol(ai.array).arraySize);
+      const std::uint64_t m = maskOf(d.symbol(ai.array).type.width);
+      for (std::size_t k = 0; k < ai.words.size() && k < size; ++k) {
+        flat[static_cast<std::size_t>(base) + k] = SV{ai.words[k] & m, 0};
+      }
+    }
+    os << "static const SV kArrInit[" << (totalArr == 0 ? 1 : totalArr) << "] = {";
+    if (totalArr == 0) {
+      os << "{0ull, 0ull}";
+    } else {
+      for (std::size_t i = 0; i < totalArr; ++i) {
+        os << (i ? ", " : "") << "{" << hexU64(flat[i].val) << ", " << hexU64(flat[i].unk)
+           << "}";
+      }
+    }
+    os << "};\n";
+  }
+
+  os << "static const SV kConst[" << (layout.code.constants.empty() ? 1 : layout.code.constants.size())
+     << "] = {";
+  if (layout.code.constants.empty()) {
+    os << "{0ull, 0ull}";
+  } else {
+    for (std::size_t i = 0; i < layout.code.constants.size(); ++i) {
+      const auto& c = layout.code.constants[i];
+      os << (i ? ", " : "") << "{" << hexU64(c.value & maskOf(c.width)) << ", 0ull}";
+    }
+  }
+  os << "};\n";
+
+  {
+    // Sensitivity CSR: symbol id -> sweep slots to dirty.
+    std::vector<int> off, slots;
+    off.reserve(nSym + 1);
+    off.push_back(0);
+    for (std::size_t i = 0; i < nSym; ++i) {
+      for (int s : layout.sensitiveSlots[i]) slots.push_back(s);
+      off.push_back(static_cast<int>(slots.size()));
+    }
+    emitIntList(os, "kSensOff", off);
+    emitIntList(os, "kSensSlot", slots);
+  }
+  emitIntList(os, "kSweepOrder", layout.sweepOrder);
+  emitIntList(os, "kMainRise", layout.mainRise);
+  emitIntList(os, "kMainPost", layout.mainPost);
+  emitIntList(os, "kMainFall", layout.mainFall);
+  emitIntList(os, "kHfRise", layout.hfRise);
+  emitIntList(os, "kHfFall", layout.hfFall);
+
+  {
+    // Mutant table: kind encoded 0 = MinDelay, 1 = MaxDelay, 2 = DeltaDelay;
+    // `first` marks the first mutant of each target (edge-commit dedup).
+    os << "struct Mut { int target; int tmpVar; int kind; int deltaTicks; int first; };\n";
+    os << "static const Mut kMut[" << (nMut == 0 ? 1 : nMut) << "] = {";
+    if (nMut == 0) {
+      os << "{-1, -1, 0, 0, 0}";
+    } else {
+      for (std::size_t i = 0; i < nMut; ++i) {
+        const auto& m = layout.mutants[i];
+        int kind = 0;
+        switch (m.spec.kind) {
+          case mutation::MutantKind::MinDelay: kind = 0; break;
+          case mutation::MutantKind::MaxDelay: kind = 1; break;
+          case mutation::MutantKind::DeltaDelay: kind = 2; break;
+        }
+        bool first = true;
+        for (std::size_t k = 0; k < i; ++k) {
+          if (layout.mutants[k].target == m.target) {
+            first = false;
+            break;
+          }
+        }
+        os << (i ? ", " : "") << "{" << static_cast<int>(m.target) << ", "
+           << static_cast<int>(m.tmpVar) << ", " << kind << ", " << m.spec.deltaTicks
+           << ", " << (first ? 1 : 0) << "}";
+      }
+    }
+    os << "};\n\n";
+  }
+
+  // --- state + kernel -------------------------------------------------------
+  os << "struct State {\n";
+  os << "  SV vals[kNSym];\n";
+  os << "  SV arr[kTotArr == 0 ? 1 : kTotArr];\n";
+  os << "  unsigned char dirty[kNSweep == 0 ? 1 : kNSweep];\n";
+  os << "  int anyDirty;\n";
+  os << "  u64 cycle;\n";
+  os << "  int activeMutant;\n";
+  os << "  int nbaCount;\n";
+  os << "  Write nba[kNbaCap];\n";
+  os << "};\n\n";
+
+  os << "inline void markDirty(State& st, int sym) {\n";
+  os << "  for (int i = kSensOff[sym]; i < kSensOff[sym + 1]; ++i) {\n";
+  os << "    const int slot = kSensSlot[i];\n";
+  os << "    if (!st.dirty[slot]) { st.dirty[slot] = 1; st.anyDirty = 1; }\n";
+  os << "  }\n";
+  os << "}\n\n";
+
+  os << "inline int commitW(State& st, const Write& w) {\n";
+  os << "  if (w.idx >= 0) {\n";
+  os << "    SV& cur = st.arr[kArrOffOf(w.sym) + (int)((u64)w.idx % kArrSizeOf(w.sym))];\n";
+  os << "    if (cur.val == w.v.val && cur.unk == w.v.unk) return 0;\n";
+  os << "    cur = w.v; return 1;\n";
+  os << "  }\n";
+  os << "  if (w.hi >= 0) {\n";
+  os << "    const u64 m = maskOf64((u64)(w.hi - w.lo + 1)) << w.lo;\n";
+  os << "    SV& cur = st.vals[w.sym];\n";
+  os << "    const SV next{(cur.val & ~m) | ((w.v.val << w.lo) & m),\n";
+  os << "                  (cur.unk & ~m) | ((w.v.unk << w.lo) & m)};\n";
+  os << "    if (cur.val == next.val && cur.unk == next.unk) return 0;\n";
+  os << "    cur = next; return 1;\n";
+  os << "  }\n";
+  os << "  SV& cur = st.vals[w.sym];\n";
+  os << "  if (cur.val == w.v.val && cur.unk == w.v.unk) return 0;\n";
+  os << "  cur = w.v; return 1;\n";
+  os << "}\n\n";
+
+  // Array offset/size lookups used by commitW (StoreArray targets only).
+  {
+    std::vector<int> sizes(nSym, 0);
+    for (std::size_t i = 0; i < nSym; ++i) {
+      if (d.symbols[i].kind == ir::SymKind::Array) sizes[i] = d.symbols[i].arraySize;
+    }
+    // Emitted before commitW in source order matters: declare first.
+  }
+
+  // commitW references kArrOffOf/kArrSizeOf; emit them before it by
+  // splicing — build the final text with the helpers placed earlier.
+  std::string body = os.str();
+  {
+    std::ostringstream helpers;
+    std::vector<int> sizes(nSym, 0);
+    for (std::size_t i = 0; i < nSym; ++i) {
+      if (d.symbols[i].kind == ir::SymKind::Array) sizes[i] = d.symbols[i].arraySize;
+    }
+    emitIntList(helpers, "kArrOffTab", arrOff);
+    emitIntList(helpers, "kArrSizeTab", sizes);
+    helpers << "inline int kArrOffOf(int sym) { return kArrOffTab[sym]; }\n";
+    helpers << "inline u64 kArrSizeOf(int sym) { return (u64)kArrSizeTab[sym]; }\n\n";
+    const std::string marker = "inline int commitW";
+    const std::size_t pos = body.find(marker);
+    body.insert(pos, helpers.str());
+  }
+  std::ostringstream os2;
+  os2 << body;
+
+  os2 << "inline void commitNba(State& st) {\n";
+  os2 << "  for (int i = 0; i < st.nbaCount; ++i) {\n";
+  os2 << "    if (commitW(st, st.nba[i])) markDirty(st, st.nba[i].sym);\n";
+  os2 << "  }\n";
+  os2 << "  st.nbaCount = 0;\n";
+  os2 << "}\n\n";
+
+  // Process bodies + dispatch table.
+  for (std::size_t pi = 0; pi < nProc; ++pi) {
+    emitProc(os2, layout, static_cast<int>(pi), fourState, arrOff);
+  }
+  os2 << "typedef void (*ProcFn)(State&);\n";
+  os2 << "static const ProcFn kProcFn[" << (nProc == 0 ? 1 : nProc) << "] = {";
+  if (nProc == 0) {
+    os2 << "nullptr";
+  } else {
+    for (std::size_t pi = 0; pi < nProc; ++pi) os2 << (pi ? ", " : "") << "proc_" << pi;
+  }
+  os2 << "};\n\n";
+
+  os2 << "inline void runList(State& st, const int* list, int n) {\n";
+  os2 << "  for (int i = 0; i < n; ++i) kProcFn[list[i]](st);\n";
+  os2 << "}\n\n";
+
+  os2 << "inline int sweepSt(State& st) {\n";
+  os2 << "  if (!st.anyDirty) return 0;\n";
+  os2 << "  for (int round = 0; st.anyDirty; ++round) {\n";
+  os2 << "    if (round > 64) return -1;\n";
+  os2 << "    st.anyDirty = 0;\n";
+  os2 << "    for (int slot = 0; slot < kNSweep; ++slot) {\n";
+  os2 << "      if (!st.dirty[slot]) continue;\n";
+  os2 << "      st.dirty[slot] = 0;\n";
+  os2 << "      kProcFn[kSweepOrder[slot]](st);\n";
+  os2 << "      for (int i = 0; i < st.nbaCount; ++i) {\n";
+  os2 << "        if (commitW(st, st.nba[i])) markDirty(st, st.nba[i].sym);\n";
+  os2 << "      }\n";
+  os2 << "      st.nbaCount = 0;\n";
+  os2 << "    }\n";
+  os2 << "  }\n";
+  os2 << "  return 0;\n";
+  os2 << "}\n\n";
+
+  os2 << "inline void applyMutants(State& st, int minPhase, int maxPhase, int deltaTick, "
+         "int inactiveOnly) {\n";
+  if (nMut > 0) {
+    os2 << "  for (int i = 0; i < kNMut; ++i) {\n";
+    os2 << "    const Mut& m = kMut[i];\n";
+    os2 << "    if (inactiveOnly) {\n";
+    os2 << "      if (st.activeMutant >= 0 && kMut[st.activeMutant].target == m.target) "
+           "continue;\n";
+    os2 << "      if (!m.first) continue;\n";
+    os2 << "    } else {\n";
+    os2 << "      if (i != st.activeMutant) continue;\n";
+    os2 << "      if (m.kind == 0) { if (!minPhase) continue; }\n";
+    os2 << "      else if (m.kind == 1) { if (!maxPhase) continue; }\n";
+    os2 << "      else { if (deltaTick != m.deltaTicks) continue; }\n";
+    os2 << "    }\n";
+    os2 << "    Write w; w.sym = m.target; w.hi = -1; w.lo = -1; w.idx = -1;\n";
+    os2 << "    w.v = st.vals[m.tmpVar];\n";
+    os2 << "    if (commitW(st, w)) markDirty(st, w.sym);\n";
+    os2 << "  }\n";
+  } else {
+    os2 << "  (void)st; (void)minPhase; (void)maxPhase; (void)deltaTick; "
+           "(void)inactiveOnly;\n";
+  }
+  os2 << "}\n\n";
+
+  // The scheduler: TlmIpModel::scheduler() phase for phase (Fig. 6b/8b).
+  // setClock writes bypass dirty marking, exactly like the interpreter.
+  os2 << "inline int stepSt(State& st) {\n";
+  os2 << "  ++st.cycle;\n";
+  os2 << "  if (sweepSt(st)) return -1;\n";
+  if (d.mainClock != ir::kNoSymbol) {
+    os2 << "  st.vals[kMainClk] = SV{1ull, 0ull};\n";
+  }
+  os2 << "  runList(st, kMainRise, " << layout.mainRise.size() << ");\n";
+  os2 << "  commitNba(st);\n";
+  os2 << "  applyMutants(st, 0, 0, -1, 1);\n";
+  os2 << "  if (sweepSt(st)) return -1;\n";
+  if (!layout.mainPost.empty()) {
+    os2 << "  runList(st, kMainPost, " << layout.mainPost.size() << ");\n";
+    os2 << "  commitNba(st);\n";
+    os2 << "  if (sweepSt(st)) return -1;\n";
+  }
+  os2 << "  applyMutants(st, 1, 0, -1, 0);\n";
+  os2 << "  if (sweepSt(st)) return -1;\n";
+  if (layout.cfg.hfRatio > 0) {
+    os2 << "  for (int j = 1; j <= kHfRatio; ++j) {\n";
+    os2 << "    applyMutants(st, 0, 0, j, 0);\n";
+    os2 << "    if (sweepSt(st)) return -1;\n";
+    if (d.hfClock != ir::kNoSymbol) {
+      os2 << "    st.vals[kHfClk] = SV{1ull, 0ull};\n";
+    }
+    os2 << "    runList(st, kHfRise, " << layout.hfRise.size() << ");\n";
+    os2 << "    commitNba(st);\n";
+    os2 << "    if (sweepSt(st)) return -1;\n";
+    if (d.hfClock != ir::kNoSymbol) {
+      os2 << "    st.vals[kHfClk] = SV{0ull, 0ull};\n";
+    }
+    if (!layout.hfFall.empty()) {
+      os2 << "    runList(st, kHfFall, " << layout.hfFall.size() << ");\n";
+      os2 << "    commitNba(st);\n";
+      os2 << "    if (sweepSt(st)) return -1;\n";
+    }
+    os2 << "  }\n";
+  }
+  os2 << "  applyMutants(st, 0, 1, -1, 0);\n";
+  os2 << "  if (sweepSt(st)) return -1;\n";
+  if (d.mainClock != ir::kNoSymbol) {
+    os2 << "  st.vals[kMainClk] = SV{0ull, 0ull};\n";
+  }
+  os2 << "  runList(st, kMainFall, " << layout.mainFall.size() << ");\n";
+  os2 << "  commitNba(st);\n";
+  os2 << "  if (sweepSt(st)) return -1;\n";
+  os2 << "  return 0;\n";
+  os2 << "}\n\n";
+  os2 << "}  // namespace\n\n";
+
+  // --- C ABI ----------------------------------------------------------------
+  os2 << "extern \"C\" {\n\n";
+  os2 << "void* xlvn_create(void) {\n";
+  os2 << "  State* st = new State;\n";
+  os2 << "  for (int i = 0; i < kNSym; ++i) st->vals[i] = kInit[i];\n";
+  os2 << "  for (int i = 0; i < kTotArr; ++i) st->arr[i] = kArrInit[i];\n";
+  os2 << "  for (int i = 0; i < kNSweep; ++i) st->dirty[i] = 1;\n";
+  os2 << "  st->anyDirty = kNSweep > 0 ? 1 : 0;\n";
+  os2 << "  st->cycle = 0; st->activeMutant = -1; st->nbaCount = 0;\n";
+  os2 << "  return st;\n";
+  os2 << "}\n\n";
+  os2 << "void xlvn_destroy(void* p) { delete static_cast<State*>(p); }\n\n";
+  os2 << "void xlvn_set_mutant(void* p, int id) { static_cast<State*>(p)->activeMutant = "
+         "id; }\n\n";
+  os2 << "void xlvn_set_input(void* p, int sym, u64 v) {\n";
+  os2 << "  State& st = *static_cast<State*>(p);\n";
+  os2 << "  const SV nv{v & kMask[sym], 0ull};\n";
+  os2 << "  SV& cur = st.vals[sym];\n";
+  os2 << "  if (cur.val != nv.val || cur.unk != nv.unk) { cur = nv; markDirty(st, sym); "
+         "}\n";
+  os2 << "}\n\n";
+  os2 << "int xlvn_step(void* p) { return stepSt(*static_cast<State*>(p)); }\n\n";
+  os2 << "u64 xlvn_value(void* p, int sym) {\n";
+  os2 << "  const SV& v = static_cast<State*>(p)->vals[sym];\n";
+  os2 << "  return v.val & ~v.unk;\n";
+  os2 << "}\n\n";
+  os2 << "void xlvn_raw(void* p, int sym, u64* val, u64* unk) {\n";
+  os2 << "  const SV& v = static_cast<State*>(p)->vals[sym];\n";
+  os2 << "  *val = v.val; *unk = v.unk;\n";
+  os2 << "}\n\n";
+  os2 << "u64 xlvn_cycle(void* p) { return static_cast<State*>(p)->cycle; }\n\n";
+  os2 << "u64 xlvn_state_words(void) { return 2 + (u64)kNSweep + 2 * (u64)kNSym + 2 * "
+         "(u64)kTotArr; }\n\n";
+  os2 << "void xlvn_save(void* p, u64* buf) {\n";
+  os2 << "  const State& st = *static_cast<State*>(p);\n";
+  os2 << "  u64* o = buf;\n";
+  os2 << "  *o++ = st.cycle;\n";
+  os2 << "  *o++ = st.anyDirty ? 1 : 0;\n";
+  os2 << "  for (int i = 0; i < kNSweep; ++i) *o++ = st.dirty[i];\n";
+  os2 << "  for (int i = 0; i < kNSym; ++i) { *o++ = st.vals[i].val; *o++ = "
+         "st.vals[i].unk; }\n";
+  os2 << "  for (int i = 0; i < kTotArr; ++i) { *o++ = st.arr[i].val; *o++ = "
+         "st.arr[i].unk; }\n";
+  os2 << "}\n\n";
+  os2 << "void xlvn_load(void* p, const u64* buf) {\n";
+  os2 << "  State& st = *static_cast<State*>(p);\n";
+  os2 << "  const u64* o = buf;\n";
+  os2 << "  st.cycle = *o++;\n";
+  os2 << "  st.anyDirty = *o++ != 0 ? 1 : 0;\n";
+  os2 << "  for (int i = 0; i < kNSweep; ++i) st.dirty[i] = (unsigned char)*o++;\n";
+  os2 << "  for (int i = 0; i < kNSym; ++i) { st.vals[i].val = *o++; st.vals[i].unk = "
+         "*o++; }\n";
+  os2 << "  for (int i = 0; i < kTotArr; ++i) { st.arr[i].val = *o++; st.arr[i].unk = "
+         "*o++; }\n";
+  os2 << "  st.nbaCount = 0;\n";
+  os2 << "}\n\n";
+  os2 << "int xlvn_abi(void) { return " << kNativeAbiVersion << "; }\n\n";
+  os2 << "const char* xlvn_identity(void) { return \"" << identity << "\"; }\n\n";
+  os2 << "}  // extern \"C\"\n";
+  return os2.str();
+}
+
+}  // namespace xlv::abstraction

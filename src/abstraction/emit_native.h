@@ -1,0 +1,76 @@
+// Native code generation for the abstracted TLM model (ROADMAP:
+// "Native-codegen + mutant-batched simulation backend").
+//
+// emit_cpp.h renders the abstraction product for *reading* — the C++ a
+// designer would inspect, mirroring the paper's Fig. 6b/8b listings. This
+// module renders it for *running*: emitNativeCpp() transliterates every
+// compiled process body (abstraction/compiled.h op streams) into
+// straight-line C++ over two-plane scalars, bakes the layout's tables
+// (widths, init values, constant pool, array pools, sweep order,
+// sensitivity lists, mutant table, scheduler phase lists) into static
+// arrays, and wraps the whole thing in a small C ABI:
+//
+//   xlvn_create/destroy         — session lifetime
+//   xlvn_set_mutant             — activate one mutant (or -1)
+//   xlvn_set_input              — TlmIpModel::setInputUint semantics
+//   xlvn_step                   — one scheduler() transaction (0 ok,
+//                                 -1 combinational iteration limit)
+//   xlvn_value / xlvn_raw       — valueUint / both scalar planes
+//   xlvn_cycle                  — transaction counter
+//   xlvn_state_words/save/load  — snapshot in the shared word layout below
+//   xlvn_abi / xlvn_identity    — link-time compatibility checks
+//
+// The emitted translation unit is fully self-contained (standard headers
+// only): the system compiler that builds it (abstraction/native_backend.h)
+// has no access to this repository's include paths. Every operation is a
+// 1:1 transliteration of ScalarMachine<P> with the policy branches resolved
+// at emit time, and the scheduler replicates TlmIpModel::scheduler() phase
+// for phase — bit-identity with the interpreter is by construction and
+// pinned by the native conformance suite.
+//
+// Shared snapshot word layout (xlvn_save/load AND the host-side
+// snapshotToWords/wordsToSnapshot below, so one campaign checkpoint serves
+// both backends):
+//
+//   [ cycle, anyDirty,
+//     dirty[0..nSweep),                      one word per sweep slot,
+//     (val, unk) per symbol in id order,
+//     (val, unk) per array element, pools in array-symbol id order ]
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "abstraction/tlm_model.h"
+
+namespace xlv::abstraction {
+
+/// Version of the xlvn_* C ABI; baked into the emitted code and verified
+/// after dlopen so a stale cached .so from an older emitter is rejected.
+inline constexpr int kNativeAbiVersion = 1;
+
+/// Render the self-contained native translation unit for `layout`.
+/// `fourState` resolves the value policy at emit time (the emitted code has
+/// no templates); `identity` is returned verbatim by xlvn_identity() —
+/// callers bake the cache key in so a hash-collided .so cannot be used.
+/// Deterministic: equal layouts yield byte-equal sources (the source
+/// fingerprint is the cache key).
+std::string emitNativeCpp(const TlmModelLayout& layout, bool fourState,
+                          const std::string& identity);
+
+/// Word count of the shared snapshot layout for `layout`.
+std::size_t nativeStateWords(const TlmModelLayout& layout);
+
+/// Serialize an interpreter snapshot into the shared word layout
+/// (appends exactly nativeStateWords(layout) words to `out`).
+void snapshotToWords(const TlmModelLayout& layout, const TlmModelSnapshot& snap,
+                     std::vector<std::uint64_t>& out);
+
+/// Rebuild an interpreter snapshot from the shared word layout. Throws
+/// std::invalid_argument on a word-count mismatch (wrong layout).
+TlmModelSnapshot wordsToSnapshot(const TlmModelLayout& layout,
+                                 const std::vector<std::uint64_t>& words);
+
+}  // namespace xlv::abstraction

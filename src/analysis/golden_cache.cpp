@@ -175,6 +175,12 @@ GoldenTrace decodeGoldenTrace(std::string_view data) {
   if (cycles > data.size() || outWidth > data.size() / 8 || epWidth > data.size() / 8) {
     throw util::DecodeError("golden trace: implausible cycle/word counts");
   }
+  // Canonical zero-cycle traces carry zero widths (encode derives both from
+  // the first row, which doesn't exist): nonzero widths here are corrupt
+  // bytes that would otherwise decode to a value re-encoding differently.
+  if (cycles == 0 && (outWidth != 0 || epWidth != 0)) {
+    throw util::DecodeError("golden trace: zero-cycle trace with nonzero widths");
+  }
   const std::size_t wordBytes = (outWidth + epWidth) * 8;
   if (cycles != 0 && wordBytes != 0 && cycles > data.size() / wordBytes) {
     throw util::DecodeError("golden trace: implausible cycle/word counts");

@@ -29,16 +29,110 @@ bool referenceSimMode() noexcept {
   return v != nullptr && v[0] == '1' && v[1] == '\0';
 }
 
+const char* simBackendName(SimBackend b) noexcept {
+  switch (b) {
+    case SimBackend::Interpreter:
+      return "interpreter";
+    case SimBackend::Native:
+      return "native";
+    case SimBackend::Auto:
+      break;
+  }
+  return "auto";
+}
+
+SimBackend simBackendFromName(std::string_view name) {
+  if (name == "auto") return SimBackend::Auto;
+  if (name == "interpreter") return SimBackend::Interpreter;
+  if (name == "native") return SimBackend::Native;
+  throw std::invalid_argument("unknown simulation backend '" + std::string(name) +
+                              "' (expected auto, interpreter or native)");
+}
+
+SimBackend resolveSimBackend(SimBackend requested) noexcept {
+  if (requested != SimBackend::Auto) return requested;
+  if (const char* v = std::getenv("XLV_BACKEND"); v != nullptr) {
+    const std::string_view name(v);
+    if (name == "native") return SimBackend::Native;
+    if (name == "interpreter") return SimBackend::Interpreter;
+  }
+  return SimBackend::Interpreter;
+}
+
+int resolveBatchSize(int requested) noexcept {
+  if (requested >= 1) return requested;
+  if (const char* v = std::getenv("XLV_BATCH"); v != nullptr) {
+    return std::max(1, std::atoi(v));
+  }
+  return 1;
+}
+
 namespace {
+
+/// One campaign run's simulation session, on whichever engine the campaign
+/// resolved to: a private TlmIpModel when `lib` is null, a dlopen'd native
+/// session otherwise. The two are bit-identical (the conformance suite pins
+/// it), so everything above this wrapper is engine-agnostic. State moves
+/// between engines in the shared snapshot word layout
+/// (abstraction/emit_native.h).
+template <class P>
+class Session {
+ public:
+  Session(const abstraction::TlmModelLayoutPtr& layout,
+          const abstraction::NativeLibraryPtr& lib)
+      : layout_(layout) {
+    if (lib != nullptr) {
+      native_ = std::make_unique<abstraction::NativeSession>(lib);
+    } else {
+      interp_ = std::make_unique<TlmIpModel<P>>(layout);
+    }
+  }
+
+  const ir::Design& design() const noexcept { return layout_->design; }
+  void activateMutant(int id) {
+    native_ ? native_->activateMutant(id) : interp_->activateMutant(id);
+  }
+  void setInputUint(ir::SymbolId sym, std::uint64_t v) {
+    native_ ? native_->setInputUint(sym, v) : interp_->setInputUint(sym, v);
+  }
+  void scheduler() { native_ ? native_->scheduler() : interp_->scheduler(); }
+  std::uint64_t valueUint(ir::SymbolId sym) const {
+    return native_ ? native_->valueUint(sym) : interp_->valueUint(sym);
+  }
+  SV rawValue(ir::SymbolId sym) const {
+    return native_ ? native_->rawValue(sym) : interp_->rawValue(sym);
+  }
+  /// Append the session state in the shared word layout.
+  void saveWords(std::vector<std::uint64_t>& out) const {
+    if (native_ != nullptr) {
+      native_->saveWords(out);
+    } else {
+      abstraction::snapshotToWords(*layout_, interp_->snapshot(), out);
+    }
+  }
+  void loadWords(const std::vector<std::uint64_t>& words) {
+    if (native_ != nullptr) {
+      native_->loadWords(words);
+    } else {
+      interp_->restore(abstraction::wordsToSnapshot(*layout_, words));
+    }
+  }
+
+ private:
+  abstraction::TlmModelLayoutPtr layout_;
+  std::unique_ptr<TlmIpModel<P>> interp_;
+  std::unique_ptr<abstraction::NativeSession> native_;
+};
 
 /// De-stringed testbench driver: resolves each driven port name to its
 /// SymbolId once per run (first use) and pushes values through the
 /// boxing-free setInputUint. One name lookup per (run, port) instead of one
 /// per (cycle, port) — the hot-loop de-stringing of the campaign rewrite.
-template <class P>
+/// M is any model with design() and setInputUint (TlmIpModel or Session).
+template <class M>
 class PortBinder {
  public:
-  explicit PortBinder(TlmIpModel<P>& model) : model_(&model) {}
+  explicit PortBinder(M& model) : model_(&model) {}
 
   void operator()(const std::string& name, std::uint64_t v) {
     auto it = ids_.find(name);
@@ -57,8 +151,40 @@ class PortBinder {
   }
 
  private:
-  TlmIpModel<P>* model_;
+  M* model_;
   std::unordered_map<std::string, ir::SymbolId> ids_;
+};
+
+/// Stimulus sink for batched co-simulation: the shared driver runs ONCE per
+/// cycle into this recorder, and the captured (symbol, value) row is then
+/// replayed into every live batch member — K mutants, one driver pass.
+class DriveRecorder {
+ public:
+  explicit DriveRecorder(const ir::Design& design) : design_(&design) {}
+
+  void clear() { row_.clear(); }
+  const std::vector<std::pair<ir::SymbolId, std::uint64_t>>& row() const noexcept {
+    return row_;
+  }
+
+  PortSetter setter() {
+    return [this](const std::string& name, std::uint64_t v) {
+      auto it = ids_.find(name);
+      if (it == ids_.end()) {
+        const ir::SymbolId sym = design_->findSymbol(name);
+        if (sym == ir::kNoSymbol) {
+          throw std::invalid_argument("TlmIpModel: no symbol named '" + name + "'");
+        }
+        it = ids_.emplace(name, sym).first;
+      }
+      row_.emplace_back(it->second, v);
+    };
+  }
+
+ private:
+  const ir::Design* design_;
+  std::unordered_map<std::string, ir::SymbolId> ids_;
+  std::vector<std::pair<ir::SymbolId, std::uint64_t>> row_;
 };
 
 /// Clamp the requested mutant subrange (AnalysisConfig::mutantBegin/End)
@@ -127,8 +253,20 @@ double AnalysisReport::correctedPct() const noexcept {
 template <class P>
 GoldenTrace recordGoldenTrace(const ir::Design& golden,
                               const std::vector<InsertedSensor>& sensors, const Testbench& tb,
-                              const AnalysisConfig& cfg) {
-  TlmIpModel<P> model(golden, TlmModelConfig{cfg.hfRatio, false});
+                              const AnalysisConfig& cfg,
+                              abstraction::NativeUseStats* nativeStats) {
+  // The recording runs on the campaign's resolved backend too — on the
+  // native path the golden replay would otherwise dominate the remaining
+  // interpreter time (Amdahl), and a fallback here is safe because the
+  // engines are bit-identical.
+  const auto layout =
+      abstraction::buildTlmModelLayout(golden, TlmModelConfig{cfg.hfRatio, false});
+  abstraction::NativeLibraryPtr lib;
+  if (resolveSimBackend(cfg.backend) == SimBackend::Native) {
+    lib = abstraction::getNativeLibrary(*layout, std::is_same_v<P, hdt::FourState>,
+                                        nativeStats);
+  }
+  Session<P> model(layout, lib);
   const std::size_t n = sensors.size();
   std::vector<ir::SymbolId> endpointSyms, eSyms(n, ir::kNoSymbol), mvSyms(n, ir::kNoSymbol),
       okSyms(n, ir::kNoSymbol);
@@ -157,7 +295,7 @@ GoldenTrace recordGoldenTrace(const ir::Design& golden,
 
   const ir::SymbolId recoverySym = golden.findSymbol(cfg.recoveryPort);
   const DriveFn drive = tb.driverForTask(cfg.stimulusId);
-  PortBinder<P> ports(model);
+  PortBinder<Session<P>> ports(model);
   const PortSetter setter = ports.setter();
   for (std::uint64_t c = 0; c < tb.cycles; ++c) {
     drive(c, setter);
@@ -222,22 +360,28 @@ MutationCampaignContext prepareMutationCampaign(const ir::Design& golden,
     // and counts as served-from-cache.
     double recordSeconds = 0.0;
     bool memHit = false;
+    abstraction::NativeUseStats goldNative;
     ctx.gold = util::getOrBuildWithStore<GoldenTrace>(
         goldenTraceCache(), util::processArtifactStore(), "golden", ctx.goldenKey,
         [&] {
           util::Timer t;
-          GoldenTrace trace = recordGoldenTrace<P>(golden, sensors, tb, cfg);
+          GoldenTrace trace = recordGoldenTrace<P>(golden, sensors, tb, cfg, &goldNative);
           recordSeconds = t.seconds();
           return trace;
         },
         encodeGoldenTrace, decodeGoldenTrace, &memHit, &ctx.goldenFromDisk);
     ctx.goldenFromCache = memHit || ctx.goldenFromDisk;
     ctx.goldenSeconds = recordSeconds;
+    ctx.nativeCompiles += goldNative.compiles;
+    ctx.nativeCacheHits += goldNative.cacheHits;
   } else {
     util::Timer t;
+    abstraction::NativeUseStats goldNative;
     ctx.gold = std::make_shared<const GoldenTrace>(
-        recordGoldenTrace<P>(golden, sensors, tb, cfg));
+        recordGoldenTrace<P>(golden, sensors, tb, cfg, &goldNative));
     ctx.goldenSeconds = t.seconds();
+    ctx.nativeCompiles += goldNative.compiles;
+    ctx.nativeCacheHits += goldNative.cacheHits;
   }
   // Compile + levelize the injected design once; every task clones a cheap
   // private session from this shared layout.
@@ -246,6 +390,17 @@ MutationCampaignContext prepareMutationCampaign(const ir::Design& golden,
   ctx.recoverySym = ctx.layout->design.findSymbol(cfg.recoveryPort);
   ctx.hasRecovery = ctx.recoverySym != ir::kNoSymbol;
   ctx.referenceSim = referenceSimMode();
+  // Backend/batch resolution happens exactly once per campaign: every run
+  // (checkpoint recording included) shares one dlopen'd library, and a
+  // failed native build degrades the whole campaign to the interpreter.
+  if (resolveSimBackend(cfg.backend) == SimBackend::Native) {
+    abstraction::NativeUseStats injNative;
+    ctx.nativeLib = abstraction::getNativeLibrary(
+        *ctx.layout, std::is_same_v<P, hdt::FourState>, &injNative);
+    ctx.nativeCompiles += injNative.compiles;
+    ctx.nativeCacheHits += injNative.cacheHits;
+  }
+  ctx.batch = resolveBatchSize(cfg.batch);
   // ~16 checkpoints across the run: fine enough that a fast-forward lands
   // close to the divergence cycle, coarse enough that the recording run's
   // snapshot cost stays a fraction of one mutant simulation.
@@ -264,17 +419,14 @@ template <class P>
 const CampaignCheckpoints& ensureCheckpoints(const MutationCampaignContext& ctx) {
   CampaignCheckpoints& cp = *ctx.checkpoints;
   std::call_once(cp.once, [&] {
-    TlmIpModel<P> model(ctx.layout);
-    const DriveFn drive = ctx.tb.driverForTask(ctx.cfg.stimulusId);
-    PortBinder<P> ports(model);
-    const PortSetter setter = ports.setter();
     const std::uint64_t k = ctx.checkpointInterval;
     // The deepest restorable point any mutant can use is the last interval
     // boundary at or before the largest fast-forward limit of THIS
     // analysis's mutant subrange (a shard fragment must not pay for the
     // prefixes of mutants other fragments own; a limit >= tb.cycles is a
     // full skip that needs no checkpoint at all) — the recording run stops
-    // there instead of replaying the whole bench.
+    // there instead of replaying the whole bench. Computed BEFORE any
+    // simulation so the cache key below is known up front.
     const auto [begin, end] = clampMutantRange(ctx.cfg, ctx.layout->mutants.size());
     std::uint64_t deepest = 0;
     for (std::size_t m = begin; m < end; ++m) {
@@ -289,20 +441,46 @@ const CampaignCheckpoints& ensureCheckpoints(const MutationCampaignContext& ctx)
       }
     }
     const std::uint64_t last = (deepest / k) * k;
-    for (std::uint64_t c = 0; c < last; ++c) {
-      if (c != 0 && c % k == 0) {
-        cp.cycles.push_back(c);
-        cp.snaps.push_back(model.snapshot());
+
+    const auto record = [&]() -> CheckpointRecording {
+      CheckpointRecording rec;
+      rec.interval = k;
+      rec.recordedCycles = last;
+      Session<P> model(ctx.layout, ctx.nativeLib);
+      const DriveFn drive = ctx.tb.driverForTask(ctx.cfg.stimulusId);
+      PortBinder<Session<P>> ports(model);
+      const PortSetter setter = ports.setter();
+      for (std::uint64_t c = 0; c < last; ++c) {
+        if (c != 0 && c % k == 0) {
+          rec.cycles.push_back(c);
+          model.saveWords(rec.snapWords.emplace_back());
+        }
+        drive(c, setter);
+        if (ctx.hasRecovery) model.setInputUint(ctx.recoverySym, 1);
+        model.scheduler();
       }
-      drive(c, setter);
-      if (ctx.hasRecovery) model.setInputUint(ctx.recoverySym, 1);
-      model.scheduler();
+      if (last != 0) {
+        rec.cycles.push_back(last);
+        model.saveWords(rec.snapWords.emplace_back());
+      }
+      return rec;
+    };
+
+    if (!ctx.goldenKey.empty()) {
+      // Cross-campaign sharing (warm re-runs, sweep variants over the same
+      // injected design, shard processes that agree on the depth): keyed by
+      // golden identity x injected layout fingerprint x interval x depth,
+      // spilled through the artifact store like the traces it derives from.
+      bool memHit = false, diskHit = false;
+      cp.rec = util::getOrBuildWithStore<CheckpointRecording>(
+          checkpointCache(), util::processArtifactStore(), "ckpt",
+          checkpointKey(ctx.goldenKey,
+                        designFingerprint(ctx.layout->design, ctx.cfg.hfRatio), k, last),
+          record, encodeCheckpointRecording, decodeCheckpointRecording, &memHit, &diskHit);
+      cp.fromCache = memHit || diskHit;
+    } else {
+      cp.rec = std::make_shared<const CheckpointRecording>(record());
     }
-    if (last != 0) {
-      cp.cycles.push_back(last);
-      cp.snaps.push_back(model.snapshot());
-    }
-    cp.recordedCycles = last;
     cp.recorded.store(true, std::memory_order_release);
   });
   return cp;
@@ -310,91 +488,148 @@ const CampaignCheckpoints& ensureCheckpoints(const MutationCampaignContext& ctx)
 
 }  // namespace
 
+namespace {
+
+/// One member of a batched co-simulation: the per-mutant state the solo
+/// path kept in locals, lifted so K members can march lock-step.
 template <class P>
-MutantResult simulateMutant(const MutationCampaignContext& ctx, int mutantIndex,
-                            MutantSimStats* stats) {
-  const ir::Design& design = ctx.layout->design;
-  const auto& mutant = ctx.layout->mutants.at(static_cast<std::size_t>(mutantIndex));
-  const std::uint64_t cycles = ctx.tb.cycles;
-  const GoldenTrace& gold = *ctx.gold;
-
-  MutantResult res;
-  res.id = mutant.id;
-  res.endpoint = mutant.spec.targetSignal;
-  res.kind = mutant.spec.kind;
-  res.deltaTicks = mutant.spec.deltaTicks;
-
-  const InsertedSensor* sensor = nullptr;
+struct BatchMember {
+  int mutantIndex = -1;
   int sensorIdx = -1;
-  for (std::size_t i = 0; i < ctx.sensors.size(); ++i) {
-    if (ctx.sensors[i].endpointName == res.endpoint) {
-      sensor = &ctx.sensors[i];
-      sensorIdx = static_cast<int>(i);
-      break;
-    }
-  }
   ir::SymbolId eSym = ir::kNoSymbol, qSym = ir::kNoSymbol, mvSym = ir::kNoSymbol,
                okSym = ir::kNoSymbol;
-  if (sensor != nullptr) {
-    if (!sensor->errorSignal.empty()) eSym = design.findSymbol(sensor->errorSignal);
-    if (!sensor->qSignal.empty()) qSym = design.findSymbol(sensor->qSignal);
-    if (!sensor->measValSignal.empty()) mvSym = design.findSymbol(sensor->measValSignal);
-    if (!sensor->outOkSignal.empty()) okSym = design.findSymbol(sensor->outOkSignal);
-  }
-
-  // Fast-forward limit: the cycle before which this mutant is provably
-  // transparent AND provably unobserved (GoldenTrace::firstActivity). Zero
-  // (no skip) in reference mode, for unsensored targets and for traces
-  // predating the metadata (size guard: a trace without per-sensor
-  // first-activity data cannot justify skipping anything).
-  const bool fast = !ctx.referenceSim;
+  bool isDelta = false;
+  std::uint64_t deltaCap = 0;
   std::uint64_t limit = 0;
-  if (fast && sensorIdx >= 0 && gold.firstActivity.size() == ctx.sensors.size()) {
-    limit = std::min<std::uint64_t>(gold.firstActivity[static_cast<std::size_t>(sensorIdx)],
-                                    cycles);
-  }
-
-  if (fast && limit >= cycles) {
-    // Quiet for the whole run: the mutant never re-times a value-changing
-    // commit and the golden run never trips an observation predicate, so
-    // the co-simulation is the golden run — nothing is killed, detected or
-    // measured. The default-initialized result IS the full-replay result.
-    if (stats != nullptr) stats->cyclesSkipped += cycles;
-    return res;
-  }
-
-  TlmIpModel<P> model(ctx.layout);
-  model.activateMutant(mutant.id);
-
-  // Checkpoint fast-forward: restore the deepest campaign checkpoint at or
-  // before the limit instead of re-simulating the quiet prefix from reset.
   std::uint64_t startCycle = 0;
-  if (fast && limit >= ctx.checkpointInterval) {
-    const CampaignCheckpoints& cp = ensureCheckpoints<P>(ctx);
-    for (std::size_t i = cp.cycles.size(); i-- > 0;) {
-      if (cp.cycles[i] <= limit) {
-        model.restore(cp.snaps[i]);
-        startCycle = cp.cycles[i];
+  bool correctionViolated = false;
+  bool correctionObserved = false;
+  bool retired = false;
+  std::uint64_t executed = 0;
+  std::unique_ptr<Session<P>> model;
+};
+
+/// Simulate the mutants `indices` together: K private sessions (one per
+/// mutant) march lock-step against ONE shared testbench replay — the driver
+/// runs once per cycle into a recorder, and the captured row fans out to
+/// every live member. Per-member verdicts, fast-forward limits, checkpoint
+/// restores and saturation exits are evaluated independently, exactly as in
+/// the solo path, so results AND per-member cycle ledgers are bit-identical
+/// at any batch size (the conformance suite pins K in {1,4,64} against
+/// K=1). Returns the number of live members when two or more actually
+/// co-simulated (the report's batchedMutants ledger), 0 otherwise.
+template <class P>
+int simulateMutantGroup(const MutationCampaignContext& ctx, const std::vector<int>& indices,
+                        std::vector<MutantResult>& results,
+                        std::vector<MutantSimStats>& stats) {
+  const ir::Design& design = ctx.layout->design;
+  const std::uint64_t cycles = ctx.tb.cycles;
+  const GoldenTrace& gold = *ctx.gold;
+  const bool fast = !ctx.referenceSim;
+
+  results.assign(indices.size(), MutantResult{});
+  stats.assign(indices.size(), MutantSimStats{});
+
+  std::vector<BatchMember<P>> live;
+  live.reserve(indices.size());
+  for (std::size_t slot = 0; slot < indices.size(); ++slot) {
+    const int mutantIndex = indices[slot];
+    const auto& mutant = ctx.layout->mutants.at(static_cast<std::size_t>(mutantIndex));
+    MutantResult& res = results[slot];
+    res.id = mutant.id;
+    res.endpoint = mutant.spec.targetSignal;
+    res.kind = mutant.spec.kind;
+    res.deltaTicks = mutant.spec.deltaTicks;
+
+    BatchMember<P> m;
+    m.mutantIndex = mutantIndex;
+    const InsertedSensor* sensor = nullptr;
+    for (std::size_t i = 0; i < ctx.sensors.size(); ++i) {
+      if (ctx.sensors[i].endpointName == res.endpoint) {
+        sensor = &ctx.sensors[i];
+        m.sensorIdx = static_cast<int>(i);
+        break;
+      }
+    }
+    if (sensor != nullptr) {
+      if (!sensor->errorSignal.empty()) m.eSym = design.findSymbol(sensor->errorSignal);
+      if (!sensor->qSignal.empty()) m.qSym = design.findSymbol(sensor->qSignal);
+      if (!sensor->measValSignal.empty()) m.mvSym = design.findSymbol(sensor->measValSignal);
+      if (!sensor->outOkSignal.empty()) m.okSym = design.findSymbol(sensor->outOkSignal);
+    }
+
+    // Fast-forward limit: the cycle before which this mutant is provably
+    // transparent AND provably unobserved (GoldenTrace::firstActivity).
+    // Zero (no skip) in reference mode, for unsensored targets and for
+    // traces predating the metadata (size guard: a trace without
+    // per-sensor first-activity data cannot justify skipping anything).
+    if (fast && m.sensorIdx >= 0 && gold.firstActivity.size() == ctx.sensors.size()) {
+      m.limit = std::min<std::uint64_t>(
+          gold.firstActivity[static_cast<std::size_t>(m.sensorIdx)], cycles);
+    }
+    if (fast && m.limit >= cycles) {
+      // Quiet for the whole run: the mutant never re-times a value-changing
+      // commit and the golden run never trips an observation predicate, so
+      // the co-simulation is the golden run — nothing is killed, detected
+      // or measured. The default-initialized result IS the full-replay
+      // result; the member never joins the march.
+      stats[slot].cyclesSkipped += cycles;
+      continue;
+    }
+    m.isDelta = mutant.spec.kind == MutantKind::DeltaDelay;
+    m.deltaCap = static_cast<std::uint64_t>(std::max(0, res.deltaTicks));
+    live.push_back(std::move(m));
+  }
+  const int batched = live.size() >= 2 ? static_cast<int>(live.size()) : 0;
+
+  // Slot map back into results/stats (full-skips left gaps).
+  std::unordered_map<int, std::size_t> slotOf;
+  for (std::size_t slot = 0; slot < indices.size(); ++slot) slotOf[indices[slot]] = slot;
+
+  // Checkpoint fast-forward, member by member: restore the deepest campaign
+  // checkpoint at or before each member's limit instead of re-simulating
+  // its quiet prefix from reset.
+  const CheckpointRecording* rec = nullptr;
+  if (fast) {
+    for (const auto& m : live) {
+      if (m.limit >= ctx.checkpointInterval) {
+        rec = ensureCheckpoints<P>(ctx).rec.get();
         break;
       }
     }
   }
-
-  // Fresh driver per task, same stimulus id as the golden run: stateful
-  // testbenches replay identical inputs from a private session. A stateful
-  // driver is additionally stepped through the skipped prefix against a
-  // null sink so its session state matches the restored model state; pure
-  // drivers are functions of the cycle index and need no replay.
-  const DriveFn drive = ctx.tb.driverForTask(ctx.cfg.stimulusId);
-  if (startCycle > 0 && ctx.tb.makeDriver) {
-    for (std::uint64_t c = 0; c < startCycle; ++c) drive(c, nullPortSetter());
+  for (auto& m : live) {
+    m.model = std::make_unique<Session<P>>(ctx.layout, ctx.nativeLib);
+    m.model->activateMutant(ctx.layout->mutants[static_cast<std::size_t>(m.mutantIndex)].id);
+    if (rec != nullptr && m.limit >= ctx.checkpointInterval) {
+      for (std::size_t i = rec->cycles.size(); i-- > 0;) {
+        if (rec->cycles[i] <= m.limit) {
+          m.model->loadWords(rec->snapWords[i]);
+          m.startCycle = rec->cycles[i];
+          break;
+        }
+      }
+    }
   }
 
-  bool correctionViolated = false;
-  bool correctionObserved = false;
+  if (live.empty()) return 0;
+
+  // ONE fresh driver for the whole group, same stimulus id as the golden
+  // run: every solo task would construct an identical driver, so sharing
+  // the replay preserves the stimulus bit-for-bit. The march starts at the
+  // earliest member's start cycle; members with deeper checkpoints join
+  // when the cycle counter reaches them (their restored state already
+  // contains the earlier drives). A stateful driver is stepped through the
+  // pre-march prefix against a null sink so its session state matches.
+  std::uint64_t minStart = cycles;
+  for (const auto& m : live) minStart = std::min(minStart, m.startCycle);
+  const DriveFn drive = ctx.tb.driverForTask(ctx.cfg.stimulusId);
+  if (minStart > 0 && ctx.tb.makeDriver) {
+    for (std::uint64_t c = 0; c < minStart; ++c) drive(c, nullPortSetter());
+  }
 
   // Verdict saturation: true once no remaining cycle can change any field
-  // of the result, at which point the loop may stop early.
+  // of the member's result, at which point it retires from the march.
   //   * killed, detected, errorRisen are sticky — they only go false->true;
   //   * the Razor correction verdict is pinned once a violation was
   //     observed (corrected is then false forever); while the correction
@@ -409,74 +644,105 @@ MutantResult simulateMutant(const MutationCampaignContext& ctx, int mutantIndex,
   //     detected. (This reasoning assumes two-valued operation of the
   //     monitored path, which holds for initialized registers under known
   //     stimulus — the conformance suite pins fast == reference.)
-  const bool isDelta = mutant.spec.kind == MutantKind::DeltaDelay;
-  const std::uint64_t deltaCap = static_cast<std::uint64_t>(std::max(0, res.deltaTicks));
-  const auto saturated = [&]() noexcept {
+  const auto saturated = [](const BatchMember<P>& m, const MutantResult& res) noexcept {
     if (!res.killed) return false;
-    if (eSym != ir::kNoSymbol && !(res.detected && res.errorRisen)) return false;
-    if (qSym != ir::kNoSymbol && !(correctionObserved && correctionViolated)) return false;
-    if (mvSym != ir::kNoSymbol && !(isDelta && deltaCap > 0 && res.measuredDelay >= deltaCap)) {
+    if (m.eSym != ir::kNoSymbol && !(res.detected && res.errorRisen)) return false;
+    if (m.qSym != ir::kNoSymbol && !(m.correctionObserved && m.correctionViolated)) {
       return false;
     }
-    if (okSym != ir::kNoSymbol && !res.errorRisen && !(isDelta && res.detected)) return false;
+    if (m.mvSym != ir::kNoSymbol &&
+        !(m.isDelta && m.deltaCap > 0 && res.measuredDelay >= m.deltaCap)) {
+      return false;
+    }
+    if (m.okSym != ir::kNoSymbol && !res.errorRisen && !(m.isDelta && res.detected)) {
+      return false;
+    }
     return true;
   };
 
-  PortBinder<P> ports(model);
-  const PortSetter setter = ports.setter();
+  DriveRecorder recorder(design);
+  const PortSetter recSetter = recorder.setter();
   const std::vector<ir::SymbolId>& outSyms = design.outputs;
-  std::uint64_t executed = 0;
-  for (std::uint64_t c = startCycle; c < cycles; ++c) {
-    drive(c, setter);
-    if (ctx.hasRecovery) model.setInputUint(ctx.recoverySym, 1);
-    model.scheduler();
-    ++executed;
+  std::size_t active = live.size();
+  for (std::uint64_t c = minStart; c < cycles && active > 0; ++c) {
+    recorder.clear();
+    drive(c, recSetter);
+    for (auto& m : live) {
+      if (m.retired || c < m.startCycle) continue;
+      MutantResult& res = results[slotOf[m.mutantIndex]];
+      for (const auto& [sym, v] : recorder.row()) m.model->setInputUint(sym, v);
+      if (ctx.hasRecovery) m.model->setInputUint(ctx.recoverySym, 1);
+      m.model->scheduler();
+      ++m.executed;
 
-    // Kill check against the golden output row; a killed mutant stays
-    // killed, so the scan is skipped once it has fired.
-    if (!res.killed) {
-      const std::vector<std::uint64_t>& goldRow = gold.outputs[c];
-      for (std::size_t o = 0; o < outSyms.size(); ++o) {
-        if (model.valueUint(outSyms[o]) != goldRow[o]) {
-          res.killed = true;
-          break;
+      // Kill check against the golden output row; a killed mutant stays
+      // killed, so the scan is skipped once it has fired.
+      if (!res.killed) {
+        const std::vector<std::uint64_t>& goldRow = gold.outputs[c];
+        for (std::size_t o = 0; o < outSyms.size(); ++o) {
+          if (m.model->valueUint(outSyms[o]) != goldRow[o]) {
+            res.killed = true;
+            break;
+          }
         }
       }
-    }
-    // Sensor observation at the mutated endpoint.
-    if (eSym != ir::kNoSymbol && model.valueUint(eSym) == 1) {
-      res.detected = true;
-      res.errorRisen = true;
-      // Correction check: q presents the golden endpoint value of the
-      // previous cycle.
-      if (qSym != ir::kNoSymbol && c >= 1 && sensorIdx >= 0) {
-        correctionObserved = true;
-        if (model.valueUint(qSym) != gold.endpoints[c - 1][static_cast<std::size_t>(sensorIdx)]) {
-          correctionViolated = true;
-        }
-      }
-    }
-    if (mvSym != ir::kNoSymbol) {
-      const std::uint64_t mv = model.valueUint(mvSym);
-      if (mv != 0) {
+      // Sensor observation at the mutated endpoint.
+      if (m.eSym != ir::kNoSymbol && m.model->valueUint(m.eSym) == 1) {
         res.detected = true;
-        res.measuredDelay = std::max(res.measuredDelay, mv);
+        res.errorRisen = true;
+        // Correction check: q presents the golden endpoint value of the
+        // previous cycle.
+        if (m.qSym != ir::kNoSymbol && c >= 1 && m.sensorIdx >= 0) {
+          m.correctionObserved = true;
+          if (m.model->valueUint(m.qSym) !=
+              gold.endpoints[c - 1][static_cast<std::size_t>(m.sensorIdx)]) {
+            m.correctionViolated = true;
+          }
+        }
+      }
+      if (m.mvSym != ir::kNoSymbol) {
+        const std::uint64_t mv = m.model->valueUint(m.mvSym);
+        if (mv != 0) {
+          res.detected = true;
+          res.measuredDelay = std::max(res.measuredDelay, mv);
+        }
+      }
+      if (m.okSym != ir::kNoSymbol && m.model->valueUint(m.okSym) == 0) {
+        res.errorRisen = true;
+      }
+
+      if (fast && saturated(m, res)) {
+        m.retired = true;
+        --active;
       }
     }
-    if (okSym != ir::kNoSymbol && model.valueUint(okSym) == 0) res.errorRisen = true;
-
-    if (fast && saturated()) break;
   }
 
+  for (const auto& m : live) {
+    const std::size_t slot = slotOf[m.mutantIndex];
+    stats[slot].cyclesSimulated += m.executed;
+    stats[slot].cyclesSkipped += cycles - m.executed;
+    if (m.qSym != ir::kNoSymbol) {
+      results[slot].correctionChecked = m.correctionObserved;
+      results[slot].corrected = m.correctionObserved && !m.correctionViolated;
+    }
+  }
+  return batched;
+}
+
+}  // namespace
+
+template <class P>
+MutantResult simulateMutant(const MutationCampaignContext& ctx, int mutantIndex,
+                            MutantSimStats* stats) {
+  std::vector<MutantResult> results;
+  std::vector<MutantSimStats> groupStats;
+  simulateMutantGroup<P>(ctx, {mutantIndex}, results, groupStats);
   if (stats != nullptr) {
-    stats->cyclesSimulated += executed;
-    stats->cyclesSkipped += cycles - executed;
+    stats->cyclesSimulated += groupStats[0].cyclesSimulated;
+    stats->cyclesSkipped += groupStats[0].cyclesSkipped;
   }
-  if (qSym != ir::kNoSymbol) {
-    res.correctionChecked = correctionObserved;
-    res.corrected = correctionObserved && !correctionViolated;
-  }
-  return res;
+  return results[0];
 }
 
 template <class P>
@@ -495,18 +761,30 @@ AnalysisReport analyzeMutations(const ir::Design& golden, const InjectedDesign& 
   report.goldenFromCache = ctx.goldenFromCache;
   report.goldenFromDisk = ctx.goldenFromDisk;
 
+  report.nativeCompiles = ctx.nativeCompiles;
+  report.nativeCacheHits = ctx.nativeCacheHits;
+
   const auto [begin, end] = clampMutantRange(cfg, ctx.layout->mutants.size());
   const std::size_t n = end - begin;
   report.results.resize(n);
-  std::vector<double> taskSeconds(n, 0.0);
   std::vector<MutantSimStats> simStats(n);
   std::vector<char> servedFromCache(n, 0);
 
+  // One parallel task per batch of ctx.batch consecutive mutants; each task
+  // co-simulates its members lock-step against one shared stimulus replay
+  // (simulateMutantGroup). batch == 1 degenerates to the classic
+  // one-task-per-mutant schedule.
+  const std::size_t batch = static_cast<std::size_t>(ctx.batch);
+  const std::size_t numTasks = n == 0 ? 0 : (n + batch - 1) / batch;
+  std::vector<double> taskSeconds(numTasks, 0.0);
+  std::vector<int> batchedPerTask(numTasks, 0);
+
   campaign::Executor executor(campaign::ExecutorConfig{cfg.threads, 0});
-  report.threadsUsed = executor.effectiveThreads(n);
-  executor.run(n, [&](std::size_t i) {
-    util::Timer t;
-    const int mutantIndex = static_cast<int>(begin + i);
+  report.threadsUsed = executor.effectiveThreads(numTasks);
+  executor.run(numTasks, [&](std::size_t t) {
+    util::Timer timer;
+    const std::size_t lo = t * batch;
+    const std::size_t hi = std::min(n, lo + batch);
     if (cfg.useMutantCache) {
       // A mutant's result is independent of which other (inactive) mutants
       // ride along in the injected design (mutation/adam.h), so it is keyed
@@ -514,37 +792,79 @@ AnalysisReport analyzeMutations(const ir::Design& golden, const InjectedDesign& 
       // re-runs and — through the artifact store — processes. Only the id
       // is variant-local: the cached value is id-normalized and fixed up
       // here against this run's injected set.
-      const auto& mutant = ctx.layout->mutants.at(static_cast<std::size_t>(mutantIndex));
-      bool memHit = false, diskHit = false;
-      const std::shared_ptr<const MutantResult> cached =
-          util::getOrBuildWithStore<MutantResult>(
-              mutantResultCache(), util::processArtifactStore(), "mutant",
-              mutantResultKey(ctx.goldenKey, mutant.spec),
-              [&] {
-                MutantResult fresh = simulateMutant<P>(ctx, mutantIndex, &simStats[i]);
-                fresh.id = -1;
-                return fresh;
-              },
-              encodeMutantResultArtifact, decodeMutantResultArtifact, &memHit, &diskHit);
-      MutantResult res = *cached;
-      res.id = mutant.id;
-      report.results[i] = res;
-      servedFromCache[i] = (memHit || diskHit) ? 1 : 0;
+      //
+      // Cache x batch: the first member whose build lambda actually runs
+      // batch-simulates every group member not yet produced locally into
+      // freshResults; later misses in the same group serve from that map.
+      // A member whose key hits (memory or disk) never charges its
+      // simulation stats — any speculative fresh result for it is simply
+      // dropped, keeping the ledger identical to the solo schedule.
+      std::unordered_map<int, MutantResult> freshResults;
+      std::unordered_map<int, MutantSimStats> freshStats;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const int mutantIndex = static_cast<int>(begin + i);
+        const auto& mutant = ctx.layout->mutants.at(static_cast<std::size_t>(mutantIndex));
+        bool memHit = false, diskHit = false;
+        const std::shared_ptr<const MutantResult> cached =
+            util::getOrBuildWithStore<MutantResult>(
+                mutantResultCache(), util::processArtifactStore(), "mutant",
+                mutantResultKey(ctx.goldenKey, mutant.spec),
+                [&] {
+                  if (freshResults.find(mutantIndex) == freshResults.end()) {
+                    std::vector<int> pending;
+                    for (std::size_t j = i; j < hi; ++j) {
+                      const int idx = static_cast<int>(begin + j);
+                      if (freshResults.find(idx) == freshResults.end()) {
+                        pending.push_back(idx);
+                      }
+                    }
+                    std::vector<MutantResult> rs;
+                    std::vector<MutantSimStats> ss;
+                    batchedPerTask[t] += simulateMutantGroup<P>(ctx, pending, rs, ss);
+                    for (std::size_t p = 0; p < pending.size(); ++p) {
+                      freshResults[pending[p]] = rs[p];
+                      freshStats[pending[p]] = ss[p];
+                    }
+                  }
+                  MutantResult fresh = freshResults[mutantIndex];
+                  fresh.id = -1;
+                  return fresh;
+                },
+                encodeMutantResultArtifact, decodeMutantResultArtifact, &memHit, &diskHit);
+        MutantResult res = *cached;
+        res.id = mutant.id;
+        report.results[i] = res;
+        servedFromCache[i] = (memHit || diskHit) ? 1 : 0;
+        if (!(memHit || diskHit)) simStats[i] = freshStats[mutantIndex];
+      }
     } else {
-      report.results[i] = simulateMutant<P>(ctx, mutantIndex, &simStats[i]);
+      std::vector<int> indices;
+      indices.reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) indices.push_back(static_cast<int>(begin + i));
+      std::vector<MutantResult> rs;
+      std::vector<MutantSimStats> ss;
+      batchedPerTask[t] = simulateMutantGroup<P>(ctx, indices, rs, ss);
+      for (std::size_t i = lo; i < hi; ++i) {
+        report.results[i] = rs[i - lo];
+        simStats[i] = ss[i - lo];
+      }
     }
-    taskSeconds[i] = t.seconds();
+    taskSeconds[t] = timer.seconds();
   });
   for (char hit : servedFromCache) report.mutantCacheHits += hit ? 1 : 0;
+  for (int b : batchedPerTask) report.batchedMutants += b;
   // Cycle ledger: per-mutant executed/skipped sums (deterministic — slots
   // are summed in task order) plus the lazy checkpoint recording run, which
-  // ran at most once and only if some task fast-forwarded.
+  // ran at most once, only if some task fast-forwarded, and is charged only
+  // when THIS campaign performed the recording (a cache hit did no work).
   for (const MutantSimStats& s : simStats) {
     report.cyclesSimulated += s.cyclesSimulated;
     report.cyclesSkipped += s.cyclesSkipped;
   }
-  if (ctx.checkpoints != nullptr && ctx.checkpoints->recorded.load(std::memory_order_acquire)) {
-    report.cyclesSimulated += ctx.checkpoints->recordedCycles;
+  if (ctx.checkpoints != nullptr &&
+      ctx.checkpoints->recorded.load(std::memory_order_acquire) &&
+      !ctx.checkpoints->fromCache && ctx.checkpoints->rec != nullptr) {
+    report.cyclesSimulated += ctx.checkpoints->rec->recordedCycles;
   }
 
   // simSeconds aggregates the work (sum of per-run times); wallSeconds is
@@ -558,10 +878,12 @@ AnalysisReport analyzeMutations(const ir::Design& golden, const InjectedDesign& 
 
 template GoldenTrace recordGoldenTrace<hdt::FourState>(const ir::Design&,
                                                        const std::vector<InsertedSensor>&,
-                                                       const Testbench&, const AnalysisConfig&);
+                                                       const Testbench&, const AnalysisConfig&,
+                                                       abstraction::NativeUseStats*);
 template GoldenTrace recordGoldenTrace<hdt::TwoState>(const ir::Design&,
                                                       const std::vector<InsertedSensor>&,
-                                                      const Testbench&, const AnalysisConfig&);
+                                                      const Testbench&, const AnalysisConfig&,
+                                                      abstraction::NativeUseStats*);
 template MutationCampaignContext prepareMutationCampaign<hdt::FourState>(
     const ir::Design&, const InjectedDesign&, const std::vector<InsertedSensor>&,
     const Testbench&, const AnalysisConfig&);

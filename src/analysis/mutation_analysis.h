@@ -39,12 +39,42 @@
 #include <string>
 #include <vector>
 
+#include "abstraction/native_backend.h"
 #include "abstraction/tlm_model.h"
+#include "analysis/checkpoint_cache.h"
 #include "analysis/testbench.h"
 #include "insertion/insertion.h"
 #include "mutation/adam.h"
 
 namespace xlv::analysis {
+
+/// Simulation engine for every run of a campaign (golden recording,
+/// checkpoint recording, per-mutant co-simulations). The two engines are
+/// bit-identical — the conformance suite pins sameResults across them — so
+/// the choice is purely a wall-time knob.
+enum class SimBackend {
+  /// Defer to the XLV_BACKEND environment variable ("native" or
+  /// "interpreter"); interpreter when unset.
+  Auto = 0,
+  /// The in-process ScalarMachine interpreter (always available).
+  Interpreter = 1,
+  /// Emitted C++ compiled by the system compiler and dlopen'd
+  /// (abstraction/native_backend.h). Falls back to the interpreter when no
+  /// toolchain is available or the compile fails (warned once per design).
+  Native = 2,
+};
+
+/// Canonical names ("auto" / "interpreter" / "native") — the CLI flag and
+/// serialization vocabulary.
+const char* simBackendName(SimBackend b) noexcept;
+/// Inverse of simBackendName; throws std::invalid_argument on anything else.
+SimBackend simBackendFromName(std::string_view name);
+/// Resolve Auto against the XLV_BACKEND environment variable (one env read
+/// per call; campaigns resolve once at prepare time).
+SimBackend resolveSimBackend(SimBackend requested) noexcept;
+/// Resolve a batch size: values >= 1 pass through; 0 defers to the
+/// XLV_BATCH environment variable, defaulting to 1 (no batching).
+int resolveBatchSize(int requested) noexcept;
 
 struct MutantResult {
   int id = -1;
@@ -111,6 +141,18 @@ struct AnalysisReport {
   /// the "zero re-simulations" ledger the variant-sweep tests assert.
   int mutantCacheHits = 0;
   int threadsUsed = 1;
+  /// Native-backend ledger: shared-object compiles this analysis performed
+  /// versus libraries served from the in-process or artifact-store cache.
+  /// Both zero on the interpreter path (and when the toolchain is missing —
+  /// the silent-fallback case the CLI's --require-native flag turns into a
+  /// hard error). Ledgers, not verdicts: excluded from sameResults.
+  int nativeCompiles = 0;
+  int nativeCacheHits = 0;
+  /// Mutants whose fresh co-simulation ran lock-step in a batch of two or
+  /// more live members against one shared stimulus replay
+  /// (AnalysisConfig::batch). Cache-served and fully-skipped mutants do not
+  /// count; 0 when batching is off.
+  int batchedMutants = 0;
 
   /// Deterministic-content equality: per-mutant results and cycle budget,
   /// ignoring the timing/threading/cache fields. The single comparator
@@ -165,6 +207,16 @@ struct AnalysisConfig {
   /// the contract process-level shard fragments rely on.
   std::size_t mutantBegin = 0;
   std::size_t mutantEnd = 0;
+  /// Simulation engine for every run of this campaign (golden recording,
+  /// checkpoints, mutant co-simulations). Auto defers to XLV_BACKEND.
+  /// Results are bit-identical across backends; only timing ledgers move.
+  SimBackend backend = SimBackend::Auto;
+  /// Mutants per co-simulation task: K sessions march lock-step against ONE
+  /// shared stimulus replay, amortizing the testbench driver across the
+  /// batch. 1 = today's one-mutant-per-task behavior; 0 defers to XLV_BATCH
+  /// (default 1). Results and per-mutant cycle ledgers are bit-identical at
+  /// any K — members fast-forward and saturate individually.
+  int batch = 0;
 };
 
 /// Golden trajectory: per cycle, the output-port values and the monitored
@@ -189,10 +241,15 @@ struct GoldenTrace {
   std::vector<std::uint64_t> firstActivity;           // [sensorIdx]
 };
 
+/// Record the golden trajectory on the backend cfg.backend resolves to
+/// (native falls back to the interpreter when unavailable). `nativeStats`,
+/// when non-null, receives the native-library compile/cache ledger of this
+/// recording.
 template <class P>
 GoldenTrace recordGoldenTrace(const ir::Design& golden,
                               const std::vector<insertion::InsertedSensor>& sensors,
-                              const Testbench& tb, const AnalysisConfig& cfg);
+                              const Testbench& tb, const AnalysisConfig& cfg,
+                              abstraction::NativeUseStats* nativeStats = nullptr);
 
 /// True when the XLV_REFERENCE_SIM environment variable is exactly "1":
 /// every mutant replays the full testbench from reset (no checkpoint
@@ -213,14 +270,15 @@ bool referenceSimMode() noexcept;
 /// golden-trace cache.
 struct CampaignCheckpoints {
   std::once_flag once;
-  /// Parallel vectors: snapshot i was taken at the start of cycles[i]
-  /// (multiples of the interval, in increasing order). Empty until the
-  /// recording ran; read only after the call_once completed.
-  std::vector<std::uint64_t> cycles;
-  std::vector<abstraction::TlmModelSnapshot> snaps;
-  /// Scheduler transactions the recording run executed (it stops at the
-  /// last restorable boundary) — charged to the campaign's cyclesSimulated.
-  std::uint64_t recordedCycles = 0;
+  /// The recording (analysis/checkpoint_cache.h), in the engine-neutral
+  /// snapshot word layout so interpreter and native sessions restore the
+  /// same bytes. Null until the call_once completed; possibly shared with
+  /// other campaigns through the checkpoint cache.
+  std::shared_ptr<const CheckpointRecording> rec;
+  /// True when `rec` was served by the cross-campaign cache (memory or
+  /// artifact store): its recordedCycles were charged by the campaign that
+  /// recorded it, so this one charges 0 (a ledger, like goldenSeconds).
+  bool fromCache = false;
   std::atomic<bool> recorded{false};
 };
 
@@ -252,6 +310,15 @@ struct MutationCampaignContext {
   /// Lazily recorded checkpoint store (never null after prepare; shared so
   /// the context stays movable).
   std::shared_ptr<CampaignCheckpoints> checkpoints;
+  /// Resolved simulation engine: the dlopen'd library every campaign run
+  /// shares (null = interpreter, either by choice or by fallback).
+  abstraction::NativeLibraryPtr nativeLib;
+  /// Resolved batch size (>= 1; AnalysisConfig::batch after XLV_BATCH).
+  int batch = 1;
+  /// Native-library acquisition ledger of prepare (golden recording +
+  /// injected layout), surfaced on the report.
+  int nativeCompiles = 0;
+  int nativeCacheHits = 0;
 };
 
 /// Build the shared context (golden trace + compiled injected layout).
@@ -289,10 +356,10 @@ AnalysisReport analyzeMutations(const ir::Design& golden,
 // Explicit instantiations are provided for both value policies.
 extern template GoldenTrace recordGoldenTrace<hdt::FourState>(
     const ir::Design&, const std::vector<insertion::InsertedSensor>&, const Testbench&,
-    const AnalysisConfig&);
+    const AnalysisConfig&, abstraction::NativeUseStats*);
 extern template GoldenTrace recordGoldenTrace<hdt::TwoState>(
     const ir::Design&, const std::vector<insertion::InsertedSensor>&, const Testbench&,
-    const AnalysisConfig&);
+    const AnalysisConfig&, abstraction::NativeUseStats*);
 extern template MutationCampaignContext prepareMutationCampaign<hdt::FourState>(
     const ir::Design&, const mutation::InjectedDesign&,
     const std::vector<insertion::InsertedSensor>&, const Testbench&, const AnalysisConfig&);

@@ -137,6 +137,9 @@ CampaignResult runCampaign(const CampaignSpec& spec) {
     result.mutantCacheHits += a.mutantCacheHits;
     result.cyclesSimulated += a.cyclesSimulated;
     result.cyclesSkipped += a.cyclesSkipped;
+    result.nativeCompiles += a.nativeCompiles;
+    result.nativeCacheHits += a.nativeCacheHits;
+    result.batchedMutants += a.batchedMutants;
   }
   if (store != nullptr) {
     const util::ArtifactStoreStats after = store->stats();

@@ -88,6 +88,13 @@ struct CampaignResult {
   /// XLV_REFERENCE_SIM=1 cyclesSkipped is 0.
   std::uint64_t cyclesSimulated = 0;
   std::uint64_t cyclesSkipped = 0;
+  // Native-backend ledger summed over items (analysis/mutation_analysis.h):
+  // shared-library compiles this run performed, compiles it avoided via the
+  // memory/disk caches, and mutants that ran lock-step in batches of two or
+  // more. All zero under the interpreter backend / batch size 1.
+  int nativeCompiles = 0;
+  int nativeCacheHits = 0;
+  int batchedMutants = 0;
   double wallSeconds = 0.0;   ///< elapsed time of the whole campaign
   int threadsUsed = 1;
 

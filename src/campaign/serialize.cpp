@@ -45,6 +45,13 @@ mutation::MutantKind mutantKindByName(const std::string& s) {
   return *kind;
 }
 
+analysis::SimBackend simBackendByName(const std::string& s) {
+  if (s == "auto") return analysis::SimBackend::Auto;
+  if (s == "interpreter") return analysis::SimBackend::Interpreter;
+  if (s == "native") return analysis::SimBackend::Native;
+  throw DecodeError("unknown simulation backend '" + s + "'");
+}
+
 // --- field-group helpers -----------------------------------------------------
 
 void putCorner(Encoder& e, const sta::Corner& c) {
@@ -84,6 +91,9 @@ void putOptions(Encoder& e, const core::FlowOptions& o) {
   e.boolean("opt.measureOptimized", o.measureOptimized);
   e.boolean("opt.runMutationAnalysis", o.runMutationAnalysis);
   e.i64("opt.analysisThreads", o.analysisThreads);
+  e.str("opt.backend", analysis::simBackendName(o.backend));
+  e.i64("opt.batch", o.batch);
+  e.boolean("opt.measureTlm", o.measureTlm);
 }
 
 core::FlowOptions getOptions(Decoder& d) {
@@ -104,6 +114,9 @@ core::FlowOptions getOptions(Decoder& d) {
   o.measureOptimized = d.boolean("opt.measureOptimized");
   o.runMutationAnalysis = d.boolean("opt.runMutationAnalysis");
   o.analysisThreads = static_cast<int>(d.i64("opt.analysisThreads"));
+  o.backend = simBackendByName(d.str("opt.backend"));
+  o.batch = static_cast<int>(d.i64("opt.batch"));
+  o.measureTlm = d.boolean("opt.measureTlm");
   return o;
 }
 
@@ -148,6 +161,9 @@ void putAnalysis(Encoder& e, const analysis::AnalysisReport& a) {
   e.boolean("an.goldenFromDisk", a.goldenFromDisk);
   e.i64("an.mutantCacheHits", a.mutantCacheHits);
   e.i64("an.threadsUsed", a.threadsUsed);
+  e.i64("an.nativeCompiles", a.nativeCompiles);
+  e.i64("an.nativeCacheHits", a.nativeCacheHits);
+  e.i64("an.batchedMutants", a.batchedMutants);
   e.beginList("an.results", a.results.size());
   for (const auto& r : a.results) putMutantResult(e, r);
 }
@@ -164,6 +180,9 @@ analysis::AnalysisReport getAnalysis(Decoder& d) {
   a.goldenFromDisk = d.boolean("an.goldenFromDisk");
   a.mutantCacheHits = static_cast<int>(d.i64("an.mutantCacheHits"));
   a.threadsUsed = static_cast<int>(d.i64("an.threadsUsed"));
+  a.nativeCompiles = static_cast<int>(d.i64("an.nativeCompiles"));
+  a.nativeCacheHits = static_cast<int>(d.i64("an.nativeCacheHits"));
+  a.batchedMutants = static_cast<int>(d.i64("an.batchedMutants"));
   a.results.resize(d.beginList("an.results"));
   for (auto& r : a.results) r = getMutantResult(d);
   return a;
@@ -320,6 +339,9 @@ std::string encodeCampaignResult(const CampaignResult& result) {
   e.i64("diskEvictions", result.diskEvictions);
   e.u64("cyclesSimulated", result.cyclesSimulated);
   e.u64("cyclesSkipped", result.cyclesSkipped);
+  e.i64("nativeCompiles", result.nativeCompiles);
+  e.i64("nativeCacheHits", result.nativeCacheHits);
+  e.i64("batchedMutants", result.batchedMutants);
   e.f64("wallSeconds", result.wallSeconds);
   e.i64("threadsUsed", result.threadsUsed);
   e.beginList("items", result.items.size());
@@ -341,6 +363,9 @@ CampaignResult decodeCampaignResult(std::string_view data) {
   result.diskEvictions = static_cast<int>(d.i64("diskEvictions"));
   result.cyclesSimulated = d.u64("cyclesSimulated");
   result.cyclesSkipped = d.u64("cyclesSkipped");
+  result.nativeCompiles = static_cast<int>(d.i64("nativeCompiles"));
+  result.nativeCacheHits = static_cast<int>(d.i64("nativeCacheHits"));
+  result.batchedMutants = static_cast<int>(d.i64("batchedMutants"));
   result.wallSeconds = d.f64("wallSeconds");
   result.threadsUsed = static_cast<int>(d.i64("threadsUsed"));
   result.items.resize(d.beginList("items"));

@@ -39,7 +39,10 @@ namespace xlv::campaign {
 /// AnalysisReport and CampaignResult, and the flow-prefix artifact codec.
 /// v3: the cyclesSimulated/cyclesSkipped ledgers of the divergence-driven
 /// mutant simulation on AnalysisReport and CampaignResult.
-inline constexpr int kCampaignCodecVersion = 3;
+/// v4: FlowOptions::backend/batch/measureTlm and the native-backend ledgers
+/// (nativeCompiles/nativeCacheHits/batchedMutants) on AnalysisReport and
+/// CampaignResult.
+inline constexpr int kCampaignCodecVersion = 4;
 
 /// Names accepted by buildCaseStudyByName (the spec wire format's case-study
 /// identity space).

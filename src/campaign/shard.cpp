@@ -185,6 +185,9 @@ CampaignItemResult stitchFragments(std::size_t taskId, bool analysisRan,
   merged.report.analysis.mutantCacheHits = 0;
   merged.report.analysis.cyclesSimulated = 0;
   merged.report.analysis.cyclesSkipped = 0;
+  merged.report.analysis.nativeCompiles = 0;
+  merged.report.analysis.nativeCacheHits = 0;
+  merged.report.analysis.batchedMutants = 0;
   merged.report.analysis.threadsUsed = 1;
   merged.taskSeconds = 0.0;
   merged.goldenSeconds = 0.0;
@@ -235,6 +238,9 @@ CampaignItemResult stitchFragments(std::size_t taskId, bool analysisRan,
     out.mutantCacheHits += a.mutantCacheHits;
     out.cyclesSimulated += a.cyclesSimulated;
     out.cyclesSkipped += a.cyclesSkipped;
+    out.nativeCompiles += a.nativeCompiles;
+    out.nativeCacheHits += a.nativeCacheHits;
+    out.batchedMutants += a.batchedMutants;
     out.threadsUsed = std::max(out.threadsUsed, a.threadsUsed);
 
     merged.taskSeconds = std::max(merged.taskSeconds, part.taskSeconds);
@@ -348,6 +354,9 @@ CampaignResult mergeShards(const CampaignSpec& spec, const std::vector<ShardOutp
     merged.diskEvictions += o.result.diskEvictions;
     merged.cyclesSimulated += o.result.cyclesSimulated;
     merged.cyclesSkipped += o.result.cyclesSkipped;
+    merged.nativeCompiles += o.result.nativeCompiles;
+    merged.nativeCacheHits += o.result.nativeCacheHits;
+    merged.batchedMutants += o.result.batchedMutants;
     merged.wallSeconds = std::max(merged.wallSeconds, o.result.wallSeconds);
     merged.threadsUsed = std::max(merged.threadsUsed, o.result.threadsUsed);
   }
@@ -425,6 +434,7 @@ CampaignSpec builtinCampaignSpec(const std::string& preset) {
     sweep.cases = {ips::buildFilterCase(), ips::buildDspCase()};
     sweep.base.testbenchCycles = 80;
     sweep.base.measureRtl = false;
+    sweep.base.measureTlm = false;
     sweep.base.measureOptimized = false;
     sweep.axes.sensorKinds = {insertion::SensorKind::Razor, insertion::SensorKind::Counter};
     sweep.axes.corners = {sta::Corner::typical(), sta::Corner::slow()};
@@ -442,6 +452,7 @@ CampaignSpec builtinCampaignSpec(const std::string& preset) {
     item.options.sensorKind = insertion::SensorKind::Counter;
     item.options.testbenchCycles = 120;
     item.options.measureRtl = false;
+    item.options.measureTlm = false;
     item.options.measureOptimized = false;
     item.options.useGoldenCache = true;
     item.options.useMutantCache = true;

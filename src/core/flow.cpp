@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "abstraction/emit_vhdl.h"
+#include "abstraction/native_backend.h"
+#include "analysis/checkpoint_cache.h"
 #include "analysis/golden_cache.h"
 #include "analysis/mutant_cache.h"
 #include "ir/elaborate.h"
@@ -219,17 +221,19 @@ void stageTimings(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport&
       return timeRtlSimulation(report.augmentedDesign, cs, report.hfRatio, cycles);
     });
   }
-  report.timings.tlmSeconds = repeat([&] {
-    return timeTlmSimulation<hdt::FourState>(report.augmentedDesign, cs, report.hfRatio,
-                                             cycles);
-  });
+  if (opts.measureTlm) {
+    report.timings.tlmSeconds = repeat([&] {
+      return timeTlmSimulation<hdt::FourState>(report.augmentedDesign, cs, report.hfRatio,
+                                               cycles);
+    });
+  }
   if (opts.measureOptimized) {
     report.timings.tlmOptSeconds = repeat([&] {
       return timeTlmSimulation<hdt::TwoState>(report.augmentedDesign, cs, report.hfRatio,
                                               cycles);
     });
   }
-  {
+  if (opts.measureTlm) {
     // Injected model with all mutants inactive (Table 5's simulation cost).
     TlmIpModel<hdt::FourState> model(report.injected,
                                      TlmModelConfig{report.hfRatio, false});
@@ -253,6 +257,8 @@ void stageAnalysis(const ips::CaseStudy& cs, const FlowOptions& opts, FlowReport
   acfg.useMutantCache = opts.useMutantCache;
   acfg.mutantBegin = opts.mutantBegin;
   acfg.mutantEnd = opts.mutantEnd;
+  acfg.backend = opts.backend;
+  acfg.batch = opts.batch;
   analysis::Testbench tb = cs.testbench;
   tb.cycles = flowCycles(cs, opts);
   report.analysis = analysis::analyzeMutations<hdt::FourState>(
@@ -317,6 +323,8 @@ void clearProcessCaches() {
   flowPrefixCache().clear();
   analysis::goldenTraceCache().clear();
   analysis::mutantResultCache().clear();
+  analysis::checkpointCache().clear();
+  abstraction::clearNativeLibraryCache();
 }
 
 FlowReport runFlowWithPrefix(const FlowPrefix& prefix, const ips::CaseStudy& cs,

@@ -81,10 +81,18 @@ struct FlowOptions {
   /// util::processArtifactStore() configured, warm re-runs and sharded
   /// workers — skip the per-mutant co-simulations.
   bool useMutantCache = false;
+  /// Simulation engine for the mutation campaign (golden recording and all
+  /// mutant co-simulations): Auto defers to XLV_BACKEND, Native compiles
+  /// the injected model into a shared library (interpreter fallback when no
+  /// system compiler is available). Results are bit-identical either way.
+  analysis::SimBackend backend = analysis::SimBackend::Auto;
+  /// Mutants co-simulated lock-step per campaign task (0 = XLV_BATCH or 1).
+  int batch = 0;
   /// Simulation-time measurements repeat this many times; the mean is kept
   /// (the paper averages over a number of executions).
   int timingRepetitions = 1;
   bool measureRtl = true;          ///< event-driven kernel baseline (Table 3)
+  bool measureTlm = true;          ///< abstracted TLM model timing (Table 3)
   bool measureOptimized = true;    ///< HDTLib 2-state policy (Table 4)
   bool runMutationAnalysis = true; ///< Table 5
   /// Worker threads for the per-mutant analysis campaign: 1 = serial,

@@ -1,0 +1,74 @@
+#include "util/subprocess.h"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace xlv::util {
+
+SubprocessResult runCommandCapture(const std::vector<std::string>& argv) {
+  SubprocessResult res;
+  if (argv.empty()) return res;
+
+  int pipefd[2];
+  if (pipe(pipefd) != 0) return res;
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(pipefd[0]);
+    close(pipefd[1]);
+    return res;
+  }
+  if (pid == 0) {
+    // Child: stdout+stderr into the pipe, stdin from /dev/null.
+    dup2(pipefd[1], STDOUT_FILENO);
+    dup2(pipefd[1], STDERR_FILENO);
+    close(pipefd[0]);
+    close(pipefd[1]);
+    const int devnull = open("/dev/null", O_RDONLY);
+    if (devnull >= 0) {
+      dup2(devnull, STDIN_FILENO);
+      close(devnull);
+    }
+    std::vector<char*> args;
+    args.reserve(argv.size() + 1);
+    for (const std::string& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+    args.push_back(nullptr);
+    execvp(args[0], args.data());
+    _exit(127);  // exec failed (command not found)
+  }
+
+  close(pipefd[1]);
+  res.started = true;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(pipefd[0], buf, sizeof buf);
+    if (n > 0) {
+      res.output.append(buf, static_cast<std::size_t>(n));
+    } else if (n == 0 || errno != EINTR) {
+      break;
+    }
+  }
+  close(pipefd[0]);
+
+  int status = 0;
+  pid_t waited;
+  do {
+    waited = waitpid(pid, &status, 0);
+  } while (waited < 0 && errno == EINTR);
+  if (waited == pid && WIFEXITED(status)) {
+    res.exitCode = WEXITSTATUS(status);
+    // execvp failure in the child surfaces as exit 127 with no output;
+    // report it as "not started" so callers treat a missing compiler the
+    // same as an unspawnable one.
+    if (res.exitCode == 127 && res.output.empty()) res.started = false;
+  } else {
+    res.exitCode = -1;
+  }
+  return res;
+}
+
+}  // namespace xlv::util

@@ -1,0 +1,29 @@
+// Minimal child-process runner for toolchain invocations (the native
+// simulation backend shells out to the system C++ compiler). POSIX
+// fork/execvp with stdout+stderr captured into one string — enough to probe
+// `cc --version` and to surface compile diagnostics in a warning, without
+// pulling in a process-management dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xlv::util {
+
+struct SubprocessResult {
+  /// False when the child could not be spawned at all (fork/exec failure,
+  /// command not found). exitCode/output are meaningless then.
+  bool started = false;
+  /// Child exit code; -1 when it terminated abnormally (signal).
+  int exitCode = -1;
+  /// Combined stdout+stderr of the child.
+  std::string output;
+
+  bool ok() const noexcept { return started && exitCode == 0; }
+};
+
+/// Run `argv` (argv[0] resolved through PATH) and wait for it to finish.
+/// Never throws; a spawn failure reports started == false.
+SubprocessResult runCommandCapture(const std::vector<std::string>& argv);
+
+}  // namespace xlv::util

@@ -93,6 +93,9 @@ analysis::AnalysisReport randomAnalysisReport(Prng& rng) {
   a.goldenFromDisk = rng.chance(0.5);
   a.mutantCacheHits = static_cast<int>(rng.below(64));
   a.threadsUsed = 1 + static_cast<int>(rng.below(16));
+  a.nativeCompiles = static_cast<int>(rng.below(8));
+  a.nativeCacheHits = static_cast<int>(rng.below(8));
+  a.batchedMutants = static_cast<int>(rng.below(256));
   const std::size_t n = rng.below(5);
   for (std::size_t i = 0; i < n; ++i) a.results.push_back(randomMutantResult(rng));
   return a;
@@ -111,6 +114,9 @@ campaign::CampaignResult randomCampaignResult(Prng& rng) {
   r.diskEvictions = static_cast<int>(rng.below(64));
   r.cyclesSimulated = rng.below(1000000);
   r.cyclesSkipped = rng.below(1000000);
+  r.nativeCompiles = static_cast<int>(rng.below(8));
+  r.nativeCacheHits = static_cast<int>(rng.below(8));
+  r.batchedMutants = static_cast<int>(rng.below(256));
   r.wallSeconds = randomDouble(rng);
   r.threadsUsed = 1 + static_cast<int>(rng.below(8));
   const std::size_t items = rng.below(3);
@@ -152,6 +158,62 @@ campaign::CampaignResult randomCampaignResult(Prng& rng) {
     r.items.push_back(std::move(it));
   }
   return r;
+}
+
+core::FlowOptions randomFlowOptions(Prng& rng) {
+  core::FlowOptions o;
+  o.sensorKind = rng.chance(0.5) ? insertion::SensorKind::Razor
+                                 : insertion::SensorKind::Counter;
+  o.testbenchCycles = rng.below(4096);
+  if (rng.chance(0.5)) {
+    o.staCorner = sta::Corner{randomString(rng), randomDouble(rng), randomDouble(rng),
+                              randomDouble(rng)};
+  }
+  if (rng.chance(0.5)) o.staThresholdFraction = randomDouble(rng);
+  if (rng.chance(0.5)) o.staSpreadFraction = randomDouble(rng);
+  if (rng.chance(0.5)) o.hfRatio = static_cast<int>(rng.below(16));
+  switch (rng.below(3)) {
+    case 0: o.mutantSet = core::MutantSetVariant::Full; break;
+    case 1: o.mutantSet = core::MutantSetVariant::MinDelay; break;
+    default: o.mutantSet = core::MutantSetVariant::MaxDelay; break;
+  }
+  o.mutantBegin = rng.below(64);
+  o.mutantEnd = rng.below(64);
+  o.useGoldenCache = rng.chance(0.5);
+  o.useMutantCache = rng.chance(0.5);
+  o.timingRepetitions = static_cast<int>(rng.below(8));
+  o.measureRtl = rng.chance(0.5);
+  o.measureTlm = rng.chance(0.5);
+  o.measureOptimized = rng.chance(0.5);
+  o.runMutationAnalysis = rng.chance(0.5);
+  o.analysisThreads = static_cast<int>(rng.below(16));
+  switch (rng.below(3)) {
+    case 0: o.backend = analysis::SimBackend::Auto; break;
+    case 1: o.backend = analysis::SimBackend::Interpreter; break;
+    default: o.backend = analysis::SimBackend::Native; break;
+  }
+  o.batch = static_cast<int>(rng.below(128));
+  return o;
+}
+
+campaign::CampaignSpec randomCampaignSpec(Prng& rng) {
+  campaign::CampaignSpec spec;
+  spec.name = randomString(rng);
+  spec.executor.threads = static_cast<int>(rng.below(16));
+  spec.executor.chunkSize = static_cast<int>(rng.below(16));
+  static const char* const kCases[] = {"Plasma", "DSP", "Filter", "Handshake"};
+  const std::size_t items = rng.below(4);
+  for (std::size_t i = 0; i < items; ++i) {
+    campaign::CampaignItem item;
+    // Only the case NAME is encoded (the decoder rebuilds the case study
+    // from it), so the generator skips the expensive builders.
+    item.caseStudy.name = kCases[rng.below(4)];
+    item.label = randomString(rng);
+    item.prefixKey = randomString(rng);
+    item.options = randomFlowOptions(rng);
+    spec.items.push_back(std::move(item));
+  }
+  return spec;
 }
 
 campaign::ShardPlan randomShardPlan(Prng& rng) {
@@ -223,6 +285,11 @@ std::vector<Codec> codecs() {
        [](Prng& rng) { return campaign::encodeCampaignResult(randomCampaignResult(rng)); },
        [](std::string_view b) {
          return campaign::encodeCampaignResult(campaign::decodeCampaignResult(b));
+       }},
+      {"campaign-spec",
+       [](Prng& rng) { return campaign::encodeCampaignSpec(randomCampaignSpec(rng)); },
+       [](std::string_view b) {
+         return campaign::encodeCampaignSpec(campaign::decodeCampaignSpec(b));
        }},
       {"shard-plan",
        [](Prng& rng) { return campaign::encodeShardPlan(randomShardPlan(rng)); },

@@ -24,11 +24,19 @@
 // eviction; --require-disk-hits makes a supposedly-warm run fail (exit 4)
 // when the store served nothing, so CI catches a silently disabled cache.
 //
+// Native simulation backend: --backend native compiles the injected model
+// into a shared library (see src/campaign/README.md); when no system C++
+// compiler is available the campaign silently degrades to the bit-identical
+// interpreter, so CI passes --require-native to turn that degradation into
+// exit 5. --batch K co-simulates K mutants lock-step per analysis task.
+//
 // Exit codes: 0 success (diff: identical), 1 usage or runtime error,
 // 2 diff divergence, 3 campaign completed but one or more items errored
 // (the output file is still written so the failure can be inspected and
 // merged, but CI pipelines fail instead of passing vacuously), 4 a
-// --require-disk-hits run reported zero artifact-store hits.
+// --require-disk-hits run reported zero artifact-store hits, 5 a
+// --require-native run performed no native-backend work (interpreter
+// fallback, e.g. no system compiler).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -53,8 +61,9 @@ using namespace xlv;
       "usage:\n"
       "  xlv_campaign spec --preset <name> [--threads N] [-o FILE]\n"
       "  xlv_campaign plan --spec FILE --shards N [--max-fragment M] [-o FILE]\n"
-      "  xlv_campaign run --spec FILE [cache flags] [-o FILE]\n"
-      "  xlv_campaign run-shard --spec FILE --plan FILE --index I [cache flags] [-o FILE]\n"
+      "  xlv_campaign run --spec FILE [run flags] [cache flags] [-o FILE]\n"
+      "  xlv_campaign run-shard --spec FILE --plan FILE --index I [run flags]\n"
+      "                         [cache flags] [-o FILE]\n"
       "  xlv_campaign merge --spec FILE -o FILE SHARD_FILE...\n"
       "  xlv_campaign diff RESULT_A RESULT_B\n"
       "  xlv_campaign show RESULT_FILE\n"
@@ -70,6 +79,12 @@ using namespace xlv;
       "LRU eviction; --require-disk-hits exits 4 when a warm run loaded\n"
       "nothing from the store. cache-gc runs store housekeeping: entries\n"
       "older than --max-age-seconds expire, then the byte cap is enforced.\n"
+      "run flags: --backend auto|interpreter|native picks the simulation\n"
+      "engine for every item (native compiles the injected model with the\n"
+      "system C++ compiler and falls back to the bit-identical interpreter\n"
+      "when none exists; auto defers to XLV_BACKEND); --batch K co-simulates\n"
+      "K mutants lock-step per task (XLV_BATCH; results identical for any\n"
+      "K); --require-native exits 5 when the run performed no native work.\n"
       "XLV_REFERENCE_SIM=1 disables the divergence-driven mutant fast path\n"
       "(full replay from reset; results are bit-identical either way).\n"
       "--verbose raises the log level to info.\n",
@@ -97,10 +112,11 @@ void writeOutput(const std::string& path, const std::string& data) {
 /// Minimal flag cursor: named flags in any order, positional operands kept.
 struct Args {
   std::vector<std::string> positional;
-  std::string spec, plan, out, preset, cacheDir;
+  std::string spec, plan, out, preset, cacheDir, backend;
   long shards = 0, index = -1, maxFragment = 0, threads = 0, cacheMaxBytes = 0;
-  long maxAgeSeconds = 0;
+  long maxAgeSeconds = 0, batch = 0;
   bool requireDiskHits = false;
+  bool requireNative = false;
 
   static long parseLong(const std::string& flag, const std::string& v) {
     try {
@@ -146,6 +162,12 @@ Args parseArgs(int argc, char** argv, int first) {
       a.maxAgeSeconds = Args::parseLong(arg, next("--max-age-seconds"));
     } else if (arg == "--require-disk-hits") {
       a.requireDiskHits = true;
+    } else if (arg == "--backend") {
+      a.backend = next("--backend");
+    } else if (arg == "--batch") {
+      a.batch = Args::parseLong(arg, next("--batch"));
+    } else if (arg == "--require-native") {
+      a.requireNative = true;
     } else if (arg == "--verbose") {
       util::setLogLevel(util::LogLevel::Info);
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -160,6 +182,31 @@ Args parseArgs(int argc, char** argv, int first) {
 campaign::CampaignSpec loadSpec(const Args& a) {
   if (a.spec.empty()) usage("--spec FILE is required");
   return campaign::decodeCampaignSpec(readFile(a.spec));
+}
+
+/// Apply the run-time engine overrides (--backend / --batch) to every item
+/// of the loaded spec. The overrides never change results — backends and
+/// batch sizes are bit-identical by construction — so a native run still
+/// diffs clean against an interpreter reference.
+void applyBackendOverrides(const Args& a, campaign::CampaignSpec& spec) {
+  if (!a.backend.empty()) {
+    const analysis::SimBackend be = analysis::simBackendFromName(a.backend);
+    for (auto& item : spec.items) item.options.backend = be;
+  }
+  if (a.batch != 0) {
+    if (a.batch < 1) usage("--batch must be >= 1");
+    for (auto& item : spec.items) item.options.batch = static_cast<int>(a.batch);
+  }
+}
+
+/// Subcommands that never run a campaign must reject the run flags too.
+void rejectRunFlags(const Args& a, const char* cmd) {
+  if (!a.backend.empty() || a.batch != 0 || a.requireNative) {
+    usage((std::string(cmd) +
+           " does not take run flags (--backend/--batch/--require-native "
+           "apply to run and run-shard)")
+              .c_str());
+  }
 }
 
 /// Subcommands that never touch the store must REJECT cache flags, not
@@ -210,6 +257,14 @@ int reportItemErrors(const char* what, const Args& a, const campaign::CampaignRe
                  what, r.diskStores, r.diskEvictions);
     return 4;
   }
+  if (a.requireNative && r.nativeCompiles + r.nativeCacheHits == 0) {
+    std::fprintf(stderr,
+                 "%s expected native-backend work (--require-native) but none ran — "
+                 "interpreter fallback (no system C++ compiler, or --backend/"
+                 "XLV_BACKEND not set to native)?\n",
+                 what);
+    return 5;
+  }
   return 0;
 }
 
@@ -230,16 +285,18 @@ void printSummary(const campaign::CampaignResult& r) {
       "ledger: sim %.3fs, golden %.3fs, wall %.3fs, golden hits %d, prefix hits %d, "
       "mutant hits %d, threads %d\n"
       "cycles: simulated %llu, skipped %llu (fast-forward + early exit)\n"
-      "store:  disk hits %d, stores %d, evictions %d\n",
+      "store:  disk hits %d, stores %d, evictions %d\n"
+      "native: compiles %d, cache hits %d, batched mutants %d\n",
       r.simSeconds, r.goldenSeconds, r.wallSeconds, r.goldenCacheHits, r.prefixCacheHits,
       r.mutantCacheHits, r.threadsUsed,
       static_cast<unsigned long long>(r.cyclesSimulated),
       static_cast<unsigned long long>(r.cyclesSkipped), r.diskHits, r.diskStores,
-      r.diskEvictions);
+      r.diskEvictions, r.nativeCompiles, r.nativeCacheHits, r.batchedMutants);
 }
 
 int cmdSpec(const Args& a) {
   rejectCacheFlags(a, "spec");
+  rejectRunFlags(a, "spec");
   if (a.preset.empty()) usage("--preset <name> is required");
   if (a.threads < 0) usage("--threads must be >= 0 (0 = auto)");
   campaign::CampaignSpec spec = campaign::builtinCampaignSpec(a.preset);
@@ -253,6 +310,7 @@ int cmdSpec(const Args& a) {
 
 int cmdPlan(const Args& a) {
   rejectCacheFlags(a, "plan");
+  rejectRunFlags(a, "plan");
   if (a.shards < 1) usage("--shards N (>= 1) is required");
   if (a.maxFragment < 0) usage("--max-fragment must be >= 0");
   const campaign::CampaignSpec spec = loadSpec(a);
@@ -271,7 +329,8 @@ int cmdPlan(const Args& a) {
 }
 
 int cmdRun(const Args& a) {
-  const campaign::CampaignSpec spec = loadSpec(a);
+  campaign::CampaignSpec spec = loadSpec(a);
+  applyBackendOverrides(a, spec);
   configureCache(a);
   const campaign::CampaignResult result = campaign::runCampaign(spec);
   writeOutput(a.out, campaign::encodeCampaignResult(result));
@@ -281,7 +340,8 @@ int cmdRun(const Args& a) {
 int cmdRunShard(const Args& a) {
   if (a.plan.empty()) usage("--plan FILE is required");
   if (a.index < 0) usage("--index I (>= 0) is required");
-  const campaign::CampaignSpec spec = loadSpec(a);
+  campaign::CampaignSpec spec = loadSpec(a);
+  applyBackendOverrides(a, spec);
   configureCache(a);
   const campaign::ShardPlan plan = campaign::decodeShardPlan(readFile(a.plan));
   const campaign::ShardOutput out =
@@ -296,6 +356,7 @@ int cmdMerge(const Args& a) {
   if (!a.cacheDir.empty() || a.cacheMaxBytes != 0) {
     usage("merge takes --require-disk-hits only (no store is opened)");
   }
+  rejectRunFlags(a, "merge");
   if (a.positional.empty()) usage("merge needs at least one shard output file");
   if (a.out.empty()) usage("merge requires -o FILE (the merged result)");
   const campaign::CampaignSpec spec = loadSpec(a);
@@ -311,6 +372,7 @@ int cmdMerge(const Args& a) {
 
 int cmdDiff(const Args& a) {
   rejectCacheFlags(a, "diff");
+  rejectRunFlags(a, "diff");
   if (a.positional.size() != 2) usage("diff takes exactly two result files");
   const campaign::CampaignResult x = campaign::decodeCampaignResult(readFile(a.positional[0]));
   const campaign::CampaignResult y = campaign::decodeCampaignResult(readFile(a.positional[1]));
@@ -338,12 +400,14 @@ int cmdDiff(const Args& a) {
 
 int cmdShow(const Args& a) {
   rejectCacheFlags(a, "show");
+  rejectRunFlags(a, "show");
   if (a.positional.size() != 1) usage("show takes exactly one result file");
   printSummary(campaign::decodeCampaignResult(readFile(a.positional[0])));
   return 0;
 }
 
 int cmdCacheGc(const Args& a) {
+  rejectRunFlags(a, "cache-gc");
   if (a.cacheDir.empty()) usage("cache-gc requires --cache-dir DIR");
   if (a.requireDiskHits) usage("cache-gc does not take --require-disk-hits");
   if (a.cacheMaxBytes < 0) usage("--cache-max-bytes must be >= 0 (0 = unbounded)");
