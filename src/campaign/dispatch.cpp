@@ -1,0 +1,747 @@
+#include "campaign/dispatch.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "campaign/serialize.h"
+#include "util/codec.h"
+#include "util/log.h"
+#include "util/subprocess.h"
+
+namespace xlv::campaign {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+// --- frame transport ---------------------------------------------------------
+
+namespace {
+
+constexpr std::string_view kFrameMagic = "xlvf ";
+/// A frame bigger than this is certainly a corrupted length, not a result
+/// (the largest real document is one shard's campaign result).
+constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 30;
+
+}  // namespace
+
+std::string frameWire(std::string_view doc) {
+  std::string out(kFrameMagic);
+  out += std::to_string(doc.size());
+  out += '\n';
+  out.append(doc);
+  return out;
+}
+
+void FrameReader::feed(std::string_view data) { buffer_.append(data); }
+
+bool FrameReader::next(std::string& doc) {
+  // Reclaim consumed prefix once it dominates the buffer, so a long-lived
+  // worker stream does not grow without bound.
+  if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const std::string_view rest = std::string_view(buffer_).substr(pos_);
+  if (rest.empty()) return false;
+  const std::size_t nl = rest.find('\n');
+  if (nl == std::string_view::npos) {
+    // "xlvf " + a 20-digit length is the longest legal header.
+    if (rest.size() > kFrameMagic.size() + 20) {
+      throw util::DecodeError("frame: unterminated header");
+    }
+    // Reject a wrong magic as soon as enough bytes exist to know.
+    if (rest.substr(0, kFrameMagic.size()) !=
+        kFrameMagic.substr(0, std::min(rest.size(), kFrameMagic.size()))) {
+      throw util::DecodeError("frame: bad magic");
+    }
+    return false;
+  }
+  const std::string_view header = rest.substr(0, nl);
+  if (header.substr(0, kFrameMagic.size()) != kFrameMagic) {
+    throw util::DecodeError("frame: bad magic in header '" + std::string(header) + "'");
+  }
+  const std::string_view digits = header.substr(kFrameMagic.size());
+  if (digits.empty()) throw util::DecodeError("frame: missing length");
+  std::size_t len = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      throw util::DecodeError("frame: non-numeric length '" + std::string(digits) + "'");
+    }
+    len = len * 10 + static_cast<std::size_t>(c - '0');
+    if (len > kMaxFrameBytes) {
+      throw util::DecodeError("frame: implausible length " + std::string(digits));
+    }
+  }
+  if (rest.size() - nl - 1 < len) return false;
+  doc.assign(rest.substr(nl + 1, len));
+  pos_ += nl + 1 + len;
+  return true;
+}
+
+// --- work-stealing task queue ------------------------------------------------
+
+TaskQueue::TaskQueue(const DispatchUnitPlan& plan) {
+  tasks_.reserve(plan.units.size());
+  for (std::size_t i = 0; i < plan.units.size(); ++i) {
+    DispatchTask t;
+    t.index = i;
+    t.unit = plan.units[i];
+    t.weight = i < plan.weights.size() ? std::max<std::uint64_t>(plan.weights[i], 1) : 1;
+    tasks_.push_back(t);
+  }
+  states_.assign(tasks_.size(), State::Pending);
+  pending_.resize(tasks_.size());
+  std::iota(pending_.begin(), pending_.end(), std::size_t{0});
+  // Heaviest-first (LPT): the classic work-stealing order — mispredicting a
+  // big fragment late is what wrecks a static plan, so big ones go first
+  // and small ones backfill. Index-ascending tie-break keeps the order a
+  // pure function of the plan.
+  std::stable_sort(pending_.begin(), pending_.end(), [&](std::size_t a, std::size_t b) {
+    if (tasks_[a].weight != tasks_[b].weight) return tasks_[a].weight > tasks_[b].weight;
+    return a < b;
+  });
+}
+
+const DispatchTask& TaskQueue::claim() {
+  if (pending_.empty()) throw std::logic_error("TaskQueue::claim: nothing pending");
+  const std::size_t idx = pending_.front();
+  pending_.erase(pending_.begin());
+  states_[idx] = State::InFlight;
+  ++tasks_[idx].attempts;
+  return tasks_[idx];
+}
+
+void TaskQueue::requeue(std::size_t taskIndex) {
+  if (taskIndex >= tasks_.size() || states_[taskIndex] != State::InFlight) {
+    throw std::logic_error("TaskQueue::requeue: task " + std::to_string(taskIndex) +
+                           " is not in flight");
+  }
+  states_[taskIndex] = State::Pending;
+  // Front of the queue: the lost unit already waited a full turn, and it is
+  // statistically the heaviest thing outstanding (it was claimed earliest).
+  pending_.insert(pending_.begin(), taskIndex);
+}
+
+bool TaskQueue::complete(std::size_t taskIndex) {
+  if (taskIndex >= tasks_.size()) {
+    throw std::logic_error("TaskQueue::complete: task " + std::to_string(taskIndex) +
+                           " out of range");
+  }
+  if (states_[taskIndex] == State::Completed) return false;
+  if (states_[taskIndex] == State::Pending) {
+    // A dead worker's drained result completed a unit that was already
+    // re-queued; pull it back out of the pending order.
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), taskIndex),
+                   pending_.end());
+  }
+  states_[taskIndex] = State::Completed;
+  ++completed_;
+  return true;
+}
+
+bool TaskQueue::isCompleted(std::size_t taskIndex) const {
+  return taskIndex < states_.size() && states_[taskIndex] == State::Completed;
+}
+
+// --- shared helpers ----------------------------------------------------------
+
+namespace {
+
+bool writeFd(int fd, std::string_view data) noexcept {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking read of the next complete frame. 1 = frame in `doc`, 0 = EOF.
+/// Propagates FrameReader's DecodeError on a corrupt stream.
+int readFrameBlocking(int fd, FrameReader& reader, std::string& doc) {
+  if (reader.next(doc)) return 1;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return 0;
+    }
+    if (n == 0) return 0;
+    reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    if (reader.next(doc)) return 1;
+  }
+}
+
+long envLong(const char* name, long fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return fallback;
+  return v;
+}
+
+void ignoreSigpipe() {
+  // A dead peer must surface as EPIPE from write(), not kill the process;
+  // idempotent, so both the dispatcher and every worker call it on entry.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+}  // namespace
+
+int resolveWorkerCount(int requested) {
+  if (requested > 0) return requested;
+  if (requested < 0) return 1;
+  const char* s = std::getenv("XLV_WORKERS");
+  if (s != nullptr && *s != '\0') {
+    // Strict parse, unlike XLV_THREADS' warn-and-degrade: a worker pool is
+    // what the user explicitly asked the daemon for, so a typo should stop
+    // the run, not silently fan out differently.
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE || v < 1 || v > 1024) {
+      throw std::invalid_argument("XLV_WORKERS='" + std::string(s) +
+                                  "' is not an integer in [1, 1024]");
+    }
+    return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// --- worker ------------------------------------------------------------------
+
+namespace {
+
+/// Fault hooks are armed only for one worker slot's ORIGINAL process: the
+/// respawned generation must recover, which is exactly what the fault test
+/// asserts.
+bool faultHookArmed(int workerIndex, int generation) {
+  if (generation != 0) return false;
+  return envLong("XLV_TEST_FAULT_WORKER", 0) == static_cast<long>(workerIndex);
+}
+
+void maybeInjectFault(int workerIndex, int generation, std::uint64_t itemsDone) {
+  if (!faultHookArmed(workerIndex, generation)) return;
+  const long dieAfter = envLong("XLV_TEST_DIE_AFTER_ITEMS", -1);
+  if (dieAfter >= 0 && itemsDone >= static_cast<std::uint64_t>(dieAfter)) {
+    ::raise(SIGKILL);  // crash mid-shard, no unwinding, no result
+  }
+  const long exitAfter = envLong("XLV_TEST_EXIT_AFTER_ITEMS", -1);
+  if (exitAfter >= 0 && itemsDone >= static_cast<std::uint64_t>(exitAfter)) {
+    ::_exit(9);  // orderly-looking nonzero exit without a result
+  }
+  const long hangAfter = envLong("XLV_TEST_HANG_AFTER_ITEMS", -1);
+  if (hangAfter >= 0 && itemsDone >= static_cast<std::uint64_t>(hangAfter)) {
+    for (;;) ::pause();  // silent: no heartbeats, no result, never returns
+  }
+}
+
+}  // namespace
+
+int runDispatchWorker(const CampaignSpec& spec, const DispatchWorkerOptions& opt) {
+  ignoreSigpipe();
+  const std::uint64_t fnv = campaignSpecFnv(spec);
+  const std::uint64_t index = static_cast<std::uint64_t>(opt.workerIndex);
+  const std::uint64_t generation = static_cast<std::uint64_t>(opt.generation);
+  FrameReader reader;
+  std::uint64_t itemsDone = 0;
+
+  auto sendStatus = [&](const char* state) {
+    StatusFrame st;
+    st.workerIndex = index;
+    st.generation = generation;
+    st.itemsDone = itemsDone;
+    st.state = state;
+    return writeFd(opt.outFd, frameWire(encodeStatusFrame(st)));
+  };
+
+  if (!sendStatus("ready")) return 6;
+
+  for (;;) {
+    std::string doc;
+    int got = 0;
+    try {
+      got = readFrameBlocking(opt.inFd, reader, doc);
+    } catch (const util::DecodeError& e) {
+      XLV_ERROR("campaignd") << "worker " << index << ": corrupt frame stream: " << e.what();
+      return 7;
+    }
+    if (got == 0) return 0;  // dispatcher closed our stdin: clean shutdown
+
+    SubmitFrame submit;
+    try {
+      submit = decodeSubmitFrame(doc);
+    } catch (const util::DecodeError& e) {
+      // Version skew or an unexpected frame kind; refusing to talk beats
+      // running a unit from a different schema.
+      XLV_ERROR("campaignd") << "worker " << index << ": bad submit frame: " << e.what();
+      return 7;
+    }
+    if (submit.shutdown) return 0;
+    if (submit.specFnv != fnv) {
+      XLV_ERROR("campaignd") << "worker " << index
+                             << ": submit fingerprint mismatch (spec skew)";
+      return 8;
+    }
+
+    maybeInjectFault(opt.workerIndex, opt.generation, itemsDone);
+
+    if (!sendStatus("working")) return 6;
+
+    // Heartbeats ride a helper thread for the duration of the unit; it is
+    // the only stdout writer while it lives (joined before the result goes
+    // out), so no write interleaving is possible.
+    std::mutex beatMutex;
+    std::condition_variable beatCv;
+    bool beatStop = false;
+    std::thread beater([&] {
+      std::unique_lock<std::mutex> lock(beatMutex);
+      const auto interval = std::chrono::milliseconds(std::max(1, opt.heartbeatIntervalMs));
+      while (!beatCv.wait_for(lock, interval, [&] { return beatStop; })) {
+        HeartbeatFrame beat;
+        beat.workerIndex = index;
+        beat.generation = generation;
+        beat.seq = submit.seq;
+        beat.itemsDone = itemsDone;
+        lock.unlock();
+        writeFd(opt.outFd, frameWire(encodeHeartbeatFrame(beat)));
+        lock.lock();
+      }
+    });
+    auto stopBeater = [&] {
+      {
+        std::lock_guard<std::mutex> lock(beatMutex);
+        beatStop = true;
+      }
+      beatCv.notify_all();
+      beater.join();
+    };
+
+    ResultFrame result;
+    result.seq = submit.seq;
+    result.taskIndex = submit.taskIndex;
+    result.attempt = submit.attempt;
+    try {
+      result.output =
+          runShardUnits(spec, {submit.unit}, static_cast<int>(submit.taskIndex),
+                        static_cast<int>(submit.taskCount));
+    } catch (const std::exception& e) {
+      stopBeater();
+      // Item-level failures travel INSIDE the result; reaching here means
+      // the unit itself was malformed (task id outside the spec). The
+      // dispatcher sees the death and re-queues; the attempt budget stops
+      // an unrunnable unit from looping forever.
+      XLV_ERROR("campaignd") << "worker " << index << ": unit failed: " << e.what();
+      return 10;
+    }
+    stopBeater();
+
+    if (!writeFd(opt.outFd, frameWire(encodeResultFrame(result)))) return 6;
+    ++itemsDone;
+    if (!sendStatus("ready")) return 6;
+  }
+}
+
+// --- dispatcher --------------------------------------------------------------
+
+namespace {
+
+/// Spec handoff file shared by all workers, removed when the dispatch ends.
+struct SpecFileGuard {
+  fs::path path;
+  ~SpecFileGuard() {
+    if (!path.empty()) {
+      std::error_code ec;
+      fs::remove(path, ec);
+    }
+  }
+};
+
+struct WorkerSlot {
+  util::Subprocess proc;
+  FrameReader reader;
+  int generation = 0;
+  int respawns = 0;
+  bool ready = false;     ///< announced ready, waiting for work
+  bool busy = false;      ///< accepted a submit that has not completed
+  bool retired = false;   ///< dead with no respawn budget (or shut down)
+  bool timedOut = false;  ///< we SIGKILLed it for heartbeat silence
+  std::size_t taskIndex = 0;
+  Clock::time_point lastBeat{};
+};
+
+}  // namespace
+
+DispatchResult runDispatcher(const CampaignSpec& spec, const DispatchOptions& opt) {
+  if (opt.workerCommand.empty()) {
+    throw std::invalid_argument("runDispatcher: workerCommand must not be empty");
+  }
+  if (opt.heartbeatIntervalMs <= 0 || opt.heartbeatTimeoutMs <= 0) {
+    throw std::invalid_argument("runDispatcher: heartbeat interval/timeout must be > 0");
+  }
+  if (opt.maxTaskAttempts < 1) {
+    throw std::invalid_argument("runDispatcher: maxTaskAttempts must be >= 1");
+  }
+  ignoreSigpipe();
+
+  DispatchResult res;
+  DispatchLedger& led = res.ledger;
+
+  const DispatchUnitPlan plan =
+      planDispatchUnits(spec, opt.maxFragmentMutants, opt.mutantCounts);
+  TaskQueue queue(plan);
+  led.tasksTotal = queue.taskCount();
+  if (queue.taskCount() == 0) {
+    res.result.name = spec.name;
+    return res;
+  }
+  const std::uint64_t taskCount = queue.taskCount();
+
+  const int workers = resolveWorkerCount(opt.workers);
+  led.workersRequested = static_cast<std::uint64_t>(workers);
+
+  // Ship the spec once through a file; every worker decodes the same bytes,
+  // and the fingerprint in each submit frame re-checks the pairing.
+  SpecFileGuard specFile;
+  {
+    const fs::path dir = opt.specDir.empty() ? fs::temp_directory_path() : fs::path(opt.specDir);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    specFile.path = dir / ("xlv-campaignd-spec-" + std::to_string(::getpid()) + "-" +
+                           std::to_string(plan.specFnv) + ".xlv");
+    std::ofstream out(specFile.path, std::ios::binary | std::ios::trunc);
+    out << encodeCampaignSpec(spec);
+    if (!out) {
+      throw DispatchError("cannot write spec handoff file " + specFile.path.string());
+    }
+  }
+
+  std::vector<WorkerSlot> slots(static_cast<std::size_t>(workers));
+  auto spawnSlot = [&](std::size_t i) {
+    WorkerSlot& s = slots[i];
+    std::vector<std::string> argv = opt.workerCommand;
+    argv.push_back("--spec");
+    argv.push_back(specFile.path.string());
+    argv.push_back("--index");
+    argv.push_back(std::to_string(i));
+    argv.push_back("--generation");
+    argv.push_back(std::to_string(s.generation));
+    argv.push_back("--heartbeat-ms");
+    argv.push_back(std::to_string(opt.heartbeatIntervalMs));
+    const util::SubprocessEnv env = {
+        {"XLV_WORKER_INDEX", std::to_string(i)},
+        {"XLV_WORKER_GENERATION", std::to_string(s.generation)},
+    };
+    s.proc = util::Subprocess::spawn(argv, env);
+    s.reader = FrameReader{};
+    s.ready = false;
+    s.busy = false;
+    s.timedOut = false;
+    if (!s.proc.started()) {
+      s.retired = true;
+      XLV_ERROR("campaignd") << "worker " << i << ": spawn failed";
+      return false;
+    }
+    s.lastBeat = Clock::now();
+    ++led.workersSpawned;
+    return true;
+  };
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (spawnSlot(i)) ++live;
+  }
+  if (live == 0) throw DispatchError("could not spawn any worker process");
+
+  std::vector<ShardOutput> outputs(queue.taskCount());
+  std::vector<char> haveOutput(queue.taskCount(), 0);
+  std::uint64_t seqCounter = 0;
+
+  auto requeueLost = [&](WorkerSlot& s, std::size_t slotIndex, const std::string& reason) {
+    if (!s.busy) return;
+    s.busy = false;
+    if (queue.isCompleted(s.taskIndex)) return;  // its result was drained in time
+    const DispatchTask& t = queue.task(s.taskIndex);
+    if (static_cast<int>(t.attempts) >= opt.maxTaskAttempts) {
+      throw DispatchError("task " + std::to_string(t.index) + " (item " +
+                          std::to_string(t.unit.taskId) + ") lost after " +
+                          std::to_string(t.attempts) + " attempts (last: " + reason + ")");
+    }
+    queue.requeue(s.taskIndex);
+    RequeueRecord rec;
+    rec.taskIndex = t.index;
+    rec.unit = t.unit;
+    rec.attempt = t.attempts;
+    rec.reason = reason;
+    rec.workerIndex = slotIndex;
+    rec.generation = static_cast<std::uint64_t>(s.generation);
+    led.requeuedShards.push_back(rec);
+    XLV_WARN("campaignd") << "re-queued task " << t.index << " (attempt " << t.attempts
+                          << " lost to worker " << slotIndex << ": " << reason << ")";
+  };
+
+  // One frame from one worker; throws util::DecodeError on a corrupt or
+  // out-of-protocol document (the caller kills the worker).
+  auto handleFrame = [&](WorkerSlot& s, const std::string& doc) {
+    const std::string tag = util::peekDocumentTag(doc);
+    if (tag == kStatusFrameTag) {
+      const StatusFrame st = decodeStatusFrame(doc);
+      s.lastBeat = Clock::now();
+      if (st.state == "ready") {
+        s.ready = true;
+      }
+      return;
+    }
+    if (tag == kHeartbeatFrameTag) {
+      decodeHeartbeatFrame(doc);
+      s.lastBeat = Clock::now();
+      ++led.heartbeats;
+      return;
+    }
+    if (tag == kResultFrameTag) {
+      ResultFrame rf = decodeResultFrame(doc);
+      s.lastBeat = Clock::now();
+      if (rf.taskIndex >= taskCount) {
+        throw util::DecodeError("result for unknown task " + std::to_string(rf.taskIndex));
+      }
+      if (queue.complete(rf.taskIndex)) {
+        outputs[rf.taskIndex] = std::move(rf.output);
+        haveOutput[rf.taskIndex] = 1;
+        ++led.tasksCompleted;
+      } else {
+        // A retry raced its SIGKILLed predecessor's drained result; both
+        // copies are bit-identical, so dropping one is safe by design.
+        ++led.duplicateResults;
+      }
+      if (s.busy && s.taskIndex == rf.taskIndex) s.busy = false;
+      return;
+    }
+    throw util::DecodeError("unexpected frame '" + tag + "' from a worker");
+  };
+
+  auto drainReader = [&](WorkerSlot& s) {
+    std::string doc;
+    while (s.reader.next(doc)) handleFrame(s, doc);
+  };
+
+  // Death of a worker process: reap it, salvage any result already in the
+  // pipe, re-queue what it was running, respawn the slot if budget remains.
+  auto handleDeath = [&](std::size_t i, const char* reasonHint) {
+    WorkerSlot& s = slots[i];
+    try {
+      drainReader(s);
+    } catch (const util::DecodeError&) {
+      // A crash can truncate mid-frame; whatever did not parse is lost work
+      // the re-queue below recovers.
+    }
+    s.proc.wait();
+    std::string reason = reasonHint != nullptr ? reasonHint
+                         : s.timedOut          ? "heartbeat-timeout"
+                         : s.proc.termSignal() != 0 ? "worker-signal"
+                                                    : "worker-exit";
+    XLV_WARN("campaignd") << "worker " << i << " gen " << s.generation << " died ("
+                          << reason << ", exit=" << s.proc.exitCode()
+                          << ", signal=" << s.proc.termSignal() << ")";
+    requeueLost(s, i, reason);
+    s.ready = false;
+    if (!queue.done() && s.respawns < opt.maxWorkerRespawns) {
+      ++s.respawns;
+      ++s.generation;
+      ++led.workerRespawns;
+      spawnSlot(i);
+    } else {
+      s.retired = true;
+    }
+  };
+
+  while (!queue.done()) {
+    // Assignment: hand the heaviest pending unit to every idle worker. The
+    // steal is the claim — workers that finish early come back ready and
+    // immediately pull the next unit off the shared queue.
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      WorkerSlot& s = slots[i];
+      if (s.retired || !s.ready || s.busy || !queue.hasPending()) continue;
+      const DispatchTask& t = queue.claim();
+      SubmitFrame submit;
+      submit.specFnv = plan.specFnv;
+      submit.seq = ++seqCounter;
+      submit.taskIndex = t.index;
+      submit.taskCount = taskCount;
+      submit.attempt = t.attempts - 1;
+      submit.unit = t.unit;
+      s.ready = false;
+      s.busy = true;
+      s.taskIndex = t.index;
+      s.lastBeat = Clock::now();
+      if (!s.proc.writeAll(frameWire(encodeSubmitFrame(submit)))) {
+        // EPIPE: the worker died between frames; its EOF will be handled
+        // below, but the unit must not wait for that.
+        handleDeath(i, "submit-write-failed");
+        continue;
+      }
+      ++led.submissions;
+    }
+
+    if (queue.done()) break;
+
+    bool anyAlive = false;
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fdSlot;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].retired || !slots[i].proc.started()) continue;
+      anyAlive = true;
+      fds.push_back(pollfd{slots[i].proc.stdoutFd(), POLLIN, 0});
+      fdSlot.push_back(i);
+    }
+    if (!anyAlive) {
+      throw DispatchError("all workers lost with " +
+                          std::to_string(queue.taskCount() - queue.completedCount()) +
+                          " tasks unfinished");
+    }
+
+    const int pollMs = std::clamp(opt.heartbeatTimeoutMs / 4, 10, 100);
+    const int got = ::poll(fds.data(), fds.size(), pollMs);
+    if (got < 0 && errno != EINTR) {
+      throw DispatchError(std::string("poll failed: ") + std::strerror(errno));
+    }
+
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const std::size_t i = fdSlot[k];
+      WorkerSlot& s = slots[i];
+      if (s.retired) continue;  // a handleDeath above may have retired it
+      char buf[65536];
+      const ssize_t n = ::read(s.proc.stdoutFd(), buf, sizeof buf);
+      if (n > 0) {
+        s.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+        try {
+          drainReader(s);
+        } catch (const util::DecodeError& e) {
+          XLV_ERROR("campaignd") << "worker " << i << ": corrupt stream: " << e.what();
+          s.proc.kill(SIGKILL);
+          handleDeath(i, "protocol-error");
+        }
+      } else if (n == 0) {
+        handleDeath(i, nullptr);
+      } else if (errno != EINTR && errno != EAGAIN) {
+        handleDeath(i, nullptr);
+      }
+    }
+
+    // Hang detection: a busy worker silent past the timeout gets SIGKILLed;
+    // the EOF shows up on the next poll and runs the normal death path
+    // (which salvages any result racing the kill through the pipe).
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      WorkerSlot& s = slots[i];
+      if (s.retired || !s.busy || s.timedOut) continue;
+      const auto silentMs =
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - s.lastBeat).count();
+      if (silentMs > opt.heartbeatTimeoutMs) {
+        XLV_WARN("campaignd") << "worker " << i << " silent for " << silentMs
+                              << " ms on task " << s.taskIndex << "; killing";
+        s.timedOut = true;
+        ++led.workersKilled;
+        s.proc.kill(SIGKILL);
+      }
+    }
+  }
+
+  // Clean shutdown: an explicit frame plus stdin EOF, then a short grace
+  // before escalating to SIGKILL (the slot destructor would anyway).
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    WorkerSlot& s = slots[i];
+    if (s.retired || !s.proc.started()) continue;
+    SubmitFrame bye;
+    bye.specFnv = plan.specFnv;
+    bye.seq = ++seqCounter;
+    bye.shutdown = true;
+    s.proc.writeAll(frameWire(encodeSubmitFrame(bye)));
+    s.proc.closeStdin();
+  }
+  const auto grace = Clock::now() + std::chrono::seconds(2);
+  for (WorkerSlot& s : slots) {
+    if (s.retired || !s.proc.started()) continue;
+    while (s.proc.running() && Clock::now() < grace) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (s.proc.running()) s.proc.kill(SIGKILL);
+    s.proc.wait();
+  }
+
+  std::vector<ShardOutput> collected;
+  collected.reserve(outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    if (!haveOutput[i]) {
+      throw DispatchError("task " + std::to_string(i) + " completed without an output");
+    }
+    collected.push_back(std::move(outputs[i]));
+  }
+  res.result = mergeShards(spec, collected);
+  XLV_INFO("campaignd") << "dispatched " << led.tasksTotal << " tasks to " << workers
+                        << " workers: " << led.submissions << " submissions, "
+                        << led.requeuedShards.size() << " re-queues, "
+                        << led.duplicateResults << " duplicate results";
+  return res;
+}
+
+// --- ledger JSON -------------------------------------------------------------
+
+std::string encodeDispatchLedgerJson(const DispatchLedger& ledger) {
+  std::string out = "{\n";
+  auto num = [&](const char* key, std::uint64_t v, bool comma = true) {
+    out += "  \"";
+    out += key;
+    out += "\": ";
+    out += std::to_string(v);
+    out += comma ? ",\n" : "\n";
+  };
+  num("tasksTotal", ledger.tasksTotal);
+  num("tasksCompleted", ledger.tasksCompleted);
+  num("submissions", ledger.submissions);
+  num("duplicateResults", ledger.duplicateResults);
+  num("workersRequested", ledger.workersRequested);
+  num("workersSpawned", ledger.workersSpawned);
+  num("workerRespawns", ledger.workerRespawns);
+  num("workersKilled", ledger.workersKilled);
+  num("heartbeats", ledger.heartbeats);
+  out += "  \"requeuedShards\": [";
+  for (std::size_t i = 0; i < ledger.requeuedShards.size(); ++i) {
+    const RequeueRecord& r = ledger.requeuedShards[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"taskIndex\": " + std::to_string(r.taskIndex);
+    out += ", \"itemId\": " + std::to_string(r.unit.taskId);
+    out += ", \"mutantBegin\": " + std::to_string(r.unit.mutantBegin);
+    out += ", \"mutantEnd\": " + std::to_string(r.unit.mutantEnd);
+    out += ", \"attempt\": " + std::to_string(r.attempt);
+    out += ", \"reason\": \"" + r.reason + "\"";
+    out += ", \"workerIndex\": " + std::to_string(r.workerIndex);
+    out += ", \"generation\": " + std::to_string(r.generation);
+    out += "}";
+  }
+  out += ledger.requeuedShards.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace xlv::campaign

@@ -1,0 +1,231 @@
+// Campaign dispatcher daemon: work-stealing worker pool with crash recovery.
+//
+// PR 3's static sharding (campaign/shard.h) splits a campaign into N
+// weight-balanced slices up front — good enough when every fragment costs
+// what the planner guessed, and useless when a worker dies. This layer is
+// the dynamic counterpart (ROADMAP "campaign service", local step): a
+// dispatcher process
+//
+//   * splits the spec into STEALABLE UNITS (planDispatchUnits — the flat
+//     unit/weight list underneath planShards, mutant-range fragments and
+//     all) and queues them heaviest-first,
+//   * spawns a pool of worker subprocesses (util/subprocess.h) that each
+//     loop { recv unit, run it via runShardUnits, stream the ShardOutput
+//     back },
+//   * schedules by WORK-STEALING: a worker that finishes early just claims
+//     the next queued unit, so one mispredicted 100x fragment delays one
+//     worker, not the whole static plan,
+//   * merges results incrementally via mergeShards as they arrive, and
+//   * RE-QUEUES the in-flight unit of any worker that dies (exit, signal)
+//     or goes silent past the heartbeat timeout (SIGKILLed first). Retries
+//     are safe because unit results are bit-identical by construction —
+//     mergeShards deduplicates a retry that raced its dead predecessor's
+//     delivered result.
+//
+// Wire protocol: length-framed util/codec documents over the workers'
+// stdin/stdout pipes (frameWire / FrameReader below; frame schemas in
+// campaign/serialize.h, codec v5). Everything is versioned, so a
+// mixed-version dispatcher/worker pair refuses to talk instead of skewing
+// results.
+//
+// The dispatcher is deliberately SINGLE-THREADED (one poll(2) loop): every
+// scheduling decision is a deterministic function of the event order, which
+// is what the scheduler unit tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/shard.h"
+
+namespace xlv::campaign {
+
+// --- frame transport ---------------------------------------------------------
+
+/// Wrap one codec document for the pipe: "xlvf <len>\n" + document. The
+/// prefix is the only framing layer; the document's own header/version
+/// checks still apply after deframing.
+std::string frameWire(std::string_view doc);
+
+/// Incremental deframer for a pipe byte stream: feed() arbitrary chunks,
+/// next() yields complete documents in order. Malformed framing (bad magic,
+/// non-numeric or absurd length) throws util::DecodeError — a corrupted
+/// stream must kill the connection, never resync silently.
+class FrameReader {
+ public:
+  /// Append raw bytes from the pipe.
+  void feed(std::string_view data);
+  /// Extract the next complete document into `doc`; false when the buffer
+  /// holds only a partial frame.
+  bool next(std::string& doc);
+  /// Bytes buffered but not yet returned (0 on a clean EOF boundary).
+  std::size_t pendingBytes() const noexcept { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  std::size_t pos_ = 0;
+};
+
+// --- work-stealing task queue ------------------------------------------------
+
+/// One stealable unit with its scheduling state.
+struct DispatchTask {
+  std::size_t index = 0;  ///< position in the dispatch unit list (== merge shardIndex)
+  ShardUnit unit;
+  std::uint64_t weight = 1;    ///< planner weight (mutant count)
+  std::uint64_t attempts = 0;  ///< submissions so far (1 = first run underway/done)
+};
+
+/// Deterministic central queue the workers steal from. Pending tasks are
+/// ordered heaviest-first (weight desc, index asc — LPT scheduling), so the
+/// expensive fragments start first and the small ones backfill idle
+/// workers; a re-queued task goes to the FRONT (it already waited once).
+/// Single-threaded by design: only the dispatcher loop touches it.
+class TaskQueue {
+ public:
+  TaskQueue() = default;
+  explicit TaskQueue(const DispatchUnitPlan& plan);
+
+  std::size_t taskCount() const noexcept { return tasks_.size(); }
+  std::size_t pendingCount() const noexcept { return pending_.size(); }
+  bool hasPending() const noexcept { return !pending_.empty(); }
+  /// True once every task completed.
+  bool done() const noexcept { return completed_ == tasks_.size(); }
+  std::size_t completedCount() const noexcept { return completed_; }
+
+  /// Pop the heaviest pending task, marking it in flight and counting the
+  /// submission attempt. Throws std::logic_error when nothing is pending.
+  const DispatchTask& claim();
+  /// Return an in-flight task to the front of the queue (lost worker).
+  /// Throws std::logic_error unless the task is currently in flight.
+  void requeue(std::size_t taskIndex);
+  /// Mark a task finished (accepted while in flight OR pending — a killed
+  /// worker's already-piped result can land after its task was re-queued).
+  /// False (and no state change) when the task already completed — a
+  /// duplicate result from a raced retry.
+  bool complete(std::size_t taskIndex);
+  bool isCompleted(std::size_t taskIndex) const;
+
+  const DispatchTask& task(std::size_t taskIndex) const { return tasks_.at(taskIndex); }
+
+ private:
+  enum class State : unsigned char { Pending, InFlight, Completed };
+  std::vector<DispatchTask> tasks_;
+  std::vector<State> states_;
+  std::vector<std::size_t> pending_;  ///< task indices, front = next claim
+  std::size_t completed_ = 0;
+};
+
+// --- dispatcher --------------------------------------------------------------
+
+/// Scheduling failed in a way retries cannot fix: a task exhausted its
+/// attempt budget, every worker slot died with work pending, or the worker
+/// pool could not be spawned at all. (Campaign ITEM errors are not dispatch
+/// errors — they travel inside the merged result like everywhere else.)
+class DispatchError : public std::runtime_error {
+ public:
+  explicit DispatchError(const std::string& what)
+      : std::runtime_error("dispatch: " + what) {}
+};
+
+struct DispatchOptions {
+  /// Worker pool size; 0 = resolveWorkerCount(0) (XLV_WORKERS or hardware).
+  int workers = 0;
+  /// Stealable-unit granularity, as ShardPlanOptions::maxFragmentMutants.
+  std::size_t maxFragmentMutants = 0;
+  /// Optional per-item mutant counts (planDispatchUnits semantics).
+  std::vector<std::size_t> mutantCounts;
+  /// Command prefix that execs ONE WORKER speaking the frame protocol on
+  /// stdin/stdout; the dispatcher appends "--spec <path> --index <i>
+  /// --generation <g> --heartbeat-ms <n>". Required.
+  std::vector<std::string> workerCommand;
+  /// Milliseconds between worker heartbeats while a unit runs.
+  int heartbeatIntervalMs = 200;
+  /// A busy worker silent this long is presumed hung: SIGKILL + re-queue.
+  int heartbeatTimeoutMs = 10000;
+  /// Submission budget per task (first run + retries); exhausting it is a
+  /// DispatchError.
+  int maxTaskAttempts = 3;
+  /// Respawn budget per worker slot after a crash/kill.
+  int maxWorkerRespawns = 2;
+  /// Directory for the spec handoff file ("" = std::filesystem temp dir).
+  std::string specDir;
+};
+
+/// One crash-recovery re-queue, as surfaced in the ledger (the acceptance
+/// criterion: a killed worker's unit must show up here AND in the merged
+/// result).
+struct RequeueRecord {
+  std::uint64_t taskIndex = 0;
+  ShardUnit unit;
+  std::uint64_t attempt = 0;  ///< 1-based submission attempt that was lost
+  std::string reason;  ///< "worker-exit" | "worker-signal" | "heartbeat-timeout" | "submit-write-failed"
+  std::uint64_t workerIndex = 0;
+  std::uint64_t generation = 0;
+};
+
+struct DispatchLedger {
+  std::uint64_t tasksTotal = 0;
+  std::uint64_t tasksCompleted = 0;
+  std::uint64_t submissions = 0;       ///< submit frames accepted by workers
+  std::uint64_t duplicateResults = 0;  ///< results discarded (task already done)
+  std::uint64_t workersRequested = 0;
+  std::uint64_t workersSpawned = 0;  ///< processes ever spawned (incl. respawns)
+  std::uint64_t workerRespawns = 0;
+  std::uint64_t workersKilled = 0;  ///< heartbeat-timeout SIGKILLs
+  std::uint64_t heartbeats = 0;
+  std::vector<RequeueRecord> requeuedShards;
+};
+
+struct DispatchResult {
+  CampaignResult result;  ///< mergeShards output, bit-identical to runCampaign
+  DispatchLedger ledger;
+};
+
+/// Run the campaign through a dispatcher-owned worker pool. Blocks until
+/// every unit completed (merging incrementally as results stream back) and
+/// returns the merged result plus the scheduling ledger. Throws
+/// DispatchError when recovery is impossible (see class doc);
+/// std::invalid_argument on a malformed request (empty workerCommand,
+/// non-positive timeouts).
+DispatchResult runDispatcher(const CampaignSpec& spec, const DispatchOptions& opt);
+
+struct DispatchWorkerOptions {
+  int workerIndex = 0;
+  int generation = 0;
+  int heartbeatIntervalMs = 200;
+  int inFd = 0;    ///< frames from the dispatcher (stdin)
+  int outFd = 1;   ///< frames to the dispatcher (stdout)
+};
+
+/// Worker main loop (the "worker" subcommand of tools/xlv_campaignd): recv
+/// SubmitFrames, run each unit via runShardUnits, stream StatusFrame /
+/// HeartbeatFrame / ResultFrame back. Returns the process exit code: 0
+/// after a clean shutdown frame or dispatcher EOF, nonzero on protocol
+/// errors (codec version skew, spec fingerprint mismatch).
+///
+/// Fault-injection hooks (tests/campaign/dispatch_fault_test.cpp), honored
+/// only when XLV_TEST_FAULT_WORKER (default 0) names this workerIndex AND
+/// generation == 0, so the respawned worker recovers:
+///   XLV_TEST_DIE_AFTER_ITEMS=N   raise(SIGKILL) on accepting a unit once
+///                                itemsDone >= N (crash mid-shard);
+///   XLV_TEST_HANG_AFTER_ITEMS=N  stop heartbeating and sleep forever
+///                                (exercises the heartbeat timeout);
+///   XLV_TEST_EXIT_AFTER_ITEMS=N  _exit(9) (orderly-looking failure).
+int runDispatchWorker(const CampaignSpec& spec, const DispatchWorkerOptions& opt);
+
+/// Worker pool size: `requested` when > 0, else strict-parsed XLV_WORKERS
+/// (positive integer, else std::invalid_argument), else
+/// hardware_concurrency (>= 1).
+int resolveWorkerCount(int requested);
+
+/// The ledger as a JSON object (CI uploads it next to the BENCH_*.json
+/// artifacts; keys are the DispatchLedger field names, requeuedShards as an
+/// array of objects).
+std::string encodeDispatchLedgerJson(const DispatchLedger& ledger);
+
+}  // namespace xlv::campaign

@@ -476,4 +476,128 @@ core::FlowPrefix decodeFlowPrefix(std::string_view data, const ips::CaseStudy& c
   return prefix;
 }
 
+// --- dispatcher daemon wire frames -------------------------------------------
+
+const char* const kSubmitFrameTag = "dispatch-submit";
+const char* const kStatusFrameTag = "dispatch-status";
+const char* const kHeartbeatFrameTag = "dispatch-heartbeat";
+const char* const kResultFrameTag = "dispatch-result";
+
+namespace {
+
+void putFrameUnit(Encoder& e, const ShardUnit& u) {
+  e.u64("unit.taskId", u.taskId);
+  e.u64("unit.mutantBegin", u.mutantBegin);
+  e.u64("unit.mutantEnd", u.mutantEnd);
+}
+
+ShardUnit getFrameUnit(Decoder& d) {
+  ShardUnit u;
+  u.taskId = static_cast<std::size_t>(d.u64("unit.taskId"));
+  u.mutantBegin = static_cast<std::size_t>(d.u64("unit.mutantBegin"));
+  u.mutantEnd = static_cast<std::size_t>(d.u64("unit.mutantEnd"));
+  return u;
+}
+
+}  // namespace
+
+bool ResultFrame::operator==(const ResultFrame& other) const {
+  // ShardOutput carries a nested CampaignResult with no memberwise
+  // equality; the byte-stable canonical encoding IS its identity.
+  return seq == other.seq && taskIndex == other.taskIndex && attempt == other.attempt &&
+         encodeShardOutput(output) == encodeShardOutput(other.output);
+}
+
+std::string encodeSubmitFrame(const SubmitFrame& f) {
+  Encoder e(kSubmitFrameTag, kCampaignCodecVersion);
+  e.u64("specFnv", f.specFnv);
+  e.u64("seq", f.seq);
+  e.u64("taskIndex", f.taskIndex);
+  e.u64("taskCount", f.taskCount);
+  e.u64("attempt", f.attempt);
+  putFrameUnit(e, f.unit);
+  e.boolean("shutdown", f.shutdown);
+  return e.take();
+}
+
+SubmitFrame decodeSubmitFrame(std::string_view data) {
+  Decoder d(data, kSubmitFrameTag, kCampaignCodecVersion);
+  SubmitFrame f;
+  f.specFnv = d.u64("specFnv");
+  f.seq = d.u64("seq");
+  f.taskIndex = d.u64("taskIndex");
+  f.taskCount = d.u64("taskCount");
+  f.attempt = d.u64("attempt");
+  f.unit = getFrameUnit(d);
+  f.shutdown = d.boolean("shutdown");
+  d.finish();
+  return f;
+}
+
+std::string encodeStatusFrame(const StatusFrame& f) {
+  Encoder e(kStatusFrameTag, kCampaignCodecVersion);
+  e.u64("workerIndex", f.workerIndex);
+  e.u64("generation", f.generation);
+  e.u64("itemsDone", f.itemsDone);
+  e.str("state", f.state);
+  return e.take();
+}
+
+StatusFrame decodeStatusFrame(std::string_view data) {
+  Decoder d(data, kStatusFrameTag, kCampaignCodecVersion);
+  StatusFrame f;
+  f.workerIndex = d.u64("workerIndex");
+  f.generation = d.u64("generation");
+  f.itemsDone = d.u64("itemsDone");
+  f.state = d.str("state");
+  if (f.state != "ready" && f.state != "working") {
+    throw DecodeError("status frame: unknown state '" + f.state + "'");
+  }
+  d.finish();
+  return f;
+}
+
+std::string encodeHeartbeatFrame(const HeartbeatFrame& f) {
+  Encoder e(kHeartbeatFrameTag, kCampaignCodecVersion);
+  e.u64("workerIndex", f.workerIndex);
+  e.u64("generation", f.generation);
+  e.u64("seq", f.seq);
+  e.u64("itemsDone", f.itemsDone);
+  return e.take();
+}
+
+HeartbeatFrame decodeHeartbeatFrame(std::string_view data) {
+  Decoder d(data, kHeartbeatFrameTag, kCampaignCodecVersion);
+  HeartbeatFrame f;
+  f.workerIndex = d.u64("workerIndex");
+  f.generation = d.u64("generation");
+  f.seq = d.u64("seq");
+  f.itemsDone = d.u64("itemsDone");
+  d.finish();
+  return f;
+}
+
+std::string encodeResultFrame(const ResultFrame& f) {
+  Encoder e(kResultFrameTag, kCampaignCodecVersion);
+  e.u64("seq", f.seq);
+  e.u64("taskIndex", f.taskIndex);
+  e.u64("attempt", f.attempt);
+  // The output travels as a nested shard-output document: its own header
+  // keeps the schema independently checkable, exactly like the result
+  // nested inside encodeShardOutput itself.
+  e.str("output", encodeShardOutput(f.output));
+  return e.take();
+}
+
+ResultFrame decodeResultFrame(std::string_view data) {
+  Decoder d(data, kResultFrameTag, kCampaignCodecVersion);
+  ResultFrame f;
+  f.seq = d.u64("seq");
+  f.taskIndex = d.u64("taskIndex");
+  f.attempt = d.u64("attempt");
+  f.output = decodeShardOutput(d.str("output"));
+  d.finish();
+  return f;
+}
+
 }  // namespace xlv::campaign

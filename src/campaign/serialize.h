@@ -25,11 +25,13 @@
 // (doubles are hexfloat-rendered, so finite values round-trip exactly).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "campaign/campaign.h"
+#include "campaign/shard.h"
 
 namespace xlv::campaign {
 
@@ -42,7 +44,10 @@ namespace xlv::campaign {
 /// v4: FlowOptions::backend/batch/measureTlm and the native-backend ledgers
 /// (nativeCompiles/nativeCacheHits/batchedMutants) on AnalysisReport and
 /// CampaignResult.
-inline constexpr int kCampaignCodecVersion = 4;
+/// v5: the dispatcher daemon wire frames (submit/status/heartbeat/result,
+/// campaign/dispatch.h) — mixed-version dispatcher/worker pairs must refuse
+/// to talk, so the frame schema shares the campaign domain version.
+inline constexpr int kCampaignCodecVersion = 5;
 
 /// Names accepted by buildCaseStudyByName (the spec wire format's case-study
 /// identity space).
@@ -75,5 +80,75 @@ analysis::MutantResult decodeMutantResult(std::string_view data);
 std::string encodeFlowPrefix(const core::FlowPrefix& prefix);
 core::FlowPrefix decodeFlowPrefix(std::string_view data, const ips::CaseStudy& cs,
                                   const core::FlowOptions& opts);
+
+// --- dispatcher daemon wire frames (campaign/dispatch.h; codec v5) -----------
+//
+// The dispatcher and its worker subprocesses speak length-framed codec
+// documents over pipes (later: sockets). Four frame kinds; every one is
+// versioned with kCampaignCodecVersion, so a dispatcher never feeds work to
+// a worker built against a different schema. util::peekDocumentTag picks
+// the decoder; all four decoders are strict (DecodeError on truncation,
+// corruption, reordering or version skew) and byte-stable.
+
+/// Dispatcher -> worker: run one stealable unit (a whole campaign item or a
+/// mutant-range fragment), or shut down cleanly.
+struct SubmitFrame {
+  std::uint64_t specFnv = 0;    ///< fingerprint of the spec the worker loaded
+  std::uint64_t seq = 0;        ///< dispatcher-wide submission sequence number
+  std::uint64_t taskIndex = 0;  ///< index into the dispatch unit list
+  std::uint64_t taskCount = 0;  ///< total units (the merge's shardCount)
+  std::uint64_t attempt = 0;    ///< 0 = first run, >0 = crash-recovery retry
+  ShardUnit unit;
+  bool shutdown = false;  ///< true: no more work; unit/task fields ignored
+  bool operator==(const SubmitFrame&) const = default;
+};
+
+/// Worker -> dispatcher: lifecycle announcement ("ready" after spawn and
+/// after each completed unit; "working" right after accepting a submit).
+struct StatusFrame {
+  std::uint64_t workerIndex = 0;
+  std::uint64_t generation = 0;  ///< respawn generation of the worker slot
+  std::uint64_t itemsDone = 0;   ///< units completed by this worker process
+  std::string state;             ///< "ready" | "working"
+  bool operator==(const StatusFrame&) const = default;
+};
+
+/// Worker -> dispatcher: periodic liveness beat while a unit is running. A
+/// busy worker silent past the dispatcher's heartbeat timeout is SIGKILLed
+/// and its unit re-queued.
+struct HeartbeatFrame {
+  std::uint64_t workerIndex = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t seq = 0;  ///< submission this beat is for
+  std::uint64_t itemsDone = 0;
+  bool operator==(const HeartbeatFrame&) const = default;
+};
+
+/// Worker -> dispatcher: one completed unit's ShardOutput (shardIndex =
+/// taskIndex, shardCount = taskCount), streamed back as soon as it
+/// finishes so the dispatcher can merge incrementally.
+struct ResultFrame {
+  std::uint64_t seq = 0;
+  std::uint64_t taskIndex = 0;
+  std::uint64_t attempt = 0;
+  ShardOutput output;
+  bool operator==(const ResultFrame&) const;
+};
+
+std::string encodeSubmitFrame(const SubmitFrame& f);
+SubmitFrame decodeSubmitFrame(std::string_view data);
+std::string encodeStatusFrame(const StatusFrame& f);
+StatusFrame decodeStatusFrame(std::string_view data);
+std::string encodeHeartbeatFrame(const HeartbeatFrame& f);
+HeartbeatFrame decodeHeartbeatFrame(std::string_view data);
+std::string encodeResultFrame(const ResultFrame& f);
+ResultFrame decodeResultFrame(std::string_view data);
+
+/// The codec tags of the four frames ("dispatch-submit" etc.), as
+/// util::peekDocumentTag reports them.
+extern const char* const kSubmitFrameTag;
+extern const char* const kStatusFrameTag;
+extern const char* const kHeartbeatFrameTag;
+extern const char* const kResultFrameTag;
 
 }  // namespace xlv::campaign

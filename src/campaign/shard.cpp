@@ -54,19 +54,16 @@ std::size_t countFlowMutants(const ips::CaseStudy& cs, const core::FlowOptions& 
   return core::sliceMutantSet(specs, opts.mutantSet).size();
 }
 
-ShardPlan planShards(const CampaignSpec& spec, const ShardPlanOptions& opt) {
-  if (opt.shards < 1) {
-    throw std::invalid_argument("planShards: shard count must be >= 1, got " +
-                                std::to_string(opt.shards));
-  }
-  if (!opt.mutantCounts.empty() && opt.mutantCounts.size() != spec.items.size()) {
+DispatchUnitPlan planDispatchUnits(const CampaignSpec& spec, std::size_t maxFragmentMutants,
+                                   const std::vector<std::size_t>& mutantCounts) {
+  if (!mutantCounts.empty() && mutantCounts.size() != spec.items.size()) {
     throw std::invalid_argument(
-        "planShards: mutantCounts size " + std::to_string(opt.mutantCounts.size()) +
+        "planDispatchUnits: mutantCounts size " + std::to_string(mutantCounts.size()) +
         " does not match the spec's " + std::to_string(spec.items.size()) + " items");
   }
 
-  std::vector<std::size_t> counts = opt.mutantCounts;
-  if (counts.empty() && opt.maxFragmentMutants > 0) {
+  std::vector<std::size_t> counts = mutantCounts;
+  if (counts.empty() && maxFragmentMutants > 0) {
     counts.reserve(spec.items.size());
     for (const auto& item : spec.items) {
       counts.push_back(countFlowMutants(item.caseStudy, item.options));
@@ -74,29 +71,40 @@ ShardPlan planShards(const CampaignSpec& spec, const ShardPlanOptions& opt) {
   }
 
   // Units in global task-id order (fragments of one item in range order),
-  // each weighted by its mutant count so the contiguous split below
-  // balances simulation work, not just item counts.
-  std::vector<ShardUnit> units;
-  std::vector<std::uint64_t> weights;
-  std::uint64_t totalWeight = 0;
+  // each weighted by its mutant count so schedulers can balance simulation
+  // work, not just item counts.
+  DispatchUnitPlan plan;
+  plan.specFnv = campaignSpecFnv(spec);
   for (std::size_t i = 0; i < spec.items.size(); ++i) {
     const std::size_t count = i < counts.size() ? counts[i] : 0;
-    if (opt.maxFragmentMutants > 0 && count > opt.maxFragmentMutants) {
-      for (std::size_t begin = 0; begin < count; begin += opt.maxFragmentMutants) {
-        const std::size_t end = std::min(count, begin + opt.maxFragmentMutants);
-        units.push_back(ShardUnit{i, begin, end});
-        weights.push_back(static_cast<std::uint64_t>(end - begin));
-        totalWeight += weights.back();
+    if (maxFragmentMutants > 0 && count > maxFragmentMutants) {
+      for (std::size_t begin = 0; begin < count; begin += maxFragmentMutants) {
+        const std::size_t end = std::min(count, begin + maxFragmentMutants);
+        plan.units.push_back(ShardUnit{i, begin, end});
+        plan.weights.push_back(static_cast<std::uint64_t>(end - begin));
       }
     } else {
-      units.push_back(ShardUnit{i, 0, 0});
-      weights.push_back(std::max<std::uint64_t>(count, 1));
-      totalWeight += weights.back();
+      plan.units.push_back(ShardUnit{i, 0, 0});
+      plan.weights.push_back(std::max<std::uint64_t>(count, 1));
     }
   }
+  return plan;
+}
+
+ShardPlan planShards(const CampaignSpec& spec, const ShardPlanOptions& opt) {
+  if (opt.shards < 1) {
+    throw std::invalid_argument("planShards: shard count must be >= 1, got " +
+                                std::to_string(opt.shards));
+  }
+  const DispatchUnitPlan flat =
+      planDispatchUnits(spec, opt.maxFragmentMutants, opt.mutantCounts);
+  const std::vector<ShardUnit>& units = flat.units;
+  const std::vector<std::uint64_t>& weights = flat.weights;
+  std::uint64_t totalWeight = 0;
+  for (std::uint64_t w : weights) totalWeight += w;
 
   ShardPlan plan;
-  plan.specFnv = campaignSpecFnv(spec);
+  plan.specFnv = flat.specFnv;
   plan.specItems = spec.items.size();
   plan.shards.assign(static_cast<std::size_t>(opt.shards), {});
   // Contiguous weighted partition: advance to the next shard once the
@@ -118,17 +126,8 @@ ShardPlan planShards(const CampaignSpec& spec, const ShardPlanOptions& opt) {
   return plan;
 }
 
-ShardOutput runShard(const CampaignSpec& spec, const ShardPlan& plan, int shardIndex) {
-  const std::uint64_t fnv = campaignSpecFnv(spec);
-  if (plan.specFnv != fnv || plan.specItems != spec.items.size()) {
-    throw std::invalid_argument("runShard: plan was built for a different spec");
-  }
-  if (shardIndex < 0 || shardIndex >= plan.shardCount()) {
-    throw std::invalid_argument("runShard: shard index " + std::to_string(shardIndex) +
-                                " outside [0, " + std::to_string(plan.shardCount()) + ")");
-  }
-  const std::vector<ShardUnit>& units = plan.shards[static_cast<std::size_t>(shardIndex)];
-
+ShardOutput runShardUnits(const CampaignSpec& spec, const std::vector<ShardUnit>& units,
+                          int shardIndex, int shardCount) {
   CampaignSpec sub;
   sub.name = spec.name + "/shard" + std::to_string(shardIndex);
   sub.executor = spec.executor;
@@ -143,9 +142,9 @@ ShardOutput runShard(const CampaignSpec& spec, const ShardPlan& plan, int shardI
   }
 
   ShardOutput out;
-  out.specFnv = fnv;
+  out.specFnv = campaignSpecFnv(spec);
   out.shardIndex = shardIndex;
-  out.shardCount = plan.shardCount();
+  out.shardCount = shardCount;
   out.units = units;
   out.result = runCampaign(sub);
   // Task ids must be the GLOBAL ids the merge keys on, not shard-local ones.
@@ -153,6 +152,19 @@ ShardOutput runShard(const CampaignSpec& spec, const ShardPlan& plan, int shardI
     out.result.items[i].taskId = units[i].taskId;
   }
   return out;
+}
+
+ShardOutput runShard(const CampaignSpec& spec, const ShardPlan& plan, int shardIndex) {
+  const std::uint64_t fnv = campaignSpecFnv(spec);
+  if (plan.specFnv != fnv || plan.specItems != spec.items.size()) {
+    throw std::invalid_argument("runShard: plan was built for a different spec");
+  }
+  if (shardIndex < 0 || shardIndex >= plan.shardCount()) {
+    throw std::invalid_argument("runShard: shard index " + std::to_string(shardIndex) +
+                                " outside [0, " + std::to_string(plan.shardCount()) + ")");
+  }
+  return runShardUnits(spec, plan.shards[static_cast<std::size_t>(shardIndex)], shardIndex,
+                       plan.shardCount());
 }
 
 namespace {
@@ -260,6 +272,28 @@ CampaignItemResult stitchFragments(std::size_t taskId, bool analysisRan,
   return merged;
 }
 
+/// Agreement check for a double-submitted fragment: everything
+/// CampaignResult::sameResults compares, at single-item granularity.
+/// Retried fragments are bit-identical by construction, so two copies of one
+/// fragment id that disagree mean spec/schema skew — a merge error, never a
+/// silent pick.
+bool samePartResults(const CampaignItemResult& x, const CampaignItemResult& y) {
+  const auto& rx = x.report;
+  const auto& ry = y.report;
+  if (x.label != y.label || x.error != y.error) return false;
+  if (rx.ipName != ry.ipName || rx.sensorKind != ry.sensorKind || rx.hfRatio != ry.hfRatio ||
+      rx.sensors.size() != ry.sensors.size() ||
+      rx.skippedEndpoints != ry.skippedEndpoints ||
+      rx.sensorAreaGates != ry.sensorAreaGates ||
+      rx.sta.criticalCount != ry.sta.criticalCount ||
+      rx.sta.thresholdPs != ry.sta.thresholdPs || rx.loc.rtlClean != ry.loc.rtlClean ||
+      rx.loc.rtlAugmented != ry.loc.rtlAugmented || rx.loc.tlm != ry.loc.tlm ||
+      rx.loc.tlmInjected != ry.loc.tlmInjected || rx.mutantSpecs != ry.mutantSpecs) {
+    return false;
+  }
+  return rx.analysis.sameResults(ry.analysis);
+}
+
 }  // namespace
 
 CampaignResult mergeShards(const CampaignSpec& spec, const std::vector<ShardOutput>& outputs) {
@@ -268,12 +302,13 @@ CampaignResult mergeShards(const CampaignSpec& spec, const std::vector<ShardOutp
     throw std::invalid_argument("merge: no shard outputs");
   }
   const int shardCount = outputs.front().shardCount;
-  if (static_cast<int>(outputs.size()) != shardCount) {
-    throw std::invalid_argument("merge: plan has " + std::to_string(shardCount) +
-                                " shards but " + std::to_string(outputs.size()) +
-                                " outputs were provided");
-  }
-  std::vector<char> seen(static_cast<std::size_t>(shardCount), 0);
+  // Re-queued work may deliver a shard twice (the dispatcher's crash-recovery
+  // retry can race its dead predecessor's already-written output), so
+  // duplicates of one shard index are tolerated — they must re-run the same
+  // units — and coverage means every index seen AT LEAST once.
+  std::vector<const ShardOutput*> firstByIndex(static_cast<std::size_t>(
+                                                  std::max(shardCount, 0)),
+                                              nullptr);
   for (const auto& o : outputs) {
     if (o.specFnv != fnv) {
       throw std::invalid_argument("merge: shard " + std::to_string(o.shardIndex) +
@@ -284,13 +319,24 @@ CampaignResult mergeShards(const CampaignSpec& spec, const std::vector<ShardOutp
                                   std::to_string(o.shardIndex) + " of " +
                                   std::to_string(o.shardCount) + ")");
     }
-    if (seen[static_cast<std::size_t>(o.shardIndex)]++) {
-      throw std::invalid_argument("merge: duplicate output for shard " +
-                                  std::to_string(o.shardIndex));
-    }
     if (o.units.size() != o.result.items.size()) {
       throw std::invalid_argument("merge: shard " + std::to_string(o.shardIndex) +
                                   " unit/result count mismatch");
+    }
+    const ShardOutput*& first = firstByIndex[static_cast<std::size_t>(o.shardIndex)];
+    if (first == nullptr) {
+      first = &o;
+    } else if (first->units != o.units) {
+      throw std::invalid_argument("merge: duplicate outputs for shard " +
+                                  std::to_string(o.shardIndex) +
+                                  " cover different units");
+    }
+  }
+  for (int s = 0; s < shardCount; ++s) {
+    if (firstByIndex[static_cast<std::size_t>(s)] == nullptr) {
+      throw std::invalid_argument("merge: plan has " + std::to_string(shardCount) +
+                                  " shards but shard " + std::to_string(s) +
+                                  " delivered no output");
     }
   }
 
@@ -309,7 +355,26 @@ CampaignResult mergeShards(const CampaignSpec& spec, const std::vector<ShardOutp
                                     " references task " + std::to_string(unit.taskId) +
                                     " outside the spec's " + std::to_string(n) + " items");
       }
-      byTask[unit.taskId].push_back(Part{&o, &unit, &o.result.items[k]});
+      // Deduplicate by fragment id: a retried unit's copies must agree on
+      // everything sameResults compares; keep the lowest-shard-index copy so
+      // the merged result is independent of output (completion) order.
+      Part part{&o, &unit, &o.result.items[k]};
+      bool duplicate = false;
+      for (Part& have : byTask[unit.taskId]) {
+        if (*have.unit != unit) continue;
+        if (!samePartResults(*have.item, *part.item)) {
+          throw std::invalid_argument(
+              "merge: duplicate copies of item " + std::to_string(unit.taskId) +
+              " fragment [" + std::to_string(unit.mutantBegin) + ", " +
+              std::to_string(unit.mutantEnd) + ") disagree (shards " +
+              std::to_string(have.owner->shardIndex) + " and " +
+              std::to_string(o.shardIndex) + ")");
+        }
+        if (o.shardIndex < have.owner->shardIndex) have = part;
+        duplicate = true;
+        break;
+      }
+      if (!duplicate) byTask[unit.taskId].push_back(part);
     }
   }
 

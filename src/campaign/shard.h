@@ -75,6 +75,26 @@ struct ShardPlanOptions {
 /// split and balance; deterministic for a given (cs, opts).
 std::size_t countFlowMutants(const ips::CaseStudy& cs, const core::FlowOptions& opts);
 
+/// The flat stealable-unit plan underneath planShards, exposed for the
+/// dispatcher daemon (campaign/dispatch.h): every unit in global task-id
+/// order (fragments of one item in range order) with the planner's weights,
+/// so a work-stealing scheduler can order its queue heaviest-first instead
+/// of balancing statically.
+struct DispatchUnitPlan {
+  std::uint64_t specFnv = 0;
+  std::vector<ShardUnit> units;
+  std::vector<std::uint64_t> weights;  ///< parallel to units; >= 1 each
+};
+
+/// Build the unit list: items split into mutant-range fragments of at most
+/// maxFragmentMutants (0 = never split), weighted by mutant count. Counts
+/// come from `mutantCounts` when non-empty (size must match the spec's item
+/// count, else std::invalid_argument), otherwise via countFlowMutants when
+/// fragmentation is requested.
+DispatchUnitPlan planDispatchUnits(const CampaignSpec& spec,
+                                   std::size_t maxFragmentMutants,
+                                   const std::vector<std::size_t>& mutantCounts = {});
+
 /// Deterministically partition the spec into opt.shards contiguous,
 /// weight-balanced unit slices. Throws std::invalid_argument on a malformed
 /// request (shards < 1, mutantCounts size mismatch).
@@ -96,11 +116,29 @@ struct ShardOutput {
 /// or item count) or the index is out of range.
 ShardOutput runShard(const CampaignSpec& spec, const ShardPlan& plan, int shardIndex);
 
+/// Execute an arbitrary unit list as shard `shardIndex` of `shardCount` in
+/// this process, tagging every result with its GLOBAL task id. runShard is
+/// a plan-validated wrapper; the dispatcher daemon calls this directly with
+/// one stealable unit per task (shardIndex = task index, shardCount = task
+/// count, so each streamed result is a mergeable one-unit ShardOutput).
+ShardOutput runShardUnits(const CampaignSpec& spec, const std::vector<ShardUnit>& units,
+                          int shardIndex, int shardCount);
+
 /// Merge shard outputs back into one CampaignResult bit-identical
-/// (sameResults) to runCampaign(spec). Requires exactly one output per
-/// shard of one plan over `spec`; validates fingerprints, coverage (every
-/// task id exactly once, fragment ranges contiguous from 0) and fragment
-/// report sizes, throwing std::invalid_argument with a diagnostic otherwise.
+/// (sameResults) to runCampaign(spec). Every shard index of the plan must
+/// be covered; validates fingerprints, coverage (every task id covered,
+/// fragment ranges contiguous from 0) and fragment report sizes, throwing
+/// std::invalid_argument with a diagnostic otherwise.
+///
+/// Retry tolerance: a double-submitted shard or fragment (the dispatcher
+/// re-queues work lost to a crashed worker, and a retry can race its dead
+/// predecessor's already-delivered result) is deduplicated by fragment id —
+/// (taskId, mutantBegin, mutantEnd) — keeping the copy from the
+/// lowest-indexed shard. Duplicates must agree on label, error and
+/// per-mutant results (retries are bit-identical by construction; a
+/// disagreement means spec skew and fails the merge). Deduplicated copies
+/// still contribute to the work ledgers: the simulation time was truly
+/// spent twice.
 CampaignResult mergeShards(const CampaignSpec& spec, const std::vector<ShardOutput>& outputs);
 
 // --- wire format (util/codec.h; versioned with kCampaignCodecVersion) -------

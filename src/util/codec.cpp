@@ -29,6 +29,24 @@ std::string preview(std::string_view s, std::size_t limit = 40) {
 
 }  // namespace
 
+std::string peekDocumentTag(std::string_view data) {
+  const std::size_t nl = data.find('\n');
+  if (nl == std::string_view::npos) {
+    throw DecodeError("truncated header: '" + preview(data) + "'");
+  }
+  const std::string_view header = data.substr(0, nl);
+  if (header.substr(0, 4) != "xlv ") {
+    throw DecodeError("header mismatch: missing 'xlv ' magic in '" +
+                      std::string(header) + "'");
+  }
+  const std::size_t tagEnd = header.rfind(" v");
+  if (tagEnd == std::string_view::npos || tagEnd <= 4) {
+    throw DecodeError("header mismatch: no version suffix in '" + std::string(header) +
+                      "'");
+  }
+  return std::string(header.substr(4, tagEnd - 4));
+}
+
 // --- Encoder -----------------------------------------------------------------
 
 Encoder::Encoder(std::string_view tag, int version) {

@@ -1,0 +1,308 @@
+// Deterministic unit tests of the dispatcher's scheduling layer
+// (campaign/dispatch.h): the work-stealing TaskQueue under seeded
+// adversarial weights, the frame transport, and the worker-count
+// resolution. No processes are spawned here — the queue is pure state, so
+// every property is checked by direct simulation (the daemon end-to-end
+// paths live in dispatch_fault_test.cpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "campaign/dispatch.h"
+#include "campaign/serialize.h"
+#include "util/codec.h"
+
+namespace xlv::campaign {
+namespace {
+
+/// Adversarial unit plan: one 100x-heavy fragment buried mid-list among
+/// many tiny units — the shape that wrecks a static weight balance when
+/// the heavy unit lands late in a shard.
+DispatchUnitPlan adversarialPlan(std::size_t tiny, std::uint64_t heavyWeight) {
+  DispatchUnitPlan plan;
+  plan.specFnv = 0x5EED;
+  for (std::size_t i = 0; i < tiny + 1; ++i) {
+    plan.units.push_back(ShardUnit{i, 0, 0});
+    plan.weights.push_back(i == tiny / 2 ? heavyWeight : 1);
+  }
+  return plan;
+}
+
+struct SimEvent {
+  std::uint64_t time = 0;
+  std::size_t worker = 0;
+  std::size_t task = 0;
+  bool operator==(const SimEvent&) const = default;
+};
+
+struct SimRun {
+  std::vector<SimEvent> claims;   ///< in claim order
+  std::uint64_t makespan = 0;
+  std::uint64_t idleWhilePending = 0;  ///< worker-steps idle with work queued
+};
+
+/// Discrete-event simulation of the dispatcher's claim loop: each worker
+/// runs its claimed task for exactly `weight` ticks, then steals the next.
+/// Deterministic by construction — ties go to the lower worker index.
+SimRun simulate(TaskQueue& queue, std::size_t workers) {
+  SimRun run;
+  std::vector<std::uint64_t> freeAt(workers, 0);
+  std::vector<bool> busy(workers, false);
+  std::vector<std::size_t> taskOf(workers, 0);
+  std::uint64_t now = 0;
+  while (!queue.done()) {
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (busy[w] || !queue.hasPending()) continue;
+      const DispatchTask& t = queue.claim();
+      run.claims.push_back(SimEvent{now, w, t.index});
+      busy[w] = true;
+      taskOf[w] = t.index;
+      freeAt[w] = now + t.weight;
+    }
+    // A worker idle at this instant while the queue still has work would be
+    // a scheduling hole; the claim loop above makes it impossible, and the
+    // counter proves it stayed zero.
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (!busy[w] && queue.hasPending()) ++run.idleWhilePending;
+    }
+    std::uint64_t nextFree = 0;
+    bool any = false;
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (busy[w] && (!any || freeAt[w] < nextFree)) {
+        nextFree = freeAt[w];
+        any = true;
+      }
+    }
+    if (!any) break;  // nothing running and nothing pending: queue must be done
+    now = nextFree;
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (busy[w] && freeAt[w] == now) {
+        busy[w] = false;
+        queue.complete(taskOf[w]);
+      }
+    }
+    run.makespan = now;
+  }
+  return run;
+}
+
+TEST(DispatchSched, QueueOrdersHeaviestFirst) {
+  const DispatchUnitPlan plan = adversarialPlan(12, 100);
+  TaskQueue queue(plan);
+  ASSERT_EQ(queue.taskCount(), 13u);
+  // The 100x fragment is claimed FIRST despite sitting mid-list; ties
+  // resolve by ascending index.
+  EXPECT_EQ(queue.claim().index, 6u);
+  EXPECT_EQ(queue.claim().index, 0u);
+  EXPECT_EQ(queue.claim().index, 1u);
+}
+
+TEST(DispatchSched, WorkStealingKeepsAllWorkersBusyAcrossPoolSizes) {
+  for (const std::size_t workers : {2u, 3u, 5u}) {
+    const DispatchUnitPlan plan = adversarialPlan(40, 100);
+    TaskQueue queue(plan);
+    const SimRun run = simulate(queue, workers);
+    EXPECT_TRUE(queue.done()) << workers << " workers";
+    // Starvation-freedom: every task claimed exactly once.
+    std::vector<int> claimed(plan.units.size(), 0);
+    for (const SimEvent& e : run.claims) ++claimed[e.task];
+    EXPECT_TRUE(std::all_of(claimed.begin(), claimed.end(), [](int c) { return c == 1; }))
+        << workers << " workers";
+    // No worker ever idled while the queue held work.
+    EXPECT_EQ(run.idleWhilePending, 0u) << workers << " workers";
+    // LPT's classic bound: makespan <= totalWeight/workers + maxWeight.
+    const std::uint64_t total =
+        std::accumulate(plan.weights.begin(), plan.weights.end(), std::uint64_t{0});
+    const std::uint64_t maxW = *std::max_element(plan.weights.begin(), plan.weights.end());
+    EXPECT_LE(run.makespan, total / workers + maxW) << workers << " workers";
+    // With the heavy fragment started first, the adversarial plan's
+    // makespan is exactly the heavy weight — the tiny units pack around it.
+    EXPECT_EQ(run.makespan, 100u) << workers << " workers";
+  }
+}
+
+TEST(DispatchSched, SimulationIsDeterministic) {
+  const DispatchUnitPlan plan = adversarialPlan(25, 100);
+  TaskQueue qa(plan);
+  TaskQueue qb(plan);
+  const SimRun a = simulate(qa, 3);
+  const SimRun b = simulate(qb, 3);
+  EXPECT_EQ(a.claims, b.claims);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(DispatchSched, RequeueGoesToTheFrontAndCountsAttempts) {
+  const DispatchUnitPlan plan = adversarialPlan(6, 100);
+  TaskQueue queue(plan);
+  const std::size_t heavy = queue.claim().index;
+  EXPECT_EQ(queue.task(heavy).attempts, 1u);
+  const std::size_t other = queue.claim().index;
+  // The heavy unit's worker died: the retry outranks everything pending.
+  queue.requeue(heavy);
+  EXPECT_EQ(queue.claim().index, heavy);
+  EXPECT_EQ(queue.task(heavy).attempts, 2u);
+  EXPECT_TRUE(queue.complete(heavy));
+  EXPECT_TRUE(queue.complete(other));
+  // A raced duplicate result is reported, not double-counted.
+  EXPECT_FALSE(queue.complete(heavy));
+  while (queue.hasPending()) queue.complete(queue.claim().index);
+  EXPECT_TRUE(queue.done());
+}
+
+TEST(DispatchSched, DrainedResultCompletesARequeuedTask) {
+  // A SIGKILLed worker's result can still be sitting in the pipe and be
+  // drained AFTER the dispatcher re-queued the task: completing a PENDING
+  // task must pull it back out of the queue.
+  const DispatchUnitPlan plan = adversarialPlan(3, 10);
+  TaskQueue queue(plan);
+  const std::size_t first = queue.claim().index;
+  queue.requeue(first);
+  EXPECT_TRUE(queue.complete(first));  // drained from the dead worker's pipe
+  std::vector<std::size_t> rest;
+  while (queue.hasPending()) rest.push_back(queue.claim().index);
+  EXPECT_EQ(std::count(rest.begin(), rest.end(), first), 0);
+  for (const std::size_t t : rest) queue.complete(t);
+  EXPECT_TRUE(queue.done());
+}
+
+TEST(DispatchSched, QueueRejectsInvalidTransitions) {
+  const DispatchUnitPlan plan = adversarialPlan(2, 5);
+  TaskQueue queue(plan);
+  EXPECT_THROW(queue.requeue(0), std::logic_error);  // not in flight
+  const std::size_t t = queue.claim().index;
+  queue.complete(t);
+  EXPECT_THROW(queue.requeue(t), std::logic_error);  // already completed
+  TaskQueue empty;
+  EXPECT_THROW(empty.claim(), std::logic_error);
+  EXPECT_TRUE(empty.done());
+}
+
+// --- frame transport ---------------------------------------------------------
+
+TEST(DispatchSched, FrameReaderReassemblesArbitraryChunking) {
+  SubmitFrame submit;
+  submit.specFnv = 7;
+  submit.seq = 1;
+  submit.taskIndex = 3;
+  submit.taskCount = 9;
+  submit.unit = ShardUnit{3, 2, 4};
+  HeartbeatFrame beat;
+  beat.workerIndex = 1;
+  beat.seq = 1;
+  const std::string wire =
+      frameWire(encodeSubmitFrame(submit)) + frameWire(encodeHeartbeatFrame(beat));
+  // Feed byte-by-byte: frames must pop exactly when complete, in order.
+  FrameReader reader;
+  std::vector<std::string> docs;
+  std::string doc;
+  for (char c : wire) {
+    reader.feed(std::string_view(&c, 1));
+    while (reader.next(doc)) docs.push_back(doc);
+  }
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_EQ(decodeSubmitFrame(docs[0]), submit);
+  EXPECT_EQ(decodeHeartbeatFrame(docs[1]), beat);
+  EXPECT_EQ(reader.pendingBytes(), 0u);
+
+  // One big feed yields the same two documents.
+  FrameReader big;
+  big.feed(wire);
+  std::vector<std::string> bigDocs;
+  while (big.next(doc)) bigDocs.push_back(doc);
+  EXPECT_EQ(bigDocs, docs);
+}
+
+TEST(DispatchSched, FrameReaderRejectsCorruptFraming) {
+  FrameReader badMagic;
+  badMagic.feed("xlvq 5\nhello");
+  std::string doc;
+  EXPECT_THROW(badMagic.next(doc), util::DecodeError);
+
+  FrameReader badLen;
+  badLen.feed("xlvf 12a\npayload");
+  EXPECT_THROW(badLen.next(doc), util::DecodeError);
+
+  FrameReader hugeLen;
+  hugeLen.feed("xlvf 99999999999999999999\n");
+  EXPECT_THROW(hugeLen.next(doc), util::DecodeError);
+
+  // A partial frame is not an error — it is just not ready yet.
+  FrameReader partial;
+  partial.feed("xlvf 10\nabc");
+  EXPECT_FALSE(partial.next(doc));
+  partial.feed("defghij");
+  ASSERT_TRUE(partial.next(doc));
+  EXPECT_EQ(doc, "abcdefghij");
+}
+
+// --- worker-count resolution -------------------------------------------------
+
+struct EnvGuard {
+  std::string name;
+  std::string saved;
+  bool had = false;
+  EnvGuard(const char* n, const char* value) : name(n) {
+    const char* old = std::getenv(n);
+    if (old != nullptr) {
+      had = true;
+      saved = old;
+    }
+    ::setenv(n, value, 1);
+  }
+  ~EnvGuard() {
+    if (had) {
+      ::setenv(name.c_str(), saved.c_str(), 1);
+    } else {
+      ::unsetenv(name.c_str());
+    }
+  }
+};
+
+TEST(DispatchSched, ResolveWorkerCountPrefersExplicitThenEnv) {
+  {
+    EnvGuard env("XLV_WORKERS", "7");
+    EXPECT_EQ(resolveWorkerCount(3), 3);  // explicit wins
+    EXPECT_EQ(resolveWorkerCount(0), 7);  // env fills the default
+  }
+  {
+    // Strict parse: a typo'd pool size stops the daemon instead of
+    // silently fanning out differently.
+    EnvGuard env("XLV_WORKERS", "3abc");
+    EXPECT_THROW(resolveWorkerCount(0), std::invalid_argument);
+  }
+  {
+    EnvGuard env("XLV_WORKERS", "0");
+    EXPECT_THROW(resolveWorkerCount(0), std::invalid_argument);
+  }
+  ::unsetenv("XLV_WORKERS");
+  EXPECT_GE(resolveWorkerCount(0), 1);  // hardware fallback
+}
+
+// --- ledger JSON -------------------------------------------------------------
+
+TEST(DispatchSched, LedgerJsonCarriesRequeueRecords) {
+  DispatchLedger ledger;
+  ledger.tasksTotal = 5;
+  ledger.tasksCompleted = 5;
+  ledger.submissions = 6;
+  RequeueRecord rec;
+  rec.taskIndex = 2;
+  rec.unit = ShardUnit{0, 4, 8};
+  rec.attempt = 1;
+  rec.reason = "heartbeat-timeout";
+  rec.workerIndex = 1;
+  ledger.requeuedShards.push_back(rec);
+  const std::string json = encodeDispatchLedgerJson(ledger);
+  EXPECT_NE(json.find("\"tasksTotal\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\": \"heartbeat-timeout\""), std::string::npos);
+  EXPECT_NE(json.find("\"mutantBegin\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"taskIndex\": 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xlv::campaign

@@ -199,7 +199,9 @@ TEST(Shard, MergeRejectsIncompleteMismatchedOrDuplicateOutputs) {
   // A missing shard is incomplete.
   EXPECT_THROW(mergeShards(spec, {outputs[0]}), std::invalid_argument);
 
-  // The same shard twice is a duplicate.
+  // The same shard twice still leaves shard 1 uncovered: incomplete. (The
+  // duplicate itself is tolerated now — see
+  // MergeDeduplicatesDoubleSubmittedShardsByFragmentId.)
   EXPECT_THROW(mergeShards(spec, {outputs[0], outputs[0]}), std::invalid_argument);
 
   // Outputs from a different spec are rejected by fingerprint.
@@ -211,6 +213,77 @@ TEST(Shard, MergeRejectsIncompleteMismatchedOrDuplicateOutputs) {
   const ShardPlan stalePlan = planShards(other, ShardPlanOptions{2, 0, {}});
   EXPECT_THROW(runShard(spec, stalePlan, 0), std::invalid_argument);
   EXPECT_THROW(runShard(spec, plan, 7), std::invalid_argument);
+}
+
+TEST(Shard, MergeDeduplicatesDoubleSubmittedShardsByFragmentId) {
+  const CampaignSpec spec = builtinCampaignSpec("single");
+  // Fragmented plan so both shards carry real mutant ranges.
+  const ShardPlan plan = planShards(spec, ShardPlanOptions{2, 2, {}});
+  clearProcessCaches();
+  std::vector<ShardOutput> outputs = runAllShards(spec, plan);
+  ASSERT_EQ(2u, outputs.size());
+  ASSERT_FALSE(outputs[0].units.empty());
+  ASSERT_FALSE(outputs[1].units.empty());
+
+  const CampaignResult once = mergeShards(spec, outputs);
+
+  // A crashed worker's retry can race its dead predecessor's
+  // already-delivered result, so the dispatcher may hand the merge the same
+  // shard twice. The merge dedups by fragment id and stays bit-identical...
+  const CampaignResult twice = mergeShards(spec, {outputs[0], outputs[1], outputs[0]});
+  EXPECT_TRUE(once.sameResults(twice));
+  EXPECT_EQ(once.items.size(), twice.items.size());
+
+  // ...independent of delivery order (results stream back in completion
+  // order, which work stealing does not fix)...
+  const CampaignResult shuffled = mergeShards(spec, {outputs[1], outputs[0], outputs[0]});
+  EXPECT_TRUE(once.sameResults(shuffled));
+
+  // ...while the duplicated work still lands in the ledgers: that
+  // simulation time was truly spent twice.
+  EXPECT_GE(twice.simSeconds, once.simSeconds);
+
+  // A duplicate that DISAGREES is spec skew, not a retry: rejected.
+  ShardOutput tampered = outputs[0];
+  ASSERT_FALSE(tampered.result.items.empty());
+  tampered.result.items[0].label += "-skew";
+  EXPECT_THROW(mergeShards(spec, {outputs[0], outputs[1], tampered}),
+               std::invalid_argument);
+}
+
+TEST(Shard, RunShardUnitsMatchesRunShardOnThePlannedUnits) {
+  const CampaignSpec spec = builtinCampaignSpec("single");
+  const ShardPlan plan = planShards(spec, ShardPlanOptions{2, 2, {}});
+  clearProcessCaches();
+  const ShardOutput viaPlan = runShard(spec, plan, 0);
+  clearProcessCaches();
+  // The dispatcher path: same units, no plan validation wrapper.
+  const ShardOutput direct = runShardUnits(spec, plan.shards[0], 0, 2);
+  clearProcessCaches();
+  EXPECT_EQ(viaPlan.units, direct.units);
+  EXPECT_EQ(viaPlan.shardIndex, direct.shardIndex);
+  EXPECT_EQ(viaPlan.shardCount, direct.shardCount);
+  EXPECT_TRUE(viaPlan.result.sameResults(direct.result));
+}
+
+TEST(Shard, PlanDispatchUnitsUnderpinsPlanShards) {
+  const CampaignSpec spec = builtinCampaignSpec("single");
+  const DispatchUnitPlan units = planDispatchUnits(spec, 2);
+  ASSERT_EQ(units.units.size(), units.weights.size());
+  ASSERT_GT(units.units.size(), 1u) << "fragmentation requested but not applied";
+  EXPECT_EQ(units.specFnv, campaignSpecFnv(spec));
+  for (const std::uint64_t w : units.weights) EXPECT_GE(w, 1u);
+  // planShards is exactly a contiguous partition of this unit list.
+  const ShardPlan plan = planShards(spec, ShardPlanOptions{3, 2, {}});
+  std::vector<ShardUnit> flattened;
+  for (const auto& shard : plan.shards) {
+    flattened.insert(flattened.end(), shard.begin(), shard.end());
+  }
+  EXPECT_EQ(flattened, units.units);
+  // Explicit per-item counts skip the probe; a size mismatch is rejected.
+  const DispatchUnitPlan counted = planDispatchUnits(spec, 2, {4});
+  EXPECT_EQ(counted.units.size(), 2u);
+  EXPECT_THROW(planDispatchUnits(spec, 2, {4, 4}), std::invalid_argument);
 }
 
 }  // namespace

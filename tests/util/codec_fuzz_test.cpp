@@ -231,6 +231,62 @@ campaign::ShardPlan randomShardPlan(Prng& rng) {
   return plan;
 }
 
+campaign::ShardUnit randomShardUnit(Prng& rng) {
+  return campaign::ShardUnit{rng.below(64), rng.below(8), rng.below(32)};
+}
+
+campaign::ShardOutput randomShardOutput(Prng& rng) {
+  campaign::ShardOutput o;
+  o.specFnv = rng.next();
+  o.shardIndex = static_cast<int>(rng.below(8));
+  o.shardCount = 1 + static_cast<int>(rng.below(8));
+  const std::size_t units = rng.below(3);
+  for (std::size_t u = 0; u < units; ++u) o.units.push_back(randomShardUnit(rng));
+  o.result = randomCampaignResult(rng);
+  return o;
+}
+
+// --- dispatcher daemon wire frames (campaign/dispatch.h) ---------------------
+
+campaign::SubmitFrame randomSubmitFrame(Prng& rng) {
+  campaign::SubmitFrame f;
+  f.specFnv = rng.next();
+  f.seq = rng.next();
+  f.taskIndex = rng.below(256);
+  f.taskCount = 1 + rng.below(256);
+  f.attempt = rng.below(4);
+  f.unit = randomShardUnit(rng);
+  f.shutdown = rng.chance(0.2);
+  return f;
+}
+
+campaign::StatusFrame randomStatusFrame(Prng& rng) {
+  campaign::StatusFrame f;
+  f.workerIndex = rng.below(16);
+  f.generation = rng.below(4);
+  f.itemsDone = rng.below(256);
+  f.state = rng.chance(0.5) ? "ready" : "working";
+  return f;
+}
+
+campaign::HeartbeatFrame randomHeartbeatFrame(Prng& rng) {
+  campaign::HeartbeatFrame f;
+  f.workerIndex = rng.below(16);
+  f.generation = rng.below(4);
+  f.seq = rng.next();
+  f.itemsDone = rng.below(256);
+  return f;
+}
+
+campaign::ResultFrame randomResultFrame(Prng& rng) {
+  campaign::ResultFrame f;
+  f.seq = rng.next();
+  f.taskIndex = rng.below(256);
+  f.attempt = rng.below(4);
+  f.output = randomShardOutput(rng);
+  return f;
+}
+
 analysis::GoldenTrace randomGoldenTrace(Prng& rng) {
   analysis::GoldenTrace trace;
   const std::size_t cycles = rng.below(12);
@@ -296,6 +352,31 @@ std::vector<Codec> codecs() {
        [](std::string_view b) {
          return campaign::encodeShardPlan(campaign::decodeShardPlan(b));
        }},
+      {"shard-output",
+       [](Prng& rng) { return campaign::encodeShardOutput(randomShardOutput(rng)); },
+       [](std::string_view b) {
+         return campaign::encodeShardOutput(campaign::decodeShardOutput(b));
+       }},
+      {"dispatch-submit",
+       [](Prng& rng) { return campaign::encodeSubmitFrame(randomSubmitFrame(rng)); },
+       [](std::string_view b) {
+         return campaign::encodeSubmitFrame(campaign::decodeSubmitFrame(b));
+       }},
+      {"dispatch-status",
+       [](Prng& rng) { return campaign::encodeStatusFrame(randomStatusFrame(rng)); },
+       [](std::string_view b) {
+         return campaign::encodeStatusFrame(campaign::decodeStatusFrame(b));
+       }},
+      {"dispatch-heartbeat",
+       [](Prng& rng) { return campaign::encodeHeartbeatFrame(randomHeartbeatFrame(rng)); },
+       [](std::string_view b) {
+         return campaign::encodeHeartbeatFrame(campaign::decodeHeartbeatFrame(b));
+       }},
+      {"dispatch-result",
+       [](Prng& rng) { return campaign::encodeResultFrame(randomResultFrame(rng)); },
+       [](std::string_view b) {
+         return campaign::encodeResultFrame(campaign::decodeResultFrame(b));
+       }},
       {"golden-trace",
        [](Prng& rng) { return analysis::encodeGoldenTrace(randomGoldenTrace(rng)); },
        [](std::string_view b) {
@@ -343,6 +424,59 @@ TEST(CodecFuzz, GoldenTraceRejectsOverflowingCountsBeforeAllocating) {
   e.str("endpoints", "");
   e.str("firstActivity", "");
   EXPECT_THROW(analysis::decodeGoldenTrace(e.out()), DecodeError);
+}
+
+TEST(CodecFuzz, DispatchFramesRejectMixedSchemaVersions) {
+  // A dispatcher and a worker built against different campaign schema
+  // versions must refuse to talk: every daemon frame re-rendered with a
+  // NEIGHBORING version in its header is a DecodeError, for every frame
+  // kind, in both directions of the skew.
+  Prng rng(0xD15BA7C4ULL);
+  const struct {
+    const char* tag;
+    std::function<std::string(Prng&)> randomDoc;
+    std::function<void(std::string_view)> decode;
+  } frames[] = {
+      {campaign::kSubmitFrameTag,
+       [](Prng& r) { return campaign::encodeSubmitFrame(randomSubmitFrame(r)); },
+       [](std::string_view b) { campaign::decodeSubmitFrame(b); }},
+      {campaign::kStatusFrameTag,
+       [](Prng& r) { return campaign::encodeStatusFrame(randomStatusFrame(r)); },
+       [](std::string_view b) { campaign::decodeStatusFrame(b); }},
+      {campaign::kHeartbeatFrameTag,
+       [](Prng& r) { return campaign::encodeHeartbeatFrame(randomHeartbeatFrame(r)); },
+       [](std::string_view b) { campaign::decodeHeartbeatFrame(b); }},
+      {campaign::kResultFrameTag,
+       [](Prng& r) { return campaign::encodeResultFrame(randomResultFrame(r)); },
+       [](std::string_view b) { campaign::decodeResultFrame(b); }},
+  };
+  for (const auto& frame : frames) {
+    const std::string doc = frame.randomDoc(rng);
+    const std::string header =
+        "xlv " + std::string(frame.tag) + " v" +
+        std::to_string(campaign::kCampaignCodecVersion) + "\n";
+    ASSERT_EQ(doc.substr(0, header.size()), header) << frame.tag;
+    EXPECT_EQ(util::peekDocumentTag(doc), frame.tag);
+    for (const int skew : {-1, 1}) {
+      const std::string other =
+          "xlv " + std::string(frame.tag) + " v" +
+          std::to_string(campaign::kCampaignCodecVersion + skew) + "\n" +
+          doc.substr(header.size());
+      EXPECT_THROW(frame.decode(other), DecodeError) << frame.tag << " skew " << skew;
+      // The tag still peeks (that is how the dispatcher would route it to
+      // the decoder that then rejects the version).
+      EXPECT_EQ(util::peekDocumentTag(other), frame.tag);
+    }
+  }
+}
+
+TEST(CodecFuzz, PeekDocumentTagRejectsMalformedHeaders) {
+  EXPECT_EQ(util::peekDocumentTag("xlv shard-plan v5\nrest"), "shard-plan");
+  EXPECT_THROW(util::peekDocumentTag(""), DecodeError);
+  EXPECT_THROW(util::peekDocumentTag("xlv shard-plan v5"), DecodeError);  // no newline
+  EXPECT_THROW(util::peekDocumentTag("XLV shard-plan v5\n"), DecodeError);
+  EXPECT_THROW(util::peekDocumentTag("xlv \n"), DecodeError);
+  EXPECT_THROW(util::peekDocumentTag("xlv v5\n"), DecodeError);
 }
 
 TEST(CodecFuzz, EverySingleByteCorruptionIsRejectedOrDecodesToExactlyThoseBytes) {

@@ -1,0 +1,265 @@
+// xlv_campaignd — campaign dispatcher daemon (campaign/dispatch.h).
+//
+// Where xlv_campaign shards a campaign STATICALLY (plan once, run each slice
+// in its own process, merge by hand), the daemon owns the whole loop: it
+// splits the spec into stealable units (whole items and mutant-range
+// fragments), spawns a pool of worker subprocesses of ITSELF (the internal
+// `worker` subcommand), schedules by work-stealing — an idle worker claims
+// the heaviest queued unit — and merges the streamed results incrementally
+// into one CampaignResult that is bit-identical (sameResults) to the
+// single-process run. A worker that crashes, exits or goes silent past the
+// heartbeat timeout is SIGKILLed/reaped and its unit re-queued; the retry
+// is safe because unit results are bit-identical by construction.
+//
+//   xlv_campaign spec --preset single -o spec.xlv
+//   xlv_campaignd run --spec spec.xlv --workers 3 --max-fragment 2 \
+//                     --ledger ledger.json -o daemon.xlv
+//   xlv_campaign run --spec spec.xlv -o single.xlv
+//   xlv_campaign diff single.xlv daemon.xlv     # exit 0 iff identical
+//
+// Workers accept the same --cache-dir/--cache-max-bytes flags as
+// xlv_campaign run, so the pool shares ONE artifact store: the first worker
+// to finish a golden trace or flow prefix stores it, the others load it.
+//
+// Env knobs: XLV_WORKERS (pool size when --workers is absent; strict
+// parse), XLV_HEARTBEAT_MS / XLV_HEARTBEAT_TIMEOUT_MS (defaults for the
+// corresponding flags). Fault-injection hooks for the test harness
+// (XLV_TEST_DIE_AFTER_ITEMS / XLV_TEST_HANG_AFTER_ITEMS /
+// XLV_TEST_EXIT_AFTER_ITEMS, scoped by XLV_TEST_FAULT_WORKER to one
+// worker's generation 0) are documented in campaign/dispatch.h.
+//
+// Exit codes: 0 success, 1 usage or runtime error, 3 campaign completed but
+// one or more items errored (the merged output is still written), 6
+// dispatch failure (a unit exhausted its retry budget, or the whole worker
+// pool died). The internal worker subcommand exits 0 on clean shutdown and
+// nonzero on protocol errors (see campaign/dispatch.h).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/dispatch.h"
+#include "campaign/serialize.h"
+#include "campaign/shard.h"
+#include "util/artifact_store.h"
+#include "util/log.h"
+
+namespace {
+
+using namespace xlv;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "xlv_campaignd: %s\n\n", error);
+  std::fputs(
+      "usage:\n"
+      "  xlv_campaignd run --spec FILE [--workers N] [--max-fragment M]\n"
+      "                    [--heartbeat-ms N] [--heartbeat-timeout-ms N]\n"
+      "                    [--max-attempts N] [--max-respawns N]\n"
+      "                    [--cache-dir DIR] [--cache-max-bytes N]\n"
+      "                    [--ledger FILE] [-o FILE] [--verbose]\n"
+      "  xlv_campaignd worker --spec FILE --index I --generation G\n"
+      "                       --heartbeat-ms N [cache flags]   (internal)\n"
+      "\n"
+      "run dispatches the campaign across a pool of worker subprocesses with\n"
+      "work-stealing scheduling and crash-recovery re-queue; the merged\n"
+      "result (-o, default stdout) is bit-identical to a single-process\n"
+      "`xlv_campaign run`. --max-fragment M splits items into mutant-range\n"
+      "fragments of at most M mutants — the stealable unit size. --ledger\n"
+      "writes the scheduling ledger (submissions, re-queues, kills) as JSON.\n"
+      "--cache-dir is forwarded to every worker, so the pool shares one\n"
+      "artifact store. XLV_WORKERS sets the pool size when --workers is\n"
+      "absent; XLV_HEARTBEAT_MS / XLV_HEARTBEAT_TIMEOUT_MS set the flag\n"
+      "defaults.\n",
+      stderr);
+  std::exit(1);
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void writeOutput(const std::string& path, const std::string& data) {
+  if (path.empty() || path == "-") {
+    std::fwrite(data.data(), 1, data.size(), stdout);
+    return;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out || !(out << data)) throw std::runtime_error("cannot write '" + path + "'");
+}
+
+struct Args {
+  std::string spec, out, ledger, cacheDir;
+  long workers = 0, maxFragment = 0, index = -1, generation = -1;
+  long heartbeatMs = 0, heartbeatTimeoutMs = 0, maxAttempts = 0, maxRespawns = -1;
+  long cacheMaxBytes = 0;
+
+  static long parseLong(const std::string& flag, const std::string& v) {
+    try {
+      std::size_t end = 0;
+      const long n = std::stol(v, &end);
+      if (end != v.size()) throw std::invalid_argument(v);
+      return n;
+    } catch (const std::exception&) {
+      usage(("flag " + flag + ": invalid integer '" + v + "'").c_str());
+    }
+  }
+};
+
+long envLongDefault(const char* name, long fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || v < 1) {
+    usage((std::string(name) + "='" + s + "' is not a positive integer").c_str());
+  }
+  return v;
+}
+
+Args parseArgs(int argc, char** argv, int first) {
+  Args a;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) usage((std::string(flag) + " requires a value").c_str());
+      return argv[++i];
+    };
+    if (arg == "--spec") {
+      a.spec = next("--spec");
+    } else if (arg == "-o" || arg == "--out") {
+      a.out = next("-o");
+    } else if (arg == "--ledger") {
+      a.ledger = next("--ledger");
+    } else if (arg == "--workers") {
+      a.workers = Args::parseLong(arg, next("--workers"));
+    } else if (arg == "--max-fragment") {
+      a.maxFragment = Args::parseLong(arg, next("--max-fragment"));
+    } else if (arg == "--index") {
+      a.index = Args::parseLong(arg, next("--index"));
+    } else if (arg == "--generation") {
+      a.generation = Args::parseLong(arg, next("--generation"));
+    } else if (arg == "--heartbeat-ms") {
+      a.heartbeatMs = Args::parseLong(arg, next("--heartbeat-ms"));
+    } else if (arg == "--heartbeat-timeout-ms") {
+      a.heartbeatTimeoutMs = Args::parseLong(arg, next("--heartbeat-timeout-ms"));
+    } else if (arg == "--max-attempts") {
+      a.maxAttempts = Args::parseLong(arg, next("--max-attempts"));
+    } else if (arg == "--max-respawns") {
+      a.maxRespawns = Args::parseLong(arg, next("--max-respawns"));
+    } else if (arg == "--cache-dir") {
+      a.cacheDir = next("--cache-dir");
+    } else if (arg == "--cache-max-bytes") {
+      a.cacheMaxBytes = Args::parseLong(arg, next("--cache-max-bytes"));
+    } else if (arg == "--verbose") {
+      util::setLogLevel(util::LogLevel::Info);
+    } else {
+      usage(("unknown argument '" + arg + "'").c_str());
+    }
+  }
+  return a;
+}
+
+void configureCache(const Args& a) {
+  if (a.cacheMaxBytes < 0) usage("--cache-max-bytes must be >= 0 (0 = unbounded)");
+  if (a.cacheDir.empty()) {
+    if (a.cacheMaxBytes != 0) usage("--cache-max-bytes needs --cache-dir");
+    return;
+  }
+  util::configureProcessArtifactStore(util::ArtifactStoreConfig{
+      a.cacheDir, static_cast<std::uint64_t>(a.cacheMaxBytes), 0});
+}
+
+int cmdRun(const char* self, const Args& a) {
+  if (a.spec.empty()) usage("--spec FILE is required");
+  if (a.workers < 0) usage("--workers must be >= 0 (0 = XLV_WORKERS or hardware)");
+  if (a.maxFragment < 0) usage("--max-fragment must be >= 0 (0 = whole items)");
+  const campaign::CampaignSpec spec = campaign::decodeCampaignSpec(readFile(a.spec));
+
+  campaign::DispatchOptions opt;
+  opt.workers = static_cast<int>(a.workers);
+  opt.maxFragmentMutants = static_cast<std::size_t>(a.maxFragment);
+  opt.heartbeatIntervalMs = static_cast<int>(
+      a.heartbeatMs > 0 ? a.heartbeatMs : envLongDefault("XLV_HEARTBEAT_MS", 200));
+  opt.heartbeatTimeoutMs =
+      static_cast<int>(a.heartbeatTimeoutMs > 0
+                           ? a.heartbeatTimeoutMs
+                           : envLongDefault("XLV_HEARTBEAT_TIMEOUT_MS", 10000));
+  if (a.maxAttempts > 0) opt.maxTaskAttempts = static_cast<int>(a.maxAttempts);
+  if (a.maxRespawns >= 0) opt.maxWorkerRespawns = static_cast<int>(a.maxRespawns);
+  opt.workerCommand = {self, "worker"};
+  if (!a.cacheDir.empty()) {
+    opt.workerCommand.push_back("--cache-dir");
+    opt.workerCommand.push_back(a.cacheDir);
+    if (a.cacheMaxBytes > 0) {
+      opt.workerCommand.push_back("--cache-max-bytes");
+      opt.workerCommand.push_back(std::to_string(a.cacheMaxBytes));
+    }
+  }
+
+  campaign::DispatchResult res;
+  try {
+    res = campaign::runDispatcher(spec, opt);
+  } catch (const campaign::DispatchError& e) {
+    std::fprintf(stderr, "xlv_campaignd run: %s\n", e.what());
+    return 6;
+  }
+  writeOutput(a.out, campaign::encodeCampaignResult(res.result));
+  if (!a.ledger.empty()) {
+    writeOutput(a.ledger, campaign::encodeDispatchLedgerJson(res.ledger));
+  }
+  std::fprintf(stderr,
+               "campaignd: %llu tasks, %llu submissions, %zu re-queues, %llu duplicate "
+               "results, %llu workers spawned (%llu respawns, %llu killed)\n",
+               static_cast<unsigned long long>(res.ledger.tasksTotal),
+               static_cast<unsigned long long>(res.ledger.submissions),
+               res.ledger.requeuedShards.size(),
+               static_cast<unsigned long long>(res.ledger.duplicateResults),
+               static_cast<unsigned long long>(res.ledger.workersSpawned),
+               static_cast<unsigned long long>(res.ledger.workerRespawns),
+               static_cast<unsigned long long>(res.ledger.workersKilled));
+  if (!res.result.ok()) {
+    const auto* first = res.result.firstError();
+    std::fprintf(stderr, "campaignd finished with item errors; first: task %zu (%s): %s\n",
+                 first->taskId, first->label.c_str(), first->error.c_str());
+    return campaign::campaignExitCode(res.result);
+  }
+  return 0;
+}
+
+int cmdWorker(const Args& a) {
+  if (a.spec.empty()) usage("worker: --spec FILE is required");
+  if (a.index < 0) usage("worker: --index I (>= 0) is required");
+  if (a.generation < 0) usage("worker: --generation G (>= 0) is required");
+  configureCache(a);
+  const campaign::CampaignSpec spec = campaign::decodeCampaignSpec(readFile(a.spec));
+  campaign::DispatchWorkerOptions opt;
+  opt.workerIndex = static_cast<int>(a.index);
+  opt.generation = static_cast<int>(a.generation);
+  opt.heartbeatIntervalMs = a.heartbeatMs > 0 ? static_cast<int>(a.heartbeatMs) : 200;
+  return campaign::runDispatchWorker(spec, opt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args a = parseArgs(argc, argv, 2);
+    if (cmd == "run") return cmdRun(argv[0], a);
+    if (cmd == "worker") return cmdWorker(a);
+    usage(("unknown command '" + cmd + "'").c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xlv_campaignd %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
