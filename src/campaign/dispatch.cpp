@@ -12,6 +12,8 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <map>
 #include <mutex>
 #include <numeric>
 #include <thread>
@@ -173,33 +175,6 @@ bool writeFd(int fd, std::string_view data) noexcept {
   return true;
 }
 
-/// Blocking read of the next complete frame. 1 = frame in `doc`, 0 = EOF.
-/// Propagates FrameReader's DecodeError on a corrupt stream.
-int readFrameBlocking(int fd, FrameReader& reader, std::string& doc) {
-  if (reader.next(doc)) return 1;
-  char buf[65536];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof buf);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return 0;
-    }
-    if (n == 0) return 0;
-    reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
-    if (reader.next(doc)) return 1;
-  }
-}
-
-long envLong(const char* name, long fallback) {
-  const char* s = std::getenv(name);
-  if (s == nullptr || *s == '\0') return fallback;
-  errno = 0;
-  char* end = nullptr;
-  const long v = std::strtol(s, &end, 10);
-  if (end == s || *end != '\0' || errno == ERANGE) return fallback;
-  return v;
-}
-
 void ignoreSigpipe() {
   // A dead peer must surface as EPIPE from write(), not kill the process;
   // idempotent, so both the dispatcher and every worker call it on entry.
@@ -207,6 +182,66 @@ void ignoreSigpipe() {
 }
 
 }  // namespace
+
+FrameRead readFrameBlocking(int fd, FrameReader& reader, std::string& doc,
+                            int* errnoOut) {
+  if (errnoOut != nullptr) *errnoOut = 0;
+  if (reader.next(doc)) return FrameRead::Frame;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // NOT an EOF: a failed read means the bytes may still be in flight
+      // somewhere, and pretending the peer finished cleanly silently drops
+      // whatever unit was riding this stream.
+      if (errnoOut != nullptr) *errnoOut = errno;
+      return FrameRead::Error;
+    }
+    if (n == 0) return FrameRead::Eof;
+    reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    if (reader.next(doc)) return FrameRead::Frame;
+  }
+}
+
+void OutboundBuffer::enqueue(std::string_view data) {
+  // Reclaim the consumed prefix once it dominates, same policy as
+  // FrameReader: a long-lived connection must not grow without bound.
+  if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(data);
+}
+
+bool OutboundBuffer::flushTo(int fd) noexcept {
+  while (pos_ < buffer_.size()) {
+    const ssize_t n = ::write(fd, buffer_.data() + pos_, buffer_.size() - pos_);
+    if (n > 0) {
+      pos_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;  // EPIPE (dead peer) or another fatal write error
+  }
+  buffer_.clear();
+  pos_ = 0;
+  return true;
+}
+
+long envLongStrict(const char* name, long fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument(std::string(name) + "='" + s +
+                                "' is not a whole decimal integer");
+  }
+  return v;
+}
 
 int resolveWorkerCount(int requested) {
   if (requested > 0) return requested;
@@ -238,20 +273,20 @@ namespace {
 /// asserts.
 bool faultHookArmed(int workerIndex, int generation) {
   if (generation != 0) return false;
-  return envLong("XLV_TEST_FAULT_WORKER", 0) == static_cast<long>(workerIndex);
+  return envLongStrict("XLV_TEST_FAULT_WORKER", 0) == static_cast<long>(workerIndex);
 }
 
 void maybeInjectFault(int workerIndex, int generation, std::uint64_t itemsDone) {
   if (!faultHookArmed(workerIndex, generation)) return;
-  const long dieAfter = envLong("XLV_TEST_DIE_AFTER_ITEMS", -1);
+  const long dieAfter = envLongStrict("XLV_TEST_DIE_AFTER_ITEMS", -1);
   if (dieAfter >= 0 && itemsDone >= static_cast<std::uint64_t>(dieAfter)) {
     ::raise(SIGKILL);  // crash mid-shard, no unwinding, no result
   }
-  const long exitAfter = envLong("XLV_TEST_EXIT_AFTER_ITEMS", -1);
+  const long exitAfter = envLongStrict("XLV_TEST_EXIT_AFTER_ITEMS", -1);
   if (exitAfter >= 0 && itemsDone >= static_cast<std::uint64_t>(exitAfter)) {
     ::_exit(9);  // orderly-looking nonzero exit without a result
   }
-  const long hangAfter = envLong("XLV_TEST_HANG_AFTER_ITEMS", -1);
+  const long hangAfter = envLongStrict("XLV_TEST_HANG_AFTER_ITEMS", -1);
   if (hangAfter >= 0 && itemsDone >= static_cast<std::uint64_t>(hangAfter)) {
     for (;;) ::pause();  // silent: no heartbeats, no result, never returns
   }
@@ -259,13 +294,17 @@ void maybeInjectFault(int workerIndex, int generation, std::uint64_t itemsDone) 
 
 }  // namespace
 
-int runDispatchWorker(const CampaignSpec& spec, const DispatchWorkerOptions& opt) {
+int runDispatchWorker(const CampaignSpec* defaultSpec, const DispatchWorkerOptions& opt) {
   ignoreSigpipe();
-  const std::uint64_t fnv = campaignSpecFnv(spec);
+  const std::uint64_t defaultFnv = defaultSpec != nullptr ? campaignSpecFnv(*defaultSpec) : 0;
   const std::uint64_t index = static_cast<std::uint64_t>(opt.workerIndex);
   const std::uint64_t generation = static_cast<std::uint64_t>(opt.generation);
   FrameReader reader;
   std::uint64_t itemsDone = 0;
+  // Decoded specs served from handoff files, keyed by path; the fingerprint
+  // re-check below makes a stale cache entry (path re-used for a different
+  // campaign) a refusal, never a silent wrong-spec run.
+  std::map<std::string, CampaignSpec> specCache;
 
   auto sendStatus = [&](const char* state) {
     StatusFrame st;
@@ -280,14 +319,20 @@ int runDispatchWorker(const CampaignSpec& spec, const DispatchWorkerOptions& opt
 
   for (;;) {
     std::string doc;
-    int got = 0;
+    FrameRead got = FrameRead::Eof;
+    int readErrno = 0;
     try {
-      got = readFrameBlocking(opt.inFd, reader, doc);
+      got = readFrameBlocking(opt.inFd, reader, doc, &readErrno);
     } catch (const util::DecodeError& e) {
       XLV_ERROR("campaignd") << "worker " << index << ": corrupt frame stream: " << e.what();
       return 7;
     }
-    if (got == 0) return 0;  // dispatcher closed our stdin: clean shutdown
+    if (got == FrameRead::Eof) return 0;  // dispatcher closed our stdin: clean shutdown
+    if (got == FrameRead::Error) {
+      XLV_ERROR("campaignd") << "worker " << index
+                             << ": stdin read failed: " << std::strerror(readErrno);
+      return 11;
+    }
 
     SubmitFrame submit;
     try {
@@ -299,6 +344,40 @@ int runDispatchWorker(const CampaignSpec& spec, const DispatchWorkerOptions& opt
       return 7;
     }
     if (submit.shutdown) return 0;
+
+    // Resolve the unit's spec: the startup --spec for an empty specPath
+    // (single-campaign run mode), a cached/loaded handoff file otherwise
+    // (the server multiplexing many campaigns over one pool).
+    const CampaignSpec* spec = nullptr;
+    std::uint64_t fnv = 0;
+    if (submit.specPath.empty()) {
+      spec = defaultSpec;
+      fnv = defaultFnv;
+      if (spec == nullptr) {
+        XLV_ERROR("campaignd") << "worker " << index
+                               << ": submit without specPath but no startup --spec";
+        return 8;
+      }
+    } else {
+      auto it = specCache.find(submit.specPath);
+      if (it == specCache.end()) {
+        try {
+          std::ifstream in(submit.specPath, std::ios::binary);
+          std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+          if (!in && bytes.empty()) {
+            throw std::runtime_error("cannot read " + submit.specPath);
+          }
+          it = specCache.emplace(submit.specPath, decodeCampaignSpec(bytes)).first;
+        } catch (const std::exception& e) {
+          XLV_ERROR("campaignd") << "worker " << index
+                                 << ": spec handoff load failed: " << e.what();
+          return 8;
+        }
+      }
+      spec = &it->second;
+      fnv = campaignSpecFnv(*spec);
+    }
     if (submit.specFnv != fnv) {
       XLV_ERROR("campaignd") << "worker " << index
                              << ": submit fingerprint mismatch (spec skew)";
@@ -339,12 +418,13 @@ int runDispatchWorker(const CampaignSpec& spec, const DispatchWorkerOptions& opt
     };
 
     ResultFrame result;
+    result.campaignId = submit.campaignId;
     result.seq = submit.seq;
     result.taskIndex = submit.taskIndex;
     result.attempt = submit.attempt;
     try {
       result.output =
-          runShardUnits(spec, {submit.unit}, static_cast<int>(submit.taskIndex),
+          runShardUnits(*spec, {submit.unit}, static_cast<int>(submit.taskIndex),
                         static_cast<int>(submit.taskCount));
     } catch (const std::exception& e) {
       stopBeater();
@@ -381,6 +461,7 @@ struct SpecFileGuard {
 struct WorkerSlot {
   util::Subprocess proc;
   FrameReader reader;
+  OutboundBuffer out;  ///< frames queued for the worker's non-blocking stdin
   int generation = 0;
   int respawns = 0;
   bool ready = false;     ///< announced ready, waiting for work
@@ -455,6 +536,7 @@ DispatchResult runDispatcher(const CampaignSpec& spec, const DispatchOptions& op
     };
     s.proc = util::Subprocess::spawn(argv, env);
     s.reader = FrameReader{};
+    s.out = OutboundBuffer{};
     s.ready = false;
     s.busy = false;
     s.timedOut = false;
@@ -463,6 +545,11 @@ DispatchResult runDispatcher(const CampaignSpec& spec, const DispatchOptions& op
       XLV_ERROR("campaignd") << "worker " << i << ": spawn failed";
       return false;
     }
+    // Both pipe ends go non-blocking: all outbound bytes ride s.out (drained
+    // on POLLOUT), so a worker with a full stdin pipe can never wedge the
+    // single-threaded loop while it is itself blocked writing a result.
+    util::setNonBlocking(s.proc.stdinFd());
+    util::setNonBlocking(s.proc.stdoutFd());
     s.lastBeat = Clock::now();
     ++led.workersSpawned;
     return true;
@@ -593,7 +680,10 @@ DispatchResult runDispatcher(const CampaignSpec& spec, const DispatchOptions& op
       s.busy = true;
       s.taskIndex = t.index;
       s.lastBeat = Clock::now();
-      if (!s.proc.writeAll(frameWire(encodeSubmitFrame(submit)))) {
+      // Queue + opportunistic flush, never a blocking write: leftover bytes
+      // wait for POLLOUT in the poll below.
+      s.out.enqueue(frameWire(encodeSubmitFrame(submit)));
+      if (!s.out.flushTo(s.proc.stdinFd())) {
         // EPIPE: the worker died between frames; its EOF will be handled
         // below, but the unit must not wait for that.
         handleDeath(i, "submit-write-failed");
@@ -607,11 +697,20 @@ DispatchResult runDispatcher(const CampaignSpec& spec, const DispatchOptions& op
     bool anyAlive = false;
     std::vector<pollfd> fds;
     std::vector<std::size_t> fdSlot;
+    std::vector<char> fdIsStdin;
     for (std::size_t i = 0; i < slots.size(); ++i) {
       if (slots[i].retired || !slots[i].proc.started()) continue;
       anyAlive = true;
       fds.push_back(pollfd{slots[i].proc.stdoutFd(), POLLIN, 0});
       fdSlot.push_back(i);
+      fdIsStdin.push_back(0);
+      // Re-arm the submit path only while bytes are actually queued; an
+      // always-armed POLLOUT on an empty buffer would busy-spin the loop.
+      if (!slots[i].out.empty() && slots[i].proc.stdinFd() >= 0) {
+        fds.push_back(pollfd{slots[i].proc.stdinFd(), POLLOUT, 0});
+        fdSlot.push_back(i);
+        fdIsStdin.push_back(1);
+      }
     }
     if (!anyAlive) {
       throw DispatchError("all workers lost with " +
@@ -626,10 +725,17 @@ DispatchResult runDispatcher(const CampaignSpec& spec, const DispatchOptions& op
     }
 
     for (std::size_t k = 0; k < fds.size(); ++k) {
-      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       const std::size_t i = fdSlot[k];
       WorkerSlot& s = slots[i];
       if (s.retired) continue;  // a handleDeath above may have retired it
+      if (fdIsStdin[k]) {
+        if ((fds[k].revents & (POLLOUT | POLLHUP | POLLERR)) == 0) continue;
+        if (!s.out.flushTo(s.proc.stdinFd())) {
+          handleDeath(i, "submit-write-failed");
+        }
+        continue;
+      }
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       char buf[65536];
       const ssize_t n = ::read(s.proc.stdoutFd(), buf, sizeof buf);
       if (n > 0) {
@@ -676,7 +782,15 @@ DispatchResult runDispatcher(const CampaignSpec& spec, const DispatchOptions& op
     bye.specFnv = plan.specFnv;
     bye.seq = ++seqCounter;
     bye.shutdown = true;
-    s.proc.writeAll(frameWire(encodeSubmitFrame(bye)));
+    s.out.enqueue(frameWire(encodeSubmitFrame(bye)));
+    // Best-effort drain of the non-blocking pipe: an idle worker accepts
+    // the few bye bytes immediately, and stdin EOF below is an equally
+    // clean shutdown signal if it does not.
+    const auto byeDeadline = Clock::now() + std::chrono::milliseconds(200);
+    while (!s.out.empty() && Clock::now() < byeDeadline) {
+      if (!s.out.flushTo(s.proc.stdinFd())) break;
+      if (!s.out.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     s.proc.closeStdin();
   }
   const auto grace = Clock::now() + std::chrono::seconds(2);

@@ -70,6 +70,42 @@ class FrameReader {
   std::size_t pos_ = 0;
 };
 
+/// Outcome of readFrameBlocking. Eof (peer closed the stream cleanly) and
+/// Error (read(2) failed; see the errnoOut parameter) are DISTINCT: treating
+/// an I/O failure as "peer finished" silently drops in-flight work.
+enum class FrameRead { Frame, Eof, Error };
+
+/// Blocking read of the next complete frame from `fd` into `doc`. Retries
+/// EINTR; any other read error yields FrameRead::Error with the errno in
+/// *errnoOut (when non-null). Propagates FrameReader's util::DecodeError on
+/// a corrupt stream.
+FrameRead readFrameBlocking(int fd, FrameReader& reader, std::string& doc,
+                            int* errnoOut = nullptr);
+
+/// Per-connection outbound byte queue for a non-blocking fd. The
+/// single-threaded dispatcher/server loops never issue a blocking write:
+/// frames are enqueue()d here and flushTo() drains as much as the fd
+/// accepts, with POLLOUT re-arming the rest. This is the fix for the
+/// submit-path deadlock (a worker with a full stdin pipe while itself
+/// blocked writing a large result would wedge a blocking dispatcher
+/// forever).
+class OutboundBuffer {
+ public:
+  /// Append bytes to the queue (no I/O).
+  void enqueue(std::string_view data);
+  /// Write as much as `fd` currently accepts. True on progress or EAGAIN
+  /// (remaining bytes stay queued for the next POLLOUT); false on a fatal
+  /// write error (EPIPE — dead peer), after which the connection is gone.
+  bool flushTo(int fd) noexcept;
+  bool empty() const noexcept { return buffer_.size() == pos_; }
+  /// Bytes enqueued but not yet written.
+  std::size_t pendingBytes() const noexcept { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  std::size_t pos_ = 0;
+};
+
 // --- work-stealing task queue ------------------------------------------------
 
 /// One stealable unit with its scheduling state.
@@ -206,7 +242,16 @@ struct DispatchWorkerOptions {
 /// SubmitFrames, run each unit via runShardUnits, stream StatusFrame /
 /// HeartbeatFrame / ResultFrame back. Returns the process exit code: 0
 /// after a clean shutdown frame or dispatcher EOF, nonzero on protocol
-/// errors (codec version skew, spec fingerprint mismatch).
+/// errors (codec version skew, spec fingerprint mismatch, stdin I/O
+/// failure).
+///
+/// `defaultSpec` (may be null) serves submits whose specPath is empty — the
+/// single-campaign `run` mode ships the spec once at worker startup. A
+/// submit with a non-empty specPath loads (and caches, keyed by path +
+/// fingerprint) that spec instead, which is how one worker pool serves many
+/// campaigns at once under campaign/server.h. Either way the SubmitFrame's
+/// specFnv must match the spec actually loaded, or the worker refuses with
+/// exit 8.
 ///
 /// Fault-injection hooks (tests/campaign/dispatch_fault_test.cpp), honored
 /// only when XLV_TEST_FAULT_WORKER (default 0) names this workerIndex AND
@@ -216,12 +261,21 @@ struct DispatchWorkerOptions {
 ///   XLV_TEST_HANG_AFTER_ITEMS=N  stop heartbeating and sleep forever
 ///                                (exercises the heartbeat timeout);
 ///   XLV_TEST_EXIT_AFTER_ITEMS=N  _exit(9) (orderly-looking failure).
-int runDispatchWorker(const CampaignSpec& spec, const DispatchWorkerOptions& opt);
+int runDispatchWorker(const CampaignSpec* defaultSpec, const DispatchWorkerOptions& opt);
 
 /// Worker pool size: `requested` when > 0, else strict-parsed XLV_WORKERS
 /// (positive integer, else std::invalid_argument), else
 /// hardware_concurrency (>= 1).
 int resolveWorkerCount(int requested);
+
+/// Strict env-knob parse shared by every daemon tunable (XLV_HEARTBEAT_MS,
+/// XLV_HEARTBEAT_TIMEOUT_MS, the XLV_TEST_* fault hooks): `fallback` when
+/// the variable is unset or empty, the parsed value when it is a whole
+/// decimal integer, and std::invalid_argument — naming the variable and the
+/// offending value — otherwise. Deliberately the same contract as
+/// XLV_WORKERS in resolveWorkerCount: a typo stops the daemon, it never
+/// silently runs with a default.
+long envLongStrict(const char* name, long fallback);
 
 /// The ledger as a JSON object (CI uploads it next to the BENCH_*.json
 /// artifacts; keys are the DispatchLedger field names, requeuedShards as an

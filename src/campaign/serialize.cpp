@@ -482,6 +482,11 @@ const char* const kSubmitFrameTag = "dispatch-submit";
 const char* const kStatusFrameTag = "dispatch-status";
 const char* const kHeartbeatFrameTag = "dispatch-heartbeat";
 const char* const kResultFrameTag = "dispatch-result";
+const char* const kClientSubmitFrameTag = "client-submit";
+const char* const kAcceptFrameTag = "dispatch-accept";
+const char* const kRejectFrameTag = "dispatch-reject";
+const char* const kItemResultFrameTag = "dispatch-item-result";
+const char* const kCampaignDoneFrameTag = "dispatch-done";
 
 namespace {
 
@@ -511,11 +516,13 @@ bool ResultFrame::operator==(const ResultFrame& other) const {
 std::string encodeSubmitFrame(const SubmitFrame& f) {
   Encoder e(kSubmitFrameTag, kCampaignCodecVersion);
   e.u64("specFnv", f.specFnv);
+  e.u64("campaignId", f.campaignId);
   e.u64("seq", f.seq);
   e.u64("taskIndex", f.taskIndex);
   e.u64("taskCount", f.taskCount);
   e.u64("attempt", f.attempt);
   putFrameUnit(e, f.unit);
+  e.str("specPath", f.specPath);
   e.boolean("shutdown", f.shutdown);
   return e.take();
 }
@@ -524,11 +531,13 @@ SubmitFrame decodeSubmitFrame(std::string_view data) {
   Decoder d(data, kSubmitFrameTag, kCampaignCodecVersion);
   SubmitFrame f;
   f.specFnv = d.u64("specFnv");
+  f.campaignId = d.u64("campaignId");
   f.seq = d.u64("seq");
   f.taskIndex = d.u64("taskIndex");
   f.taskCount = d.u64("taskCount");
   f.attempt = d.u64("attempt");
   f.unit = getFrameUnit(d);
+  f.specPath = d.str("specPath");
   f.shutdown = d.boolean("shutdown");
   d.finish();
   return f;
@@ -579,6 +588,7 @@ HeartbeatFrame decodeHeartbeatFrame(std::string_view data) {
 
 std::string encodeResultFrame(const ResultFrame& f) {
   Encoder e(kResultFrameTag, kCampaignCodecVersion);
+  e.u64("campaignId", f.campaignId);
   e.u64("seq", f.seq);
   e.u64("taskIndex", f.taskIndex);
   e.u64("attempt", f.attempt);
@@ -592,10 +602,118 @@ std::string encodeResultFrame(const ResultFrame& f) {
 ResultFrame decodeResultFrame(std::string_view data) {
   Decoder d(data, kResultFrameTag, kCampaignCodecVersion);
   ResultFrame f;
+  f.campaignId = d.u64("campaignId");
   f.seq = d.u64("seq");
   f.taskIndex = d.u64("taskIndex");
   f.attempt = d.u64("attempt");
   f.output = decodeShardOutput(d.str("output"));
+  d.finish();
+  return f;
+}
+
+// --- socket-service client frames --------------------------------------------
+
+bool ItemResultFrame::operator==(const ItemResultFrame& other) const {
+  // Same rationale as ResultFrame: the canonical encoding is the nested
+  // ShardOutput's identity.
+  return campaignId == other.campaignId && taskIndex == other.taskIndex &&
+         taskCount == other.taskCount &&
+         encodeShardOutput(output) == encodeShardOutput(other.output);
+}
+
+std::string encodeClientSubmitFrame(const ClientSubmitFrame& f) {
+  Encoder e(kClientSubmitFrameTag, kCampaignCodecVersion);
+  e.str("clientName", f.clientName);
+  e.str("spec", f.spec);
+  e.u64("maxFragmentMutants", f.maxFragmentMutants);
+  return e.take();
+}
+
+ClientSubmitFrame decodeClientSubmitFrame(std::string_view data) {
+  Decoder d(data, kClientSubmitFrameTag, kCampaignCodecVersion);
+  ClientSubmitFrame f;
+  f.clientName = d.str("clientName");
+  f.spec = d.str("spec");
+  f.maxFragmentMutants = d.u64("maxFragmentMutants");
+  d.finish();
+  return f;
+}
+
+std::string encodeAcceptFrame(const AcceptFrame& f) {
+  Encoder e(kAcceptFrameTag, kCampaignCodecVersion);
+  e.u64("campaignId", f.campaignId);
+  e.u64("specFnv", f.specFnv);
+  e.u64("unitCount", f.unitCount);
+  return e.take();
+}
+
+AcceptFrame decodeAcceptFrame(std::string_view data) {
+  Decoder d(data, kAcceptFrameTag, kCampaignCodecVersion);
+  AcceptFrame f;
+  f.campaignId = d.u64("campaignId");
+  f.specFnv = d.u64("specFnv");
+  f.unitCount = d.u64("unitCount");
+  if (f.campaignId == 0) throw DecodeError("accept frame: campaignId must be nonzero");
+  d.finish();
+  return f;
+}
+
+std::string encodeRejectFrame(const RejectFrame& f) {
+  Encoder e(kRejectFrameTag, kCampaignCodecVersion);
+  e.str("reason", f.reason);
+  e.u64("retryAfterMs", f.retryAfterMs);
+  return e.take();
+}
+
+RejectFrame decodeRejectFrame(std::string_view data) {
+  Decoder d(data, kRejectFrameTag, kCampaignCodecVersion);
+  RejectFrame f;
+  f.reason = d.str("reason");
+  f.retryAfterMs = d.u64("retryAfterMs");
+  d.finish();
+  return f;
+}
+
+std::string encodeItemResultFrame(const ItemResultFrame& f) {
+  Encoder e(kItemResultFrameTag, kCampaignCodecVersion);
+  e.u64("campaignId", f.campaignId);
+  e.u64("taskIndex", f.taskIndex);
+  e.u64("taskCount", f.taskCount);
+  e.str("output", encodeShardOutput(f.output));
+  return e.take();
+}
+
+ItemResultFrame decodeItemResultFrame(std::string_view data) {
+  Decoder d(data, kItemResultFrameTag, kCampaignCodecVersion);
+  ItemResultFrame f;
+  f.campaignId = d.u64("campaignId");
+  f.taskIndex = d.u64("taskIndex");
+  f.taskCount = d.u64("taskCount");
+  f.output = decodeShardOutput(d.str("output"));
+  d.finish();
+  return f;
+}
+
+std::string encodeCampaignDoneFrame(const CampaignDoneFrame& f) {
+  Encoder e(kCampaignDoneFrameTag, kCampaignCodecVersion);
+  e.u64("campaignId", f.campaignId);
+  e.u64("unitsTotal", f.unitsTotal);
+  e.u64("unitsCompleted", f.unitsCompleted);
+  e.u64("requeues", f.requeues);
+  e.boolean("cancelled", f.cancelled);
+  e.str("error", f.error);
+  return e.take();
+}
+
+CampaignDoneFrame decodeCampaignDoneFrame(std::string_view data) {
+  Decoder d(data, kCampaignDoneFrameTag, kCampaignCodecVersion);
+  CampaignDoneFrame f;
+  f.campaignId = d.u64("campaignId");
+  f.unitsTotal = d.u64("unitsTotal");
+  f.unitsCompleted = d.u64("unitsCompleted");
+  f.requeues = d.u64("requeues");
+  f.cancelled = d.boolean("cancelled");
+  f.error = d.str("error");
   d.finish();
   return f;
 }

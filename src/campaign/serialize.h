@@ -47,7 +47,10 @@ namespace xlv::campaign {
 /// v5: the dispatcher daemon wire frames (submit/status/heartbeat/result,
 /// campaign/dispatch.h) — mixed-version dispatcher/worker pairs must refuse
 /// to talk, so the frame schema shares the campaign domain version.
-inline constexpr int kCampaignCodecVersion = 5;
+/// v6: the socket service (campaign/server.h) — SubmitFrame/ResultFrame gain
+/// the campaignId/specPath multiplexing coordinates, and the client-facing
+/// frames (client-submit/accept/reject/item-result/done) join the schema.
+inline constexpr int kCampaignCodecVersion = 6;
 
 /// Names accepted by buildCaseStudyByName (the spec wire format's case-study
 /// identity space).
@@ -93,12 +96,21 @@ core::FlowPrefix decodeFlowPrefix(std::string_view data, const ips::CaseStudy& c
 /// Dispatcher -> worker: run one stealable unit (a whole campaign item or a
 /// mutant-range fragment), or shut down cleanly.
 struct SubmitFrame {
-  std::uint64_t specFnv = 0;    ///< fingerprint of the spec the worker loaded
+  std::uint64_t specFnv = 0;    ///< fingerprint of the spec the unit belongs to
+  /// Which client campaign the unit belongs to when a server multiplexes
+  /// several over one worker pool (campaign/server.h); 0 in the
+  /// single-campaign `run` mode.
+  std::uint64_t campaignId = 0;
   std::uint64_t seq = 0;        ///< dispatcher-wide submission sequence number
-  std::uint64_t taskIndex = 0;  ///< index into the dispatch unit list
+  std::uint64_t taskIndex = 0;  ///< index into the campaign's dispatch unit list
   std::uint64_t taskCount = 0;  ///< total units (the merge's shardCount)
   std::uint64_t attempt = 0;    ///< 0 = first run, >0 = crash-recovery retry
   ShardUnit unit;
+  /// Spec handoff file for this unit's campaign. Empty = the worker's
+  /// startup --spec (the `run` mode); non-empty = load (and cache by
+  /// fingerprint) from this path, which is how one worker pool serves many
+  /// campaigns. The specFnv cross-check applies either way.
+  std::string specPath;
   bool shutdown = false;  ///< true: no more work; unit/task fields ignored
   bool operator==(const SubmitFrame&) const = default;
 };
@@ -128,6 +140,7 @@ struct HeartbeatFrame {
 /// taskIndex, shardCount = taskCount), streamed back as soon as it
 /// finishes so the dispatcher can merge incrementally.
 struct ResultFrame {
+  std::uint64_t campaignId = 0;  ///< echoed from the SubmitFrame (0 in run mode)
   std::uint64_t seq = 0;
   std::uint64_t taskIndex = 0;
   std::uint64_t attempt = 0;
@@ -144,11 +157,94 @@ HeartbeatFrame decodeHeartbeatFrame(std::string_view data);
 std::string encodeResultFrame(const ResultFrame& f);
 ResultFrame decodeResultFrame(std::string_view data);
 
-/// The codec tags of the four frames ("dispatch-submit" etc.), as
+// --- socket-service client frames (campaign/server.h; codec v6) --------------
+//
+// The same length-framed transport, pointed at a socket instead of a pipe:
+// a client connection carries exactly one campaign. Sequence:
+//
+//   client: ClientSubmitFrame          (spec travels inline, by value)
+//   server: AcceptFrame | RejectFrame  (reject = backpressure; retryAfterMs)
+//   server: ItemResultFrame*           (one per completed unit, as finished)
+//   server: CampaignDoneFrame          (then the server closes the socket)
+//
+// The client reassembles the streamed ItemResultFrames with mergeShards,
+// which is what makes the served result sameResults-bit-identical to a
+// local run.
+
+/// Client -> server: submit one campaign for dispatch.
+struct ClientSubmitFrame {
+  std::string clientName;  ///< free-form label for the server's ledger
+  std::string spec;        ///< encodeCampaignSpec document, by value
+  /// Stealable-unit granularity for this campaign (ShardPlanOptions::
+  /// maxFragmentMutants); 0 = the server's default.
+  std::uint64_t maxFragmentMutants = 0;
+  bool operator==(const ClientSubmitFrame&) const = default;
+};
+
+/// Server -> client: the campaign was admitted and queued.
+struct AcceptFrame {
+  std::uint64_t campaignId = 0;  ///< server-assigned, nonzero
+  std::uint64_t specFnv = 0;     ///< fingerprint the server will dispatch under
+  std::uint64_t unitCount = 0;   ///< stealable units planned (the merge's shardCount)
+  bool operator==(const AcceptFrame&) const = default;
+};
+
+/// Server -> client: the campaign was NOT admitted. Backpressure is a
+/// structured frame, never an unbounded buffer: retryAfterMs > 0 means the
+/// admission queue was full and the client should retry later; 0 means the
+/// submission itself was invalid (malformed spec) and a retry is pointless.
+struct RejectFrame {
+  std::string reason;
+  std::uint64_t retryAfterMs = 0;
+  bool operator==(const RejectFrame&) const = default;
+};
+
+/// Server -> client: one completed unit's ShardOutput, streamed as soon as
+/// it finishes (shardIndex = taskIndex, shardCount = taskCount).
+struct ItemResultFrame {
+  std::uint64_t campaignId = 0;
+  std::uint64_t taskIndex = 0;
+  std::uint64_t taskCount = 0;
+  ShardOutput output;
+  bool operator==(const ItemResultFrame&) const;
+};
+
+/// Server -> client: the campaign left the scheduler. error is empty on
+/// success; non-empty when dispatch gave up (a unit exhausted its attempt
+/// budget). cancelled is set when the server dropped the campaign (client
+/// disconnect) — such a frame is only ever seen in the server's ledger,
+/// since the client is gone.
+struct CampaignDoneFrame {
+  std::uint64_t campaignId = 0;
+  std::uint64_t unitsTotal = 0;
+  std::uint64_t unitsCompleted = 0;
+  std::uint64_t requeues = 0;  ///< crash-recovery re-queues attributed to this campaign
+  bool cancelled = false;
+  std::string error;
+  bool operator==(const CampaignDoneFrame&) const = default;
+};
+
+std::string encodeClientSubmitFrame(const ClientSubmitFrame& f);
+ClientSubmitFrame decodeClientSubmitFrame(std::string_view data);
+std::string encodeAcceptFrame(const AcceptFrame& f);
+AcceptFrame decodeAcceptFrame(std::string_view data);
+std::string encodeRejectFrame(const RejectFrame& f);
+RejectFrame decodeRejectFrame(std::string_view data);
+std::string encodeItemResultFrame(const ItemResultFrame& f);
+ItemResultFrame decodeItemResultFrame(std::string_view data);
+std::string encodeCampaignDoneFrame(const CampaignDoneFrame& f);
+CampaignDoneFrame decodeCampaignDoneFrame(std::string_view data);
+
+/// The codec tags of the frames ("dispatch-submit" etc.), as
 /// util::peekDocumentTag reports them.
 extern const char* const kSubmitFrameTag;
 extern const char* const kStatusFrameTag;
 extern const char* const kHeartbeatFrameTag;
 extern const char* const kResultFrameTag;
+extern const char* const kClientSubmitFrameTag;
+extern const char* const kAcceptFrameTag;
+extern const char* const kRejectFrameTag;
+extern const char* const kItemResultFrameTag;
+extern const char* const kCampaignDoneFrameTag;
 
 }  // namespace xlv::campaign

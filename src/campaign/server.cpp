@@ -1,0 +1,1068 @@
+#include "campaign/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "campaign/serialize.h"
+#include "util/codec.h"
+#include "util/log.h"
+#include "util/subprocess.h"
+
+namespace xlv::campaign {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+void ignoreSigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+bool writeFdAll(int fd, std::string_view data) noexcept {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Connect to a server address (blocking fd). -1 with `error` set on failure.
+int connectToServer(const std::string& socketPath, int tcpPort, std::string& error) {
+  if (!socketPath.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path)) {
+      error = "socket path too long: " + socketPath;
+      return -1;
+    }
+    std::strncpy(addr.sun_path, socketPath.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0 ||
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      error = "cannot connect to " + socketPath + ": " + std::strerror(errno);
+      if (fd >= 0) ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  if (tcpPort > 0) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(tcpPort));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0 ||
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      error = "cannot connect to 127.0.0.1:" + std::to_string(tcpPort) + ": " +
+              std::strerror(errno);
+      if (fd >= 0) ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  error = "no server address (need a socket path or TCP port)";
+  return -1;
+}
+
+// --- server state ------------------------------------------------------------
+
+struct ServerWorker {
+  util::Subprocess proc;
+  FrameReader reader;
+  OutboundBuffer out;
+  int generation = 0;
+  int respawns = 0;
+  bool ready = false;
+  bool busy = false;
+  bool retired = false;
+  bool timedOut = false;
+  std::uint64_t campaignId = 0;  ///< campaign of the in-flight unit
+  std::size_t taskIndex = 0;     ///< its index in that campaign's unit list
+  Clock::time_point lastBeat{};
+};
+
+struct ClientConn {
+  int fd = -1;
+  FrameReader reader;
+  OutboundBuffer out;
+  std::uint64_t campaignId = 0;  ///< 0 until a submission was admitted
+  bool closing = false;  ///< server finished with it; close once flushed
+  bool dead = false;
+};
+
+struct Campaign {
+  std::uint64_t id = 0;
+  std::string name;
+  std::uint64_t specFnv = 0;
+  std::string specPath;  ///< per-campaign spec handoff file
+  TaskQueue queue;
+  std::uint64_t taskCount = 0;
+  std::uint64_t requeues = 0;
+  std::uint64_t discarded = 0;
+  /// Cancelled or errored: pending units left the scheduler, in-flight
+  /// units drain with their results discarded, then the campaign finalizes.
+  bool finishing = false;
+  bool cancelled = false;
+  std::string error;
+  ClientConn* conn = nullptr;  ///< null once the client connection is gone
+};
+
+class Server {
+ public:
+  explicit Server(const ServeOptions& opt) : opt_(opt) {}
+  ~Server() {
+    for (auto& conn : conns_) {
+      if (conn->fd >= 0) ::close(conn->fd);
+    }
+    if (listenFd_ >= 0) ::close(listenFd_);
+    if (!boundPath_.empty()) ::unlink(boundPath_.c_str());
+    for (Campaign* c : liveCampaigns()) removeSpecFile(*c);
+  }
+
+  ServeResult run();
+
+ private:
+  enum class Ref : unsigned char { Listener, WorkerOut, WorkerIn, Client };
+
+  std::vector<Campaign*> liveCampaigns() {
+    std::vector<Campaign*> out;
+    for (auto& [id, c] : campaigns_) out.push_back(&c);
+    return out;
+  }
+
+  void listen();
+  bool spawnWorker(std::size_t i);
+  void assignWork();
+  void submitUnit(std::size_t wi, Campaign& c);
+  void acceptClients();
+  void onClientReadable(ClientConn& conn);
+  void processClientFrames(ClientConn& conn);
+  void admit(ClientConn& conn, const ClientSubmitFrame& f);
+  void reject(ClientConn& conn, const std::string& reason, std::uint64_t retryMs);
+  void flushConn(ClientConn& conn);
+  void clientGone(ClientConn& conn);
+  void closeConn(ClientConn& conn);
+  void onWorkerReadable(std::size_t i);
+  void drainWorker(std::size_t i);
+  void handleWorkerFrame(std::size_t i, const std::string& doc);
+  void onResult(std::size_t wi, ResultFrame rf);
+  void requeueLostUnit(std::size_t wi, const std::string& reason);
+  void workerDeath(std::size_t i, const char* reasonHint);
+  void failCampaign(Campaign& c, const std::string& msg);
+  void finishSuccess(Campaign& c);
+  void finalize(Campaign& c);
+  void sweepFinished();
+  void removeSpecFile(const Campaign& c);
+  void rrRemove(std::uint64_t id);
+  std::size_t inFlight(std::uint64_t id) const;
+  std::size_t totalPendingUnits() const;
+  void heartbeatScan();
+  void shutdownWorkers();
+
+  ServeOptions opt_;
+  ServeLedger ledger_;
+  int listenFd_ = -1;
+  std::string boundPath_;
+  fs::path specDir_;
+  std::vector<ServerWorker> workers_;
+  std::vector<std::unique_ptr<ClientConn>> conns_;
+  std::map<std::uint64_t, Campaign> campaigns_;
+  std::vector<std::uint64_t> rr_;  ///< live campaign ids, admission order
+  std::size_t rrCursor_ = 0;       ///< round-robin position in rr_
+  std::uint64_t lastCampaignId_ = 0;
+  std::uint64_t seqCounter_ = 0;
+  std::uint64_t served_ = 0;  ///< admitted campaigns that left the scheduler
+};
+
+void Server::listen() {
+  if (!opt_.socketPath.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opt_.socketPath.size() >= sizeof(addr.sun_path)) {
+      throw std::invalid_argument("serve: socket path too long: " + opt_.socketPath);
+    }
+    std::strncpy(addr.sun_path, opt_.socketPath.c_str(), sizeof(addr.sun_path) - 1);
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+      throw DispatchError(std::string("socket failed: ") + std::strerror(errno));
+    }
+    ::unlink(opt_.socketPath.c_str());  // a stale path from a crashed server
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+      throw DispatchError("cannot listen on " + opt_.socketPath + ": " +
+                          std::strerror(errno));
+    }
+    boundPath_ = opt_.socketPath;
+  } else if (opt_.tcpPort > 0) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(opt_.tcpPort));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, never 0.0.0.0
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+      throw DispatchError(std::string("socket failed: ") + std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+      throw DispatchError("cannot listen on 127.0.0.1:" + std::to_string(opt_.tcpPort) +
+                          ": " + std::strerror(errno));
+    }
+  } else {
+    throw std::invalid_argument("serve: a socketPath or tcpPort listen address is required");
+  }
+  util::setNonBlocking(listenFd_);
+}
+
+bool Server::spawnWorker(std::size_t i) {
+  ServerWorker& s = workers_[i];
+  std::vector<std::string> argv = opt_.workerCommand;
+  argv.push_back("--index");
+  argv.push_back(std::to_string(i));
+  argv.push_back("--generation");
+  argv.push_back(std::to_string(s.generation));
+  argv.push_back("--heartbeat-ms");
+  argv.push_back(std::to_string(opt_.heartbeatIntervalMs));
+  const util::SubprocessEnv env = {
+      {"XLV_WORKER_INDEX", std::to_string(i)},
+      {"XLV_WORKER_GENERATION", std::to_string(s.generation)},
+  };
+  s.proc = util::Subprocess::spawn(argv, env);
+  s.reader = FrameReader{};
+  s.out = OutboundBuffer{};
+  s.ready = false;
+  s.busy = false;
+  s.timedOut = false;
+  if (!s.proc.started()) {
+    s.retired = true;
+    XLV_ERROR("campaignd") << "serve worker " << i << ": spawn failed";
+    return false;
+  }
+  util::setNonBlocking(s.proc.stdinFd());
+  util::setNonBlocking(s.proc.stdoutFd());
+  s.lastBeat = Clock::now();
+  ++ledger_.workersSpawned;
+  return true;
+}
+
+void Server::assignWork() {
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    ServerWorker& s = workers_[i];
+    if (s.retired || !s.ready || s.busy) continue;
+    if (rr_.empty()) return;
+    // Round-robin ACROSS campaigns (each idle worker serves the next
+    // campaign in admission order that still has work), heaviest-first
+    // WITHIN one (TaskQueue::claim is LPT). That is the fairness contract:
+    // a small campaign never starves behind a huge one's unit backlog.
+    bool assigned = false;
+    const std::size_t n = rr_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t pos = (rrCursor_ + k) % n;
+      auto it = campaigns_.find(rr_[pos]);
+      if (it == campaigns_.end() || !it->second.queue.hasPending()) continue;
+      rrCursor_ = (pos + 1) % n;
+      submitUnit(i, it->second);
+      assigned = true;
+      break;
+    }
+    if (!assigned) return;  // nothing pending anywhere
+  }
+}
+
+void Server::submitUnit(std::size_t wi, Campaign& c) {
+  ServerWorker& s = workers_[wi];
+  const DispatchTask& t = c.queue.claim();
+  SubmitFrame submit;
+  submit.specFnv = c.specFnv;
+  submit.campaignId = c.id;
+  submit.seq = ++seqCounter_;
+  submit.taskIndex = t.index;
+  submit.taskCount = c.taskCount;
+  submit.attempt = t.attempts - 1;
+  submit.unit = t.unit;
+  submit.specPath = c.specPath;
+  s.ready = false;
+  s.busy = true;
+  s.campaignId = c.id;
+  s.taskIndex = t.index;
+  s.lastBeat = Clock::now();
+  s.out.enqueue(frameWire(encodeSubmitFrame(submit)));
+  if (!s.out.flushTo(s.proc.stdinFd())) {
+    workerDeath(wi, "submit-write-failed");
+    return;
+  }
+  ++ledger_.submissions;
+}
+
+void Server::acceptClients() {
+  for (;;) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: drained the backlog
+    }
+    util::setNonBlocking(fd);
+    auto conn = std::make_unique<ClientConn>();
+    conn->fd = fd;
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Server::onClientReadable(ClientConn& conn) {
+  bool eof = false;
+  char buf[65536];
+  while (!conn.dead) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+    if (n > 0) {
+      conn.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    eof = true;  // clean close and read errors both mean: this client is gone
+    break;
+  }
+  if (!conn.dead) processClientFrames(conn);
+  if (eof && !conn.dead) clientGone(conn);
+}
+
+void Server::processClientFrames(ClientConn& conn) {
+  std::string doc;
+  try {
+    while (!conn.dead && conn.reader.next(doc)) {
+      if (conn.closing) continue;  // trailing bytes after a reject: ignore
+      if (conn.campaignId == 0) {
+        if (util::peekDocumentTag(doc) != kClientSubmitFrameTag) {
+          throw util::DecodeError("expected a client-submit frame");
+        }
+        admit(conn, decodeClientSubmitFrame(doc));
+      } else {
+        // One connection carries exactly one campaign; anything after the
+        // submission is a protocol violation.
+        throw util::DecodeError("unexpected frame after the submission");
+      }
+    }
+  } catch (const util::DecodeError& e) {
+    XLV_WARN("campaignd") << "client protocol error: " << e.what();
+    clientGone(conn);
+  }
+}
+
+void Server::admit(ClientConn& conn, const ClientSubmitFrame& f) {
+  CampaignSpec spec;
+  DispatchUnitPlan plan;
+  try {
+    spec = decodeCampaignSpec(f.spec);
+    const std::size_t frag =
+        f.maxFragmentMutants > 0 ? static_cast<std::size_t>(f.maxFragmentMutants)
+                                 : opt_.maxFragmentMutants;
+    plan = planDispatchUnits(spec, frag);
+  } catch (const std::exception& e) {
+    // retryAfterMs = 0: the submission itself is broken, retrying is
+    // pointless (backpressure rejects below DO carry a retry hint).
+    reject(conn, std::string("malformed submission: ") + e.what(), 0);
+    return;
+  }
+  if (campaigns_.size() >= opt_.maxCampaigns) {
+    reject(conn, "campaign limit reached (" + std::to_string(opt_.maxCampaigns) + ")",
+           opt_.rejectRetryAfterMs);
+    return;
+  }
+  const std::size_t queued = totalPendingUnits();
+  // An idle server admits anything — a single campaign larger than the whole
+  // pending budget must still be servable; the bound protects a BUSY server
+  // from buffering without limit.
+  if (queued > 0 && queued + plan.units.size() > opt_.maxPendingUnits) {
+    reject(conn,
+           "admission queue full (" + std::to_string(queued) + " units pending)",
+           opt_.rejectRetryAfterMs);
+    return;
+  }
+
+  const std::uint64_t id = ++lastCampaignId_;
+  const fs::path specPath =
+      specDir_ / ("xlv-campaignd-serve-" + std::to_string(::getpid()) + "-" +
+                  std::to_string(id) + ".xlv");
+  {
+    std::ofstream out(specPath, std::ios::binary | std::ios::trunc);
+    out << encodeCampaignSpec(spec);  // canonical bytes: fnv-checkable by workers
+    if (!out) {
+      reject(conn, "server cannot stage the spec handoff file", opt_.rejectRetryAfterMs);
+      return;
+    }
+  }
+
+  Campaign c;
+  c.id = id;
+  c.name = f.clientName;
+  c.specFnv = plan.specFnv;
+  c.specPath = specPath.string();
+  c.queue = TaskQueue(plan);
+  c.taskCount = c.queue.taskCount();
+  c.conn = &conn;
+  conn.campaignId = id;
+  auto [it, inserted] = campaigns_.emplace(id, std::move(c));
+  (void)inserted;
+  rr_.push_back(id);
+  ++ledger_.campaignsAccepted;
+  XLV_INFO("campaignd") << "campaign " << id << " ('" << f.clientName << "') admitted: "
+                        << it->second.taskCount << " units";
+
+  AcceptFrame accept;
+  accept.campaignId = id;
+  accept.specFnv = plan.specFnv;
+  accept.unitCount = it->second.taskCount;
+  conn.out.enqueue(frameWire(encodeAcceptFrame(accept)));
+  flushConn(conn);
+
+  auto again = campaigns_.find(id);
+  if (again != campaigns_.end() && !again->second.finishing &&
+      again->second.taskCount == 0) {
+    finishSuccess(again->second);  // empty spec: done before it began
+  }
+}
+
+void Server::reject(ClientConn& conn, const std::string& reason, std::uint64_t retryMs) {
+  ++ledger_.campaignsRejected;
+  XLV_WARN("campaignd") << "submission rejected: " << reason;
+  RejectFrame rj;
+  rj.reason = reason;
+  rj.retryAfterMs = retryMs;
+  conn.out.enqueue(frameWire(encodeRejectFrame(rj)));
+  conn.closing = true;
+  flushConn(conn);
+}
+
+void Server::flushConn(ClientConn& conn) {
+  if (conn.dead || conn.fd < 0) return;
+  if (!conn.out.flushTo(conn.fd)) {
+    clientGone(conn);
+    return;
+  }
+  if (conn.closing && conn.out.empty()) closeConn(conn);
+}
+
+void Server::clientGone(ClientConn& conn) {
+  if (conn.dead) return;
+  if (conn.campaignId != 0) {
+    auto it = campaigns_.find(conn.campaignId);
+    if (it != campaigns_.end() && !it->second.finishing) {
+      Campaign& c = it->second;
+      c.cancelled = true;
+      c.finishing = true;
+      rrRemove(c.id);
+      XLV_WARN("campaignd") << "campaign " << c.id << " ('" << c.name
+                            << "') cancelled: client disconnected with "
+                            << c.queue.pendingCount() << " units pending, "
+                            << inFlight(c.id) << " in flight";
+    }
+  }
+  closeConn(conn);
+}
+
+void Server::closeConn(ClientConn& conn) {
+  if (conn.fd >= 0) {
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+  conn.dead = true;
+  if (conn.campaignId != 0) {
+    auto it = campaigns_.find(conn.campaignId);
+    if (it != campaigns_.end()) it->second.conn = nullptr;
+  }
+}
+
+void Server::onWorkerReadable(std::size_t i) {
+  ServerWorker& s = workers_[i];
+  if (s.retired) return;
+  char buf[65536];
+  const ssize_t n = ::read(s.proc.stdoutFd(), buf, sizeof buf);
+  if (n > 0) {
+    s.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    try {
+      drainWorker(i);
+    } catch (const util::DecodeError& e) {
+      XLV_ERROR("campaignd") << "serve worker " << i << ": corrupt stream: " << e.what();
+      s.proc.kill(SIGKILL);
+      workerDeath(i, "protocol-error");
+    }
+  } else if (n == 0) {
+    workerDeath(i, nullptr);
+  } else if (errno != EINTR && errno != EAGAIN) {
+    workerDeath(i, nullptr);
+  }
+}
+
+void Server::drainWorker(std::size_t i) {
+  std::string doc;
+  while (workers_[i].reader.next(doc)) handleWorkerFrame(i, doc);
+}
+
+void Server::handleWorkerFrame(std::size_t i, const std::string& doc) {
+  ServerWorker& s = workers_[i];
+  const std::string tag = util::peekDocumentTag(doc);
+  if (tag == kStatusFrameTag) {
+    const StatusFrame st = decodeStatusFrame(doc);
+    s.lastBeat = Clock::now();
+    if (st.state == "ready") s.ready = true;
+    return;
+  }
+  if (tag == kHeartbeatFrameTag) {
+    decodeHeartbeatFrame(doc);
+    s.lastBeat = Clock::now();
+    ++ledger_.heartbeats;
+    return;
+  }
+  if (tag == kResultFrameTag) {
+    s.lastBeat = Clock::now();
+    onResult(i, decodeResultFrame(doc));
+    return;
+  }
+  throw util::DecodeError("unexpected frame '" + tag + "' from a worker");
+}
+
+void Server::onResult(std::size_t wi, ResultFrame rf) {
+  ServerWorker& s = workers_[wi];
+  auto it = campaigns_.find(rf.campaignId);
+  if (it != campaigns_.end() && rf.taskIndex >= it->second.taskCount) {
+    throw util::DecodeError("result for unknown task " + std::to_string(rf.taskIndex) +
+                            " of campaign " + std::to_string(rf.campaignId));
+  }
+  if (s.busy && s.campaignId == rf.campaignId && s.taskIndex == rf.taskIndex) {
+    s.busy = false;
+  }
+  if (it == campaigns_.end()) {
+    // The owning campaign already finalized (cancelled and drained): spent
+    // work with nowhere to go.
+    ++ledger_.discardedResults;
+    return;
+  }
+  Campaign& c = it->second;
+  if (c.finishing) {
+    ++c.discarded;
+    ++ledger_.discardedResults;
+    return;
+  }
+  if (!c.queue.complete(rf.taskIndex)) {
+    // A retry raced its predecessor's drained result; copies are
+    // bit-identical by construction, dropping one is safe.
+    ++ledger_.duplicateResults;
+    return;
+  }
+  ItemResultFrame ir;
+  ir.campaignId = c.id;
+  ir.taskIndex = rf.taskIndex;
+  ir.taskCount = c.taskCount;
+  ir.output = std::move(rf.output);
+  if (c.conn != nullptr && !c.conn->dead) {
+    c.conn->out.enqueue(frameWire(encodeItemResultFrame(ir)));
+    flushConn(*c.conn);  // may cancel c (client write failure sets finishing)
+  }
+  if (!c.finishing && c.queue.done()) finishSuccess(c);
+}
+
+void Server::requeueLostUnit(std::size_t wi, const std::string& reason) {
+  ServerWorker& s = workers_[wi];
+  if (!s.busy) return;
+  s.busy = false;
+  auto it = campaigns_.find(s.campaignId);
+  if (it == campaigns_.end()) return;
+  Campaign& c = it->second;
+  if (c.finishing) return;  // cancelled campaigns do not re-queue
+  if (c.queue.isCompleted(s.taskIndex)) return;  // its result was drained in time
+  const DispatchTask& t = c.queue.task(s.taskIndex);
+  if (static_cast<int>(t.attempts) >= opt_.maxTaskAttempts) {
+    // An unrunnable unit fails ITS campaign, never the server.
+    failCampaign(c, "task " + std::to_string(t.index) + " (item " +
+                        std::to_string(t.unit.taskId) + ") lost after " +
+                        std::to_string(t.attempts) + " attempts (last: " + reason + ")");
+    return;
+  }
+  c.queue.requeue(s.taskIndex);
+  ++c.requeues;
+  XLV_WARN("campaignd") << "re-queued task " << t.index << " of campaign " << c.id
+                        << " (attempt " << t.attempts << " lost to worker " << wi
+                        << ": " << reason << ")";
+}
+
+void Server::workerDeath(std::size_t i, const char* reasonHint) {
+  ServerWorker& s = workers_[i];
+  try {
+    drainWorker(i);  // salvage results already in the pipe
+  } catch (const util::DecodeError&) {
+    // A crash can truncate mid-frame; the re-queue below recovers the rest.
+  }
+  s.proc.wait();
+  const std::string reason = reasonHint != nullptr ? reasonHint
+                             : s.timedOut          ? "heartbeat-timeout"
+                             : s.proc.termSignal() != 0 ? "worker-signal"
+                                                        : "worker-exit";
+  XLV_WARN("campaignd") << "serve worker " << i << " gen " << s.generation << " died ("
+                        << reason << ", exit=" << s.proc.exitCode()
+                        << ", signal=" << s.proc.termSignal() << ")";
+  requeueLostUnit(i, reason);
+  s.ready = false;
+  if (s.respawns < opt_.maxWorkerRespawns) {
+    ++s.respawns;
+    ++s.generation;
+    ++ledger_.workerRespawns;
+    spawnWorker(i);
+  } else {
+    s.retired = true;
+  }
+  const bool anyAlive = std::any_of(workers_.begin(), workers_.end(),
+                                    [](const ServerWorker& w) { return !w.retired; });
+  if (!anyAlive && !campaigns_.empty()) {
+    throw DispatchError("all serve workers lost with " +
+                        std::to_string(campaigns_.size()) + " campaigns live");
+  }
+}
+
+void Server::failCampaign(Campaign& c, const std::string& msg) {
+  XLV_ERROR("campaignd") << "campaign " << c.id << " ('" << c.name << "') failed: " << msg;
+  c.error = msg;
+  c.finishing = true;
+  rrRemove(c.id);
+  if (c.conn != nullptr && !c.conn->dead) {
+    CampaignDoneFrame done;
+    done.campaignId = c.id;
+    done.unitsTotal = c.taskCount;
+    done.unitsCompleted = c.queue.completedCount();
+    done.requeues = c.requeues;
+    done.cancelled = false;
+    done.error = msg;
+    c.conn->out.enqueue(frameWire(encodeCampaignDoneFrame(done)));
+    c.conn->closing = true;
+    flushConn(*c.conn);
+  }
+  // Finalized by sweepFinished() once in-flight units drained.
+}
+
+void Server::finishSuccess(Campaign& c) {
+  CampaignDoneFrame done;
+  done.campaignId = c.id;
+  done.unitsTotal = c.taskCount;
+  done.unitsCompleted = c.queue.completedCount();
+  done.requeues = c.requeues;
+  ClientConn* conn = c.conn;
+  if (conn != nullptr && !conn->dead) {
+    conn->out.enqueue(frameWire(encodeCampaignDoneFrame(done)));
+    conn->closing = true;
+  }
+  // Finalize BEFORE the flush: the campaign has left the scheduler either
+  // way, and a write failure during the flush must not re-cancel it.
+  finalize(c);
+  if (conn != nullptr && !conn->dead) flushConn(*conn);
+}
+
+void Server::finalize(Campaign& c) {
+  CampaignLedgerEntry e;
+  e.campaignId = c.id;
+  e.name = c.name;
+  e.unitsTotal = c.taskCount;
+  e.unitsCompleted = c.queue.completedCount();
+  e.requeues = c.requeues;
+  e.discardedResults = c.discarded;
+  e.cancelled = c.cancelled;
+  e.error = c.error;
+  ledger_.campaigns.push_back(e);
+  if (c.cancelled) {
+    ++ledger_.campaignsCancelled;
+  } else {
+    ++ledger_.campaignsCompleted;
+  }
+  XLV_INFO("campaignd") << "campaign " << c.id << " ('" << c.name << "') finished: "
+                        << e.unitsCompleted << "/" << e.unitsTotal << " units, "
+                        << e.requeues << " re-queues"
+                        << (c.cancelled ? " (cancelled)" : "");
+  removeSpecFile(c);
+  rrRemove(c.id);
+  if (c.conn != nullptr) c.conn->campaignId = 0;
+  const std::uint64_t id = c.id;
+  campaigns_.erase(id);  // `c` is dangling from here on
+  ++served_;
+}
+
+void Server::sweepFinished() {
+  std::vector<std::uint64_t> doneIds;
+  for (auto& [id, c] : campaigns_) {
+    if (c.finishing && inFlight(id) == 0) doneIds.push_back(id);
+  }
+  for (const std::uint64_t id : doneIds) {
+    auto it = campaigns_.find(id);
+    if (it != campaigns_.end()) finalize(it->second);
+  }
+}
+
+void Server::removeSpecFile(const Campaign& c) {
+  if (c.specPath.empty()) return;
+  std::error_code ec;
+  fs::remove(c.specPath, ec);
+}
+
+void Server::rrRemove(std::uint64_t id) {
+  const auto it = std::find(rr_.begin(), rr_.end(), id);
+  if (it == rr_.end()) return;
+  const std::size_t pos = static_cast<std::size_t>(it - rr_.begin());
+  rr_.erase(it);
+  if (rr_.empty()) {
+    rrCursor_ = 0;
+  } else {
+    if (pos < rrCursor_) --rrCursor_;
+    rrCursor_ %= rr_.size();
+  }
+}
+
+std::size_t Server::inFlight(std::uint64_t id) const {
+  std::size_t n = 0;
+  for (const ServerWorker& s : workers_) {
+    if (s.busy && s.campaignId == id) ++n;
+  }
+  return n;
+}
+
+std::size_t Server::totalPendingUnits() const {
+  std::size_t n = 0;
+  for (const auto& [id, c] : campaigns_) {
+    if (!c.finishing) n += c.queue.pendingCount();
+  }
+  return n;
+}
+
+void Server::heartbeatScan() {
+  const auto now = Clock::now();
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    ServerWorker& s = workers_[i];
+    if (s.retired || !s.busy || s.timedOut) continue;
+    const auto silentMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - s.lastBeat).count();
+    if (silentMs > opt_.heartbeatTimeoutMs) {
+      XLV_WARN("campaignd") << "serve worker " << i << " silent for " << silentMs
+                            << " ms on campaign " << s.campaignId << " task "
+                            << s.taskIndex << "; killing";
+      s.timedOut = true;
+      ++ledger_.workersKilled;
+      s.proc.kill(SIGKILL);
+    }
+  }
+}
+
+void Server::shutdownWorkers() {
+  for (ServerWorker& s : workers_) {
+    if (s.retired || !s.proc.started()) continue;
+    SubmitFrame bye;
+    bye.seq = ++seqCounter_;
+    bye.shutdown = true;
+    s.out.enqueue(frameWire(encodeSubmitFrame(bye)));
+    const auto deadline = Clock::now() + std::chrono::milliseconds(200);
+    while (!s.out.empty() && Clock::now() < deadline) {
+      if (!s.out.flushTo(s.proc.stdinFd())) break;
+      if (!s.out.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    s.proc.closeStdin();
+  }
+  const auto grace = Clock::now() + std::chrono::seconds(2);
+  for (ServerWorker& s : workers_) {
+    if (s.retired || !s.proc.started()) continue;
+    while (s.proc.running() && Clock::now() < grace) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (s.proc.running()) s.proc.kill(SIGKILL);
+    s.proc.wait();
+  }
+}
+
+ServeResult Server::run() {
+  if (opt_.workerCommand.empty()) {
+    throw std::invalid_argument("serve: workerCommand must not be empty");
+  }
+  if (opt_.heartbeatIntervalMs <= 0 || opt_.heartbeatTimeoutMs <= 0) {
+    throw std::invalid_argument("serve: heartbeat interval/timeout must be > 0");
+  }
+  if (opt_.maxTaskAttempts < 1) {
+    throw std::invalid_argument("serve: maxTaskAttempts must be >= 1");
+  }
+  ignoreSigpipe();
+
+  specDir_ = opt_.specDir.empty() ? fs::temp_directory_path() : fs::path(opt_.specDir);
+  std::error_code ec;
+  fs::create_directories(specDir_, ec);
+
+  listen();
+
+  const int workerCount = resolveWorkerCount(opt_.workers);
+  workers_.resize(static_cast<std::size_t>(workerCount));
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (spawnWorker(i)) ++live;
+  }
+  if (live == 0) throw DispatchError("could not spawn any serve worker");
+  XLV_INFO("campaignd") << "serving on "
+                        << (!boundPath_.empty()
+                                ? boundPath_
+                                : "127.0.0.1:" + std::to_string(opt_.tcpPort))
+                        << " with " << live << " workers";
+
+  struct PollRef {
+    Ref kind;
+    std::size_t idx;
+  };
+
+  for (;;) {
+    if (opt_.maxCampaignsServed > 0 && served_ >= opt_.maxCampaignsServed &&
+        campaigns_.empty()) {
+      break;
+    }
+
+    assignWork();
+
+    std::vector<pollfd> fds;
+    std::vector<PollRef> refs;
+    fds.push_back(pollfd{listenFd_, POLLIN, 0});
+    refs.push_back({Ref::Listener, 0});
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const ServerWorker& s = workers_[i];
+      if (s.retired || !s.proc.started()) continue;
+      fds.push_back(pollfd{s.proc.stdoutFd(), POLLIN, 0});
+      refs.push_back({Ref::WorkerOut, i});
+      if (!s.out.empty() && s.proc.stdinFd() >= 0) {
+        fds.push_back(pollfd{s.proc.stdinFd(), POLLOUT, 0});
+        refs.push_back({Ref::WorkerIn, i});
+      }
+    }
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      const ClientConn& conn = *conns_[i];
+      if (conn.dead || conn.fd < 0) continue;
+      const short events =
+          static_cast<short>(conn.out.empty() ? POLLIN : (POLLIN | POLLOUT));
+      fds.push_back(pollfd{conn.fd, events, 0});
+      refs.push_back({Ref::Client, i});
+    }
+
+    const int pollMs = std::clamp(opt_.heartbeatTimeoutMs / 4, 10, 100);
+    const int got = ::poll(fds.data(), fds.size(), pollMs);
+    if (got < 0 && errno != EINTR) {
+      throw DispatchError(std::string("poll failed: ") + std::strerror(errno));
+    }
+
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if (fds[k].revents == 0) continue;
+      const PollRef ref = refs[k];
+      switch (ref.kind) {
+        case Ref::Listener:
+          if (fds[k].revents & POLLIN) acceptClients();
+          break;
+        case Ref::WorkerOut:
+          if (fds[k].revents & (POLLIN | POLLHUP | POLLERR)) onWorkerReadable(ref.idx);
+          break;
+        case Ref::WorkerIn: {
+          ServerWorker& s = workers_[ref.idx];
+          if (s.retired) break;
+          if (fds[k].revents & (POLLOUT | POLLHUP | POLLERR)) {
+            if (!s.out.flushTo(s.proc.stdinFd())) {
+              workerDeath(ref.idx, "submit-write-failed");
+            }
+          }
+          break;
+        }
+        case Ref::Client: {
+          ClientConn& conn = *conns_[ref.idx];
+          if (conn.dead) break;
+          if (fds[k].revents & (POLLIN | POLLHUP | POLLERR)) onClientReadable(conn);
+          if (!conn.dead && (fds[k].revents & POLLOUT)) flushConn(conn);
+          break;
+        }
+      }
+    }
+
+    heartbeatScan();
+    sweepFinished();
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const std::unique_ptr<ClientConn>& c) {
+                                  return c->dead;
+                                }),
+                 conns_.end());
+  }
+
+  shutdownWorkers();
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  if (!boundPath_.empty()) {
+    ::unlink(boundPath_.c_str());
+    boundPath_.clear();
+  }
+  XLV_INFO("campaignd") << "served " << served_ << " campaigns ("
+                        << ledger_.campaignsCompleted << " completed, "
+                        << ledger_.campaignsCancelled << " cancelled, "
+                        << ledger_.campaignsRejected << " rejected)";
+  return ServeResult{ledger_};
+}
+
+}  // namespace
+
+ServeResult runCampaignServer(const ServeOptions& opt) { return Server(opt).run(); }
+
+// --- client ------------------------------------------------------------------
+
+SubmitOutcome submitCampaign(const CampaignSpec& spec, const SubmitOptions& opt) {
+  SubmitOutcome out;
+  ignoreSigpipe();
+  const int fd = connectToServer(opt.socketPath, opt.tcpPort, out.error);
+  if (fd < 0) return out;
+
+  ClientSubmitFrame submit;
+  submit.clientName = opt.clientName;
+  submit.spec = encodeCampaignSpec(spec);
+  submit.maxFragmentMutants = static_cast<std::uint64_t>(opt.maxFragmentMutants);
+  if (!writeFdAll(fd, frameWire(encodeClientSubmitFrame(submit)))) {
+    out.error = std::string("submit write failed: ") + std::strerror(errno);
+    ::close(fd);
+    return out;
+  }
+
+  FrameReader reader;
+  std::string doc;
+  long items = 0;
+  auto disconnectDue = [&] {
+    return opt.disconnectAfterItems >= 0 && items >= opt.disconnectAfterItems &&
+           out.accepted;
+  };
+  while (out.error.empty() && !out.done && !out.rejected && !out.disconnected) {
+    int readErrno = 0;
+    FrameRead got = FrameRead::Eof;
+    try {
+      got = readFrameBlocking(fd, reader, doc, &readErrno);
+    } catch (const util::DecodeError& e) {
+      out.error = std::string("corrupt stream from server: ") + e.what();
+      break;
+    }
+    if (got == FrameRead::Eof) {
+      out.error = "server closed the connection mid-campaign";
+      break;
+    }
+    if (got == FrameRead::Error) {
+      out.error = std::string("socket read failed: ") + std::strerror(readErrno);
+      break;
+    }
+    try {
+      const std::string tag = util::peekDocumentTag(doc);
+      if (tag == kAcceptFrameTag) {
+        const AcceptFrame accept = decodeAcceptFrame(doc);
+        out.accepted = true;
+        out.campaignId = accept.campaignId;
+        out.unitCount = accept.unitCount;
+      } else if (tag == kRejectFrameTag) {
+        const RejectFrame rj = decodeRejectFrame(doc);
+        out.rejected = true;
+        out.rejectReason = rj.reason;
+        out.retryAfterMs = rj.retryAfterMs;
+      } else if (tag == kItemResultFrameTag) {
+        ItemResultFrame ir = decodeItemResultFrame(doc);
+        out.outputs.push_back(std::move(ir.output));
+        ++items;
+      } else if (tag == kCampaignDoneFrameTag) {
+        const CampaignDoneFrame done = decodeCampaignDoneFrame(doc);
+        out.done = true;
+        if (!done.error.empty()) {
+          out.error = done.error;
+        } else if (done.cancelled) {
+          out.error = "campaign cancelled by the server";
+        }
+      } else {
+        out.error = "unexpected frame '" + tag + "' from the server";
+      }
+    } catch (const util::DecodeError& e) {
+      out.error = std::string("bad frame from server: ") + e.what();
+    }
+    if (out.error.empty() && disconnectDue()) out.disconnected = true;
+  }
+  ::close(fd);
+
+  if (out.done && out.error.empty()) {
+    try {
+      out.result = mergeShards(spec, out.outputs);
+    } catch (const std::exception& e) {
+      out.error = std::string("merge failed: ") + e.what();
+    }
+  }
+  return out;
+}
+
+// --- ledger JSON -------------------------------------------------------------
+
+std::string encodeServeLedgerJson(const ServeLedger& ledger) {
+  std::string out = "{\n";
+  auto num = [&](const char* key, std::uint64_t v) {
+    out += "  \"";
+    out += key;
+    out += "\": ";
+    out += std::to_string(v);
+    out += ",\n";
+  };
+  auto escape = [](const std::string& s) {
+    std::string r;
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        r += '\\';
+        r += ch;
+      } else if (ch == '\n') {
+        r += "\\n";
+      } else {
+        r += ch;
+      }
+    }
+    return r;
+  };
+  num("campaignsAccepted", ledger.campaignsAccepted);
+  num("campaignsRejected", ledger.campaignsRejected);
+  num("campaignsCompleted", ledger.campaignsCompleted);
+  num("campaignsCancelled", ledger.campaignsCancelled);
+  num("submissions", ledger.submissions);
+  num("duplicateResults", ledger.duplicateResults);
+  num("discardedResults", ledger.discardedResults);
+  num("workersSpawned", ledger.workersSpawned);
+  num("workerRespawns", ledger.workerRespawns);
+  num("workersKilled", ledger.workersKilled);
+  num("heartbeats", ledger.heartbeats);
+  out += "  \"campaigns\": [";
+  for (std::size_t i = 0; i < ledger.campaigns.size(); ++i) {
+    const CampaignLedgerEntry& c = ledger.campaigns[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"campaignId\": " + std::to_string(c.campaignId);
+    out += ", \"name\": \"" + escape(c.name) + "\"";
+    out += ", \"unitsTotal\": " + std::to_string(c.unitsTotal);
+    out += ", \"unitsCompleted\": " + std::to_string(c.unitsCompleted);
+    out += ", \"requeues\": " + std::to_string(c.requeues);
+    out += ", \"discardedResults\": " + std::to_string(c.discardedResults);
+    out += std::string(", \"cancelled\": ") + (c.cancelled ? "true" : "false");
+    out += ", \"error\": \"" + escape(c.error) + "\"";
+    out += "}";
+  }
+  out += ledger.campaigns.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace xlv::campaign

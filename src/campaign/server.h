@@ -1,0 +1,181 @@
+// Campaign service: socket front end over the dispatcher worker pool.
+//
+// PR 7's dispatcher (campaign/dispatch.h) runs ONE campaign through a
+// work-stealing pool and exits. This layer is the ROADMAP campaign-service
+// sub-step (2): a long-lived server that listens on a Unix-domain socket
+// (optionally loopback TCP), accepts campaign submissions from many
+// concurrent clients, and multiplexes them over a single worker pool and
+// one shared artifact store. The wire protocol is the same length-framed
+// codec-document stream the workers speak — FrameReader is transport-
+// agnostic, so pointing it at a socket fd instead of a pipe is the whole
+// transport change. Client-facing frame schemas live in campaign/serialize
+// (codec v6): ClientSubmitFrame -> AcceptFrame | RejectFrame, then streamed
+// ItemResultFrames and a final CampaignDoneFrame.
+//
+// Scheduling is ROUND-ROBIN FAIR ACROSS campaigns and HEAVIEST-FIRST WITHIN
+// a campaign: each idle worker takes the heaviest pending unit of the next
+// campaign in admission order, so a one-item smoke submission finishes long
+// before a million-mutant campaign's tail, while each campaign individually
+// keeps the LPT order that makes work-stealing efficient.
+//
+// Backpressure is a bounded admission queue, never an unbounded buffer: a
+// submission that would push the pending-unit total past maxPendingUnits
+// (or the campaign count past maxCampaigns) is answered with a structured
+// RejectFrame carrying retryAfterMs. An EMPTY server always accepts, so a
+// single campaign bigger than the whole budget is still servable.
+//
+// Crash semantics, both directions:
+//   * worker death  — exactly the dispatcher's recovery: salvage drained
+//     results, re-queue the lost unit (attributed to its owning campaign's
+//     ledger entry), respawn the slot. A unit exhausting its attempt budget
+//     fails ONLY its campaign (CampaignDoneFrame with error), never the
+//     server.
+//   * client death  — a dying client's campaign is cancelled: its pending
+//     units leave the scheduler immediately, in-flight units run to
+//     completion with their results discarded (counted, not merged), and
+//     the cancellation lands in the per-campaign ledger.
+//
+// The server itself is single-threaded (one poll(2) loop, like the
+// dispatcher) and every fd — listener, clients, worker pipes — is
+// non-blocking with per-connection outbound buffers (OutboundBuffer), so no
+// peer can wedge the loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/dispatch.h"
+#include "campaign/shard.h"
+
+namespace xlv::campaign {
+
+struct ServeOptions {
+  /// AF_UNIX listen path; takes precedence over tcpPort. The path is
+  /// unlinked (if stale) before bind and removed on shutdown.
+  std::string socketPath;
+  /// Loopback (127.0.0.1) TCP listen port, used when socketPath is empty.
+  int tcpPort = 0;
+  /// Worker pool size; 0 = resolveWorkerCount(0) (XLV_WORKERS or hardware).
+  int workers = 0;
+  /// Default stealable-unit granularity for submissions that do not set
+  /// their own (ClientSubmitFrame::maxFragmentMutants == 0).
+  std::size_t maxFragmentMutants = 0;
+  /// Command prefix that execs one worker (same contract as
+  /// DispatchOptions::workerCommand, minus "--spec": served units carry
+  /// their spec handoff path per-frame). Required.
+  std::vector<std::string> workerCommand;
+  int heartbeatIntervalMs = 200;
+  int heartbeatTimeoutMs = 10000;
+  int maxTaskAttempts = 3;
+  int maxWorkerRespawns = 2;
+  /// Directory for per-campaign spec handoff files ("" = std::filesystem
+  /// temp dir).
+  std::string specDir;
+  /// Admission bound: a submission is rejected when the queued-unit total
+  /// would exceed this — unless the server is idle (nothing pending), which
+  /// always admits so an oversized single campaign still runs.
+  std::size_t maxPendingUnits = 1024;
+  /// Admission bound on concurrently live campaigns.
+  std::size_t maxCampaigns = 64;
+  /// retryAfterMs stamped into backpressure RejectFrames.
+  std::uint64_t rejectRetryAfterMs = 1000;
+  /// Stop once this many admitted campaigns have left the scheduler
+  /// (completed, failed or cancelled) and none remain live; 0 = serve
+  /// forever. Tests and the CI soak bound their runs with this.
+  std::uint64_t maxCampaignsServed = 0;
+};
+
+/// One admitted campaign's scheduling record.
+struct CampaignLedgerEntry {
+  std::uint64_t campaignId = 0;
+  std::string name;  ///< ClientSubmitFrame::clientName
+  std::uint64_t unitsTotal = 0;
+  std::uint64_t unitsCompleted = 0;
+  /// Crash-recovery re-queues attributed to this campaign (its units lost
+  /// to dead/hung workers).
+  std::uint64_t requeues = 0;
+  /// Results that arrived after this campaign was cancelled and were
+  /// dropped instead of forwarded.
+  std::uint64_t discardedResults = 0;
+  bool cancelled = false;
+  std::string error;  ///< non-empty when dispatch gave up on a unit
+};
+
+struct ServeLedger {
+  std::uint64_t campaignsAccepted = 0;
+  std::uint64_t campaignsRejected = 0;
+  std::uint64_t campaignsCompleted = 0;
+  std::uint64_t campaignsCancelled = 0;
+  std::uint64_t submissions = 0;       ///< submit frames queued to workers
+  std::uint64_t duplicateResults = 0;  ///< retry raced its predecessor's result
+  std::uint64_t discardedResults = 0;  ///< results of cancelled campaigns
+  std::uint64_t workersSpawned = 0;
+  std::uint64_t workerRespawns = 0;
+  std::uint64_t workersKilled = 0;  ///< heartbeat-timeout SIGKILLs
+  std::uint64_t heartbeats = 0;
+  /// Every admitted campaign, in admission order (live ones are finalized
+  /// into here when the server stops).
+  std::vector<CampaignLedgerEntry> campaigns;
+};
+
+struct ServeResult {
+  ServeLedger ledger;
+};
+
+/// Run the campaign server until maxCampaignsServed campaigns finished
+/// (blocks forever when that is 0). Throws DispatchError when recovery is
+/// impossible (listen/bind failure, the whole worker pool lost with work
+/// pending); std::invalid_argument on a malformed request (no listen
+/// address, empty workerCommand, non-positive timeouts).
+ServeResult runCampaignServer(const ServeOptions& opt);
+
+/// The ledger as a JSON object (CI uploads it next to the dispatcher's
+/// BENCH_campaignd_ledger.json; per-campaign entries under "campaigns").
+std::string encodeServeLedgerJson(const ServeLedger& ledger);
+
+// --- client ------------------------------------------------------------------
+
+struct SubmitOptions {
+  /// AF_UNIX path of the server; takes precedence over tcpPort.
+  std::string socketPath;
+  /// Loopback TCP port, used when socketPath is empty.
+  int tcpPort = 0;
+  /// Label stored in the server's per-campaign ledger entry.
+  std::string clientName = "xlv_campaign";
+  /// Requested unit granularity (0 = the server's default).
+  std::size_t maxFragmentMutants = 0;
+  /// Test hook: hard-close the socket after receiving this many
+  /// ItemResultFrames (-1 = never) — simulates a client dying mid-campaign
+  /// so tests and the CI soak can exercise server-side cancellation.
+  long disconnectAfterItems = -1;
+};
+
+/// Everything one submission produced. Exactly one of rejected /
+/// disconnected / done is set on a non-error outcome; `error` is non-empty
+/// when the transport or protocol failed (or the server's CampaignDoneFrame
+/// carried a dispatch error).
+struct SubmitOutcome {
+  bool accepted = false;      ///< AcceptFrame received
+  bool rejected = false;      ///< RejectFrame received (see reason/retryAfterMs)
+  bool done = false;          ///< CampaignDoneFrame received
+  bool disconnected = false;  ///< the disconnectAfterItems hook fired
+  std::string rejectReason;
+  std::uint64_t retryAfterMs = 0;
+  std::string error;
+  std::uint64_t campaignId = 0;
+  std::uint64_t unitCount = 0;
+  /// Streamed per-unit outputs, in arrival order.
+  std::vector<ShardOutput> outputs;
+  /// mergeShards over `outputs` — bit-identical (sameResults) to a local
+  /// runCampaign(spec). Valid when done && error.empty().
+  CampaignResult result;
+};
+
+/// Submit `spec` to a running server and stream the results back (blocking;
+/// returns when the campaign finished, was rejected, or the connection
+/// failed — never throws, errors land in SubmitOutcome::error).
+SubmitOutcome submitCampaign(const CampaignSpec& spec, const SubmitOptions& opt);
+
+}  // namespace xlv::campaign

@@ -73,6 +73,12 @@ SubprocessResult runCommandCapture(const std::vector<std::string>& argv) {
   return res;
 }
 
+bool setNonBlocking(int fd) noexcept {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
 // --- Subprocess --------------------------------------------------------------
 
 Subprocess::Subprocess(Subprocess&& other) noexcept { *this = std::move(other); }

@@ -36,6 +36,13 @@ struct SubprocessResult {
 /// Never throws; a spawn failure reports started == false.
 SubprocessResult runCommandCapture(const std::vector<std::string>& argv);
 
+/// Put `fd` into O_NONBLOCK mode (preserving the other status flags).
+/// The dispatcher and the campaign server switch every worker/client fd to
+/// non-blocking and buffer outbound bytes per connection, so one peer with
+/// a full pipe can never wedge the single-threaded poll loop. Returns false
+/// when fcntl fails (bad fd).
+bool setNonBlocking(int fd) noexcept;
+
 /// Extra environment entries set in the child after fork (inheriting the
 /// parent environment otherwise); the dispatcher uses this for per-worker
 /// coordinates (XLV_WORKER_INDEX / XLV_WORKER_GENERATION).

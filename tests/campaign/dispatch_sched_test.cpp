@@ -6,8 +6,14 @@
 // paths live in dispatch_fault_test.cpp).
 #include <gtest/gtest.h>
 
-#include <algorithm>
+#include <cerrno>
+#include <csignal>
 #include <cstdlib>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <numeric>
 #include <string>
 #include <tuple>
@@ -16,6 +22,7 @@
 #include "campaign/dispatch.h"
 #include "campaign/serialize.h"
 #include "util/codec.h"
+#include "util/subprocess.h"
 
 namespace xlv::campaign {
 namespace {
@@ -240,6 +247,99 @@ TEST(DispatchSched, FrameReaderRejectsCorruptFraming) {
   EXPECT_EQ(doc, "abcdefghij");
 }
 
+// --- blocking frame reads ----------------------------------------------------
+
+TEST(DispatchSched, ReadFrameBlockingDistinguishesEofFromError) {
+  // Clean EOF: the peer closed the pipe with nothing buffered.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[1]);
+  FrameReader reader;
+  std::string doc;
+  int err = -1;
+  EXPECT_EQ(readFrameBlocking(fds[0], reader, doc, &err), FrameRead::Eof);
+  ::close(fds[0]);
+
+  // A real read(2) failure must NOT masquerade as EOF — it surfaces as
+  // FrameRead::Error with the errno preserved for the caller's log line.
+  FrameReader reader2;
+  err = 0;
+  EXPECT_EQ(readFrameBlocking(-1, reader2, doc, &err), FrameRead::Error);
+  EXPECT_EQ(err, EBADF);
+
+  // And a complete frame still round-trips through the same entry point.
+  ASSERT_EQ(::pipe(fds), 0);
+  HeartbeatFrame beat;
+  beat.workerIndex = 2;
+  beat.seq = 9;
+  const std::string wire = frameWire(encodeHeartbeatFrame(beat));
+  ASSERT_EQ(::write(fds[1], wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+  ::close(fds[1]);
+  FrameReader reader3;
+  EXPECT_EQ(readFrameBlocking(fds[0], reader3, doc, nullptr), FrameRead::Frame);
+  EXPECT_EQ(decodeHeartbeatFrame(doc), beat);
+  EXPECT_EQ(readFrameBlocking(fds[0], reader3, doc, nullptr), FrameRead::Eof);
+  ::close(fds[0]);
+}
+
+// --- non-blocking outbound buffers -------------------------------------------
+
+#ifdef F_SETPIPE_SZ
+TEST(DispatchSched, OutboundBufferSurvivesTinyPipeBackpressure) {
+  // Regression test for the dispatcher write deadlock: a worker stdin pipe
+  // shrunk to one page fills instantly under a burst of submit frames. The
+  // old blocking writeAll would wedge the poll loop right there; the
+  // OutboundBuffer must instead take the EAGAIN, keep the overflow queued,
+  // and drain as the reader makes room.
+  ::signal(SIGPIPE, SIG_IGN);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_GT(::fcntl(fds[1], F_SETPIPE_SZ, 4096), 0);
+  ASSERT_TRUE(util::setNonBlocking(fds[1]));
+
+  // Far more than one page of framed submissions.
+  std::string payload;
+  SubmitFrame submit;
+  submit.specFnv = 0x5EED;
+  submit.campaignId = 1;
+  for (std::size_t i = 0; i < 256; ++i) {
+    submit.seq = i;
+    submit.taskIndex = i;
+    submit.taskCount = 256;
+    submit.unit = ShardUnit{i, 0, 0};
+    payload += frameWire(encodeSubmitFrame(submit));
+  }
+  ASSERT_GT(payload.size(), 32u * 1024u);
+
+  OutboundBuffer out;
+  out.enqueue(payload);
+  ASSERT_TRUE(out.flushTo(fds[1]));  // pipe full is not fatal...
+  EXPECT_GT(out.pendingBytes(), 0u);  // ...and the overflow stays queued
+  EXPECT_LT(out.pendingBytes(), payload.size());
+
+  // Alternate reader-drain with flush, the way the poll loop's POLLOUT
+  // handler does, until every byte crossed the one-page pipe intact.
+  std::string received;
+  char buf[4096];
+  while (!out.empty() || received.size() < payload.size()) {
+    const ssize_t n = ::read(fds[0], buf, sizeof buf);
+    if (n > 0) received.append(buf, static_cast<std::size_t>(n));
+    ASSERT_TRUE(out.flushTo(fds[1]));
+    if (n <= 0 && out.empty()) break;
+  }
+  EXPECT_EQ(received, payload);
+  EXPECT_TRUE(out.empty());
+
+  // A closed read end is the fatal case: flushTo reports it instead of
+  // retrying forever.
+  ::close(fds[0]);
+  out.enqueue("straggler");
+  EXPECT_FALSE(out.flushTo(fds[1]));
+  ::close(fds[1]);
+}
+#endif  // F_SETPIPE_SZ
+
 // --- worker-count resolution -------------------------------------------------
 
 struct EnvGuard {
@@ -281,6 +381,41 @@ TEST(DispatchSched, ResolveWorkerCountPrefersExplicitThenEnv) {
   }
   ::unsetenv("XLV_WORKERS");
   EXPECT_GE(resolveWorkerCount(0), 1);  // hardware fallback
+}
+
+TEST(DispatchSched, EnvLongStrictThrowsOnMalformedValues) {
+  // The timing knobs (XLV_HEARTBEAT_MS, XLV_HEARTBEAT_TIMEOUT_MS, the fault
+  // hooks) all parse through envLongStrict: unset or empty means the
+  // fallback, anything else must parse COMPLETELY. The old lenient parser
+  // silently fell back on a typo — a daemon run with a mistyped heartbeat
+  // timeout used the default and nobody noticed.
+  ::unsetenv("XLV_TEST_ENV_LONG");
+  EXPECT_EQ(envLongStrict("XLV_TEST_ENV_LONG", 42), 42);
+  {
+    EnvGuard env("XLV_TEST_ENV_LONG", "");
+    EXPECT_EQ(envLongStrict("XLV_TEST_ENV_LONG", 42), 42);
+  }
+  {
+    EnvGuard env("XLV_TEST_ENV_LONG", "250");
+    EXPECT_EQ(envLongStrict("XLV_TEST_ENV_LONG", 42), 250);
+  }
+  {
+    EnvGuard env("XLV_TEST_ENV_LONG", "-3");
+    EXPECT_EQ(envLongStrict("XLV_TEST_ENV_LONG", 42), -3);
+  }
+  const char* bad[] = {"250ms", "abc", "1.5", "99999999999999999999"};
+  for (const char* value : bad) {
+    EnvGuard env("XLV_TEST_ENV_LONG", value);
+    try {
+      envLongStrict("XLV_TEST_ENV_LONG", 42);
+      FAIL() << "accepted '" << value << "'";
+    } catch (const std::invalid_argument& e) {
+      // The message names the variable AND the offending value, so the
+      // operator can see what to fix without strace.
+      EXPECT_NE(std::string(e.what()).find("XLV_TEST_ENV_LONG"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find(value), std::string::npos);
+    }
+  }
 }
 
 // --- ledger JSON -------------------------------------------------------------

@@ -1,0 +1,430 @@
+// End-to-end tests of the campaign service (campaign/server.h): a real
+// `runCampaignServer` loop driving real worker subprocesses (the
+// XLV_CAMPAIGND_BIN daemon binary), with real `submitCampaign` clients on a
+// Unix-domain socket — the full v6 wire protocol, not mocks.
+//
+// The load-bearing assertions mirror dispatch_fault_test.cpp's: whatever
+// faults fly (worker SIGKILL, hung worker, client disconnect, backpressure
+// rejects), every campaign that SURVIVES must merge bit-identical
+// (CampaignResult::sameResults) to a single-process runCampaign of the same
+// spec. Fairness and backpressure are made deterministic by hanging the
+// single worker on the big campaign's first unit: while the heartbeat clock
+// runs down, the competing submissions are admitted, so the post-recovery
+// schedule — round-robin across campaigns — is observable without timing
+// luck.
+//
+// The tests skip (not fail) when the tools were not built.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/dispatch.h"
+#include "campaign/server.h"
+#include "campaign/shard.h"
+#include "core/flow.h"
+
+namespace xlv::campaign {
+namespace {
+
+const char* const kFaultVars[] = {
+    "XLV_TEST_DIE_AFTER_ITEMS",
+    "XLV_TEST_HANG_AFTER_ITEMS",
+    "XLV_TEST_EXIT_AFTER_ITEMS",
+    "XLV_TEST_FAULT_WORKER",
+};
+
+/// Clears every fault hook on construction AND destruction, so a failing
+/// test cannot leak a fault into its neighbors; set() arms one hook for the
+/// lifetime of the guard.
+struct FaultEnv {
+  FaultEnv() { clear(); }
+  ~FaultEnv() { clear(); }
+  static void clear() {
+    for (const char* v : kFaultVars) ::unsetenv(v);
+  }
+  void set(const char* name, const char* value) { ::setenv(name, value, 1); }
+};
+
+TEST(CampaignServer, LedgerJsonCarriesPerCampaignEntries) {
+  ServeLedger ledger;
+  ledger.campaignsAccepted = 2;
+  ledger.campaignsRejected = 1;
+  ledger.campaignsCancelled = 1;
+  CampaignLedgerEntry entry;
+  entry.campaignId = 7;
+  entry.name = "smoke \"quoted\"";
+  entry.unitsTotal = 4;
+  entry.unitsCompleted = 2;
+  entry.requeues = 1;
+  entry.cancelled = true;
+  entry.error = "gave up";
+  ledger.campaigns.push_back(entry);
+  const std::string json = encodeServeLedgerJson(ledger);
+  EXPECT_NE(json.find("\"campaignsAccepted\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"campaignsRejected\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"campaignId\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"cancelled\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"requeues\": 1"), std::string::npos);
+  EXPECT_NE(json.find("smoke \\\"quoted\\\""), std::string::npos)
+      << "ledger names must be JSON-escaped";
+  EXPECT_NE(json.find("\"error\": \"gave up\""), std::string::npos);
+}
+
+#ifdef XLV_CAMPAIGND_BIN
+
+/// Single-process truth, computed once per test binary with cold caches.
+const CampaignResult& referenceResult() {
+  static const CampaignResult* ref = [] {
+    core::clearProcessCaches();
+    auto* r = new CampaignResult(runCampaign(builtinCampaignSpec("single")));
+    core::clearProcessCaches();
+    return r;
+  }();
+  return *ref;
+}
+
+/// A one-item campaign a served client can finish in a single unit.
+CampaignSpec smallSpec(const std::string& name) {
+  CampaignSpec spec = builtinCampaignSpec("smoke");
+  spec.items.resize(1);
+  spec.name = name;
+  return spec;
+}
+
+/// Runs runCampaignServer on a background thread against a fresh /tmp
+/// socket, waits until the listener is up, and joins (returning the ledger)
+/// when the server's maxCampaignsServed bound stops it.
+struct ServerHarness {
+  ServeOptions opt;
+  ServeResult result;
+  std::string error;
+
+  explicit ServerHarness(const std::function<void(ServeOptions&)>& tweak = {}) {
+    static int counter = 0;
+    path_ = "/tmp/xlv-serve-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++) + ".sock";
+    opt.socketPath = path_;
+    opt.workers = 3;
+    opt.maxFragmentMutants = 2;
+    opt.workerCommand = {XLV_CAMPAIGND_BIN, "worker"};
+    opt.heartbeatIntervalMs = 100;
+    opt.heartbeatTimeoutMs = 5000;
+    opt.maxCampaignsServed = 1;
+    if (tweak) tweak(opt);
+    thread_ = std::thread([this] {
+      try {
+        result = runCampaignServer(opt);
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
+      stopped_.store(true);
+    });
+    // The listener exists before the first client can connect; a server
+    // that died on startup stops the wait early (error tells why).
+    for (int i = 0; i < 500; ++i) {
+      if (stopped_.load()) break;
+      if (!opt.socketPath.empty() && ::access(path_.c_str(), F_OK) == 0) break;
+      if (opt.socketPath.empty() && i >= 20) break;  // TCP: just give it 200 ms
+      ::usleep(10000);
+    }
+  }
+
+  ~ServerHarness() {
+    join();
+    ::unlink(path_.c_str());
+  }
+
+  SubmitOptions clientOptions(const std::string& name) const {
+    SubmitOptions o;
+    o.socketPath = opt.socketPath;
+    o.tcpPort = opt.tcpPort;
+    o.clientName = name;
+    return o;
+  }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  const ServeLedger& ledger() {
+    join();
+    return result.ledger;
+  }
+
+ private:
+  std::string path_;
+  std::thread thread_;
+  std::atomic<bool> stopped_{false};
+};
+
+#define XLV_REQUIRE_DAEMON()                                                \
+  do {                                                                      \
+    if (::access(XLV_CAMPAIGND_BIN, X_OK) != 0)                             \
+      GTEST_SKIP() << "xlv_campaignd binary not built: " XLV_CAMPAIGND_BIN; \
+  } while (0)
+
+TEST(CampaignServer, ServedCampaignIsBitIdenticalToSingleProcess) {
+  XLV_REQUIRE_DAEMON();
+  FaultEnv env;
+  ServerHarness server;
+  const SubmitOutcome out =
+      submitCampaign(builtinCampaignSpec("single"), server.clientOptions("clean"));
+  ASSERT_TRUE(out.error.empty()) << out.error;
+  EXPECT_TRUE(out.accepted);
+  ASSERT_TRUE(out.done);
+  EXPECT_FALSE(out.rejected);
+  EXPECT_GT(out.campaignId, 0u);
+  EXPECT_GT(out.unitCount, 1u) << "fragmentation produced no stealable units";
+  EXPECT_EQ(out.outputs.size(), out.unitCount) << "every unit streams one result";
+  EXPECT_TRUE(out.result.ok());
+  EXPECT_TRUE(referenceResult().sameResults(out.result));
+
+  const ServeLedger& ledger = server.ledger();
+  EXPECT_TRUE(server.error.empty()) << server.error;
+  EXPECT_EQ(ledger.campaignsAccepted, 1u);
+  EXPECT_EQ(ledger.campaignsCompleted, 1u);
+  EXPECT_EQ(ledger.campaignsRejected, 0u);
+  EXPECT_EQ(ledger.campaignsCancelled, 0u);
+  EXPECT_EQ(ledger.workersSpawned, 3u);
+  ASSERT_EQ(ledger.campaigns.size(), 1u);
+  const CampaignLedgerEntry& entry = ledger.campaigns.front();
+  EXPECT_EQ(entry.name, "clean");
+  EXPECT_EQ(entry.unitsCompleted, entry.unitsTotal);
+  EXPECT_EQ(entry.unitsTotal, out.unitCount);
+  EXPECT_FALSE(entry.cancelled);
+  EXPECT_TRUE(entry.error.empty());
+}
+
+TEST(CampaignServer, SigkilledWorkerIsRespawnedAndServedResultStaysBitIdentical) {
+  XLV_REQUIRE_DAEMON();
+  FaultEnv env;
+  // Worker 0 (generation 0) SIGKILLs itself on its first unit — the
+  // acceptance criterion's fault-injected serve run.
+  env.set("XLV_TEST_DIE_AFTER_ITEMS", "0");
+  ServerHarness server;
+  const SubmitOutcome out =
+      submitCampaign(builtinCampaignSpec("single"), server.clientOptions("survivor"));
+  ASSERT_TRUE(out.error.empty()) << out.error;
+  ASSERT_TRUE(out.done);
+  EXPECT_TRUE(out.result.ok());
+  EXPECT_TRUE(referenceResult().sameResults(out.result));
+
+  const ServeLedger& ledger = server.ledger();
+  EXPECT_GE(ledger.workerRespawns, 1u);
+  ASSERT_EQ(ledger.campaigns.size(), 1u);
+  // The lost unit's re-queue is attributed to the campaign that owned it.
+  EXPECT_GE(ledger.campaigns.front().requeues, 1u);
+  EXPECT_EQ(ledger.campaigns.front().unitsCompleted, ledger.campaigns.front().unitsTotal);
+}
+
+TEST(CampaignServer, SmallCampaignsFinishBeforeAHugeCampaignsTail) {
+  XLV_REQUIRE_DAEMON();
+  FaultEnv env;
+  // One worker, hung on the huge campaign's first unit: while the
+  // heartbeat clock runs down, two small submissions arrive. Round-robin
+  // fairness then MUST finish both one-unit campaigns before the huge
+  // campaign's remaining units — deterministically, not by timing luck.
+  env.set("XLV_TEST_HANG_AFTER_ITEMS", "0");
+  ServerHarness server([](ServeOptions& o) {
+    o.workers = 1;
+    o.heartbeatIntervalMs = 50;
+    o.heartbeatTimeoutMs = 800;
+    o.maxCampaignsServed = 3;
+  });
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point hugeDone, smallDone[2];
+  SubmitOutcome huge, small[2];
+  std::thread hugeClient([&] {
+    SubmitOptions o = server.clientOptions("huge");
+    o.maxFragmentMutants = 1;  // maximum stealable units -> longest tail
+    huge = submitCampaign(builtinCampaignSpec("single"), o);
+    hugeDone = Clock::now();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  std::thread smallClients[2];
+  for (int i = 0; i < 2; ++i) {
+    smallClients[i] = std::thread([&, i] {
+      const std::string name = "small-" + std::to_string(i);
+      small[i] = submitCampaign(smallSpec(name), server.clientOptions(name));
+      smallDone[i] = Clock::now();
+    });
+  }
+  hugeClient.join();
+  for (auto& t : smallClients) t.join();
+
+  ASSERT_TRUE(huge.error.empty()) << huge.error;
+  ASSERT_TRUE(huge.done);
+  EXPECT_TRUE(referenceResult().sameResults(huge.result));
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(small[i].error.empty()) << small[i].error;
+    ASSERT_TRUE(small[i].done);
+    // Each small campaign merges bit-identical to its own local run AND
+    // beats the huge campaign to the finish line.
+    core::clearProcessCaches();
+    const CampaignResult local = runCampaign(smallSpec("small-" + std::to_string(i)));
+    EXPECT_TRUE(local.sameResults(small[i].result));
+    EXPECT_LT(smallDone[i], hugeDone) << "small campaign " << i
+                                      << " finished after the huge one's tail";
+  }
+
+  const ServeLedger& ledger = server.ledger();
+  EXPECT_EQ(ledger.campaignsCompleted, 3u);
+  EXPECT_GE(ledger.workerRespawns, 1u) << "the hung worker was SIGKILLed and respawned";
+  // The lost unit belonged to the huge campaign; the re-queue lands in ITS
+  // ledger entry, not a neighbor's.
+  for (const CampaignLedgerEntry& entry : ledger.campaigns) {
+    if (entry.name == "huge") {
+      EXPECT_GE(entry.requeues, 1u);
+    } else {
+      EXPECT_EQ(entry.requeues, 0u);
+    }
+  }
+}
+
+TEST(CampaignServer, FloodedQueueYieldsStructuredRejectAndTheSurvivorCompletes) {
+  XLV_REQUIRE_DAEMON();
+  FaultEnv env;
+  // The single worker hangs on the huge campaign's first unit, freezing
+  // ~two dozen pending units in the admission queue; a second submission
+  // during that window must bounce off maxPendingUnits with a structured
+  // RejectFrame, not hang and not kill the server.
+  env.set("XLV_TEST_HANG_AFTER_ITEMS", "0");
+  ServerHarness server([](ServeOptions& o) {
+    o.workers = 1;
+    o.heartbeatIntervalMs = 50;
+    o.heartbeatTimeoutMs = 1500;
+    o.maxPendingUnits = 4;
+    o.rejectRetryAfterMs = 123;
+    o.maxCampaignsServed = 1;
+  });
+  SubmitOutcome huge;
+  std::thread hugeClient([&] {
+    SubmitOptions o = server.clientOptions("huge");
+    o.maxFragmentMutants = 1;
+    huge = submitCampaign(builtinCampaignSpec("single"), o);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  const SubmitOutcome bounced =
+      submitCampaign(smallSpec("flooded"), server.clientOptions("flooded"));
+  EXPECT_TRUE(bounced.rejected);
+  EXPECT_FALSE(bounced.accepted);
+  EXPECT_FALSE(bounced.done);
+  EXPECT_FALSE(bounced.rejectReason.empty());
+  EXPECT_EQ(bounced.retryAfterMs, 123u);
+
+  // The admitted campaign rides out the hang and still merges clean.
+  hugeClient.join();
+  ASSERT_TRUE(huge.error.empty()) << huge.error;
+  ASSERT_TRUE(huge.done);
+  EXPECT_TRUE(referenceResult().sameResults(huge.result));
+
+  const ServeLedger& ledger = server.ledger();
+  EXPECT_EQ(ledger.campaignsAccepted, 1u);
+  EXPECT_EQ(ledger.campaignsRejected, 1u);
+  EXPECT_EQ(ledger.campaignsCompleted, 1u);
+}
+
+TEST(CampaignServer, DisconnectingClientsCampaignIsCancelledAndOthersFinish) {
+  XLV_REQUIRE_DAEMON();
+  FaultEnv env;
+  ServerHarness server([](ServeOptions& o) {
+    o.workers = 1;  // serialize so the huge campaign is live when it dies
+    o.maxCampaignsServed = 2;
+  });
+  SubmitOutcome dying;
+  std::thread dyingClient([&] {
+    SubmitOptions o = server.clientOptions("dying");
+    o.maxFragmentMutants = 1;
+    o.disconnectAfterItems = 1;  // hard-close mid-stream
+    dying = submitCampaign(builtinCampaignSpec("single"), o);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const SubmitOutcome healthy =
+      submitCampaign(smallSpec("healthy"), server.clientOptions("healthy"));
+  dyingClient.join();
+
+  EXPECT_TRUE(dying.disconnected);
+  EXPECT_FALSE(dying.done);
+  ASSERT_TRUE(healthy.error.empty()) << healthy.error;
+  ASSERT_TRUE(healthy.done);
+  core::clearProcessCaches();
+  EXPECT_TRUE(runCampaign(smallSpec("healthy")).sameResults(healthy.result));
+
+  const ServeLedger& ledger = server.ledger();
+  EXPECT_TRUE(server.error.empty()) << server.error;
+  EXPECT_EQ(ledger.campaignsAccepted, 2u);
+  EXPECT_EQ(ledger.campaignsCancelled, 1u);
+  EXPECT_EQ(ledger.campaignsCompleted, 1u);
+  bool sawCancelled = false;
+  for (const CampaignLedgerEntry& entry : ledger.campaigns) {
+    if (entry.name == "dying") {
+      sawCancelled = true;
+      EXPECT_TRUE(entry.cancelled);
+      EXPECT_LT(entry.unitsCompleted, entry.unitsTotal);
+    }
+  }
+  EXPECT_TRUE(sawCancelled);
+}
+
+TEST(CampaignServer, LoopbackTcpServesToo) {
+  XLV_REQUIRE_DAEMON();
+  FaultEnv env;
+  // Deterministic-ish per-process port keeps parallel CI jobs apart; if
+  // the port is taken anyway the server fails to bind and the test skips.
+  const int port = 42000 + static_cast<int>(::getpid() % 20000);
+  ServerHarness server([port](ServeOptions& o) {
+    o.socketPath.clear();
+    o.tcpPort = port;
+  });
+  SubmitOutcome out;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    out = submitCampaign(builtinCampaignSpec("single"), server.clientOptions("tcp"));
+    if (out.accepted || out.rejected) break;
+    if (!server.error.empty()) GTEST_SKIP() << "TCP bind failed: " << server.error;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ASSERT_TRUE(out.error.empty()) << out.error;
+  ASSERT_TRUE(out.done);
+  EXPECT_TRUE(referenceResult().sameResults(out.result));
+}
+
+TEST(CampaignServer, ServerRejectsMalformedOptions) {
+  FaultEnv env;
+  {
+    ServeOptions opt;  // no listen address at all
+    opt.workerCommand = {XLV_CAMPAIGND_BIN, "worker"};
+    EXPECT_THROW(runCampaignServer(opt), std::invalid_argument);
+  }
+  {
+    ServeOptions opt;
+    opt.socketPath = "/tmp/xlv-serve-test-invalid.sock";
+    EXPECT_THROW(runCampaignServer(opt), std::invalid_argument);  // no worker command
+  }
+  {
+    ServeOptions opt;
+    opt.socketPath = "/tmp/xlv-serve-test-invalid.sock";
+    opt.workerCommand = {XLV_CAMPAIGND_BIN, "worker"};
+    opt.heartbeatTimeoutMs = 0;
+    EXPECT_THROW(runCampaignServer(opt), std::invalid_argument);
+  }
+}
+
+#else  // !XLV_CAMPAIGND_BIN
+
+TEST(CampaignServer, DaemonBinaryUnavailable) {
+  GTEST_SKIP() << "built without XLV_CAMPAIGND_BIN (tools disabled)";
+}
+
+#endif
+
+}  // namespace
+}  // namespace xlv::campaign

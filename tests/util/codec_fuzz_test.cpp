@@ -251,11 +251,13 @@ campaign::ShardOutput randomShardOutput(Prng& rng) {
 campaign::SubmitFrame randomSubmitFrame(Prng& rng) {
   campaign::SubmitFrame f;
   f.specFnv = rng.next();
+  f.campaignId = rng.below(256);  // 0 = dispatcher run mode, nonzero = served
   f.seq = rng.next();
   f.taskIndex = rng.below(256);
   f.taskCount = 1 + rng.below(256);
   f.attempt = rng.below(4);
   f.unit = randomShardUnit(rng);
+  if (rng.chance(0.5)) f.specPath = randomString(rng);
   f.shutdown = rng.chance(0.2);
   return f;
 }
@@ -280,10 +282,56 @@ campaign::HeartbeatFrame randomHeartbeatFrame(Prng& rng) {
 
 campaign::ResultFrame randomResultFrame(Prng& rng) {
   campaign::ResultFrame f;
+  f.campaignId = rng.below(256);
   f.seq = rng.next();
   f.taskIndex = rng.below(256);
   f.attempt = rng.below(4);
   f.output = randomShardOutput(rng);
+  return f;
+}
+
+// --- campaign service client frames (campaign/server.h, codec v6) ------------
+
+campaign::ClientSubmitFrame randomClientSubmitFrame(Prng& rng) {
+  campaign::ClientSubmitFrame f;
+  f.clientName = randomString(rng);
+  f.spec = campaign::encodeCampaignSpec(randomCampaignSpec(rng));
+  f.maxFragmentMutants = rng.below(32);
+  return f;
+}
+
+campaign::AcceptFrame randomAcceptFrame(Prng& rng) {
+  campaign::AcceptFrame f;
+  f.campaignId = 1 + rng.below(1u << 20);  // the decoder rejects id 0
+  f.specFnv = rng.next();
+  f.unitCount = rng.below(1024);
+  return f;
+}
+
+campaign::RejectFrame randomRejectFrame(Prng& rng) {
+  campaign::RejectFrame f;
+  f.reason = randomString(rng);
+  f.retryAfterMs = rng.below(100000);
+  return f;
+}
+
+campaign::ItemResultFrame randomItemResultFrame(Prng& rng) {
+  campaign::ItemResultFrame f;
+  f.campaignId = 1 + rng.below(256);
+  f.taskIndex = rng.below(256);
+  f.taskCount = 1 + rng.below(256);
+  f.output = randomShardOutput(rng);
+  return f;
+}
+
+campaign::CampaignDoneFrame randomCampaignDoneFrame(Prng& rng) {
+  campaign::CampaignDoneFrame f;
+  f.campaignId = 1 + rng.below(256);
+  f.unitsTotal = rng.below(1024);
+  f.unitsCompleted = rng.below(1024);
+  f.requeues = rng.below(8);
+  f.cancelled = rng.chance(0.3);
+  if (rng.chance(0.3)) f.error = randomString(rng);
   return f;
 }
 
@@ -377,6 +425,37 @@ std::vector<Codec> codecs() {
        [](std::string_view b) {
          return campaign::encodeResultFrame(campaign::decodeResultFrame(b));
        }},
+      {"client-submit",
+       [](Prng& rng) {
+         return campaign::encodeClientSubmitFrame(randomClientSubmitFrame(rng));
+       },
+       [](std::string_view b) {
+         return campaign::encodeClientSubmitFrame(campaign::decodeClientSubmitFrame(b));
+       }},
+      {"dispatch-accept",
+       [](Prng& rng) { return campaign::encodeAcceptFrame(randomAcceptFrame(rng)); },
+       [](std::string_view b) {
+         return campaign::encodeAcceptFrame(campaign::decodeAcceptFrame(b));
+       }},
+      {"dispatch-reject",
+       [](Prng& rng) { return campaign::encodeRejectFrame(randomRejectFrame(rng)); },
+       [](std::string_view b) {
+         return campaign::encodeRejectFrame(campaign::decodeRejectFrame(b));
+       }},
+      {"dispatch-item-result",
+       [](Prng& rng) {
+         return campaign::encodeItemResultFrame(randomItemResultFrame(rng));
+       },
+       [](std::string_view b) {
+         return campaign::encodeItemResultFrame(campaign::decodeItemResultFrame(b));
+       }},
+      {"dispatch-done",
+       [](Prng& rng) {
+         return campaign::encodeCampaignDoneFrame(randomCampaignDoneFrame(rng));
+       },
+       [](std::string_view b) {
+         return campaign::encodeCampaignDoneFrame(campaign::decodeCampaignDoneFrame(b));
+       }},
       {"golden-trace",
        [](Prng& rng) { return analysis::encodeGoldenTrace(randomGoldenTrace(rng)); },
        [](std::string_view b) {
@@ -449,6 +528,21 @@ TEST(CodecFuzz, DispatchFramesRejectMixedSchemaVersions) {
       {campaign::kResultFrameTag,
        [](Prng& r) { return campaign::encodeResultFrame(randomResultFrame(r)); },
        [](std::string_view b) { campaign::decodeResultFrame(b); }},
+      {campaign::kClientSubmitFrameTag,
+       [](Prng& r) { return campaign::encodeClientSubmitFrame(randomClientSubmitFrame(r)); },
+       [](std::string_view b) { campaign::decodeClientSubmitFrame(b); }},
+      {campaign::kAcceptFrameTag,
+       [](Prng& r) { return campaign::encodeAcceptFrame(randomAcceptFrame(r)); },
+       [](std::string_view b) { campaign::decodeAcceptFrame(b); }},
+      {campaign::kRejectFrameTag,
+       [](Prng& r) { return campaign::encodeRejectFrame(randomRejectFrame(r)); },
+       [](std::string_view b) { campaign::decodeRejectFrame(b); }},
+      {campaign::kItemResultFrameTag,
+       [](Prng& r) { return campaign::encodeItemResultFrame(randomItemResultFrame(r)); },
+       [](std::string_view b) { campaign::decodeItemResultFrame(b); }},
+      {campaign::kCampaignDoneFrameTag,
+       [](Prng& r) { return campaign::encodeCampaignDoneFrame(randomCampaignDoneFrame(r)); },
+       [](std::string_view b) { campaign::decodeCampaignDoneFrame(b); }},
   };
   for (const auto& frame : frames) {
     const std::string doc = frame.randomDoc(rng);

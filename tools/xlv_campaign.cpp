@@ -30,13 +30,26 @@
 // interpreter, so CI passes --require-native to turn that degradation into
 // exit 5. --batch K co-simulates K mutants lock-step per analysis task.
 //
+// Service submissions: `submit` sends the spec to a running
+// `xlv_campaignd serve` daemon over its Unix-domain socket (--socket) or
+// loopback TCP port (--tcp-port), streams the per-unit results back, and
+// reassembles them with the same mergeShards used everywhere else — so the
+// served result diffs clean against a local run:
+//
+//   xlv_campaignd serve --socket /tmp/xlv.sock --workers 3 &
+//   xlv_campaign submit --spec spec.xlv --socket /tmp/xlv.sock -o served.xlv
+//   xlv_campaign diff single.xlv served.xlv
+//
 // Exit codes: 0 success (diff: identical), 1 usage or runtime error,
 // 2 diff divergence, 3 campaign completed but one or more items errored
 // (the output file is still written so the failure can be inspected and
 // merged, but CI pipelines fail instead of passing vacuously), 4 a
 // --require-disk-hits run reported zero artifact-store hits, 5 a
 // --require-native run performed no native-backend work (interpreter
-// fallback, e.g. no system compiler).
+// fallback, e.g. no system compiler), 7 the server rejected the submission
+// (backpressure or malformed spec; the reject reason and retry hint are
+// printed), 9 the --disconnect-after-items test hook closed the connection
+// on purpose.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -47,6 +60,7 @@
 #include <vector>
 
 #include "campaign/serialize.h"
+#include "campaign/server.h"
 #include "campaign/shard.h"
 #include "util/artifact_store.h"
 #include "util/log.h"
@@ -65,11 +79,20 @@ using namespace xlv;
       "  xlv_campaign run-shard --spec FILE --plan FILE --index I [run flags]\n"
       "                         [cache flags] [-o FILE]\n"
       "  xlv_campaign merge --spec FILE -o FILE SHARD_FILE...\n"
+      "  xlv_campaign submit --spec FILE (--socket PATH | --tcp-port P)\n"
+      "                      [--max-fragment M] [--client-name NAME]\n"
+      "                      [--disconnect-after-items N] [-o FILE]\n"
       "  xlv_campaign diff RESULT_A RESULT_B\n"
       "  xlv_campaign show RESULT_FILE\n"
       "  xlv_campaign cache-gc --cache-dir DIR [--max-age-seconds N]\n"
       "                        [--cache-max-bytes N]\n"
       "\n"
+      "submit sends the spec to a running `xlv_campaignd serve` daemon,\n"
+      "streams the per-unit results back and merges them (bit-identical to\n"
+      "a local run). --max-fragment asks the server for that stealable-unit\n"
+      "granularity; --client-name labels the server's ledger entry;\n"
+      "--disconnect-after-items N hard-closes the socket after N streamed\n"
+      "results (a fault-injection hook; exits 9).\n"
       "presets: smoke (2 IPs x 2 sensor kinds x 2 corners), single (one\n"
       "Counter item, for --max-fragment splitting), failing (broken mid-\n"
       "campaign items, exercises the exit-3 path). -o defaults to stdout.\n"
@@ -112,9 +135,9 @@ void writeOutput(const std::string& path, const std::string& data) {
 /// Minimal flag cursor: named flags in any order, positional operands kept.
 struct Args {
   std::vector<std::string> positional;
-  std::string spec, plan, out, preset, cacheDir, backend;
+  std::string spec, plan, out, preset, cacheDir, backend, socket, clientName;
   long shards = 0, index = -1, maxFragment = 0, threads = 0, cacheMaxBytes = 0;
-  long maxAgeSeconds = 0, batch = 0;
+  long maxAgeSeconds = 0, batch = 0, tcpPort = 0, disconnectAfterItems = -1;
   bool requireDiskHits = false;
   bool requireNative = false;
 
@@ -168,6 +191,14 @@ Args parseArgs(int argc, char** argv, int first) {
       a.batch = Args::parseLong(arg, next("--batch"));
     } else if (arg == "--require-native") {
       a.requireNative = true;
+    } else if (arg == "--socket") {
+      a.socket = next("--socket");
+    } else if (arg == "--tcp-port") {
+      a.tcpPort = Args::parseLong(arg, next("--tcp-port"));
+    } else if (arg == "--client-name") {
+      a.clientName = next("--client-name");
+    } else if (arg == "--disconnect-after-items") {
+      a.disconnectAfterItems = Args::parseLong(arg, next("--disconnect-after-items"));
     } else if (arg == "--verbose") {
       util::setLogLevel(util::LogLevel::Info);
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -205,6 +236,17 @@ void rejectRunFlags(const Args& a, const char* cmd) {
     usage((std::string(cmd) +
            " does not take run flags (--backend/--batch/--require-native "
            "apply to run and run-shard)")
+              .c_str());
+  }
+}
+
+/// Only submit talks to a server; the flags are meaningless elsewhere.
+void rejectServiceFlags(const Args& a, const char* cmd) {
+  if (!a.socket.empty() || a.tcpPort != 0 || !a.clientName.empty() ||
+      a.disconnectAfterItems != -1) {
+    usage((std::string(cmd) +
+           " does not take service flags (--socket/--tcp-port/--client-name/"
+           "--disconnect-after-items apply to submit)")
               .c_str());
   }
 }
@@ -295,6 +337,7 @@ void printSummary(const campaign::CampaignResult& r) {
 }
 
 int cmdSpec(const Args& a) {
+  rejectServiceFlags(a, "spec");
   rejectCacheFlags(a, "spec");
   rejectRunFlags(a, "spec");
   if (a.preset.empty()) usage("--preset <name> is required");
@@ -309,6 +352,7 @@ int cmdSpec(const Args& a) {
 }
 
 int cmdPlan(const Args& a) {
+  rejectServiceFlags(a, "plan");
   rejectCacheFlags(a, "plan");
   rejectRunFlags(a, "plan");
   if (a.shards < 1) usage("--shards N (>= 1) is required");
@@ -329,6 +373,7 @@ int cmdPlan(const Args& a) {
 }
 
 int cmdRun(const Args& a) {
+  rejectServiceFlags(a, "run");
   campaign::CampaignSpec spec = loadSpec(a);
   applyBackendOverrides(a, spec);
   configureCache(a);
@@ -338,6 +383,7 @@ int cmdRun(const Args& a) {
 }
 
 int cmdRunShard(const Args& a) {
+  rejectServiceFlags(a, "run-shard");
   if (a.plan.empty()) usage("--plan FILE is required");
   if (a.index < 0) usage("--index I (>= 0) is required");
   campaign::CampaignSpec spec = loadSpec(a);
@@ -351,6 +397,7 @@ int cmdRunShard(const Args& a) {
 }
 
 int cmdMerge(const Args& a) {
+  rejectServiceFlags(a, "merge");
   // merge aggregates the shards' ledgers, so --require-disk-hits can gate
   // it; the store itself plays no part here.
   if (!a.cacheDir.empty() || a.cacheMaxBytes != 0) {
@@ -370,7 +417,55 @@ int cmdMerge(const Args& a) {
   return reportItemErrors("merged campaign", a, merged);
 }
 
+/// Submit the spec to a running `xlv_campaignd serve` daemon and merge the
+/// streamed results. The served result goes through the same writeOutput /
+/// reportItemErrors path as a local run, so pipelines can swap `run` for
+/// `submit` without changing their failure handling.
+int cmdSubmit(const Args& a) {
+  rejectCacheFlags(a, "submit");
+  rejectRunFlags(a, "submit");
+  if (a.socket.empty() && a.tcpPort == 0) {
+    usage("submit needs a server address (--socket PATH or --tcp-port P)");
+  }
+  if (a.tcpPort < 0 || a.tcpPort > 65535) usage("--tcp-port must be in [1, 65535]");
+  if (a.maxFragment < 0) usage("--max-fragment must be >= 0");
+  const campaign::CampaignSpec spec = loadSpec(a);
+  campaign::SubmitOptions opt;
+  opt.socketPath = a.socket;
+  opt.tcpPort = static_cast<int>(a.tcpPort);
+  if (!a.clientName.empty()) opt.clientName = a.clientName;
+  opt.maxFragmentMutants = static_cast<std::size_t>(a.maxFragment);
+  opt.disconnectAfterItems = a.disconnectAfterItems;
+  const campaign::SubmitOutcome outcome = campaign::submitCampaign(spec, opt);
+  if (outcome.rejected) {
+    std::fprintf(stderr,
+                 "submission rejected: %s (retry after %llu ms)\n",
+                 outcome.rejectReason.c_str(),
+                 static_cast<unsigned long long>(outcome.retryAfterMs));
+    return 7;
+  }
+  if (outcome.disconnected) {
+    std::fprintf(stderr,
+                 "disconnected on purpose after %zu item results "
+                 "(--disconnect-after-items %ld)\n",
+                 outcome.outputs.size(), a.disconnectAfterItems);
+    return 9;
+  }
+  if (!outcome.error.empty()) {
+    std::fprintf(stderr, "submit failed: %s\n", outcome.error.c_str());
+    return 1;
+  }
+  writeOutput(a.out, campaign::encodeCampaignResult(outcome.result));
+  std::fprintf(stderr,
+               "served campaign %llu: %llu units over %zu result frames\n",
+               static_cast<unsigned long long>(outcome.campaignId),
+               static_cast<unsigned long long>(outcome.unitCount),
+               outcome.outputs.size());
+  return reportItemErrors("served campaign", a, outcome.result);
+}
+
 int cmdDiff(const Args& a) {
+  rejectServiceFlags(a, "diff");
   rejectCacheFlags(a, "diff");
   rejectRunFlags(a, "diff");
   if (a.positional.size() != 2) usage("diff takes exactly two result files");
@@ -399,6 +494,7 @@ int cmdDiff(const Args& a) {
 }
 
 int cmdShow(const Args& a) {
+  rejectServiceFlags(a, "show");
   rejectCacheFlags(a, "show");
   rejectRunFlags(a, "show");
   if (a.positional.size() != 1) usage("show takes exactly one result file");
@@ -407,6 +503,7 @@ int cmdShow(const Args& a) {
 }
 
 int cmdCacheGc(const Args& a) {
+  rejectServiceFlags(a, "cache-gc");
   rejectRunFlags(a, "cache-gc");
   if (a.cacheDir.empty()) usage("cache-gc requires --cache-dir DIR");
   if (a.requireDiskHits) usage("cache-gc does not take --require-disk-hits");
@@ -437,6 +534,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmdRun(a);
     if (cmd == "run-shard") return cmdRunShard(a);
     if (cmd == "merge") return cmdMerge(a);
+    if (cmd == "submit") return cmdSubmit(a);
     if (cmd == "diff") return cmdDiff(a);
     if (cmd == "show") return cmdShow(a);
     if (cmd == "cache-gc") return cmdCacheGc(a);

@@ -1,4 +1,5 @@
-// xlv_campaignd — campaign dispatcher daemon (campaign/dispatch.h).
+// xlv_campaignd — campaign dispatcher daemon (campaign/dispatch.h) and
+// campaign service (campaign/server.h).
 //
 // Where xlv_campaign shards a campaign STATICALLY (plan once, run each slice
 // in its own process, merge by hand), the daemon owns the whole loop: it
@@ -17,12 +18,23 @@
 //   xlv_campaign run --spec spec.xlv -o single.xlv
 //   xlv_campaign diff single.xlv daemon.xlv     # exit 0 iff identical
 //
+// `serve` turns the same worker pool into a long-lived service on a
+// Unix-domain socket (or loopback TCP): many clients submit campaigns
+// concurrently (`xlv_campaign submit --socket ...`), units are scheduled
+// round-robin-fair across campaigns and heaviest-first within one, results
+// stream back per unit, and a bounded admission queue answers overload with
+// a structured reject instead of buffering without limit:
+//
+//   xlv_campaignd serve --socket /tmp/xlv.sock --workers 3 \
+//                       --max-campaigns-served 3 --ledger serve_ledger.json
+//
 // Workers accept the same --cache-dir/--cache-max-bytes flags as
 // xlv_campaign run, so the pool shares ONE artifact store: the first worker
 // to finish a golden trace or flow prefix stores it, the others load it.
 //
-// Env knobs: XLV_WORKERS (pool size when --workers is absent; strict
-// parse), XLV_HEARTBEAT_MS / XLV_HEARTBEAT_TIMEOUT_MS (defaults for the
+// Env knobs (all strict — a malformed value aborts with a message, it never
+// silently runs with a default): XLV_WORKERS (pool size when --workers is
+// absent), XLV_HEARTBEAT_MS / XLV_HEARTBEAT_TIMEOUT_MS (defaults for the
 // corresponding flags). Fault-injection hooks for the test harness
 // (XLV_TEST_DIE_AFTER_ITEMS / XLV_TEST_HANG_AFTER_ITEMS /
 // XLV_TEST_EXIT_AFTER_ITEMS, scoped by XLV_TEST_FAULT_WORKER to one
@@ -44,6 +56,7 @@
 #include "campaign/campaign.h"
 #include "campaign/dispatch.h"
 #include "campaign/serialize.h"
+#include "campaign/server.h"
 #include "campaign/shard.h"
 #include "util/artifact_store.h"
 #include "util/log.h"
@@ -61,19 +74,37 @@ using namespace xlv;
       "                    [--max-attempts N] [--max-respawns N]\n"
       "                    [--cache-dir DIR] [--cache-max-bytes N]\n"
       "                    [--ledger FILE] [-o FILE] [--verbose]\n"
-      "  xlv_campaignd worker --spec FILE --index I --generation G\n"
+      "  xlv_campaignd serve (--socket PATH | --tcp-port P) [--workers N]\n"
+      "                    [--max-fragment M] [--max-pending-units N]\n"
+      "                    [--max-campaigns N] [--max-campaigns-served N]\n"
+      "                    [--retry-after-ms N] [--heartbeat-ms N]\n"
+      "                    [--heartbeat-timeout-ms N] [--max-attempts N]\n"
+      "                    [--max-respawns N] [cache flags] [--ledger FILE]\n"
+      "                    [--verbose]\n"
+      "  xlv_campaignd worker [--spec FILE] --index I --generation G\n"
       "                       --heartbeat-ms N [cache flags]   (internal)\n"
       "\n"
-      "run dispatches the campaign across a pool of worker subprocesses with\n"
+      "run dispatches one campaign across a pool of worker subprocesses with\n"
       "work-stealing scheduling and crash-recovery re-queue; the merged\n"
       "result (-o, default stdout) is bit-identical to a single-process\n"
       "`xlv_campaign run`. --max-fragment M splits items into mutant-range\n"
       "fragments of at most M mutants — the stealable unit size. --ledger\n"
       "writes the scheduling ledger (submissions, re-queues, kills) as JSON.\n"
+      "\n"
+      "serve accepts campaign submissions from many concurrent clients\n"
+      "(`xlv_campaign submit`) on a Unix-domain socket (--socket) or\n"
+      "loopback TCP port (--tcp-port), multiplexing them over one worker\n"
+      "pool: round-robin-fair across campaigns, heaviest-first within one,\n"
+      "bounded admission (--max-pending-units/--max-campaigns; overload is\n"
+      "answered with a structured reject carrying --retry-after-ms). A\n"
+      "dying client's campaign is cancelled. --max-campaigns-served stops\n"
+      "the server after that many campaigns finished (0 = serve forever);\n"
+      "--ledger writes per-campaign scheduling entries as JSON on exit.\n"
+      "\n"
       "--cache-dir is forwarded to every worker, so the pool shares one\n"
       "artifact store. XLV_WORKERS sets the pool size when --workers is\n"
       "absent; XLV_HEARTBEAT_MS / XLV_HEARTBEAT_TIMEOUT_MS set the flag\n"
-      "defaults.\n",
+      "defaults (strict parses: a malformed value aborts).\n",
       stderr);
   std::exit(1);
 }
@@ -96,10 +127,12 @@ void writeOutput(const std::string& path, const std::string& data) {
 }
 
 struct Args {
-  std::string spec, out, ledger, cacheDir;
+  std::string spec, out, ledger, cacheDir, socket;
   long workers = 0, maxFragment = 0, index = -1, generation = -1;
   long heartbeatMs = 0, heartbeatTimeoutMs = 0, maxAttempts = 0, maxRespawns = -1;
   long cacheMaxBytes = 0;
+  long tcpPort = 0, maxPendingUnits = 0, maxCampaigns = 0, maxCampaignsServed = 0;
+  long retryAfterMs = -1;
 
   static long parseLong(const std::string& flag, const std::string& v) {
     try {
@@ -113,14 +146,14 @@ struct Args {
   }
 };
 
-long envLongDefault(const char* name, long fallback) {
-  const char* s = std::getenv(name);
-  if (s == nullptr || *s == '\0') return fallback;
-  errno = 0;
-  char* end = nullptr;
-  const long v = std::strtol(s, &end, 10);
-  if (end == s || *end != '\0' || errno == ERANGE || v < 1) {
-    usage((std::string(name) + "='" + s + "' is not a positive integer").c_str());
+/// Strict env default for a positive tunable: envLongStrict's contract
+/// (throw on malformed, fallback when unset) plus a positivity check —
+/// exactly as strict as XLV_WORKERS.
+long envPositive(const char* name, long fallback) {
+  const long v = campaign::envLongStrict(name, fallback);
+  if (v < 1) {
+    throw std::invalid_argument(std::string(name) + "=" + std::to_string(v) +
+                                " must be a positive integer");
   }
   return v;
 }
@@ -139,10 +172,22 @@ Args parseArgs(int argc, char** argv, int first) {
       a.out = next("-o");
     } else if (arg == "--ledger") {
       a.ledger = next("--ledger");
+    } else if (arg == "--socket") {
+      a.socket = next("--socket");
+    } else if (arg == "--tcp-port") {
+      a.tcpPort = Args::parseLong(arg, next("--tcp-port"));
     } else if (arg == "--workers") {
       a.workers = Args::parseLong(arg, next("--workers"));
     } else if (arg == "--max-fragment") {
       a.maxFragment = Args::parseLong(arg, next("--max-fragment"));
+    } else if (arg == "--max-pending-units") {
+      a.maxPendingUnits = Args::parseLong(arg, next("--max-pending-units"));
+    } else if (arg == "--max-campaigns") {
+      a.maxCampaigns = Args::parseLong(arg, next("--max-campaigns"));
+    } else if (arg == "--max-campaigns-served") {
+      a.maxCampaignsServed = Args::parseLong(arg, next("--max-campaigns-served"));
+    } else if (arg == "--retry-after-ms") {
+      a.retryAfterMs = Args::parseLong(arg, next("--retry-after-ms"));
     } else if (arg == "--index") {
       a.index = Args::parseLong(arg, next("--index"));
     } else if (arg == "--generation") {
@@ -178,6 +223,19 @@ void configureCache(const Args& a) {
       a.cacheDir, static_cast<std::uint64_t>(a.cacheMaxBytes), 0});
 }
 
+std::vector<std::string> workerCommand(const char* self, const Args& a) {
+  std::vector<std::string> cmd = {self, "worker"};
+  if (!a.cacheDir.empty()) {
+    cmd.push_back("--cache-dir");
+    cmd.push_back(a.cacheDir);
+    if (a.cacheMaxBytes > 0) {
+      cmd.push_back("--cache-max-bytes");
+      cmd.push_back(std::to_string(a.cacheMaxBytes));
+    }
+  }
+  return cmd;
+}
+
 int cmdRun(const char* self, const Args& a) {
   if (a.spec.empty()) usage("--spec FILE is required");
   if (a.workers < 0) usage("--workers must be >= 0 (0 = XLV_WORKERS or hardware)");
@@ -188,22 +246,14 @@ int cmdRun(const char* self, const Args& a) {
   opt.workers = static_cast<int>(a.workers);
   opt.maxFragmentMutants = static_cast<std::size_t>(a.maxFragment);
   opt.heartbeatIntervalMs = static_cast<int>(
-      a.heartbeatMs > 0 ? a.heartbeatMs : envLongDefault("XLV_HEARTBEAT_MS", 200));
+      a.heartbeatMs > 0 ? a.heartbeatMs : envPositive("XLV_HEARTBEAT_MS", 200));
   opt.heartbeatTimeoutMs =
       static_cast<int>(a.heartbeatTimeoutMs > 0
                            ? a.heartbeatTimeoutMs
-                           : envLongDefault("XLV_HEARTBEAT_TIMEOUT_MS", 10000));
+                           : envPositive("XLV_HEARTBEAT_TIMEOUT_MS", 10000));
   if (a.maxAttempts > 0) opt.maxTaskAttempts = static_cast<int>(a.maxAttempts);
   if (a.maxRespawns >= 0) opt.maxWorkerRespawns = static_cast<int>(a.maxRespawns);
-  opt.workerCommand = {self, "worker"};
-  if (!a.cacheDir.empty()) {
-    opt.workerCommand.push_back("--cache-dir");
-    opt.workerCommand.push_back(a.cacheDir);
-    if (a.cacheMaxBytes > 0) {
-      opt.workerCommand.push_back("--cache-max-bytes");
-      opt.workerCommand.push_back(std::to_string(a.cacheMaxBytes));
-    }
-  }
+  opt.workerCommand = workerCommand(self, a);
 
   campaign::DispatchResult res;
   try {
@@ -235,17 +285,73 @@ int cmdRun(const char* self, const Args& a) {
   return 0;
 }
 
+int cmdServe(const char* self, const Args& a) {
+  if (a.socket.empty() && a.tcpPort <= 0) {
+    usage("serve: --socket PATH or --tcp-port P is required");
+  }
+  if (a.workers < 0) usage("--workers must be >= 0 (0 = XLV_WORKERS or hardware)");
+  if (a.maxFragment < 0) usage("--max-fragment must be >= 0 (0 = whole items)");
+
+  campaign::ServeOptions opt;
+  opt.socketPath = a.socket;
+  opt.tcpPort = static_cast<int>(a.tcpPort);
+  opt.workers = static_cast<int>(a.workers);
+  opt.maxFragmentMutants = static_cast<std::size_t>(a.maxFragment);
+  opt.heartbeatIntervalMs = static_cast<int>(
+      a.heartbeatMs > 0 ? a.heartbeatMs : envPositive("XLV_HEARTBEAT_MS", 200));
+  opt.heartbeatTimeoutMs =
+      static_cast<int>(a.heartbeatTimeoutMs > 0
+                           ? a.heartbeatTimeoutMs
+                           : envPositive("XLV_HEARTBEAT_TIMEOUT_MS", 10000));
+  if (a.maxAttempts > 0) opt.maxTaskAttempts = static_cast<int>(a.maxAttempts);
+  if (a.maxRespawns >= 0) opt.maxWorkerRespawns = static_cast<int>(a.maxRespawns);
+  if (a.maxPendingUnits > 0) opt.maxPendingUnits = static_cast<std::size_t>(a.maxPendingUnits);
+  if (a.maxCampaigns > 0) opt.maxCampaigns = static_cast<std::size_t>(a.maxCampaigns);
+  if (a.maxCampaignsServed > 0) {
+    opt.maxCampaignsServed = static_cast<std::uint64_t>(a.maxCampaignsServed);
+  }
+  if (a.retryAfterMs >= 0) opt.rejectRetryAfterMs = static_cast<std::uint64_t>(a.retryAfterMs);
+  opt.workerCommand = workerCommand(self, a);
+
+  campaign::ServeResult res;
+  try {
+    res = campaign::runCampaignServer(opt);
+  } catch (const campaign::DispatchError& e) {
+    std::fprintf(stderr, "xlv_campaignd serve: %s\n", e.what());
+    return 6;
+  }
+  if (!a.ledger.empty()) {
+    writeOutput(a.ledger, campaign::encodeServeLedgerJson(res.ledger));
+  }
+  std::fprintf(stderr,
+               "campaignd serve: %llu accepted (%llu completed, %llu cancelled), "
+               "%llu rejected, %llu submissions, %llu workers spawned (%llu respawns, "
+               "%llu killed)\n",
+               static_cast<unsigned long long>(res.ledger.campaignsAccepted),
+               static_cast<unsigned long long>(res.ledger.campaignsCompleted),
+               static_cast<unsigned long long>(res.ledger.campaignsCancelled),
+               static_cast<unsigned long long>(res.ledger.campaignsRejected),
+               static_cast<unsigned long long>(res.ledger.submissions),
+               static_cast<unsigned long long>(res.ledger.workersSpawned),
+               static_cast<unsigned long long>(res.ledger.workerRespawns),
+               static_cast<unsigned long long>(res.ledger.workersKilled));
+  return 0;
+}
+
 int cmdWorker(const Args& a) {
-  if (a.spec.empty()) usage("worker: --spec FILE is required");
   if (a.index < 0) usage("worker: --index I (>= 0) is required");
   if (a.generation < 0) usage("worker: --generation G (>= 0) is required");
   configureCache(a);
-  const campaign::CampaignSpec spec = campaign::decodeCampaignSpec(readFile(a.spec));
+  // --spec is optional: run-mode workers get their campaign up front,
+  // serve-mode workers get per-submit spec handoff paths instead.
+  campaign::CampaignSpec spec;
+  const bool haveSpec = !a.spec.empty();
+  if (haveSpec) spec = campaign::decodeCampaignSpec(readFile(a.spec));
   campaign::DispatchWorkerOptions opt;
   opt.workerIndex = static_cast<int>(a.index);
   opt.generation = static_cast<int>(a.generation);
   opt.heartbeatIntervalMs = a.heartbeatMs > 0 ? static_cast<int>(a.heartbeatMs) : 200;
-  return campaign::runDispatchWorker(spec, opt);
+  return campaign::runDispatchWorker(haveSpec ? &spec : nullptr, opt);
 }
 
 }  // namespace
@@ -256,6 +362,7 @@ int main(int argc, char** argv) {
   try {
     const Args a = parseArgs(argc, argv, 2);
     if (cmd == "run") return cmdRun(argv[0], a);
+    if (cmd == "serve") return cmdServe(argv[0], a);
     if (cmd == "worker") return cmdWorker(a);
     usage(("unknown command '" + cmd + "'").c_str());
   } catch (const std::exception& e) {
