@@ -20,6 +20,7 @@
 
 #include "campaign/serialize.h"
 #include "util/codec.h"
+#include "util/fault_point.h"
 #include "util/log.h"
 #include "util/subprocess.h"
 
@@ -87,6 +88,9 @@ bool FrameReader::next(std::string& doc) {
       throw util::DecodeError("frame: implausible length " + std::string(digits));
     }
   }
+  // The per-connection cap rejects the frame from its header alone — an
+  // untrusted client cannot make the server buffer the body first.
+  if (len > maxFrameBytes_) throw FrameCapExceeded(len, maxFrameBytes_);
   if (rest.size() - nl - 1 < len) return false;
   doc.assign(rest.substr(nl + 1, len));
   pos_ += nl + 1 + len;
@@ -142,7 +146,11 @@ bool TaskQueue::complete(std::size_t taskIndex) {
     throw std::logic_error("TaskQueue::complete: task " + std::to_string(taskIndex) +
                            " out of range");
   }
-  if (states_[taskIndex] == State::Completed) return false;
+  // A retired task's late genuine result reads as a duplicate: its slot is
+  // already represented (quarantine synthesis or bisected halves).
+  if (states_[taskIndex] == State::Completed || states_[taskIndex] == State::Retired) {
+    return false;
+  }
   if (states_[taskIndex] == State::Pending) {
     // A dead worker's drained result completed a unit that was already
     // re-queued; pull it back out of the pending order.
@@ -158,11 +166,66 @@ bool TaskQueue::isCompleted(std::size_t taskIndex) const {
   return taskIndex < states_.size() && states_[taskIndex] == State::Completed;
 }
 
+std::size_t TaskQueue::addTask(const ShardUnit& unit, std::uint64_t weight) {
+  DispatchTask t;
+  t.index = tasks_.size();
+  t.unit = unit;
+  t.weight = std::max<std::uint64_t>(weight, 1);
+  tasks_.push_back(t);
+  states_.push_back(State::Pending);
+  // Front of the queue, like a requeue: the parent fragment this half came
+  // from already waited its full turns.
+  pending_.insert(pending_.begin(), t.index);
+  return tasks_.back().index;
+}
+
+void TaskQueue::retire(std::size_t taskIndex) {
+  if (taskIndex >= tasks_.size() || states_[taskIndex] == State::Completed ||
+      states_[taskIndex] == State::Retired) {
+    throw std::logic_error("TaskQueue::retire: task " + std::to_string(taskIndex) +
+                           " is not retirable");
+  }
+  if (states_[taskIndex] == State::Pending) {
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), taskIndex),
+                   pending_.end());
+  }
+  states_[taskIndex] = State::Retired;
+  ++retired_;
+}
+
+bool TaskQueue::isRetired(std::size_t taskIndex) const {
+  return taskIndex < states_.size() && states_[taskIndex] == State::Retired;
+}
+
 // --- shared helpers ----------------------------------------------------------
 
 namespace {
 
 bool writeFd(int fd, std::string_view data) noexcept {
+  // Chaos hook on the worker-side frame write: a "fail" loses the frame
+  // outright, a "short" delivers a prefix (the peer's FrameReader sees a
+  // truncated stream). Either way writeFd reports failure, so the worker
+  // takes its real pipe-write-failed exit path.
+  switch (util::faultPoint("frame.write")) {
+    case util::FaultAction::Fail:
+      return false;
+    case util::FaultAction::Short:
+      if (!data.empty()) {
+        const std::string_view half = data.substr(0, data.size() / 2);
+        std::size_t off = 0;
+        while (off < half.size()) {
+          const ssize_t n = ::write(fd, half.data() + off, half.size() - off);
+          if (n < 0) {
+            if (errno == EINTR) continue;
+            break;
+          }
+          off += static_cast<std::size_t>(n);
+        }
+      }
+      return false;
+    case util::FaultAction::None:
+      break;
+  }
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
@@ -215,10 +278,25 @@ void OutboundBuffer::enqueue(std::string_view data) {
 }
 
 bool OutboundBuffer::flushTo(int fd) noexcept {
+  // Chaos hook on the dispatcher/server-side frame write: "fail" reports
+  // the connection dead without writing; "short" delivers half of what is
+  // queued first, so the peer sees a truncated stream. Both exercise the
+  // same recovery the real EPIPE path takes.
+  util::FaultAction fault = util::FaultAction::None;
+  std::size_t shortBudget = 0;
+  if (pos_ < buffer_.size()) {
+    fault = util::faultPoint("frame.write");
+    if (fault == util::FaultAction::Fail) return false;
+    if (fault == util::FaultAction::Short) shortBudget = (buffer_.size() - pos_) / 2;
+  }
   while (pos_ < buffer_.size()) {
-    const ssize_t n = ::write(fd, buffer_.data() + pos_, buffer_.size() - pos_);
+    if (fault == util::FaultAction::Short && shortBudget == 0) return false;
+    std::size_t want = buffer_.size() - pos_;
+    if (fault == util::FaultAction::Short) want = std::min(want, shortBudget);
+    const ssize_t n = ::write(fd, buffer_.data() + pos_, want);
     if (n > 0) {
       pos_ += static_cast<std::size_t>(n);
+      if (fault == util::FaultAction::Short) shortBudget -= static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -274,6 +352,21 @@ namespace {
 bool faultHookArmed(int workerIndex, int generation) {
   if (generation != 0) return false;
   return envLongStrict("XLV_TEST_FAULT_WORKER", 0) == static_cast<long>(workerIndex);
+}
+
+/// Poison-unit hook: unlike the per-slot hooks above this one is armed for
+/// EVERY worker and every generation, because a poison unit by definition
+/// kills whoever runs it.  The server's quarantine path is what the matching
+/// test asserts, so the hook must survive respawns and work stealing.
+void maybeInjectPoison(const ShardUnit& unit) {
+  const long item = envLongStrict("XLV_TEST_POISON_ITEM", -1);
+  if (item < 0 || unit.taskId != static_cast<std::size_t>(item)) return;
+  const long mutant = envLongStrict("XLV_TEST_POISON_MUTANT", -1);
+  if (mutant < 0) return;
+  const bool hit = unit.wholeItem() ||
+                   (unit.mutantBegin <= static_cast<std::size_t>(mutant) &&
+                    static_cast<std::size_t>(mutant) < unit.mutantEnd);
+  if (hit) ::raise(SIGKILL);
 }
 
 void maybeInjectFault(int workerIndex, int generation, std::uint64_t itemsDone) {
@@ -384,6 +477,7 @@ int runDispatchWorker(const CampaignSpec* defaultSpec, const DispatchWorkerOptio
       return 8;
     }
 
+    maybeInjectPoison(submit.unit);
     maybeInjectFault(opt.workerIndex, opt.generation, itemsDone);
 
     if (!sendStatus("working")) return 6;
@@ -534,7 +628,11 @@ DispatchResult runDispatcher(const CampaignSpec& spec, const DispatchOptions& op
         {"XLV_WORKER_INDEX", std::to_string(i)},
         {"XLV_WORKER_GENERATION", std::to_string(s.generation)},
     };
-    s.proc = util::Subprocess::spawn(argv, env);
+    // Chaos hook, same contract as the campaign service's spawnWorker: a
+    // "fail" yields a never-started slot on the normal respawn path.
+    s.proc = util::faultPoint("worker.spawn") == util::FaultAction::None
+                 ? util::Subprocess::spawn(argv, env)
+                 : util::Subprocess{};
     s.reader = FrameReader{};
     s.out = OutboundBuffer{};
     s.ready = false;
@@ -641,6 +739,10 @@ DispatchResult runDispatcher(const CampaignSpec& spec, const DispatchOptions& op
       // A crash can truncate mid-frame; whatever did not parse is lost work
       // the re-queue below recovers.
     }
+    // A failed submit write lands here while the process may still be alive
+    // (its stream is desynced either way) — put it down before reaping, or
+    // wait() blocks the dispatcher on a live child.
+    if (s.proc.running()) s.proc.kill(SIGKILL);
     s.proc.wait();
     std::string reason = reasonHint != nullptr ? reasonHint
                          : s.timedOut          ? "heartbeat-timeout"

@@ -41,8 +41,24 @@
 
 #include "campaign/campaign.h"
 #include "campaign/shard.h"
+#include "util/codec.h"
 
 namespace xlv::campaign {
+
+/// A frame header declared a length above the reader's configured cap.
+/// Distinct from a generic framing DecodeError so the campaign service can
+/// answer an untrusted client's oversized frame with a structured reject
+/// instead of silently dropping the connection.
+class FrameCapExceeded : public util::DecodeError {
+ public:
+  FrameCapExceeded(std::size_t declared, std::size_t cap)
+      : util::DecodeError("frame: length " + std::to_string(declared) +
+                          " exceeds connection cap " + std::to_string(cap)),
+        declaredBytes(declared),
+        capBytes(cap) {}
+  std::size_t declaredBytes;
+  std::size_t capBytes;
+};
 
 // --- frame transport ---------------------------------------------------------
 
@@ -64,10 +80,16 @@ class FrameReader {
   bool next(std::string& doc);
   /// Bytes buffered but not yet returned (0 on a clean EOF boundary).
   std::size_t pendingBytes() const noexcept { return buffer_.size() - pos_; }
+  /// Lower the acceptable frame size for this connection (an untrusted
+  /// client socket, vs. the default 1 GiB trusted worker-pipe cap). A
+  /// header declaring more throws FrameCapExceeded from next().
+  void setMaxFrameBytes(std::size_t cap) noexcept { maxFrameBytes_ = cap; }
+  std::size_t maxFrameBytes() const noexcept { return maxFrameBytes_; }
 
  private:
   std::string buffer_;
   std::size_t pos_ = 0;
+  std::size_t maxFrameBytes_ = std::size_t{1} << 30;
 };
 
 /// Outcome of readFrameBlocking. Eof (peer closed the stream cleanly) and
@@ -129,9 +151,10 @@ class TaskQueue {
   std::size_t taskCount() const noexcept { return tasks_.size(); }
   std::size_t pendingCount() const noexcept { return pending_.size(); }
   bool hasPending() const noexcept { return !pending_.empty(); }
-  /// True once every task completed.
-  bool done() const noexcept { return completed_ == tasks_.size(); }
+  /// True once every task completed or retired.
+  bool done() const noexcept { return completed_ + retired_ == tasks_.size(); }
   std::size_t completedCount() const noexcept { return completed_; }
+  std::size_t retiredCount() const noexcept { return retired_; }
 
   /// Pop the heaviest pending task, marking it in flight and counting the
   /// submission attempt. Throws std::logic_error when nothing is pending.
@@ -146,14 +169,31 @@ class TaskQueue {
   bool complete(std::size_t taskIndex);
   bool isCompleted(std::size_t taskIndex) const;
 
+  /// Append a NEW pending task (poison-unit bisection: the halves of a
+  /// retired fragment). The task gets the next free index — indices are
+  /// stable, never reused — a fresh attempt budget, and the front of the
+  /// pending order (its parent already waited its turns). Returns the new
+  /// task's index.
+  std::size_t addTask(const ShardUnit& unit, std::uint64_t weight);
+
+  /// Take an in-flight or pending task out of scheduling WITHOUT counting
+  /// it completed: the bisected parent (replaced by its halves) and the
+  /// quarantined unit (replaced by a synthesized errored result) both end
+  /// here. A retired task counts toward done() but not completedCount(),
+  /// and a late genuine result for it reads as a duplicate. Throws
+  /// std::logic_error when the task is already completed or retired.
+  void retire(std::size_t taskIndex);
+  bool isRetired(std::size_t taskIndex) const;
+
   const DispatchTask& task(std::size_t taskIndex) const { return tasks_.at(taskIndex); }
 
  private:
-  enum class State : unsigned char { Pending, InFlight, Completed };
+  enum class State : unsigned char { Pending, InFlight, Completed, Retired };
   std::vector<DispatchTask> tasks_;
   std::vector<State> states_;
   std::vector<std::size_t> pending_;  ///< task indices, front = next claim
   std::size_t completed_ = 0;
+  std::size_t retired_ = 0;
 };
 
 // --- dispatcher --------------------------------------------------------------

@@ -626,6 +626,7 @@ std::string encodeClientSubmitFrame(const ClientSubmitFrame& f) {
   e.str("clientName", f.clientName);
   e.str("spec", f.spec);
   e.u64("maxFragmentMutants", f.maxFragmentMutants);
+  e.u64("deadlineMs", f.deadlineMs);
   return e.take();
 }
 
@@ -635,6 +636,7 @@ ClientSubmitFrame decodeClientSubmitFrame(std::string_view data) {
   f.clientName = d.str("clientName");
   f.spec = d.str("spec");
   f.maxFragmentMutants = d.u64("maxFragmentMutants");
+  f.deadlineMs = d.u64("deadlineMs");
   d.finish();
   return f;
 }
@@ -702,6 +704,8 @@ std::string encodeCampaignDoneFrame(const CampaignDoneFrame& f) {
   e.u64("requeues", f.requeues);
   e.boolean("cancelled", f.cancelled);
   e.str("error", f.error);
+  e.beginList("quarantined", f.quarantined.size());
+  for (const std::uint64_t q : f.quarantined) e.u64("q", q);
   return e.take();
 }
 
@@ -714,6 +718,8 @@ CampaignDoneFrame decodeCampaignDoneFrame(std::string_view data) {
   f.requeues = d.u64("requeues");
   f.cancelled = d.boolean("cancelled");
   f.error = d.str("error");
+  f.quarantined.resize(d.beginList("quarantined"));
+  for (std::uint64_t& q : f.quarantined) q = d.u64("q");
   d.finish();
   return f;
 }

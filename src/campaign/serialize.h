@@ -50,7 +50,10 @@ namespace xlv::campaign {
 /// v6: the socket service (campaign/server.h) — SubmitFrame/ResultFrame gain
 /// the campaignId/specPath multiplexing coordinates, and the client-facing
 /// frames (client-submit/accept/reject/item-result/done) join the schema.
-inline constexpr int kCampaignCodecVersion = 6;
+/// v7: fault tolerance — ClientSubmitFrame gains the optional deadlineMs,
+/// CampaignDoneFrame carries the quarantined unit indices (poison units
+/// isolated by bisection instead of failing their campaign).
+inline constexpr int kCampaignCodecVersion = 7;
 
 /// Names accepted by buildCaseStudyByName (the spec wire format's case-study
 /// identity space).
@@ -178,6 +181,10 @@ struct ClientSubmitFrame {
   /// Stealable-unit granularity for this campaign (ShardPlanOptions::
   /// maxFragmentMutants); 0 = the server's default.
   std::uint64_t maxFragmentMutants = 0;
+  /// Server-enforced wall-clock budget for the whole campaign, in
+  /// milliseconds since admission; 0 = no deadline. An overdue campaign
+  /// fails with a structured error instead of occupying the pool forever.
+  std::uint64_t deadlineMs = 0;
   bool operator==(const ClientSubmitFrame&) const = default;
 };
 
@@ -221,6 +228,13 @@ struct CampaignDoneFrame {
   std::uint64_t requeues = 0;  ///< crash-recovery re-queues attributed to this campaign
   bool cancelled = false;
   std::string error;
+  /// Task indices of quarantined units: poison units whose attempt budget
+  /// exhausted even after bisection isolated them down to an irreducible
+  /// fragment. Their items carry structured per-item errors in the streamed
+  /// outputs; the rest of the campaign completed normally. unitsTotal is
+  /// the FINAL unit count (bisection appends tasks), so the client must
+  /// normalize its streamed outputs' shardCount to it before merging.
+  std::vector<std::uint64_t> quarantined;
   bool operator==(const CampaignDoneFrame&) const = default;
 };
 

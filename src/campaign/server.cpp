@@ -20,7 +20,9 @@
 
 #include "campaign/serialize.h"
 #include "util/codec.h"
+#include "util/fault_point.h"
 #include "util/log.h"
+#include "util/prng.h"
 #include "util/subprocess.h"
 
 namespace xlv::campaign {
@@ -31,6 +33,20 @@ using Clock = std::chrono::steady_clock;
 namespace {
 
 void ignoreSigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+/// Self-pipe for graceful drain: the SIGTERM/SIGINT handler only writes one
+/// byte here, and the poll loop — the single place allowed to touch server
+/// state — reads it and starts the drain. Async-signal-safe by construction.
+int gDrainPipeWrite = -1;
+
+void onDrainSignal(int) {
+  const int saved = errno;
+  if (gDrainPipeWrite >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(gDrainPipeWrite, &byte, 1);
+  }
+  errno = saved;
+}
 
 bool writeFdAll(int fd, std::string_view data) noexcept {
   std::size_t off = 0;
@@ -107,6 +123,7 @@ struct ClientConn {
   std::uint64_t campaignId = 0;  ///< 0 until a submission was admitted
   bool closing = false;  ///< server finished with it; close once flushed
   bool dead = false;
+  Clock::time_point openedAt{};  ///< read-timeout base for half-open clients
 };
 
 struct Campaign {
@@ -124,6 +141,11 @@ struct Campaign {
   bool cancelled = false;
   std::string error;
   ClientConn* conn = nullptr;  ///< null once the client connection is gone
+  std::uint64_t bisections = 0;
+  std::vector<std::uint64_t> quarantined;  ///< retired irreducible task indices
+  std::uint64_t deadlineMs = 0;            ///< 0 = no deadline
+  Clock::time_point deadlineAt{};
+  bool drained = false;  ///< was live when a drain began
 };
 
 class Server {
@@ -136,12 +158,17 @@ class Server {
     if (listenFd_ >= 0) ::close(listenFd_);
     if (!boundPath_.empty()) ::unlink(boundPath_.c_str());
     for (Campaign* c : liveCampaigns()) removeSpecFile(*c);
+    if (drainWriteFd_ >= 0) {
+      gDrainPipeWrite = -1;
+      ::close(drainWriteFd_);
+    }
+    if (drainReadFd_ >= 0) ::close(drainReadFd_);
   }
 
   ServeResult run();
 
  private:
-  enum class Ref : unsigned char { Listener, WorkerOut, WorkerIn, Client };
+  enum class Ref : unsigned char { Listener, WorkerOut, WorkerIn, Client, DrainPipe };
 
   std::vector<Campaign*> liveCampaigns() {
     std::vector<Campaign*> out;
@@ -165,6 +192,8 @@ class Server {
   void drainWorker(std::size_t i);
   void handleWorkerFrame(std::size_t i, const std::string& doc);
   void onResult(std::size_t wi, ResultFrame rf);
+  void streamOutput(Campaign& c, std::size_t taskIndex, ShardOutput output);
+  void quarantineOrBisect(Campaign& c, std::size_t taskIndex, const std::string& reason);
   void requeueLostUnit(std::size_t wi, const std::string& reason);
   void workerDeath(std::size_t i, const char* reasonHint);
   void failCampaign(Campaign& c, const std::string& msg);
@@ -176,6 +205,10 @@ class Server {
   std::size_t inFlight(std::uint64_t id) const;
   std::size_t totalPendingUnits() const;
   void heartbeatScan();
+  void deadlineScan();
+  void clientReadScan();
+  void onDrainRequest();
+  void flushClosingConns();
   void shutdownWorkers();
 
   ServeOptions opt_;
@@ -191,6 +224,10 @@ class Server {
   std::uint64_t lastCampaignId_ = 0;
   std::uint64_t seqCounter_ = 0;
   std::uint64_t served_ = 0;  ///< admitted campaigns that left the scheduler
+  int drainReadFd_ = -1;   ///< self-pipe read end (in the poll set)
+  int drainWriteFd_ = -1;  ///< self-pipe write end (signal handler's target)
+  bool draining_ = false;  ///< stop admitting; exit once live campaigns finish
+  bool drainHard_ = false;  ///< second signal: stop now
 };
 
 void Server::listen() {
@@ -204,6 +241,19 @@ void Server::listen() {
     listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listenFd_ < 0) {
       throw DispatchError(std::string("socket failed: ") + std::strerror(errno));
+    }
+    // Probe before unlinking: a connect() that succeeds means a LIVE server
+    // owns this path, and stealing it would strand that server (still
+    // running, no longer reachable) while its clients silently land here.
+    // Any connect failure — ENOENT, ECONNREFUSED — means the path is stale.
+    if (const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0); probe >= 0) {
+      const bool alive =
+          ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+      ::close(probe);
+      if (alive) {
+        throw DispatchError("another server is already listening on " +
+                            opt_.socketPath + "; refusing to steal its socket");
+      }
     }
     ::unlink(opt_.socketPath.c_str());  // a stale path from a crashed server
     if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
@@ -247,7 +297,13 @@ bool Server::spawnWorker(std::size_t i) {
       {"XLV_WORKER_INDEX", std::to_string(i)},
       {"XLV_WORKER_GENERATION", std::to_string(s.generation)},
   };
-  s.proc = util::Subprocess::spawn(argv, env);
+  // Chaos hook: a spawn "fail" leaves the slot holding a never-started
+  // process, which takes the same retire/respawn path a real fork failure
+  // would. Opt-in per call site so the native-compile subprocess path is
+  // untouched.
+  s.proc = util::faultPoint("worker.spawn") == util::FaultAction::None
+               ? util::Subprocess::spawn(argv, env)
+               : util::Subprocess{};
   s.reader = FrameReader{};
   s.out = OutboundBuffer{};
   s.ready = false;
@@ -321,9 +377,20 @@ void Server::acceptClients() {
       if (errno == EINTR) continue;
       return;  // EAGAIN: drained the backlog
     }
+    // Chaos hook: an accept "failure" drops the fresh connection on the
+    // floor — the client sees an unexplained close and must retry, which is
+    // exactly the behaviour of a listener backlog overflow.
+    if (util::faultPoint("server.accept") != util::FaultAction::None) {
+      ::close(fd);
+      continue;
+    }
     util::setNonBlocking(fd);
     auto conn = std::make_unique<ClientConn>();
     conn->fd = fd;
+    // Client sockets are untrusted: cap declared frame lengths well below
+    // the 1 GiB codec ceiling the trusted worker pipes keep.
+    conn->reader.setMaxFrameBytes(opt_.maxClientFrameBytes);
+    conn->openedAt = Clock::now();
     conns_.push_back(std::move(conn));
   }
 }
@@ -349,8 +416,10 @@ void Server::onClientReadable(ClientConn& conn) {
 void Server::processClientFrames(ClientConn& conn) {
   std::string doc;
   try {
-    while (!conn.dead && conn.reader.next(doc)) {
-      if (conn.closing) continue;  // trailing bytes after a reject: ignore
+    // A closing connection's reader is never advanced again: trailing bytes
+    // after a reject are left unparsed (and an oversize header would throw
+    // on every poll tick otherwise).
+    while (!conn.dead && !conn.closing && conn.reader.next(doc)) {
       if (conn.campaignId == 0) {
         if (util::peekDocumentTag(doc) != kClientSubmitFrameTag) {
           throw util::DecodeError("expected a client-submit frame");
@@ -362,6 +431,11 @@ void Server::processClientFrames(ClientConn& conn) {
         throw util::DecodeError("unexpected frame after the submission");
       }
     }
+  } catch (const FrameCapExceeded& e) {
+    // The oversize length came from the header alone — no body bytes were
+    // buffered — so the client gets a structured answer, not a slammed door.
+    ++ledger_.frameCapRejects;
+    reject(conn, e.what(), 0);
   } catch (const util::DecodeError& e) {
     XLV_WARN("campaignd") << "client protocol error: " << e.what();
     clientGone(conn);
@@ -369,6 +443,13 @@ void Server::processClientFrames(ClientConn& conn) {
 }
 
 void Server::admit(ClientConn& conn, const ClientSubmitFrame& f) {
+  if (draining_) {
+    // The drain contract: in-flight campaigns finish, new ones go elsewhere.
+    // The retry hint points clients at whoever replaces this server.
+    reject(conn, "server draining: not admitting new campaigns",
+           opt_.rejectRetryAfterMs);
+    return;
+  }
   CampaignSpec spec;
   DispatchUnitPlan plan;
   try {
@@ -419,6 +500,10 @@ void Server::admit(ClientConn& conn, const ClientSubmitFrame& f) {
   c.specPath = specPath.string();
   c.queue = TaskQueue(plan);
   c.taskCount = c.queue.taskCount();
+  if (f.deadlineMs > 0) {
+    c.deadlineMs = f.deadlineMs;
+    c.deadlineAt = Clock::now() + std::chrono::milliseconds(f.deadlineMs);
+  }
   c.conn = &conn;
   conn.campaignId = id;
   auto [it, inserted] = campaigns_.emplace(id, std::move(c));
@@ -581,6 +666,80 @@ void Server::onResult(std::size_t wi, ResultFrame rf) {
   if (!c.finishing && c.queue.done()) finishSuccess(c);
 }
 
+void Server::streamOutput(Campaign& c, std::size_t taskIndex, ShardOutput output) {
+  if (c.conn == nullptr || c.conn->dead) return;
+  ItemResultFrame ir;
+  ir.campaignId = c.id;
+  ir.taskIndex = taskIndex;
+  ir.taskCount = c.taskCount;
+  ir.output = std::move(output);
+  c.conn->out.enqueue(frameWire(encodeItemResultFrame(ir)));
+  flushConn(*c.conn);  // may cancel c (client write failure sets finishing)
+}
+
+/// A unit exhausted its attempt budget. Before this layer existed that
+/// failed the whole campaign; now the failure is narrowed to what is
+/// actually unrunnable:
+///   * a multi-mutant fragment is BISECTED — the parent task retires behind
+///     an empty placeholder output (so the client's merge still sees its
+///     shard index) and both halves re-queue with fresh attempt budgets,
+///     homing in on the poison mutant in log2(fragment) rounds;
+///   * an irreducible unit (whole item or single mutant) is QUARANTINED —
+///     retired behind a synthesized output whose one item carries a
+///     structured error, so every other item still completes bit-identical.
+void Server::quarantineOrBisect(Campaign& c, std::size_t taskIndex,
+                                const std::string& reason) {
+  if (c.queue.isRetired(taskIndex)) return;
+  // Copies: addTask grows the task vector, invalidating references into it.
+  const DispatchTask t = c.queue.task(taskIndex);
+  const ShardUnit unit = t.unit;
+  if (!unit.wholeItem() && unit.mutantEnd - unit.mutantBegin >= 2) {
+    c.queue.retire(taskIndex);
+    const std::size_t mid = unit.mutantBegin + (unit.mutantEnd - unit.mutantBegin) / 2;
+    // Heavier (or equal) half first so the front-of-queue insert keeps the
+    // poison hunt ahead of untouched work: addTask prepends, so push the
+    // high half, then the low half lands in front of it.
+    c.queue.addTask(ShardUnit{unit.taskId, mid, unit.mutantEnd}, unit.mutantEnd - mid);
+    c.queue.addTask(ShardUnit{unit.taskId, unit.mutantBegin, mid}, mid - unit.mutantBegin);
+    c.taskCount = c.queue.taskCount();
+    ++c.bisections;
+    ++ledger_.bisections;
+    XLV_WARN("campaignd") << "campaign " << c.id << " task " << taskIndex << " (item "
+                          << unit.taskId << " mutants [" << unit.mutantBegin << ", "
+                          << unit.mutantEnd << ")) lost after " << t.attempts
+                          << " attempts (" << reason << "); bisected at " << mid;
+    ShardOutput placeholder;
+    placeholder.specFnv = c.specFnv;
+    placeholder.shardIndex = static_cast<int>(taskIndex);
+    placeholder.shardCount = static_cast<int>(c.taskCount);
+    streamOutput(c, taskIndex, std::move(placeholder));
+    return;
+  }
+  c.queue.retire(taskIndex);
+  c.quarantined.push_back(taskIndex);
+  ++ledger_.quarantinedUnits;
+  const std::string what =
+      unit.wholeItem()
+          ? "item " + std::to_string(unit.taskId)
+          : "item " + std::to_string(unit.taskId) + " mutant " +
+                std::to_string(unit.mutantBegin);
+  XLV_ERROR("campaignd") << "campaign " << c.id << " quarantined " << what
+                         << " (task " << taskIndex << "): lost after " << t.attempts
+                         << " attempts (last: " << reason << ")";
+  ShardOutput q;
+  q.specFnv = c.specFnv;
+  q.shardIndex = static_cast<int>(taskIndex);
+  q.shardCount = static_cast<int>(c.taskCount);
+  q.units.push_back(unit);
+  CampaignItemResult item;
+  item.taskId = unit.taskId;
+  item.error = "quarantined: " + what + " lost after " + std::to_string(t.attempts) +
+               " attempts (last: " + reason + ")";
+  q.result.items.push_back(std::move(item));
+  streamOutput(c, taskIndex, std::move(q));
+  if (!c.finishing && c.queue.done()) finishSuccess(c);
+}
+
 void Server::requeueLostUnit(std::size_t wi, const std::string& reason) {
   ServerWorker& s = workers_[wi];
   if (!s.busy) return;
@@ -592,10 +751,9 @@ void Server::requeueLostUnit(std::size_t wi, const std::string& reason) {
   if (c.queue.isCompleted(s.taskIndex)) return;  // its result was drained in time
   const DispatchTask& t = c.queue.task(s.taskIndex);
   if (static_cast<int>(t.attempts) >= opt_.maxTaskAttempts) {
-    // An unrunnable unit fails ITS campaign, never the server.
-    failCampaign(c, "task " + std::to_string(t.index) + " (item " +
-                        std::to_string(t.unit.taskId) + ") lost after " +
-                        std::to_string(t.attempts) + " attempts (last: " + reason + ")");
+    // An unrunnable unit is isolated — bisected or quarantined — so it
+    // costs its own item, not its campaign (and never the server).
+    quarantineOrBisect(c, s.taskIndex, reason);
     return;
   }
   c.queue.requeue(s.taskIndex);
@@ -612,6 +770,10 @@ void Server::workerDeath(std::size_t i, const char* reasonHint) {
   } catch (const util::DecodeError&) {
     // A crash can truncate mid-frame; the re-queue below recovers the rest.
   }
+  // A failed submit write declares the worker dead while the process may
+  // still be alive (its stream is now desynced either way) — put it down
+  // before reaping, or wait() blocks the whole event loop on a live child.
+  if (s.proc.running()) s.proc.kill(SIGKILL);
   s.proc.wait();
   const std::string reason = reasonHint != nullptr ? reasonHint
                              : s.timedOut          ? "heartbeat-timeout"
@@ -651,6 +813,7 @@ void Server::failCampaign(Campaign& c, const std::string& msg) {
     done.requeues = c.requeues;
     done.cancelled = false;
     done.error = msg;
+    done.quarantined = c.quarantined;
     c.conn->out.enqueue(frameWire(encodeCampaignDoneFrame(done)));
     c.conn->closing = true;
     flushConn(*c.conn);
@@ -664,6 +827,10 @@ void Server::finishSuccess(Campaign& c) {
   done.unitsTotal = c.taskCount;
   done.unitsCompleted = c.queue.completedCount();
   done.requeues = c.requeues;
+  // unitsTotal is the FINAL task count: bisection appended tasks, and the
+  // client must normalize its streamed outputs' shardCount to this before
+  // merging.
+  done.quarantined = c.quarantined;
   ClientConn* conn = c.conn;
   if (conn != nullptr && !conn->dead) {
     conn->out.enqueue(frameWire(encodeCampaignDoneFrame(done)));
@@ -685,6 +852,9 @@ void Server::finalize(Campaign& c) {
   e.discardedResults = c.discarded;
   e.cancelled = c.cancelled;
   e.error = c.error;
+  e.bisections = c.bisections;
+  e.quarantined = c.quarantined;
+  e.drained = c.drained;
   ledger_.campaigns.push_back(e);
   if (c.cancelled) {
     ++ledger_.campaignsCancelled;
@@ -767,6 +937,82 @@ void Server::heartbeatScan() {
   }
 }
 
+void Server::deadlineScan() {
+  const auto now = Clock::now();
+  std::vector<std::uint64_t> overdue;
+  for (auto& [id, c] : campaigns_) {
+    if (!c.finishing && c.deadlineMs > 0 && now >= c.deadlineAt) overdue.push_back(id);
+  }
+  for (const std::uint64_t id : overdue) {
+    auto it = campaigns_.find(id);
+    if (it == campaigns_.end() || it->second.finishing) continue;
+    ++ledger_.deadlineFailures;
+    failCampaign(it->second, "deadline exceeded (" +
+                                 std::to_string(it->second.deadlineMs) + " ms)");
+  }
+}
+
+void Server::clientReadScan() {
+  if (opt_.clientReadTimeoutMs <= 0) return;
+  const auto now = Clock::now();
+  for (auto& connPtr : conns_) {
+    ClientConn& conn = *connPtr;
+    // Only pre-submission connections: once a campaign is admitted the
+    // client is a pure reader and owes us nothing further.
+    if (conn.dead || conn.closing || conn.campaignId != 0) continue;
+    const auto idleMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - conn.openedAt)
+            .count();
+    if (idleMs > opt_.clientReadTimeoutMs) {
+      ++ledger_.clientReadTimeouts;
+      XLV_WARN("campaignd") << "client connection idle " << idleMs
+                            << " ms without a complete submission; closing";
+      reject(conn,
+             "no complete submission within " +
+                 std::to_string(opt_.clientReadTimeoutMs) + " ms",
+             0);
+    }
+  }
+}
+
+void Server::onDrainRequest() {
+  ++ledger_.drainRequests;
+  if (!draining_) {
+    draining_ = true;
+    ledger_.drained = true;
+    for (auto& [id, c] : campaigns_) c.drained = true;
+    XLV_INFO("campaignd") << "drain requested: finishing " << campaigns_.size()
+                          << " live campaigns, rejecting new submissions";
+  } else {
+    XLV_WARN("campaignd") << "second drain signal: stopping immediately";
+    drainHard_ = true;
+  }
+}
+
+/// Drain exits the poll loop the moment the last campaign finalizes, which
+/// can leave final CampaignDoneFrames sitting in client outbound buffers
+/// (the frame is enqueued and finalization does not wait for the socket).
+/// Give those sockets a short, bounded POLLOUT window before the workers go
+/// down — losing the done frame would turn a clean drain into a client-side
+/// "connection closed mid-campaign" error.
+void Server::flushClosingConns() {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(500);
+  for (auto& connPtr : conns_) {
+    ClientConn& conn = *connPtr;
+    while (!conn.dead && conn.fd >= 0 && !conn.out.empty()) {
+      const auto leftMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              deadline - Clock::now())
+                              .count();
+      if (leftMs <= 0) return;
+      pollfd p{conn.fd, POLLOUT, 0};
+      const int got = ::poll(&p, 1, static_cast<int>(leftMs));
+      if (got < 0 && errno == EINTR) continue;
+      if (got <= 0) break;
+      flushConn(conn);
+    }
+  }
+}
+
 void Server::shutdownWorkers() {
   for (ServerWorker& s : workers_) {
     if (s.retired || !s.proc.started()) continue;
@@ -774,18 +1020,44 @@ void Server::shutdownWorkers() {
     bye.seq = ++seqCounter_;
     bye.shutdown = true;
     s.out.enqueue(frameWire(encodeSubmitFrame(bye)));
+    // poll(2) for writability under the deadline instead of a sleep-tick
+    // loop: the wait ends the instant the pipe drains (or the worker dies),
+    // and a wedged worker costs exactly the deadline, not deadline + tick.
     const auto deadline = Clock::now() + std::chrono::milliseconds(200);
-    while (!s.out.empty() && Clock::now() < deadline) {
+    while (!s.out.empty()) {
+      const auto leftMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              deadline - Clock::now())
+                              .count();
+      if (leftMs <= 0) break;
+      pollfd p{s.proc.stdinFd(), POLLOUT, 0};
+      const int got = ::poll(&p, 1, static_cast<int>(leftMs));
+      if (got < 0 && errno == EINTR) continue;
+      if (got <= 0) break;  // timeout or poll failure: give up on this pipe
       if (!s.out.flushTo(s.proc.stdinFd())) break;
-      if (!s.out.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     s.proc.closeStdin();
   }
   const auto grace = Clock::now() + std::chrono::seconds(2);
   for (ServerWorker& s : workers_) {
     if (s.retired || !s.proc.started()) continue;
-    while (s.proc.running() && Clock::now() < grace) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // Exit detection rides the worker's stdout: its close (POLLHUP/EOF) is
+    // the event poll can wait on, so no fixed-tick running() sampling.
+    while (s.proc.running()) {
+      const auto leftMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              grace - Clock::now())
+                              .count();
+      if (leftMs <= 0) break;
+      pollfd p{s.proc.stdoutFd(), POLLIN, 0};
+      const int got =
+          ::poll(&p, 1, static_cast<int>(std::min<long long>(leftMs, 50)));
+      if (got < 0 && errno == EINTR) continue;
+      if (got > 0 && (p.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        // Discard straggler frames; EOF here usually means the exit we are
+        // waiting for, which the running() check above confirms.
+        char buf[4096];
+        while (::read(s.proc.stdoutFd(), buf, sizeof buf) > 0) {
+        }
+      }
     }
     if (s.proc.running()) s.proc.kill(SIGKILL);
     s.proc.wait();
@@ -803,6 +1075,24 @@ ServeResult Server::run() {
     throw std::invalid_argument("serve: maxTaskAttempts must be >= 1");
   }
   ignoreSigpipe();
+
+  if (opt_.enableSignalDrain) {
+    int p[2];
+    if (::pipe(p) != 0) {
+      throw DispatchError(std::string("drain pipe failed: ") + std::strerror(errno));
+    }
+    drainReadFd_ = p[0];
+    drainWriteFd_ = p[1];
+    util::setNonBlocking(drainReadFd_);
+    util::setNonBlocking(drainWriteFd_);
+    gDrainPipeWrite = drainWriteFd_;
+    struct sigaction sa{};
+    sa.sa_handler = onDrainSignal;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;  // the self-pipe wakes poll; no EINTR churn
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+  }
 
   specDir_ = opt_.specDir.empty() ? fs::temp_directory_path() : fs::path(opt_.specDir);
   std::error_code ec;
@@ -829,6 +1119,8 @@ ServeResult Server::run() {
   };
 
   for (;;) {
+    if (drainHard_) break;
+    if (draining_ && campaigns_.empty()) break;
     if (opt_.maxCampaignsServed > 0 && served_ >= opt_.maxCampaignsServed &&
         campaigns_.empty()) {
       break;
@@ -840,6 +1132,10 @@ ServeResult Server::run() {
     std::vector<PollRef> refs;
     fds.push_back(pollfd{listenFd_, POLLIN, 0});
     refs.push_back({Ref::Listener, 0});
+    if (drainReadFd_ >= 0) {
+      fds.push_back(pollfd{drainReadFd_, POLLIN, 0});
+      refs.push_back({Ref::DrainPipe, 0});
+    }
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       const ServerWorker& s = workers_[i];
       if (s.retired || !s.proc.started()) continue;
@@ -892,10 +1188,20 @@ ServeResult Server::run() {
           if (!conn.dead && (fds[k].revents & POLLOUT)) flushConn(conn);
           break;
         }
+        case Ref::DrainPipe: {
+          char buf[64];
+          ssize_t n;
+          while ((n = ::read(drainReadFd_, buf, sizeof buf)) > 0) {
+            for (ssize_t b = 0; b < n; ++b) onDrainRequest();
+          }
+          break;
+        }
       }
     }
 
     heartbeatScan();
+    deadlineScan();
+    clientReadScan();
     sweepFinished();
     conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
                                 [](const std::unique_ptr<ClientConn>& c) {
@@ -904,6 +1210,7 @@ ServeResult Server::run() {
                  conns_.end());
   }
 
+  flushClosingConns();
   shutdownWorkers();
   if (listenFd_ >= 0) {
     ::close(listenFd_);
@@ -916,7 +1223,8 @@ ServeResult Server::run() {
   XLV_INFO("campaignd") << "served " << served_ << " campaigns ("
                         << ledger_.campaignsCompleted << " completed, "
                         << ledger_.campaignsCancelled << " cancelled, "
-                        << ledger_.campaignsRejected << " rejected)";
+                        << ledger_.campaignsRejected << " rejected)"
+                        << (ledger_.drained ? " [drained]" : "");
   return ServeResult{ledger_};
 }
 
@@ -926,9 +1234,12 @@ ServeResult runCampaignServer(const ServeOptions& opt) { return Server(opt).run(
 
 // --- client ------------------------------------------------------------------
 
-SubmitOutcome submitCampaign(const CampaignSpec& spec, const SubmitOptions& opt) {
+namespace {
+
+/// One connect-submit-stream attempt; submitCampaign wraps it in the retry
+/// loop.
+SubmitOutcome submitCampaignOnce(const CampaignSpec& spec, const SubmitOptions& opt) {
   SubmitOutcome out;
-  ignoreSigpipe();
   const int fd = connectToServer(opt.socketPath, opt.tcpPort, out.error);
   if (fd < 0) return out;
 
@@ -936,6 +1247,7 @@ SubmitOutcome submitCampaign(const CampaignSpec& spec, const SubmitOptions& opt)
   submit.clientName = opt.clientName;
   submit.spec = encodeCampaignSpec(spec);
   submit.maxFragmentMutants = static_cast<std::uint64_t>(opt.maxFragmentMutants);
+  submit.deadlineMs = opt.deadlineMs;
   if (!writeFdAll(fd, frameWire(encodeClientSubmitFrame(submit)))) {
     out.error = std::string("submit write failed: ") + std::strerror(errno);
     ::close(fd);
@@ -985,6 +1297,16 @@ SubmitOutcome submitCampaign(const CampaignSpec& spec, const SubmitOptions& opt)
       } else if (tag == kCampaignDoneFrameTag) {
         const CampaignDoneFrame done = decodeCampaignDoneFrame(doc);
         out.done = true;
+        out.quarantined = done.quarantined;
+        if (done.unitsTotal > 0) {
+          // Server-side bisection appends tasks, so outputs streamed before
+          // a split carry a stale shardCount; the done frame's unitsTotal
+          // is the final count every output must agree on before merging.
+          out.unitCount = done.unitsTotal;
+          for (ShardOutput& o : out.outputs) {
+            o.shardCount = static_cast<int>(done.unitsTotal);
+          }
+        }
         if (!done.error.empty()) {
           out.error = done.error;
         } else if (done.cancelled) {
@@ -1006,6 +1328,41 @@ SubmitOutcome submitCampaign(const CampaignSpec& spec, const SubmitOptions& opt)
     } catch (const std::exception& e) {
       out.error = std::string("merge failed: ") + e.what();
     }
+  }
+  return out;
+}
+
+}  // namespace
+
+SubmitOutcome submitCampaign(const CampaignSpec& spec, const SubmitOptions& opt) {
+  ignoreSigpipe();
+  // Deterministic when seeded (tests); otherwise derived from the pid so a
+  // herd of clients rejected together does not retry together.
+  util::Prng jitter(opt.retryJitterSeed != 0
+                        ? opt.retryJitterSeed
+                        : static_cast<std::uint64_t>(::getpid()) + 1);
+  std::uint64_t backoffMs = std::max<std::uint64_t>(opt.retryBaseMs, 1);
+  SubmitOutcome out;
+  for (int attempt = 0;; ++attempt) {
+    out = submitCampaignOnce(spec, opt);
+    out.retries = static_cast<std::uint64_t>(attempt);
+    if (attempt >= opt.maxRetries) break;
+    // Retry ONLY failures where the campaign provably never started: a
+    // structured backpressure reject carrying a retry hint, or a connection
+    // that never opened. A mid-stream disconnect is NOT retried — the
+    // campaign may still be running server-side and a blind resubmit would
+    // double-run it.
+    const bool retryableReject = out.rejected && out.retryAfterMs > 0;
+    const bool retryableConnect = !out.accepted && !out.rejected && !out.done &&
+                                  out.error.rfind("cannot connect", 0) == 0;
+    if (!retryableReject && !retryableConnect) break;
+    std::uint64_t delayMs =
+        std::max(backoffMs, retryableReject ? out.retryAfterMs : 0);
+    // ±50% jitter: spread [delay/2, 3*delay/2] keeps synchronized clients
+    // from re-colliding on the same backoff schedule.
+    delayMs = delayMs / 2 + jitter.below(delayMs + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
+    backoffMs *= 2;
   }
   return out;
 }
@@ -1046,6 +1403,13 @@ std::string encodeServeLedgerJson(const ServeLedger& ledger) {
   num("workerRespawns", ledger.workerRespawns);
   num("workersKilled", ledger.workersKilled);
   num("heartbeats", ledger.heartbeats);
+  num("quarantinedUnits", ledger.quarantinedUnits);
+  num("bisections", ledger.bisections);
+  num("deadlineFailures", ledger.deadlineFailures);
+  num("clientReadTimeouts", ledger.clientReadTimeouts);
+  num("frameCapRejects", ledger.frameCapRejects);
+  num("drainRequests", ledger.drainRequests);
+  out += std::string("  \"drained\": ") + (ledger.drained ? "true" : "false") + ",\n";
   out += "  \"campaigns\": [";
   for (std::size_t i = 0; i < ledger.campaigns.size(); ++i) {
     const CampaignLedgerEntry& c = ledger.campaigns[i];
@@ -1058,6 +1422,14 @@ std::string encodeServeLedgerJson(const ServeLedger& ledger) {
     out += ", \"discardedResults\": " + std::to_string(c.discardedResults);
     out += std::string(", \"cancelled\": ") + (c.cancelled ? "true" : "false");
     out += ", \"error\": \"" + escape(c.error) + "\"";
+    out += ", \"bisections\": " + std::to_string(c.bisections);
+    out += ", \"quarantined\": [";
+    for (std::size_t q = 0; q < c.quarantined.size(); ++q) {
+      if (q > 0) out += ", ";
+      out += std::to_string(c.quarantined[q]);
+    }
+    out += "]";
+    out += std::string(", \"drained\": ") + (c.drained ? "true" : "false");
     out += "}";
   }
   out += ledger.campaigns.empty() ? "]\n" : "\n  ]\n";

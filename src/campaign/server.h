@@ -85,6 +85,21 @@ struct ServeOptions {
   /// (completed, failed or cancelled) and none remain live; 0 = serve
   /// forever. Tests and the CI soak bound their runs with this.
   std::uint64_t maxCampaignsServed = 0;
+  /// Per-CLIENT-connection frame-length cap. A submit frame declaring a
+  /// bigger body is answered with a structured RejectFrame before any body
+  /// byte is read. Worker pipes keep the trusted 1 GiB codec ceiling — this
+  /// bound is about untrusted sockets, not the result stream.
+  std::size_t maxClientFrameBytes = std::size_t{16} << 20;
+  /// Close a client connection that has been admitted onto the poll set but
+  /// has not delivered a complete submit frame within this budget (half-open
+  /// or stalled clients). 0 disables the scan.
+  int clientReadTimeoutMs = 30000;
+  /// Install SIGTERM/SIGINT handlers (self-pipe) that drain the server:
+  /// stop admitting, finish in-flight campaigns, flush ledgers, exit
+  /// cleanly. A second signal stops immediately. Off by default because
+  /// handlers are process-global — the `serve` tool turns it on; embedded
+  /// test servers leave signal disposition alone.
+  bool enableSignalDrain = false;
 };
 
 /// One admitted campaign's scheduling record.
@@ -100,7 +115,18 @@ struct CampaignLedgerEntry {
   /// dropped instead of forwarded.
   std::uint64_t discardedResults = 0;
   bool cancelled = false;
-  std::string error;  ///< non-empty when dispatch gave up on a unit
+  std::string error;  ///< non-empty when dispatch gave up on the campaign
+  /// Poison-unit splits: a multi-mutant fragment that exhausted its attempt
+  /// budget is split in half and both halves re-queued, isolating the
+  /// poison mutant instead of failing the campaign.
+  std::uint64_t bisections = 0;
+  /// Task indices of quarantined units — irreducible (whole-item or
+  /// single-mutant) units that exhausted their attempts. Their items carry
+  /// structured errors; the rest of the campaign completed normally.
+  std::vector<std::uint64_t> quarantined;
+  /// True when the campaign was still in flight as a drain began and the
+  /// server finished it before exiting (informational).
+  bool drained = false;
 };
 
 struct ServeLedger {
@@ -115,6 +141,13 @@ struct ServeLedger {
   std::uint64_t workerRespawns = 0;
   std::uint64_t workersKilled = 0;  ///< heartbeat-timeout SIGKILLs
   std::uint64_t heartbeats = 0;
+  std::uint64_t quarantinedUnits = 0;  ///< irreducible poison units isolated
+  std::uint64_t bisections = 0;        ///< poison-fragment splits
+  std::uint64_t deadlineFailures = 0;  ///< campaigns failed past their deadline
+  std::uint64_t clientReadTimeouts = 0;  ///< half-open clients closed
+  std::uint64_t frameCapRejects = 0;   ///< oversize client frames rejected
+  std::uint64_t drainRequests = 0;     ///< drain signals received
+  bool drained = false;  ///< the run ended via a drain signal, not quota
   /// Every admitted campaign, in admission order (live ones are finalized
   /// into here when the server stops).
   std::vector<CampaignLedgerEntry> campaigns;
@@ -150,6 +183,20 @@ struct SubmitOptions {
   /// ItemResultFrames (-1 = never) — simulates a client dying mid-campaign
   /// so tests and the CI soak can exercise server-side cancellation.
   long disconnectAfterItems = -1;
+  /// Server-enforced wall-clock budget for the campaign, measured from
+  /// admission (ClientSubmitFrame::deadlineMs). 0 = no deadline.
+  std::uint64_t deadlineMs = 0;
+  /// Retry budget for RETRYABLE failures only: a structured backpressure
+  /// reject (retryAfterMs > 0) or a refused connection. A mid-stream
+  /// disconnect is NOT retried — the campaign may still be running
+  /// server-side and a blind resubmit would double-run it. 0 = single shot.
+  int maxRetries = 0;
+  /// First-retry backoff; doubles per retry, floored by the server's
+  /// retryAfterMs hint and jittered ±50% so synchronized clients spread out.
+  std::uint64_t retryBaseMs = 200;
+  /// Seed for the backoff jitter (deterministic tests); 0 derives one from
+  /// the pid.
+  std::uint64_t retryJitterSeed = 0;
 };
 
 /// Everything one submission produced. Exactly one of rejected /
@@ -166,6 +213,12 @@ struct SubmitOutcome {
   std::string error;
   std::uint64_t campaignId = 0;
   std::uint64_t unitCount = 0;
+  /// Rejected/refused submissions retried before this outcome.
+  std::uint64_t retries = 0;
+  /// Task indices the server quarantined (CampaignDoneFrame::quarantined).
+  /// Non-empty means `result` holds per-item errors for the poisoned items
+  /// while every other item merged normally.
+  std::vector<std::uint64_t> quarantined;
   /// Streamed per-unit outputs, in arrival order.
   std::vector<ShardOutput> outputs;
   /// mergeShards over `outputs` — bit-identical (sameResults) to a local

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/fault_point.h"
 #include "util/fnv.h"
 #include "util/log.h"
 
@@ -126,6 +127,13 @@ std::optional<std::string> ArtifactStore::load(std::string_view domain,
 
 void ArtifactStore::store(std::string_view domain, const std::string& key,
                           std::string_view payload) {
+  // Chaos hook: a "fail" skips the store (a later load is a plain miss and
+  // rebuilds), a "short" publishes a truncated entry (the load-side FNV
+  // check drops it and rebuilds) — both degrade to recomputation, never to
+  // wrong results.
+  const FaultAction fault = faultPoint("store.write");
+  if (fault == FaultAction::Fail) return;
+
   const std::string path = entryPath(domain, key);
   std::error_code ec;
   fs::create_directories(fs::path(path).parent_path(), ec);
@@ -135,7 +143,8 @@ void ArtifactStore::store(std::string_view domain, const std::string& key,
   e.str("key", key);
   e.u64("fnv", fnv1a64(payload));
   e.str("payload", payload);
-  const std::string entry = e.take();
+  std::string entry = e.take();
+  if (fault == FaultAction::Short) entry.resize(entry.size() / 2);
 
   // Unique temp name per (process, write): the pid keeps concurrent shard
   // processes sharing one cache dir from colliding, the atomic sequence

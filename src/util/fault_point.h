@@ -1,0 +1,63 @@
+// Chaos-injection registry: named fault points on the infrastructure paths
+// (artifact-store writes, frame writes, worker spawns, socket accepts) that
+// the XLV_FAULTS environment spec arms with seeded probabilistic failures.
+//
+// Grammar (strictly parsed — any malformed clause throws FaultConfigError):
+//
+//   XLV_FAULTS = clause[,clause...]
+//   clause     = <point>:<action>[:key=<value>...]
+//   point      = store.write | frame.write | worker.spawn | server.accept
+//   action     = fail   (the operation reports failure without happening)
+//              | short  (a write persists/sends only a prefix, then fails)
+//              | delay  (the operation blocks for ms= milliseconds first)
+//   keys       = p=<probability in [0,1]>   default 1.0
+//                seed=<u64>                 per-clause Prng seed, default 0
+//                ms=<u64>                   required for delay, rejected otherwise
+//                times=<u64>                max triggers (0 = unlimited, default)
+//
+// Example: XLV_FAULTS="store.write:fail:p=0.2:seed=7,frame.write:short:p=0.05"
+//
+// When XLV_FAULTS is unset the registry is inert: faultPoint() is a single
+// relaxed atomic load returning None. Fault draws are deterministic per
+// clause (util::Prng seeded by seed=), and thread-safe (worker heartbeat
+// threads share the frame.write point with the main loop).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace xlv::util {
+
+/// Malformed XLV_FAULTS spec: unknown point/action/key or unparsable value.
+struct FaultConfigError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class FaultAction {
+  None,   ///< proceed normally (delay clauses may still have slept)
+  Fail,   ///< report failure without performing the operation
+  Short,  ///< perform a truncated write, then report failure
+};
+
+/// Parse XLV_FAULTS and arm the registry. Unset/empty disarms it. Throws
+/// FaultConfigError on a malformed spec. Tools call this from main() for a
+/// clean diagnostic; library call sites that hit an unparsed registry
+/// lazily initialise it (and propagate the same error).
+void initFaultPointsFromEnv();
+
+/// Test hook: drop the armed state and re-read XLV_FAULTS.
+void reloadFaultPointsFromEnv();
+
+/// True when at least one clause is armed.
+bool faultPointsArmed();
+
+/// Draw the named point. Performs any armed delay internally, then returns
+/// the first Fail/Short clause (in spec order) whose probability fires.
+FaultAction faultPoint(std::string_view point);
+
+/// How many times any clause on the named point has fired (delays included).
+std::uint64_t faultPointFireCount(std::string_view point);
+
+}  // namespace xlv::util

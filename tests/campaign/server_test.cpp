@@ -16,9 +16,14 @@
 // The tests skip (not fail) when the tools were not built.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
 #include <chrono>
 #include <cstdlib>
 #include <functional>
@@ -39,6 +44,9 @@ const char* const kFaultVars[] = {
     "XLV_TEST_HANG_AFTER_ITEMS",
     "XLV_TEST_EXIT_AFTER_ITEMS",
     "XLV_TEST_FAULT_WORKER",
+    "XLV_TEST_POISON_ITEM",
+    "XLV_TEST_POISON_MUTANT",
+    "XLV_FAULTS",
 };
 
 /// Clears every fault hook on construction AND destruction, so a failing
@@ -66,6 +74,15 @@ TEST(CampaignServer, LedgerJsonCarriesPerCampaignEntries) {
   entry.requeues = 1;
   entry.cancelled = true;
   entry.error = "gave up";
+  entry.bisections = 3;
+  entry.quarantined = {2, 5};
+  entry.drained = true;
+  ledger.quarantinedUnits = 1;
+  ledger.bisections = 3;
+  ledger.deadlineFailures = 2;
+  ledger.frameCapRejects = 4;
+  ledger.drainRequests = 1;
+  ledger.drained = true;
   ledger.campaigns.push_back(entry);
   const std::string json = encodeServeLedgerJson(ledger);
   EXPECT_NE(json.find("\"campaignsAccepted\": 2"), std::string::npos);
@@ -76,6 +93,31 @@ TEST(CampaignServer, LedgerJsonCarriesPerCampaignEntries) {
   EXPECT_NE(json.find("smoke \\\"quoted\\\""), std::string::npos)
       << "ledger names must be JSON-escaped";
   EXPECT_NE(json.find("\"error\": \"gave up\""), std::string::npos);
+  EXPECT_NE(json.find("\"quarantinedUnits\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"deadlineFailures\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"frameCapRejects\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"drainRequests\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"drained\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"bisections\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"quarantined\": [2, 5]"), std::string::npos)
+      << "per-campaign quarantined task indices must round-trip";
+}
+
+TEST(CampaignServer, ClientRetriesARefusedConnectionWithBackoff) {
+  CampaignSpec spec = builtinCampaignSpec("smoke");
+  spec.items.resize(1);
+  SubmitOptions o;
+  o.socketPath =
+      "/tmp/xlv-serve-test-nobody-" + std::to_string(::getpid()) + ".sock";
+  o.maxRetries = 2;
+  o.retryBaseMs = 1;  // keep the jittered backoff in the microsecond range
+  o.retryJitterSeed = 7;
+  const SubmitOutcome out = submitCampaign(spec, o);
+  EXPECT_FALSE(out.accepted);
+  EXPECT_FALSE(out.done);
+  EXPECT_FALSE(out.rejected);
+  EXPECT_EQ(out.retries, 2u) << "the whole retry budget goes to a refused connect";
+  EXPECT_EQ(out.error.rfind("cannot connect", 0), 0u) << out.error;
 }
 
 #ifdef XLV_CAMPAIGND_BIN
@@ -99,6 +141,16 @@ CampaignSpec smallSpec(const std::string& name) {
   return spec;
 }
 
+/// sameResults over a single item pair — the quarantine tests compare each
+/// SURVIVING item against a local run while the poisoned one carries an
+/// error.
+bool sameItem(const CampaignItemResult& a, const CampaignItemResult& b) {
+  CampaignResult x, y;
+  x.items.push_back(a);
+  y.items.push_back(b);
+  return x.sameResults(y);
+}
+
 /// Runs runCampaignServer on a background thread against a fresh /tmp
 /// socket, waits until the listener is up, and joins (returning the ledger)
 /// when the server's maxCampaignsServed bound stops it.
@@ -119,6 +171,7 @@ struct ServerHarness {
     opt.heartbeatTimeoutMs = 5000;
     opt.maxCampaignsServed = 1;
     if (tweak) tweak(opt);
+    path_ = opt.socketPath;  // a tweak may point the server elsewhere
     thread_ = std::thread([this] {
       try {
         result = runCampaignServer(opt);
@@ -127,11 +180,24 @@ struct ServerHarness {
       }
       stopped_.store(true);
     });
-    // The listener exists before the first client can connect; a server
-    // that died on startup stops the wait early (error tells why).
+    // The listener must be accepting before the first client connects; a
+    // server that died on startup stops the wait early (error tells why).
+    // Probe with a real connect() — the socket file merely existing is not
+    // enough when a stale file predates the server (it unlinks and rebinds).
     for (int i = 0; i < 500; ++i) {
       if (stopped_.load()) break;
-      if (!opt.socketPath.empty() && ::access(path_.c_str(), F_OK) == 0) break;
+      if (!opt.socketPath.empty()) {
+        const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (probe >= 0) {
+          sockaddr_un addr{};
+          addr.sun_family = AF_UNIX;
+          std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", path_.c_str());
+          const bool up =
+              ::connect(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0;
+          ::close(probe);
+          if (up) break;
+        }
+      }
       if (opt.socketPath.empty() && i >= 20) break;  // TCP: just give it 200 ms
       ::usleep(10000);
     }
@@ -395,6 +461,285 @@ TEST(CampaignServer, LoopbackTcpServesToo) {
   ASSERT_TRUE(out.error.empty()) << out.error;
   ASSERT_TRUE(out.done);
   EXPECT_TRUE(referenceResult().sameResults(out.result));
+}
+
+TEST(CampaignServer, PoisonFragmentIsBisectedUntilTheMutantIsQuarantined) {
+  XLV_REQUIRE_DAEMON();
+  FaultEnv env;
+  // Every worker of every generation SIGKILLs itself the moment it starts
+  // item 0's mutant 1 — a reproducible poison unit. Attempt exhaustion must
+  // bisect the [0,2) fragment, re-queue both halves, and quarantine the
+  // irreducible [1,2) half: the campaign COMPLETES with a structured
+  // per-item error instead of failing wholesale.
+  env.set("XLV_TEST_POISON_ITEM", "0");
+  env.set("XLV_TEST_POISON_MUTANT", "1");
+  ServerHarness server([](ServeOptions& o) {
+    o.maxTaskAttempts = 2;
+    o.maxWorkerRespawns = 50;  // each poison hit costs one respawn
+  });
+  const SubmitOutcome out =
+      submitCampaign(builtinCampaignSpec("single"), server.clientOptions("poisoned"));
+  ASSERT_TRUE(out.error.empty()) << out.error;
+  ASSERT_TRUE(out.done);
+  ASSERT_EQ(out.quarantined.size(), 1u);
+  ASSERT_EQ(out.result.items.size(), 1u);
+  EXPECT_NE(out.result.items[0].error.find("quarantined"), std::string::npos)
+      << out.result.items[0].error;
+
+  const ServeLedger& ledger = server.ledger();
+  EXPECT_TRUE(server.error.empty()) << server.error;
+  EXPECT_EQ(ledger.campaignsCompleted, 1u);
+  EXPECT_EQ(ledger.bisections, 1u) << "one split isolates the poison in a 2-mutant fragment";
+  EXPECT_EQ(ledger.quarantinedUnits, 1u);
+  ASSERT_EQ(ledger.campaigns.size(), 1u);
+  const CampaignLedgerEntry& entry = ledger.campaigns.front();
+  EXPECT_EQ(entry.bisections, 1u);
+  ASSERT_EQ(entry.quarantined.size(), 1u);
+  EXPECT_TRUE(entry.error.empty()) << "quarantine must not be campaign-fatal: " << entry.error;
+  // unitsTotal is the FINAL task count: the bisected original and the
+  // quarantined half are retired, everything else completed.
+  EXPECT_EQ(entry.unitsCompleted + 2, entry.unitsTotal);
+}
+
+TEST(CampaignServer, QuarantineIsolatesThePoisonItemAndNeighborsStayBitIdentical) {
+  XLV_REQUIRE_DAEMON();
+  FaultEnv env;
+  env.set("XLV_TEST_POISON_ITEM", "1");
+  env.set("XLV_TEST_POISON_MUTANT", "0");
+  CampaignSpec spec = builtinCampaignSpec("smoke");
+  ASSERT_GE(spec.items.size(), 3u);
+  spec.items.resize(3);
+  spec.name = "quarantine-neighbors";
+  ServerHarness server([](ServeOptions& o) {
+    o.maxTaskAttempts = 2;
+    o.maxWorkerRespawns = 50;
+  });
+  const SubmitOutcome out = submitCampaign(spec, server.clientOptions("neighbors"));
+  ASSERT_TRUE(out.error.empty()) << out.error;
+  ASSERT_TRUE(out.done);
+  EXPECT_FALSE(out.quarantined.empty());
+  ASSERT_EQ(out.result.items.size(), 3u);
+  EXPECT_NE(out.result.items[1].error.find("quarantined"), std::string::npos)
+      << out.result.items[1].error;
+
+  // The poisoned item must not perturb its neighbors: items 0 and 2 merge
+  // bit-identical to a clean single-process run of the same spec.
+  core::clearProcessCaches();
+  const CampaignResult local = runCampaign(spec);
+  ASSERT_EQ(local.items.size(), 3u);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    EXPECT_TRUE(out.result.items[i].error.empty()) << out.result.items[i].error;
+    EXPECT_TRUE(sameItem(out.result.items[i], local.items[i]))
+        << "surviving item " << i << " diverged from the local run";
+  }
+}
+
+TEST(CampaignServer, SigtermDrainsFinishInFlightAndRejectsNewSubmissions) {
+  XLV_REQUIRE_DAEMON();
+  FaultEnv env;
+  // The single gen-0 worker hangs on the first unit, pinning the admitted
+  // campaign live while the drain signal lands; the heartbeat then kills
+  // the hung worker and its respawn finishes the campaign under drain.
+  env.set("XLV_TEST_HANG_AFTER_ITEMS", "0");
+  ServerHarness server([](ServeOptions& o) {
+    o.workers = 1;
+    o.heartbeatIntervalMs = 50;
+    o.heartbeatTimeoutMs = 1500;
+    o.maxCampaignsServed = 0;  // the drain, not a quota, ends this server
+    o.enableSignalDrain = true;
+  });
+  SubmitOutcome inflight;
+  std::thread inflightClient([&] {
+    SubmitOptions o = server.clientOptions("inflight");
+    o.maxFragmentMutants = 1;
+    inflight = submitCampaign(builtinCampaignSpec("single"), o);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  // The handler self-pipes; the embedded loop sees it on its next poll
+  // wake-up. The hung worker guarantees the campaign is still live.
+  ::kill(::getpid(), SIGTERM);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  const SubmitOutcome bounced =
+      submitCampaign(smallSpec("latecomer"), server.clientOptions("latecomer"));
+  EXPECT_TRUE(bounced.rejected);
+  EXPECT_NE(bounced.rejectReason.find("draining"), std::string::npos)
+      << bounced.rejectReason;
+  EXPECT_GT(bounced.retryAfterMs, 0u) << "a drain reject must carry a retry hint";
+
+  inflightClient.join();
+  ASSERT_TRUE(inflight.error.empty()) << inflight.error;
+  ASSERT_TRUE(inflight.done);
+  EXPECT_TRUE(referenceResult().sameResults(inflight.result));
+
+  const ServeLedger& ledger = server.ledger();  // join(): drain exits the loop
+  EXPECT_TRUE(server.error.empty()) << server.error;
+  EXPECT_TRUE(ledger.drained);
+  EXPECT_GE(ledger.drainRequests, 1u);
+  EXPECT_EQ(ledger.campaignsCompleted, 1u);
+  EXPECT_EQ(ledger.campaignsRejected, 1u);
+  ASSERT_EQ(ledger.campaigns.size(), 1u);
+  EXPECT_TRUE(ledger.campaigns.front().drained);
+  EXPECT_TRUE(ledger.campaigns.front().error.empty());
+}
+
+TEST(CampaignServer, SecondServerOnALiveSocketRefusesToStealIt) {
+  XLV_REQUIRE_DAEMON();
+  FaultEnv env;
+  ServerHarness server;  // live listener, idle
+  ServeOptions opt2;
+  opt2.socketPath = server.opt.socketPath;
+  opt2.workerCommand = {XLV_CAMPAIGND_BIN, "worker"};
+  try {
+    runCampaignServer(opt2);
+    FAIL() << "second server bound over a live listener";
+  } catch (const DispatchError& e) {
+    EXPECT_NE(std::string(e.what()).find("already listening"), std::string::npos)
+        << e.what();
+  }
+  // The probe connection must not have harmed the incumbent: it still serves.
+  const SubmitOutcome out =
+      submitCampaign(smallSpec("after-probe"), server.clientOptions("after-probe"));
+  ASSERT_TRUE(out.error.empty()) << out.error;
+  EXPECT_TRUE(out.done);
+}
+
+TEST(CampaignServer, StaleSocketFileIsStillUnlinkedAndServed) {
+  XLV_REQUIRE_DAEMON();
+  FaultEnv env;
+  // A leftover socket FILE with no listener behind it (crashed server): the
+  // connect() probe finds nobody home, so taking the path stays legal.
+  const std::string stale =
+      "/tmp/xlv-serve-test-stale-" + std::to_string(::getpid()) + ".sock";
+  ::unlink(stale.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", stale.c_str());
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0)
+      << std::strerror(errno);
+  ::close(fd);  // the file stays behind, bound to nothing
+  ServerHarness server([&stale](ServeOptions& o) { o.socketPath = stale; });
+  const SubmitOutcome out = submitCampaign(smallSpec("stale"), server.clientOptions("stale"));
+  ASSERT_TRUE(out.error.empty()) << out.error;
+  EXPECT_TRUE(out.done);
+}
+
+TEST(CampaignServer, OversizeSubmitFrameIsRejectedFromItsHeader) {
+  XLV_REQUIRE_DAEMON();
+  FaultEnv env;
+  ServerHarness server([](ServeOptions& o) {
+    o.maxClientFrameBytes = 256;  // any real spec blows this
+    o.maxCampaignsServed = 0;
+    o.enableSignalDrain = true;  // the drain is how this idle server exits
+  });
+  const SubmitOutcome out =
+      submitCampaign(builtinCampaignSpec("single"), server.clientOptions("fat"));
+  EXPECT_TRUE(out.rejected);
+  EXPECT_FALSE(out.done);
+  EXPECT_NE(out.rejectReason.find("exceeds connection cap"), std::string::npos)
+      << out.rejectReason;
+  EXPECT_EQ(out.retryAfterMs, 0u) << "a frame-cap reject is not retryable";
+  ::kill(::getpid(), SIGTERM);
+  const ServeLedger& ledger = server.ledger();
+  EXPECT_TRUE(server.error.empty()) << server.error;
+  EXPECT_EQ(ledger.frameCapRejects, 1u);
+  EXPECT_EQ(ledger.campaignsRejected, 1u);
+  EXPECT_EQ(ledger.campaignsAccepted, 0u);
+}
+
+TEST(CampaignServer, HalfOpenClientIsTimedOutWithAStructuredReject) {
+  XLV_REQUIRE_DAEMON();
+  FaultEnv env;
+  ServerHarness server([](ServeOptions& o) {
+    o.clientReadTimeoutMs = 200;
+    o.maxCampaignsServed = 0;
+    o.enableSignalDrain = true;
+  });
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s",
+                server.opt.socketPath.c_str());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0)
+      << std::strerror(errno);
+  // Send nothing: the server owes this half-open connection a reject frame
+  // and a close, never an open-ended poll slot.
+  std::string got;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) got.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  EXPECT_FALSE(got.empty()) << "connection closed without a reject frame";
+  ::kill(::getpid(), SIGTERM);
+  const ServeLedger& ledger = server.ledger();
+  EXPECT_TRUE(server.error.empty()) << server.error;
+  EXPECT_EQ(ledger.clientReadTimeouts, 1u);
+  EXPECT_EQ(ledger.campaignsRejected, 1u);
+}
+
+TEST(CampaignServer, DeadlineExceededFailsTheCampaignStructurally) {
+  XLV_REQUIRE_DAEMON();
+  FaultEnv env;
+  env.set("XLV_TEST_HANG_AFTER_ITEMS", "0");  // the worker sits on unit 0
+  ServerHarness server([](ServeOptions& o) {
+    o.workers = 1;
+    o.heartbeatIntervalMs = 50;
+    o.heartbeatTimeoutMs = 1500;  // the 300 ms deadline must fire FIRST
+    o.maxCampaignsServed = 1;
+  });
+  SubmitOptions o = server.clientOptions("deadline");
+  o.deadlineMs = 300;
+  const SubmitOutcome out = submitCampaign(builtinCampaignSpec("single"), o);
+  ASSERT_TRUE(out.done);
+  EXPECT_NE(out.error.find("deadline exceeded"), std::string::npos) << out.error;
+
+  const ServeLedger& ledger = server.ledger();
+  EXPECT_TRUE(server.error.empty()) << server.error;
+  EXPECT_EQ(ledger.deadlineFailures, 1u);
+  ASSERT_EQ(ledger.campaigns.size(), 1u);
+  EXPECT_NE(ledger.campaigns.front().error.find("deadline"), std::string::npos);
+}
+
+TEST(CampaignServer, RejectedSubmissionIsRetriedAfterTheServersHint) {
+  XLV_REQUIRE_DAEMON();
+  FaultEnv env;
+  // The hung worker freezes the huge campaign's units in the admission
+  // queue for its whole 1.5 s heartbeat window; both attempts of the
+  // retrying client land inside it, so both bounce — proving the retry
+  // actually ran and came back with the same structured answer.
+  env.set("XLV_TEST_HANG_AFTER_ITEMS", "0");
+  ServerHarness server([](ServeOptions& o) {
+    o.workers = 1;
+    o.heartbeatIntervalMs = 50;
+    o.heartbeatTimeoutMs = 1500;
+    o.maxPendingUnits = 4;
+    o.rejectRetryAfterMs = 10;
+    o.maxCampaignsServed = 1;
+  });
+  SubmitOutcome huge;
+  std::thread hugeClient([&] {
+    SubmitOptions o = server.clientOptions("huge");
+    o.maxFragmentMutants = 1;
+    huge = submitCampaign(builtinCampaignSpec("single"), o);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  SubmitOptions retrying = server.clientOptions("retrying");
+  retrying.maxRetries = 1;
+  retrying.retryBaseMs = 1;
+  retrying.retryJitterSeed = 42;
+  const SubmitOutcome bounced = submitCampaign(smallSpec("retrying"), retrying);
+  EXPECT_TRUE(bounced.rejected);
+  EXPECT_EQ(bounced.retries, 1u);
+
+  hugeClient.join();
+  ASSERT_TRUE(huge.error.empty()) << huge.error;
+  ASSERT_TRUE(huge.done);
+  EXPECT_TRUE(referenceResult().sameResults(huge.result));
+  EXPECT_EQ(server.ledger().campaignsRejected, 2u);
 }
 
 TEST(CampaignServer, ServerRejectsMalformedOptions) {

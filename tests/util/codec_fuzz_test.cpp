@@ -297,6 +297,7 @@ campaign::ClientSubmitFrame randomClientSubmitFrame(Prng& rng) {
   f.clientName = randomString(rng);
   f.spec = campaign::encodeCampaignSpec(randomCampaignSpec(rng));
   f.maxFragmentMutants = rng.below(32);
+  if (rng.chance(0.5)) f.deadlineMs = rng.below(1u << 20);  // v7: 0 = none
   return f;
 }
 
@@ -332,6 +333,8 @@ campaign::CampaignDoneFrame randomCampaignDoneFrame(Prng& rng) {
   f.requeues = rng.below(8);
   f.cancelled = rng.chance(0.3);
   if (rng.chance(0.3)) f.error = randomString(rng);
+  const std::size_t quarantined = rng.below(5);  // v7
+  for (std::size_t i = 0; i < quarantined; ++i) f.quarantined.push_back(rng.below(1024));
   return f;
 }
 

@@ -63,6 +63,7 @@
 #include "campaign/server.h"
 #include "campaign/shard.h"
 #include "util/artifact_store.h"
+#include "util/fault_point.h"
 #include "util/log.h"
 
 namespace {
@@ -81,6 +82,7 @@ using namespace xlv;
       "  xlv_campaign merge --spec FILE -o FILE SHARD_FILE...\n"
       "  xlv_campaign submit --spec FILE (--socket PATH | --tcp-port P)\n"
       "                      [--max-fragment M] [--client-name NAME]\n"
+      "                      [--max-retries N] [--deadline-ms N]\n"
       "                      [--disconnect-after-items N] [-o FILE]\n"
       "  xlv_campaign diff RESULT_A RESULT_B\n"
       "  xlv_campaign show RESULT_FILE\n"
@@ -91,8 +93,12 @@ using namespace xlv;
       "streams the per-unit results back and merges them (bit-identical to\n"
       "a local run). --max-fragment asks the server for that stealable-unit\n"
       "granularity; --client-name labels the server's ledger entry;\n"
-      "--disconnect-after-items N hard-closes the socket after N streamed\n"
-      "results (a fault-injection hook; exits 9).\n"
+      "--max-retries N retries a rejected submission (or a refused\n"
+      "connection) with jittered exponential backoff honoring the server's\n"
+      "retry hint; --deadline-ms N asks the server to fail the campaign\n"
+      "past that wall-clock budget; --disconnect-after-items N hard-closes\n"
+      "the socket after N streamed results (a fault-injection hook;\n"
+      "exits 9).\n"
       "presets: smoke (2 IPs x 2 sensor kinds x 2 corners), single (one\n"
       "Counter item, for --max-fragment splitting), failing (broken mid-\n"
       "campaign items, exercises the exit-3 path). -o defaults to stdout.\n"
@@ -138,6 +144,7 @@ struct Args {
   std::string spec, plan, out, preset, cacheDir, backend, socket, clientName;
   long shards = 0, index = -1, maxFragment = 0, threads = 0, cacheMaxBytes = 0;
   long maxAgeSeconds = 0, batch = 0, tcpPort = 0, disconnectAfterItems = -1;
+  long maxRetries = 0, deadlineMs = 0;
   bool requireDiskHits = false;
   bool requireNative = false;
 
@@ -199,6 +206,10 @@ Args parseArgs(int argc, char** argv, int first) {
       a.clientName = next("--client-name");
     } else if (arg == "--disconnect-after-items") {
       a.disconnectAfterItems = Args::parseLong(arg, next("--disconnect-after-items"));
+    } else if (arg == "--max-retries") {
+      a.maxRetries = Args::parseLong(arg, next("--max-retries"));
+    } else if (arg == "--deadline-ms") {
+      a.deadlineMs = Args::parseLong(arg, next("--deadline-ms"));
     } else if (arg == "--verbose") {
       util::setLogLevel(util::LogLevel::Info);
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -243,10 +254,11 @@ void rejectRunFlags(const Args& a, const char* cmd) {
 /// Only submit talks to a server; the flags are meaningless elsewhere.
 void rejectServiceFlags(const Args& a, const char* cmd) {
   if (!a.socket.empty() || a.tcpPort != 0 || !a.clientName.empty() ||
-      a.disconnectAfterItems != -1) {
+      a.disconnectAfterItems != -1 || a.maxRetries != 0 || a.deadlineMs != 0) {
     usage((std::string(cmd) +
            " does not take service flags (--socket/--tcp-port/--client-name/"
-           "--disconnect-after-items apply to submit)")
+           "--max-retries/--deadline-ms/--disconnect-after-items apply to "
+           "submit)")
               .c_str());
   }
 }
@@ -429,6 +441,8 @@ int cmdSubmit(const Args& a) {
   }
   if (a.tcpPort < 0 || a.tcpPort > 65535) usage("--tcp-port must be in [1, 65535]");
   if (a.maxFragment < 0) usage("--max-fragment must be >= 0");
+  if (a.maxRetries < 0) usage("--max-retries must be >= 0");
+  if (a.deadlineMs < 0) usage("--deadline-ms must be >= 0 (0 = no deadline)");
   const campaign::CampaignSpec spec = loadSpec(a);
   campaign::SubmitOptions opt;
   opt.socketPath = a.socket;
@@ -436,7 +450,13 @@ int cmdSubmit(const Args& a) {
   if (!a.clientName.empty()) opt.clientName = a.clientName;
   opt.maxFragmentMutants = static_cast<std::size_t>(a.maxFragment);
   opt.disconnectAfterItems = a.disconnectAfterItems;
+  opt.maxRetries = static_cast<int>(a.maxRetries);
+  opt.deadlineMs = static_cast<std::uint64_t>(a.deadlineMs);
   const campaign::SubmitOutcome outcome = campaign::submitCampaign(spec, opt);
+  if (outcome.retries > 0) {
+    std::fprintf(stderr, "submission retried %llu time(s)\n",
+                 static_cast<unsigned long long>(outcome.retries));
+  }
   if (outcome.rejected) {
     std::fprintf(stderr,
                  "submission rejected: %s (retry after %llu ms)\n",
@@ -461,6 +481,10 @@ int cmdSubmit(const Args& a) {
                static_cast<unsigned long long>(outcome.campaignId),
                static_cast<unsigned long long>(outcome.unitCount),
                outcome.outputs.size());
+  if (!outcome.quarantined.empty()) {
+    std::fprintf(stderr, "server quarantined %zu unit(s); their items carry errors\n",
+                 outcome.quarantined.size());
+  }
   return reportItemErrors("served campaign", a, outcome.result);
 }
 
@@ -528,6 +552,9 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   try {
+    // Strict XLV_FAULTS parse up front: a typo aborts with a message here
+    // instead of throwing from a noexcept write path mid-run.
+    xlv::util::initFaultPointsFromEnv();
     const Args a = parseArgs(argc, argv, 2);
     if (cmd == "spec") return cmdSpec(a);
     if (cmd == "plan") return cmdPlan(a);

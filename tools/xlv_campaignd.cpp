@@ -59,6 +59,7 @@
 #include "campaign/server.h"
 #include "campaign/shard.h"
 #include "util/artifact_store.h"
+#include "util/fault_point.h"
 #include "util/log.h"
 
 namespace {
@@ -79,8 +80,9 @@ using namespace xlv;
       "                    [--max-campaigns N] [--max-campaigns-served N]\n"
       "                    [--retry-after-ms N] [--heartbeat-ms N]\n"
       "                    [--heartbeat-timeout-ms N] [--max-attempts N]\n"
-      "                    [--max-respawns N] [cache flags] [--ledger FILE]\n"
-      "                    [--verbose]\n"
+      "                    [--max-respawns N] [--max-client-frame-bytes N]\n"
+      "                    [--client-read-timeout-ms N] [cache flags]\n"
+      "                    [--ledger FILE] [--verbose]\n"
       "  xlv_campaignd worker [--spec FILE] --index I --generation G\n"
       "                       --heartbeat-ms N [cache flags]   (internal)\n"
       "\n"
@@ -100,6 +102,16 @@ using namespace xlv;
       "dying client's campaign is cancelled. --max-campaigns-served stops\n"
       "the server after that many campaigns finished (0 = serve forever);\n"
       "--ledger writes per-campaign scheduling entries as JSON on exit.\n"
+      "SIGTERM/SIGINT drain the server: in-flight campaigns finish, new\n"
+      "submissions are rejected with a retry hint, then it exits 0 (a\n"
+      "second signal stops immediately). A unit that exhausts its attempt\n"
+      "budget no longer fails its campaign: multi-mutant fragments are\n"
+      "bisected to isolate the poison mutant and the irreducible unit is\n"
+      "quarantined with a structured per-item error. --max-client-frame-\n"
+      "bytes caps untrusted client frames (default 16 MiB, structured\n"
+      "reject); --client-read-timeout-ms closes half-open clients that\n"
+      "never complete a submission (default 30000, 0 = off). XLV_FAULTS\n"
+      "arms deterministic chaos injection (util/fault_point.h grammar).\n"
       "\n"
       "--cache-dir is forwarded to every worker, so the pool shares one\n"
       "artifact store. XLV_WORKERS sets the pool size when --workers is\n"
@@ -133,6 +145,7 @@ struct Args {
   long cacheMaxBytes = 0;
   long tcpPort = 0, maxPendingUnits = 0, maxCampaigns = 0, maxCampaignsServed = 0;
   long retryAfterMs = -1;
+  long maxClientFrameBytes = 0, clientReadTimeoutMs = -1;
 
   static long parseLong(const std::string& flag, const std::string& v) {
     try {
@@ -188,6 +201,10 @@ Args parseArgs(int argc, char** argv, int first) {
       a.maxCampaignsServed = Args::parseLong(arg, next("--max-campaigns-served"));
     } else if (arg == "--retry-after-ms") {
       a.retryAfterMs = Args::parseLong(arg, next("--retry-after-ms"));
+    } else if (arg == "--max-client-frame-bytes") {
+      a.maxClientFrameBytes = Args::parseLong(arg, next("--max-client-frame-bytes"));
+    } else if (arg == "--client-read-timeout-ms") {
+      a.clientReadTimeoutMs = Args::parseLong(arg, next("--client-read-timeout-ms"));
     } else if (arg == "--index") {
       a.index = Args::parseLong(arg, next("--index"));
     } else if (arg == "--generation") {
@@ -311,6 +328,15 @@ int cmdServe(const char* self, const Args& a) {
     opt.maxCampaignsServed = static_cast<std::uint64_t>(a.maxCampaignsServed);
   }
   if (a.retryAfterMs >= 0) opt.rejectRetryAfterMs = static_cast<std::uint64_t>(a.retryAfterMs);
+  if (a.maxClientFrameBytes < 0) usage("--max-client-frame-bytes must be >= 1");
+  if (a.maxClientFrameBytes > 0) {
+    opt.maxClientFrameBytes = static_cast<std::size_t>(a.maxClientFrameBytes);
+  }
+  if (a.clientReadTimeoutMs >= 0) {
+    opt.clientReadTimeoutMs = static_cast<int>(a.clientReadTimeoutMs);
+  }
+  // The daemon owns its process: SIGTERM/SIGINT mean "drain and exit 0".
+  opt.enableSignalDrain = true;
   opt.workerCommand = workerCommand(self, a);
 
   campaign::ServeResult res;
@@ -360,6 +386,9 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   try {
+    // Parse XLV_FAULTS up front so a malformed grammar is a clean startup
+    // diagnostic, not a throw from deep inside a noexcept write path.
+    xlv::util::initFaultPointsFromEnv();
     const Args a = parseArgs(argc, argv, 2);
     if (cmd == "run") return cmdRun(argv[0], a);
     if (cmd == "serve") return cmdServe(argv[0], a);
